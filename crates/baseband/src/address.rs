@@ -1,0 +1,136 @@
+//! Bluetooth device addressing.
+//!
+//! A 48-bit `BD_ADDR` splits into the 24-bit Lower Address Part (LAP, used
+//! to derive access codes and hop sequences), the 8-bit Upper Address Part
+//! (UAP, seeding HEC and CRC) and the 16-bit Non-significant Address Part
+//! (NAP).
+
+use std::fmt;
+
+use btsim_coding::syncword;
+
+/// A 48-bit Bluetooth device address.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_baseband::BdAddr;
+///
+/// let addr = BdAddr::new(0x1234, 0x56, 0x789ABC);
+/// assert_eq!(addr.lap(), 0x789ABC);
+/// assert_eq!(addr.uap(), 0x56);
+/// assert_eq!(addr.nap(), 0x1234);
+/// assert_eq!(addr.to_string(), "12:34:56:78:9A:BC");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BdAddr {
+    raw: u64, // 48 bits: NAP(16) | UAP(8) | LAP(24)
+}
+
+impl BdAddr {
+    /// Builds an address from its three parts.
+    ///
+    /// Out-of-range bits of each part are masked off.
+    pub fn new(nap: u16, uap: u8, lap: u32) -> Self {
+        Self {
+            raw: ((nap as u64) << 32) | ((uap as u64) << 24) | (lap as u64 & 0xFF_FFFF),
+        }
+    }
+
+    /// Builds an address from a raw 48-bit value (upper bits masked).
+    pub fn from_raw(raw: u64) -> Self {
+        Self {
+            raw: raw & 0xFFFF_FFFF_FFFF,
+        }
+    }
+
+    /// The raw 48-bit value.
+    pub fn raw(self) -> u64 {
+        self.raw
+    }
+
+    /// Lower address part (24 bits) — seeds access codes and hopping.
+    pub fn lap(self) -> u32 {
+        (self.raw & 0xFF_FFFF) as u32
+    }
+
+    /// Upper address part (8 bits) — seeds HEC and CRC.
+    pub fn uap(self) -> u8 {
+        ((self.raw >> 24) & 0xFF) as u8
+    }
+
+    /// Non-significant address part (16 bits).
+    pub fn nap(self) -> u16 {
+        ((self.raw >> 32) & 0xFFFF) as u16
+    }
+
+    /// The 28 address bits feeding the hop-selection box:
+    /// `UAP[3:0] ++ LAP[23:0]`.
+    pub fn hop_input(self) -> u32 {
+        ((self.uap() as u32 & 0x0F) << 24) | self.lap()
+    }
+
+    /// Sync word of this device's access code (DAC/CAC).
+    pub fn sync_word(self) -> u64 {
+        syncword::sync_word(self.lap())
+    }
+}
+
+impl fmt::Display for BdAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = |i: u32| (self.raw >> (8 * i)) & 0xFF;
+        write!(
+            f,
+            "{:02X}:{:02X}:{:02X}:{:02X}:{:02X}:{:02X}",
+            b(5),
+            b(4),
+            b(3),
+            b(2),
+            b(1),
+            b(0)
+        )
+    }
+}
+
+/// The "default check initialisation" UAP used for inquiry FHS packets,
+/// where no real UAP is known yet (spec v1.2 §7.1.1).
+pub const DCI_UAP: u8 = 0x00;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_roundtrip() {
+        let a = BdAddr::new(0xABCD, 0xEF, 0x123456);
+        assert_eq!(a.nap(), 0xABCD);
+        assert_eq!(a.uap(), 0xEF);
+        assert_eq!(a.lap(), 0x123456);
+        assert_eq!(BdAddr::from_raw(a.raw()), a);
+    }
+
+    #[test]
+    fn masks_out_of_range_parts() {
+        let a = BdAddr::new(0xFFFF, 0xFF, 0xFFFF_FFFF);
+        assert_eq!(a.lap(), 0xFF_FFFF);
+        assert_eq!(BdAddr::from_raw(u64::MAX).raw(), 0xFFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn hop_input_combines_uap_low_nibble_and_lap() {
+        let a = BdAddr::new(0, 0xAB, 0x123456);
+        assert_eq!(a.hop_input(), (0x0B << 24) | 0x123456);
+    }
+
+    #[test]
+    fn display_is_colon_hex() {
+        let a = BdAddr::new(0x0102, 0x03, 0x040506);
+        assert_eq!(a.to_string(), "01:02:03:04:05:06");
+    }
+
+    #[test]
+    fn sync_word_matches_lap() {
+        let a = BdAddr::new(0xDEAD, 0xBE, 0x9E8B33);
+        assert_eq!(a.sync_word(), syncword::sync_word(0x9E8B33));
+    }
+}

@@ -1,0 +1,462 @@
+//! The frequency hop selection box (spec v1.2, Baseband §2.6, 79-channel
+//! system) — the paper's `HOP_FREQ` module.
+//!
+//! The selection box combines clock bits and 28 address bits through an
+//! adder, an XOR stage, a 14-control-bit butterfly permutation (PERM5) and
+//! a final modulo-79 addition whose output is mapped onto the interlaced
+//! even/odd channel bank. Page and inquiry use a *train* variant of the
+//! input X that sweeps 16 of 32 positions (the A or B train) twice per
+//! slot; scans use the slowly changing CLKN₁₆₋₁₂; connections mix clock
+//! bits into the control words so the whole 79-channel band is used.
+//!
+//! The butterfly wiring follows the structure of the spec figure; absolute
+//! channel numbers may differ from conformance vectors (unavailable
+//! offline), which leaves every statistical property — bijectivity in X,
+//! train structure, band coverage — intact. See DESIGN.md §1.
+
+use std::fmt;
+
+use crate::clock::ClkVal;
+
+/// Number of RF channels selected over.
+pub const CHANNELS: u8 = 79;
+
+/// Train offset constant for the A train (page/inquiry).
+pub const KOFFSET_A: u8 = 24;
+/// Train offset constant for the B train (page/inquiry).
+pub const KOFFSET_B: u8 = 8;
+
+/// Which hopping sequence to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopSequence {
+    /// Page hopping (pager side), A or B train selected by `kofs`.
+    Page {
+        /// Train offset: [`KOFFSET_A`] or [`KOFFSET_B`].
+        kofs: u8,
+    },
+    /// Page scan (paged device side).
+    PageScan,
+    /// Inquiry hopping (inquirer side), with train offset.
+    Inquiry {
+        /// Train offset: [`KOFFSET_A`] or [`KOFFSET_B`].
+        kofs: u8,
+    },
+    /// Inquiry scan (discoverable device side).
+    InquiryScan,
+    /// Basic connection hopping (piconet in connection state).
+    Connection,
+}
+
+/// The AFH channel map: which of the 79 RF channels a piconet may use
+/// (spec v1.2 introduced adaptive frequency hopping to avoid fixed-band
+/// interferers such as 802.11 networks).
+///
+/// At least [`MIN_AFH_CHANNELS`] channels must stay enabled.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ChannelMap {
+    used: [bool; CHANNELS as usize],
+}
+
+/// Minimum number of used channels the spec allows for AFH (Nmin = 20).
+pub const MIN_AFH_CHANNELS: usize = 20;
+
+impl Default for ChannelMap {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl fmt::Debug for ChannelMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChannelMap[{} used]", self.used_count())
+    }
+}
+
+impl ChannelMap {
+    /// All 79 channels enabled (non-adaptive hopping).
+    pub fn all() -> Self {
+        Self {
+            used: [true; CHANNELS as usize],
+        }
+    }
+
+    /// Builds a map with the channels in `blocked` disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than [`MIN_AFH_CHANNELS`] channels remain.
+    pub fn blocking<I: IntoIterator<Item = u8>>(blocked: I) -> Self {
+        let mut map = Self::all();
+        for ch in blocked {
+            if (ch as usize) < map.used.len() {
+                map.used[ch as usize] = false;
+            }
+        }
+        assert!(
+            map.used_count() >= MIN_AFH_CHANNELS,
+            "AFH needs at least {MIN_AFH_CHANNELS} channels"
+        );
+        map
+    }
+
+    /// Whether `channel` is enabled.
+    pub fn is_used(&self, channel: u8) -> bool {
+        self.used
+            .get(channel as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of enabled channels.
+    pub fn used_count(&self) -> usize {
+        self.used.iter().filter(|&&u| u).count()
+    }
+
+    /// Remaps a selected channel onto the used set (spec §2.6: a hop
+    /// landing on an unused channel is redirected deterministically into
+    /// the used set, uniformly over it).
+    pub fn remap(&self, channel: u8) -> u8 {
+        if self.is_used(channel) {
+            return channel;
+        }
+        let n = self.used_count().max(1);
+        let k = channel as usize % n;
+        self.used
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .nth(k)
+            .map(|(i, _)| i as u8)
+            .unwrap_or(channel)
+    }
+}
+
+/// One butterfly exchange: (control bit index, bit positions swapped).
+const BUTTERFLIES: [(u8, (u8, u8)); 14] = [
+    (13, (1, 2)),
+    (12, (3, 4)),
+    (11, (1, 3)),
+    (10, (2, 4)),
+    (9, (0, 3)),
+    (8, (1, 4)),
+    (7, (0, 2)),
+    (6, (3, 4)),
+    (5, (1, 3)),
+    (4, (0, 4)),
+    (3, (1, 2)),
+    (2, (0, 3)),
+    (1, (0, 1)),
+    (0, (2, 4)),
+];
+
+/// Applies the PERM5 butterfly network to the 5-bit value `z` under the
+/// 14-bit control word `p`.
+fn perm5(z: u8, p: u16) -> u8 {
+    let mut z = z & 0x1F;
+    for (ctl, (i, j)) in BUTTERFLIES {
+        if (p >> ctl) & 1 == 1 {
+            let bi = (z >> i) & 1;
+            let bj = (z >> j) & 1;
+            if bi != bj {
+                z ^= (1 << i) | (1 << j);
+            }
+        }
+    }
+    z
+}
+
+/// The X input of the train sequences (page/inquiry):
+/// `(CLK₁₆₋₁₂ + kofs + (CLK₄₋₂,₀ − CLK₁₆₋₁₂) mod 16) mod 32`.
+fn train_x(clk: ClkVal, kofs: u8) -> u8 {
+    let base = clk.bits(16, 12);
+    let fast = (clk.bits(4, 2) << 1) | clk.bits(0, 0);
+    let wander = (fast.wrapping_sub(base)) & 0x0F;
+    ((base + kofs as u32 + wander) & 0x1F) as u8
+}
+
+/// Selects the RF channel (0..79) for the given sequence, clock value and
+/// 28-bit address input (see [`crate::BdAddr::hop_input`]).
+///
+/// For page sequences `clk` is the pager's estimate CLKE of the paged
+/// device's clock; for scans and inquiry it is the device's own CLKN; for
+/// connections it is the piconet clock CLK.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_baseband::{hop, BdAddr, ClkVal};
+///
+/// let addr = BdAddr::new(0, 0x47, 0x2A96EF);
+/// let ch = hop::hop_channel(
+///     hop::HopSequence::Connection,
+///     ClkVal::new(0x123456),
+///     addr.hop_input(),
+/// );
+/// assert!(ch < hop::CHANNELS);
+/// ```
+pub fn hop_channel(seq: HopSequence, clk: ClkVal, addr28: u32) -> u8 {
+    let a_bits = |hi: u32, lo: u32| (addr28 >> lo) & ((1 << (hi - lo + 1)) - 1);
+    // Address-derived control words (page/inquiry/scan defaults).
+    let mut a = a_bits(27, 23);
+    let b = a_bits(22, 19);
+    let mut c = {
+        // a8, a6, a4, a2, a0 packed as C4..C0.
+        let mut v = 0u32;
+        for (k, bit) in [8u32, 6, 4, 2, 0].iter().enumerate() {
+            v |= ((addr28 >> bit) & 1) << (4 - k);
+        }
+        v
+    };
+    let mut d = a_bits(18, 10);
+    let e = {
+        // a13, a11, a9, a7, a5, a3, a1 packed as E6..E0.
+        let mut v = 0u32;
+        for (k, bit) in [13u32, 11, 9, 7, 5, 3, 1].iter().enumerate() {
+            v |= ((addr28 >> bit) & 1) << (6 - k);
+        }
+        v
+    };
+    let mut f = 0u32;
+
+    let (x, y1) = match seq {
+        // Y1 = 0 for the train sequences: the Y1 = 1 receive variant of
+        // the spec selects the dedicated response frequencies, which this
+        // model replaces by reusing the triggering packet's channel
+        // (DESIGN.md §1), so only the transmit variant is ever computed.
+        HopSequence::Page { kofs } | HopSequence::Inquiry { kofs } => (train_x(clk, kofs), 0),
+        HopSequence::PageScan | HopSequence::InquiryScan => (clk.bits(16, 12) as u8, 0),
+        HopSequence::Connection => {
+            a ^= clk.bits(25, 21);
+            c ^= clk.bits(20, 16);
+            d ^= clk.bits(15, 7);
+            f = (16 * clk.bits(27, 7)) % CHANNELS as u32;
+            (clk.bits(6, 2) as u8, clk.bits(1, 1) as u8)
+        }
+    };
+    let y2 = 32 * y1 as u32;
+
+    let z1 = (x as u32 + a) & 0x1F;
+    let z2 = z1 ^ b;
+    // Control word: P0-4 = C ⊕ Y1 (bitwise), P5-13 = D.
+    let c_y = if y1 == 1 { c ^ 0x1F } else { c };
+    let p = (c_y as u16) | ((d as u16) << 5);
+    let permuted = perm5(z2 as u8, p);
+    let k = (permuted as u32 + e + f + y2) % CHANNELS as u32;
+    // Interlaced bank: even channels ascending, then odd channels.
+    if k < 40 {
+        (2 * k) as u8
+    } else {
+        (2 * (k - 40) + 1) as u8
+    }
+}
+
+/// Connection-state hop with AFH remapping applied.
+pub fn hop_channel_afh(clk: ClkVal, addr28: u32, map: &ChannelMap) -> u8 {
+    map.remap(hop_channel(HopSequence::Connection, clk, addr28))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::BdAddr;
+
+    const GIAC28: u32 = 0x9E8B33; // GIAC with DCI UAP nibble 0.
+
+    #[test]
+    fn perm5_is_bijective_for_every_control_word() {
+        // Exhaustive over a sample of control words; full 2^14 is cheap too.
+        for p in 0..(1u16 << 14) {
+            let mut seen = [false; 32];
+            for z in 0..32u8 {
+                let out = perm5(z, p);
+                assert!(out < 32);
+                assert!(!seen[out as usize], "collision p={p:#06x} z={z}");
+                seen[out as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn channel_always_in_band() {
+        let addr = BdAddr::new(0, 0x5A, 0x7C3F19).hop_input();
+        for t in 0..50_000u32 {
+            let ch = hop_channel(HopSequence::Connection, ClkVal::new(t * 3 + 1), addr);
+            assert!(ch < CHANNELS);
+        }
+    }
+
+    #[test]
+    fn x_sweep_is_injective_within_sequence() {
+        // For fixed control inputs, the 32 X positions map to 32 distinct
+        // channels (PERM5 bijective + constant offset mod 79).
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..32u32 {
+            // Sweep CLKN16-12 through all values with other bits fixed.
+            let clk = ClkVal::new(x << 12);
+            let ch = hop_channel(HopSequence::InquiryScan, clk, GIAC28);
+            seen.insert(ch);
+        }
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn train_covers_16_distinct_channels() {
+        // Over one train period (16 slots = 32 ticks), the inquiry train
+        // visits 16 distinct X values => 16 distinct channels.
+        let mut seen = std::collections::HashSet::new();
+        for tick in 0..32u32 {
+            if ClkVal::new(tick).bit(1) {
+                continue; // TX halves only
+            }
+            let ch = hop_channel(HopSequence::Inquiry { kofs: KOFFSET_A }, ClkVal::new(tick), GIAC28);
+            seen.insert(ch);
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn a_and_b_trains_partition_the_32_window() {
+        let chans = |kofs| {
+            let mut s = std::collections::HashSet::new();
+            for tick in 0..32u32 {
+                if !ClkVal::new(tick).bit(1) {
+                    s.insert(hop_channel(HopSequence::Inquiry { kofs }, ClkVal::new(tick), GIAC28));
+                }
+            }
+            s
+        };
+        let a = chans(KOFFSET_A);
+        let b = chans(KOFFSET_B);
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 16);
+        assert!(a.is_disjoint(&b), "A and B trains must not overlap");
+    }
+
+    #[test]
+    fn scan_channel_changes_every_2048_slots() {
+        // CLKN16-12 is constant within a 1.28 s epoch.
+        let c1 = hop_channel(HopSequence::InquiryScan, ClkVal::new(100), GIAC28);
+        let c2 = hop_channel(HopSequence::InquiryScan, ClkVal::new(4000), GIAC28);
+        assert_eq!(c1, c2);
+        let c3 = hop_channel(HopSequence::InquiryScan, ClkVal::new(100 + (1 << 12)), GIAC28);
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn rx_slot_mirrors_tx_slot_in_trains() {
+        // The X input repeats across a TX/RX slot pair: the listening
+        // frequency of the response slot equals the preceding TX frequency
+        // modulo the Y1 offset.
+        for pair in 0..64u32 {
+            let t_tx = ClkVal::new(pair * 4); // CLK1=0, CLK0=0
+            let t_rx = ClkVal::new(pair * 4 + 2); // CLK1=1, CLK0=0
+            assert_eq!(train_x(t_tx, KOFFSET_A), train_x(t_rx, KOFFSET_A));
+            assert_eq!(train_x(ClkVal::new(pair * 4 + 1), KOFFSET_A),
+                       train_x(ClkVal::new(pair * 4 + 3), KOFFSET_A));
+        }
+    }
+
+    #[test]
+    fn connection_covers_most_of_the_band() {
+        let addr = BdAddr::new(0, 0x11, 0x35B7D9).hop_input();
+        let mut seen = std::collections::HashSet::new();
+        for tick in 0..(1u32 << 14) {
+            seen.insert(hop_channel(HopSequence::Connection, ClkVal::new(tick), addr));
+        }
+        assert!(
+            seen.len() >= 70,
+            "connection hopping should span the band, got {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn connection_distribution_is_roughly_uniform() {
+        let addr = BdAddr::new(0, 0x23, 0x114477).hop_input();
+        let mut counts = [0u32; CHANNELS as usize];
+        let n = 79 * 400u32;
+        for tick in 0..n {
+            counts[hop_channel(HopSequence::Connection, ClkVal::new(tick), addr) as usize] += 1;
+        }
+        let mean = n as f64 / CHANNELS as f64;
+        for (ch, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) < mean * 3.0,
+                "channel {ch} over-represented: {c} (mean {mean})"
+            );
+        }
+    }
+
+    #[test]
+    fn different_addresses_hop_differently() {
+        let a1 = BdAddr::new(0, 0x01, 0x111111).hop_input();
+        let a2 = BdAddr::new(0, 0x02, 0x222222).hop_input();
+        let same = (0..1000u32)
+            .filter(|&t| {
+                hop_channel(HopSequence::Connection, ClkVal::new(t), a1)
+                    == hop_channel(HopSequence::Connection, ClkVal::new(t), a2)
+            })
+            .count();
+        assert!(same < 100, "sequences should rarely coincide: {same}/1000");
+    }
+
+    #[test]
+    fn channel_map_blocking_and_remap() {
+        let map = ChannelMap::blocking(29..=50);
+        assert_eq!(map.used_count(), 79 - 22);
+        assert!(!map.is_used(29));
+        assert!(!map.is_used(50));
+        assert!(map.is_used(28));
+        // Remapped channels always land in the used set.
+        for ch in 0..CHANNELS {
+            assert!(map.is_used(map.remap(ch)), "remap({ch})");
+        }
+        // Used channels are untouched.
+        assert_eq!(map.remap(10), 10);
+    }
+
+    #[test]
+    fn afh_remap_is_roughly_uniform_over_used_channels() {
+        let map = ChannelMap::blocking(29..=50);
+        let addr = BdAddr::new(0, 0x31, 0x4D2E77).hop_input();
+        let mut counts = [0u32; CHANNELS as usize];
+        let n = 20_000u32;
+        for t in 0..n {
+            let ch = hop_channel_afh(ClkVal::new(t), addr, &map);
+            assert!(map.is_used(ch));
+            counts[ch as usize] += 1;
+        }
+        let mean = n as f64 / map.used_count() as f64;
+        for (ch, &c) in counts.iter().enumerate() {
+            if map.is_used(ch as u8) {
+                assert!((c as f64) < mean * 4.0, "channel {ch} over-represented: {c}");
+            } else {
+                assert_eq!(c, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "AFH needs at least")]
+    fn channel_map_rejects_too_few_channels() {
+        ChannelMap::blocking(0..70);
+    }
+
+    #[test]
+    fn page_estimate_mid_train_rendezvous() {
+        // With an exact clock estimate, the A-train (kofs=24) covers the
+        // scanned X position mid-train: there exists a tick within one
+        // train period where the pager transmits on the scanner's channel.
+        let addr = BdAddr::new(0, 0x0C, 0x5A5A5A).hop_input();
+        for epoch in [0u32, 1, 5, 17] {
+            let scan_clk = ClkVal::new(epoch << 12);
+            let scan_ch = hop_channel(HopSequence::PageScan, scan_clk, addr);
+            let hit = (0..32u32).any(|tick| {
+                let clk = ClkVal::new((epoch << 12) | tick);
+                !clk.bit(1)
+                    && hop_channel(HopSequence::Page { kofs: KOFFSET_A }, clk, addr) == scan_ch
+            });
+            assert!(hit, "epoch {epoch}: A-train must cover the scan channel");
+        }
+    }
+}

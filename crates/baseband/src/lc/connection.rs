@@ -1,0 +1,1189 @@
+//! CONNECTION state: master polling, slave listening, ARQ and the
+//! low-power modes (paper §3.2).
+//!
+//! The master owns the piconet timing: it addresses one slave per even
+//! slot (data from the slave's queue, or POLL when the polling interval
+//! expires) and listens for the response in the following slot. A slave
+//! in **active** mode opens a short carrier-detect window at every master
+//! slot start — the constant RF floor the paper measures at 2.6%. In
+//! **sniff** mode it wakes only at sniff anchors; in **hold** it is
+//! silent for the hold duration and resynchronises at the end; in
+//! **park** it gives up its LT_ADDR and listens only to beacons.
+
+use btsim_kernel::{SimDuration, SimTime};
+
+use crate::address::BdAddr;
+use crate::buffer::TxBuffer;
+use crate::clock::ClkVal;
+use crate::hop::{self, ChannelMap, HopSequence};
+use crate::packet::{self, Header, LinkKeys, Llid, PacketType, Payload};
+
+use super::{LcAction, LcEvent, LifePhase, LinkController};
+
+/// Sub-mode of a connected link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkMode {
+    /// Listening at every master slot.
+    Active,
+    /// Periodic listening at sniff anchors.
+    Sniff,
+    /// Link suspended for a fixed duration.
+    Hold,
+    /// Parked: beacon listening only.
+    Park,
+}
+
+/// SCO link parameters (LMP_SCO_link_req contents, simplified).
+///
+/// SCO slots are reserved: every `t_sco` slots the master sends an HV
+/// packet to the slave and the slave answers with its own HV packet in
+/// the following slot. HV packets carry no CRC and are never
+/// retransmitted — late voice is worthless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoParams {
+    /// Interval between reserved slot pairs (2, 4 or 6 slots for
+    /// HV1/HV2/HV3).
+    pub t_sco: u32,
+    /// Anchor offset (piconet clock slots; forced even).
+    pub d_sco: u32,
+    /// Voice packet type: HV1, HV2 or HV3.
+    pub ptype: PacketType,
+}
+
+impl ScoParams {
+    /// The spec pairing of packet type and interval: HV1 every 2 slots,
+    /// HV2 every 4, HV3 every 6 — each carries 1.25 ms of 64 kbit/s
+    /// voice, so the stream exactly fills the link.
+    pub fn for_type(ptype: PacketType, d_sco: u32) -> ScoParams {
+        let t_sco = match ptype {
+            PacketType::Hv1 => 2,
+            PacketType::Hv2 => 4,
+            _ => 6,
+        };
+        ScoParams {
+            t_sco,
+            d_sco: d_sco & !1,
+            ptype,
+        }
+    }
+}
+
+/// Connection-state channel with optional AFH remapping.
+fn conn_channel(clk: ClkVal, addr28: u32, afh: Option<&ChannelMap>) -> u8 {
+    let ch = hop::hop_channel(HopSequence::Connection, clk, addr28);
+    match afh {
+        Some(map) => map.remap(ch),
+        None => ch,
+    }
+}
+
+/// Whether piconet slot `slot` is the master half of a reserved SCO pair.
+pub(crate) fn sco_at_anchor(slot: u32, p: &ScoParams) -> bool {
+    p.t_sco != 0 && (slot.wrapping_sub(p.d_sco)).is_multiple_of(p.t_sco)
+}
+
+/// Sniff mode parameters (LMP_sniff_req contents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SniffParams {
+    /// Interval between sniff anchors, in slots.
+    pub t_sniff: u32,
+    /// Master slots the slave listens per anchor.
+    pub n_attempt: u32,
+    /// Anchor offset in slots (piconet clock).
+    pub d_sniff: u32,
+    /// Extension after traffic, in master slots.
+    pub n_timeout: u32,
+}
+
+impl Default for SniffParams {
+    fn default() -> Self {
+        Self {
+            t_sniff: 100,
+            n_attempt: 1,
+            d_sniff: 0,
+            n_timeout: 0,
+        }
+    }
+}
+
+/// Per-link ARQ + queue state, shared by both roles.
+#[derive(Debug, Default)]
+pub(crate) struct LinkState {
+    pub tx: TxBuffer,
+    pub in_flight: Option<(Llid, Vec<u8>)>,
+    pub seqn_out: bool,
+    pub last_seqn_in: Option<bool>,
+    pub arqn_to_send: bool,
+}
+
+impl LinkState {
+    pub(crate) fn new() -> Self {
+        Self {
+            seqn_out: true,
+            ..Self::default()
+        }
+    }
+
+    /// True when a data packet could be sent (new or retransmission).
+    pub(crate) fn has_data(&self) -> bool {
+        self.in_flight.is_some() || !self.tx.is_empty()
+    }
+
+    /// Fragment to transmit now: the unacknowledged one, or a fresh pop.
+    pub(crate) fn next_outgoing(&mut self, max_bytes: usize) -> Option<(Llid, Vec<u8>)> {
+        if self.in_flight.is_none() {
+            self.in_flight = self.tx.pop_fragment(max_bytes);
+        }
+        self.in_flight.clone()
+    }
+
+    /// Processes a received ARQN bit; returns true when it acknowledges
+    /// the packet in flight.
+    pub(crate) fn on_arqn(&mut self, arqn: bool) -> bool {
+        if arqn && self.in_flight.is_some() {
+            self.in_flight = None;
+            self.seqn_out = !self.seqn_out;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Processes the SEQN of a received CRC packet; returns true when the
+    /// payload is new (not a retransmission). Always arms the ACK.
+    pub(crate) fn on_rx_crc_packet(&mut self, seqn: bool) -> bool {
+        self.arqn_to_send = true;
+        if self.last_seqn_in == Some(seqn) {
+            false
+        } else {
+            self.last_seqn_in = Some(seqn);
+            true
+        }
+    }
+}
+
+/// Master-side record of one slave.
+#[derive(Debug)]
+pub(crate) struct SlaveSlot {
+    pub lt_addr: u8,
+    pub addr: BdAddr,
+    pub mode: LinkMode,
+    pub sco: Option<ScoParams>,
+    pub sco_out: std::collections::VecDeque<u8>,
+    pub sniff: Option<SniffParams>,
+    pub sniff_ext_until_slot: Option<u64>,
+    pub hold_until_slot: Option<u64>,
+    pub park_beacon_interval: u32,
+    pub parked_lt: u8,
+    pub last_poll_slot: u64,
+    /// Poll at the next opportunity (new connection / after hold).
+    pub poll_asap: bool,
+    pub newconn_deadline_slot: Option<u64>,
+    pub link: LinkState,
+}
+
+/// Master context: the paper's `PICONET` module.
+#[derive(Debug, Default)]
+pub(crate) struct MasterCtx {
+    pub slaves: Vec<SlaveSlot>,
+    pub busy_until: SimTime,
+    /// Awaiting a response from (lt_addr) until the given time.
+    pub awaiting: Option<(u8, SimTime)>,
+}
+
+impl MasterCtx {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn slot_mut(&mut self, lt_addr: u8) -> Option<&mut SlaveSlot> {
+        self.slaves.iter_mut().find(|s| s.lt_addr == lt_addr)
+    }
+}
+
+/// Slave context of a connected device.
+#[derive(Debug)]
+pub(crate) struct SlaveCtx {
+    pub master: BdAddr,
+    pub lt_addr: u8,
+    pub clk_offset: u32,
+    pub mode: LinkMode,
+    pub sco: Option<ScoParams>,
+    pub sco_out: std::collections::VecDeque<u8>,
+    pub sniff: Option<SniffParams>,
+    pub sniff_ext_until_slot: Option<u64>,
+    pub hold_until_slot: Option<u64>,
+    pub park_beacon_interval: u32,
+    pub parked_lt: u8,
+    pub newconn_deadline_slot: Option<u64>,
+    /// Resynchronising after hold: listen whole master slots.
+    pub resync: bool,
+    pub link: LinkState,
+    /// Listen whole slots (new connection) instead of peeks.
+    pub listening_full_slot: bool,
+    pub busy_until: SimTime,
+}
+
+/// Whether piconet slot `slot` falls inside the sniff window.
+pub(crate) fn sniff_in_window(slot: u32, p: &SniffParams) -> bool {
+    if p.t_sniff == 0 {
+        return true;
+    }
+    let pos = (slot.wrapping_sub(p.d_sniff)) % p.t_sniff;
+    pos < 2 * p.n_attempt
+}
+
+/// Whether `slot` is the anchor (first master slot) of a sniff window.
+pub(crate) fn sniff_at_anchor(slot: u32, p: &SniffParams) -> bool {
+    p.t_sniff != 0 && (slot.wrapping_sub(p.d_sniff)).is_multiple_of(p.t_sniff)
+}
+
+/// Picks a data packet type of the same family that fits `len` bytes.
+fn fit_type(prefer: PacketType, len: usize) -> PacketType {
+    if len <= prefer.max_user_bytes() {
+        return prefer;
+    }
+    let fec = prefer.fec23();
+    let ladder: &[PacketType] = if fec {
+        &[PacketType::Dm1, PacketType::Dm3, PacketType::Dm5]
+    } else {
+        &[PacketType::Dh1, PacketType::Dh3, PacketType::Dh5]
+    };
+    *ladder
+        .iter()
+        .find(|t| len <= t.max_user_bytes())
+        .unwrap_or(ladder.last().expect("ladder is non-empty"))
+}
+
+impl LinkController {
+    /// Life phase implied by the current connection mode.
+    pub(crate) fn connection_phase(&self) -> LifePhase {
+        if let Some(s) = &self.slave {
+            match s.mode {
+                LinkMode::Active => LifePhase::Active,
+                LinkMode::Sniff => LifePhase::Sniff,
+                LinkMode::Hold => LifePhase::Hold,
+                LinkMode::Park => LifePhase::Park,
+            }
+        } else {
+            LifePhase::Active
+        }
+    }
+
+    pub(crate) fn tick_connection(&mut self, now: SimTime, out: &mut Vec<LcAction>) {
+        self.master_tick(now, out);
+        self.slave_tick(now, out);
+    }
+
+    pub(crate) fn rx_connection(&mut self, rx: &super::RxDelivery, now: SimTime, out: &mut Vec<LcAction>) {
+        if self.master.is_some() {
+            self.master_rx(rx, now, out);
+        }
+        if self.slave.is_some() {
+            self.slave_rx(rx, now, out);
+        }
+    }
+
+    // ----- master side ----------------------------------------------------
+
+    fn master_tick(&mut self, now: SimTime, out: &mut Vec<LcAction>) {
+        let clk = self.clkn(now); // master: CLK == CLKN
+        let own = self.addr;
+        let acl_prefer = self.acl_type;
+        let t_poll = self.t_poll as u64;
+        let peek = self.peek_duration();
+        let sync_threshold = self.cfg.sync_threshold;
+        let fhs_fec = self.cfg.page_fhs_fec;
+        let afh = self.afh.clone();
+        let now_slot = now.slots();
+
+        let Some(m) = &mut self.master else { return };
+        // Expire a response window that produced nothing.
+        if let Some((_, until)) = m.awaiting {
+            if now >= until {
+                m.awaiting = None;
+            }
+        }
+        if !clk.is_slot_start() || !clk.is_master_tx_slot() {
+            return;
+        }
+        if now < m.busy_until || m.awaiting.is_some() {
+            return;
+        }
+        // Drop slaves that never completed the first exchange.
+        let mut dropped = Vec::new();
+        m.slaves.retain(|s| {
+            let expired = s
+                .newconn_deadline_slot
+                .is_some_and(|d| now_slot >= d);
+            if expired {
+                dropped.push(s.lt_addr);
+            }
+            !expired
+        });
+        for lt in dropped {
+            out.push(LcAction::Event(LcEvent::Detached { lt_addr: lt }));
+        }
+
+        let clk_slot = clk.slot();
+        // Reserved SCO slots take absolute priority.
+        if let Some(idx) = m
+            .slaves
+            .iter()
+            .position(|s| s.mode != LinkMode::Park && s.sco.as_ref().is_some_and(|p| sco_at_anchor(clk_slot, p)))
+        {
+            let keys = LinkKeys {
+                lap: own.lap(),
+                uap: own.uap(),
+                whiten: clk.whitening_seed(),
+                sync_threshold,
+                fhs_fec,
+            };
+            let ch = conn_channel(clk, own.hop_input(), afh.as_ref());
+            let slave = &mut m.slaves[idx];
+            let params = slave.sco.expect("checked above");
+            let frame = take_voice(&mut slave.sco_out, params.ptype.max_user_bytes());
+            let header = Header {
+                lt_addr: slave.lt_addr,
+                ptype: params.ptype,
+                flow: true,
+                arqn: slave.link.arqn_to_send,
+                seqn: slave.link.seqn_out,
+            };
+            let bits = packet::encode(&keys, &header, &Payload::Sco(frame));
+            let resp_at = now + SimDuration::SLOT;
+            m.busy_until = resp_at + SimDuration::SLOT;
+            m.awaiting = Some((m.slaves[idx].lt_addr, resp_at + SimDuration::SLOT));
+            out.push(LcAction::Tx {
+                at: now,
+                rf_channel: ch,
+                bits,
+            });
+            let resp_clk = clk.offset_by(2);
+            let resp_ch = conn_channel(resp_clk, own.hop_input(), afh.as_ref());
+            out.push(LcAction::RxWindow {
+                from: resp_at,
+                until: Some(resp_at + peek),
+                rf_channel: resp_ch,
+            });
+            return;
+        }
+        let reachable = |s: &SlaveSlot| match s.mode {
+            LinkMode::Active => true,
+            LinkMode::Sniff => {
+                s.sniff.as_ref().is_some_and(|p| sniff_in_window(clk_slot, p))
+                    || s.sniff_ext_until_slot.is_some_and(|e| now_slot < e)
+            }
+            LinkMode::Hold => s.hold_until_slot.is_some_and(|h| now_slot >= h),
+            LinkMode::Park => false,
+        };
+        // Selection priority: post-hold/new-connection polls, pending
+        // data, then ordinary T_poll maintenance.
+        let pick = m
+            .slaves
+            .iter()
+            .position(|s| reachable(s) && (s.poll_asap || s.mode == LinkMode::Hold))
+            .or_else(|| m.slaves.iter().position(|s| reachable(s) && s.link.has_data()))
+            .or_else(|| {
+                m.slaves.iter().position(|s| {
+                    reachable(s) && now_slot.saturating_sub(s.last_poll_slot) >= t_poll
+                })
+            });
+        // Park beacon: broadcast NULL at beacon anchors when no unicast
+        // traffic is scheduled this slot.
+        let beacon_due = m.slaves.iter().any(|s| {
+            s.mode == LinkMode::Park
+                && s.park_beacon_interval > 0
+                && (clk_slot as u64).is_multiple_of(s.park_beacon_interval as u64)
+        });
+        let keys = LinkKeys {
+            lap: own.lap(),
+            uap: own.uap(),
+            whiten: clk.whitening_seed(),
+            sync_threshold,
+            fhs_fec,
+        };
+        let ch = conn_channel(clk, own.hop_input(), afh.as_ref());
+        let Some(idx) = pick else {
+            if beacon_due {
+                let header = Header {
+                    lt_addr: 0,
+                    ptype: PacketType::Null,
+                    flow: true,
+                    arqn: false,
+                    seqn: false,
+                };
+                let bits = packet::encode(&keys, &header, &Payload::None);
+                m.busy_until = now + SimDuration::SLOT;
+                out.push(LcAction::Tx {
+                    at: now,
+                    rf_channel: ch,
+                    bits,
+                });
+            }
+            return;
+        };
+        let slave = &mut m.slaves[idx];
+        let (header, payload) = match slave.link.next_outgoing(acl_prefer.max_user_bytes()) {
+            Some((llid, data)) if !slave.poll_asap => {
+                let ptype = if llid == Llid::Lmp {
+                    fit_type(PacketType::Dm1, data.len())
+                } else {
+                    fit_type(acl_prefer, data.len())
+                };
+                (
+                    Header {
+                        lt_addr: slave.lt_addr,
+                        ptype,
+                        flow: true,
+                        arqn: slave.link.arqn_to_send,
+                        seqn: slave.link.seqn_out,
+                    },
+                    Payload::Acl {
+                        llid,
+                        flow: true,
+                        data,
+                    },
+                )
+            }
+            _ => (
+                Header {
+                    lt_addr: slave.lt_addr,
+                    ptype: PacketType::Poll,
+                    flow: true,
+                    arqn: slave.link.arqn_to_send,
+                    seqn: slave.link.seqn_out,
+                },
+                Payload::None,
+            ),
+        };
+        let n_slots = header.ptype.slots() as u64;
+        slave.last_poll_slot = now_slot;
+        if let Some(p) = &slave.sniff {
+            if slave.mode == LinkMode::Sniff && p.n_timeout > 0 {
+                slave.sniff_ext_until_slot = Some(now_slot + n_slots + 2 * p.n_timeout as u64);
+            }
+        }
+        let lt = slave.lt_addr;
+        let bits = packet::encode(&keys, &header, &payload);
+        let resp_at = now + SimDuration::from_slots(n_slots);
+        m.busy_until = resp_at + SimDuration::SLOT;
+        m.awaiting = Some((lt, resp_at + SimDuration::SLOT));
+        out.push(LcAction::Tx {
+            at: now,
+            rf_channel: ch,
+            bits,
+        });
+        // Listen for the response at the following slave-to-master slot.
+        let resp_clk = clk.offset_by(2 * n_slots as u32);
+        let resp_ch = conn_channel(resp_clk, own.hop_input(), afh.as_ref());
+        out.push(LcAction::RxWindow {
+            from: resp_at,
+            until: Some(resp_at + peek),
+            rf_channel: resp_ch,
+        });
+    }
+
+    fn master_rx(&mut self, rx: &super::RxDelivery, now: SimTime, out: &mut Vec<LcAction>) {
+        let own = self.addr;
+        let clk_at_start = self.clkn(rx.start);
+        let sync_threshold = self.cfg.sync_threshold;
+        let fhs_fec = self.cfg.page_fhs_fec;
+        let keys = LinkKeys {
+            lap: own.lap(),
+            uap: own.uap(),
+            whiten: clk_at_start.whitening_seed(),
+            sync_threshold,
+            fhs_fec,
+        };
+        let Ok(packet::Decoded::Packet { header, payload }) =
+            packet::decode(&rx.bits, rx.collision_mask.as_ref(), &keys)
+        else {
+            return;
+        };
+        let Some(m) = &mut self.master else { return };
+        let Some(slave) = m.slot_mut(header.lt_addr) else {
+            return;
+        };
+        let lt = slave.lt_addr;
+        let mut events = Vec::new();
+        if slave.link.on_arqn(header.arqn) {
+            events.push(LcEvent::AclDelivered { lt_addr: lt });
+        }
+        if header.ptype.has_crc() {
+            if let Payload::Acl { llid, data, .. } = &payload {
+                if slave.link.on_rx_crc_packet(header.seqn) {
+                    events.push(LcEvent::AclReceived {
+                        lt_addr: lt,
+                        llid: *llid,
+                        data: data.clone(),
+                    });
+                }
+            }
+        }
+        if let Payload::Sco(data) = &payload {
+            events.push(LcEvent::ScoReceived {
+                lt_addr: lt,
+                data: data.clone(),
+            });
+        }
+        slave.poll_asap = false;
+        slave.newconn_deadline_slot = None;
+        let mode_event = if slave.mode == LinkMode::Hold
+            && slave.hold_until_slot.is_some_and(|h| now.slots() >= h)
+        {
+            slave.mode = LinkMode::Active;
+            slave.hold_until_slot = None;
+            Some(LcEvent::ModeChanged {
+                lt_addr: lt,
+                mode: LinkMode::Active,
+            })
+        } else {
+            None
+        };
+        m.awaiting = None;
+        for e in events {
+            out.push(LcAction::Event(e));
+        }
+        if let Some(e) = mode_event {
+            out.push(LcAction::Event(e));
+        }
+    }
+
+    // ----- slave side -----------------------------------------------------
+
+    fn slave_tick(&mut self, now: SimTime, out: &mut Vec<LcAction>) {
+        let clkn = self.clkn(now);
+        let peek = self.peek_duration();
+        let sniff_listen_us = self.cfg.sniff_listen_us;
+        let sniff_drift_ppm = self.cfg.sniff_drift_ppm;
+        let guard = self.cfg.resync_guard_slots as u64;
+        let afh = self.afh.clone();
+        let now_slot = now.slots();
+
+        enum Todo {
+            Nothing,
+            RevertToPageScan,
+            Window {
+                until: SimTime,
+                clk: ClkVal,
+                master: BdAddr,
+            },
+        }
+        let todo = {
+            let Some(s) = &mut self.slave else { return };
+            let clk = clkn.offset_by(s.clk_offset);
+            if s.newconn_deadline_slot.is_some_and(|d| now_slot >= d) {
+                Todo::RevertToPageScan
+            } else if now < s.busy_until || !clk.is_slot_start() || !clk.is_master_tx_slot() {
+                Todo::Nothing
+            } else {
+                let clk_slot = clk.slot();
+                if s.mode != LinkMode::Park
+                    && s.sco.as_ref().is_some_and(|p| sco_at_anchor(clk_slot, p))
+                {
+                    // Reserved SCO slot: wake whatever the ACL mode says.
+                    Todo::Window {
+                        until: now + peek,
+                        clk,
+                        master: s.master,
+                    }
+                } else {
+                match s.mode {
+                    LinkMode::Active => {
+                        let until = if s.listening_full_slot || s.resync {
+                            now + SimDuration::SLOT
+                        } else {
+                            now + peek
+                        };
+                        Todo::Window {
+                            until,
+                            clk,
+                            master: s.master,
+                        }
+                    }
+                    LinkMode::Sniff => {
+                        let in_ext = s.sniff_ext_until_slot.is_some_and(|e| now_slot < e);
+                        match &s.sniff {
+                            Some(p) if sniff_at_anchor(clk_slot, p) => {
+                                // Anchor: listen for the uncertainty window
+                                // (fixed part + drift-proportional part).
+                                let listen_us = sniff_listen_us
+                                    + sniff_drift_ppm * p.t_sniff as u64 * 625 / 1_000_000;
+                                Todo::Window {
+                                    until: now + SimDuration::from_us(listen_us),
+                                    clk,
+                                    master: s.master,
+                                }
+                            }
+                            Some(p)
+                                if in_ext
+                                    || (p.n_attempt > 1 && sniff_in_window(clk_slot, p)) =>
+                            {
+                                Todo::Window {
+                                    until: now + peek,
+                                    clk,
+                                    master: s.master,
+                                }
+                            }
+                            _ => Todo::Nothing,
+                        }
+                    }
+                    LinkMode::Hold => {
+                        let h = s.hold_until_slot.unwrap_or(0);
+                        if now_slot + guard >= h {
+                            // Wake early and listen whole master slots to
+                            // resynchronise.
+                            s.resync = true;
+                            Todo::Window {
+                                until: now + SimDuration::SLOT,
+                                clk,
+                                master: s.master,
+                            }
+                        } else {
+                            Todo::Nothing
+                        }
+                    }
+                    LinkMode::Park => {
+                        let b = s.park_beacon_interval.max(1);
+                        if clk_slot.is_multiple_of(b) {
+                            Todo::Window {
+                                until: now + peek,
+                                clk,
+                                master: s.master,
+                            }
+                        } else {
+                            Todo::Nothing
+                        }
+                    }
+                }
+                }
+            }
+        };
+        match todo {
+            Todo::Nothing => {}
+            Todo::RevertToPageScan => {
+                self.slave = None;
+                out.push(LcAction::RxOff);
+                self.start_page_scan(now, out);
+            }
+            Todo::Window { until, clk, master } => {
+                let ch = conn_channel(clk, master.hop_input(), afh.as_ref());
+                out.push(LcAction::RxWindow {
+                    from: now,
+                    until: Some(until),
+                    rf_channel: ch,
+                });
+            }
+        }
+    }
+
+    fn slave_rx(&mut self, rx: &super::RxDelivery, now: SimTime, out: &mut Vec<LcAction>) {
+        let clkn_start = self.clkn(rx.start);
+        let acl_prefer = self.acl_type;
+        let sync_threshold = self.cfg.sync_threshold;
+        let fhs_fec = self.cfg.page_fhs_fec;
+        let afh = self.afh.clone();
+        let now_slot = now.slots();
+
+        let Some(s) = &mut self.slave else { return };
+        let clk_start = clkn_start.offset_by(s.clk_offset);
+        let keys = LinkKeys {
+            lap: s.master.lap(),
+            uap: s.master.uap(),
+            whiten: clk_start.whitening_seed(),
+            sync_threshold,
+            fhs_fec,
+        };
+        let Ok(packet::Decoded::Packet { header, payload }) =
+            packet::decode(&rx.bits, rx.collision_mask.as_ref(), &keys)
+        else {
+            return;
+        };
+        let broadcast = header.lt_addr == 0;
+        if !broadcast && header.lt_addr != s.lt_addr {
+            return; // addressed to another slave
+        }
+        let mut events = Vec::new();
+        let mut phase_change = None;
+        // First packet of a new connection: we are in the piconet.
+        if s.newconn_deadline_slot.take().is_some() {
+            s.listening_full_slot = false;
+            events.push(LcEvent::Connected {
+                master: s.master,
+                lt_addr: s.lt_addr,
+            });
+        }
+        if s.resync || (s.mode == LinkMode::Hold && s.hold_until_slot.is_some()) {
+            s.resync = false;
+            s.hold_until_slot = None;
+            s.mode = LinkMode::Active;
+            events.push(LcEvent::ModeChanged {
+                lt_addr: s.lt_addr,
+                mode: LinkMode::Active,
+            });
+            phase_change = Some(LifePhase::Active);
+        }
+        if !broadcast
+            && s.link.on_arqn(header.arqn) {
+                events.push(LcEvent::AclDelivered { lt_addr: s.lt_addr });
+            }
+        if header.ptype.has_crc() {
+            if let Payload::Acl { llid, data, .. } = &payload {
+                if s.link.on_rx_crc_packet(header.seqn) {
+                    events.push(LcEvent::AclReceived {
+                        lt_addr: s.lt_addr,
+                        llid: *llid,
+                        data: data.clone(),
+                    });
+                }
+            }
+        }
+        // Sniff extension on traffic.
+        if s.mode == LinkMode::Sniff {
+            if let Some(p) = &s.sniff {
+                if p.n_timeout > 0 {
+                    s.sniff_ext_until_slot =
+                        Some(now_slot + header.ptype.slots() as u64 + 2 * p.n_timeout as u64);
+                }
+            }
+        }
+        // A voice packet: deliver it and answer with our own HV frame in
+        // the reserved response slot (no ARQ on SCO).
+        if let Payload::Sco(data) = &payload {
+            events.push(LcEvent::ScoReceived {
+                lt_addr: s.lt_addr,
+                data: data.clone(),
+            });
+            if let Some(params) = s.sco {
+                let resp_at = rx.start + SimDuration::SLOT;
+                let resp_clk = clk_start.offset_by(2);
+                let resp_keys = LinkKeys {
+                    whiten: resp_clk.whitening_seed(),
+                    ..keys
+                };
+                let frame = take_voice(&mut s.sco_out, params.ptype.max_user_bytes());
+                let resp_header = Header {
+                    lt_addr: s.lt_addr,
+                    ptype: params.ptype,
+                    flow: true,
+                    arqn: s.link.arqn_to_send,
+                    seqn: s.link.seqn_out,
+                };
+                let bits = packet::encode(&resp_keys, &resp_header, &Payload::Sco(frame));
+                s.busy_until = resp_at + SimDuration::SLOT;
+                let ch = conn_channel(resp_clk, s.master.hop_input(), afh.as_ref());
+                out.push(LcAction::Tx {
+                    at: resp_at,
+                    rf_channel: ch,
+                    bits,
+                });
+            }
+            for e in events {
+                out.push(LcAction::Event(e));
+            }
+            if let Some(p) = phase_change {
+                self.set_phase(p, out);
+            }
+            return;
+        }
+        // Respond when addressed with POLL or a CRC data packet.
+        let must_respond =
+            !broadcast && (header.ptype == PacketType::Poll || header.ptype.has_crc());
+        if must_respond {
+            let n_slots = header.ptype.slots() as u64;
+            let resp_at = rx.start + SimDuration::from_slots(n_slots);
+            let resp_clk = clk_start.offset_by(2 * n_slots as u32);
+            let resp_keys = LinkKeys {
+                whiten: resp_clk.whitening_seed(),
+                ..keys
+            };
+            let (resp_header, resp_payload) =
+                match s.link.next_outgoing(acl_prefer.max_user_bytes()) {
+                    Some((llid, data)) => {
+                        let ptype = if llid == Llid::Lmp {
+                            fit_type(PacketType::Dm1, data.len())
+                        } else {
+                            fit_type(acl_prefer, data.len())
+                        };
+                        (
+                            Header {
+                                lt_addr: s.lt_addr,
+                                ptype,
+                                flow: true,
+                                arqn: s.link.arqn_to_send,
+                                seqn: s.link.seqn_out,
+                            },
+                            Payload::Acl {
+                                llid,
+                                flow: true,
+                                data,
+                            },
+                        )
+                    }
+                    None => (
+                        Header {
+                            lt_addr: s.lt_addr,
+                            ptype: PacketType::Null,
+                            flow: true,
+                            arqn: s.link.arqn_to_send,
+                            seqn: s.link.seqn_out,
+                        },
+                        Payload::None,
+                    ),
+                };
+            let master = s.master;
+            let bits = packet::encode(&resp_keys, &resp_header, &resp_payload);
+            s.busy_until = resp_at + SimDuration::from_slots(resp_header.ptype.slots() as u64);
+            let ch = conn_channel(resp_clk, master.hop_input(), afh.as_ref());
+            out.push(LcAction::Tx {
+                at: resp_at,
+                rf_channel: ch,
+                bits,
+            });
+        }
+        for e in events {
+            out.push(LcAction::Event(e));
+        }
+        if let Some(p) = phase_change {
+            self.set_phase(p, out);
+        }
+    }
+
+    // ----- mode commands ---------------------------------------------------
+
+    pub(crate) fn cmd_sco_setup(
+        &mut self,
+        lt_addr: u8,
+        params: ScoParams,
+        _now: SimTime,
+        out: &mut Vec<LcAction>,
+    ) {
+        assert!(
+            matches!(
+                params.ptype,
+                PacketType::Hv1 | PacketType::Hv2 | PacketType::Hv3
+            ),
+            "SCO links carry HV packets"
+        );
+        let params = ScoParams {
+            t_sco: params.t_sco.max(2) & !1,
+            d_sco: params.d_sco & !1,
+            ..params
+        };
+        if let Some(m) = &mut self.master {
+            if let Some(slot) = m.slot_mut(lt_addr) {
+                slot.sco = Some(params);
+                return;
+            }
+        }
+        if let Some(s) = &mut self.slave {
+            s.sco = Some(params);
+        }
+        let _ = out;
+    }
+
+    pub(crate) fn cmd_sco_remove(&mut self, lt_addr: u8, _now: SimTime, out: &mut Vec<LcAction>) {
+        if let Some(m) = &mut self.master {
+            if let Some(slot) = m.slot_mut(lt_addr) {
+                slot.sco = None;
+                slot.sco_out.clear();
+                return;
+            }
+        }
+        if let Some(s) = &mut self.slave {
+            s.sco = None;
+            s.sco_out.clear();
+        }
+        let _ = out;
+    }
+
+    pub(crate) fn cmd_sniff(
+        &mut self,
+        lt_addr: u8,
+        params: SniffParams,
+        _now: SimTime,
+        out: &mut Vec<LcAction>,
+    ) {
+        if let Some(m) = &mut self.master {
+            if let Some(slot) = m.slot_mut(lt_addr) {
+                slot.mode = LinkMode::Sniff;
+                slot.sniff = Some(params);
+                slot.sniff_ext_until_slot = None;
+                out.push(LcAction::Event(LcEvent::ModeChanged {
+                    lt_addr,
+                    mode: LinkMode::Sniff,
+                }));
+                return;
+            }
+        }
+        if let Some(s) = &mut self.slave {
+            s.mode = LinkMode::Sniff;
+            s.sniff = Some(params);
+            s.sniff_ext_until_slot = None;
+            let lt = s.lt_addr;
+            out.push(LcAction::RxOff);
+            out.push(LcAction::Event(LcEvent::ModeChanged {
+                lt_addr: lt,
+                mode: LinkMode::Sniff,
+            }));
+            self.set_phase(LifePhase::Sniff, out);
+        }
+    }
+
+    pub(crate) fn cmd_unsniff(&mut self, lt_addr: u8, _now: SimTime, out: &mut Vec<LcAction>) {
+        if let Some(m) = &mut self.master {
+            if let Some(slot) = m.slot_mut(lt_addr) {
+                slot.mode = LinkMode::Active;
+                slot.sniff = None;
+                out.push(LcAction::Event(LcEvent::ModeChanged {
+                    lt_addr,
+                    mode: LinkMode::Active,
+                }));
+                return;
+            }
+        }
+        if let Some(s) = &mut self.slave {
+            s.mode = LinkMode::Active;
+            s.sniff = None;
+            let lt = s.lt_addr;
+            out.push(LcAction::Event(LcEvent::ModeChanged {
+                lt_addr: lt,
+                mode: LinkMode::Active,
+            }));
+            self.set_phase(LifePhase::Active, out);
+        }
+    }
+
+    pub(crate) fn cmd_hold(
+        &mut self,
+        lt_addr: u8,
+        hold_slots: u32,
+        now: SimTime,
+        out: &mut Vec<LcAction>,
+    ) {
+        let until = now.slots() + 1 + hold_slots as u64;
+        if let Some(m) = &mut self.master {
+            if let Some(slot) = m.slot_mut(lt_addr) {
+                slot.mode = LinkMode::Hold;
+                slot.hold_until_slot = Some(until);
+                slot.poll_asap = true;
+                out.push(LcAction::Event(LcEvent::ModeChanged {
+                    lt_addr,
+                    mode: LinkMode::Hold,
+                }));
+                return;
+            }
+        }
+        if let Some(s) = &mut self.slave {
+            s.mode = LinkMode::Hold;
+            s.hold_until_slot = Some(until);
+            s.resync = false;
+            let lt = s.lt_addr;
+            out.push(LcAction::RxOff);
+            out.push(LcAction::Event(LcEvent::ModeChanged {
+                lt_addr: lt,
+                mode: LinkMode::Hold,
+            }));
+            self.set_phase(LifePhase::Hold, out);
+        }
+    }
+
+    pub(crate) fn cmd_park(
+        &mut self,
+        lt_addr: u8,
+        beacon_interval: u32,
+        _now: SimTime,
+        out: &mut Vec<LcAction>,
+    ) {
+        if let Some(m) = &mut self.master {
+            if let Some(slot) = m.slot_mut(lt_addr) {
+                slot.mode = LinkMode::Park;
+                slot.park_beacon_interval = beacon_interval;
+                slot.parked_lt = slot.lt_addr;
+                out.push(LcAction::Event(LcEvent::ModeChanged {
+                    lt_addr,
+                    mode: LinkMode::Park,
+                }));
+                return;
+            }
+        }
+        if let Some(s) = &mut self.slave {
+            s.mode = LinkMode::Park;
+            s.park_beacon_interval = beacon_interval;
+            s.parked_lt = s.lt_addr;
+            let lt = s.lt_addr;
+            out.push(LcAction::RxOff);
+            out.push(LcAction::Event(LcEvent::ModeChanged {
+                lt_addr: lt,
+                mode: LinkMode::Park,
+            }));
+            self.set_phase(LifePhase::Park, out);
+        }
+    }
+
+    pub(crate) fn cmd_unpark(&mut self, lt_addr: u8, _now: SimTime, out: &mut Vec<LcAction>) {
+        if let Some(m) = &mut self.master {
+            if let Some(slot) = m.slot_mut(lt_addr) {
+                slot.mode = LinkMode::Active;
+                slot.poll_asap = true;
+                out.push(LcAction::Event(LcEvent::ModeChanged {
+                    lt_addr,
+                    mode: LinkMode::Active,
+                }));
+                return;
+            }
+        }
+        if let Some(s) = &mut self.slave {
+            s.mode = LinkMode::Active;
+            let lt = s.lt_addr;
+            out.push(LcAction::Event(LcEvent::ModeChanged {
+                lt_addr: lt,
+                mode: LinkMode::Active,
+            }));
+            self.set_phase(LifePhase::Active, out);
+        }
+    }
+
+    pub(crate) fn cmd_detach(&mut self, lt_addr: u8, _now: SimTime, out: &mut Vec<LcAction>) {
+        if let Some(m) = &mut self.master {
+            let before = m.slaves.len();
+            m.slaves.retain(|s| s.lt_addr != lt_addr);
+            if m.slaves.len() != before {
+                out.push(LcAction::Event(LcEvent::Detached { lt_addr }));
+            }
+            if m.slaves.is_empty() {
+                self.master = None;
+            }
+            self.settle_state(out);
+            return;
+        }
+        if self.slave.take().is_some() {
+            out.push(LcAction::RxOff);
+            out.push(LcAction::Event(LcEvent::Detached { lt_addr }));
+            self.settle_state(out);
+        }
+    }
+}
+
+/// Takes one voice frame of `frame_bytes` from the queue, padding with
+/// zeros (silence) when the source runs dry.
+fn take_voice(queue: &mut std::collections::VecDeque<u8>, frame_bytes: usize) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(frame_bytes);
+    for _ in 0..frame_bytes {
+        frame.push(queue.pop_front().unwrap_or(0));
+    }
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_state_arq_cycle() {
+        let mut l = LinkState::new();
+        l.tx.push(Llid::Start, vec![1, 2, 3]);
+        assert!(l.has_data());
+        let first_seqn = l.seqn_out;
+        let (llid, data) = l.next_outgoing(17).unwrap();
+        assert_eq!(llid, Llid::Start);
+        assert_eq!(data, vec![1, 2, 3]);
+        // Unacked: same fragment again (retransmission).
+        assert_eq!(l.next_outgoing(17).unwrap().1, vec![1, 2, 3]);
+        assert_eq!(l.seqn_out, first_seqn);
+        // NAK does not advance.
+        assert!(!l.on_arqn(false));
+        // ACK advances and toggles SEQN.
+        assert!(l.on_arqn(true));
+        assert!(!l.has_data());
+        assert_ne!(l.seqn_out, first_seqn);
+        // ACK with nothing in flight is ignored.
+        assert!(!l.on_arqn(true));
+    }
+
+    #[test]
+    fn link_state_dedupes_by_seqn() {
+        let mut l = LinkState::new();
+        assert!(l.on_rx_crc_packet(true));
+        assert!(l.arqn_to_send);
+        // Retransmission of the same SEQN is a duplicate.
+        assert!(!l.on_rx_crc_packet(true));
+        // New SEQN accepted.
+        assert!(l.on_rx_crc_packet(false));
+        assert!(l.on_rx_crc_packet(true));
+    }
+
+    #[test]
+    fn sniff_window_maths() {
+        let p = SniffParams {
+            t_sniff: 100,
+            n_attempt: 1,
+            d_sniff: 10,
+            n_timeout: 0,
+        };
+        assert!(sniff_at_anchor(10, &p));
+        assert!(sniff_in_window(10, &p));
+        assert!(sniff_in_window(11, &p));
+        assert!(!sniff_in_window(12, &p));
+        assert!(!sniff_in_window(9, &p));
+        assert!(sniff_at_anchor(110, &p));
+        assert!(!sniff_at_anchor(60, &p));
+    }
+
+    #[test]
+    fn sniff_window_with_multiple_attempts() {
+        let p = SniffParams {
+            t_sniff: 50,
+            n_attempt: 3,
+            d_sniff: 0,
+            n_timeout: 0,
+        };
+        for slot in 0..6 {
+            assert!(sniff_in_window(slot, &p), "slot {slot}");
+        }
+        assert!(!sniff_in_window(6, &p));
+    }
+
+    #[test]
+    fn fit_type_picks_smallest_sufficient() {
+        assert_eq!(fit_type(PacketType::Dm1, 10), PacketType::Dm1);
+        assert_eq!(fit_type(PacketType::Dm1, 17), PacketType::Dm1);
+        assert_eq!(fit_type(PacketType::Dm1, 18), PacketType::Dm3);
+        assert_eq!(fit_type(PacketType::Dm1, 200), PacketType::Dm5);
+        assert_eq!(fit_type(PacketType::Dh1, 100), PacketType::Dh3);
+        assert_eq!(fit_type(PacketType::Dh5, 100), PacketType::Dh5);
+    }
+
+    #[test]
+    fn sco_params_for_type_pairs_interval() {
+        assert_eq!(ScoParams::for_type(PacketType::Hv1, 0).t_sco, 2);
+        assert_eq!(ScoParams::for_type(PacketType::Hv2, 0).t_sco, 4);
+        assert_eq!(ScoParams::for_type(PacketType::Hv3, 0).t_sco, 6);
+        // Odd offsets are forced even so anchors land on master slots.
+        assert_eq!(ScoParams::for_type(PacketType::Hv3, 5).d_sco, 4);
+    }
+
+    #[test]
+    fn sco_anchor_maths() {
+        let p = ScoParams::for_type(PacketType::Hv3, 2);
+        assert!(sco_at_anchor(2, &p));
+        assert!(sco_at_anchor(8, &p));
+        assert!(!sco_at_anchor(4, &p));
+        assert!(!sco_at_anchor(3, &p));
+    }
+
+    #[test]
+    fn take_voice_pads_with_silence() {
+        let mut q: std::collections::VecDeque<u8> = vec![1, 2, 3].into();
+        assert_eq!(take_voice(&mut q, 5), vec![1, 2, 3, 0, 0]);
+        assert_eq!(take_voice(&mut q, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn sniff_params_default_sane() {
+        let p = SniffParams::default();
+        assert_eq!(p.t_sniff, 100);
+        assert_eq!(p.n_attempt, 1);
+    }
+}

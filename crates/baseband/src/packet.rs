@@ -1,0 +1,1038 @@
+//! Baseband packet formats: the paper's `TRANSMITTER` (composer) and
+//! `RECEIVER` modules.
+//!
+//! Every packet is built as its exact over-the-air bit image:
+//!
+//! ```text
+//! [access code 68/72] [header 54 = (10 info + 8 HEC) × FEC 1/3] [payload]
+//! ```
+//!
+//! The payload chain is `payload header + data + CRC-16 → whitening →
+//! FEC` with the whitening LFSR running continuously from the packet
+//! header through the payload (spec v1.2 Baseband §6/§7). All ACL and SCO
+//! packet types of the 2005-era standard are implemented: ID, NULL, POLL,
+//! FHS, DM1/3/5, DH1/3/5, AUX1, HV1/2/3 and DV.
+
+use btsim_coding::{crc, fec, hec, syncword, BitVec, Whitener};
+
+use crate::address::BdAddr;
+use crate::clock::ClkVal;
+
+/// Fixed whitening seed used during inquiry/page control exchanges, where
+/// the two sides do not yet share a piconet clock. The spec derives these
+/// seeds from clock estimates exchanged in the procedure itself; using a
+/// fixed seed is behaviourally equivalent for error statistics
+/// (whitening is error-transparent). Documented in DESIGN.md.
+pub const CONTROL_WHITEN_SEED: u8 = 0x3F;
+
+/// Access-code-only slack: receptions at most this many bits longer than
+/// an ID packet still parse as an ID.
+const ID_SLACK_BITS: usize = 8;
+
+/// Bits in the packet header on the air (18 × 3).
+pub const HEADER_AIR_BITS: usize = 54;
+
+/// A Bluetooth baseband packet type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    /// Access code only (inquiry/page trains and responses).
+    Id,
+    /// Header only; carries ARQ/flow information.
+    Null,
+    /// Header only; solicits a response.
+    Poll,
+    /// FHS: sender identity + clock, used in inquiry response and page.
+    Fhs,
+    /// 1-slot data, 2/3 FEC, CRC.
+    Dm1,
+    /// 1-slot data, no FEC, CRC.
+    Dh1,
+    /// 3-slot data, 2/3 FEC, CRC.
+    Dm3,
+    /// 3-slot data, no FEC, CRC.
+    Dh3,
+    /// 5-slot data, 2/3 FEC, CRC.
+    Dm5,
+    /// 5-slot data, no FEC, CRC.
+    Dh5,
+    /// 1-slot data, no FEC, no CRC.
+    Aux1,
+    /// SCO voice, 10 bytes, 1/3 FEC.
+    Hv1,
+    /// SCO voice, 20 bytes, 2/3 FEC.
+    Hv2,
+    /// SCO voice, 30 bytes, no FEC.
+    Hv3,
+    /// Combined data + voice.
+    Dv,
+}
+
+impl PacketType {
+    /// The 4-bit type code of the packet header.
+    pub fn code(self) -> u8 {
+        match self {
+            PacketType::Null => 0b0000,
+            PacketType::Poll => 0b0001,
+            PacketType::Fhs => 0b0010,
+            PacketType::Dm1 => 0b0011,
+            PacketType::Dh1 => 0b0100,
+            PacketType::Hv1 => 0b0101,
+            PacketType::Hv2 => 0b0110,
+            PacketType::Hv3 => 0b0111,
+            PacketType::Dv => 0b1000,
+            PacketType::Aux1 => 0b1001,
+            PacketType::Dm3 => 0b1010,
+            PacketType::Dh3 => 0b1011,
+            PacketType::Dm5 => 0b1110,
+            PacketType::Dh5 => 0b1111,
+            PacketType::Id => unreachable!("ID packets have no header"),
+        }
+    }
+
+    /// Decodes a 4-bit type code (codes 1100/1101 are undefined in v1.2).
+    pub fn from_code(code: u8) -> Option<PacketType> {
+        Some(match code & 0xF {
+            0b0000 => PacketType::Null,
+            0b0001 => PacketType::Poll,
+            0b0010 => PacketType::Fhs,
+            0b0011 => PacketType::Dm1,
+            0b0100 => PacketType::Dh1,
+            0b0101 => PacketType::Hv1,
+            0b0110 => PacketType::Hv2,
+            0b0111 => PacketType::Hv3,
+            0b1000 => PacketType::Dv,
+            0b1001 => PacketType::Aux1,
+            0b1010 => PacketType::Dm3,
+            0b1011 => PacketType::Dh3,
+            0b1110 => PacketType::Dm5,
+            0b1111 => PacketType::Dh5,
+            _ => return None,
+        })
+    }
+
+    /// Number of slots the packet occupies.
+    pub fn slots(self) -> u8 {
+        match self {
+            PacketType::Dm3 | PacketType::Dh3 => 3,
+            PacketType::Dm5 | PacketType::Dh5 => 5,
+            _ => 1,
+        }
+    }
+
+    /// Maximum user payload bytes (excluding payload header and CRC).
+    pub fn max_user_bytes(self) -> usize {
+        match self {
+            PacketType::Dm1 => 17,
+            PacketType::Dh1 => 27,
+            PacketType::Dm3 => 121,
+            PacketType::Dh3 => 183,
+            PacketType::Dm5 => 224,
+            PacketType::Dh5 => 339,
+            PacketType::Aux1 => 29,
+            PacketType::Hv1 => 10,
+            PacketType::Hv2 => 20,
+            PacketType::Hv3 => 30,
+            PacketType::Dv => 9,
+            _ => 0,
+        }
+    }
+
+    /// Whether the payload carries a CRC (and participates in ARQ).
+    pub fn has_crc(self) -> bool {
+        matches!(
+            self,
+            PacketType::Fhs
+                | PacketType::Dm1
+                | PacketType::Dh1
+                | PacketType::Dm3
+                | PacketType::Dh3
+                | PacketType::Dm5
+                | PacketType::Dh5
+                | PacketType::Dv
+        )
+    }
+
+    /// Whether this is an ACL data packet with a payload header.
+    pub fn is_acl_data(self) -> bool {
+        matches!(
+            self,
+            PacketType::Dm1
+                | PacketType::Dh1
+                | PacketType::Dm3
+                | PacketType::Dh3
+                | PacketType::Dm5
+                | PacketType::Dh5
+                | PacketType::Aux1
+        )
+    }
+
+    /// Whether the payload is protected by the 2/3 FEC.
+    pub fn fec23(self) -> bool {
+        matches!(
+            self,
+            PacketType::Dm1 | PacketType::Dm3 | PacketType::Dm5 | PacketType::Hv2
+        )
+    }
+
+    /// Payload header length in bytes (0 for non-ACL types).
+    pub fn payload_header_bytes(self) -> usize {
+        match self {
+            PacketType::Dm1 | PacketType::Dh1 | PacketType::Aux1 => 1,
+            PacketType::Dm3 | PacketType::Dh3 | PacketType::Dm5 | PacketType::Dh5 => 2,
+            _ => 0,
+        }
+    }
+}
+
+/// Logical link identifier carried in ACL payload headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Llid {
+    /// Continuation fragment of an L2CAP message.
+    Continuation,
+    /// Start of an L2CAP message (or unfragmented message).
+    Start,
+    /// LMP message.
+    Lmp,
+}
+
+impl Llid {
+    /// The 2-bit code.
+    pub fn code(self) -> u8 {
+        match self {
+            Llid::Continuation => 0b01,
+            Llid::Start => 0b10,
+            Llid::Lmp => 0b11,
+        }
+    }
+
+    /// Decodes the 2-bit code (00 is undefined).
+    pub fn from_code(code: u8) -> Option<Llid> {
+        match code & 0b11 {
+            0b01 => Some(Llid::Continuation),
+            0b10 => Some(Llid::Start),
+            0b11 => Some(Llid::Lmp),
+            _ => None,
+        }
+    }
+}
+
+/// The 18-bit packet header (before FEC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Logical transport address (3 bits; 0 = broadcast).
+    pub lt_addr: u8,
+    /// Packet type.
+    pub ptype: PacketType,
+    /// Flow control bit.
+    pub flow: bool,
+    /// ARQ acknowledgement bit.
+    pub arqn: bool,
+    /// ARQ sequence bit.
+    pub seqn: bool,
+}
+
+impl Header {
+    fn info_bits(&self) -> u16 {
+        // Transmission order: LT_ADDR(3) TYPE(4) FLOW ARQN SEQN.
+        let mut v = (self.lt_addr as u16) & 0b111;
+        v |= (self.ptype.code() as u16) << 3;
+        v |= (self.flow as u16) << 7;
+        v |= (self.arqn as u16) << 8;
+        v |= (self.seqn as u16) << 9;
+        v
+    }
+
+    fn from_info(info: u16) -> Option<Header> {
+        Some(Header {
+            lt_addr: (info & 0b111) as u8,
+            ptype: PacketType::from_code(((info >> 3) & 0xF) as u8)?,
+            flow: info & (1 << 7) != 0,
+            arqn: info & (1 << 8) != 0,
+            seqn: info & (1 << 9) != 0,
+        })
+    }
+}
+
+/// The FHS payload: identity and clock of the sender (144 bits + CRC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FhsPayload {
+    /// Sender's device address.
+    pub addr: BdAddr,
+    /// Class of device (24 bits).
+    pub class_of_device: u32,
+    /// LT_ADDR assigned to the receiving slave (0 in inquiry responses).
+    pub lt_addr: u8,
+    /// Sender's CLK₂₇₋₂ sampled at packet transmission.
+    pub clk27_2: u32,
+    /// Page scan mode field (3 bits).
+    pub page_scan_mode: u8,
+    /// Scan repetition field (2 bits).
+    pub sr: u8,
+    /// Scan period field (2 bits).
+    pub sp: u8,
+}
+
+impl FhsPayload {
+    /// Packs the 144 information bits.
+    pub fn pack(&self) -> BitVec {
+        let mut b = BitVec::with_capacity(144);
+        b.push_bits_lsb(syncword::parity_bits(self.addr.sync_word()), 34);
+        b.push_bits_lsb(self.addr.lap() as u64, 24);
+        b.push_bits_lsb(0, 2); // undefined
+        b.push_bits_lsb(self.sr as u64 & 0b11, 2);
+        b.push_bits_lsb(self.sp as u64 & 0b11, 2);
+        b.push_bits_lsb(self.addr.uap() as u64, 8);
+        b.push_bits_lsb(self.addr.nap() as u64, 16);
+        b.push_bits_lsb(self.class_of_device as u64 & 0xFF_FFFF, 24);
+        b.push_bits_lsb(self.lt_addr as u64 & 0b111, 3);
+        b.push_bits_lsb(self.clk27_2 as u64 & 0x03FF_FFFF, 26);
+        b.push_bits_lsb(self.page_scan_mode as u64 & 0b111, 3);
+        debug_assert_eq!(b.len(), 144);
+        b
+    }
+
+    /// Unpacks 144 information bits.
+    pub fn unpack(bits: &BitVec) -> Option<FhsPayload> {
+        if bits.len() != 144 {
+            return None;
+        }
+        let lap = bits.bits_lsb(34, 24) as u32;
+        let sr = bits.bits_lsb(60, 2) as u8;
+        let sp = bits.bits_lsb(62, 2) as u8;
+        let uap = bits.bits_lsb(64, 8) as u8;
+        let nap = bits.bits_lsb(72, 16) as u16;
+        let class_of_device = bits.bits_lsb(88, 24) as u32;
+        let lt_addr = bits.bits_lsb(112, 3) as u8;
+        let clk27_2 = bits.bits_lsb(115, 26) as u32;
+        let page_scan_mode = bits.bits_lsb(141, 3) as u8;
+        Some(FhsPayload {
+            addr: BdAddr::new(nap, uap, lap),
+            class_of_device,
+            lt_addr,
+            clk27_2,
+            page_scan_mode,
+            sr,
+            sp,
+        })
+    }
+
+    /// The sender's clock value implied by the FHS (low bits zeroed).
+    pub fn clock(&self) -> ClkVal {
+        ClkVal::from_clk27_2(self.clk27_2)
+    }
+}
+
+/// Payload content of a packet under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// No payload (ID/NULL/POLL).
+    None,
+    /// FHS content.
+    Fhs(FhsPayload),
+    /// ACL data with logical link id.
+    Acl {
+        /// Logical link (L2CAP start/continuation or LMP).
+        llid: Llid,
+        /// Payload-level flow control bit.
+        flow: bool,
+        /// User data (length validated against the packet type).
+        data: Vec<u8>,
+    },
+    /// SCO voice data (fixed length per type).
+    Sco(Vec<u8>),
+}
+
+/// Everything needed to build or decode packets on a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkKeys {
+    /// LAP of the access code on this exchange (CAC/DAC/GIAC).
+    pub lap: u32,
+    /// UAP seeding HEC/CRC.
+    pub uap: u8,
+    /// Whitening seed (CLK₆₋₁ in connection, fixed for control exchanges).
+    pub whiten: u8,
+    /// Sync-word correlator threshold.
+    pub sync_threshold: u8,
+    /// Whether FHS payloads carry 2/3 FEC (spec: yes; the paper's
+    /// behavioural model is reproduced with `false` — see EXPERIMENTS.md).
+    pub fhs_fec: bool,
+}
+
+impl LinkKeys {
+    /// Keys for a control exchange (inquiry/page) on `lap`.
+    pub fn control(lap: u32, uap: u8, sync_threshold: u8, fhs_fec: bool) -> Self {
+        LinkKeys {
+            lap,
+            uap,
+            whiten: CONTROL_WHITEN_SEED,
+            sync_threshold,
+            fhs_fec,
+        }
+    }
+}
+
+/// Builds the air image of an ID packet for `lap`.
+pub fn encode_id(lap: u32) -> BitVec {
+    syncword::access_code(lap, false)
+}
+
+/// Builds the full air image of a packet with a header.
+///
+/// # Panics
+///
+/// Panics if the payload does not match the packet type (wrong variant or
+/// oversized data) — these are programming errors of the caller.
+pub fn encode(keys: &LinkKeys, header: &Header, payload: &Payload) -> BitVec {
+    let mut air = syncword::access_code(keys.lap, true);
+    let mut whitener = Whitener::from_clk(keys.whiten);
+
+    // Header: 10 info + HEC, whiten, FEC 1/3.
+    let info = header.info_bits();
+    let mut header_bits = BitVec::with_capacity(18);
+    header_bits.push_bits_lsb(info as u64, 10);
+    header_bits.push_bits_lsb(hec::hec(keys.uap, info) as u64, 8);
+    let header_white = whitener.apply(&header_bits);
+    air.extend_bits(&fec::fec13_encode(&header_white));
+
+    // Payload chain.
+    let body = match payload {
+        Payload::None => {
+            assert!(
+                matches!(header.ptype, PacketType::Null | PacketType::Poll),
+                "payload required for {:?}",
+                header.ptype
+            );
+            return air;
+        }
+        Payload::Fhs(fhs) => {
+            assert_eq!(header.ptype, PacketType::Fhs);
+            let mut b = fhs.pack();
+            crc::append_crc(keys.uap, &mut b);
+            b
+        }
+        Payload::Acl { llid, flow, data } => {
+            assert!(header.ptype.is_acl_data(), "not an ACL type: {:?}", header.ptype);
+            assert!(
+                data.len() <= header.ptype.max_user_bytes(),
+                "payload of {} bytes exceeds {:?} capacity",
+                data.len(),
+                header.ptype
+            );
+            let mut b = BitVec::new();
+            match header.ptype.payload_header_bytes() {
+                1 => {
+                    let h = (llid.code() as u64)
+                        | ((*flow as u64) << 2)
+                        | ((data.len() as u64 & 0x1F) << 3);
+                    b.push_bits_lsb(h, 8);
+                }
+                2 => {
+                    let h = (llid.code() as u64)
+                        | ((*flow as u64) << 2)
+                        | ((data.len() as u64 & 0x1FF) << 3);
+                    b.push_bits_lsb(h, 16);
+                }
+                n => unreachable!("ACL payload header of {n} bytes"),
+            }
+            for &byte in data {
+                b.push_bits_lsb(byte as u64, 8);
+            }
+            if header.ptype.has_crc() {
+                crc::append_crc(keys.uap, &mut b);
+            }
+            b
+        }
+        Payload::Sco(data) => {
+            assert_eq!(
+                data.len(),
+                header.ptype.max_user_bytes(),
+                "SCO payloads are fixed-size"
+            );
+            BitVec::from_bytes_lsb(data)
+        }
+    };
+
+    let white = whitener.apply(&body);
+    let coded = match header.ptype {
+        PacketType::Hv1 => fec::fec13_encode(&white),
+        PacketType::Fhs => {
+            if keys.fhs_fec {
+                fec::fec23_encode(&white)
+            } else {
+                white
+            }
+        }
+        t if t.fec23() => fec::fec23_encode(&white),
+        _ => white,
+    };
+    air.extend_bits(&coded);
+    air
+}
+
+/// Why a reception failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Sync word did not correlate above the threshold.
+    NoSync,
+    /// Bit image too short / inconsistent for the decoded type.
+    BadLength,
+    /// A collision (`X` bits) hit the header.
+    HeaderCollision,
+    /// Header HEC check failed.
+    HeaderHec,
+    /// Undefined packet type code.
+    UnknownType,
+    /// A collision (`X` bits) hit the payload.
+    PayloadCollision,
+    /// Payload CRC failed (or uncorrectable FEC damage).
+    PayloadCrc,
+    /// Payload structure invalid (bad LLID / length field).
+    PayloadFormat,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DecodeError::NoSync => "sync word not detected",
+            DecodeError::BadLength => "inconsistent packet length",
+            DecodeError::HeaderCollision => "collision over header",
+            DecodeError::HeaderHec => "header error check failed",
+            DecodeError::UnknownType => "undefined packet type",
+            DecodeError::PayloadCollision => "collision over payload",
+            DecodeError::PayloadCrc => "payload integrity check failed",
+            DecodeError::PayloadFormat => "invalid payload structure",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A successfully decoded packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decoded {
+    /// An ID packet (access code only).
+    Id,
+    /// A packet with a header (payload already validated).
+    Packet {
+        /// The decoded header.
+        header: Header,
+        /// The decoded payload.
+        payload: Payload,
+    },
+}
+
+fn region_collided(mask: Option<&BitVec>, start: usize, len: usize) -> bool {
+    let Some(mask) = mask else { return false };
+    (start..start + len).any(|i| mask.get(i) == Some(true))
+}
+
+/// Decodes a received bit image against the link keys.
+///
+/// `mask` marks bits hit by a collision (from the channel resolver).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] naming the first stage that failed; the
+/// caller maps these to retransmissions or silence.
+pub fn decode(
+    bits: &BitVec,
+    mask: Option<&BitVec>,
+    keys: &LinkKeys,
+) -> Result<Decoded, DecodeError> {
+    if bits.len() < syncword::ID_PACKET_BITS {
+        return Err(DecodeError::BadLength);
+    }
+    let corr = syncword::correlate(bits, 4, mask, keys.lap, keys.sync_threshold);
+    if !corr.detected {
+        return Err(DecodeError::NoSync);
+    }
+    if bits.len() <= syncword::ID_PACKET_BITS + ID_SLACK_BITS {
+        return Ok(Decoded::Id);
+    }
+    if bits.len() < 72 + HEADER_AIR_BITS {
+        return Err(DecodeError::BadLength);
+    }
+    if region_collided(mask, 72, HEADER_AIR_BITS) {
+        return Err(DecodeError::HeaderCollision);
+    }
+    let mut whitener = Whitener::from_clk(keys.whiten);
+    let (header_fec, _) = fec::fec13_decode(&bits.slice(72, HEADER_AIR_BITS));
+    let header_bits = whitener.apply(&header_fec);
+    let info = header_bits.bits_lsb(0, 10) as u16;
+    let rx_hec = header_bits.bits_lsb(10, 8) as u8;
+    if !hec::check(keys.uap, info, rx_hec) {
+        return Err(DecodeError::HeaderHec);
+    }
+    let header = Header::from_info(info).ok_or(DecodeError::UnknownType)?;
+
+    let pay_start = 72 + HEADER_AIR_BITS;
+    let pay_bits = bits.len() - pay_start;
+    if matches!(header.ptype, PacketType::Null | PacketType::Poll) {
+        return Ok(Decoded::Packet {
+            header,
+            payload: Payload::None,
+        });
+    }
+    if region_collided(mask, pay_start, pay_bits) {
+        return Err(DecodeError::PayloadCollision);
+    }
+    let raw = bits.slice(pay_start, pay_bits);
+
+    // Undo FEC.
+    let body_white = match header.ptype {
+        PacketType::Hv1 => {
+            if !raw.len().is_multiple_of(3) {
+                return Err(DecodeError::BadLength);
+            }
+            fec::fec13_decode(&raw).0
+        }
+        PacketType::Fhs if !keys.fhs_fec => raw,
+        t if t.fec23() || t == PacketType::Fhs => {
+            if !raw.len().is_multiple_of(15) {
+                return Err(DecodeError::BadLength);
+            }
+            fec::fec23_decode(&raw).data
+        }
+        _ => raw,
+    };
+    let body = whitener.apply(&body_white);
+
+    match header.ptype {
+        PacketType::Fhs => {
+            if body.len() < 160 {
+                return Err(DecodeError::BadLength);
+            }
+            let framed = body.slice(0, 160);
+            let info = crc::strip_crc(keys.uap, &framed).ok_or(DecodeError::PayloadCrc)?;
+            let fhs = FhsPayload::unpack(&info).ok_or(DecodeError::PayloadFormat)?;
+            Ok(Decoded::Packet {
+                header,
+                payload: Payload::Fhs(fhs),
+            })
+        }
+        t if t.is_acl_data() => {
+            let ph_bytes = t.payload_header_bytes();
+            if body.len() < ph_bytes * 8 {
+                return Err(DecodeError::BadLength);
+            }
+            let (llid_code, flow, length) = if ph_bytes == 1 {
+                let h = body.bits_lsb(0, 8);
+                ((h & 0b11) as u8, h & 0b100 != 0, ((h >> 3) & 0x1F) as usize)
+            } else {
+                let h = body.bits_lsb(0, 16);
+                ((h & 0b11) as u8, h & 0b100 != 0, ((h >> 3) & 0x1FF) as usize)
+            };
+            let llid = Llid::from_code(llid_code).ok_or(DecodeError::PayloadFormat)?;
+            if length > t.max_user_bytes() {
+                return Err(DecodeError::PayloadFormat);
+            }
+            let framed_bits = (ph_bytes + length) * 8 + if t.has_crc() { 16 } else { 0 };
+            if body.len() < framed_bits {
+                return Err(DecodeError::BadLength);
+            }
+            let framed = body.slice(0, framed_bits);
+            let content = if t.has_crc() {
+                crc::strip_crc(keys.uap, &framed).ok_or(DecodeError::PayloadCrc)?
+            } else {
+                framed
+            };
+            let data = content.slice(ph_bytes * 8, length * 8).to_bytes_lsb();
+            Ok(Decoded::Packet {
+                header,
+                payload: Payload::Acl { llid, flow, data },
+            })
+        }
+        PacketType::Hv1 | PacketType::Hv2 | PacketType::Hv3 => {
+            let want = header.ptype.max_user_bytes() * 8;
+            if body.len() < want {
+                return Err(DecodeError::BadLength);
+            }
+            Ok(Decoded::Packet {
+                header,
+                payload: Payload::Sco(body.slice(0, want).to_bytes_lsb()),
+            })
+        }
+        // DV combines an unprotected voice field with a FEC-protected data
+        // field in one payload; no experiment or LMP procedure of the paper
+        // uses it, so it is recognised but not reassembled.
+        PacketType::Dv => Err(DecodeError::PayloadFormat),
+        _ => Err(DecodeError::UnknownType),
+    }
+}
+
+/// Air length in bits of an encoded packet with the given type and user
+/// payload length (for scheduling windows before building the image).
+pub fn air_bits(ptype: PacketType, user_bytes: usize, fhs_fec: bool) -> usize {
+    let base = 72 + HEADER_AIR_BITS;
+    let body_bits = |framed_bits: usize, fec23: bool| {
+        if fec23 {
+            framed_bits.div_ceil(10) * 15
+        } else {
+            framed_bits
+        }
+    };
+    match ptype {
+        PacketType::Id => syncword::ID_PACKET_BITS,
+        PacketType::Null | PacketType::Poll => base,
+        PacketType::Fhs => base + body_bits(160, fhs_fec),
+        PacketType::Hv1 => base + 240,
+        PacketType::Hv2 => base + 240,
+        PacketType::Hv3 => base + 240,
+        PacketType::Dv => base + 80 + body_bits(96, true),
+        t => {
+            let framed = (t.payload_header_bytes() + user_bytes) * 8
+                + if t.has_crc() { 16 } else { 0 };
+            base + body_bits(framed, t.fec23())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> LinkKeys {
+        LinkKeys {
+            lap: 0x2C7F91,
+            uap: 0x47,
+            whiten: 0x15,
+            sync_threshold: syncword::DEFAULT_SYNC_THRESHOLD,
+            fhs_fec: true,
+        }
+    }
+
+    fn header(ptype: PacketType) -> Header {
+        Header {
+            lt_addr: 2,
+            ptype,
+            flow: true,
+            arqn: false,
+            seqn: true,
+        }
+    }
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for t in [
+            PacketType::Null,
+            PacketType::Poll,
+            PacketType::Fhs,
+            PacketType::Dm1,
+            PacketType::Dh1,
+            PacketType::Dm3,
+            PacketType::Dh3,
+            PacketType::Dm5,
+            PacketType::Dh5,
+            PacketType::Aux1,
+            PacketType::Hv1,
+            PacketType::Hv2,
+            PacketType::Hv3,
+            PacketType::Dv,
+        ] {
+            assert_eq!(PacketType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(PacketType::from_code(0b1100), None);
+        assert_eq!(PacketType::from_code(0b1101), None);
+    }
+
+    #[test]
+    fn id_packet_roundtrip() {
+        let air = encode_id(keys().lap);
+        assert_eq!(air.len(), 68);
+        assert_eq!(decode(&air, None, &keys()), Ok(Decoded::Id));
+    }
+
+    #[test]
+    fn null_and_poll_roundtrip() {
+        for t in [PacketType::Null, PacketType::Poll] {
+            let air = encode(&keys(), &header(t), &Payload::None);
+            assert_eq!(air.len(), 126);
+            match decode(&air, None, &keys()).unwrap() {
+                Decoded::Packet { header: h, payload } => {
+                    assert_eq!(h.ptype, t);
+                    assert_eq!(h.lt_addr, 2);
+                    assert!(h.flow);
+                    assert!(!h.arqn);
+                    assert!(h.seqn);
+                    assert_eq!(payload, Payload::None);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    fn fhs_payload() -> FhsPayload {
+        FhsPayload {
+            addr: BdAddr::new(0xBEEF, 0x9A, 0x5C1D2E),
+            class_of_device: 0x20041C,
+            lt_addr: 5,
+            clk27_2: 0x155_AA55,
+            page_scan_mode: 1,
+            sr: 2,
+            sp: 1,
+        }
+    }
+
+    #[test]
+    fn fhs_roundtrip_with_fec() {
+        let air = encode(&keys(), &header(PacketType::Fhs), &Payload::Fhs(fhs_payload()));
+        assert_eq!(air.len(), 126 + 240);
+        match decode(&air, None, &keys()).unwrap() {
+            Decoded::Packet {
+                payload: Payload::Fhs(f),
+                ..
+            } => assert_eq!(f, fhs_payload()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fhs_roundtrip_without_fec() {
+        let mut k = keys();
+        k.fhs_fec = false;
+        let air = encode(&k, &header(PacketType::Fhs), &Payload::Fhs(fhs_payload()));
+        assert_eq!(air.len(), 126 + 160);
+        match decode(&air, None, &k).unwrap() {
+            Decoded::Packet {
+                payload: Payload::Fhs(f),
+                ..
+            } => assert_eq!(f, fhs_payload()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fhs_clock_field_roundtrip() {
+        let f = fhs_payload();
+        assert_eq!(f.clock().clk27_2(), f.clk27_2 & 0x03FF_FFFF);
+    }
+
+    #[test]
+    fn acl_roundtrip_all_data_types() {
+        for t in [
+            PacketType::Dm1,
+            PacketType::Dh1,
+            PacketType::Dm3,
+            PacketType::Dh3,
+            PacketType::Dm5,
+            PacketType::Dh5,
+            PacketType::Aux1,
+        ] {
+            let data: Vec<u8> = (0..t.max_user_bytes() as u32).map(|i| i as u8).collect();
+            let payload = Payload::Acl {
+                llid: Llid::Start,
+                flow: false,
+                data: data.clone(),
+            };
+            let air = encode(&keys(), &header(t), &payload);
+            match decode(&air, None, &keys()).unwrap() {
+                Decoded::Packet {
+                    payload: Payload::Acl { llid, data: got, .. },
+                    header: h,
+                } => {
+                    assert_eq!(h.ptype, t, "{t:?}");
+                    assert_eq!(llid, Llid::Start);
+                    assert_eq!(got, data, "{t:?}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn acl_roundtrip_empty_and_partial_payloads() {
+        for len in [0usize, 1, 5, 17] {
+            let data: Vec<u8> = vec![0xC3; len];
+            let payload = Payload::Acl {
+                llid: Llid::Lmp,
+                flow: true,
+                data: data.clone(),
+            };
+            let air = encode(&keys(), &header(PacketType::Dm1), &payload);
+            match decode(&air, None, &keys()).unwrap() {
+                Decoded::Packet {
+                    payload: Payload::Acl { data: got, llid, .. },
+                    ..
+                } => {
+                    assert_eq!(got, data, "len {len}");
+                    assert_eq!(llid, Llid::Lmp);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sco_roundtrip() {
+        for t in [PacketType::Hv1, PacketType::Hv2, PacketType::Hv3] {
+            let data: Vec<u8> = (0..t.max_user_bytes() as u32).map(|i| (i * 7) as u8).collect();
+            let air = encode(&keys(), &header(t), &Payload::Sco(data.clone()));
+            match decode(&air, None, &keys()).unwrap() {
+                Decoded::Packet {
+                    payload: Payload::Sco(got),
+                    ..
+                } => assert_eq!(got, data, "{t:?}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn air_bits_matches_encoder() {
+        let k = keys();
+        assert_eq!(air_bits(PacketType::Id, 0, true), 68);
+        assert_eq!(air_bits(PacketType::Null, 0, true), 126);
+        for (t, len) in [
+            (PacketType::Dm1, 17),
+            (PacketType::Dm1, 3),
+            (PacketType::Dh1, 27),
+            (PacketType::Dm3, 121),
+            (PacketType::Dh3, 183),
+            (PacketType::Dm5, 224),
+            (PacketType::Dh5, 339),
+            (PacketType::Aux1, 29),
+        ] {
+            let payload = Payload::Acl {
+                llid: Llid::Start,
+                flow: false,
+                data: vec![0; len],
+            };
+            let air = encode(&k, &header(t), &payload);
+            assert_eq!(air.len(), air_bits(t, len, true), "{t:?}/{len}");
+        }
+        let air = encode(&k, &header(PacketType::Fhs), &Payload::Fhs(fhs_payload()));
+        assert_eq!(air.len(), air_bits(PacketType::Fhs, 0, true));
+    }
+
+    #[test]
+    fn packets_fit_their_slots() {
+        // 1-slot ≤ 366 µs, 3-slot ≤ 1622 µs, 5-slot ≤ 2870 µs.
+        let limit = |t: PacketType| match t.slots() {
+            1 => 366,
+            3 => 1626,
+            5 => 2871,
+            _ => unreachable!(),
+        };
+        for t in [
+            PacketType::Dm1,
+            PacketType::Dh1,
+            PacketType::Dm3,
+            PacketType::Dh3,
+            PacketType::Dm5,
+            PacketType::Dh5,
+            PacketType::Aux1,
+            PacketType::Hv1,
+            PacketType::Hv2,
+            PacketType::Hv3,
+            PacketType::Fhs,
+        ] {
+            let bits = air_bits(t, t.max_user_bytes(), true);
+            assert!(
+                bits <= limit(t),
+                "{t:?}: {bits} bits exceed {} µs slot budget",
+                limit(t)
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_lap_gives_no_sync() {
+        let air = encode(&keys(), &header(PacketType::Null), &Payload::None);
+        let mut k2 = keys();
+        k2.lap = 0x111111;
+        assert_eq!(decode(&air, None, &k2), Err(DecodeError::NoSync));
+    }
+
+    #[test]
+    fn wrong_uap_fails_hec() {
+        let air = encode(&keys(), &header(PacketType::Null), &Payload::None);
+        let mut k2 = keys();
+        k2.uap = 0x48;
+        assert_eq!(decode(&air, None, &k2), Err(DecodeError::HeaderHec));
+    }
+
+    #[test]
+    fn wrong_whitening_seed_fails() {
+        let air = encode(&keys(), &header(PacketType::Null), &Payload::None);
+        let mut k2 = keys();
+        k2.whiten = 0x16;
+        assert!(decode(&air, None, &k2).is_err());
+    }
+
+    #[test]
+    fn header_collision_detected() {
+        let air = encode(&keys(), &header(PacketType::Null), &Payload::None);
+        let mut mask = BitVec::zeros(air.len());
+        mask.set(80, true);
+        assert_eq!(
+            decode(&air, Some(&mask), &keys()),
+            Err(DecodeError::HeaderCollision)
+        );
+    }
+
+    #[test]
+    fn payload_collision_detected() {
+        let payload = Payload::Acl {
+            llid: Llid::Start,
+            flow: false,
+            data: vec![1, 2, 3],
+        };
+        let air = encode(&keys(), &header(PacketType::Dm1), &payload);
+        let mut mask = BitVec::zeros(air.len());
+        mask.set(130, true);
+        assert_eq!(
+            decode(&air, Some(&mask), &keys()),
+            Err(DecodeError::PayloadCollision)
+        );
+    }
+
+    #[test]
+    fn single_payload_bit_error_corrected_by_dm_fec() {
+        let payload = Payload::Acl {
+            llid: Llid::Start,
+            flow: false,
+            data: vec![0xAB; 10],
+        };
+        let air = encode(&keys(), &header(PacketType::Dm1), &payload);
+        let mut corrupt = air.clone();
+        corrupt.toggle(130);
+        assert!(decode(&corrupt, None, &keys()).is_ok());
+    }
+
+    #[test]
+    fn payload_corruption_caught_by_crc_in_dh() {
+        let payload = Payload::Acl {
+            llid: Llid::Start,
+            flow: false,
+            data: vec![0xAB; 10],
+        };
+        let air = encode(&keys(), &header(PacketType::Dh1), &payload);
+        let mut corrupt = air.clone();
+        corrupt.toggle(130);
+        assert_eq!(decode(&corrupt, None, &keys()), Err(DecodeError::PayloadCrc));
+    }
+
+    #[test]
+    fn truncated_packet_is_bad_length() {
+        let payload = Payload::Acl {
+            llid: Llid::Start,
+            flow: false,
+            data: vec![1; 17],
+        };
+        let air = encode(&keys(), &header(PacketType::Dm1), &payload);
+        let cut = air.slice(0, 150);
+        assert_eq!(decode(&cut, None, &keys()), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_panics() {
+        let payload = Payload::Acl {
+            llid: Llid::Start,
+            flow: false,
+            data: vec![0; 18],
+        };
+        encode(&keys(), &header(PacketType::Dm1), &payload);
+    }
+}

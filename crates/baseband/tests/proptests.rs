@@ -1,0 +1,206 @@
+//! Property-based tests of the baseband layer.
+
+use btsim_baseband::{hop, packet, BdAddr, ClkVal, Clock, PacketType, CLK_WRAP};
+use btsim_coding::syncword;
+use btsim_kernel::SimTime;
+use proptest::prelude::*;
+
+fn arb_keys() -> impl Strategy<Value = packet::LinkKeys> {
+    (any::<u32>(), any::<u8>(), 0u8..64, any::<bool>()).prop_map(|(lap, uap, whiten, fhs_fec)| {
+        packet::LinkKeys {
+            lap: lap & 0xFF_FFFF,
+            uap,
+            whiten,
+            sync_threshold: syncword::DEFAULT_SYNC_THRESHOLD,
+            fhs_fec,
+        }
+    })
+}
+
+fn arb_acl_type() -> impl Strategy<Value = PacketType> {
+    prop::sample::select(vec![
+        PacketType::Dm1,
+        PacketType::Dh1,
+        PacketType::Dm3,
+        PacketType::Dh3,
+        PacketType::Dm5,
+        PacketType::Dh5,
+        PacketType::Aux1,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn acl_packets_roundtrip(
+        keys in arb_keys(),
+        ptype in arb_acl_type(),
+        lt_addr in 0u8..8,
+        flow: bool,
+        arqn: bool,
+        seqn: bool,
+        data in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let data = {
+            let mut d = data;
+            d.truncate(ptype.max_user_bytes());
+            d
+        };
+        let header = packet::Header { lt_addr, ptype, flow, arqn, seqn };
+        let payload = packet::Payload::Acl {
+            llid: packet::Llid::Start,
+            flow: true,
+            data: data.clone(),
+        };
+        let air = packet::encode(&keys, &header, &payload);
+        prop_assert_eq!(air.len(), packet::air_bits(ptype, data.len(), keys.fhs_fec));
+        match packet::decode(&air, None, &keys) {
+            Ok(packet::Decoded::Packet { header: h, payload: packet::Payload::Acl { data: got, .. } }) => {
+                prop_assert_eq!(h.lt_addr, lt_addr);
+                prop_assert_eq!(h.ptype, ptype);
+                prop_assert_eq!(h.flow, flow);
+                prop_assert_eq!(h.arqn, arqn);
+                prop_assert_eq!(h.seqn, seqn);
+                prop_assert_eq!(got, data);
+            }
+            other => prop_assert!(false, "unexpected decode: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn fhs_packets_roundtrip(
+        keys in arb_keys(),
+        raw_addr: u64,
+        class in 0u32..0x100_0000,
+        lt_addr in 0u8..8,
+        clk in 0u32..(1 << 26),
+    ) {
+        let fhs = packet::FhsPayload {
+            addr: BdAddr::from_raw(raw_addr),
+            class_of_device: class,
+            lt_addr,
+            clk27_2: clk,
+            page_scan_mode: 0,
+            sr: 1,
+            sp: 0,
+        };
+        let header = packet::Header {
+            lt_addr,
+            ptype: PacketType::Fhs,
+            flow: true,
+            arqn: false,
+            seqn: false,
+        };
+        let air = packet::encode(&keys, &header, &packet::Payload::Fhs(fhs));
+        match packet::decode(&air, None, &keys) {
+            Ok(packet::Decoded::Packet { payload: packet::Payload::Fhs(got), .. }) => {
+                prop_assert_eq!(got, fhs);
+            }
+            other => prop_assert!(false, "unexpected decode: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn corrupted_acl_payload_never_yields_wrong_bytes(
+        keys in arb_keys(),
+        data in prop::collection::vec(any::<u8>(), 1..17),
+        flips in prop::collection::vec(0usize..366, 1..8),
+    ) {
+        // Whatever the corruption, a CRC-checked packet either fails to
+        // decode or decodes to exactly the original payload (FEC repair).
+        let header = packet::Header {
+            lt_addr: 1,
+            ptype: PacketType::Dm1,
+            flow: true,
+            arqn: false,
+            seqn: false,
+        };
+        let payload = packet::Payload::Acl {
+            llid: packet::Llid::Start,
+            flow: true,
+            data: data.clone(),
+        };
+        let mut air = packet::encode(&keys, &header, &payload);
+        for f in flips {
+            let idx = f % air.len();
+            air.toggle(idx);
+        }
+        if let Ok(packet::Decoded::Packet {
+            payload: packet::Payload::Acl { data: got, .. },
+            ..
+        }) = packet::decode(&air, None, &keys)
+        {
+            prop_assert_eq!(got, data, "CRC accepted corrupted bytes");
+        }
+    }
+
+    #[test]
+    fn hop_channel_always_in_band(clk: u32, addr: u32, kofs in prop::sample::select(vec![hop::KOFFSET_A, hop::KOFFSET_B])) {
+        let clk = ClkVal::new(clk);
+        let addr = addr & 0x0FFF_FFFF;
+        for seq in [
+            hop::HopSequence::Connection,
+            hop::HopSequence::Page { kofs },
+            hop::HopSequence::Inquiry { kofs },
+            hop::HopSequence::PageScan,
+            hop::HopSequence::InquiryScan,
+        ] {
+            prop_assert!(hop::hop_channel(seq, clk, addr) < hop::CHANNELS);
+        }
+    }
+
+    #[test]
+    fn page_train_always_covers_the_scan_channel(clk_hi in 0u32..(1 << 11), addr: u32) {
+        // With an exact estimate, some tick within a train period pages
+        // on the channel the target scans — the rendezvous guarantee the
+        // whole page procedure rests on.
+        let addr = addr & 0x0FFF_FFFF;
+        let epoch = clk_hi << 12;
+        let scan_ch = hop::hop_channel(hop::HopSequence::PageScan, ClkVal::new(epoch), addr);
+        let hit = (0..32u32).any(|tick| {
+            let clk = ClkVal::new(epoch | tick);
+            hop::hop_channel(hop::HopSequence::Page { kofs: hop::KOFFSET_A }, clk, addr) == scan_ch
+        });
+        prop_assert!(hit, "A-train never covered the scan channel");
+    }
+
+    #[test]
+    fn clock_offsets_compose(a: u32, b: u32, c: u32) {
+        let (a, b, c) = (ClkVal::new(a), ClkVal::new(b), ClkVal::new(c));
+        let ab = a.offset_to(b);
+        let bc = b.offset_to(c);
+        let ac = a.offset_to(c);
+        prop_assert_eq!((ab + bc) % CLK_WRAP, ac);
+        prop_assert_eq!(a.offset_by(ab), b);
+    }
+
+    #[test]
+    fn clock_is_monotone_in_time(start: u32, t1 in 0u64..10_000_000, dt in 0u64..10_000_000) {
+        let clock = Clock::new(ClkVal::new(start));
+        let c1 = clock.clkn_at(SimTime::from_us(t1));
+        let c2 = clock.clkn_at(SimTime::from_us(t1 + dt));
+        let advanced = c1.offset_to(c2) as u64;
+        // Ticks advanced equals elapsed half-slots.
+        let expected = (t1 + dt) * 1000 / 312_500 - t1 * 1000 / 312_500;
+        prop_assert_eq!(advanced, expected % (1 << 28));
+    }
+
+    #[test]
+    fn whitening_seed_and_slot_helpers_consistent(v: u32) {
+        let c = ClkVal::new(v);
+        prop_assert_eq!(c.whitening_seed() as u32, (c.raw() >> 1) & 0x3F);
+        prop_assert_eq!(c.slot(), c.raw() >> 1);
+        prop_assert_eq!(c.is_slot_start(), c.raw() & 1 == 0);
+        prop_assert_eq!(c.is_master_tx_slot(), c.raw() & 2 == 0);
+    }
+
+    #[test]
+    fn fhs_clock_reconstruction_error_is_bounded(v: u32) {
+        // Reconstructing a clock from CLK27-2 loses at most 3 ticks.
+        let c = ClkVal::new(v);
+        let rec = ClkVal::from_clk27_2(c.clk27_2());
+        let err = rec.offset_to(c);
+        prop_assert!(err <= 3, "error {} ticks", err);
+    }
+}

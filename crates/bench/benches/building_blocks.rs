@@ -1,0 +1,118 @@
+//! Criterion benches of the model's building blocks: coding chains, hop
+//! selection, packet encode/decode and channel noise — the per-packet
+//! costs that determine the simulator's speed advantage over the paper's
+//! 747 clock cycles per second.
+
+use btsim_baseband::{hop, packet, BdAddr, ClkVal};
+use btsim_channel::{ChannelConfig, Medium};
+use btsim_coding::{crc, fec, syncword, BitVec, Whitener};
+use btsim_kernel::{SimDuration, SimRng, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_coding(c: &mut Criterion) {
+    let data = BitVec::from_bytes_lsb(&[0xA7; 20]);
+    c.bench_function("fec23_encode_160b", |b| {
+        b.iter(|| fec::fec23_encode(black_box(&data)))
+    });
+    let coded = fec::fec23_encode(&data);
+    c.bench_function("fec23_decode_240b", |b| {
+        b.iter(|| fec::fec23_decode(black_box(&coded)))
+    });
+    c.bench_function("crc16_160b", |b| {
+        b.iter(|| crc::crc16(0x47, black_box(&data).iter()))
+    });
+    c.bench_function("whiten_160b", |b| {
+        b.iter(|| Whitener::from_clk(0x15).whiten(black_box(&data)))
+    });
+    c.bench_function("sync_word", |b| {
+        b.iter(|| syncword::sync_word(black_box(0x9E8B33)))
+    });
+}
+
+fn bench_hop(c: &mut Criterion) {
+    let addr = BdAddr::new(0, 0x47, 0x2A96EF).hop_input();
+    c.bench_function("hop_connection", |b| {
+        let mut t = 0u32;
+        b.iter(|| {
+            t = t.wrapping_add(2);
+            hop::hop_channel(hop::HopSequence::Connection, ClkVal::new(t), black_box(addr))
+        })
+    });
+    c.bench_function("hop_inquiry_train", |b| {
+        let mut t = 0u32;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            hop::hop_channel(
+                hop::HopSequence::Inquiry {
+                    kofs: hop::KOFFSET_A,
+                },
+                ClkVal::new(t),
+                black_box(addr),
+            )
+        })
+    });
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let keys = packet::LinkKeys {
+        lap: 0x2C7F91,
+        uap: 0x47,
+        whiten: 0x15,
+        sync_threshold: syncword::DEFAULT_SYNC_THRESHOLD,
+        fhs_fec: true,
+    };
+    let header = packet::Header {
+        lt_addr: 1,
+        ptype: btsim_baseband::PacketType::Dm1,
+        flow: true,
+        arqn: false,
+        seqn: true,
+    };
+    let payload = packet::Payload::Acl {
+        llid: packet::Llid::Start,
+        flow: true,
+        data: vec![0x5A; 17],
+    };
+    c.bench_function("encode_dm1_full", |b| {
+        b.iter(|| packet::encode(black_box(&keys), black_box(&header), black_box(&payload)))
+    });
+    let air = packet::encode(&keys, &header, &payload);
+    c.bench_function("decode_dm1_full", |b| {
+        b.iter(|| packet::decode(black_box(&air), None, black_box(&keys)))
+    });
+    c.bench_function("correlate_sync", |b| {
+        b.iter(|| {
+            syncword::correlate(
+                black_box(&air),
+                4,
+                None,
+                keys.lap,
+                syncword::DEFAULT_SYNC_THRESHOLD,
+            )
+        })
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    c.bench_function("channel_tx_rx_366b_ber1e-2", |b| {
+        let mut medium = Medium::new(
+            ChannelConfig {
+                ber: 0.01,
+                ..ChannelConfig::default()
+            },
+            SimRng::new(7),
+        );
+        let bits = BitVec::from_fn(366, |i| i % 3 == 0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_250_000;
+            let tx = medium.begin_tx(0, 40, SimTime::from_ns(t), bits.clone());
+            let rx = medium.receive(tx);
+            medium.gc(SimTime::from_ns(t), SimDuration::from_us(10_000));
+            rx
+        })
+    });
+}
+
+criterion_group!(blocks, bench_coding, bench_hop, bench_packets, bench_channel);
+criterion_main!(blocks);

@@ -1,0 +1,69 @@
+//! Criterion bench of whole-system simulation speed — the counterpart of
+//! the paper's performance paragraph (0.48 s simulated in 10′47″, i.e.
+//! 747 simulated clock cycles per wall second on 2005 hardware).
+
+use btsim_baseband::LcCommand;
+use btsim_core::scenario::{
+    connect_pair, paper_config, CreationConfig, CreationScenario,
+};
+use btsim_core::SimBuilder;
+use btsim_kernel::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// The paper's measurement: piconet creation with 3 slaves, 0.48 s of
+/// simulated time.
+fn bench_creation_048s(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_speed");
+    group.sample_size(10);
+    group.bench_function("creation_4dev_0.48s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let scenario = CreationScenario::new(CreationConfig {
+                n_slaves: 3,
+                inquiry_timeout_slots: 768, // 0.48 s
+                page_timeout_slots: 512,
+                ..CreationConfig::default()
+            });
+            scenario.run(0, seed)
+        })
+    });
+    group.finish();
+}
+
+/// Steady-state connection traffic: one second of polling + data.
+fn bench_connection_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_speed");
+    group.sample_size(10);
+    group.bench_function("connection_1s_traffic", |b| {
+        b.iter_batched(
+            || {
+                let mut builder = SimBuilder::new(42, paper_config());
+                let m = builder.add_device("master");
+                let s = builder.add_device("slave1");
+                let mut sim = builder.build();
+                let lt = connect_pair(&mut sim, m, s, SimTime::from_us(30_000_000))
+                    .expect("connects");
+                sim.command(m, LcCommand::SetTpoll(4));
+                sim.command(
+                    m,
+                    LcCommand::AclData {
+                        lt_addr: lt,
+                        data: vec![0xAB; 50_000],
+                    },
+                );
+                sim
+            },
+            |mut sim| {
+                let end = sim.now() + SimDuration::from_slots(1600); // 1 s
+                sim.run_until(end);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(speed, bench_creation_048s, bench_connection_second);
+criterion_main!(speed);

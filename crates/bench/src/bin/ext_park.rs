@@ -1,0 +1,19 @@
+//! Extension experiment **Ext-D**: park mode — slave RF activity vs
+//! beacon interval (the paper lists park among the low-power modes but
+//! shows no figure for it)
+//! (`cargo run --release -p btsim-bench --bin ext_park`).
+
+use btsim_core::experiments::ext_park_activity;
+
+fn main() {
+    let opts = btsim_bench::parse_options();
+    let f = ext_park_activity(&opts);
+    println!("Ext-D — parked slave RF activity vs beacon interval");
+    println!(
+        "(park beats every other mode; active floor {:.2}%)",
+        f.active_activity * 100.0
+    );
+    println!();
+    println!("{}", f.table());
+    println!("{}", f.table().to_csv());
+}

@@ -1,0 +1,14 @@
+//! Extension experiment **Ext-C**: SCO voice links — RF cost and frame
+//! delivery of HV1/HV2/HV3
+//! (`cargo run --release -p btsim-bench --bin ext_sco`).
+
+use btsim_core::experiments::ext_sco;
+
+fn main() {
+    let opts = btsim_bench::parse_options();
+    let f = ext_sco(&opts);
+    println!("Ext-C — SCO voice links: HV1 (max FEC, every pair) vs HV3 (no FEC, 1-in-3)");
+    println!();
+    println!("{}", f.table());
+    println!("{}", f.table().to_csv());
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Fig. 10**: master RF activity vs channel duty cycle
+//! (`cargo run --release -p btsim-bench --bin fig10_master_rf`).
+
+use btsim_core::experiments::fig10_master_activity;
+
+fn main() {
+    let opts = btsim_bench::parse_options();
+    let f = fig10_master_activity(&opts);
+    println!("Fig. 10 — RF activity of the master vs channel duty cycle");
+    println!("(paper: linear, TX above RX, ≈0.3% TX at 2% duty)");
+    println!();
+    println!("{}", f.table());
+    println!("{}", f.table().to_csv());
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 12**: slave RF activity vs Thold
+//! (`cargo run --release -p btsim-bench --bin fig12_hold_activity`).
+
+use btsim_core::experiments::fig12_hold_activity;
+
+fn main() {
+    let opts = btsim_bench::parse_options();
+    let f = fig12_hold_activity(&opts);
+    println!("Fig. 12 — slave RF activity vs Thold on an idle connection");
+    println!(
+        "(paper: active floor 2.6%, hold wins above ≈120 slots; measured break-even: {:?})",
+        f.break_even()
+    );
+    println!();
+    println!("{}", f.table());
+    println!("{}", f.table().to_csv());
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Fig. 5**: waveforms of the creation of a piconet with a
+//! master and three slaves (`cargo run -p btsim-bench --bin fig5_waveform`).
+
+use btsim_core::experiments::fig5_creation_waveforms;
+
+fn main() {
+    let opts = btsim_bench::parse_options();
+    let w = fig5_creation_waveforms(opts.base_seed);
+    println!("Fig. 5 — piconet creation waveforms (enable_tx_RF / enable_rx_RF)");
+    println!("{}", w.notes);
+    println!();
+    println!("{}", w.ascii);
+    btsim_bench::write_artifact("fig5.vcd", &w.vcd);
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Fig. 7**: mean time slots to complete the page phase vs
+//! BER (`cargo run --release -p btsim-bench --bin fig7_page_vs_ber`).
+
+use btsim_core::experiments::fig7_page_vs_ber;
+
+fn main() {
+    let opts = btsim_bench::parse_options();
+    let f = fig7_page_vs_ber(&opts);
+    println!("Fig. 7 — mean time slots to complete the PAGE phase vs BER");
+    println!("(paper anchors: ≈17 TS with no noise; impossible for BER > 1/30)");
+    println!();
+    println!("{}", f.table());
+    println!("{}", f.table().to_csv());
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Fig. 8**: probability of failure of piconet creation
+//! (`cargo run --release -p btsim-bench --bin fig8_creation_failure`).
+
+use btsim_core::experiments::fig8_creation_failure;
+
+fn main() {
+    let opts = btsim_bench::parse_options();
+    let f = fig8_creation_failure(&opts);
+    println!("Fig. 8 — failure probability of inquiry / page with the 1.28 s timeout");
+    println!("(paper: page success very low for BER > 1/50; page is the bottleneck)");
+    println!();
+    println!("{}", f.table());
+    println!("{}", f.table().to_csv());
+}

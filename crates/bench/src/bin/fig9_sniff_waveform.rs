@@ -1,0 +1,14 @@
+//! Regenerates **Fig. 9**: waveforms with two slaves in sniff mode
+//! (`cargo run -p btsim-bench --bin fig9_sniff_waveform`).
+
+use btsim_core::experiments::fig9_sniff_waveforms;
+
+fn main() {
+    let opts = btsim_bench::parse_options();
+    let w = fig9_sniff_waveforms(opts.base_seed);
+    println!("Fig. 9 — slave2 and slave3 in sniff mode");
+    println!("{}", w.notes);
+    println!();
+    println!("{}", w.ascii);
+    btsim_bench::write_artifact("fig9.vcd", &w.vcd);
+}

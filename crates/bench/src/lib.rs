@@ -1,0 +1,70 @@
+//! # btsim-bench
+//!
+//! Experiment binaries and performance benches for the `btsim` DATE'05
+//! reproduction. Each `fig*` binary regenerates one figure of the paper
+//! (see DESIGN.md §3 for the experiment index); `table1_sim_speed`
+//! reproduces the paper's simulation-performance paragraph; the Criterion
+//! benches in `benches/` measure the building blocks.
+//!
+//! Binaries accept an optional `--quick` flag for a reduced campaign,
+//! `--runs N` for the Monte-Carlo sample count, `--seed S` and
+//! `--threads T`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use btsim_core::experiments::ExpOptions;
+
+/// Parses common CLI options (`--quick`, `--runs N`, `--seed S`,
+/// `--threads T`).
+pub fn parse_options() -> ExpOptions {
+    let mut opts = ExpOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts = ExpOptions::quick(),
+            "--runs" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.runs = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.base_seed = v;
+                    i += 1;
+                }
+            }
+            "--threads" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.threads = v;
+                    i += 1;
+                }
+            }
+            other => eprintln!("ignoring unknown argument: {other}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Writes `content` to `name` in the working directory, reporting the
+/// path on stdout (used by the waveform binaries for VCD files).
+pub fn write_artifact(name: &str, content: &str) {
+    match std::fs::write(name, content) {
+        Ok(()) => println!("wrote {name}"),
+        Err(e) => eprintln!("could not write {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_parse() {
+        let opts = parse_options();
+        assert!(opts.runs > 0);
+    }
+}

@@ -1,0 +1,545 @@
+//! # btsim-channel
+//!
+//! The shared radio medium of the simulation, modelled exactly as in the
+//! DATE'05 paper (Fig. 2): a digital multi-input/single-output module that
+//!
+//! * inverts bits with a configurable probability (the **BER**), driven by
+//!   the run's random stream — the same corrupted image is seen by every
+//!   receiver, as in the paper's single-output channel;
+//! * delays every packet by a fixed **modem delay** standing in for the
+//!   RF modulator/demodulator chain;
+//! * resolves **collisions**: whenever two or more devices drive the same
+//!   RF hop channel at the same time, the overlapping bits are forced to
+//!   the undefined value `X` and receivers count them as errors.
+//!
+//! Transmissions are registered with [`Medium::begin_tx`]; the simulator
+//! delivers them to listening devices by calling [`Medium::receive`],
+//! which materialises the noisy bits and the collision mask.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use btsim_coding::BitVec;
+use btsim_kernel::{SimDuration, SimRng, SimTime, Wire};
+
+/// Number of RF hop channels in the 2.4 GHz band.
+pub const RF_CHANNELS: u8 = 79;
+
+/// Identifies a registered transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(u64);
+
+/// A fixed-band interferer, e.g. an 802.11 network occupying ~22 MHz of
+/// the ISM band (the coexistence situation of the paper's refs [4-5]).
+///
+/// A Bluetooth packet whose hop channel falls inside the band is wiped
+/// (treated as fully collided) with probability `duty` — the fraction of
+/// time the interferer's bursts occupy the band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interferer {
+    /// First RF channel of the occupied band.
+    pub first_channel: u8,
+    /// Band width in channels (802.11b ≈ 22).
+    pub width: u8,
+    /// Probability a packet in the band is hit.
+    pub duty: f64,
+}
+
+impl Interferer {
+    /// An 802.11b-like interferer centred at `center` (22 channels wide).
+    pub fn wlan(center: u8, duty: f64) -> Self {
+        Self {
+            first_channel: center.saturating_sub(11),
+            width: 22,
+            duty,
+        }
+    }
+
+    /// Whether `channel` falls inside the occupied band.
+    pub fn covers(&self, channel: u8) -> bool {
+        channel >= self.first_channel
+            && (channel as u16) < self.first_channel as u16 + self.width as u16
+    }
+}
+
+/// Static configuration of the medium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelConfig {
+    /// Bit error rate applied independently to every transmitted bit.
+    pub ber: f64,
+    /// Fixed modulator + demodulator latency added before delivery.
+    pub modem_delay: SimDuration,
+    /// Fixed-band interferers sharing the ISM band.
+    pub interferers: Vec<Interferer>,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self {
+            ber: 0.0,
+            modem_delay: SimDuration::from_us(5),
+            interferers: Vec::new(),
+        }
+    }
+}
+
+/// A transmission in flight (or recently completed).
+#[derive(Debug, Clone)]
+struct Transmission {
+    id: TxId,
+    source: usize,
+    rf_channel: u8,
+    start: SimTime,
+    /// Bit image after noise was applied (what the air carries).
+    noisy_bits: BitVec,
+    /// Wiped by a fixed-band interferer burst.
+    jammed: bool,
+}
+
+impl Transmission {
+    fn end(&self) -> SimTime {
+        self.start + SimDuration::from_bits(self.noisy_bits.len())
+    }
+}
+
+/// What a receiver gets when a transmission is delivered to it.
+#[derive(Debug, Clone)]
+pub struct Reception {
+    /// The transmission this reception came from.
+    pub tx_id: TxId,
+    /// Index of the transmitting device.
+    pub source: usize,
+    /// RF hop channel the packet was sent on.
+    pub rf_channel: u8,
+    /// First bit's air time (without modem delay).
+    pub start: SimTime,
+    /// Last bit's air time (without modem delay).
+    pub end: SimTime,
+    /// Time the demodulated bits become available to the baseband.
+    pub available_at: SimTime,
+    /// The (noise-corrupted) bit image.
+    pub bits: BitVec,
+    /// Mask of bits that collided with another transmission (`X` values);
+    /// `None` when the packet was collision-free.
+    pub collision_mask: Option<BitVec>,
+}
+
+impl Reception {
+    /// True when any bit was hit by a collision.
+    pub fn collided(&self) -> bool {
+        self.collision_mask.is_some()
+    }
+}
+
+/// The shared RF medium.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_channel::{ChannelConfig, Medium};
+/// use btsim_coding::BitVec;
+/// use btsim_kernel::{SimRng, SimTime};
+///
+/// let mut medium = Medium::new(ChannelConfig::default(), SimRng::new(1));
+/// let bits = BitVec::from_bytes_lsb(&[0xA5; 8]);
+/// let tx = medium.begin_tx(0, 40, SimTime::ZERO, bits.clone());
+/// let rx = medium.receive(tx).expect("still retained");
+/// assert_eq!(rx.bits, bits); // BER = 0: unchanged
+/// assert!(!rx.collided());
+/// ```
+#[derive(Debug)]
+pub struct Medium {
+    cfg: ChannelConfig,
+    rng: SimRng,
+    live: Vec<Transmission>,
+    next_id: u64,
+    total_flipped: u64,
+    total_bits: u64,
+}
+
+impl Medium {
+    /// Creates a medium with the given configuration and noise stream.
+    pub fn new(cfg: ChannelConfig, rng: SimRng) -> Self {
+        Self {
+            cfg,
+            rng,
+            live: Vec::new(),
+            next_id: 0,
+            total_flipped: 0,
+            total_bits: 0,
+        }
+    }
+
+    /// The medium's configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Registers a transmission starting at `start` on `rf_channel`.
+    ///
+    /// Noise is applied immediately (single shared corrupted image, as in
+    /// the paper's channel module). Returns the transmission id used for
+    /// later delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rf_channel >= 79` or `bits` is empty.
+    pub fn begin_tx(
+        &mut self,
+        source: usize,
+        rf_channel: u8,
+        start: SimTime,
+        bits: BitVec,
+    ) -> TxId {
+        assert!(rf_channel < RF_CHANNELS, "invalid RF channel {rf_channel}");
+        assert!(!bits.is_empty(), "cannot transmit an empty packet");
+        let mut noisy = bits;
+        let mut flipped = 0usize;
+        let mut pos = 0u64;
+        let len = noisy.len() as u64;
+        loop {
+            let gap = self.rng.next_flip_gap(self.cfg.ber);
+            if pos.saturating_add(gap) >= len {
+                break;
+            }
+            pos += gap;
+            noisy.toggle(pos as usize);
+            flipped += 1;
+            pos += 1;
+        }
+        self.total_flipped += flipped as u64;
+        self.total_bits += len;
+        // Fixed-band interferers wipe in-band packets with their duty
+        // probability (one draw per transmission: a burst either overlaps
+        // the short Bluetooth packet or it does not).
+        let jammed = self
+            .cfg
+            .interferers
+            .iter()
+            .any(|i| i.covers(rf_channel))
+            && self.rng.chance(
+                self.cfg
+                    .interferers
+                    .iter()
+                    .filter(|i| i.covers(rf_channel))
+                    .map(|i| i.duty)
+                    .fold(0.0f64, |acc, d| acc.max(d)),
+            );
+        let id = TxId(self.next_id);
+        self.next_id += 1;
+        self.live.push(Transmission {
+            id,
+            source,
+            rf_channel,
+            start,
+            noisy_bits: noisy,
+            jammed,
+        });
+        id
+    }
+
+    /// End of air time of a transmission (for scheduling its delivery).
+    pub fn tx_end(&self, id: TxId) -> Option<SimTime> {
+        self.find(id).map(Transmission::end)
+    }
+
+    /// Time at which the demodulated bits of `id` become available.
+    pub fn delivery_time(&self, id: TxId) -> Option<SimTime> {
+        self.find(id).map(|t| t.end() + self.cfg.modem_delay)
+    }
+
+    /// Materialises the reception of transmission `id`.
+    ///
+    /// Must be called at or after the transmission's end so that every
+    /// colliding transmission is already registered. Returns `None` if the
+    /// id was already garbage collected.
+    pub fn receive(&mut self, id: TxId) -> Option<Reception> {
+        let tx = self.find(id)?.clone();
+        let mut mask: Option<BitVec> = None;
+        if tx.jammed {
+            // The interferer burst covers the whole packet.
+            let mut full = BitVec::zeros(tx.noisy_bits.len());
+            for i in 0..full.len() {
+                full.set(i, true);
+            }
+            mask = Some(full);
+        }
+        for other in &self.live {
+            if other.id == id || other.rf_channel != tx.rf_channel {
+                continue;
+            }
+            let o_start = other.start;
+            let o_end = other.end();
+            if o_end <= tx.start || o_start >= tx.end() {
+                continue;
+            }
+            let mask = mask.get_or_insert_with(|| BitVec::zeros(tx.noisy_bits.len()));
+            // Mark the overlapped bit span [lo, hi).
+            let lo = o_start.since(tx.start).ns() / SimDuration::SYMBOL.ns();
+            let hi = o_end.since(tx.start).ns().div_ceil(SimDuration::SYMBOL.ns());
+            for b in lo..hi.min(tx.noisy_bits.len() as u64) {
+                mask.set(b as usize, true);
+            }
+        }
+        Some(Reception {
+            tx_id: tx.id,
+            source: tx.source,
+            rf_channel: tx.rf_channel,
+            start: tx.start,
+            end: tx.end(),
+            available_at: tx.end() + self.cfg.modem_delay,
+            bits: tx.noisy_bits,
+            collision_mask: mask,
+        })
+    }
+
+    /// Whether any transmission overlapping `[from, to)` on `rf_channel`
+    /// is registered (carrier sensing for tests and diagnostics).
+    pub fn busy(&self, rf_channel: u8, from: SimTime, to: SimTime) -> bool {
+        self.live
+            .iter()
+            .any(|t| t.rf_channel == rf_channel && t.start < to && t.end() > from)
+    }
+
+    /// The resolved four-valued value of the medium at `at` on `rf_channel`.
+    pub fn wire_at(&self, rf_channel: u8, at: SimTime) -> Wire {
+        Wire::resolve(self.live.iter().filter_map(|t| {
+            if t.rf_channel != rf_channel || at < t.start || at >= t.end() {
+                return None;
+            }
+            let bit_idx = (at.since(t.start).ns() / SimDuration::SYMBOL.ns()) as usize;
+            t.noisy_bits.get(bit_idx).map(Wire::from_bit)
+        }))
+    }
+
+    /// Drops transmissions that ended before `now - retention`.
+    ///
+    /// Call periodically; `retention` must exceed the modem delay plus the
+    /// longest listener window so receptions are still materialisable.
+    pub fn gc(&mut self, now: SimTime, retention: SimDuration) {
+        let cutoff = now - retention;
+        self.live.retain(|t| t.end() >= cutoff);
+    }
+
+    /// Observed bit-flip fraction since construction (for diagnostics).
+    pub fn measured_ber(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            self.total_flipped as f64 / self.total_bits as f64
+        }
+    }
+
+    /// Number of retained transmissions.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    fn find(&self, id: TxId) -> Option<&Transmission> {
+        self.live.iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medium(ber: f64, seed: u64) -> Medium {
+        Medium::new(
+            ChannelConfig {
+                ber,
+                ..ChannelConfig::default()
+            },
+            SimRng::new(seed),
+        )
+    }
+
+    fn bits(n: usize) -> BitVec {
+        BitVec::from_fn(n, |i| i % 2 == 0)
+    }
+
+    #[test]
+    fn clean_channel_delivers_bits_unchanged() {
+        let mut m = medium(0.0, 1);
+        let b = bits(400);
+        let tx = m.begin_tx(0, 10, SimTime::ZERO, b.clone());
+        let rx = m.receive(tx).unwrap();
+        assert_eq!(rx.bits, b);
+        assert!(!rx.collided());
+        assert_eq!(rx.end, SimTime::from_us(400));
+        assert_eq!(rx.available_at, SimTime::from_us(405));
+        assert_eq!(m.measured_ber(), 0.0);
+    }
+
+    #[test]
+    fn noise_flips_roughly_ber_fraction() {
+        let mut m = medium(0.02, 42);
+        let b = BitVec::zeros(100_000);
+        let tx = m.begin_tx(0, 0, SimTime::ZERO, b);
+        let rx = m.receive(tx).unwrap();
+        let flips = rx.bits.count_ones();
+        assert!((1500..2500).contains(&flips), "flips {flips}");
+        let measured = m.measured_ber();
+        assert!((0.015..0.025).contains(&measured), "ber {measured}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = medium(0.05, seed);
+            let tx = m.begin_tx(0, 3, SimTime::ZERO, BitVec::zeros(1000));
+            m.receive(tx).unwrap().bits
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn overlapping_same_channel_transmissions_collide() {
+        let mut m = medium(0.0, 1);
+        let a = m.begin_tx(0, 20, SimTime::ZERO, bits(300));
+        let _b = m.begin_tx(1, 20, SimTime::from_us(100), bits(100));
+        let rx = m.receive(a).unwrap();
+        assert!(rx.collided());
+        let mask = rx.collision_mask.unwrap();
+        // Bits 100..200 overlap.
+        assert_eq!(mask.count_ones(), 100);
+        assert_eq!(mask.get(99), Some(false));
+        assert_eq!(mask.get(100), Some(true));
+        assert_eq!(mask.get(199), Some(true));
+        assert_eq!(mask.get(200), Some(false));
+    }
+
+    #[test]
+    fn collision_is_symmetric() {
+        let mut m = medium(0.0, 1);
+        let a = m.begin_tx(0, 20, SimTime::ZERO, bits(300));
+        let b = m.begin_tx(1, 20, SimTime::from_us(100), bits(100));
+        assert!(m.receive(a).unwrap().collided());
+        // The shorter packet is fully covered by the longer one.
+        let rx_b = m.receive(b).unwrap();
+        assert_eq!(rx_b.collision_mask.unwrap().count_ones(), 100);
+    }
+
+    #[test]
+    fn different_rf_channels_do_not_collide() {
+        let mut m = medium(0.0, 1);
+        let a = m.begin_tx(0, 20, SimTime::ZERO, bits(300));
+        let _b = m.begin_tx(1, 21, SimTime::from_us(100), bits(100));
+        assert!(!m.receive(a).unwrap().collided());
+    }
+
+    #[test]
+    fn back_to_back_transmissions_do_not_collide() {
+        let mut m = medium(0.0, 1);
+        let a = m.begin_tx(0, 5, SimTime::ZERO, bits(100));
+        let _b = m.begin_tx(1, 5, SimTime::from_us(100), bits(100));
+        assert!(!m.receive(a).unwrap().collided());
+    }
+
+    #[test]
+    fn three_way_collision_masks_union() {
+        let mut m = medium(0.0, 1);
+        let a = m.begin_tx(0, 7, SimTime::ZERO, bits(300));
+        let _b = m.begin_tx(1, 7, SimTime::from_us(10), bits(50));
+        let _c = m.begin_tx(2, 7, SimTime::from_us(200), bits(50));
+        let rx = m.receive(a).unwrap();
+        assert_eq!(rx.collision_mask.unwrap().count_ones(), 100);
+    }
+
+    #[test]
+    fn busy_and_wire_probe() {
+        let mut m = medium(0.0, 1);
+        let mut b = BitVec::zeros(10);
+        b.set(1, true);
+        m.begin_tx(0, 33, SimTime::from_us(100), b);
+        assert!(m.busy(33, SimTime::from_us(105), SimTime::from_us(106)));
+        assert!(!m.busy(34, SimTime::from_us(105), SimTime::from_us(106)));
+        assert!(!m.busy(33, SimTime::from_us(110), SimTime::from_us(120)));
+        assert_eq!(m.wire_at(33, SimTime::from_us(100)), Wire::L0);
+        assert_eq!(m.wire_at(33, SimTime::from_us(101)), Wire::L1);
+        assert_eq!(m.wire_at(33, SimTime::from_us(110)), Wire::Z);
+        assert_eq!(m.wire_at(34, SimTime::from_us(101)), Wire::Z);
+    }
+
+    #[test]
+    fn wire_probe_shows_collision_as_x() {
+        let mut m = medium(0.0, 1);
+        m.begin_tx(0, 33, SimTime::ZERO, bits(100));
+        m.begin_tx(1, 33, SimTime::ZERO, bits(100));
+        assert_eq!(m.wire_at(33, SimTime::from_us(5)), Wire::X);
+    }
+
+    #[test]
+    fn gc_reclaims_old_transmissions() {
+        let mut m = medium(0.0, 1);
+        let a = m.begin_tx(0, 1, SimTime::ZERO, bits(100));
+        m.gc(SimTime::from_us(10_000), SimDuration::from_us(1_000));
+        assert_eq!(m.live_count(), 0);
+        assert!(m.receive(a).is_none());
+    }
+
+    #[test]
+    fn gc_retains_recent_transmissions() {
+        let mut m = medium(0.0, 1);
+        let a = m.begin_tx(0, 1, SimTime::from_us(9_500), bits(100));
+        m.gc(SimTime::from_us(10_000), SimDuration::from_us(1_000));
+        assert!(m.receive(a).is_some());
+    }
+
+    #[test]
+    fn interferer_band_coverage() {
+        let w = Interferer::wlan(11, 1.0);
+        assert!(w.covers(0));
+        assert!(w.covers(21));
+        assert!(!w.covers(22));
+        let hi = Interferer::wlan(70, 1.0);
+        assert!(hi.covers(59));
+        assert!(hi.covers(78));
+        assert!(!hi.covers(58));
+    }
+
+    #[test]
+    fn full_duty_interferer_wipes_in_band_packets() {
+        let mut m = Medium::new(
+            ChannelConfig {
+                interferers: vec![Interferer::wlan(40, 1.0)],
+                ..ChannelConfig::default()
+            },
+            SimRng::new(5),
+        );
+        let in_band = m.begin_tx(0, 40, SimTime::ZERO, bits(100));
+        let rx = m.receive(in_band).unwrap();
+        assert!(rx.collided(), "in-band packet must be wiped");
+        assert_eq!(rx.collision_mask.unwrap().count_ones(), 100);
+        let out_band = m.begin_tx(0, 10, SimTime::from_us(200), bits(100));
+        assert!(!m.receive(out_band).unwrap().collided());
+    }
+
+    #[test]
+    fn partial_duty_interferer_hits_roughly_duty_fraction() {
+        let mut m = Medium::new(
+            ChannelConfig {
+                interferers: vec![Interferer::wlan(40, 0.5)],
+                ..ChannelConfig::default()
+            },
+            SimRng::new(9),
+        );
+        let mut hit = 0;
+        for k in 0..400u64 {
+            let tx = m.begin_tx(0, 40, SimTime::from_us(k * 1000), bits(50));
+            if m.receive(tx).unwrap().collided() {
+                hit += 1;
+            }
+            m.gc(SimTime::from_us(k * 1000), SimDuration::from_us(100));
+        }
+        assert!((140..260).contains(&hit), "hits {hit}/400 at duty 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RF channel")]
+    fn rejects_out_of_band_channel() {
+        let mut m = medium(0.0, 1);
+        m.begin_tx(0, 79, SimTime::ZERO, bits(8));
+    }
+}

@@ -1,0 +1,388 @@
+//! Packed bit vector used for over-the-air bit images.
+//!
+//! Bits are indexed in *transmission order*: index 0 is the first bit on
+//! the air. Bluetooth transmits least-significant bits first, so helper
+//! methods that exchange integers with the vector ([`BitVec::push_bits_lsb`],
+//! [`BitVec::bits_lsb`]) treat the lowest integer bit as the earliest bit.
+
+use std::fmt;
+
+/// A growable, packed vector of bits.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_coding::BitVec;
+///
+/// let mut v = BitVec::new();
+/// v.push_bits_lsb(0b1011, 4);
+/// assert_eq!(v.len(), 4);
+/// assert_eq!(v.get(0), Some(true));  // LSB first
+/// assert_eq!(v.get(2), Some(false));
+/// assert_eq!(v.bits_lsb(0, 4), 0b1011);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit vector with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Creates a vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a vector of `len` bits produced by `f(index)`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = Self::with_capacity(len);
+        for i in 0..len {
+            v.push(f(i));
+        }
+        v
+    }
+
+    /// Builds a vector from bytes, least-significant bit of `bytes[0]` first.
+    pub fn from_bytes_lsb(bytes: &[u8]) -> Self {
+        let mut v = Self::with_capacity(bytes.len() * 8);
+        for &b in bytes {
+            v.push_bits_lsb(b as u64, 8);
+        }
+        v
+    }
+
+    /// Packs the bits back into bytes (inverse of [`BitVec::from_bytes_lsb`]).
+    ///
+    /// The final byte is zero-padded if `len` is not a multiple of 8.
+    pub fn to_bytes_lsb(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len.div_ceil(8));
+        let mut i = 0;
+        while i < self.len {
+            let n = (self.len - i).min(8);
+            out.push(self.bits_lsb(i, n as u32) as u8);
+            i += 8;
+        }
+        out
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Appends the `n` low bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn push_bits_lsb(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot push more than 64 bits at once");
+        for i in 0..n {
+            self.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Returns the bit at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        if index >= self.len {
+            return None;
+        }
+        Some((self.words[index / 64] >> (index % 64)) & 1 == 1)
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&mut self, index: usize, bit: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let mask = 1u64 << (index % 64);
+        if bit {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn toggle(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        self.words[index / 64] ^= 1u64 << (index % 64);
+    }
+
+    /// Reads `n <= 64` bits starting at `index`, returned LSB-first.
+    ///
+    /// Bits past the end read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn bits_lsb(&self, index: usize, n: u32) -> u64 {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        let mut out = 0u64;
+        for i in 0..n as usize {
+            if let Some(true) = self.get(index + i) {
+                out |= 1u64 << i;
+            }
+        }
+        out
+    }
+
+    /// Appends every bit of `other`.
+    pub fn extend_bits(&mut self, other: &BitVec) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+
+    /// Returns the sub-vector `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vector length.
+    pub fn slice(&self, start: usize, len: usize) -> BitVec {
+        assert!(start + len <= self.len, "slice out of range");
+        BitVec::from_fn(len, |i| self.get(start + i).unwrap())
+    }
+
+    /// Iterates over the bits in transmission order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { v: self, i: 0 }
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        let mut total: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        // Mask out any stale bits beyond len (none are ever set, but be safe).
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(&last) = self.words.last() {
+                total -= (last & !((1u64 << tail) - 1)).count_ones() as usize;
+            }
+        }
+        total
+    }
+
+    /// XORs `other` into `self` bit-by-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_in_place(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "xor requires equal lengths");
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w ^= o;
+        }
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "hamming requires equal lengths");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; {}]", self.len, self)
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut v = BitVec::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+/// Iterator over the bits of a [`BitVec`] in transmission order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    v: &'a BitVec,
+    i: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let b = self.v.get(self.i)?;
+        self.i += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.v.len - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut v = BitVec::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            v.push(b);
+        }
+        assert_eq!(v.len(), pattern.len());
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(v.get(i), Some(b), "bit {i}");
+        }
+        assert_eq!(v.get(pattern.len()), None);
+    }
+
+    #[test]
+    fn push_bits_lsb_orders_lsb_first() {
+        let mut v = BitVec::new();
+        v.push_bits_lsb(0b0000_0001, 8);
+        assert_eq!(v.get(0), Some(true));
+        assert!(!(1..8).any(|i| v.get(i).unwrap()));
+    }
+
+    #[test]
+    fn bits_lsb_reads_back() {
+        let mut v = BitVec::new();
+        v.push_bits_lsb(0xDEAD_BEEF, 32);
+        v.push_bits_lsb(0x123, 12);
+        assert_eq!(v.bits_lsb(0, 32), 0xDEAD_BEEF);
+        assert_eq!(v.bits_lsb(32, 12), 0x123);
+        // Reads past the end are zero-filled.
+        assert_eq!(v.bits_lsb(40, 16), 0x1);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let bytes = [0x00, 0xFF, 0xA5, 0x5A, 0x12];
+        let v = BitVec::from_bytes_lsb(&bytes);
+        assert_eq!(v.len(), 40);
+        assert_eq!(v.to_bytes_lsb(), bytes);
+    }
+
+    #[test]
+    fn set_and_toggle() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert_eq!(v.count_ones(), 3);
+        v.toggle(64);
+        v.toggle(65);
+        assert_eq!(v.count_ones(), 3);
+        assert_eq!(v.get(64), Some(false));
+        assert_eq!(v.get(65), Some(true));
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a = BitVec::from_bytes_lsb(&[0b1010_1010, 0xFF]);
+        let b = BitVec::from_bytes_lsb(&[0b0101_0101, 0xFF]);
+        assert_eq!(a.hamming(&b), 8);
+        let mut c = a.clone();
+        c.xor_in_place(&b);
+        assert_eq!(c.count_ones(), 8);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let v = BitVec::from_bytes_lsb(&[0xF0, 0x0F]);
+        let s = v.slice(4, 8);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.bits_lsb(0, 8), 0xFF);
+    }
+
+    #[test]
+    fn display_is_transmission_order() {
+        let mut v = BitVec::new();
+        v.push_bits_lsb(0b0011, 4);
+        assert_eq!(v.to_string(), "1100");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.to_string(), "101");
+        let mut w = v.clone();
+        w.extend([false, true]);
+        assert_eq!(w.to_string(), "10101");
+    }
+
+    #[test]
+    fn count_ones_across_word_boundary() {
+        let v = BitVec::from_fn(200, |i| i % 3 == 0);
+        assert_eq!(v.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+}

@@ -1,0 +1,135 @@
+//! CRC-16 for payload integrity, as used by DM/DH/FHS payloads.
+//!
+//! The CRC-CCITT generator g(D) = D¹⁶ + D¹² + D⁵ + 1 is used with the
+//! register preloaded with the UAP in its upper byte (Bluetooth spec v1.2,
+//! Baseband §7.1.2). Bits are processed in transmission order.
+
+use crate::BitVec;
+
+/// CRC-CCITT polynomial without the D¹⁶ term.
+const CRC_TAPS: u16 = 0x1021;
+
+/// Computes the CRC-16 over `bits`, register preloaded with `uap << 8`.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_coding::{crc, BitVec};
+///
+/// let payload = BitVec::from_bytes_lsb(b"hello");
+/// let c = crc::crc16(0x47, payload.iter());
+/// assert!(crc::check(0x47, &payload, c));
+/// ```
+pub fn crc16(uap: u8, bits: impl IntoIterator<Item = bool>) -> u16 {
+    let mut reg = (uap as u16) << 8;
+    for bit in bits {
+        let fb = (reg >> 15) ^ (bit as u16);
+        reg <<= 1;
+        if fb & 1 == 1 {
+            reg ^= CRC_TAPS;
+        }
+    }
+    reg
+}
+
+/// Verifies a received `(payload, crc)` pair.
+pub fn check(uap: u8, payload: &BitVec, received: u16) -> bool {
+    crc16(uap, payload.iter()) == received
+}
+
+/// Appends the 16 CRC bits to `bits` in transmission order (LSB first).
+pub fn append_crc(uap: u8, bits: &mut BitVec) {
+    let c = crc16(uap, bits.iter());
+    bits.push_bits_lsb(c as u64, 16);
+}
+
+/// Splits `bits` into payload and CRC and verifies them.
+///
+/// Returns the payload when the CRC matches, `None` otherwise (including
+/// when `bits` is shorter than a CRC).
+pub fn strip_crc(uap: u8, bits: &BitVec) -> Option<BitVec> {
+    if bits.len() < 16 {
+        return None;
+    }
+    let payload = bits.slice(0, bits.len() - 16);
+    let rx_crc = bits.bits_lsb(bits.len() - 16, 16) as u16;
+    check(uap, &payload, rx_crc).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_append_and_strip() {
+        let uap = 0x9E;
+        for msg in [&b"x"[..], b"hello world", b"\x00\x00\x00", b"\xff\xff"] {
+            let mut bits = BitVec::from_bytes_lsb(msg);
+            append_crc(uap, &mut bits);
+            let stripped = strip_crc(uap, &bits).expect("valid CRC");
+            assert_eq!(stripped.to_bytes_lsb(), msg);
+        }
+    }
+
+    #[test]
+    fn detects_every_single_bit_error() {
+        let uap = 0x12;
+        let mut bits = BitVec::from_bytes_lsb(b"data under test");
+        append_crc(uap, &mut bits);
+        for i in 0..bits.len() {
+            let mut corrupt = bits.clone();
+            corrupt.toggle(i);
+            assert!(strip_crc(uap, &corrupt).is_none(), "missed flip at {i}");
+        }
+    }
+
+    #[test]
+    fn detects_double_bit_errors() {
+        let uap = 0x12;
+        let mut bits = BitVec::from_bytes_lsb(b"ab");
+        append_crc(uap, &mut bits);
+        for i in 0..bits.len() {
+            for j in (i + 1)..bits.len() {
+                let mut corrupt = bits.clone();
+                corrupt.toggle(i);
+                corrupt.toggle(j);
+                assert!(
+                    strip_crc(uap, &corrupt).is_none(),
+                    "missed flips at {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_bursts_up_to_16() {
+        let uap = 0x55;
+        let mut bits = BitVec::from_bytes_lsb(b"burst error test vector");
+        append_crc(uap, &mut bits);
+        for burst_len in 2..=16usize {
+            for start in (0..bits.len() - burst_len).step_by(7) {
+                let mut corrupt = bits.clone();
+                for k in 0..burst_len {
+                    corrupt.toggle(start + k);
+                }
+                assert!(
+                    strip_crc(uap, &corrupt).is_none(),
+                    "missed burst len {burst_len} at {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_uap_fails() {
+        let mut bits = BitVec::from_bytes_lsb(b"uap matters");
+        append_crc(0x47, &mut bits);
+        assert!(strip_crc(0x48, &bits).is_none());
+    }
+
+    #[test]
+    fn short_input_is_rejected() {
+        let bits = BitVec::from_bytes_lsb(&[0xAB]);
+        assert!(strip_crc(0, &bits).is_none());
+    }
+}

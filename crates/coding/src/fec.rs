@@ -1,0 +1,301 @@
+//! Forward error correction: the 1/3 repetition code and the 2/3
+//! shortened-Hamming (15,10) code (Bluetooth spec v1.2, Baseband §7.4/§7.5).
+//!
+//! * **FEC 1/3** repeats every bit three times and majority-decodes;
+//!   it protects the 18-bit packet header.
+//! * **FEC 2/3** appends 5 parity bits to every 10 data bits using the
+//!   generator g(D) = (D + 1)(D⁴ + D + 1) = D⁵ + D⁴ + D² + 1. The code
+//!   corrects one error and detects two per 15-bit codeword; it protects
+//!   DM and FHS payloads.
+
+use crate::BitVec;
+
+/// Generator polynomial of the (15,10) code, including the D⁵ term.
+const FEC23_GEN: u16 = 0b110101;
+
+/// Encodes `bits` with the 1/3 repetition code (each bit sent three times).
+pub fn fec13_encode(bits: &BitVec) -> BitVec {
+    let mut out = BitVec::with_capacity(bits.len() * 3);
+    for b in bits.iter() {
+        out.push(b);
+        out.push(b);
+        out.push(b);
+    }
+    out
+}
+
+/// Majority-decodes a 1/3-repetition stream.
+///
+/// Returns the decoded bits and how many triples needed correction.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a multiple of 3.
+pub fn fec13_decode(bits: &BitVec) -> (BitVec, usize) {
+    assert_eq!(bits.len() % 3, 0, "FEC 1/3 stream length must be 3n");
+    let mut out = BitVec::with_capacity(bits.len() / 3);
+    let mut corrected = 0;
+    for i in (0..bits.len()).step_by(3) {
+        let votes = bits.get(i).unwrap() as u8
+            + bits.get(i + 1).unwrap() as u8
+            + bits.get(i + 2).unwrap() as u8;
+        out.push(votes >= 2);
+        if votes == 1 || votes == 2 {
+            corrected += 1;
+        }
+    }
+    (out, corrected)
+}
+
+/// Computes the 5 parity bits of one 10-bit data block.
+///
+/// The block is interpreted with its first transmitted bit as the highest
+/// power of D, matching the serial encoder circuit of the spec.
+fn fec23_parity(block: u16) -> u8 {
+    // value = data << 5, then polynomial modulo g(D).
+    let mut v = (block as u32) << 5;
+    for k in (5..15).rev() {
+        if v & (1 << k) != 0 {
+            v ^= (FEC23_GEN as u32) << (k - 5);
+        }
+    }
+    (v & 0x1F) as u8
+}
+
+/// Encodes `bits` with the 2/3 FEC.
+///
+/// The input is zero-padded to a multiple of 10 bits, as the baseband does
+/// for the final block; the receiver trims using the known payload length.
+pub fn fec23_encode(bits: &BitVec) -> BitVec {
+    let mut out = BitVec::with_capacity(bits.len().div_ceil(10) * 15);
+    let mut i = 0;
+    while i < bits.len() {
+        let mut block = 0u16;
+        for k in 0..10 {
+            // First transmitted bit = highest power of D.
+            if bits.get(i + k) == Some(true) {
+                block |= 1 << (9 - k);
+            }
+        }
+        let parity = fec23_parity(block);
+        for k in 0..10 {
+            out.push(block & (1 << (9 - k)) != 0);
+        }
+        for k in 0..5 {
+            out.push(parity & (1 << (4 - k)) != 0);
+        }
+        i += 10;
+    }
+    out
+}
+
+/// Outcome of a 2/3 FEC decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fec23Decoded {
+    /// Best-effort decoded data bits (10 per received codeword).
+    pub data: BitVec,
+    /// Codewords whose single-bit error was corrected.
+    pub corrected: usize,
+    /// Codewords with an uncorrectable error pattern (≥ 2 errors detected).
+    pub failed: usize,
+}
+
+/// Decodes a 2/3 FEC stream, correcting one error per 15-bit codeword.
+///
+/// Uncorrectable codewords are passed through uncorrected and counted in
+/// [`Fec23Decoded::failed`]; the payload CRC is expected to catch them.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a multiple of 15.
+pub fn fec23_decode(bits: &BitVec) -> Fec23Decoded {
+    assert_eq!(bits.len() % 15, 0, "FEC 2/3 stream length must be 15n");
+    let mut data = BitVec::with_capacity(bits.len() / 15 * 10);
+    let mut corrected = 0;
+    let mut failed = 0;
+    for i in (0..bits.len()).step_by(15) {
+        let mut block = 0u16;
+        let mut parity = 0u8;
+        for k in 0..10 {
+            if bits.get(i + k).unwrap() {
+                block |= 1 << (9 - k);
+            }
+        }
+        for k in 0..5 {
+            if bits.get(i + 10 + k).unwrap() {
+                parity |= 1 << (4 - k);
+            }
+        }
+        let syndrome = fec23_parity(block) ^ parity;
+        if syndrome != 0 {
+            match error_position(syndrome) {
+                Some(pos) if pos < 10 => {
+                    block ^= 1 << (9 - pos);
+                    corrected += 1;
+                }
+                Some(_) => {
+                    // Error in a parity bit: data is already correct.
+                    corrected += 1;
+                }
+                None => failed += 1,
+            }
+        }
+        for k in 0..10 {
+            data.push(block & (1 << (9 - k)) != 0);
+        }
+    }
+    Fec23Decoded {
+        data,
+        corrected,
+        failed,
+    }
+}
+
+/// Maps a nonzero syndrome to the transmitted bit position of a single
+/// error (0..15, transmission order), or `None` for multi-error patterns.
+fn error_position(syndrome: u8) -> Option<usize> {
+    // Syndrome of a single error at transmitted position k equals
+    // D^(14-k) mod g(D).
+    for k in 0..15usize {
+        let mut v = 1u32 << (14 - k);
+        for j in (5..15).rev() {
+            if v & (1 << j) != 0 {
+                v ^= (FEC23_GEN as u32) << (j - 5);
+            }
+        }
+        if (v & 0x1F) as u8 == syndrome {
+            return Some(k);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bits(len: usize) -> BitVec {
+        BitVec::from_fn(len, |i| (i * 7 + 3) % 5 < 2)
+    }
+
+    #[test]
+    fn fec13_roundtrip_clean() {
+        let data = sample_bits(18);
+        let coded = fec13_encode(&data);
+        assert_eq!(coded.len(), 54);
+        let (decoded, corrected) = fec13_decode(&coded);
+        assert_eq!(decoded, data);
+        assert_eq!(corrected, 0);
+    }
+
+    #[test]
+    fn fec13_corrects_one_error_per_triple() {
+        let data = sample_bits(18);
+        let coded = fec13_encode(&data);
+        for i in 0..coded.len() {
+            let mut corrupt = coded.clone();
+            corrupt.toggle(i);
+            let (decoded, corrected) = fec13_decode(&corrupt);
+            assert_eq!(decoded, data, "flip at {i}");
+            assert_eq!(corrected, 1);
+        }
+    }
+
+    #[test]
+    fn fec13_two_errors_in_one_triple_corrupt_that_bit_only() {
+        let data = sample_bits(6);
+        let coded = fec13_encode(&data);
+        let mut corrupt = coded.clone();
+        corrupt.toggle(3);
+        corrupt.toggle(4);
+        let (decoded, _) = fec13_decode(&corrupt);
+        assert_eq!(decoded.get(0), data.get(0));
+        assert_ne!(decoded.get(1), data.get(1));
+    }
+
+    #[test]
+    fn fec23_roundtrip_clean() {
+        for len in [10usize, 20, 30, 160] {
+            let data = sample_bits(len);
+            let coded = fec23_encode(&data);
+            assert_eq!(coded.len(), len / 10 * 15);
+            let out = fec23_decode(&coded);
+            assert_eq!(out.data, data);
+            assert_eq!(out.corrected, 0);
+            assert_eq!(out.failed, 0);
+        }
+    }
+
+    #[test]
+    fn fec23_pads_partial_blocks() {
+        let data = sample_bits(13);
+        let coded = fec23_encode(&data);
+        assert_eq!(coded.len(), 30);
+        let out = fec23_decode(&coded);
+        assert_eq!(out.data.slice(0, 13), data);
+    }
+
+    #[test]
+    fn fec23_corrects_every_single_bit_error() {
+        let data = sample_bits(30);
+        let coded = fec23_encode(&data);
+        for i in 0..coded.len() {
+            let mut corrupt = coded.clone();
+            corrupt.toggle(i);
+            let out = fec23_decode(&corrupt);
+            assert_eq!(out.data, data, "flip at {i}");
+            assert_eq!(out.corrected, 1, "flip at {i}");
+            assert_eq!(out.failed, 0, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn fec23_flags_or_miscorrects_double_errors_without_panicking() {
+        // dmin = 4: any 2-bit error is detected (failed) or, at worst for a
+        // shortened code, corrected into a wrong codeword caught by CRC.
+        let data = sample_bits(10);
+        let coded = fec23_encode(&data);
+        let mut detected = 0;
+        let mut total = 0;
+        for i in 0..15 {
+            for j in (i + 1)..15 {
+                let mut corrupt = coded.clone();
+                corrupt.toggle(i);
+                corrupt.toggle(j);
+                let out = fec23_decode(&corrupt);
+                total += 1;
+                if out.failed == 1 {
+                    detected += 1;
+                } else {
+                    // Miscorrection must not silently return the original.
+                    assert_ne!(out.data, data, "flips at {i},{j}");
+                }
+            }
+        }
+        assert!(detected * 2 >= total, "most double errors should be flagged");
+    }
+
+    #[test]
+    fn syndrome_table_is_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..15 {
+            let mut corrupt = fec23_encode(&BitVec::zeros(10));
+            corrupt.toggle(k);
+            let mut block = 0u16;
+            let mut parity = 0u8;
+            for b in 0..10 {
+                if corrupt.get(b).unwrap() {
+                    block |= 1 << (9 - b);
+                }
+            }
+            for b in 0..5 {
+                if corrupt.get(10 + b).unwrap() {
+                    parity |= 1 << (4 - b);
+                }
+            }
+            let syndrome = fec23_parity(block) ^ parity;
+            assert!(seen.insert(syndrome), "duplicate syndrome for {k}");
+            assert_eq!(error_position(syndrome), Some(k));
+        }
+    }
+}

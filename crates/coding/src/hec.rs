@@ -1,0 +1,118 @@
+//! Header Error Check: the 8-bit LFSR code protecting packet headers.
+//!
+//! The generator polynomial is g(D) = D⁸ + D⁷ + D⁵ + D² + D + 1 and the
+//! shift register is preloaded with the UAP of the relevant device
+//! (Bluetooth spec v1.2, Baseband §7.1.1). The ten header information bits
+//! are clocked through in transmission order.
+
+/// Feedback taps of g(D) = D⁸ + D⁷ + D⁵ + D² + D + 1 without the D⁸ term.
+const HEC_TAPS: u8 = 0b1010_0111;
+
+/// Computes the HEC of the ten header information bits.
+///
+/// `info` holds the bits LSB-first in transmission order; only the low ten
+/// bits are used. The register is initialised with `uap`.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_coding::hec;
+///
+/// let h = hec::hec(0x47, 0b10_1100_0101);
+/// assert!(hec::check(0x47, 0b10_1100_0101, h));
+/// assert!(!hec::check(0x47, 0b10_1100_0100, h));
+/// ```
+pub fn hec(uap: u8, info: u16) -> u8 {
+    let mut reg = uap;
+    for i in 0..10 {
+        let bit = ((info >> i) & 1) as u8;
+        let fb = (reg >> 7) ^ bit;
+        reg <<= 1;
+        if fb & 1 == 1 {
+            reg ^= HEC_TAPS;
+        }
+    }
+    reg
+}
+
+/// Verifies a received `(info, hec)` pair against the expected `uap`.
+pub fn check(uap: u8, info: u16, received_hec: u8) -> bool {
+    hec(uap, info) == received_hec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_pair_checks() {
+        for info in [0u16, 1, 0x3FF, 0x155, 0x2AA] {
+            for uap in [0u8, 0xFF, 0x47, 0x9E] {
+                assert!(check(uap, info, hec(uap, info)));
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_single_bit_error_in_info() {
+        let uap = 0x31;
+        let info = 0b01_1011_0010u16;
+        let h = hec(uap, info);
+        for i in 0..10 {
+            assert!(!check(uap, info ^ (1 << i), h), "missed flip at {i}");
+        }
+    }
+
+    #[test]
+    fn detects_every_single_bit_error_in_hec() {
+        let uap = 0x31;
+        let info = 0b01_1011_0010u16;
+        let h = hec(uap, info);
+        for i in 0..8 {
+            assert!(!check(uap, info, h ^ (1 << i)), "missed flip at {i}");
+        }
+    }
+
+    #[test]
+    fn detects_all_double_bit_errors() {
+        // g(D) has (D+1) as a factor and degree 8, so all 1- and 2-bit
+        // errors over the 18-bit block must be caught.
+        let uap = 0x72;
+        let info = 0b11_0101_1001u16;
+        let h = hec(uap, info);
+        for i in 0..18u32 {
+            for j in (i + 1)..18 {
+                let mut inf = info;
+                let mut hh = h;
+                for k in [i, j] {
+                    if k < 10 {
+                        inf ^= 1 << k;
+                    } else {
+                        hh ^= 1 << (k - 10);
+                    }
+                }
+                assert!(!check(uap, inf, hh), "missed flips at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn depends_on_uap() {
+        let info = 0b10_0110_1100u16;
+        assert_ne!(hec(0x00, info), hec(0x01, info));
+    }
+
+    #[test]
+    fn wrong_uap_rejects_most_headers() {
+        // A receiver initialised with the wrong UAP should reject valid
+        // headers: this is how devices filter foreign piconet traffic.
+        let mut rejected = 0;
+        for info in 0..1024u16 {
+            let h = hec(0x47, info);
+            if !check(0x48, info, h) {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 1024, "HEC with wrong UAP must always differ");
+    }
+}

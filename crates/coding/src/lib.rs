@@ -1,0 +1,47 @@
+//! # btsim-coding
+//!
+//! Bit-level coding primitives of the Bluetooth baseband, used to build
+//! exact over-the-air packet images for the `btsim` system-level simulator
+//! (reproduction of Conti & Moretti, *System Level Analysis of the
+//! Bluetooth Standard*, DATE 2005):
+//!
+//! * [`BitVec`] — packed bit vector in transmission order;
+//! * [`hec`] — 8-bit header error check;
+//! * [`crc`] — CRC-16 payload check;
+//! * [`fec`] — 1/3 repetition and 2/3 (15,10) shortened-Hamming FEC;
+//! * [`Whitener`] — x⁷+x⁴+1 data whitening;
+//! * [`syncword`] — (64,30) BCH access-code sync words and correlation.
+//!
+//! # Examples
+//!
+//! Building and checking a DM-style payload:
+//!
+//! ```
+//! use btsim_coding::{crc, fec, BitVec, Whitener};
+//!
+//! // payload + CRC, whiten, then 2/3 FEC — exactly the baseband TX chain.
+//! let mut payload = BitVec::from_bytes_lsb(b"data");
+//! crc::append_crc(0x47, &mut payload);
+//! let white = Whitener::from_clk(13).whiten(&payload);
+//! let air = fec::fec23_encode(&white);
+//!
+//! // Receive chain: FEC decode, de-whiten, CRC strip.
+//! let decoded = fec::fec23_decode(&air);
+//! let trimmed = decoded.data.slice(0, payload.len());
+//! let dewhite = Whitener::from_clk(13).whiten(&trimmed);
+//! let got = crc::strip_crc(0x47, &dewhite).expect("CRC must pass");
+//! assert_eq!(got.to_bytes_lsb(), b"data");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+pub mod crc;
+pub mod fec;
+pub mod hec;
+pub mod syncword;
+mod whitening;
+
+pub use bits::{BitVec, Iter};
+pub use whitening::Whitener;

@@ -1,0 +1,133 @@
+//! Data whitening (scrambling) with the 7-bit LFSR x⁷ + x⁴ + 1.
+//!
+//! Header and payload bits are XORed with the LFSR output before FEC
+//! encoding on transmit, and again after FEC decoding on receive
+//! (Bluetooth spec v1.2, Baseband §7.2). The register is seeded from the
+//! master clock bits CLK₆₋₁ with a 1 forced into the top position, so the
+//! seed is never zero.
+
+use crate::BitVec;
+
+/// The whitening LFSR.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_coding::{BitVec, Whitener};
+///
+/// let data = BitVec::from_bytes_lsb(b"payload");
+/// let white = Whitener::from_clk(0x2A).whiten(&data);
+/// let back = Whitener::from_clk(0x2A).whiten(&white);
+/// assert_eq!(back, data);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Whitener {
+    reg: u8, // 7 bits
+}
+
+impl Whitener {
+    /// Creates a whitener seeded from clock bits CLK₆₋₁.
+    ///
+    /// Only the low 6 bits of `clk6_1` are used; bit 6 of the register is
+    /// forced to 1 per the spec, so the LFSR can never be stuck at zero.
+    pub fn from_clk(clk6_1: u8) -> Self {
+        Self {
+            reg: 0x40 | (clk6_1 & 0x3F),
+        }
+    }
+
+    /// Produces the next bit of the whitening sequence.
+    pub fn next_bit(&mut self) -> bool {
+        // Fibonacci LFSR for x^7 + x^4 + 1: output bit 6; feedback bit 6 ^ bit 3.
+        let out = (self.reg >> 6) & 1;
+        let fb = out ^ ((self.reg >> 3) & 1);
+        self.reg = ((self.reg << 1) | fb) & 0x7F;
+        out == 1
+    }
+
+    /// XORs the whitening sequence over `bits`, returning the result.
+    ///
+    /// Whitening is an involution: applying it twice with the same seed
+    /// returns the original data.
+    pub fn whiten(mut self, bits: &BitVec) -> BitVec {
+        self.apply(bits)
+    }
+
+    /// XORs the next `bits.len()` sequence bits over `bits`, advancing the
+    /// register so a later call continues the stream.
+    ///
+    /// The baseband whitens the 18 header bits and the payload with one
+    /// continuous stream; use this method to process them in two steps.
+    pub fn apply(&mut self, bits: &BitVec) -> BitVec {
+        BitVec::from_fn(bits.len(), |i| bits.get(i).unwrap() ^ self.next_bit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involution_for_all_seeds() {
+        let data = BitVec::from_bytes_lsb(b"all seeds must invert");
+        for clk in 0..64u8 {
+            let w = Whitener::from_clk(clk).whiten(&data);
+            let back = Whitener::from_clk(clk).whiten(&w);
+            assert_eq!(back, data, "seed {clk}");
+        }
+    }
+
+    #[test]
+    fn sequence_has_maximal_period_127() {
+        let mut w = Whitener::from_clk(0b010101);
+        let start = w.reg;
+        let mut period = 0usize;
+        loop {
+            w.next_bit();
+            period += 1;
+            if w.reg == start {
+                break;
+            }
+            assert!(period <= 127, "period exceeds maximal length");
+        }
+        assert_eq!(period, 127);
+    }
+
+    #[test]
+    fn register_never_reaches_zero() {
+        let mut w = Whitener::from_clk(0);
+        for _ in 0..256 {
+            assert_ne!(w.reg, 0);
+            w.next_bit();
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let data = BitVec::zeros(64);
+        let a = Whitener::from_clk(1).whiten(&data);
+        let b = Whitener::from_clk(2).whiten(&data);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn apply_continues_the_stream() {
+        let data = BitVec::from_bytes_lsb(b"header+payload stream");
+        let whole = Whitener::from_clk(9).whiten(&data);
+        let mut w = Whitener::from_clk(9);
+        let mut split = w.apply(&data.slice(0, 18));
+        split.extend_bits(&w.apply(&data.slice(18, data.len() - 18)));
+        assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn actually_scrambles() {
+        let data = BitVec::zeros(128);
+        let w = Whitener::from_clk(0b11011).whiten(&data);
+        let ones = w.count_ones();
+        assert!(
+            (32..=96).contains(&ones),
+            "whitened all-zero data should look balanced, got {ones} ones"
+        );
+    }
+}

@@ -1,0 +1,1239 @@
+//! The paper's experiments, one function per table/figure.
+//!
+//! Each function runs the corresponding scenario campaign and returns a
+//! structured result with a [`Table`] renderer printing the same series
+//! the paper reports. Absolute numbers depend on the calibrated
+//! behavioural model (see EXPERIMENTS.md); the shapes — break-even
+//! points, bottleneck ordering, saturation — are the reproduction target.
+
+use std::time::Instant;
+
+use btsim_baseband::{LcCommand, LcEvent, PacketType, ScoParams, SniffParams};
+use btsim_kernel::{SimDuration, SimTime};
+use btsim_stats::{run_campaign, Summary, Table};
+use btsim_trace::{render_ascii, to_vcd, AsciiOptions};
+
+use crate::scenario::{
+    connect_pair, paper_config, CreationConfig, CreationScenario, HoldConfig, HoldScenario,
+    InquiryConfig, InquiryScenario, PageConfig, PageScenario, ParkConfig, ParkScenario,
+    SniffConfig, SniffScenario, TrafficConfig, TrafficScenario,
+};
+use crate::{LoggedEvent, SimBuilder};
+
+/// The BER sweep of the paper's Figs. 6-8.
+pub const PAPER_BERS: [(&str, f64); 8] = [
+    ("1/100", 1.0 / 100.0),
+    ("1/90", 1.0 / 90.0),
+    ("1/80", 1.0 / 80.0),
+    ("1/70", 1.0 / 70.0),
+    ("1/60", 1.0 / 60.0),
+    ("1/50", 1.0 / 50.0),
+    ("1/40", 1.0 / 40.0),
+    ("1/30", 1.0 / 30.0),
+];
+
+/// Campaign sizing options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Monte-Carlo runs per parameter point.
+    pub runs: usize,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+    /// Base seed; run `i` of a point uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            runs: 200,
+            threads: 0,
+            base_seed: 0x00B1_005E,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// A reduced campaign for smoke tests and quick previews.
+    pub fn quick() -> Self {
+        Self {
+            runs: 12,
+            threads: 0,
+            base_seed: 0x00B1_005E,
+        }
+    }
+}
+
+/// One row of a BER-sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BerRow {
+    /// BER label, e.g. `1/50` (`0` for the noiseless anchor).
+    pub label: String,
+    /// Numeric BER.
+    pub ber: f64,
+    /// Mean slots to completion over completed runs.
+    pub mean_slots: f64,
+    /// 95% confidence half-width of the mean.
+    pub ci95: f64,
+    /// Fraction of runs that completed within the cap.
+    pub completed: f64,
+}
+
+/// Result of the Fig. 6 experiment (inquiry duration vs BER).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BerSweep {
+    /// What was measured (for the table caption).
+    pub phase: &'static str,
+    /// One row per BER point (first row: no noise).
+    pub rows: Vec<BerRow>,
+}
+
+impl BerSweep {
+    /// Renders the paper-style series.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["BER", "mean TS", "ci95", "completed"]);
+        for r in &self.rows {
+            t.row([
+                r.label.clone(),
+                format!("{:.1}", r.mean_slots),
+                format!("{:.1}", r.ci95),
+                format!("{:.1}%", r.completed * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+fn ber_sweep<F>(opts: &ExpOptions, phase: &'static str, run_one: F) -> BerSweep
+where
+    F: Fn(f64, u64) -> (bool, u64) + Sync,
+{
+    let mut rows = Vec::new();
+    let mut points: Vec<(String, f64)> = vec![("0".into(), 0.0)];
+    points.extend(PAPER_BERS.iter().map(|(l, b)| (l.to_string(), *b)));
+    for (label, ber) in points {
+        let results = run_campaign(opts.runs, opts.threads, opts.base_seed, |seed| {
+            run_one(ber, seed)
+        });
+        let mut done = Summary::new();
+        let mut completed = 0usize;
+        for (ok, slots) in &results {
+            if *ok {
+                completed += 1;
+                done.add(*slots as f64);
+            }
+        }
+        rows.push(BerRow {
+            label,
+            ber,
+            mean_slots: done.mean(),
+            ci95: done.ci95(),
+            completed: completed as f64 / results.len().max(1) as f64,
+        });
+    }
+    BerSweep { phase, rows }
+}
+
+/// **Fig. 6** — mean number of time slots to complete the inquiry phase
+/// as a function of the BER (no timeout; mean over completed runs).
+pub fn fig6_inquiry_vs_ber(opts: &ExpOptions) -> BerSweep {
+    ber_sweep(opts, "inquiry", |ber, seed| {
+        let out = InquiryScenario::new(InquiryConfig {
+            ber,
+            ..InquiryConfig::default()
+        })
+        .run(seed);
+        (out.completed, out.slots)
+    })
+}
+
+/// **Fig. 7** — mean number of time slots to complete the page phase as
+/// a function of the BER (devices already synchronised). As in the paper,
+/// the 1.28 s page timeout applies; the mean is over successful runs.
+pub fn fig7_page_vs_ber(opts: &ExpOptions) -> BerSweep {
+    ber_sweep(opts, "page", |ber, seed| {
+        let out = PageScenario::new(PageConfig {
+            ber,
+            cap_slots: 2048,
+            ..PageConfig::default()
+        })
+        .run(seed);
+        (out.completed, out.slots)
+    })
+}
+
+/// One row of the Fig. 8 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRow {
+    /// BER label.
+    pub label: String,
+    /// Numeric BER.
+    pub ber: f64,
+    /// Probability the inquiry phase missed the 1.28 s timeout.
+    pub inquiry_failure: f64,
+    /// Probability the page phase missed the 1.28 s timeout.
+    pub page_failure: f64,
+}
+
+/// Result of the Fig. 8 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8 {
+    /// One row per BER point.
+    pub rows: Vec<FailureRow>,
+}
+
+impl Fig8 {
+    /// Renders the paper-style series.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["BER", "inquiry failure", "page failure"]);
+        for r in &self.rows {
+            t.row([
+                r.label.clone(),
+                format!("{:.1}%", r.inquiry_failure * 100.0),
+                format!("{:.1}%", r.page_failure * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+/// **Fig. 8** — probability of failure of the inquiry and page phases
+/// under the paper's 1.28 s (2048-slot) timeout. The page phase is the
+/// bottleneck: its success probability collapses beyond BER ≈ 1/50.
+pub fn fig8_creation_failure(opts: &ExpOptions) -> Fig8 {
+    const TIMEOUT: u64 = 2048;
+    let mut rows = Vec::new();
+    for (label, ber) in PAPER_BERS {
+        let inquiry = run_campaign(opts.runs, opts.threads, opts.base_seed, |seed| {
+            let out = InquiryScenario::new(InquiryConfig {
+                ber,
+                cap_slots: TIMEOUT,
+                ..InquiryConfig::default()
+            })
+            .run(seed);
+            out.completed && out.slots <= TIMEOUT
+        });
+        let page = run_campaign(opts.runs, opts.threads, opts.base_seed, |seed| {
+            let out = PageScenario::new(PageConfig {
+                ber,
+                cap_slots: TIMEOUT,
+                ..PageConfig::default()
+            })
+            .run(seed);
+            out.completed && out.slots <= TIMEOUT
+        });
+        let frac_fail = |v: &[bool]| 1.0 - v.iter().filter(|&&b| b).count() as f64 / v.len() as f64;
+        rows.push(FailureRow {
+            label: label.to_string(),
+            ber,
+            inquiry_failure: frac_fail(&inquiry),
+            page_failure: frac_fail(&page),
+        });
+    }
+    Fig8 { rows }
+}
+
+/// Waveform outputs (Figs. 5 and 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveforms {
+    /// Terminal rendering of the RF-enable signals.
+    pub ascii: String,
+    /// VCD document for a waveform viewer.
+    pub vcd: String,
+    /// Human-readable notes on what the trace shows.
+    pub notes: String,
+}
+
+/// **Fig. 5** — waveforms of the creation of a piconet with a master and
+/// three slaves, all switched on simultaneously on a clean channel.
+/// Scanning slaves show continuously asserted `enable_rx_RF`; once in the
+/// piconet they listen only at slot starts.
+pub fn fig5_creation_waveforms(seed: u64) -> Waveforms {
+    let mut cfg = paper_config();
+    cfg.trace = true;
+    // A short backoff keeps the interesting region compact, like the
+    // paper's figure.
+    cfg.lc.inquiry_backoff_max = 128;
+    let out = CreationScenario::new(CreationConfig {
+        n_slaves: 3,
+        inquiry_timeout_slots: 16 * 2048,
+        sim: cfg,
+        ..CreationConfig::default()
+    })
+    .run(0, seed);
+    let end = out.sim.now();
+    let ascii = render_ascii(
+        out.sim.recorder(),
+        &AsciiOptions {
+            from: SimTime::ZERO,
+            to: end,
+            columns: 160,
+        },
+    );
+    let vcd = to_vcd(out.sim.recorder());
+    let notes = format!(
+        "piconet formed: {} | inquiry: {} slots | pages: {:?}",
+        out.piconet_complete(),
+        out.inquiry_slots,
+        out.pages
+            .iter()
+            .map(|(_, ok, s)| (*ok, *s))
+            .collect::<Vec<_>>()
+    );
+    Waveforms { ascii, vcd, notes }
+}
+
+/// **Fig. 9** — waveforms with two slaves placed in sniff mode; their
+/// `enable_rx_RF` pulses only at the sniff anchors.
+pub fn fig9_sniff_waveforms(seed: u64) -> Waveforms {
+    let mut cfg = paper_config();
+    cfg.trace = true;
+    let mut b = SimBuilder::new(seed, cfg);
+    let master = b.add_device("master");
+    let s1 = b.add_device("slave1");
+    let s2 = b.add_device("slave2");
+    let s3 = b.add_device("slave3");
+    let mut sim = b.build();
+    let cap = SimTime::from_us(60_000_000);
+    let lt1 = connect_pair(&mut sim, master, s1, cap).expect("slave1 connects");
+    let lt2 = connect_pair(&mut sim, master, s2, cap).expect("slave2 connects");
+    let lt3 = connect_pair(&mut sim, master, s3, cap).expect("slave3 connects");
+    let _ = lt1;
+    // Slaves 2 and 3 go to sniff mode with a 2-slot timeout window, as in
+    // the paper's figure.
+    let anchor = sim.lc(master).clkn(sim.now()).slot();
+    for (lt, dev) in [(lt2, s2), (lt3, s3)] {
+        let params = SniffParams {
+            t_sniff: 12,
+            n_attempt: 1,
+            d_sniff: anchor % 12,
+            n_timeout: 2,
+        };
+        sim.command(master, LcCommand::Sniff { lt_addr: lt, params });
+        sim.command(dev, LcCommand::Sniff { lt_addr: lt, params });
+    }
+    let from = sim.now();
+    sim.run_until(from + SimDuration::from_slots(80));
+    let ascii = render_ascii(
+        sim.recorder(),
+        &AsciiOptions {
+            from,
+            to: sim.now(),
+            columns: 160,
+        },
+    );
+    let vcd = to_vcd(sim.recorder());
+    Waveforms {
+        ascii,
+        vcd,
+        notes: "slave2/slave3 sniffing (Tsniff=12, timeout 2 slots); slave1 active".into(),
+    }
+}
+
+/// One row of the Fig. 10 result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyRow {
+    /// Channel duty cycle (fraction of available master TX slots used).
+    pub duty: f64,
+    /// Master transmitter activity.
+    pub tx: f64,
+    /// Master receiver activity.
+    pub rx: f64,
+}
+
+/// Result of the Fig. 10 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10 {
+    /// One row per duty-cycle point.
+    pub rows: Vec<DutyRow>,
+}
+
+impl Fig10 {
+    /// Renders the paper-style series.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["duty cycle", "TX activity", "RX activity"]);
+        for r in &self.rows {
+            t.row([
+                format!("{:.2}%", r.duty * 100.0),
+                format!("{:.4}%", r.tx * 100.0),
+                format!("{:.4}%", r.rx * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+/// **Fig. 10** — RF activity of the master (TX and RX) as a function of
+/// the channel duty cycle: linear growth, TX above RX.
+pub fn fig10_master_activity(opts: &ExpOptions) -> Fig10 {
+    let duties = [0.0025, 0.005, 0.0075, 0.01, 0.0125, 0.015, 0.0175, 0.02];
+    let measure = 150_000u64.min(40_000 * opts.runs as u64);
+    let rows = run_campaign(duties.len(), opts.threads, 0, |i| {
+        let duty = duties[i as usize];
+        let out = TrafficScenario::new(TrafficConfig {
+            duty,
+            measure_slots: measure,
+            ..TrafficConfig::default()
+        })
+        .run(opts.base_seed + i);
+        DutyRow {
+            duty,
+            tx: out.master.tx,
+            rx: out.master.rx,
+        }
+    });
+    Fig10 { rows }
+}
+
+/// One row of the Fig. 11 / Fig. 12 results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeRow {
+    /// The swept parameter (Tsniff or Thold, in slots).
+    pub interval: u32,
+    /// Slave RF activity (TX+RX) in the low-power mode.
+    pub mode_activity: f64,
+}
+
+/// Result of the Fig. 11 / Fig. 12 experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeSweep {
+    /// Which mode was swept (`"sniff"` / `"hold"`).
+    pub mode: &'static str,
+    /// RF activity of the active-mode baseline.
+    pub active_activity: f64,
+    /// One row per interval point.
+    pub rows: Vec<ModeRow>,
+}
+
+impl ModeSweep {
+    /// Renders the paper-style series.
+    pub fn table(&self) -> Table {
+        let mut t = Table::with_headers(vec![
+            format!("T{}/Ts", self.mode),
+            format!("{} activity", self.mode),
+            "active activity".into(),
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.interval.to_string(),
+                format!("{:.3}%", r.mode_activity * 100.0),
+                format!("{:.3}%", self.active_activity * 100.0),
+            ]);
+        }
+        t
+    }
+
+    /// The smallest swept interval where the low-power mode beats the
+    /// active baseline (the paper's break-even point).
+    pub fn break_even(&self) -> Option<u32> {
+        self.rows
+            .iter()
+            .find(|r| r.mode_activity < self.active_activity)
+            .map(|r| r.interval)
+    }
+}
+
+/// **Fig. 11** — slave RF activity vs Tsniff with data every 100 slots.
+/// Sniff beats active mode only above the break-even interval (≈30
+/// slots); at Tsniff = 100 the paper reports ≈30% reduction.
+pub fn fig11_sniff_activity(opts: &ExpOptions) -> ModeSweep {
+    let measure = 120_000u64;
+    let active = SniffScenario::new(SniffConfig {
+        t_sniff: 0,
+        measure_slots: measure,
+        ..SniffConfig::default()
+    })
+    .run(opts.base_seed);
+    let intervals = [20u32, 30, 40, 50, 60, 70, 80, 90, 100];
+    let rows = run_campaign(intervals.len(), opts.threads, 0, |i| {
+        let t_sniff = intervals[i as usize];
+        let out = SniffScenario::new(SniffConfig {
+            t_sniff,
+            measure_slots: measure,
+            ..SniffConfig::default()
+        })
+        .run(opts.base_seed + 1 + i);
+        ModeRow {
+            interval: t_sniff,
+            mode_activity: out.activity,
+        }
+    });
+    ModeSweep {
+        mode: "sniff",
+        active_activity: active.activity,
+        rows,
+    }
+}
+
+/// **Fig. 12** — slave RF activity vs Thold on an idle connection.
+/// The active baseline is the paper's constant 2.6% slot-start listening
+/// floor; hold wins above the break-even (paper: ≈120 slots).
+pub fn fig12_hold_activity(opts: &ExpOptions) -> ModeSweep {
+    let measure = 200_000u64;
+    let active = HoldScenario::new(HoldConfig {
+        t_hold: 0,
+        measure_slots: measure,
+        ..HoldConfig::default()
+    })
+    .run(opts.base_seed);
+    let intervals = [40u32, 80, 120, 160, 240, 400, 600, 800, 1000];
+    let rows = run_campaign(intervals.len(), opts.threads, 0, |i| {
+        let t_hold = intervals[i as usize];
+        let out = HoldScenario::new(HoldConfig {
+            t_hold,
+            measure_slots: measure,
+            ..HoldConfig::default()
+        })
+        .run(opts.base_seed + 1 + i);
+        ModeRow {
+            interval: t_hold,
+            mode_activity: out.activity,
+        }
+    });
+    ModeSweep {
+        mode: "hold",
+        active_activity: active.activity,
+        rows,
+    }
+}
+
+/// Result of the simulation-speed measurement (§3.1's performance note).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSpeed {
+    /// Simulated seconds (paper: 0.48 s).
+    pub sim_seconds: f64,
+    /// Wall-clock seconds the run took.
+    pub wall_seconds: f64,
+    /// Simulated 1 MHz clock cycles per wall second (paper: 747).
+    pub clock_cycles_per_sec: f64,
+    /// Speedup over the paper's reported 747 cycles/s.
+    pub speedup_vs_paper: f64,
+}
+
+impl SimSpeed {
+    /// Renders the comparison row.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["metric", "paper (SystemC, 2005)", "btsim (Rust)"]);
+        t.row([
+            "simulated time".into(),
+            "0.48 s".into(),
+            format!("{:.2} s", self.sim_seconds),
+        ]);
+        t.row([
+            "clock cycles / wall second".into(),
+            "747".into(),
+            format!("{:.0}", self.clock_cycles_per_sec),
+        ]);
+        t.row([
+            "speedup".into(),
+            "1x".into(),
+            format!("{:.0}x", self.speedup_vs_paper),
+        ]);
+        t
+    }
+}
+
+/// **Table 1** (the §3.1 performance paragraph) — simulation speed of the
+/// piconet-creation scenario: the paper simulated 0.48 s in 10′47″
+/// (747 clock cycles per second at the 1 µs symbol clock).
+pub fn table1_sim_speed(seed: u64) -> SimSpeed {
+    let sim_seconds = 0.48;
+    let started = Instant::now();
+    let out = CreationScenario::new(CreationConfig {
+        n_slaves: 3,
+        inquiry_timeout_slots: (sim_seconds * 1600.0) as u32,
+        page_timeout_slots: 512,
+        ..CreationConfig::default()
+    })
+    .run(0, seed);
+    let _ = out.piconet_complete();
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let cycles = sim_seconds * 1e6; // 1 MHz symbol clock
+    let per_sec = cycles / wall;
+    SimSpeed {
+        sim_seconds,
+        wall_seconds: wall,
+        clock_cycles_per_sec: per_sec,
+        speedup_vs_paper: per_sec / 747.0,
+    }
+}
+
+/// One row of the extension experiment Ext-A.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// ACL packet type used.
+    pub ptype: PacketType,
+    /// BER label.
+    pub ber_label: String,
+    /// Numeric BER.
+    pub ber: f64,
+    /// Goodput in kbit/s (acknowledged user payload).
+    pub kbps: f64,
+}
+
+/// Result of the Ext-A experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtThroughput {
+    /// One row per (packet type, BER) combination.
+    pub rows: Vec<ThroughputRow>,
+}
+
+impl ExtThroughput {
+    /// Renders the packet-type × BER goodput matrix.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["type", "BER", "goodput kbit/s"]);
+        for r in &self.rows {
+            t.row([
+                format!("{:?}", r.ptype),
+                r.ber_label.clone(),
+                format!("{:.1}", r.kbps),
+            ]);
+        }
+        t
+    }
+}
+
+/// **Ext-A** — the packet-type analysis announced in the paper's aims:
+/// goodput of DM1/DH1/DM3/DH3/DM5/DH5 under increasing BER. FEC-protected
+/// DM types overtake the larger unprotected DH types as noise grows.
+pub fn ext_packet_throughput(opts: &ExpOptions) -> ExtThroughput {
+    let types = [
+        PacketType::Dm1,
+        PacketType::Dh1,
+        PacketType::Dm3,
+        PacketType::Dh3,
+        PacketType::Dm5,
+        PacketType::Dh5,
+    ];
+    let bers: [(&str, f64); 4] = [
+        ("0", 0.0),
+        ("1/1000", 0.001),
+        ("1/300", 1.0 / 300.0),
+        ("1/100", 0.01),
+    ];
+    let mut jobs = Vec::new();
+    for t in types {
+        for (label, ber) in bers {
+            jobs.push((t, label.to_string(), ber));
+        }
+    }
+    let rows = run_campaign(jobs.len(), opts.threads, 0, |i| {
+        let (ptype, ref label, ber) = jobs[i as usize];
+        let kbps = measure_goodput(ptype, ber, opts.base_seed + i);
+        ThroughputRow {
+            ptype,
+            ber_label: label.clone(),
+            ber,
+            kbps,
+        }
+    });
+    ExtThroughput { rows }
+}
+
+fn measure_goodput(ptype: PacketType, ber: f64, seed: u64) -> f64 {
+    let mut cfg = paper_config();
+    cfg.channel.ber = ber;
+    let mut b = SimBuilder::new(seed, cfg);
+    let master = b.add_device("master");
+    let slave = b.add_device("slave1");
+    let mut sim = b.build();
+    let Some(lt) = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000)) else {
+        return 0.0;
+    };
+    sim.command(master, LcCommand::SetAclType(ptype));
+    sim.command(master, LcCommand::SetTpoll(2));
+    // Large enough that no packet type drains the queue in the window
+    // (DH5 moves ≈56 user bytes per slot when saturated).
+    let payload_bytes = 300_000usize;
+    sim.command(
+        master,
+        LcCommand::AclData {
+            lt_addr: lt,
+            data: vec![0xD7; payload_bytes],
+        },
+    );
+    let start = sim.now();
+    let window = SimDuration::from_slots(3_000);
+    sim.run_until(start + window);
+    let received: usize = sim
+        .events()
+        .iter()
+        .filter(|e| e.device == slave && e.at > start)
+        .filter_map(|e| match &e.event {
+            btsim_baseband::LcEvent::AclReceived { data, .. } => Some(data.len()),
+            _ => None,
+        })
+        .sum();
+    (received as f64 * 8.0) / window.secs_f64() / 1000.0
+}
+
+/// Result of the Ext-B coexistence experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtCoexistence {
+    /// Mean creation slots without an interfering piconet.
+    pub baseline_mean_slots: f64,
+    /// Mean creation slots with a busy piconet nearby.
+    pub interfered_mean_slots: f64,
+    /// Creation success fraction without interference.
+    pub baseline_success: f64,
+    /// Creation success fraction with interference.
+    pub interfered_success: f64,
+}
+
+impl ExtCoexistence {
+    /// Renders the comparison.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["scenario", "mean creation TS", "success"]);
+        t.row([
+            "isolated".into(),
+            format!("{:.0}", self.baseline_mean_slots),
+            format!("{:.1}%", self.baseline_success * 100.0),
+        ]);
+        t.row([
+            "next to busy piconet".into(),
+            format!("{:.0}", self.interfered_mean_slots),
+            format!("{:.1}%", self.interfered_success * 100.0),
+        ]);
+        t
+    }
+}
+
+/// **Ext-B** — collision behaviour with two co-located piconets (the
+/// situation of the paper's references [3-5]): piconet B forms while
+/// piconet A saturates the channel with traffic. Hop collisions corrupt
+/// some of B's exchanges, stretching its creation time.
+pub fn ext_coexistence(opts: &ExpOptions) -> ExtCoexistence {
+    let runs = opts.runs.max(4);
+    let run_creation = |seed: u64, with_interferer: bool| -> (bool, u64) {
+        let cfg = paper_config();
+        let mut b = SimBuilder::new(seed, cfg);
+        let a_master = b.add_device("a_master");
+        let a_slave = b.add_device("a_slave");
+        let b_master = b.add_device("b_master");
+        let b_slave = b.add_device("b_slave");
+        let mut sim = b.build();
+        if with_interferer {
+            if let Some(lt) = connect_pair(&mut sim, a_master, a_slave, SimTime::from_us(30_000_000))
+            {
+                // Saturate piconet A with back-to-back traffic.
+                sim.command(a_master, LcCommand::SetTpoll(2));
+                sim.command(
+                    a_master,
+                    LcCommand::AclData {
+                        lt_addr: lt,
+                        data: vec![0xEE; 300_000],
+                    },
+                );
+            }
+        }
+        let start = sim.now();
+        sim.command(b_slave, LcCommand::InquiryScan);
+        sim.command(
+            b_master,
+            LcCommand::Inquiry {
+                num_responses: 1,
+                timeout_slots: 0,
+            },
+        );
+        let cap = start + SimDuration::from_slots(16 * 2048);
+        let inq = sim.run_until_event(cap, |e| {
+            matches!(e.event, btsim_baseband::LcEvent::InquiryComplete { .. }) && e.device == 2
+        });
+        let Some(inq) = inq else {
+            return (false, 16 * 2048);
+        };
+        let offset = sim
+            .events()
+            .iter()
+            .find_map(|e| match e.event {
+                btsim_baseband::LcEvent::InquiryResult { clk_offset, .. } if e.device == 2 => {
+                    Some(clk_offset)
+                }
+                _ => None,
+            })
+            .unwrap_or(0);
+        let target = sim.lc(b_slave).addr();
+        sim.command(b_slave, LcCommand::PageScan);
+        sim.command(
+            b_master,
+            LcCommand::Page {
+                target,
+                clke_offset: offset,
+                timeout_slots: 2048,
+            },
+        );
+        let done = sim.run_until_event(inq.at + SimDuration::from_slots(4096), |e| {
+            matches!(e.event, btsim_baseband::LcEvent::Connected { .. }) && e.device == 3
+        });
+        match done {
+            Some(ev) => (true, ev.at.slots() - start.slots()),
+            None => (false, 16 * 2048),
+        }
+    };
+    let eval = |with: bool| -> (f64, f64) {
+        let results = run_campaign(runs, opts.threads, opts.base_seed, |seed| {
+            run_creation(seed, with)
+        });
+        let ok = results.iter().filter(|(c, _)| *c).count();
+        let mean: Summary = results
+            .iter()
+            .filter(|(c, _)| *c)
+            .map(|(_, s)| *s as f64)
+            .collect();
+        (mean.mean(), ok as f64 / results.len() as f64)
+    };
+    let (baseline_mean_slots, baseline_success) = eval(false);
+    let (interfered_mean_slots, interfered_success) = eval(true);
+    ExtCoexistence {
+        baseline_mean_slots,
+        interfered_mean_slots,
+        baseline_success,
+        interfered_success,
+    }
+}
+
+/// One row of the Ext-C SCO experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoRow {
+    /// Voice packet type (HV1/HV2/HV3).
+    pub ptype: PacketType,
+    /// Slave RF activity fraction while the link carries voice.
+    pub activity: f64,
+    /// Delivered voice frames / reserved pairs, per BER label.
+    pub delivery: Vec<(String, f64)>,
+    /// Residual voice byte-error fraction after FEC, per BER label —
+    /// where HV1's 1/3 FEC earns its slots.
+    pub residual_err: Vec<(String, f64)>,
+}
+
+/// Result of the Ext-C experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtSco {
+    /// One row per HV type.
+    pub rows: Vec<ScoRow>,
+}
+
+impl ExtSco {
+    /// Renders the HV comparison.
+    pub fn table(&self) -> Table {
+        let mut headers = vec!["type".to_string(), "slave activity".to_string()];
+        if let Some(first) = self.rows.first() {
+            for (label, _) in &first.delivery {
+                headers.push(format!("delivery @{label}"));
+            }
+            for (label, _) in &first.residual_err {
+                headers.push(format!("byte err @{label}"));
+            }
+        }
+        let mut t = Table::with_headers(headers);
+        for r in &self.rows {
+            let mut cells = vec![
+                format!("{:?}", r.ptype),
+                format!("{:.2}%", r.activity * 100.0),
+            ];
+            for (_, d) in &r.delivery {
+                cells.push(format!("{:.1}%", d * 100.0));
+            }
+            for (_, e) in &r.residual_err {
+                cells.push(format!("{:.3}%", e * 100.0));
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+/// **Ext-C** — SCO voice links (the standard's second link type, paper
+/// §1): RF cost and frame-delivery rate of HV1/HV2/HV3. HV1 reserves
+/// every slot pair (maximum RF cost, maximum FEC protection); HV3 uses
+/// one pair in three with no FEC.
+pub fn ext_sco(opts: &ExpOptions) -> ExtSco {
+    let types = [PacketType::Hv1, PacketType::Hv2, PacketType::Hv3];
+    let bers: [(&str, f64); 3] = [("0", 0.0), ("1/100", 0.01), ("1/40", 1.0 / 40.0)];
+    let rows = run_campaign(types.len(), opts.threads, 0, |i| {
+        let ptype = types[i as usize];
+        let mut delivery = Vec::new();
+        let mut residual_err = Vec::new();
+        let mut activity = 0.0;
+        for (k, (label, ber)) in bers.iter().enumerate() {
+            let (rate, err, act) = measure_sco(ptype, *ber, opts.base_seed + i * 16 + k as u64);
+            delivery.push((label.to_string(), rate));
+            residual_err.push((label.to_string(), err));
+            if k == 0 {
+                activity = act;
+            }
+        }
+        ScoRow {
+            ptype,
+            activity,
+            delivery,
+            residual_err,
+        }
+    });
+    ExtSco { rows }
+}
+
+fn measure_sco(ptype: PacketType, ber: f64, seed: u64) -> (f64, f64, f64) {
+    let mut cfg = paper_config();
+    cfg.channel.ber = ber;
+    let mut b = SimBuilder::new(seed, cfg);
+    let master = b.add_device("master");
+    let slave = b.add_device("slave1");
+    let mut sim = b.build();
+    let Some(lt) = connect_pair(&mut sim, master, slave, SimTime::from_us(120_000_000)) else {
+        return (0.0, 1.0, 0.0);
+    };
+    let d_sco = sim.lc(master).clkn(sim.now()).slot().wrapping_add(8) & !1;
+    let params = ScoParams::for_type(ptype, d_sco);
+    sim.command(master, LcCommand::ScoSetup { lt_addr: lt, params });
+    sim.command(slave, LcCommand::ScoSetup { lt_addr: lt, params });
+    let start = sim.now();
+    let window_slots = 3000u64;
+    // A known constant pattern: any received byte that differs was
+    // corrupted in flight (HV3) or by an uncorrectable FEC block (HV1/2).
+    const PATTERN: u8 = 0xA5;
+    sim.command(
+        master,
+        LcCommand::ScoData {
+            lt_addr: lt,
+            data: vec![PATTERN; (window_slots as usize / params.t_sco as usize + 2) * 32],
+        },
+    );
+    sim.run_until(start + SimDuration::from_slots(window_slots));
+    let mut frames = 0f64;
+    let mut bytes = 0f64;
+    let mut bad = 0f64;
+    for e in sim.events() {
+        if e.device != slave || e.at < start {
+            continue;
+        }
+        if let LcEvent::ScoReceived { data, .. } = &e.event {
+            frames += 1.0;
+            bytes += data.len() as f64;
+            bad += data.iter().filter(|&&b| b != PATTERN).count() as f64;
+        }
+    }
+    let reserved = (window_slots / params.t_sco as u64) as f64;
+    let report = sim.power_report(slave);
+    let active = report.phase(btsim_baseband::LifePhase::Active);
+    (
+        frames / reserved,
+        if bytes > 0.0 { bad / bytes } else { 1.0 },
+        active.activity(),
+    )
+}
+
+/// One row of the calibration ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Whether the page-response FHS carried the spec 2/3 FEC.
+    pub fhs_fec: bool,
+    /// Whether the page scan ran continuously (vs the R1 window).
+    pub continuous_scan: bool,
+    /// Page failure probability per BER label (2048-slot timeout).
+    pub page_failure: Vec<(String, f64)>,
+}
+
+/// Result of the calibration ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtAblation {
+    /// One row per knob combination.
+    pub rows: Vec<AblationRow>,
+}
+
+impl ExtAblation {
+    /// Renders the knob × BER failure matrix.
+    pub fn table(&self) -> Table {
+        let mut headers = vec!["page FHS FEC".to_string(), "page scan".to_string()];
+        if let Some(first) = self.rows.first() {
+            for (label, _) in &first.page_failure {
+                headers.push(format!("failure @{label}"));
+            }
+        }
+        let mut t = Table::with_headers(headers);
+        for r in &self.rows {
+            let mut cells = vec![
+                if r.fhs_fec { "2/3 FEC" } else { "raw" }.to_string(),
+                if r.continuous_scan { "continuous" } else { "R1 window" }.to_string(),
+            ];
+            for (_, f) in &r.page_failure {
+                cells.push(format!("{:.0}%", f * 100.0));
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+/// **Ablation** — why the calibration of `paper_config()` is what it is:
+/// page-failure probability under the four combinations of the two
+/// fragility levers. Only "raw FHS + R1 window" reproduces the paper's
+/// Fig. 8 (failure racing to ~100% at BER 1/30 while staying moderate at
+/// 1/100); every other combination leaves paging too robust.
+pub fn ext_calibration_ablation(opts: &ExpOptions) -> ExtAblation {
+    let bers: [(&str, f64); 3] = [("1/100", 0.01), ("1/50", 0.02), ("1/30", 1.0 / 30.0)];
+    let combos = [(true, true), (true, false), (false, true), (false, false)];
+    let rows = run_campaign(combos.len(), opts.threads, 0, |i| {
+        let (fhs_fec, continuous) = combos[i as usize];
+        let mut page_failure = Vec::new();
+        for (label, ber) in bers {
+            let failures = run_campaign(opts.runs, 1, opts.base_seed, |seed| {
+                let mut sim = paper_config();
+                sim.lc.page_fhs_fec = fhs_fec;
+                sim.lc.page_scan_continuous = continuous;
+                sim.channel.ber = ber;
+                let out = PageScenario::new(PageConfig {
+                    ber,
+                    cap_slots: 2048,
+                    sim,
+                    ..PageConfig::default()
+                })
+                .run(seed);
+                !out.completed
+            });
+            let frac = failures.iter().filter(|&&f| f).count() as f64 / failures.len() as f64;
+            page_failure.push((label.to_string(), frac));
+        }
+        AblationRow {
+            fhs_fec,
+            continuous_scan: continuous,
+            page_failure,
+        }
+    });
+    ExtAblation { rows }
+}
+
+/// **Ext-D** — park mode, the fourth low-power mode of the paper's list
+/// (no park figure appears in the paper): slave RF activity vs the
+/// beacon interval, against the same 2.6% active floor as Fig. 12.
+pub fn ext_park_activity(opts: &ExpOptions) -> ModeSweep {
+    let measure = 150_000u64;
+    let active = ParkScenario::new(ParkConfig {
+        beacon_interval: 0,
+        measure_slots: measure,
+        ..ParkConfig::default()
+    })
+    .run(opts.base_seed);
+    let intervals = [50u32, 100, 200, 400, 800, 1600];
+    let rows = run_campaign(intervals.len(), opts.threads, 0, |i| {
+        let beacon_interval = intervals[i as usize];
+        let out = ParkScenario::new(ParkConfig {
+            beacon_interval,
+            measure_slots: measure,
+            ..ParkConfig::default()
+        })
+        .run(opts.base_seed + 1 + i);
+        ModeRow {
+            interval: beacon_interval,
+            mode_activity: out.activity,
+        }
+    });
+    ModeSweep {
+        mode: "park",
+        active_activity: active.activity,
+        rows,
+    }
+}
+
+/// Result of the inquiry-distribution experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InquiryDistribution {
+    /// Completion-time histogram over [0, 6144) slots.
+    pub histogram: btsim_stats::Histogram,
+    /// Sample summary.
+    pub summary: Summary,
+}
+
+/// **Ext-E** — the *distribution* behind Fig. 6's mean: inquiry duration
+/// is strongly structured by the train mechanism (an early mass when the
+/// scanner's channel sits in the active train, a late mass one train
+/// switch later) convolved with the uniform response backoff.
+pub fn ext_inquiry_distribution(opts: &ExpOptions) -> InquiryDistribution {
+    let results = run_campaign(opts.runs.max(50), opts.threads, opts.base_seed, |seed| {
+        InquiryScenario::new(InquiryConfig::default()).run(seed).slots
+    });
+    let mut histogram = btsim_stats::Histogram::new(0.0, 6144.0, 24);
+    let mut summary = Summary::new();
+    for slots in results {
+        histogram.add(slots as f64);
+        summary.add(slots as f64);
+    }
+    InquiryDistribution { histogram, summary }
+}
+
+/// One row of the WLAN-coexistence experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WlanRow {
+    /// Fraction of time the 22-channel WLAN band is busy.
+    pub wlan_duty: f64,
+    /// ACL goodput in kbit/s (DM1 bulk transfer).
+    pub goodput_kbps: f64,
+    /// Goodput with v1.2 adaptive frequency hopping avoiding the band.
+    pub goodput_afh_kbps: f64,
+    /// Page success probability (2048-slot timeout; paging cannot use
+    /// AFH — the devices share no channel map yet).
+    pub page_success: f64,
+}
+
+/// Result of the WLAN-coexistence experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtWlan {
+    /// One row per WLAN duty point.
+    pub rows: Vec<WlanRow>,
+}
+
+impl ExtWlan {
+    /// Renders the duty sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "WLAN duty",
+            "goodput kbit/s",
+            "goodput w/ AFH",
+            "page success",
+        ]);
+        for r in &self.rows {
+            t.row([
+                format!("{:.0}%", r.wlan_duty * 100.0),
+                format!("{:.1}", r.goodput_kbps),
+                format!("{:.1}", r.goodput_afh_kbps),
+                format!("{:.0}%", r.page_success * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+/// **Ext-F** — coexistence with an 802.11 network (the interference the
+/// paper's references [4-5] analyse): a WLAN occupying 22 of the 79 hop
+/// channels wipes in-band Bluetooth packets with its duty probability.
+/// Frequency hopping caps the damage at the band fraction (22/79 ≈ 28% of
+/// packets exposed), which ARQ then recovers at reduced throughput;
+/// v1.2 adaptive frequency hopping (a `ChannelMap` excluding the band)
+/// restores nearly the clean-channel goodput.
+pub fn ext_wlan_coexistence(opts: &ExpOptions) -> ExtWlan {
+    let duties = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let rows = run_campaign(duties.len(), opts.threads, 0, |i| {
+        let wlan_duty = duties[i as usize];
+        let make_cfg = || {
+            let mut cfg = paper_config();
+            cfg.channel.interferers = vec![btsim_channel::Interferer::wlan(40, wlan_duty)];
+            cfg
+        };
+        // Goodput under interference, with and without AFH.
+        let goodput = |afh: bool, seed: u64| -> f64 {
+            let mut b = SimBuilder::new(seed, make_cfg());
+            let master = b.add_device("master");
+            let slave = b.add_device("slave1");
+            let mut sim = b.build();
+            match connect_pair(&mut sim, master, slave, SimTime::from_us(120_000_000)) {
+                Some(lt) => {
+                    if afh {
+                        // The map excludes the WLAN band (channels 29-50).
+                        let map = btsim_baseband::hop::ChannelMap::blocking(29..=50);
+                        sim.command(master, LcCommand::SetAfh(map.clone()));
+                        sim.command(slave, LcCommand::SetAfh(map));
+                    }
+                    sim.command(master, LcCommand::SetTpoll(2));
+                    sim.command(
+                        master,
+                        LcCommand::AclData {
+                            lt_addr: lt,
+                            data: vec![0x6B; 300_000],
+                        },
+                    );
+                    let start = sim.now();
+                    let window = SimDuration::from_slots(4_000);
+                    sim.run_until(start + window);
+                    let bytes: usize = sim
+                        .events()
+                        .iter()
+                        .filter(|e| e.device == slave && e.at > start)
+                        .filter_map(|e| match &e.event {
+                            LcEvent::AclReceived { data, .. } => Some(data.len()),
+                            _ => None,
+                        })
+                        .sum();
+                    bytes as f64 * 8.0 / window.secs_f64() / 1000.0
+                }
+                None => 0.0,
+            }
+        };
+        let goodput_kbps = goodput(false, opts.base_seed + i);
+        let goodput_afh_kbps = goodput(true, opts.base_seed + i);
+        // Page success under interference.
+        let runs = opts.runs.clamp(8, 64);
+        let pages = run_campaign(runs, 1, opts.base_seed + 100 + i, |seed| {
+            PageScenario::new(PageConfig {
+                cap_slots: 2048,
+                sim: make_cfg(),
+                ..PageConfig::default()
+            })
+            .run(seed)
+            .completed
+        });
+        let page_success = pages.iter().filter(|&&b| b).count() as f64 / pages.len() as f64;
+        WlanRow {
+            wlan_duty,
+            goodput_kbps,
+            goodput_afh_kbps,
+            page_success,
+        }
+    });
+    ExtWlan { rows }
+}
+
+/// Helper for binaries: filters logged events of one device.
+pub fn events_of(events: &[LoggedEvent], device: usize) -> Vec<&LoggedEvent> {
+    events.iter().filter(|e| e.device == device).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_quick_has_anchor_and_monotone_tail() {
+        let opts = ExpOptions {
+            runs: 6,
+            ..ExpOptions::quick()
+        };
+        let f = fig6_inquiry_vs_ber(&opts);
+        assert_eq!(f.rows.len(), 9);
+        assert_eq!(f.rows[0].label, "0");
+        assert!(f.rows[0].completed > 0.9, "noiseless inquiry completes");
+        assert!(f.rows[0].mean_slots > 100.0);
+        let t = f.table();
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn fig8_quick_page_is_bottleneck_at_high_ber() {
+        let opts = ExpOptions {
+            runs: 8,
+            ..ExpOptions::quick()
+        };
+        let f = fig8_creation_failure(&opts);
+        let last = f.rows.last().unwrap();
+        assert!(
+            last.page_failure >= last.inquiry_failure,
+            "page must be the bottleneck at BER 1/30: page {} inquiry {}",
+            last.page_failure,
+            last.inquiry_failure
+        );
+        assert!(last.page_failure > 0.8, "page ~impossible at 1/30");
+    }
+
+    #[test]
+    fn fig5_waveforms_render() {
+        let w = fig5_creation_waveforms(3);
+        assert!(w.ascii.contains("enable_rx_RF"));
+        assert!(w.vcd.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn table1_reports_speedup() {
+        let s = table1_sim_speed(1);
+        assert!(s.clock_cycles_per_sec > 747.0, "should beat 2005 SystemC");
+        assert!(s.speedup_vs_paper > 1.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # btsim-core
+//!
+//! The top level of the `btsim` Bluetooth system model (reproduction of
+//! Conti & Moretti, *System Level Analysis of the Bluetooth Standard*,
+//! DATE 2005): device composition, the [`Simulator`], the paper's
+//! scenarios ([`scenario`]) and its experiments ([`experiments`] — one
+//! function per figure).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scenario;
+mod simulator;
+
+pub use simulator::{LoggedEvent, LoggedLmEvent, SimBuilder, SimConfig, Simulator};

@@ -1,0 +1,409 @@
+//! Piconet creation scenarios (paper §3.1, Figs. 5-8).
+
+use btsim_baseband::{BdAddr, LcCommand, LcEvent};
+use btsim_kernel::{SimDuration, SimTime};
+
+use crate::{SimBuilder, SimConfig, Simulator};
+
+use super::paper_config;
+
+/// Configuration of a standalone inquiry experiment.
+#[derive(Debug, Clone)]
+pub struct InquiryConfig {
+    /// Channel bit error rate.
+    pub ber: f64,
+    /// Number of scanning devices to discover.
+    pub n_scanners: usize,
+    /// Hard cap on the simulated duration, in slots.
+    pub cap_slots: u64,
+    /// Simulator configuration (defaults to [`paper_config`]).
+    pub sim: SimConfig,
+}
+
+impl Default for InquiryConfig {
+    fn default() -> Self {
+        Self {
+            ber: 0.0,
+            n_scanners: 1,
+            cap_slots: 16 * 2048,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// Result of one inquiry run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InquiryOutcome {
+    /// All requested responses arrived before the cap.
+    pub completed: bool,
+    /// Slots from start to completion (or the cap).
+    pub slots: u64,
+    /// Distinct devices discovered.
+    pub responses: u8,
+}
+
+/// Runs the inquiry phase: one inquirer against `n_scanners` scanning
+/// devices, all enabled at t = 0 (as in the paper's simulations).
+#[derive(Debug, Clone)]
+pub struct InquiryScenario {
+    cfg: InquiryConfig,
+}
+
+impl InquiryScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: InquiryConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs one seeded realisation.
+    pub fn run(&self, seed: u64) -> InquiryOutcome {
+        let mut cfg = self.cfg.sim.clone();
+        cfg.channel.ber = self.cfg.ber;
+        let mut b = SimBuilder::new(seed, cfg);
+        let inquirer = b.add_device("master");
+        for i in 0..self.cfg.n_scanners {
+            b.add_device(&format!("slave{}", i + 1));
+        }
+        let mut sim = b.build();
+        for i in 0..self.cfg.n_scanners {
+            sim.command(1 + i, LcCommand::InquiryScan);
+        }
+        sim.command(
+            inquirer,
+            LcCommand::Inquiry {
+                num_responses: self.cfg.n_scanners as u8,
+                timeout_slots: 0,
+            },
+        );
+        let cap = SimTime::ZERO + SimDuration::from_slots(self.cfg.cap_slots);
+        let done = sim.run_until_event(cap, |e| {
+            matches!(e.event, LcEvent::InquiryComplete { .. })
+        });
+        match done {
+            Some(ev) => {
+                let responses = match ev.event {
+                    LcEvent::InquiryComplete { responses } => responses,
+                    _ => unreachable!("matched above"),
+                };
+                InquiryOutcome {
+                    completed: responses as usize >= self.cfg.n_scanners,
+                    slots: ev.at.slots(),
+                    responses,
+                }
+            }
+            None => InquiryOutcome {
+                completed: false,
+                slots: self.cfg.cap_slots,
+                responses: sim
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.event, LcEvent::InquiryResult { .. }))
+                    .count() as u8,
+            },
+        }
+    }
+}
+
+/// Configuration of a standalone page experiment.
+#[derive(Debug, Clone)]
+pub struct PageConfig {
+    /// Channel bit error rate.
+    pub ber: f64,
+    /// Hard cap on the simulated duration, in slots.
+    pub cap_slots: u64,
+    /// Error (in clock ticks) added to the pager's clock estimate;
+    /// 0 models the paper's "devices already synchronised" setup.
+    pub clke_error_ticks: u32,
+    /// Simulator configuration (defaults to [`paper_config`]).
+    pub sim: SimConfig,
+}
+
+impl Default for PageConfig {
+    fn default() -> Self {
+        Self {
+            ber: 0.0,
+            cap_slots: 16 * 2048,
+            clke_error_ticks: 0,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// Result of one page run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageOutcome {
+    /// The slave reached CONNECTION (POLL/NULL exchanged).
+    pub completed: bool,
+    /// Slots from start to the slave's `Connected` event (or the cap).
+    pub slots: u64,
+}
+
+/// Runs the page phase between a master and a page-scanning slave whose
+/// clock the master already knows (the post-inquiry situation of §3.1).
+#[derive(Debug, Clone)]
+pub struct PageScenario {
+    cfg: PageConfig,
+}
+
+impl PageScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: PageConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs one seeded realisation.
+    pub fn run(&self, seed: u64) -> PageOutcome {
+        let mut cfg = self.cfg.sim.clone();
+        cfg.channel.ber = self.cfg.ber;
+        let mut b = SimBuilder::new(seed, cfg);
+        let master = b.add_device("master");
+        let slave = b.add_device("slave1");
+        let mut sim = b.build();
+        let offset = sim
+            .lc(master)
+            .clkn(SimTime::ZERO)
+            .offset_to(sim.lc(slave).clkn(SimTime::ZERO))
+            .wrapping_add(self.cfg.clke_error_ticks);
+        let target = sim.lc(slave).addr();
+        sim.command(slave, LcCommand::PageScan);
+        sim.command(
+            master,
+            LcCommand::Page {
+                target,
+                clke_offset: offset,
+                timeout_slots: 0,
+            },
+        );
+        let cap = SimTime::ZERO + SimDuration::from_slots(self.cfg.cap_slots);
+        let done = sim.run_until_event(cap, |e| matches!(e.event, LcEvent::Connected { .. }));
+        match done {
+            Some(ev) => PageOutcome {
+                completed: true,
+                slots: ev.at.slots(),
+            },
+            None => PageOutcome {
+                completed: false,
+                slots: self.cfg.cap_slots,
+            },
+        }
+    }
+}
+
+/// Configuration of the full piconet-creation scenario.
+#[derive(Debug, Clone)]
+pub struct CreationConfig {
+    /// Number of slaves (1-7).
+    pub n_slaves: usize,
+    /// Channel bit error rate.
+    pub ber: f64,
+    /// Inquiry timeout in slots (paper: 1.28 s = 2048 slots).
+    pub inquiry_timeout_slots: u32,
+    /// Page timeout per slave in slots (paper: 2048 slots).
+    pub page_timeout_slots: u32,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for CreationConfig {
+    fn default() -> Self {
+        Self {
+            n_slaves: 1,
+            ber: 0.0,
+            inquiry_timeout_slots: 2048,
+            page_timeout_slots: 2048,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// Result of a full creation run.
+pub struct CreationOutcome {
+    /// Devices discovered during inquiry.
+    pub discovered: Vec<BdAddr>,
+    /// Slots the inquiry phase took.
+    pub inquiry_slots: u64,
+    /// Whether every slave was discovered in time.
+    pub inquiry_ok: bool,
+    /// Per-page results: `(slave, connected, slots)`.
+    pub pages: Vec<(BdAddr, bool, u64)>,
+    /// The simulator after the run (waveforms, power, assertions).
+    pub sim: Simulator,
+}
+
+impl CreationOutcome {
+    /// True when the whole piconet formed (inquiry + every page).
+    pub fn piconet_complete(&self) -> bool {
+        self.inquiry_ok && !self.pages.is_empty() && self.pages.iter().all(|(_, ok, _)| *ok)
+    }
+}
+
+/// The paper's headline scenario: a master discovers and connects
+/// `n_slaves` devices, all switched on at the same time (Fig. 5).
+#[derive(Debug, Clone)]
+pub struct CreationScenario {
+    cfg: CreationConfig,
+}
+
+impl CreationScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: CreationConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs one seeded realisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slaves` is 0 or greater than 7.
+    pub fn run(&self, lap_seed: u32, seed: u64) -> CreationOutcome {
+        assert!(
+            (1..=7).contains(&self.cfg.n_slaves),
+            "a piconet takes 1-7 slaves"
+        );
+        let _ = lap_seed;
+        let mut cfg = self.cfg.sim.clone();
+        cfg.channel.ber = self.cfg.ber;
+        let mut b = SimBuilder::new(seed, cfg);
+        let master = b.add_device("master");
+        for i in 0..self.cfg.n_slaves {
+            b.add_device(&format!("slave{}", i + 1));
+        }
+        let mut sim = b.build();
+
+        // All devices try to connect at the same time (paper Fig. 5).
+        for i in 0..self.cfg.n_slaves {
+            sim.command(1 + i, LcCommand::InquiryScan);
+        }
+        sim.command(
+            master,
+            LcCommand::Inquiry {
+                num_responses: self.cfg.n_slaves as u8,
+                timeout_slots: self.cfg.inquiry_timeout_slots,
+            },
+        );
+        let inquiry_cap =
+            SimTime::ZERO + SimDuration::from_slots(2 * self.cfg.inquiry_timeout_slots as u64 + 64);
+        let inquiry_done = sim.run_until_event(inquiry_cap, |e| {
+            matches!(e.event, LcEvent::InquiryComplete { .. })
+        });
+        let inquiry_slots = inquiry_done
+            .as_ref()
+            .map(|e| e.at.slots())
+            .unwrap_or(self.cfg.inquiry_timeout_slots as u64);
+        // Collect discoveries with their clock offsets.
+        let discovered: Vec<(BdAddr, u32)> = sim
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                LcEvent::InquiryResult { addr, clk_offset } => Some((addr, clk_offset)),
+                _ => None,
+            })
+            .collect();
+        let inquiry_ok = discovered.len() >= self.cfg.n_slaves;
+
+        // Page each discovered slave in turn. Each slave switches from
+        // inquiry scan to page scan just before its page (application
+        // policy: the scan window opens when a connection is expected;
+        // meanwhile the others keep their receivers on in inquiry scan,
+        // the always-active behaviour of the paper's Fig. 5).
+        let mut pages = Vec::new();
+        for (addr, clk_offset) in &discovered {
+            let start = sim.now();
+            if let Some(dev) = (1..=self.cfg.n_slaves).find(|&d| sim.lc(d).addr() == *addr) {
+                sim.command(dev, LcCommand::PageScan);
+            }
+            sim.command(
+                master,
+                LcCommand::Page {
+                    target: *addr,
+                    clke_offset: *clk_offset,
+                    timeout_slots: self.cfg.page_timeout_slots,
+                },
+            );
+            let cap = start + SimDuration::from_slots(2 * self.cfg.page_timeout_slots as u64 + 64);
+            let addr_copy = *addr;
+            let done = sim.run_until_event(cap, move |e| match &e.event {
+                LcEvent::PageComplete { addr: a, .. } => *a == addr_copy,
+                LcEvent::PageFailed { addr: a } => *a == addr_copy,
+                _ => false,
+            });
+            match done {
+                Some(ev) if matches!(ev.event, LcEvent::PageComplete { .. }) => {
+                    let slots = ev.at.slots() - start.slots();
+                    // Let the first POLL/NULL exchange finish.
+                    sim.run_until(ev.at + SimDuration::from_slots(8));
+                    pages.push((*addr, true, slots));
+                }
+                Some(ev) => pages.push((*addr, false, ev.at.slots() - start.slots())),
+                None => pages.push((*addr, false, self.cfg.page_timeout_slots as u64)),
+            }
+        }
+        // A short settling window so traces show the running piconet.
+        let settle = sim.now() + SimDuration::from_slots(32);
+        sim.run_until(settle);
+        CreationOutcome {
+            discovered: discovered.iter().map(|(a, _)| *a).collect(),
+            inquiry_slots,
+            inquiry_ok,
+            pages,
+            sim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inquiry_scenario_completes_on_clean_channel() {
+        let out = InquiryScenario::new(InquiryConfig::default()).run(424242);
+        assert!(out.completed, "clean-channel inquiry should succeed");
+        assert_eq!(out.responses, 1);
+        assert!(out.slots > 0);
+    }
+
+    #[test]
+    fn page_scenario_is_fast_when_synchronised() {
+        let out = PageScenario::new(PageConfig::default()).run(1);
+        assert!(out.completed);
+        assert!(
+            out.slots <= 64,
+            "synchronised page took {} slots, expected tens",
+            out.slots
+        );
+    }
+
+    #[test]
+    fn page_scenario_fails_at_extreme_ber() {
+        let cfg = PageConfig {
+            ber: 0.2,
+            cap_slots: 2048,
+            ..PageConfig::default()
+        };
+        let out = PageScenario::new(cfg).run(3);
+        assert!(!out.completed, "BER 0.2 must prevent page completion");
+    }
+
+    #[test]
+    fn creation_forms_single_slave_piconet() {
+        let out = CreationScenario::new(CreationConfig {
+            inquiry_timeout_slots: 8192,
+            ..CreationConfig::default()
+        })
+        .run(0, 99);
+        assert!(out.piconet_complete(), "outcome: inquiry_ok={} pages={:?}",
+            out.inquiry_ok, out.pages);
+        assert!(out.sim.lc(0).is_master());
+        assert!(out.sim.lc(1).is_slave());
+    }
+
+    #[test]
+    fn creation_scenario_is_deterministic() {
+        let run = |seed| {
+            let o = CreationScenario::new(CreationConfig::default()).run(0, seed);
+            (o.inquiry_slots, o.pages.clone(), o.inquiry_ok)
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

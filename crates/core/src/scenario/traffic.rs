@@ -1,0 +1,550 @@
+//! Connection-state traffic scenarios (paper §3.2, Figs. 9-12).
+
+use btsim_baseband::{LcCommand, LcEvent, LifePhase, LinkMode, SniffParams};
+use btsim_kernel::{SimDuration, SimTime};
+
+use crate::{SimBuilder, SimConfig, Simulator};
+
+use super::paper_config;
+
+/// Pages `slave` from `master` with an exact clock estimate and waits for
+/// the connection; returns the slave's LT_ADDR.
+///
+/// This is the setup step of every traffic scenario (the paper assumes a
+/// formed piconet for its §3.2 analyses).
+pub fn connect_pair(sim: &mut Simulator, master: usize, slave: usize, cap: SimTime) -> Option<u8> {
+    let offset = sim
+        .lc(master)
+        .clkn(SimTime::ZERO)
+        .offset_to(sim.lc(slave).clkn(SimTime::ZERO));
+    let target = sim.lc(slave).addr();
+    sim.command(slave, LcCommand::PageScan);
+    sim.command(
+        master,
+        LcCommand::Page {
+            target,
+            clke_offset: offset,
+            timeout_slots: 0,
+        },
+    );
+    let done = sim.run_until_event(cap, |e| matches!(e.event, LcEvent::Connected { .. }))?;
+    // Let the first POLL/NULL exchange settle.
+    sim.run_until(done.at + SimDuration::from_slots(4));
+    sim.lc(master).connected_slaves().first().map(|(lt, _)| *lt)
+}
+
+/// Finds the next master-to-slave slot start at or after `from`.
+fn next_master_slot(sim: &Simulator, master: usize, from: SimTime) -> SimTime {
+    let half = SimDuration::HALF_SLOT.ns();
+    let mut t = SimTime::from_ns(from.ns().div_ceil(half) * half);
+    for _ in 0..4 {
+        let clk = sim.lc(master).clkn(t);
+        if clk.is_master_tx_slot() && clk.is_slot_start() {
+            return t;
+        }
+        t += SimDuration::HALF_SLOT;
+    }
+    unreachable!("a master TX slot recurs every 4 half-slots")
+}
+
+/// RF activity measured for one device over a phase set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeActivity {
+    /// (TX+RX on-time) / elapsed time in the measured phases.
+    pub activity: f64,
+    /// TX-only fraction.
+    pub tx: f64,
+    /// RX-only fraction.
+    pub rx: f64,
+}
+
+fn phase_activity(sim: &Simulator, dev: usize, phases: &[LifePhase]) -> ModeActivity {
+    let report = sim.power_report(dev);
+    let mut tx = 0u64;
+    let mut rx = 0u64;
+    let mut dur = 0u64;
+    for p in phases {
+        let t = report.phase(*p);
+        tx += t.tx_ns;
+        rx += t.rx_ns;
+        dur += t.phase_ns;
+    }
+    if dur == 0 {
+        return ModeActivity {
+            activity: 0.0,
+            tx: 0.0,
+            rx: 0.0,
+        };
+    }
+    ModeActivity {
+        activity: (tx + rx) as f64 / dur as f64,
+        tx: tx as f64 / dur as f64,
+        rx: rx as f64 / dur as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Configuration of the Fig. 10 master-activity scenario.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Fraction of the master's transmit slots actually used (the paper's
+    /// "duty cycle", 0 < duty ≤ 1).
+    pub duty: f64,
+    /// User bytes per packet (0 = minimal DM1, as in Fig. 10).
+    pub data_bytes: usize,
+    /// Measurement length in slots.
+    pub measure_slots: u64,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            duty: 0.01,
+            data_bytes: 0,
+            measure_slots: 200_000,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// Outcome of the Fig. 10 scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficOutcome {
+    /// Master RF activity.
+    pub master: ModeActivity,
+    /// Slave RF activity (for reference).
+    pub slave: ModeActivity,
+}
+
+/// Master transmits short packets at a configurable duty cycle; the
+/// paper's Fig. 10 measures the master's TX and RX activity.
+#[derive(Debug, Clone)]
+pub struct TrafficScenario {
+    cfg: TrafficConfig,
+}
+
+impl TrafficScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: TrafficConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs one seeded realisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair fails to connect (only possible with extreme
+    /// noise configured in `sim`).
+    pub fn run(&self, seed: u64) -> TrafficOutcome {
+        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
+        let master = b.add_device("master");
+        let slave = b.add_device("slave1");
+        let mut sim = b.build();
+        let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+            .expect("traffic scenario needs a connection");
+        // The master transmits only on demand (paper: "it does not
+        // transmit if it does not need it").
+        sim.command(master, LcCommand::SetTpoll(u32::MAX));
+        sim.command(slave, LcCommand::SetTpoll(u32::MAX));
+
+        // Duty = used / available master slots; one master slot every 2.
+        let period_slots = (2.0 / self.cfg.duty.clamp(1e-4, 1.0)).round() as u64;
+        let t0 = next_master_slot(&sim, master, sim.now() + SimDuration::from_slots(4));
+        let end = t0 + SimDuration::from_slots(self.cfg.measure_slots);
+        let mut k = 0u64;
+        loop {
+            let at = t0 + SimDuration::from_slots(k * period_slots);
+            if at >= end {
+                break;
+            }
+            sim.command_at(
+                master,
+                LcCommand::AclData {
+                    lt_addr: lt,
+                    data: vec![0xA5; self.cfg.data_bytes],
+                },
+                at - SimDuration::HALF_SLOT,
+            );
+            k += 1;
+        }
+        sim.run_until(end);
+        TrafficOutcome {
+            master: phase_activity(&sim, master, &[LifePhase::Active]),
+            slave: phase_activity(&sim, slave, &[LifePhase::Active]),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Configuration of the Fig. 11 sniff-mode scenario.
+#[derive(Debug, Clone)]
+pub struct SniffConfig {
+    /// Sniff interval in slots; 0 runs the active-mode baseline.
+    pub t_sniff: u32,
+    /// Period of the master's data packets (paper: 100 slots).
+    pub data_period_slots: u64,
+    /// User bytes per data packet (paper-era DM1 full payload).
+    pub data_bytes: usize,
+    /// Measurement length in slots.
+    pub measure_slots: u64,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for SniffConfig {
+    fn default() -> Self {
+        Self {
+            t_sniff: 100,
+            data_period_slots: 100,
+            data_bytes: 17,
+            measure_slots: 100_000,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// Master sends data every `data_period_slots`; the slave either stays
+/// active or sniffs with `t_sniff` (paper Fig. 11). Measures the slave.
+#[derive(Debug, Clone)]
+pub struct SniffScenario {
+    cfg: SniffConfig,
+}
+
+impl SniffScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: SniffConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs one seeded realisation; returns the slave's activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair fails to connect.
+    pub fn run(&self, seed: u64) -> ModeActivity {
+        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
+        let master = b.add_device("master");
+        let slave = b.add_device("slave1");
+        let mut sim = b.build();
+        let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+            .expect("sniff scenario needs a connection");
+
+        let t0 = next_master_slot(&sim, master, sim.now() + SimDuration::from_slots(8));
+        let sniffing = self.cfg.t_sniff > 0;
+        if sniffing {
+            // Anchors aligned with the data schedule.
+            let d_sniff = (sim.lc(master).clkn(t0).slot()) % self.cfg.t_sniff;
+            let params = SniffParams {
+                t_sniff: self.cfg.t_sniff,
+                n_attempt: 1,
+                d_sniff,
+                n_timeout: 0,
+            };
+            // The application sets both ends symmetrically (the LMP
+            // negotiation path is exercised in the integration tests).
+            sim.command(master, LcCommand::Sniff { lt_addr: lt, params });
+            sim.command(slave, LcCommand::Sniff { lt_addr: lt, params });
+        }
+        let end = t0 + SimDuration::from_slots(self.cfg.measure_slots);
+        let mut k = 0u64;
+        loop {
+            let at = t0 + SimDuration::from_slots(k * self.cfg.data_period_slots);
+            if at >= end {
+                break;
+            }
+            sim.command_at(
+                master,
+                LcCommand::AclData {
+                    lt_addr: lt,
+                    data: vec![0x5A; self.cfg.data_bytes],
+                },
+                at - SimDuration::HALF_SLOT,
+            );
+            k += 1;
+        }
+        sim.run_until(end);
+        let phase = if sniffing {
+            LifePhase::Sniff
+        } else {
+            LifePhase::Active
+        };
+        phase_activity(&sim, slave, &[phase])
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Configuration of the Fig. 12 hold-mode scenario.
+#[derive(Debug, Clone)]
+pub struct HoldConfig {
+    /// Hold duration in slots; 0 runs the active-mode baseline.
+    pub t_hold: u32,
+    /// Measurement length in slots.
+    pub measure_slots: u64,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for HoldConfig {
+    fn default() -> Self {
+        Self {
+            t_hold: 400,
+            measure_slots: 100_000,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// An idle connection where the slave repeatedly enters hold mode for
+/// `t_hold` slots (paper Fig. 12); the active baseline is the slot-start
+/// listening floor plus T_poll keep-alives.
+#[derive(Debug, Clone)]
+pub struct HoldScenario {
+    cfg: HoldConfig,
+}
+
+impl HoldScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: HoldConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs one seeded realisation; returns the slave's activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair fails to connect.
+    pub fn run(&self, seed: u64) -> ModeActivity {
+        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
+        let master = b.add_device("master");
+        let slave = b.add_device("slave1");
+        let mut sim = b.build();
+        let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+            .expect("hold scenario needs a connection");
+        let start = sim.now();
+        let end = start + SimDuration::from_slots(self.cfg.measure_slots);
+        if self.cfg.t_hold == 0 {
+            sim.run_until(end);
+            return phase_activity(&sim, slave, &[LifePhase::Active]);
+        }
+        // Repeated hold cycles: the application re-holds the link as soon
+        // as the slave has resynchronised.
+        loop {
+            sim.command(
+                master,
+                LcCommand::Hold {
+                    lt_addr: lt,
+                    hold_slots: self.cfg.t_hold,
+                },
+            );
+            sim.command(
+                slave,
+                LcCommand::Hold {
+                    lt_addr: lt,
+                    hold_slots: self.cfg.t_hold,
+                },
+            );
+            let resumed = sim.run_until_event(end, |e| {
+                matches!(
+                    e.event,
+                    LcEvent::ModeChanged {
+                        mode: LinkMode::Active,
+                        ..
+                    }
+                ) && e.device == 1
+            });
+            if resumed.is_none() {
+                break; // measurement window exhausted
+            }
+        }
+        sim.run_until(end);
+        phase_activity(&sim, slave, &[LifePhase::Hold, LifePhase::Active])
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Configuration of the park-mode scenario (the fourth low-power mode of
+/// the paper's §3.2 list; the paper shows no park figure, so this is an
+/// extension sweep).
+#[derive(Debug, Clone)]
+pub struct ParkConfig {
+    /// Beacon interval in slots; 0 runs the active-mode baseline.
+    pub beacon_interval: u32,
+    /// Measurement length in slots.
+    pub measure_slots: u64,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for ParkConfig {
+    fn default() -> Self {
+        Self {
+            beacon_interval: 200,
+            measure_slots: 100_000,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// An idle connection with the slave parked: it releases its LT_ADDR and
+/// wakes only at beacon anchors.
+#[derive(Debug, Clone)]
+pub struct ParkScenario {
+    cfg: ParkConfig,
+}
+
+impl ParkScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: ParkConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs one seeded realisation; returns the slave's activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair fails to connect.
+    pub fn run(&self, seed: u64) -> ModeActivity {
+        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
+        let master = b.add_device("master");
+        let slave = b.add_device("slave1");
+        let mut sim = b.build();
+        let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+            .expect("park scenario needs a connection");
+        let start = sim.now();
+        let end = start + SimDuration::from_slots(self.cfg.measure_slots);
+        if self.cfg.beacon_interval == 0 {
+            sim.run_until(end);
+            return phase_activity(&sim, slave, &[LifePhase::Active]);
+        }
+        sim.command(
+            master,
+            LcCommand::Park {
+                lt_addr: lt,
+                beacon_interval: self.cfg.beacon_interval,
+            },
+        );
+        sim.command(
+            slave,
+            LcCommand::Park {
+                lt_addr: lt,
+                beacon_interval: self.cfg.beacon_interval,
+            },
+        );
+        sim.run_until(end);
+        phase_activity(&sim, slave, &[LifePhase::Park])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(measure: u64) -> SimConfig {
+        let _ = measure;
+        paper_config()
+    }
+
+    #[test]
+    fn connect_pair_works() {
+        let mut b = SimBuilder::new(1, paper_config());
+        let m = b.add_device("master");
+        let s = b.add_device("slave1");
+        let mut sim = b.build();
+        let lt = connect_pair(&mut sim, m, s, SimTime::from_us(30_000_000));
+        assert!(lt.is_some());
+        assert!(sim.lc(m).is_master());
+    }
+
+    #[test]
+    fn master_activity_grows_with_duty() {
+        let run = |duty| {
+            TrafficScenario::new(TrafficConfig {
+                duty,
+                measure_slots: 20_000,
+                sim: quick(20_000),
+                ..TrafficConfig::default()
+            })
+            .run(5)
+        };
+        let low = run(0.005);
+        let high = run(0.02);
+        assert!(
+            high.master.activity > low.master.activity * 2.0,
+            "duty 2% ({}) should far exceed duty 0.5% ({})",
+            high.master.activity,
+            low.master.activity
+        );
+        assert!(high.master.tx > high.master.rx, "TX should exceed RX");
+    }
+
+    #[test]
+    fn sniff_reduces_activity_at_large_interval() {
+        let active = SniffScenario::new(SniffConfig {
+            t_sniff: 0,
+            measure_slots: 20_000,
+            sim: quick(20_000),
+            ..SniffConfig::default()
+        })
+        .run(7);
+        let sniff = SniffScenario::new(SniffConfig {
+            t_sniff: 100,
+            measure_slots: 20_000,
+            sim: quick(20_000),
+            ..SniffConfig::default()
+        })
+        .run(7);
+        assert!(
+            sniff.activity < active.activity,
+            "sniff {} vs active {}",
+            sniff.activity,
+            active.activity
+        );
+        assert!(sniff.activity > 0.0);
+    }
+
+    #[test]
+    fn parked_slave_is_nearly_silent() {
+        let parked = ParkScenario::new(ParkConfig {
+            beacon_interval: 400,
+            measure_slots: 20_000,
+            sim: quick(20_000),
+        })
+        .run(11);
+        let active = ParkScenario::new(ParkConfig {
+            beacon_interval: 0,
+            measure_slots: 20_000,
+            sim: quick(20_000),
+        })
+        .run(11);
+        assert!(parked.activity < active.activity / 5.0,
+            "park {} vs active {}", parked.activity, active.activity);
+    }
+
+    #[test]
+    fn hold_beats_active_for_long_holds() {
+        let active = HoldScenario::new(HoldConfig {
+            t_hold: 0,
+            measure_slots: 20_000,
+            sim: quick(20_000),
+        })
+        .run(9);
+        let hold = HoldScenario::new(HoldConfig {
+            t_hold: 800,
+            measure_slots: 20_000,
+            sim: quick(20_000),
+        })
+        .run(9);
+        assert!(
+            hold.activity < active.activity,
+            "hold {} vs active {}",
+            hold.activity,
+            active.activity
+        );
+    }
+}

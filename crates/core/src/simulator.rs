@@ -1,0 +1,703 @@
+//! The system simulator: devices, channel and kernel wired together.
+//!
+//! [`Simulator`] owns the discrete-event calendar, the shared [`Medium`],
+//! one [`LinkController`] + [`LinkManager`] per device, the RF power
+//! monitor and the waveform recorder. It plays the role of the SystemC
+//! netlist + kernel in the paper: half-slot ticks drive the baseband
+//! state machines, their RF actions become channel transmissions and
+//! receive windows, and `enable_tx_RF` / `enable_rx_RF` transitions are
+//! recorded for the power analysis and waveform figures.
+
+use btsim_baseband::{
+    BdAddr, ClkVal, Clock, LcAction, LcCommand, LcEvent, LcConfig, LifePhase, LinkController,
+    RxDelivery,
+};
+use btsim_channel::{ChannelConfig, Medium, TxId};
+use btsim_coding::BitVec;
+use btsim_kernel::{Calendar, SimDuration, SimRng, SimTime, SignalRef, TraceRecorder, TraceValue};
+use btsim_lmp::{LinkManager, LmEvent, LmOutput, LmRole};
+use btsim_power::{DeviceReport, PowerMonitor};
+
+/// Tolerance for a transmission starting marginally before a window
+/// opens (receiver timing uncertainty).
+const RX_UNCERTAINTY: SimDuration = SimDuration::from_us(10);
+
+/// How long the medium retains finished transmissions for delivery.
+const MEDIUM_RETENTION: SimDuration = SimDuration::from_us(50_000);
+
+/// An [`LcEvent`] with its time and originating device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which device reported it.
+    pub device: usize,
+    /// The event itself.
+    pub event: LcEvent,
+}
+
+/// An [`LmEvent`] with its time and originating device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedLmEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which device reported it.
+    pub device: usize,
+    /// The event itself.
+    pub event: LmEvent,
+}
+
+/// Simulator-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Channel noise and modem delay.
+    pub channel: ChannelConfig,
+    /// Link-controller configuration shared by all devices.
+    pub lc: LcConfig,
+    /// Record waveforms (off for Monte-Carlo batches).
+    pub trace: bool,
+    /// Randomise each device's initial CLKN (on by default; scenarios
+    /// that model pre-synchronised devices may turn it off).
+    pub random_clkn: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            channel: ChannelConfig::default(),
+            lc: LcConfig::default(),
+            trace: false,
+            random_clkn: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ActiveWindow {
+    id: u64,
+    channel: u8,
+    opened_at: SimTime,
+    until: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingWindow {
+    id: u64,
+    channel: u8,
+    from: SimTime,
+    until: Option<SimTime>,
+}
+
+struct DeviceCell {
+    lc: LinkController,
+    lm: LinkManager,
+    active: Option<ActiveWindow>,
+    pending: Vec<PendingWindow>,
+    rx_busy_until: SimTime,
+    sig_tx: SignalRef,
+    sig_rx: SignalRef,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Tick(usize),
+    Command(usize, LcCommand),
+    TxStart {
+        dev: usize,
+        channel: u8,
+        bits: BitVec,
+    },
+    Deliver {
+        tx: TxId,
+        listeners: Vec<usize>,
+    },
+    WindowOpen {
+        dev: usize,
+        id: u64,
+    },
+    WindowClose {
+        dev: usize,
+        id: u64,
+    },
+}
+
+/// Builds a [`Simulator`] device by device.
+pub struct SimBuilder {
+    cfg: SimConfig,
+    seed: u64,
+    specs: Vec<(String, BdAddr)>,
+}
+
+impl SimBuilder {
+    /// Starts a builder with the given seed and configuration.
+    pub fn new(seed: u64, cfg: SimConfig) -> Self {
+        Self {
+            cfg,
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Adds a device with an auto-generated address; returns its index.
+    pub fn add_device(&mut self, name: &str) -> usize {
+        let i = self.specs.len() as u32;
+        // Well-spread deterministic addresses.
+        let lap = 0x2A_1000u32.wrapping_add(i.wrapping_mul(0x01_3579)) & 0xFF_FFFF;
+        let addr = BdAddr::new(0x0B00 + i as u16, 0x40 + i as u8, lap);
+        self.specs.push((name.to_owned(), addr));
+        self.specs.len() - 1
+    }
+
+    /// Adds a device with an explicit address; returns its index.
+    pub fn add_device_with_addr(&mut self, name: &str, addr: BdAddr) -> usize {
+        self.specs.push((name.to_owned(), addr));
+        self.specs.len() - 1
+    }
+
+    /// Finalises the simulator.
+    pub fn build(self) -> Simulator {
+        let root = SimRng::new(self.seed);
+        let medium = Medium::new(self.cfg.channel.clone(), root.fork(0xC4A7));
+        let mut recorder = if self.cfg.trace {
+            TraceRecorder::enabled()
+        } else {
+            TraceRecorder::disabled()
+        };
+        let monitor = PowerMonitor::new(self.specs.len(), LifePhase::Standby);
+        let mut devices = Vec::with_capacity(self.specs.len());
+        let mut cal = Calendar::new();
+        for (i, (name, addr)) in self.specs.iter().enumerate() {
+            let mut clk_rng = root.fork(0x10_0000 + i as u64);
+            let clkn0 = if self.cfg.random_clkn {
+                ClkVal::new(clk_rng.range_u64(1 << 28) as u32)
+            } else {
+                ClkVal::new(0)
+            };
+            let lc = LinkController::new(
+                *addr,
+                Clock::new(clkn0),
+                self.cfg.lc.clone(),
+                root.fork(0x20_0000 + i as u64).seed(),
+            );
+            let role = if i == 0 { LmRole::Master } else { LmRole::Slave };
+            let sig_tx = recorder.declare(name, "enable_tx_RF", 1);
+            let sig_rx = recorder.declare(name, "enable_rx_RF", 1);
+            devices.push(DeviceCell {
+                lc,
+                lm: LinkManager::new(role),
+                active: None,
+                pending: Vec::new(),
+                rx_busy_until: SimTime::ZERO,
+                sig_tx,
+                sig_rx,
+            });
+            cal.schedule(SimTime::ZERO, Ev::Tick(i));
+        }
+        Simulator {
+            cal,
+            medium,
+            devices,
+            monitor,
+            recorder,
+            events: Vec::new(),
+            lm_events: Vec::new(),
+            next_window_id: 0,
+            steps_since_gc: 0,
+            inspect_cursor: 0,
+        }
+    }
+}
+
+/// The complete system simulation.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_core::{SimBuilder, SimConfig};
+/// use btsim_baseband::LcCommand;
+/// use btsim_kernel::SimTime;
+///
+/// let mut b = SimBuilder::new(7, SimConfig::default());
+/// let master = b.add_device("master");
+/// let slave = b.add_device("slave1");
+/// let mut sim = b.build();
+/// sim.command(slave, LcCommand::InquiryScan);
+/// sim.command(master, LcCommand::Inquiry { num_responses: 1, timeout_slots: 0 });
+/// sim.run_until(SimTime::from_us(5_000_000));
+/// // The scanner is usually discovered within 5 simulated seconds.
+/// ```
+pub struct Simulator {
+    cal: Calendar<Ev>,
+    medium: Medium,
+    devices: Vec<DeviceCell>,
+    monitor: PowerMonitor<LifePhase>,
+    recorder: TraceRecorder,
+    events: Vec<LoggedEvent>,
+    lm_events: Vec<LoggedLmEvent>,
+    next_window_id: u64,
+    steps_since_gc: u32,
+    inspect_cursor: usize,
+}
+
+impl Simulator {
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    /// Immutable access to a device's link controller (for assertions).
+    pub fn lc(&self, dev: usize) -> &LinkController {
+        &self.devices[dev].lc
+    }
+
+    /// The waveform recorder.
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// All logged link-controller events so far.
+    pub fn events(&self) -> &[LoggedEvent] {
+        &self.events
+    }
+
+    /// All logged link-manager events so far.
+    pub fn lm_events(&self) -> &[LoggedLmEvent] {
+        &self.lm_events
+    }
+
+    /// Observed channel bit-error fraction (diagnostics).
+    pub fn measured_ber(&self) -> f64 {
+        self.medium.measured_ber()
+    }
+
+    /// Issues a command to a device at the current time.
+    pub fn command(&mut self, dev: usize, cmd: LcCommand) {
+        self.cal.schedule(self.cal.now(), Ev::Command(dev, cmd));
+    }
+
+    /// Schedules a command at an absolute time.
+    pub fn command_at(&mut self, dev: usize, cmd: LcCommand, at: SimTime) {
+        self.cal.schedule(at, Ev::Command(dev, cmd));
+    }
+
+    /// Runs a link-manager request on a device, applying its outputs.
+    pub fn lm_request<F>(&mut self, dev: usize, f: F)
+    where
+        F: FnOnce(&mut LinkManager, u64) -> Vec<LmOutput>,
+    {
+        let now = self.cal.now();
+        let now_slot = now.slots();
+        let outs = f(&mut self.devices[dev].lm, now_slot);
+        self.apply_lm_outputs(dev, outs, now);
+    }
+
+    /// Runs until the calendar passes `until` (or drains).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.cal.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until an event matching `pred` is logged, or `cap` passes.
+    ///
+    /// Scanning resumes where the previous `run_until_event` call left
+    /// off, so an event logged in the same batch as a previous match is
+    /// still seen by the next call.
+    pub fn run_until_event<F>(&mut self, cap: SimTime, pred: F) -> Option<LoggedEvent>
+    where
+        F: Fn(&LoggedEvent) -> bool,
+    {
+        loop {
+            while self.inspect_cursor < self.events.len() {
+                let i = self.inspect_cursor;
+                self.inspect_cursor += 1;
+                if pred(&self.events[i]) {
+                    return Some(self.events[i].clone());
+                }
+            }
+            match self.cal.peek_time() {
+                Some(t) if t <= cap => self.step(),
+                _ => return None,
+            }
+        }
+    }
+
+    /// Power/activity report of `dev` over `[0, now]`, with any open RF
+    /// window committed up to now.
+    pub fn power_report(&self, dev: usize) -> DeviceReport<LifePhase> {
+        let mut monitor = self.monitor.clone();
+        let now = self.cal.now();
+        if let Some(w) = &self.devices[dev].active {
+            let end = now.max(w.opened_at);
+            monitor.add_rx(dev, w.opened_at, end);
+        }
+        monitor.report(dev, now)
+    }
+
+    // ----- engine ----------------------------------------------------------
+
+    fn step(&mut self) {
+        let Some((t, ev)) = self.cal.pop() else { return };
+        self.steps_since_gc += 1;
+        if self.steps_since_gc >= 8192 {
+            self.steps_since_gc = 0;
+            self.medium.gc(t, MEDIUM_RETENTION);
+        }
+        match ev {
+            Ev::Tick(dev) => {
+                self.cal
+                    .schedule(t + SimDuration::HALF_SLOT, Ev::Tick(dev));
+                let actions = self.devices[dev].lc.on_tick(t);
+                self.apply_actions(dev, actions, t);
+                // Link-manager scheduled mode changes, once per slot.
+                if t.ns() % SimDuration::SLOT.ns() == 0 {
+                    let outs = self.devices[dev].lm.poll(t.slots());
+                    self.apply_lm_outputs(dev, outs, t);
+                }
+            }
+            Ev::Command(dev, cmd) => {
+                let actions = self.devices[dev].lc.command(cmd, t);
+                self.apply_actions(dev, actions, t);
+            }
+            Ev::TxStart { dev, channel, bits } => {
+                let dur = SimDuration::from_bits(bits.len());
+                let end = t + dur;
+                self.monitor.add_tx(dev, t, end);
+                self.recorder
+                    .record(t, self.devices[dev].sig_tx, TraceValue::Bit(true));
+                self.recorder
+                    .record(end, self.devices[dev].sig_tx, TraceValue::Bit(false));
+                let tx = self.medium.begin_tx(dev, channel, t, bits);
+                // Determine listeners now: open windows on this channel.
+                let mut listeners = Vec::new();
+                for (i, cell) in self.devices.iter_mut().enumerate() {
+                    if i == dev || cell.rx_busy_until > t {
+                        continue;
+                    }
+                    let Some(w) = &cell.active else { continue };
+                    if w.channel != channel {
+                        continue;
+                    }
+                    let opens_in_time = w.opened_at <= t + RX_UNCERTAINTY;
+                    let still_open = w.until.is_none_or(|u| u >= t);
+                    if opens_in_time && still_open {
+                        cell.rx_busy_until = end;
+                        listeners.push(i);
+                    }
+                }
+                if !listeners.is_empty() {
+                    let at = self
+                        .medium
+                        .delivery_time(tx)
+                        .expect("fresh transmission is retained");
+                    self.cal.schedule(at, Ev::Deliver { tx, listeners });
+                }
+            }
+            Ev::Deliver { tx, listeners } => {
+                let Some(rec) = self.medium.receive(tx) else {
+                    return;
+                };
+                let rxd = RxDelivery {
+                    bits: rec.bits,
+                    collision_mask: rec.collision_mask,
+                    rf_channel: rec.rf_channel,
+                    start: rec.start,
+                    end: rec.end,
+                };
+                for dev in listeners {
+                    let actions = self.devices[dev].lc.on_rx(&rxd, t);
+                    self.apply_actions(dev, actions, t);
+                }
+            }
+            Ev::WindowOpen { dev, id } => {
+                let cell = &mut self.devices[dev];
+                let Some(pos) = cell.pending.iter().position(|p| p.id == id) else {
+                    return; // cancelled by RxOff
+                };
+                let p = cell.pending.remove(pos);
+                if cell.rx_busy_until > t {
+                    return; // receiver occupied by an ongoing packet
+                }
+                self.open_window(dev, p.channel, p.until, t, id);
+            }
+            Ev::WindowClose { dev, id } => {
+                let cell = &mut self.devices[dev];
+                let Some(w) = &cell.active else { return };
+                if w.id != id {
+                    return;
+                }
+                if cell.rx_busy_until > t {
+                    // Reception in progress: stay on until it ends.
+                    self.cal
+                        .schedule(cell.rx_busy_until, Ev::WindowClose { dev, id });
+                    return;
+                }
+                let w = cell.active.take().expect("checked above");
+                self.commit_rx(dev, w.opened_at, t);
+            }
+        }
+    }
+
+    fn open_window(&mut self, dev: usize, channel: u8, until: Option<SimTime>, now: SimTime, id: u64) {
+        // Close any previous window first.
+        if let Some(w) = self.devices[dev].active.take() {
+            self.commit_rx(dev, w.opened_at, now);
+        }
+        self.devices[dev].active = Some(ActiveWindow {
+            id,
+            channel,
+            opened_at: now,
+            until,
+        });
+        self.recorder
+            .record(now, self.devices[dev].sig_rx, TraceValue::Bit(true));
+        if let Some(u) = until {
+            self.cal.schedule(u.max(now), Ev::WindowClose { dev, id });
+        }
+    }
+
+    fn commit_rx(&mut self, dev: usize, from: SimTime, to: SimTime) {
+        self.monitor.add_rx(dev, from, to);
+        self.recorder
+            .record(to, self.devices[dev].sig_rx, TraceValue::Bit(false));
+    }
+
+    fn apply_actions(&mut self, dev: usize, actions: Vec<LcAction>, now: SimTime) {
+        for a in actions {
+            match a {
+                LcAction::Tx {
+                    at,
+                    rf_channel,
+                    bits,
+                } => {
+                    self.cal.schedule(
+                        at.max(now),
+                        Ev::TxStart {
+                            dev,
+                            channel: rf_channel,
+                            bits,
+                        },
+                    );
+                }
+                LcAction::RxWindow {
+                    from,
+                    until,
+                    rf_channel,
+                } => {
+                    let id = self.next_window_id;
+                    self.next_window_id += 1;
+                    if from <= now {
+                        if self.devices[dev].rx_busy_until <= now {
+                            self.open_window(dev, rf_channel, until, now, id);
+                        }
+                    } else {
+                        self.devices[dev].pending.push(PendingWindow {
+                            id,
+                            channel: rf_channel,
+                            from,
+                            until,
+                        });
+                        self.cal.schedule(from, Ev::WindowOpen { dev, id });
+                    }
+                }
+                LcAction::RxOff => {
+                    self.devices[dev].pending.clear();
+                    if let Some(w) = self.devices[dev].active.take() {
+                        self.commit_rx(dev, w.opened_at, now);
+                    }
+                }
+                LcAction::Event(event) => {
+                    // Phase changes feed the power monitor.
+                    if let LcEvent::PhaseChanged { phase } = &event {
+                        self.monitor.set_phase(dev, *phase, now);
+                    }
+                    self.events.push(LoggedEvent {
+                        at: now,
+                        device: dev,
+                        event: event.clone(),
+                    });
+                    // LMP PDUs drive the device's link manager.
+                    let outs = self.devices[dev].lm.on_lc_event(&event, now.slots());
+                    self.apply_lm_outputs(dev, outs, now);
+                }
+            }
+        }
+    }
+
+    fn apply_lm_outputs(&mut self, dev: usize, outs: Vec<LmOutput>, now: SimTime) {
+        for o in outs {
+            match o {
+                LmOutput::Command(cmd) => {
+                    let actions = self.devices[dev].lc.command(cmd, now);
+                    self.apply_actions(dev, actions, now);
+                }
+                LmOutput::Event(event) => {
+                    self.lm_events.push(LoggedLmEvent {
+                        at: now,
+                        device: dev,
+                        event,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_device_sim(seed: u64, ber: f64) -> (Simulator, usize, usize) {
+        let mut cfg = SimConfig::default();
+        cfg.channel.ber = ber;
+        let mut b = SimBuilder::new(seed, cfg);
+        let m = b.add_device("master");
+        let s = b.add_device("slave1");
+        (b.build(), m, s)
+    }
+
+    #[test]
+    fn inquiry_discovers_scanner_on_clean_channel() {
+        let (mut sim, m, s) = two_device_sim(11, 0.0);
+        sim.command(s, LcCommand::InquiryScan);
+        sim.command(
+            m,
+            LcCommand::Inquiry {
+                num_responses: 1,
+                timeout_slots: 0,
+            },
+        );
+        let found = sim.run_until_event(SimTime::from_us(10_000_000), |e| {
+            matches!(e.event, LcEvent::InquiryResult { .. })
+        });
+        assert!(found.is_some(), "scanner not discovered within 10 s");
+        let done = sim.run_until_event(SimTime::from_us(10_000_000), |e| {
+            matches!(e.event, LcEvent::InquiryComplete { responses: 1 })
+        });
+        assert!(done.is_some());
+    }
+
+    #[test]
+    fn page_with_exact_estimate_connects_quickly() {
+        let (mut sim, m, s) = two_device_sim(5, 0.0);
+        // Exact clock estimate: offset between the two CLKNs.
+        let offset = sim.lc(m).clkn(SimTime::ZERO).offset_to(sim.lc(s).clkn(SimTime::ZERO));
+        sim.command(s, LcCommand::PageScan);
+        sim.command(
+            m,
+            LcCommand::Page {
+                target: sim.lc(s).addr(),
+                clke_offset: offset,
+                timeout_slots: 0,
+            },
+        );
+        let connected = sim.run_until_event(SimTime::from_us(200_000), |e| {
+            matches!(e.event, LcEvent::Connected { .. })
+        });
+        let connected = connected.expect("slave must connect");
+        let slots = connected.at.slots();
+        assert!(
+            slots <= 60,
+            "page with exact estimate should connect within ~a train pass, took {slots} slots"
+        );
+        assert!(sim.lc(m).is_master());
+        assert!(sim.lc(s).is_slave());
+    }
+
+    #[test]
+    fn page_times_out_without_scanner() {
+        let (mut sim, m, s) = two_device_sim(6, 0.0);
+        sim.command(
+            m,
+            LcCommand::Page {
+                target: sim.lc(s).addr(),
+                clke_offset: 0,
+                timeout_slots: 256,
+            },
+        );
+        let failed = sim.run_until_event(SimTime::from_us(2_000_000), |e| {
+            matches!(e.event, LcEvent::PageFailed { .. })
+        });
+        assert!(failed.is_some());
+    }
+
+    #[test]
+    fn deterministic_event_log() {
+        let run = |seed| {
+            let (mut sim, m, s) = two_device_sim(seed, 0.01);
+            sim.command(s, LcCommand::InquiryScan);
+            sim.command(
+                m,
+                LcCommand::Inquiry {
+                    num_responses: 1,
+                    timeout_slots: 4096,
+                },
+            );
+            sim.run_until(SimTime::from_us(4_000_000));
+            format!("{:?}", sim.events())
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn power_report_sees_scanner_rx_always_on() {
+        let (mut sim, _m, s) = two_device_sim(3, 0.0);
+        sim.command(s, LcCommand::InquiryScan);
+        sim.run_until(SimTime::from_us(1_000_000));
+        let rep = sim.power_report(s);
+        // Scanning receivers are continuously active (paper Fig. 5).
+        assert!(
+            rep.rx_activity() > 0.95,
+            "scanner rx activity {}",
+            rep.rx_activity()
+        );
+    }
+
+    #[test]
+    fn data_transfer_end_to_end() {
+        let (mut sim, m, s) = two_device_sim(9, 0.0);
+        let offset = sim.lc(m).clkn(SimTime::ZERO).offset_to(sim.lc(s).clkn(SimTime::ZERO));
+        sim.command(s, LcCommand::PageScan);
+        sim.command(
+            m,
+            LcCommand::Page {
+                target: sim.lc(s).addr(),
+                clke_offset: offset,
+                timeout_slots: 0,
+            },
+        );
+        sim.run_until_event(SimTime::from_us(500_000), |e| {
+            matches!(e.event, LcEvent::Connected { .. })
+        })
+        .expect("connection");
+        let lt = sim.lc(m).connected_slaves()[0].0;
+        sim.command(
+            m,
+            LcCommand::AclData {
+                lt_addr: lt,
+                data: (0..100u8).collect(),
+            },
+        );
+        // Run long enough for several fragments and ACKs.
+        sim.run_until(sim.now() + SimDuration::from_slots(600));
+        let received: Vec<u8> = sim
+            .events()
+            .iter()
+            .filter_map(|e| match &e.event {
+                LcEvent::AclReceived { data, .. } if e.device == s => Some(data.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(received, (0..100u8).collect::<Vec<u8>>());
+    }
+}

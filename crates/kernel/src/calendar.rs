@@ -1,0 +1,191 @@
+//! The event calendar: a time-ordered queue driving the simulation.
+//!
+//! Events scheduled for the same instant are dispatched in insertion
+//! order (FIFO), which mirrors the determinism of a SystemC delta-cycle
+//! evaluation queue and makes every simulation bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key(SimTime, u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Key,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_kernel::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::from_us(20), "late");
+/// cal.schedule(SimTime::from_us(10), "early");
+/// cal.schedule(SimTime::from_us(10), "early-second");
+/// assert_eq!(cal.pop(), Some((SimTime::from_us(10), "early")));
+/// assert_eq!(cal.pop(), Some((SimTime::from_us(10), "early-second")));
+/// assert_eq!(cal.pop(), Some((SimTime::from_us(20), "late")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the last popped event): the
+    /// causality of a discrete-event simulation would be violated.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past ({at} < {now})",
+            now = self.now
+        );
+        self.heap.push(Reverse(Entry {
+            key: Key(at, self.seq),
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.key.0;
+        Some((entry.key.0, entry.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.key.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_us(5), 1);
+        cal.schedule(SimTime::from_us(1), 2);
+        cal.schedule(SimTime::from_us(5), 3);
+        cal.schedule(SimTime::from_us(3), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn now_tracks_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_us(7), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_us(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn rejects_past_events() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_us(10), ());
+        cal.pop();
+        cal.schedule(SimTime::from_us(5), ());
+    }
+
+    #[test]
+    fn same_instant_scheduling_is_allowed() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_us(10), 1);
+        cal.pop();
+        // Scheduling *at* now models a SystemC delta cycle.
+        cal.schedule(cal.now(), 2);
+        assert_eq!(cal.pop(), Some((SimTime::from_us(10), 2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_us(1), "a");
+        cal.schedule(SimTime::from_us(10), "d");
+        assert_eq!(cal.pop().unwrap().1, "a");
+        cal.schedule(cal.now() + SimDuration::from_us(2), "b");
+        cal.schedule(cal.now() + SimDuration::from_us(4), "c");
+        let rest: Vec<&str> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        cal.schedule(SimTime::from_us(1), ());
+        cal.schedule(SimTime::from_us(2), ());
+        assert_eq!(cal.len(), 2);
+        cal.pop();
+        cal.pop();
+        assert!(cal.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic random numbers for reproducible simulations.
+//!
+//! Every simulation run is seeded with a single `u64`; independent
+//! sub-streams (one per device, one for the channel, …) are derived with
+//! SplitMix64 so that adding a consumer never perturbs the draws of
+//! another. The paper's channel "controls bit inversion with a random
+//! number generator"; [`SimRng::next_flip_gap`] provides the geometric
+//! jumps that implement that efficiently at packet granularity.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step, used for seed derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable simulation RNG.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_kernel::SimRng;
+///
+/// let mut a = SimRng::new(42).fork(7);
+/// let mut b = SimRng::new(42).fork(7);
+/// assert_eq!(a.range_u64(1000), b.range_u64(1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl SimRng {
+    /// Creates the root RNG of a run.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rng: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Derives an independent sub-stream identified by `stream`.
+    ///
+    /// Forking with the same `(seed, stream)` always yields the same
+    /// stream, regardless of draws made on the parent.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        SimRng::new(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A))))
+    }
+
+    /// The seed this RNG was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws a boolean that is `true` with probability `p` (clamped to 0..=1).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen_bool(p)
+        }
+    }
+
+    /// Draws a uniform integer in `0..bound` (`bound` must be nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "range_u64 bound must be nonzero");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Draws a uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Number of successes (bits kept intact) before the next failure when
+    /// each bit flips independently with probability `ber`.
+    ///
+    /// Returns `u64::MAX` when `ber <= 0` (no flips ever) and `0` when
+    /// `ber >= 1`. Sampling geometric gaps lets the channel corrupt a
+    /// packet in O(errors) instead of O(bits).
+    pub fn next_flip_gap(&mut self, ber: f64) -> u64 {
+        if ber <= 0.0 {
+            return u64::MAX;
+        }
+        if ber >= 1.0 {
+            return 0;
+        }
+        let u = self.unit_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - ber).ln()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(1_000_000), b.range_u64(1_000_000));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_draws() {
+        let mut parent1 = SimRng::new(9);
+        let parent2 = SimRng::new(9);
+        parent1.range_u64(10); // consume from one parent only
+        let mut f1 = parent1.fork(3);
+        let mut f2 = parent2.fork(3);
+        for _ in 0..10 {
+            assert_eq!(f1.range_u64(1 << 40), f2.range_u64(1 << 40));
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let root = SimRng::new(77);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..20).filter(|_| a.range_u64(1 << 30) == b.range_u64(1 << 30)).count();
+        assert!(same < 3, "streams should not coincide");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn flip_gap_extremes() {
+        let mut r = SimRng::new(5);
+        assert_eq!(r.next_flip_gap(0.0), u64::MAX);
+        assert_eq!(r.next_flip_gap(-0.5), u64::MAX);
+        assert_eq!(r.next_flip_gap(1.0), 0);
+    }
+
+    #[test]
+    fn flip_gap_mean_matches_geometric() {
+        let mut r = SimRng::new(2024);
+        let ber = 0.01;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| r.next_flip_gap(ber).min(10_000)).sum();
+        let mean = total as f64 / n as f64;
+        // Geometric mean gap ≈ (1-p)/p ≈ 99.
+        assert!((80.0..120.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn flip_gap_induces_correct_ber_over_stream() {
+        let mut r = SimRng::new(7);
+        let ber = 0.02;
+        let bits: u64 = 500_000;
+        let mut flips = 0u64;
+        let mut pos = 0u64;
+        loop {
+            let gap = r.next_flip_gap(ber);
+            if pos.saturating_add(gap) >= bits {
+                break;
+            }
+            pos += gap + 1;
+            flips += 1;
+        }
+        let measured = flips as f64 / bits as f64;
+        assert!(
+            (measured - ber).abs() < ber * 0.15,
+            "measured BER {measured} vs {ber}"
+        );
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = SimRng::new(1);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Traced signals: named waveforms recorded during simulation.
+//!
+//! The paper inspects its model through SystemC signal waveforms
+//! (`enable_rx_RF`, `enable_tx_RF`, packet data — Figs. 5 and 9). The
+//! [`TraceRecorder`] plays that role here: simulation components declare
+//! named signals and record value changes; the `btsim-trace` crate
+//! renders the records as VCD files or ASCII art.
+//!
+//! Records may be inserted out of chronological order (the simulator
+//! sometimes learns the exact end of an RF window retroactively); readers
+//! must call [`TraceRecorder::sorted_records`].
+
+use std::fmt;
+
+use crate::time::SimTime;
+use crate::wire::Wire;
+
+/// Identifies a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalRef(usize);
+
+/// A recorded signal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceValue {
+    /// A single-bit level (RF enables, flags).
+    Bit(bool),
+    /// A four-valued bus level (the channel).
+    Wire(Wire),
+    /// A small integer (state numbers, channel indices).
+    Int(u64),
+}
+
+impl fmt::Display for TraceValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceValue::Bit(b) => write!(f, "{}", *b as u8),
+            TraceValue::Wire(w) => write!(f, "{w}"),
+            TraceValue::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Declaration metadata of a signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// Hierarchical scope, e.g. a device name.
+    pub scope: String,
+    /// Signal name within the scope, e.g. `enable_rx_RF`.
+    pub name: String,
+    /// Bit width hint for renderers (1 for Bit/Wire).
+    pub width: u32,
+}
+
+/// One recorded value change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Time of the change.
+    pub at: SimTime,
+    /// Which signal changed.
+    pub signal: SignalRef,
+    /// The new value.
+    pub value: TraceValue,
+}
+
+/// Collects signal declarations and value changes during a run.
+///
+/// A disabled recorder (the default for Monte-Carlo batches) ignores all
+/// records, so instrumentation can stay unconditionally in the hot path.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_kernel::{SimTime, TraceRecorder, TraceValue};
+///
+/// let mut tr = TraceRecorder::enabled();
+/// let rx = tr.declare("slave1", "enable_rx_RF", 1);
+/// tr.record(SimTime::from_us(10), rx, TraceValue::Bit(true));
+/// tr.record(SimTime::from_us(42), rx, TraceValue::Bit(false));
+/// assert_eq!(tr.sorted_records().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    signals: Vec<SignalInfo>,
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder that stores records.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a recorder that drops all records (zero memory growth).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether records are being stored.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Declares a signal and returns its handle.
+    ///
+    /// Declarations are kept even when disabled, so handles stay valid
+    /// across enable states.
+    pub fn declare(&mut self, scope: &str, name: &str, width: u32) -> SignalRef {
+        self.signals.push(SignalInfo {
+            scope: scope.to_owned(),
+            name: name.to_owned(),
+            width,
+        });
+        SignalRef(self.signals.len() - 1)
+    }
+
+    /// Records a value change (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, signal: SignalRef, value: TraceValue) {
+        if self.enabled {
+            self.records.push(TraceRecord { at, signal, value });
+        }
+    }
+
+    /// Declared signals, indexable by [`SignalRef`].
+    pub fn signals(&self) -> &[SignalInfo] {
+        &self.signals
+    }
+
+    /// Looks up a signal's metadata.
+    pub fn info(&self, signal: SignalRef) -> &SignalInfo {
+        &self.signals[signal.0]
+    }
+
+    /// Index form of a [`SignalRef`] for table-building renderers.
+    pub fn index_of(&self, signal: SignalRef) -> usize {
+        signal.0
+    }
+
+    /// All records sorted by time (stable for simultaneous changes).
+    pub fn sorted_records(&self) -> Vec<TraceRecord> {
+        let mut out = self.records.clone();
+        out.sort_by_key(|r| r.at);
+        out
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_record() {
+        let mut tr = TraceRecorder::enabled();
+        let a = tr.declare("master", "enable_tx_RF", 1);
+        let b = tr.declare("master", "channel", 7);
+        assert_ne!(a, b);
+        tr.record(SimTime::from_us(1), a, TraceValue::Bit(true));
+        tr.record(SimTime::from_us(2), b, TraceValue::Int(42));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.info(a).name, "enable_tx_RF");
+        assert_eq!(tr.info(b).width, 7);
+        assert_eq!(tr.signals().len(), 2);
+    }
+
+    #[test]
+    fn disabled_recorder_drops_records_but_keeps_declarations() {
+        let mut tr = TraceRecorder::disabled();
+        let a = tr.declare("s", "sig", 1);
+        tr.record(SimTime::from_us(1), a, TraceValue::Bit(true));
+        assert!(tr.is_empty());
+        assert_eq!(tr.signals().len(), 1);
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn sorted_records_orders_out_of_order_inserts() {
+        let mut tr = TraceRecorder::enabled();
+        let a = tr.declare("s", "sig", 1);
+        tr.record(SimTime::from_us(30), a, TraceValue::Bit(false));
+        tr.record(SimTime::from_us(10), a, TraceValue::Bit(true));
+        tr.record(SimTime::from_us(20), a, TraceValue::Bit(false));
+        let times: Vec<u64> = tr.sorted_records().iter().map(|r| r.at.us()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn trace_value_display() {
+        assert_eq!(TraceValue::Bit(true).to_string(), "1");
+        assert_eq!(TraceValue::Wire(Wire::X).to_string(), "X");
+        assert_eq!(TraceValue::Int(79).to_string(), "79");
+    }
+}

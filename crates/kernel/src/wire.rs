@@ -1,0 +1,134 @@
+//! Four-valued digital logic, mirroring the paper's channel model.
+//!
+//! The DATE'05 model drives the shared radio channel as a digital bus:
+//! a device that is not transmitting drives high-impedance `Z`; a single
+//! transmitter drives `L0`/`L1`; simultaneous transmitters make the
+//! channel resolver force the undefined value `X`, which receivers see
+//! as a collision (paper Fig. 2).
+
+use std::fmt;
+
+/// A four-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Wire {
+    /// Logic low.
+    L0,
+    /// Logic high.
+    L1,
+    /// High impedance: no driver.
+    #[default]
+    Z,
+    /// Undefined: bus conflict (collision).
+    X,
+}
+
+impl Wire {
+    /// Converts a data bit to a driven level.
+    pub fn from_bit(bit: bool) -> Wire {
+        if bit {
+            Wire::L1
+        } else {
+            Wire::L0
+        }
+    }
+
+    /// Returns the data bit if the wire carries a defined driven level.
+    pub fn to_bit(self) -> Option<bool> {
+        match self {
+            Wire::L0 => Some(false),
+            Wire::L1 => Some(true),
+            Wire::Z | Wire::X => None,
+        }
+    }
+
+    /// True when the level is `L0` or `L1`.
+    pub fn is_defined(self) -> bool {
+        matches!(self, Wire::L0 | Wire::L1)
+    }
+
+    /// Resolves two simultaneous drivers per the paper's channel resolver:
+    /// any second driver forces `X`.
+    pub fn resolve_with(self, other: Wire) -> Wire {
+        match (self, other) {
+            (Wire::Z, w) | (w, Wire::Z) => w,
+            _ => Wire::X,
+        }
+    }
+
+    /// Resolves an arbitrary set of drivers.
+    ///
+    /// No driver yields `Z`; one driver yields its level; more than one
+    /// driver yields `X` (even when they agree — the paper's resolver
+    /// flags every overlap as a collision).
+    pub fn resolve(drivers: impl IntoIterator<Item = Wire>) -> Wire {
+        drivers
+            .into_iter()
+            .fold(Wire::Z, |acc, w| acc.resolve_with(w))
+    }
+}
+
+impl From<bool> for Wire {
+    fn from(bit: bool) -> Wire {
+        Wire::from_bit(bit)
+    }
+}
+
+impl fmt::Display for Wire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Wire::L0 => "0",
+            Wire::L1 => "1",
+            Wire::Z => "Z",
+            Wire::X => "X",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_conversions() {
+        assert_eq!(Wire::from_bit(true), Wire::L1);
+        assert_eq!(Wire::from_bit(false), Wire::L0);
+        assert_eq!(Wire::L1.to_bit(), Some(true));
+        assert_eq!(Wire::Z.to_bit(), None);
+        assert_eq!(Wire::X.to_bit(), None);
+        assert_eq!(Wire::from(true), Wire::L1);
+    }
+
+    #[test]
+    fn no_driver_resolves_to_z() {
+        assert_eq!(Wire::resolve([]), Wire::Z);
+        assert_eq!(Wire::resolve([Wire::Z, Wire::Z]), Wire::Z);
+    }
+
+    #[test]
+    fn single_driver_wins() {
+        assert_eq!(Wire::resolve([Wire::L1]), Wire::L1);
+        assert_eq!(Wire::resolve([Wire::Z, Wire::L0, Wire::Z]), Wire::L0);
+    }
+
+    #[test]
+    fn multiple_drivers_collide_even_when_agreeing() {
+        assert_eq!(Wire::resolve([Wire::L1, Wire::L1]), Wire::X);
+        assert_eq!(Wire::resolve([Wire::L0, Wire::L1]), Wire::X);
+        assert_eq!(Wire::resolve([Wire::L0, Wire::Z, Wire::L1]), Wire::X);
+    }
+
+    #[test]
+    fn x_is_sticky() {
+        assert_eq!(Wire::X.resolve_with(Wire::Z), Wire::X);
+        assert_eq!(Wire::X.resolve_with(Wire::L0), Wire::X);
+    }
+
+    #[test]
+    fn display() {
+        let s: String = [Wire::L0, Wire::L1, Wire::Z, Wire::X]
+            .iter()
+            .map(Wire::to_string)
+            .collect();
+        assert_eq!(s, "01ZX");
+    }
+}

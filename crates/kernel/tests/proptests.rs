@@ -1,0 +1,86 @@
+//! Property-based tests of the simulation kernel.
+
+use btsim_kernel::{Calendar, SimDuration, SimRng, SimTime, Wire};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn calendar_pops_in_time_then_fifo_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_ns(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(x) = cal.pop() {
+            popped.push(x);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO order violated at equal times");
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_interleaved_schedule_respects_causality(
+        steps in prop::collection::vec((0u64..1000, any::<bool>()), 1..100)
+    ) {
+        let mut cal = Calendar::new();
+        let mut last = SimTime::ZERO;
+        for (delay, pop_first) in steps {
+            if pop_first {
+                if let Some((t, _)) = cal.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                }
+            }
+            cal.schedule(cal.now() + SimDuration::from_ns(delay), 0u8);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed: u64, stream: u64, draws in 1usize..50) {
+        let mut a = SimRng::new(seed).fork(stream);
+        let mut b = SimRng::new(seed).fork(stream);
+        for _ in 0..draws {
+            prop_assert_eq!(a.range_u64(u64::MAX), b.range_u64(u64::MAX));
+        }
+    }
+
+    #[test]
+    fn flip_gap_handles_all_bers(seed: u64, ber in 0.0f64..1.0) {
+        let mut r = SimRng::new(seed);
+        let gap = r.next_flip_gap(ber);
+        if ber <= 0.0 {
+            prop_assert_eq!(gap, u64::MAX);
+        }
+        let _ = gap;
+    }
+
+    #[test]
+    fn wire_resolution_is_order_independent(
+        drivers in prop::collection::vec(prop::sample::select(vec![Wire::L0, Wire::L1, Wire::Z, Wire::X]), 0..6)
+    ) {
+        let forward = Wire::resolve(drivers.iter().copied());
+        let mut reversed = drivers.clone();
+        reversed.reverse();
+        prop_assert_eq!(forward, Wire::resolve(reversed));
+        // Any split point folds to the same result.
+        for split in 0..=drivers.len() {
+            let left = Wire::resolve(drivers[..split].iter().copied());
+            let right = Wire::resolve(drivers[split..].iter().copied());
+            prop_assert_eq!(left.resolve_with(right), forward);
+        }
+    }
+
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_ns(a);
+        let d = SimDuration::from_ns(b);
+        prop_assert_eq!((t + d).since(t), d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!(SimDuration::from_slots(3).ns(), 3 * 625_000);
+    }
+}

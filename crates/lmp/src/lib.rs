@@ -1,0 +1,31 @@
+//! # btsim-lmp
+//!
+//! The Link Manager Protocol layer of the DATE'05 Bluetooth model: PDU
+//! encoding ([`Pdu`], [`Opcode`]) and the per-device [`LinkManager`]
+//! state machine that negotiates connection setup, sniff, hold, park and
+//! detach over LMP transactions carried in DM1 payloads (LLID = LMP).
+//!
+//! The manager coordinates *when* both ends of a link switch modes: a
+//! negotiated change carries an agreed piconet slot, and both sides issue
+//! the baseband command when their slot counter reaches it.
+//!
+//! # Examples
+//!
+//! ```
+//! use btsim_baseband::SniffParams;
+//! use btsim_lmp::{LinkManager, LmOutput, LmRole};
+//!
+//! let mut lm = LinkManager::new(LmRole::Master);
+//! let outputs = lm.request_sniff(1, SniffParams::default(), 0);
+//! // The first output is the LMP_sniff_req PDU queued to the baseband.
+//! assert!(matches!(outputs[0], LmOutput::Command(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+mod pdu;
+
+pub use manager::{LinkManager, LmEvent, LmOutput, LmRole};
+pub use pdu::{Opcode, Pdu};

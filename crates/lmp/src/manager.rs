@@ -1,0 +1,592 @@
+//! The Link Manager state machine (the paper's Link Manager Layer).
+//!
+//! One [`LinkManager`] sits above each link controller. It translates
+//! host requests into LMP transactions (request → accepted/not-accepted),
+//! coordinates mode changes so both ends switch at the same piconet slot,
+//! and reports results upward as [`LmEvent`]s.
+
+use std::collections::VecDeque;
+
+use btsim_baseband::{LcCommand, LcEvent, Llid, PacketType, ScoParams, SniffParams};
+
+use crate::pdu::{Opcode, Pdu};
+
+/// Where the manager sits on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmRole {
+    /// The piconet master side.
+    Master,
+    /// A slave side.
+    Slave,
+}
+
+/// Indications to the host / scenario layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LmEvent {
+    /// LMP connection setup finished on this link.
+    SetupComplete {
+        /// Link the setup completed on.
+        lt_addr: u8,
+    },
+    /// The peer rejected a request.
+    Rejected {
+        /// Which request was rejected.
+        of: Opcode,
+        /// Error code.
+        reason: u8,
+    },
+    /// A negotiated mode change was issued to the baseband.
+    ModeApplied {
+        /// Link affected.
+        lt_addr: u8,
+        /// The request that triggered it.
+        of: Opcode,
+    },
+    /// The peer asked to detach.
+    PeerDetached {
+        /// Link affected.
+        lt_addr: u8,
+    },
+}
+
+/// Outputs of the manager: baseband commands and host events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LmOutput {
+    /// A command for the link controller.
+    Command(LcCommand),
+    /// An indication for the host.
+    Event(LmEvent),
+}
+
+/// A mode change agreed via LMP, applied when the slot counter reaches
+/// `at_slot` (both sides compute the same instant).
+#[derive(Debug, Clone, PartialEq)]
+struct PendingMode {
+    at_slot: u64,
+    command: LcCommand,
+    of: Opcode,
+    lt_addr: u8,
+}
+
+/// The link manager of one device.
+///
+/// # Examples
+///
+/// Driving a sniff negotiation between two managers directly:
+///
+/// ```
+/// use btsim_baseband::SniffParams;
+/// use btsim_lmp::{LinkManager, LmRole};
+///
+/// let mut master = LinkManager::new(LmRole::Master);
+/// let mut slave = LinkManager::new(LmRole::Slave);
+/// let outs = master.request_sniff(1, SniffParams::default(), 100);
+/// assert!(!outs.is_empty()); // carries the LMP_sniff_req PDU
+/// let _ = slave; // delivery is exercised in the crate tests
+/// ```
+#[derive(Debug)]
+pub struct LinkManager {
+    role: LmRole,
+    pending: Vec<PendingMode>,
+    /// Requests we sent and await a response for.
+    outstanding: VecDeque<(u8, Pdu)>,
+    setup_done: Vec<u8>,
+}
+
+/// Slots between the agreed instant and "now" when scheduling a mode
+/// change, giving the acceptance PDU time to be delivered and ACKed.
+const MODE_CHANGE_LEAD_SLOTS: u64 = 12;
+
+impl LinkManager {
+    /// Creates a manager for one side of a piconet.
+    pub fn new(role: LmRole) -> Self {
+        Self {
+            role,
+            pending: Vec::new(),
+            outstanding: VecDeque::new(),
+            setup_done: Vec::new(),
+        }
+    }
+
+    /// The configured role.
+    pub fn role(&self) -> LmRole {
+        self.role
+    }
+
+    fn tid(&self) -> bool {
+        // Transaction-initiator bit: 0 when the master started it.
+        self.role == LmRole::Slave
+    }
+
+    fn send(&self, lt_addr: u8, pdu: &Pdu) -> LmOutput {
+        LmOutput::Command(LcCommand::Lmp {
+            lt_addr,
+            data: pdu.encode(self.tid()),
+        })
+    }
+
+    /// Starts connection setup (host_connection_req → setup_complete).
+    pub fn start_setup(&mut self, lt_addr: u8) -> Vec<LmOutput> {
+        let pdu = Pdu::HostConnectionReq;
+        self.outstanding.push_back((lt_addr, pdu.clone()));
+        vec![self.send(lt_addr, &pdu)]
+    }
+
+    /// Requests sniff mode on `lt_addr` starting near `now_slot`.
+    pub fn request_sniff(
+        &mut self,
+        lt_addr: u8,
+        params: SniffParams,
+        now_slot: u64,
+    ) -> Vec<LmOutput> {
+        let pdu = Pdu::SniffReq {
+            d_sniff: params.d_sniff as u16,
+            t_sniff: params.t_sniff as u16,
+            attempt: params.n_attempt as u16,
+            timeout: params.n_timeout as u16,
+        };
+        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.pending.push(PendingMode {
+            at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+            command: LcCommand::Sniff { lt_addr, params },
+            of: Opcode::SniffReq,
+            lt_addr,
+        });
+        vec![self.send(lt_addr, &pdu)]
+    }
+
+    /// Requests leaving sniff mode.
+    pub fn request_unsniff(&mut self, lt_addr: u8, now_slot: u64) -> Vec<LmOutput> {
+        let pdu = Pdu::UnsniffReq;
+        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.pending.push(PendingMode {
+            at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+            command: LcCommand::Unsniff { lt_addr },
+            of: Opcode::UnsniffReq,
+            lt_addr,
+        });
+        vec![self.send(lt_addr, &pdu)]
+    }
+
+    /// Requests hold mode for `hold_slots`, starting at an agreed instant.
+    pub fn request_hold(&mut self, lt_addr: u8, hold_slots: u32, now_slot: u64) -> Vec<LmOutput> {
+        let instant = now_slot + MODE_CHANGE_LEAD_SLOTS;
+        let pdu = Pdu::HoldReq {
+            hold_time: hold_slots.min(u16::MAX as u32) as u16,
+            hold_instant: instant as u32,
+        };
+        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.pending.push(PendingMode {
+            at_slot: instant,
+            command: LcCommand::Hold {
+                lt_addr,
+                hold_slots,
+            },
+            of: Opcode::HoldReq,
+            lt_addr,
+        });
+        vec![self.send(lt_addr, &pdu)]
+    }
+
+    /// Requests park mode.
+    pub fn request_park(
+        &mut self,
+        lt_addr: u8,
+        beacon_interval: u32,
+        now_slot: u64,
+    ) -> Vec<LmOutput> {
+        let pdu = Pdu::ParkReq {
+            beacon_interval: beacon_interval.min(u16::MAX as u32) as u16,
+        };
+        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.pending.push(PendingMode {
+            at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+            command: LcCommand::Park {
+                lt_addr,
+                beacon_interval,
+            },
+            of: Opcode::ParkReq,
+            lt_addr,
+        });
+        vec![self.send(lt_addr, &pdu)]
+    }
+
+    /// Requests an SCO voice link.
+    pub fn request_sco(&mut self, lt_addr: u8, params: ScoParams, now_slot: u64) -> Vec<LmOutput> {
+        let hv_type = match params.ptype {
+            PacketType::Hv1 => 1,
+            PacketType::Hv2 => 2,
+            _ => 3,
+        };
+        let pdu = Pdu::ScoLinkReq {
+            t_sco: params.t_sco as u16,
+            d_sco: params.d_sco as u16,
+            hv_type,
+        };
+        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.pending.push(PendingMode {
+            at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+            command: LcCommand::ScoSetup { lt_addr, params },
+            of: Opcode::ScoLinkReq,
+            lt_addr,
+        });
+        vec![self.send(lt_addr, &pdu)]
+    }
+
+    /// Requests detach: the PDU goes out first; the local teardown is
+    /// scheduled a few slots later so the notification can reach the peer
+    /// before the link (and its transmit queue) disappears.
+    pub fn request_detach(&mut self, lt_addr: u8, now_slot: u64) -> Vec<LmOutput> {
+        self.pending.push(PendingMode {
+            at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+            command: LcCommand::Detach { lt_addr },
+            of: Opcode::Detach,
+            lt_addr,
+        });
+        vec![self.send(lt_addr, &Pdu::Detach { reason: 0x13 })]
+    }
+
+    /// Applies mode changes whose agreed instant has been reached.
+    pub fn poll(&mut self, now_slot: u64) -> Vec<LmOutput> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if now_slot >= self.pending[i].at_slot {
+                let p = self.pending.remove(i);
+                out.push(LmOutput::Command(p.command));
+                out.push(LmOutput::Event(LmEvent::ModeApplied {
+                    lt_addr: p.lt_addr,
+                    of: p.of,
+                }));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Feeds a link-controller event (LMP receptions drive transactions).
+    pub fn on_lc_event(&mut self, ev: &LcEvent, now_slot: u64) -> Vec<LmOutput> {
+        match ev {
+            LcEvent::AclReceived {
+                lt_addr,
+                llid: Llid::Lmp,
+                data,
+            } => match Pdu::decode(data) {
+                Some((pdu, _tid)) => self.on_pdu(*lt_addr, pdu, now_slot),
+                None => Vec::new(),
+            },
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_pdu(&mut self, lt_addr: u8, pdu: Pdu, now_slot: u64) -> Vec<LmOutput> {
+        let mut out = Vec::new();
+        match pdu {
+            Pdu::HostConnectionReq => {
+                out.push(self.send(lt_addr, &Pdu::Accepted {
+                    of: Opcode::HostConnectionReq,
+                }));
+                out.push(self.send(lt_addr, &Pdu::SetupComplete));
+            }
+            Pdu::SetupComplete => {
+                if !self.setup_done.contains(&lt_addr) {
+                    self.setup_done.push(lt_addr);
+                    out.push(LmOutput::Event(LmEvent::SetupComplete { lt_addr }));
+                }
+            }
+            Pdu::Accepted { of } => {
+                self.outstanding.retain(|(lt, p)| {
+                    if *lt == lt_addr && p.opcode() == of {
+                        if of == Opcode::HostConnectionReq {
+                            // Our connection request was accepted; finish.
+                            out.push(LmOutput::Command(LcCommand::Lmp {
+                                lt_addr,
+                                data: Pdu::SetupComplete.encode(false),
+                            }));
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            Pdu::NotAccepted { of, reason } => {
+                self.outstanding
+                    .retain(|(lt, p)| !(*lt == lt_addr && p.opcode() == of));
+                self.pending.retain(|p| !(p.lt_addr == lt_addr && p.of == of));
+                out.push(LmOutput::Event(LmEvent::Rejected { of, reason }));
+            }
+            Pdu::SniffReq {
+                d_sniff,
+                t_sniff,
+                attempt,
+                timeout,
+            } => {
+                out.push(self.send(lt_addr, &Pdu::Accepted {
+                    of: Opcode::SniffReq,
+                }));
+                self.pending.push(PendingMode {
+                    at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+                    command: LcCommand::Sniff {
+                        lt_addr,
+                        params: SniffParams {
+                            t_sniff: t_sniff as u32,
+                            n_attempt: attempt as u32,
+                            d_sniff: d_sniff as u32,
+                            n_timeout: timeout as u32,
+                        },
+                    },
+                    of: Opcode::SniffReq,
+                    lt_addr,
+                });
+            }
+            Pdu::UnsniffReq => {
+                out.push(self.send(lt_addr, &Pdu::Accepted {
+                    of: Opcode::UnsniffReq,
+                }));
+                self.pending.push(PendingMode {
+                    at_slot: now_slot,
+                    command: LcCommand::Unsniff { lt_addr },
+                    of: Opcode::UnsniffReq,
+                    lt_addr,
+                });
+            }
+            Pdu::HoldReq {
+                hold_time,
+                hold_instant,
+            } => {
+                out.push(self.send(lt_addr, &Pdu::Accepted {
+                    of: Opcode::HoldReq,
+                }));
+                self.pending.push(PendingMode {
+                    at_slot: hold_instant as u64,
+                    command: LcCommand::Hold {
+                        lt_addr,
+                        hold_slots: hold_time as u32,
+                    },
+                    of: Opcode::HoldReq,
+                    lt_addr,
+                });
+            }
+            Pdu::ParkReq { beacon_interval } => {
+                out.push(self.send(lt_addr, &Pdu::Accepted {
+                    of: Opcode::ParkReq,
+                }));
+                self.pending.push(PendingMode {
+                    at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+                    command: LcCommand::Park {
+                        lt_addr,
+                        beacon_interval: beacon_interval as u32,
+                    },
+                    of: Opcode::ParkReq,
+                    lt_addr,
+                });
+            }
+            Pdu::ScoLinkReq {
+                t_sco,
+                d_sco,
+                hv_type,
+            } => {
+                out.push(self.send(lt_addr, &Pdu::Accepted {
+                    of: Opcode::ScoLinkReq,
+                }));
+                let ptype = match hv_type {
+                    1 => PacketType::Hv1,
+                    2 => PacketType::Hv2,
+                    _ => PacketType::Hv3,
+                };
+                self.pending.push(PendingMode {
+                    at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+                    command: LcCommand::ScoSetup {
+                        lt_addr,
+                        params: ScoParams {
+                            t_sco: t_sco as u32,
+                            d_sco: d_sco as u32,
+                            ptype,
+                        },
+                    },
+                    of: Opcode::ScoLinkReq,
+                    lt_addr,
+                });
+            }
+            Pdu::Detach { .. } => {
+                out.push(LmOutput::Command(LcCommand::Detach { lt_addr }));
+                out.push(LmOutput::Event(LmEvent::PeerDetached { lt_addr }));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Routes LMP commands of `outs` into the peer manager, returning the
+    /// peer's outputs (simulating a perfect link).
+    fn deliver(peer: &mut LinkManager, outs: &[LmOutput], now_slot: u64) -> Vec<LmOutput> {
+        let mut result = Vec::new();
+        for o in outs {
+            if let LmOutput::Command(LcCommand::Lmp { lt_addr, data }) = o {
+                let ev = LcEvent::AclReceived {
+                    lt_addr: *lt_addr,
+                    llid: Llid::Lmp,
+                    data: data.clone(),
+                };
+                result.extend(peer.on_lc_event(&ev, now_slot));
+            }
+        }
+        result
+    }
+
+    fn commands(outs: &[LmOutput]) -> Vec<&LcCommand> {
+        outs.iter()
+            .filter_map(|o| match o {
+                LmOutput::Command(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn connection_setup_handshake() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let m1 = master.start_setup(1);
+        let s1 = deliver(&mut slave, &m1, 0);
+        // Slave answers accepted + setup_complete.
+        assert_eq!(commands(&s1).len(), 2);
+        let m2 = deliver(&mut master, &s1, 1);
+        // Master sees setup_complete and sends its own.
+        assert!(m2
+            .iter()
+            .any(|o| matches!(o, LmOutput::Event(LmEvent::SetupComplete { lt_addr: 1 }))));
+        let s2 = deliver(&mut slave, &m2, 2);
+        assert!(s2
+            .iter()
+            .any(|o| matches!(o, LmOutput::Event(LmEvent::SetupComplete { lt_addr: 1 }))));
+    }
+
+    #[test]
+    fn sniff_negotiation_applies_on_both_sides_at_same_slot() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let m1 = master.request_sniff(2, SniffParams::default(), 100);
+        let s1 = deliver(&mut slave, &m1, 101);
+        let _ = deliver(&mut master, &s1, 102);
+        // Neither applies before the agreed instant.
+        assert!(master.poll(105).is_empty());
+        assert!(slave.poll(105).is_empty());
+        // Both apply after it.
+        let mo = master.poll(120);
+        let so = slave.poll(120);
+        assert!(commands(&mo)
+            .iter()
+            .any(|c| matches!(c, LcCommand::Sniff { lt_addr: 2, .. })));
+        assert!(commands(&so)
+            .iter()
+            .any(|c| matches!(c, LcCommand::Sniff { lt_addr: 2, .. })));
+    }
+
+    #[test]
+    fn hold_negotiation_uses_requested_instant() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let m1 = master.request_hold(1, 400, 1000);
+        let _ = deliver(&mut slave, &m1, 1001);
+        let so = slave.poll(1000 + MODE_CHANGE_LEAD_SLOTS);
+        assert!(commands(&so)
+            .iter()
+            .any(|c| matches!(c, LcCommand::Hold { lt_addr: 1, hold_slots: 400 })));
+        let mo = master.poll(1000 + MODE_CHANGE_LEAD_SLOTS);
+        assert!(commands(&mo)
+            .iter()
+            .any(|c| matches!(c, LcCommand::Hold { lt_addr: 1, hold_slots: 400 })));
+    }
+
+    #[test]
+    fn rejection_cancels_pending_change() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let m1 = master.request_sniff(1, SniffParams::default(), 0);
+        assert_eq!(m1.len(), 1);
+        // Peer rejects.
+        let reject = Pdu::NotAccepted {
+            of: Opcode::SniffReq,
+            reason: 0x0C,
+        }
+        .encode(true);
+        let ev = LcEvent::AclReceived {
+            lt_addr: 1,
+            llid: Llid::Lmp,
+            data: reject,
+        };
+        let outs = master.on_lc_event(&ev, 1);
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, LmOutput::Event(LmEvent::Rejected { .. }))));
+        assert!(master.poll(1000).is_empty(), "pending change must be gone");
+    }
+
+    #[test]
+    fn detach_notifies_peer() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let m1 = master.request_detach(3, 0);
+        // The PDU is queued immediately; the local teardown is deferred
+        // so the notification can leave first.
+        assert!(!commands(&m1)
+            .iter()
+            .any(|c| matches!(c, LcCommand::Detach { .. })));
+        let deferred = master.poll(MODE_CHANGE_LEAD_SLOTS);
+        assert!(commands(&deferred)
+            .iter()
+            .any(|c| matches!(c, LcCommand::Detach { lt_addr: 3 })));
+        let s1 = deliver(&mut slave, &m1, 0);
+        assert!(s1
+            .iter()
+            .any(|o| matches!(o, LmOutput::Event(LmEvent::PeerDetached { lt_addr: 3 }))));
+        assert!(commands(&s1)
+            .iter()
+            .any(|c| matches!(c, LcCommand::Detach { lt_addr: 3 })));
+    }
+
+    #[test]
+    fn park_negotiation() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let m1 = master.request_park(1, 200, 50);
+        let _ = deliver(&mut slave, &m1, 51);
+        let so = slave.poll(100);
+        assert!(commands(&so)
+            .iter()
+            .any(|c| matches!(c, LcCommand::Park { lt_addr: 1, beacon_interval: 200 })));
+    }
+
+    #[test]
+    fn sco_negotiation_installs_the_link_on_both_sides() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let params = ScoParams::for_type(PacketType::Hv3, 2);
+        let m1 = master.request_sco(1, params, 10);
+        let _ = deliver(&mut slave, &m1, 11);
+        let mo = master.poll(10 + MODE_CHANGE_LEAD_SLOTS);
+        let so = slave.poll(11 + MODE_CHANGE_LEAD_SLOTS);
+        for outs in [mo, so] {
+            assert!(commands(&outs)
+                .iter()
+                .any(|c| matches!(c, LcCommand::ScoSetup { lt_addr: 1, .. })));
+        }
+    }
+
+    #[test]
+    fn non_lmp_events_are_ignored() {
+        let mut lm = LinkManager::new(LmRole::Master);
+        let ev = LcEvent::AclReceived {
+            lt_addr: 1,
+            llid: Llid::Start,
+            data: vec![1, 2, 3],
+        };
+        assert!(lm.on_lc_event(&ev, 0).is_empty());
+    }
+}

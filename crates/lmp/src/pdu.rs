@@ -1,0 +1,315 @@
+//! LMP PDU encoding.
+//!
+//! The subset of Link Manager Protocol messages the paper's model needs:
+//! connection setup, detach and the low-power mode requests. PDUs travel
+//! in DM1 payloads with LLID = 11 (LMP); the first byte carries the
+//! 7-bit opcode and the transaction-initiator bit (spec v1.2 Part C).
+
+/// Opcode values (spec v1.2 Part C, Table 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Accept a previously received request.
+    Accepted = 3,
+    /// Reject a previously received request.
+    NotAccepted = 4,
+    /// Tear the link down.
+    Detach = 7,
+    /// Enter hold mode (negotiated).
+    HoldReq = 21,
+    /// Enter sniff mode.
+    SniffReq = 23,
+    /// Leave sniff mode.
+    UnsniffReq = 24,
+    /// Enter park mode.
+    ParkReq = 25,
+    /// Establish an SCO link.
+    ScoLinkReq = 45,
+    /// Host requests a connection.
+    HostConnectionReq = 51,
+    /// Link setup finished.
+    SetupComplete = 49,
+}
+
+impl Opcode {
+    /// Decodes a 7-bit opcode.
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        Some(match v {
+            3 => Opcode::Accepted,
+            4 => Opcode::NotAccepted,
+            7 => Opcode::Detach,
+            21 => Opcode::HoldReq,
+            23 => Opcode::SniffReq,
+            24 => Opcode::UnsniffReq,
+            25 => Opcode::ParkReq,
+            45 => Opcode::ScoLinkReq,
+            51 => Opcode::HostConnectionReq,
+            49 => Opcode::SetupComplete,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded LMP PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pdu {
+    /// `LMP_accepted(opcode)` — the peer accepted `of`.
+    Accepted {
+        /// The request being accepted.
+        of: Opcode,
+    },
+    /// `LMP_not_accepted(opcode, reason)`.
+    NotAccepted {
+        /// The request being rejected.
+        of: Opcode,
+        /// Error code.
+        reason: u8,
+    },
+    /// `LMP_detach(reason)`.
+    Detach {
+        /// Error code (0x13 = user ended).
+        reason: u8,
+    },
+    /// `LMP_hold_req(hold_time, hold_instant)`.
+    HoldReq {
+        /// Hold duration in slots.
+        hold_time: u16,
+        /// Piconet slot (CLK₂₇₋₁ truncated to 32 bits) at which the hold
+        /// starts on both sides.
+        hold_instant: u32,
+    },
+    /// `LMP_sniff_req(d_sniff, t_sniff, attempt, timeout)`.
+    SniffReq {
+        /// Anchor offset in slots.
+        d_sniff: u16,
+        /// Sniff interval in slots.
+        t_sniff: u16,
+        /// Listen attempts per anchor.
+        attempt: u16,
+        /// Extension after traffic.
+        timeout: u16,
+    },
+    /// `LMP_unsniff_req`.
+    UnsniffReq,
+    /// `LMP_park_req(beacon_interval)` (simplified parameter set).
+    ParkReq {
+        /// Beacon interval in slots.
+        beacon_interval: u16,
+    },
+    /// `LMP_SCO_link_req(t_sco, d_sco, hv_type)` (simplified parameters).
+    ScoLinkReq {
+        /// Reserved-pair interval in slots.
+        t_sco: u16,
+        /// Anchor offset in slots.
+        d_sco: u16,
+        /// HV packet type code (1, 2 or 3).
+        hv_type: u8,
+    },
+    /// `LMP_host_connection_req`.
+    HostConnectionReq,
+    /// `LMP_setup_complete`.
+    SetupComplete,
+}
+
+impl Pdu {
+    /// The PDU's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Pdu::Accepted { .. } => Opcode::Accepted,
+            Pdu::NotAccepted { .. } => Opcode::NotAccepted,
+            Pdu::Detach { .. } => Opcode::Detach,
+            Pdu::HoldReq { .. } => Opcode::HoldReq,
+            Pdu::SniffReq { .. } => Opcode::SniffReq,
+            Pdu::UnsniffReq => Opcode::UnsniffReq,
+            Pdu::ParkReq { .. } => Opcode::ParkReq,
+            Pdu::ScoLinkReq { .. } => Opcode::ScoLinkReq,
+            Pdu::HostConnectionReq => Opcode::HostConnectionReq,
+            Pdu::SetupComplete => Opcode::SetupComplete,
+        }
+    }
+
+    /// Serialises the PDU; `tid` is the transaction-initiator bit.
+    pub fn encode(&self, tid: bool) -> Vec<u8> {
+        let mut out = vec![((self.opcode() as u8) << 1) | tid as u8];
+        match self {
+            Pdu::Accepted { of } => out.push(*of as u8),
+            Pdu::NotAccepted { of, reason } => {
+                out.push(*of as u8);
+                out.push(*reason);
+            }
+            Pdu::Detach { reason } => out.push(*reason),
+            Pdu::HoldReq {
+                hold_time,
+                hold_instant,
+            } => {
+                out.extend_from_slice(&hold_time.to_le_bytes());
+                out.extend_from_slice(&hold_instant.to_le_bytes());
+            }
+            Pdu::SniffReq {
+                d_sniff,
+                t_sniff,
+                attempt,
+                timeout,
+            } => {
+                for v in [d_sniff, t_sniff, attempt, timeout] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Pdu::ParkReq { beacon_interval } => {
+                out.extend_from_slice(&beacon_interval.to_le_bytes());
+            }
+            Pdu::ScoLinkReq {
+                t_sco,
+                d_sco,
+                hv_type,
+            } => {
+                out.extend_from_slice(&t_sco.to_le_bytes());
+                out.extend_from_slice(&d_sco.to_le_bytes());
+                out.push(*hv_type);
+            }
+            Pdu::UnsniffReq | Pdu::HostConnectionReq | Pdu::SetupComplete => {}
+        }
+        out
+    }
+
+    /// Parses a PDU; returns the message and the transaction bit.
+    ///
+    /// Returns `None` for unknown opcodes or truncated parameters.
+    pub fn decode(bytes: &[u8]) -> Option<(Pdu, bool)> {
+        let first = *bytes.first()?;
+        let tid = first & 1 == 1;
+        let opcode = Opcode::from_u8(first >> 1)?;
+        let rest = &bytes[1..];
+        let le16 = |i: usize| -> Option<u16> {
+            Some(u16::from_le_bytes([*rest.get(i)?, *rest.get(i + 1)?]))
+        };
+        let pdu = match opcode {
+            Opcode::Accepted => Pdu::Accepted {
+                of: Opcode::from_u8(*rest.first()?)?,
+            },
+            Opcode::NotAccepted => Pdu::NotAccepted {
+                of: Opcode::from_u8(*rest.first()?)?,
+                reason: *rest.get(1)?,
+            },
+            Opcode::Detach => Pdu::Detach {
+                reason: *rest.first()?,
+            },
+            Opcode::HoldReq => Pdu::HoldReq {
+                hold_time: le16(0)?,
+                hold_instant: u32::from_le_bytes([
+                    *rest.get(2)?,
+                    *rest.get(3)?,
+                    *rest.get(4)?,
+                    *rest.get(5)?,
+                ]),
+            },
+            Opcode::SniffReq => Pdu::SniffReq {
+                d_sniff: le16(0)?,
+                t_sniff: le16(2)?,
+                attempt: le16(4)?,
+                timeout: le16(6)?,
+            },
+            Opcode::UnsniffReq => Pdu::UnsniffReq,
+            Opcode::ParkReq => Pdu::ParkReq {
+                beacon_interval: le16(0)?,
+            },
+            Opcode::ScoLinkReq => Pdu::ScoLinkReq {
+                t_sco: le16(0)?,
+                d_sco: le16(2)?,
+                hv_type: *rest.get(4)?,
+            },
+            Opcode::HostConnectionReq => Pdu::HostConnectionReq,
+            Opcode::SetupComplete => Pdu::SetupComplete,
+        };
+        Some((pdu, tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pdu: Pdu) {
+        for tid in [false, true] {
+            let bytes = pdu.encode(tid);
+            let (decoded, got_tid) = Pdu::decode(&bytes).expect("decodes");
+            assert_eq!(decoded, pdu);
+            assert_eq!(got_tid, tid);
+        }
+    }
+
+    #[test]
+    fn all_pdus_roundtrip() {
+        roundtrip(Pdu::Accepted {
+            of: Opcode::SniffReq,
+        });
+        roundtrip(Pdu::NotAccepted {
+            of: Opcode::HoldReq,
+            reason: 0x0C,
+        });
+        roundtrip(Pdu::Detach { reason: 0x13 });
+        roundtrip(Pdu::HoldReq {
+            hold_time: 500,
+            hold_instant: 0x0012_3456,
+        });
+        roundtrip(Pdu::SniffReq {
+            d_sniff: 4,
+            t_sniff: 100,
+            attempt: 1,
+            timeout: 0,
+        });
+        roundtrip(Pdu::UnsniffReq);
+        roundtrip(Pdu::ParkReq {
+            beacon_interval: 400,
+        });
+        roundtrip(Pdu::ScoLinkReq {
+            t_sco: 6,
+            d_sco: 2,
+            hv_type: 3,
+        });
+        roundtrip(Pdu::HostConnectionReq);
+        roundtrip(Pdu::SetupComplete);
+    }
+
+    #[test]
+    fn pdus_fit_a_dm1() {
+        // DM1 carries 17 user bytes; every LMP PDU must fit unfragmented.
+        for pdu in [
+            Pdu::Accepted {
+                of: Opcode::SniffReq,
+            },
+            Pdu::HoldReq {
+                hold_time: u16::MAX,
+                hold_instant: u32::MAX,
+            },
+            Pdu::SniffReq {
+                d_sniff: u16::MAX,
+                t_sniff: u16::MAX,
+                attempt: u16::MAX,
+                timeout: u16::MAX,
+            },
+        ] {
+            assert!(pdu.encode(true).len() <= 17, "{pdu:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        assert!(Pdu::decode(&[0xFF]).is_none());
+        assert!(Pdu::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn rejects_truncated_params() {
+        let full = Pdu::SniffReq {
+            d_sniff: 1,
+            t_sniff: 2,
+            attempt: 3,
+            timeout: 4,
+        }
+        .encode(false);
+        for cut in 1..full.len() {
+            assert!(Pdu::decode(&full[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Fixed-bin histograms for distribution inspection.
+
+use std::fmt;
+
+/// A histogram over `[lo, hi)` with uniform bins.
+///
+/// Out-of-range values are counted in saturated edge bins so no
+/// observation is silently lost.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [0.5, 1.5, 2.5, 2.6, 9.9, 42.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.bin_count(1), 2); // 2.5 and 2.6
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds an observation (clamped into the edge bins).
+    pub fn add(&mut self, x: f64) {
+        let n = self.bins.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * n as f64) as usize
+        };
+        self.bins[idx.min(n - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `[start, end)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Fraction of observations at or below `x` (empirical CDF).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for i in 0..self.bins.len() {
+            let (_, end) = self.bin_range(i);
+            if end <= x {
+                acc += self.bins[i];
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for i in 0..self.bins.len() {
+            let (a, b) = self.bin_range(i);
+            let bar = "#".repeat((self.bins[i] * 40 / peak) as usize);
+            writeln!(f, "[{a:>10.2}, {b:>10.2}) {:>8} {bar}", self.bins[i])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_values_correctly() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.add(0.0);
+        h.add(9.999);
+        h.add(10.0);
+        h.add(99.0);
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.add(-5.0);
+        h.add(15.0);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert!((h.cdf(5.0) - 0.5).abs() < 1e-12);
+        assert!((h.cdf(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(h.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_bins() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.add(1.0);
+        let text = h.to_string();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_range() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

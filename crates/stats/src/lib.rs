@@ -1,0 +1,19 @@
+//! # btsim-stats
+//!
+//! Statistics for Monte-Carlo simulation campaigns: streaming summaries
+//! ([`Summary`]), histograms ([`Histogram`]), a deterministic parallel
+//! campaign runner ([`run_campaign`]) and plain-text/CSV table formatting
+//! ([`Table`]) used by the figure-regeneration binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod runner;
+mod summary;
+mod table;
+
+pub use histogram::Histogram;
+pub use runner::run_campaign;
+pub use summary::Summary;
+pub use table::Table;

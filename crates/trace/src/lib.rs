@@ -1,0 +1,293 @@
+//! # btsim-trace
+//!
+//! Waveform output for the DATE'05 model: the paper inspects its SystemC
+//! simulation through signal waveforms (`enable_rx_RF` per device,
+//! Figs. 5 and 9). This crate renders the kernel's [`TraceRecorder`]
+//! records two ways:
+//!
+//! * [`to_vcd`] — a standard Value Change Dump file, viewable in GTKWave;
+//! * [`render_ascii`] — a terminal waveform, one row per signal, where a
+//!   column shows `#` if the signal was ever high inside its time span
+//!   (so short RF bursts stay visible at coarse resolutions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use btsim_kernel::{SimTime, TraceRecord, TraceRecorder, TraceValue, Wire};
+
+/// Produces a VCD document from the recorder's content.
+///
+/// Time unit is 1 ns. Signals are grouped into scopes by their declared
+/// scope names.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_kernel::{SimTime, TraceRecorder, TraceValue};
+/// use btsim_trace::to_vcd;
+///
+/// let mut tr = TraceRecorder::enabled();
+/// let s = tr.declare("slave1", "enable_rx_RF", 1);
+/// tr.record(SimTime::from_us(5), s, TraceValue::Bit(true));
+/// let vcd = to_vcd(&tr);
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#5000"));
+/// ```
+pub fn to_vcd(recorder: &TraceRecorder) -> String {
+    let mut out = String::new();
+    out.push_str("$timescale 1ns $end\n");
+    // Group signals by scope, preserving declaration order.
+    let signals = recorder.signals();
+    let mut scopes: Vec<&str> = Vec::new();
+    for info in signals {
+        if !scopes.contains(&info.scope.as_str()) {
+            scopes.push(&info.scope);
+        }
+    }
+    let code = |idx: usize| -> String {
+        // Short printable id codes: !, ", #, ... per VCD convention.
+        let mut n = idx;
+        let mut s = String::new();
+        loop {
+            s.push((33 + (n % 94)) as u8 as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+            n -= 1;
+        }
+        s
+    };
+    for scope in &scopes {
+        let _ = writeln!(out, "$scope module {scope} $end");
+        for (i, info) in signals.iter().enumerate() {
+            if info.scope == *scope {
+                let _ = writeln!(
+                    out,
+                    "$var wire {} {} {} $end",
+                    info.width,
+                    code(i),
+                    info.name
+                );
+            }
+        }
+        out.push_str("$upscope $end\n");
+    }
+    out.push_str("$enddefinitions $end\n");
+
+    let records = recorder.sorted_records();
+    let mut last_time: Option<SimTime> = None;
+    for r in &records {
+        if last_time != Some(r.at) {
+            let _ = writeln!(out, "#{}", r.at.ns());
+            last_time = Some(r.at);
+        }
+        let idx = recorder.index_of(r.signal);
+        let id = code(idx);
+        match r.value {
+            TraceValue::Bit(b) => {
+                let _ = writeln!(out, "{}{id}", if b { 1 } else { 0 });
+            }
+            TraceValue::Wire(w) => {
+                let c = match w {
+                    Wire::L0 => '0',
+                    Wire::L1 => '1',
+                    Wire::Z => 'z',
+                    Wire::X => 'x',
+                };
+                let _ = writeln!(out, "{c}{id}");
+            }
+            TraceValue::Int(v) => {
+                let _ = writeln!(out, "b{v:b} {id}");
+            }
+        }
+    }
+    out
+}
+
+/// Options for the ASCII renderer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsciiOptions {
+    /// Start of the rendered window.
+    pub from: SimTime,
+    /// End of the rendered window.
+    pub to: SimTime,
+    /// Number of character columns.
+    pub columns: usize,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        Self {
+            from: SimTime::ZERO,
+            to: SimTime::from_us(50_000),
+            columns: 100,
+        }
+    }
+}
+
+/// Renders bit-valued signals as rows of `_` (low) and `#` (high).
+///
+/// A column shows `#` when the signal was high at any instant within the
+/// column's time span, so sub-column pulses (a 68 µs ID packet at 625 µs
+/// per column) remain visible — the same visual idiom as the paper's
+/// Fig. 5/9 waveforms.
+pub fn render_ascii(recorder: &TraceRecorder, opts: &AsciiOptions) -> String {
+    let signals = recorder.signals();
+    let records = recorder.sorted_records();
+    let span = opts.to.since(opts.from).ns().max(1);
+    let cols = opts.columns.max(1);
+    let label_width = signals
+        .iter()
+        .map(|s| s.scope.len() + s.name.len() + 1)
+        .max()
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    for (idx, info) in signals.iter().enumerate() {
+        // Build this signal's change list.
+        let changes: Vec<&TraceRecord> = records
+            .iter()
+            .filter(|r| recorder.index_of(r.signal) == idx)
+            .collect();
+        if changes.is_empty() {
+            continue;
+        }
+        let value_at = |t: SimTime| -> bool {
+            let mut v = false;
+            for c in &changes {
+                if c.at > t {
+                    break;
+                }
+                v = matches!(c.value, TraceValue::Bit(true));
+            }
+            v
+        };
+        let mut row = String::with_capacity(cols);
+        for col in 0..cols {
+            let t0 = opts.from + btsim_kernel::SimDuration::from_ns(span * col as u64 / cols as u64);
+            let t1 = opts.from
+                + btsim_kernel::SimDuration::from_ns(span * (col as u64 + 1) / cols as u64);
+            // High if high at t0 or any change to high within [t0, t1).
+            let mut high = value_at(t0);
+            if !high {
+                high = changes.iter().any(|c| {
+                    c.at >= t0 && c.at < t1 && matches!(c.value, TraceValue::Bit(true))
+                });
+            }
+            row.push(if high { '#' } else { '_' });
+        }
+        let _ = writeln!(
+            out,
+            "{:<label_width$} {row}",
+            format!("{}.{}", info.scope, info.name),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recorder() -> TraceRecorder {
+        let mut tr = TraceRecorder::enabled();
+        let a = tr.declare("master", "enable_tx_RF", 1);
+        let b = tr.declare("slave1", "enable_rx_RF", 1);
+        tr.record(SimTime::from_us(0), b, TraceValue::Bit(true));
+        tr.record(SimTime::from_us(100), a, TraceValue::Bit(true));
+        tr.record(SimTime::from_us(168), a, TraceValue::Bit(false));
+        tr.record(SimTime::from_us(500), b, TraceValue::Bit(false));
+        tr
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let vcd = to_vcd(&sample_recorder());
+        assert!(vcd.starts_with("$timescale 1ns $end"));
+        assert!(vcd.contains("$scope module master $end"));
+        assert!(vcd.contains("$scope module slave1 $end"));
+        assert!(vcd.contains("$var wire 1 ! enable_tx_RF $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("#100000"));
+        assert!(vcd.contains("1!"));
+        assert!(vcd.contains("0!"));
+    }
+
+    #[test]
+    fn vcd_id_codes_are_unique() {
+        let mut tr = TraceRecorder::enabled();
+        for i in 0..200 {
+            tr.declare("s", &format!("sig{i}"), 1);
+        }
+        let vcd = to_vcd(&tr);
+        let ids: Vec<&str> = vcd
+            .lines()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(3).unwrap())
+            .collect();
+        let unique: std::collections::HashSet<&&str> = ids.iter().collect();
+        assert_eq!(ids.len(), unique.len());
+    }
+
+    #[test]
+    fn vcd_renders_wire_and_int_values() {
+        let mut tr = TraceRecorder::enabled();
+        let w = tr.declare("ch", "bus", 1);
+        let n = tr.declare("ch", "freq", 7);
+        tr.record(SimTime::from_us(1), w, TraceValue::Wire(Wire::X));
+        tr.record(SimTime::from_us(2), n, TraceValue::Int(42));
+        let vcd = to_vcd(&tr);
+        assert!(vcd.contains("x!"));
+        assert!(vcd.contains("b101010 \""));
+    }
+
+    #[test]
+    fn ascii_shows_levels() {
+        let opts = AsciiOptions {
+            from: SimTime::ZERO,
+            to: SimTime::from_us(1000),
+            columns: 10,
+        };
+        let art = render_ascii(&sample_recorder(), &opts);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // master TX pulses at 100..168 µs => column 1 high.
+        let master = lines[0];
+        assert!(master.contains("master.enable_tx_RF"));
+        let wave: &str = master.rsplit(' ').next().unwrap();
+        assert_eq!(&wave[0..1], "_");
+        assert_eq!(&wave[1..2], "#");
+        assert_eq!(&wave[2..3], "_");
+        // slave RX high for the first half.
+        let slave_wave: &str = lines[1].rsplit(' ').next().unwrap();
+        assert!(slave_wave.starts_with("#####"));
+        assert!(slave_wave.ends_with("_____"));
+    }
+
+    #[test]
+    fn ascii_keeps_short_pulses_visible() {
+        let mut tr = TraceRecorder::enabled();
+        let a = tr.declare("d", "pulse", 1);
+        // 68 µs pulse far shorter than the 625 µs column.
+        tr.record(SimTime::from_us(1000), a, TraceValue::Bit(true));
+        tr.record(SimTime::from_us(1068), a, TraceValue::Bit(false));
+        let opts = AsciiOptions {
+            from: SimTime::ZERO,
+            to: SimTime::from_us(6250),
+            columns: 10,
+        };
+        let art = render_ascii(&tr, &opts);
+        assert!(art.contains('#'), "short pulse must be visible: {art}");
+    }
+
+    #[test]
+    fn ascii_skips_untouched_signals() {
+        let mut tr = TraceRecorder::enabled();
+        tr.declare("d", "never_used", 1);
+        let art = render_ascii(&tr, &AsciiOptions::default());
+        assert!(art.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Choosing an ACL packet type for a file transfer: the DM types carry
+//! FEC and survive noise; the DH types carry more payload on a clean
+//! channel. This is the trade-off the paper lists among its analysis
+//! goals (§2).
+//!
+//! ```text
+//! cargo run --release --example packet_throughput
+//! ```
+
+use btsim::baseband::{LcCommand, LcEvent, PacketType};
+use btsim::core::scenario::{connect_pair, paper_config};
+use btsim::core::SimBuilder;
+use btsim::kernel::{SimDuration, SimTime};
+
+fn goodput_kbps(ptype: PacketType, ber: f64, seed: u64) -> f64 {
+    let mut cfg = paper_config();
+    cfg.channel.ber = ber;
+    let mut builder = SimBuilder::new(seed, cfg);
+    let master = builder.add_device("master");
+    let slave = builder.add_device("slave1");
+    let mut sim = builder.build();
+    let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+        .expect("connection");
+    sim.command(master, LcCommand::SetAclType(ptype));
+    sim.command(master, LcCommand::SetTpoll(2));
+    sim.command(
+        master,
+        LcCommand::AclData {
+            lt_addr: lt,
+            // More than any type can move in the window: measures rate.
+            data: vec![0x3C; 300_000],
+        },
+    );
+    let start = sim.now();
+    let window = SimDuration::from_slots(3000);
+    sim.run_until(start + window);
+    let bytes: usize = sim
+        .events()
+        .iter()
+        .filter(|e| e.device == slave && e.at > start)
+        .filter_map(|e| match &e.event {
+            LcEvent::AclReceived { data, .. } => Some(data.len()),
+            _ => None,
+        })
+        .sum();
+    bytes as f64 * 8.0 / window.secs_f64() / 1000.0
+}
+
+fn main() {
+    let types = [
+        PacketType::Dm1,
+        PacketType::Dh1,
+        PacketType::Dm3,
+        PacketType::Dh3,
+        PacketType::Dm5,
+        PacketType::Dh5,
+    ];
+    println!("ACL goodput in kbit/s (saturated 1.9 s transfer each):\n");
+    println!("{:>6}  {:>10}  {:>10}  {:>10}", "type", "BER 0", "BER 1/500", "BER 1/100");
+    for t in types {
+        let clean = goodput_kbps(t, 0.0, 11);
+        let mild = goodput_kbps(t, 0.002, 11);
+        let noisy = goodput_kbps(t, 0.01, 11);
+        println!("{t:>6?}  {clean:>10.1}  {mild:>10.1}  {noisy:>10.1}");
+    }
+    println!("\nDH5 wins on a clean channel; FEC-protected DM types degrade more slowly.");
+}

@@ -1,0 +1,98 @@
+//! Quickstart: form a one-slave piconet and exchange data.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! This walks the whole stack once: inquiry discovers the slave, page
+//! connects it, and an ACL transfer runs over the polled TDD channel.
+
+use btsim::baseband::{LcCommand, LcEvent};
+use btsim::core::{SimBuilder, SimConfig};
+use btsim::kernel::{SimDuration, SimTime};
+
+fn main() {
+    // A clean channel and the spec-faithful defaults.
+    let cfg = SimConfig::default();
+    let mut builder = SimBuilder::new(0xC0FFEE, cfg);
+    let master = builder.add_device("master");
+    let slave = builder.add_device("slave1");
+    let mut sim = builder.build();
+
+    // Both devices start their procedures at t = 0.
+    sim.command(slave, LcCommand::InquiryScan);
+    sim.command(
+        master,
+        LcCommand::Inquiry {
+            num_responses: 1,
+            timeout_slots: 0,
+        },
+    );
+    let found = sim
+        .run_until_event(SimTime::from_us(20_000_000), |e| {
+            matches!(e.event, LcEvent::InquiryResult { .. })
+        })
+        .expect("the scanner is discovered");
+    let LcEvent::InquiryResult { addr, clk_offset } = found.event else {
+        unreachable!();
+    };
+    println!(
+        "discovered {addr} after {} slots (clock offset {clk_offset})",
+        found.at.slots()
+    );
+
+    // Page the discovered device with the learned clock estimate.
+    sim.command(slave, LcCommand::PageScan);
+    sim.command(
+        master,
+        LcCommand::Page {
+            target: addr,
+            clke_offset: clk_offset,
+            timeout_slots: 2048,
+        },
+    );
+    let connected = sim
+        .run_until_event(sim.now() + SimDuration::from_slots(4096), |e| {
+            matches!(e.event, LcEvent::Connected { .. })
+        })
+        .expect("page succeeds on a clean channel");
+    println!("connected as piconet at t = {}", connected.at);
+
+    // Send a message from master to slave over the ACL link.
+    let lt = sim.lc(master).connected_slaves()[0].0;
+    let message = b"hello from the master".to_vec();
+    sim.command(
+        master,
+        LcCommand::AclData {
+            lt_addr: lt,
+            data: message.clone(),
+        },
+    );
+    sim.run_until(sim.now() + SimDuration::from_slots(400));
+
+    let received: Vec<u8> = sim
+        .events()
+        .iter()
+        .filter_map(|e| match &e.event {
+            LcEvent::AclReceived { data, .. } if e.device == slave => Some(data.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    assert_eq!(received, message);
+    println!(
+        "slave received {:?}",
+        String::from_utf8_lossy(&received)
+    );
+
+    // RF budget of the whole exercise.
+    for (dev, name) in [(master, "master"), (slave, "slave")] {
+        let report = sim.power_report(dev);
+        println!(
+            "{name}: TX on {:.1} ms, RX on {:.1} ms, RF activity {:.2}%",
+            report.tx.ns() as f64 / 1e6,
+            report.rx.ns() as f64 / 1e6,
+            report.rf_activity() * 100.0
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # btsim — System-Level Simulation of the Bluetooth Standard
+//!
+//! Facade crate for the `btsim` workspace, a Rust reproduction of
+//! Conti & Moretti, *System Level Analysis of the Bluetooth Standard*
+//! (DATE 2005). The paper models the Bluetooth Link Manager and Baseband
+//! layers in SystemC to study piconet-creation behaviour under channel
+//! noise and the RF-power savings of the sniff/hold/park low-power modes;
+//! this workspace rebuilds that model — including its SystemC-like
+//! discrete-event substrate — as a set of Rust crates.
+//!
+//! Each sub-crate is re-exported as a module:
+//!
+//! * [`kernel`] — discrete-event simulation kernel (ns time base, event
+//!   calendar, 4-valued wires, traced signals, seeded RNG);
+//! * [`coding`] — bit-level codes: access-code sync words, HEC, CRC-16,
+//!   FEC 1/3 and 2/3, whitening;
+//! * [`channel`] — the noisy RF medium with collisions and modem delay;
+//! * [`baseband`] — packets, hop selection, Bluetooth clock and the
+//!   link-controller state machine;
+//! * [`lmp`] — the Link Manager Protocol subset (mode negotiation);
+//! * [`power`] — RF-activity and energy accounting;
+//! * [`stats`] — Monte-Carlo campaign statistics;
+//! * [`trace`] — VCD/ASCII waveform output;
+//! * [`core`] — device composition, simulator, scenarios and the paper's
+//!   experiments.
+//!
+//! # Quickstart
+//!
+//! Create a piconet of one master and one slave over a noiseless channel
+//! and let it form (inquiry + page), then inspect the outcome:
+//!
+//! ```
+//! use btsim::core::scenario::{CreationConfig, CreationScenario};
+//!
+//! let outcome = CreationScenario::new(CreationConfig {
+//!     n_slaves: 1,
+//!     ..CreationConfig::default()
+//! })
+//! .run(0xB1005E, 42);
+//! assert!(outcome.piconet_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use btsim_baseband as baseband;
+pub use btsim_channel as channel;
+pub use btsim_coding as coding;
+pub use btsim_core as core;
+pub use btsim_kernel as kernel;
+pub use btsim_lmp as lmp;
+pub use btsim_power as power;
+pub use btsim_stats as stats;
+pub use btsim_trace as trace;

@@ -1,0 +1,170 @@
+//! Smoke tests of every paper experiment at reduced sample counts: each
+//! must run end-to-end and satisfy its qualitative (shape) assertions.
+
+use btsim::core::experiments::*;
+
+fn quick(runs: usize) -> ExpOptions {
+    ExpOptions {
+        runs,
+        threads: 0,
+        base_seed: 0x00B1_005E,
+    }
+}
+
+#[test]
+fn fig6_inquiry_sweep_shape() {
+    let f = fig6_inquiry_vs_ber(&quick(10));
+    assert_eq!(f.rows.len(), 9);
+    // Noiseless anchor near the paper's 1556 slots.
+    assert!(
+        (1100.0..2100.0).contains(&f.rows[0].mean_slots),
+        "no-noise inquiry mean {}",
+        f.rows[0].mean_slots
+    );
+    // All runs complete (no timeout in Fig. 6).
+    assert!(f.rows.iter().all(|r| r.completed > 0.99));
+    // The BER 1/30 point is the worst.
+    let worst = f.rows.last().unwrap().mean_slots;
+    assert!(
+        worst >= f.rows[0].mean_slots,
+        "mean should not improve with noise"
+    );
+}
+
+#[test]
+fn fig7_page_sweep_shape() {
+    let f = fig7_page_vs_ber(&quick(12));
+    // Paper: ≈17 slots with no noise, all runs complete.
+    assert!(
+        (8.0..30.0).contains(&f.rows[0].mean_slots),
+        "no-noise page mean {}",
+        f.rows[0].mean_slots
+    );
+    assert!(f.rows[0].completed > 0.99);
+    // Success collapses with noise; BER 1/30 is essentially impossible.
+    let last = f.rows.last().unwrap();
+    assert!(
+        last.completed < 0.25,
+        "page at BER 1/30 should almost never complete, got {}",
+        last.completed
+    );
+}
+
+#[test]
+fn fig8_page_is_the_bottleneck() {
+    let f = fig8_creation_failure(&quick(12));
+    let last = f.rows.last().unwrap();
+    assert!(last.page_failure > 0.8, "page failure {}", last.page_failure);
+    assert!(
+        last.page_failure > last.inquiry_failure,
+        "page must fail more than inquiry at BER 1/30"
+    );
+    // Failure grows with BER for the page phase.
+    let first = &f.rows[0];
+    assert!(first.page_failure < last.page_failure);
+}
+
+#[test]
+fn fig10_linear_tx_above_rx() {
+    let f = fig10_master_activity(&quick(1));
+    assert_eq!(f.rows.len(), 8);
+    for r in &f.rows {
+        assert!(r.tx > r.rx, "TX above RX at duty {}", r.duty);
+    }
+    // Roughly linear: activity at 2% ≈ 4× activity at 0.5%.
+    let low = f.rows.iter().find(|r| (r.duty - 0.005).abs() < 1e-9).unwrap();
+    let high = f.rows.iter().find(|r| (r.duty - 0.02).abs() < 1e-9).unwrap();
+    let ratio = high.tx / low.tx;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "TX should scale ≈linearly with duty, ratio {ratio}"
+    );
+}
+
+#[test]
+fn fig11_break_even_and_reduction() {
+    let f = fig11_sniff_activity(&quick(1));
+    // Paper: break-even ≈ 30 slots.
+    let be = f.break_even().expect("sniff must win somewhere");
+    assert!(
+        (20..=50).contains(&be),
+        "sniff break-even {be}, paper reports ≈30"
+    );
+    // Paper: ≈30% reduction at Tsniff = 100.
+    let at100 = f.rows.iter().find(|r| r.interval == 100).unwrap();
+    let reduction = 1.0 - at100.mode_activity / f.active_activity;
+    assert!(
+        (0.2..0.45).contains(&reduction),
+        "reduction at Tsniff=100 is {reduction:.2}, paper ≈0.30"
+    );
+    // Monotone decreasing activity with Tsniff.
+    for w in f.rows.windows(2) {
+        assert!(w[0].mode_activity >= w[1].mode_activity);
+    }
+}
+
+#[test]
+fn fig12_break_even_and_floor() {
+    let f = fig12_hold_activity(&quick(1));
+    // Paper: the active floor is ≈2.6%.
+    assert!(
+        (0.018..0.034).contains(&f.active_activity),
+        "active floor {}",
+        f.active_activity
+    );
+    // Paper: hold wins only above ≈120 slots.
+    let be = f.break_even().expect("hold must win somewhere");
+    assert!(
+        (80..=160).contains(&be),
+        "hold break-even {be}, paper reports ≈120"
+    );
+    // Hold activity decays towards zero.
+    let last = f.rows.last().unwrap();
+    assert!(last.mode_activity < 0.01);
+}
+
+#[test]
+fn fig5_and_fig9_waveforms() {
+    let w5 = fig5_creation_waveforms(1);
+    assert!(w5.ascii.contains("slave3.enable_rx_RF"));
+    assert!(w5.vcd.contains("$var wire 1"));
+    assert!(w5.notes.contains("piconet formed: true"));
+    let w9 = fig9_sniff_waveforms(1);
+    assert!(w9.ascii.contains("slave2.enable_rx_RF"));
+    // Sniffing slaves are mostly silent: their waveform rows contain long
+    // low stretches.
+    let sniff_row = w9
+        .ascii
+        .lines()
+        .find(|l| l.contains("slave3.enable_rx_RF"))
+        .expect("slave3 row");
+    let lows = sniff_row.chars().filter(|&c| c == '_').count();
+    let highs = sniff_row.chars().filter(|&c| c == '#').count();
+    assert!(
+        lows > highs,
+        "a sniffing slave should be mostly RF-idle: {sniff_row}"
+    );
+}
+
+#[test]
+fn table1_speed_is_faster_than_2005() {
+    let s = table1_sim_speed(3);
+    assert!(s.speedup_vs_paper > 10.0, "speedup {}", s.speedup_vs_paper);
+}
+
+#[test]
+fn ext_throughput_dm_beats_dh_under_noise() {
+    let f = ext_packet_throughput(&quick(1));
+    let get = |t: btsim::baseband::PacketType, ber: &str| {
+        f.rows
+            .iter()
+            .find(|r| r.ptype == t && r.ber_label == ber)
+            .map(|r| r.kbps)
+            .unwrap()
+    };
+    use btsim::baseband::PacketType::{Dh5, Dm5};
+    // Clean channel: DH5 ahead (no FEC overhead).
+    assert!(get(Dh5, "0") > get(Dm5, "0"));
+    // Both degrade with noise.
+    assert!(get(Dh5, "1/100") < get(Dh5, "0"));
+}

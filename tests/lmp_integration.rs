@@ -1,0 +1,171 @@
+//! Link Manager Protocol negotiation over the simulated air: the full
+//! path from an `lm_request` through LMP PDUs in DM1 payloads to a
+//! synchronised mode change on both ends.
+
+use btsim::baseband::{LcEvent, LinkMode, SniffParams};
+use btsim::core::scenario::{connect_pair, paper_config};
+use btsim::core::{SimBuilder, Simulator};
+use btsim::kernel::{SimDuration, SimTime};
+use btsim::lmp::{LmEvent, Opcode};
+
+fn connected(seed: u64) -> (Simulator, usize, usize, u8) {
+    let mut b = SimBuilder::new(seed, paper_config());
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("connects");
+    (sim, m, s, lt)
+}
+
+#[test]
+fn lmp_connection_setup_completes_over_the_air() {
+    let (mut sim, m, s, lt) = connected(1);
+    sim.lm_request(m, |lm, _slot| lm.start_setup(lt));
+    sim.run_until(sim.now() + SimDuration::from_slots(600));
+    let m_done = sim
+        .lm_events()
+        .iter()
+        .any(|e| e.device == m && matches!(e.event, LmEvent::SetupComplete { .. }));
+    let s_done = sim
+        .lm_events()
+        .iter()
+        .any(|e| e.device == s && matches!(e.event, LmEvent::SetupComplete { .. }));
+    assert!(m_done, "master should reach setup-complete");
+    assert!(s_done, "slave should reach setup-complete");
+}
+
+#[test]
+fn lmp_sniff_negotiation_switches_both_sides() {
+    let (mut sim, m, s, lt) = connected(2);
+    let params = SniffParams {
+        t_sniff: 60,
+        n_attempt: 1,
+        d_sniff: 0,
+        n_timeout: 0,
+    };
+    sim.lm_request(m, |lm, slot| lm.request_sniff(lt, params, slot));
+    sim.run_until(sim.now() + SimDuration::from_slots(800));
+    let mode_events: Vec<_> = sim
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.event,
+                LcEvent::ModeChanged {
+                    mode: LinkMode::Sniff,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert!(
+        mode_events.iter().any(|e| e.device == m),
+        "master never switched to sniff"
+    );
+    assert!(
+        mode_events.iter().any(|e| e.device == s),
+        "slave never switched to sniff"
+    );
+    // Both applied close together (same agreed instant, one LM poll apart).
+    let tm = mode_events.iter().find(|e| e.device == m).unwrap().at;
+    let ts = mode_events.iter().find(|e| e.device == s).unwrap().at;
+    let skew = tm.slots().abs_diff(ts.slots());
+    assert!(skew <= 2, "mode-change skew {skew} slots");
+    // The link still works inside sniff windows.
+    let applied = sim
+        .lm_events()
+        .iter()
+        .any(|e| matches!(e.event, LmEvent::ModeApplied { of: Opcode::SniffReq, .. }));
+    assert!(applied);
+}
+
+#[test]
+fn lmp_hold_negotiation_suspends_both_sides_at_agreed_instant() {
+    let (mut sim, m, s, lt) = connected(3);
+    sim.lm_request(m, |lm, slot| lm.request_hold(lt, 300, slot));
+    let hold_events = |sim: &Simulator, dev: usize| {
+        sim.events()
+            .iter()
+            .filter(|e| {
+                e.device == dev
+                    && matches!(
+                        e.event,
+                        LcEvent::ModeChanged {
+                            mode: LinkMode::Hold,
+                            ..
+                        }
+                    )
+            })
+            .map(|e| e.at)
+            .collect::<Vec<_>>()
+    };
+    sim.run_until(sim.now() + SimDuration::from_slots(800));
+    let hm = hold_events(&sim, m);
+    let hs = hold_events(&sim, s);
+    assert!(!hm.is_empty(), "master never held");
+    assert!(!hs.is_empty(), "slave never held");
+    let skew = hm[0].slots().abs_diff(hs[0].slots());
+    assert!(skew <= 2, "hold skew {skew} slots");
+    // The slave comes back afterwards.
+    let resumed = sim
+        .events()
+        .iter()
+        .any(|e| {
+            e.device == s
+                && e.at > hs[0]
+                && matches!(
+                    e.event,
+                    LcEvent::ModeChanged {
+                        mode: LinkMode::Active,
+                        ..
+                    }
+                )
+        });
+    assert!(resumed, "slave must resynchronise after the negotiated hold");
+}
+
+#[test]
+fn lmp_detach_tears_down_both_sides() {
+    let (mut sim, m, s, lt) = connected(4);
+    sim.lm_request(m, |lm, slot| lm.request_detach(lt, slot));
+    sim.run_until(sim.now() + SimDuration::from_slots(400));
+    assert!(!sim.lc(m).is_master(), "master side must be torn down");
+    assert!(!sim.lc(s).is_slave(), "slave side must be torn down");
+    let peer_notified = sim
+        .lm_events()
+        .iter()
+        .any(|e| e.device == s && matches!(e.event, LmEvent::PeerDetached { .. }));
+    assert!(peer_notified, "slave LM should see the peer detach");
+}
+
+#[test]
+fn lmp_pdus_survive_a_noisy_channel() {
+    // ARQ carries LMP transactions through BER 1/300.
+    let mut cfg = paper_config();
+    cfg.channel.ber = 1.0 / 300.0;
+    let mut b = SimBuilder::new(5, cfg);
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = connect_pair(&mut sim, m, s, SimTime::from_us(240_000_000)).expect("connects");
+    let params = SniffParams {
+        t_sniff: 80,
+        n_attempt: 1,
+        d_sniff: 0,
+        n_timeout: 0,
+    };
+    sim.lm_request(m, |lm, slot| lm.request_sniff(lt, params, slot));
+    sim.run_until(sim.now() + SimDuration::from_slots(2000));
+    let slave_sniffed = sim.events().iter().any(|e| {
+        e.device == s
+            && matches!(
+                e.event,
+                LcEvent::ModeChanged {
+                    mode: LinkMode::Sniff,
+                    ..
+                }
+            )
+    });
+    assert!(slave_sniffed, "negotiation must complete despite noise");
+    let _ = m;
+}

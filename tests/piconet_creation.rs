@@ -1,0 +1,194 @@
+//! End-to-end piconet creation across crate boundaries.
+
+use btsim::baseband::{LcCommand, LcEvent};
+use btsim::core::scenario::{
+    paper_config, CreationConfig, CreationScenario, InquiryConfig, InquiryScenario, PageConfig,
+    PageScenario,
+};
+use btsim::core::{SimBuilder, SimConfig};
+use btsim::kernel::{SimDuration, SimTime};
+
+#[test]
+fn creation_succeeds_for_every_piconet_size() {
+    for n_slaves in 1..=3 {
+        let out = CreationScenario::new(CreationConfig {
+            n_slaves,
+            ber: 0.0,
+            inquiry_timeout_slots: 16 * 2048,
+            page_timeout_slots: 2048,
+            sim: paper_config(),
+        })
+        .run(0, 1000 + n_slaves as u64);
+        assert!(
+            out.piconet_complete(),
+            "{n_slaves}-slave piconet failed: inquiry_ok={} pages={:?}",
+            out.inquiry_ok,
+            out.pages
+        );
+        assert_eq!(out.sim.lc(0).connected_slaves().len(), n_slaves);
+        for s in 1..=n_slaves {
+            assert!(out.sim.lc(s).is_slave(), "device {s} should be a slave");
+        }
+    }
+}
+
+#[test]
+fn seven_slave_piconet_forms() {
+    // The maximum piconet the standard allows.
+    let out = CreationScenario::new(CreationConfig {
+        n_slaves: 7,
+        ber: 0.0,
+        inquiry_timeout_slots: 48 * 2048,
+        page_timeout_slots: 4096,
+        sim: paper_config(),
+    })
+    .run(0, 77);
+    assert!(
+        out.piconet_complete(),
+        "7-slave piconet failed: discovered={} pages={:?}",
+        out.discovered.len(),
+        out.pages
+    );
+    // All LT_ADDRs distinct and in 1..=7.
+    let mut lts: Vec<u8> = out.sim.lc(0).connected_slaves().iter().map(|(lt, _)| *lt).collect();
+    lts.sort_unstable();
+    lts.dedup();
+    assert_eq!(lts.len(), 7);
+    assert!(lts.iter().all(|&lt| (1..=7).contains(&lt)));
+}
+
+#[test]
+fn creation_is_bit_reproducible() {
+    let run = |seed: u64| {
+        let out = CreationScenario::new(CreationConfig::default()).run(0, seed);
+        (
+            out.inquiry_slots,
+            out.pages.clone(),
+            out.sim.events().len(),
+            out.sim.measured_ber().to_bits(),
+        )
+    };
+    assert_eq!(run(31), run(31));
+    assert_ne!(run(31).0, run(32).0);
+}
+
+#[test]
+fn inquiry_mean_matches_paper_anchor() {
+    // Paper §3.1: 1556 slots on average without noise. Allow ±20% for a
+    // small sample.
+    let scenario = InquiryScenario::new(InquiryConfig::default());
+    let mut total = 0u64;
+    let runs = 30;
+    for seed in 0..runs {
+        let out = scenario.run(seed);
+        assert!(out.completed, "seed {seed} did not complete");
+        total += out.slots;
+    }
+    let mean = total as f64 / runs as f64;
+    assert!(
+        (1200.0..2000.0).contains(&mean),
+        "inquiry mean {mean} too far from the paper's 1556 slots"
+    );
+}
+
+#[test]
+fn page_mean_matches_paper_anchor() {
+    // Paper §3.1: ≈17 slots when the devices are already synchronised.
+    let scenario = PageScenario::new(PageConfig::default());
+    let mut total = 0u64;
+    let runs = 30;
+    for seed in 0..runs {
+        let out = scenario.run(seed);
+        assert!(out.completed, "seed {seed} did not complete");
+        total += out.slots;
+    }
+    let mean = total as f64 / runs as f64;
+    assert!(
+        (8.0..30.0).contains(&mean),
+        "page mean {mean} too far from the paper's 17 slots"
+    );
+}
+
+#[test]
+fn page_needs_a_reasonable_clock_estimate() {
+    // A wildly wrong CLKE estimate pushes the catch beyond the A-train.
+    let good = PageScenario::new(PageConfig {
+        clke_error_ticks: 0,
+        ..PageConfig::default()
+    })
+    .run(5);
+    let bad = PageScenario::new(PageConfig {
+        // 16 CLKE16-12 positions of error: outside the A-train's ±8
+        // tolerance, so the pager only connects once the B train (or a
+        // clock epoch change) covers the scan channel.
+        clke_error_ticks: 16 << 12,
+        cap_slots: 8192,
+        ..PageConfig::default()
+    })
+    .run(5);
+    assert!(good.completed);
+    assert!(
+        !bad.completed || bad.slots > 4 * good.slots,
+        "bad estimate should slow or break paging: good {} bad {:?}",
+        good.slots,
+        (bad.completed, bad.slots)
+    );
+}
+
+#[test]
+fn scanning_devices_keep_rx_always_on() {
+    // Paper Fig. 5's caption: slaves not yet in the piconet have the RF
+    // receiver always active.
+    let mut cfg = SimConfig::default();
+    cfg.lc.inquiry_scan_continuous = true;
+    let mut b = SimBuilder::new(3, cfg);
+    let _m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    sim.command(s, LcCommand::InquiryScan);
+    sim.run_until(SimTime::from_us(2_000_000));
+    let rep = sim.power_report(s);
+    assert!(rep.rx_activity() > 0.95, "rx activity {}", rep.rx_activity());
+}
+
+#[test]
+fn connected_slave_listens_only_at_slot_starts() {
+    // After joining, the slave's RF activity drops to the peek floor.
+    let mut b = SimBuilder::new(9, paper_config());
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = btsim::core::scenario::connect_pair(&mut sim, m, s, SimTime::from_us(30_000_000));
+    assert!(lt.is_some());
+    let start = sim.now();
+    sim.run_until(start + SimDuration::from_slots(4000));
+    let rep = sim.power_report(s);
+    let active = rep.phase(btsim::baseband::LifePhase::Active);
+    assert!(
+        active.activity() < 0.06,
+        "connected slave activity {} should be a few percent",
+        active.activity()
+    );
+    assert!(active.activity() > 0.005);
+}
+
+#[test]
+fn detach_dissolves_the_link() {
+    let mut b = SimBuilder::new(21, paper_config());
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = btsim::core::scenario::connect_pair(&mut sim, m, s, SimTime::from_us(30_000_000))
+        .expect("connects");
+    sim.command(m, LcCommand::Detach { lt_addr: lt });
+    sim.command(s, LcCommand::Detach { lt_addr: lt });
+    sim.run_until(sim.now() + SimDuration::from_slots(8));
+    assert!(!sim.lc(m).is_master());
+    assert!(!sim.lc(s).is_slave());
+    let detaches = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, LcEvent::Detached { .. }))
+        .count();
+    assert_eq!(detaches, 2);
+}

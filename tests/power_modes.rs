@@ -1,0 +1,229 @@
+//! Low-power mode invariants: sniff, hold and park timing and their RF
+//! activity ordering (the paper's §3.2).
+
+use btsim::baseband::{LcCommand, LcEvent, LifePhase, LinkMode, SniffParams};
+use btsim::core::scenario::{
+    connect_pair, paper_config, HoldConfig, HoldScenario, SniffConfig, SniffScenario,
+};
+use btsim::core::SimBuilder;
+use btsim::kernel::{SimDuration, SimTime};
+
+#[test]
+fn sniff_crossover_matches_paper() {
+    // Below ~30 slots sniffing costs more than active mode; above, less.
+    let active = SniffScenario::new(SniffConfig {
+        t_sniff: 0,
+        measure_slots: 60_000,
+        ..SniffConfig::default()
+    })
+    .run(3);
+    let short = SniffScenario::new(SniffConfig {
+        t_sniff: 20,
+        measure_slots: 60_000,
+        ..SniffConfig::default()
+    })
+    .run(3);
+    let long = SniffScenario::new(SniffConfig {
+        t_sniff: 100,
+        measure_slots: 60_000,
+        ..SniffConfig::default()
+    })
+    .run(3);
+    assert!(
+        short.activity > active.activity,
+        "Tsniff=20 should cost more than active: {} vs {}",
+        short.activity,
+        active.activity
+    );
+    assert!(
+        long.activity < active.activity,
+        "Tsniff=100 should save power: {} vs {}",
+        long.activity,
+        active.activity
+    );
+    // Paper: ≈30% reduction at Tsniff=100.
+    let reduction = 1.0 - long.activity / active.activity;
+    assert!(
+        (0.15..0.45).contains(&reduction),
+        "reduction at Tsniff=100 was {reduction:.2}, paper reports ≈0.30"
+    );
+}
+
+#[test]
+fn sniffing_slave_still_receives_the_periodic_data() {
+    // With anchors aligned to the data period, no packet is lost.
+    let mut cfg = paper_config();
+    cfg.channel.ber = 0.0;
+    let mut b = SimBuilder::new(8, cfg);
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("connects");
+    // Align sniff anchors with the data schedule.
+    let t0 = {
+        let mut t = sim.now() + SimDuration::from_slots(8);
+        let half = SimDuration::HALF_SLOT.ns();
+        t = SimTime::from_ns(t.ns().div_ceil(half) * half);
+        while !(sim.lc(m).clkn(t).is_master_tx_slot() && sim.lc(m).clkn(t).is_slot_start()) {
+            t += SimDuration::HALF_SLOT;
+        }
+        t
+    };
+    let params = SniffParams {
+        t_sniff: 50,
+        n_attempt: 1,
+        d_sniff: sim.lc(m).clkn(t0).slot() % 50,
+        n_timeout: 0,
+    };
+    sim.command(m, LcCommand::Sniff { lt_addr: lt, params });
+    sim.command(s, LcCommand::Sniff { lt_addr: lt, params });
+    let n_packets = 20u64;
+    for k in 0..n_packets {
+        sim.command_at(
+            m,
+            LcCommand::AclData {
+                lt_addr: lt,
+                data: vec![k as u8; 10],
+            },
+            t0 + SimDuration::from_slots(k * 50) - SimDuration::HALF_SLOT,
+        );
+    }
+    sim.run_until(t0 + SimDuration::from_slots(n_packets * 50 + 100));
+    let received = sim
+        .events()
+        .iter()
+        .filter(|e| e.device == s && matches!(e.event, LcEvent::AclReceived { .. }))
+        .count() as u64;
+    assert_eq!(received, n_packets, "sniffing slave missed packets");
+}
+
+#[test]
+fn hold_crossover_matches_paper() {
+    // Paper Fig. 12: hold beats active only above ≈120 slots.
+    let active = HoldScenario::new(HoldConfig {
+        t_hold: 0,
+        measure_slots: 60_000,
+        ..HoldConfig::default()
+    })
+    .run(4);
+    let short = HoldScenario::new(HoldConfig {
+        t_hold: 40,
+        measure_slots: 60_000,
+        ..HoldConfig::default()
+    })
+    .run(4);
+    let long = HoldScenario::new(HoldConfig {
+        t_hold: 400,
+        measure_slots: 60_000,
+        ..HoldConfig::default()
+    })
+    .run(4);
+    assert!(short.activity > active.activity, "Thold=40 must cost more");
+    assert!(long.activity < active.activity, "Thold=400 must save");
+    // The paper's active floor: ≈2.6%.
+    assert!(
+        (0.015..0.040).contains(&active.activity),
+        "idle active floor {} should be ≈2.6%",
+        active.activity
+    );
+}
+
+#[test]
+fn hold_suspends_and_resumes_the_link() {
+    let mut b = SimBuilder::new(5, paper_config());
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("connects");
+    sim.command(m, LcCommand::Hold { lt_addr: lt, hold_slots: 200 });
+    sim.command(s, LcCommand::Hold { lt_addr: lt, hold_slots: 200 });
+    let hold_start = sim.now();
+    // The slave resumes after the hold expires and the master polls it.
+    let resumed = sim.run_until_event(
+        hold_start + SimDuration::from_slots(400),
+        |e| {
+            e.device == 1
+                && matches!(
+                    e.event,
+                    LcEvent::ModeChanged {
+                        mode: LinkMode::Active,
+                        ..
+                    }
+                )
+        },
+    );
+    let resumed = resumed.expect("slave must resynchronise after hold");
+    let held_slots = resumed.at.slots() - hold_start.slots();
+    assert!(
+        (200..230).contains(&held_slots),
+        "resume took {held_slots} slots for a 200-slot hold"
+    );
+    // During the hold the slave's RF was essentially silent.
+    let rep = sim.power_report(1);
+    let hold_phase = rep.phase(LifePhase::Hold);
+    assert!(
+        hold_phase.activity() < 0.05,
+        "hold-phase activity {}",
+        hold_phase.activity()
+    );
+    // Data flows again after resume.
+    sim.command(m, LcCommand::AclData { lt_addr: lt, data: vec![9; 5] });
+    let got = sim.run_until_event(sim.now() + SimDuration::from_slots(300), |e| {
+        e.device == 1 && matches!(e.event, LcEvent::AclReceived { .. })
+    });
+    assert!(got.is_some(), "link must carry data after hold");
+}
+
+#[test]
+fn parked_slave_wakes_only_for_beacons() {
+    let mut b = SimBuilder::new(6, paper_config());
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("connects");
+    sim.command(m, LcCommand::Park { lt_addr: lt, beacon_interval: 200 });
+    sim.command(s, LcCommand::Park { lt_addr: lt, beacon_interval: 200 });
+    let start = sim.now();
+    sim.run_until(start + SimDuration::from_slots(20_000));
+    let rep = sim.power_report(1);
+    let park = rep.phase(LifePhase::Park);
+    assert!(park.phase_ns > 0, "slave should have spent time parked");
+    assert!(
+        park.activity() < 0.002,
+        "parked activity {} should be far below the active floor",
+        park.activity()
+    );
+    // Unpark restores the link.
+    sim.command(m, LcCommand::Unpark { lt_addr: lt });
+    sim.command(s, LcCommand::Unpark { lt_addr: lt });
+    sim.command(m, LcCommand::AclData { lt_addr: lt, data: vec![7; 3] });
+    let got = sim.run_until_event(sim.now() + SimDuration::from_slots(400), |e| {
+        e.device == 1 && matches!(e.event, LcEvent::AclReceived { .. })
+    });
+    assert!(got.is_some(), "link must carry data after unpark");
+}
+
+#[test]
+fn activity_ordering_park_hold_sniff_active() {
+    // Steady-state RF cost: park < hold(1000) < sniff(100) < active.
+    let sniff = SniffScenario::new(SniffConfig {
+        t_sniff: 100,
+        measure_slots: 40_000,
+        ..SniffConfig::default()
+    })
+    .run(9);
+    let active = SniffScenario::new(SniffConfig {
+        t_sniff: 0,
+        measure_slots: 40_000,
+        ..SniffConfig::default()
+    })
+    .run(9);
+    let hold = HoldScenario::new(HoldConfig {
+        t_hold: 1000,
+        measure_slots: 40_000,
+        ..HoldConfig::default()
+    })
+    .run(9);
+    assert!(hold.activity < sniff.activity);
+    assert!(sniff.activity < active.activity);
+}
