@@ -101,10 +101,7 @@ impl ChannelMap {
 
     /// Whether `channel` is enabled.
     pub fn is_used(&self, channel: u8) -> bool {
-        self.used
-            .get(channel as usize)
-            .copied()
-            .unwrap_or(false)
+        self.used.get(channel as usize).copied().unwrap_or(false)
     }
 
     /// Number of enabled channels.
@@ -308,7 +305,11 @@ mod tests {
             if ClkVal::new(tick).bit(1) {
                 continue; // TX halves only
             }
-            let ch = hop_channel(HopSequence::Inquiry { kofs: KOFFSET_A }, ClkVal::new(tick), GIAC28);
+            let ch = hop_channel(
+                HopSequence::Inquiry { kofs: KOFFSET_A },
+                ClkVal::new(tick),
+                GIAC28,
+            );
             seen.insert(ch);
         }
         assert_eq!(seen.len(), 16);
@@ -320,7 +321,11 @@ mod tests {
             let mut s = std::collections::HashSet::new();
             for tick in 0..32u32 {
                 if !ClkVal::new(tick).bit(1) {
-                    s.insert(hop_channel(HopSequence::Inquiry { kofs }, ClkVal::new(tick), GIAC28));
+                    s.insert(hop_channel(
+                        HopSequence::Inquiry { kofs },
+                        ClkVal::new(tick),
+                        GIAC28,
+                    ));
                 }
             }
             s
@@ -338,7 +343,11 @@ mod tests {
         let c1 = hop_channel(HopSequence::InquiryScan, ClkVal::new(100), GIAC28);
         let c2 = hop_channel(HopSequence::InquiryScan, ClkVal::new(4000), GIAC28);
         assert_eq!(c1, c2);
-        let c3 = hop_channel(HopSequence::InquiryScan, ClkVal::new(100 + (1 << 12)), GIAC28);
+        let c3 = hop_channel(
+            HopSequence::InquiryScan,
+            ClkVal::new(100 + (1 << 12)),
+            GIAC28,
+        );
         assert_ne!(c1, c3);
     }
 
@@ -351,8 +360,10 @@ mod tests {
             let t_tx = ClkVal::new(pair * 4); // CLK1=0, CLK0=0
             let t_rx = ClkVal::new(pair * 4 + 2); // CLK1=1, CLK0=0
             assert_eq!(train_x(t_tx, KOFFSET_A), train_x(t_rx, KOFFSET_A));
-            assert_eq!(train_x(ClkVal::new(pair * 4 + 1), KOFFSET_A),
-                       train_x(ClkVal::new(pair * 4 + 3), KOFFSET_A));
+            assert_eq!(
+                train_x(ClkVal::new(pair * 4 + 1), KOFFSET_A),
+                train_x(ClkVal::new(pair * 4 + 3), KOFFSET_A)
+            );
         }
     }
 
@@ -361,7 +372,11 @@ mod tests {
         let addr = BdAddr::new(0, 0x11, 0x35B7D9).hop_input();
         let mut seen = std::collections::HashSet::new();
         for tick in 0..(1u32 << 14) {
-            seen.insert(hop_channel(HopSequence::Connection, ClkVal::new(tick), addr));
+            seen.insert(hop_channel(
+                HopSequence::Connection,
+                ClkVal::new(tick),
+                addr,
+            ));
         }
         assert!(
             seen.len() >= 70,
@@ -429,7 +444,10 @@ mod tests {
         let mean = n as f64 / map.used_count() as f64;
         for (ch, &c) in counts.iter().enumerate() {
             if map.is_used(ch as u8) {
-                assert!((c as f64) < mean * 4.0, "channel {ch} over-represented: {c}");
+                assert!(
+                    (c as f64) < mean * 4.0,
+                    "channel {ch} over-represented: {c}"
+                );
             } else {
                 assert_eq!(c, 0);
             }

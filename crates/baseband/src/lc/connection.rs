@@ -275,7 +275,12 @@ impl LinkController {
         self.slave_tick(now, out);
     }
 
-    pub(crate) fn rx_connection(&mut self, rx: &super::RxDelivery, now: SimTime, out: &mut Vec<LcAction>) {
+    pub(crate) fn rx_connection(
+        &mut self,
+        rx: &super::RxDelivery,
+        now: SimTime,
+        out: &mut Vec<LcAction>,
+    ) {
         if self.master.is_some() {
             self.master_rx(rx, now, out);
         }
@@ -313,9 +318,7 @@ impl LinkController {
         // Drop slaves that never completed the first exchange.
         let mut dropped = Vec::new();
         m.slaves.retain(|s| {
-            let expired = s
-                .newconn_deadline_slot
-                .is_some_and(|d| now_slot >= d);
+            let expired = s.newconn_deadline_slot.is_some_and(|d| now_slot >= d);
             if expired {
                 dropped.push(s.lt_addr);
             }
@@ -327,11 +330,9 @@ impl LinkController {
 
         let clk_slot = clk.slot();
         // Reserved SCO slots take absolute priority.
-        if let Some(idx) = m
-            .slaves
-            .iter()
-            .position(|s| s.mode != LinkMode::Park && s.sco.as_ref().is_some_and(|p| sco_at_anchor(clk_slot, p)))
-        {
+        if let Some(idx) = m.slaves.iter().position(|s| {
+            s.mode != LinkMode::Park && s.sco.as_ref().is_some_and(|p| sco_at_anchor(clk_slot, p))
+        }) {
             let keys = LinkKeys {
                 lap: own.lap(),
                 uap: own.uap(),
@@ -371,7 +372,9 @@ impl LinkController {
         let reachable = |s: &SlaveSlot| match s.mode {
             LinkMode::Active => true,
             LinkMode::Sniff => {
-                s.sniff.as_ref().is_some_and(|p| sniff_in_window(clk_slot, p))
+                s.sniff
+                    .as_ref()
+                    .is_some_and(|p| sniff_in_window(clk_slot, p))
                     || s.sniff_ext_until_slot.is_some_and(|e| now_slot < e)
             }
             LinkMode::Hold => s.hold_until_slot.is_some_and(|h| now_slot >= h),
@@ -383,7 +386,11 @@ impl LinkController {
             .slaves
             .iter()
             .position(|s| reachable(s) && (s.poll_asap || s.mode == LinkMode::Hold))
-            .or_else(|| m.slaves.iter().position(|s| reachable(s) && s.link.has_data()))
+            .or_else(|| {
+                m.slaves
+                    .iter()
+                    .position(|s| reachable(s) && s.link.has_data())
+            })
             .or_else(|| {
                 m.slaves.iter().position(|s| {
                     reachable(s) && now_slot.saturating_sub(s.last_poll_slot) >= t_poll
@@ -589,74 +596,74 @@ impl LinkController {
                         master: s.master,
                     }
                 } else {
-                match s.mode {
-                    LinkMode::Active => {
-                        let until = if s.listening_full_slot || s.resync {
-                            now + SimDuration::SLOT
-                        } else {
-                            now + peek
-                        };
-                        Todo::Window {
-                            until,
-                            clk,
-                            master: s.master,
+                    match s.mode {
+                        LinkMode::Active => {
+                            let until = if s.listening_full_slot || s.resync {
+                                now + SimDuration::SLOT
+                            } else {
+                                now + peek
+                            };
+                            Todo::Window {
+                                until,
+                                clk,
+                                master: s.master,
+                            }
                         }
-                    }
-                    LinkMode::Sniff => {
-                        let in_ext = s.sniff_ext_until_slot.is_some_and(|e| now_slot < e);
-                        match &s.sniff {
-                            Some(p) if sniff_at_anchor(clk_slot, p) => {
-                                // Anchor: listen for the uncertainty window
-                                // (fixed part + drift-proportional part).
-                                let listen_us = sniff_listen_us
-                                    + sniff_drift_ppm * p.t_sniff as u64 * 625 / 1_000_000;
+                        LinkMode::Sniff => {
+                            let in_ext = s.sniff_ext_until_slot.is_some_and(|e| now_slot < e);
+                            match &s.sniff {
+                                Some(p) if sniff_at_anchor(clk_slot, p) => {
+                                    // Anchor: listen for the uncertainty window
+                                    // (fixed part + drift-proportional part).
+                                    let listen_us = sniff_listen_us
+                                        + sniff_drift_ppm * p.t_sniff as u64 * 625 / 1_000_000;
+                                    Todo::Window {
+                                        until: now + SimDuration::from_us(listen_us),
+                                        clk,
+                                        master: s.master,
+                                    }
+                                }
+                                Some(p)
+                                    if in_ext
+                                        || (p.n_attempt > 1 && sniff_in_window(clk_slot, p)) =>
+                                {
+                                    Todo::Window {
+                                        until: now + peek,
+                                        clk,
+                                        master: s.master,
+                                    }
+                                }
+                                _ => Todo::Nothing,
+                            }
+                        }
+                        LinkMode::Hold => {
+                            let h = s.hold_until_slot.unwrap_or(0);
+                            if now_slot + guard >= h {
+                                // Wake early and listen whole master slots to
+                                // resynchronise.
+                                s.resync = true;
                                 Todo::Window {
-                                    until: now + SimDuration::from_us(listen_us),
+                                    until: now + SimDuration::SLOT,
                                     clk,
                                     master: s.master,
                                 }
+                            } else {
+                                Todo::Nothing
                             }
-                            Some(p)
-                                if in_ext
-                                    || (p.n_attempt > 1 && sniff_in_window(clk_slot, p)) =>
-                            {
+                        }
+                        LinkMode::Park => {
+                            let b = s.park_beacon_interval.max(1);
+                            if clk_slot.is_multiple_of(b) {
                                 Todo::Window {
                                     until: now + peek,
                                     clk,
                                     master: s.master,
                                 }
+                            } else {
+                                Todo::Nothing
                             }
-                            _ => Todo::Nothing,
                         }
                     }
-                    LinkMode::Hold => {
-                        let h = s.hold_until_slot.unwrap_or(0);
-                        if now_slot + guard >= h {
-                            // Wake early and listen whole master slots to
-                            // resynchronise.
-                            s.resync = true;
-                            Todo::Window {
-                                until: now + SimDuration::SLOT,
-                                clk,
-                                master: s.master,
-                            }
-                        } else {
-                            Todo::Nothing
-                        }
-                    }
-                    LinkMode::Park => {
-                        let b = s.park_beacon_interval.max(1);
-                        if clk_slot.is_multiple_of(b) {
-                            Todo::Window {
-                                until: now + peek,
-                                clk,
-                                master: s.master,
-                            }
-                        } else {
-                            Todo::Nothing
-                        }
-                    }
-                }
                 }
             }
         };
@@ -724,10 +731,9 @@ impl LinkController {
             });
             phase_change = Some(LifePhase::Active);
         }
-        if !broadcast
-            && s.link.on_arqn(header.arqn) {
-                events.push(LcEvent::AclDelivered { lt_addr: s.lt_addr });
-            }
+        if !broadcast && s.link.on_arqn(header.arqn) {
+            events.push(LcEvent::AclDelivered { lt_addr: s.lt_addr });
+        }
         if header.ptype.has_crc() {
             if let Payload::Acl { llid, data, .. } = &payload {
                 if s.link.on_rx_crc_packet(header.seqn) {

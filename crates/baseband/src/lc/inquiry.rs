@@ -202,7 +202,9 @@ impl LinkController {
         else {
             return;
         };
-        let first_backoff = self.rng.range_u64(self.cfg.inquiry_backoff_max.max(1) as u64);
+        let first_backoff = self
+            .rng
+            .range_u64(self.cfg.inquiry_backoff_max.max(1) as u64);
         let rearm_backoff = self
             .rng
             .range_u64(self.cfg.inquiry_rearm_backoff_max.max(1) as u64);

@@ -515,9 +515,10 @@ impl LinkController {
             LcCommand::ScoData { lt_addr, data } => self.queue_sco(lt_addr, data),
             LcCommand::Sniff { lt_addr, params } => self.cmd_sniff(lt_addr, params, now, &mut out),
             LcCommand::Unsniff { lt_addr } => self.cmd_unsniff(lt_addr, now, &mut out),
-            LcCommand::Hold { lt_addr, hold_slots } => {
-                self.cmd_hold(lt_addr, hold_slots, now, &mut out)
-            }
+            LcCommand::Hold {
+                lt_addr,
+                hold_slots,
+            } => self.cmd_hold(lt_addr, hold_slots, now, &mut out),
             LcCommand::Park {
                 lt_addr,
                 beacon_interval,

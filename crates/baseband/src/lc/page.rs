@@ -385,7 +385,11 @@ impl LinkController {
             Todo::Nothing => {}
             Todo::Respond => {
                 let resp_at = rx.start + SimDuration::SLOT;
-                out.push(tx_action(resp_at, rx.rf_channel, packet::encode_id(own_lap)));
+                out.push(tx_action(
+                    resp_at,
+                    rx.rf_channel,
+                    packet::encode_id(own_lap),
+                ));
                 // Keep listening on the exchange channel for the FHS.
                 out.push(LcAction::RxWindow {
                     from: resp_at + SimDuration::from_bits(68),

@@ -411,7 +411,11 @@ pub fn encode(keys: &LinkKeys, header: &Header, payload: &Payload) -> BitVec {
             b
         }
         Payload::Acl { llid, flow, data } => {
-            assert!(header.ptype.is_acl_data(), "not an ACL type: {:?}", header.ptype);
+            assert!(
+                header.ptype.is_acl_data(),
+                "not an ACL type: {:?}",
+                header.ptype
+            );
             assert!(
                 data.len() <= header.ptype.max_user_bytes(),
                 "payload of {} bytes exceeds {:?} capacity",
@@ -621,7 +625,11 @@ pub fn decode(
                 ((h & 0b11) as u8, h & 0b100 != 0, ((h >> 3) & 0x1F) as usize)
             } else {
                 let h = body.bits_lsb(0, 16);
-                ((h & 0b11) as u8, h & 0b100 != 0, ((h >> 3) & 0x1FF) as usize)
+                (
+                    (h & 0b11) as u8,
+                    h & 0b100 != 0,
+                    ((h >> 3) & 0x1FF) as usize,
+                )
             };
             let llid = Llid::from_code(llid_code).ok_or(DecodeError::PayloadFormat)?;
             if length > t.max_user_bytes() {
@@ -681,8 +689,8 @@ pub fn air_bits(ptype: PacketType, user_bytes: usize, fhs_fec: bool) -> usize {
         PacketType::Hv3 => base + 240,
         PacketType::Dv => base + 80 + body_bits(96, true),
         t => {
-            let framed = (t.payload_header_bytes() + user_bytes) * 8
-                + if t.has_crc() { 16 } else { 0 };
+            let framed =
+                (t.payload_header_bytes() + user_bytes) * 8 + if t.has_crc() { 16 } else { 0 };
             base + body_bits(framed, t.fec23())
         }
     }
@@ -776,7 +784,11 @@ mod tests {
 
     #[test]
     fn fhs_roundtrip_with_fec() {
-        let air = encode(&keys(), &header(PacketType::Fhs), &Payload::Fhs(fhs_payload()));
+        let air = encode(
+            &keys(),
+            &header(PacketType::Fhs),
+            &Payload::Fhs(fhs_payload()),
+        );
         assert_eq!(air.len(), 126 + 240);
         match decode(&air, None, &keys()).unwrap() {
             Decoded::Packet {
@@ -828,7 +840,10 @@ mod tests {
             let air = encode(&keys(), &header(t), &payload);
             match decode(&air, None, &keys()).unwrap() {
                 Decoded::Packet {
-                    payload: Payload::Acl { llid, data: got, .. },
+                    payload:
+                        Payload::Acl {
+                            llid, data: got, ..
+                        },
                     header: h,
                 } => {
                     assert_eq!(h.ptype, t, "{t:?}");
@@ -852,7 +867,10 @@ mod tests {
             let air = encode(&keys(), &header(PacketType::Dm1), &payload);
             match decode(&air, None, &keys()).unwrap() {
                 Decoded::Packet {
-                    payload: Payload::Acl { data: got, llid, .. },
+                    payload:
+                        Payload::Acl {
+                            data: got, llid, ..
+                        },
                     ..
                 } => {
                     assert_eq!(got, data, "len {len}");
@@ -866,7 +884,9 @@ mod tests {
     #[test]
     fn sco_roundtrip() {
         for t in [PacketType::Hv1, PacketType::Hv2, PacketType::Hv3] {
-            let data: Vec<u8> = (0..t.max_user_bytes() as u32).map(|i| (i * 7) as u8).collect();
+            let data: Vec<u8> = (0..t.max_user_bytes() as u32)
+                .map(|i| (i * 7) as u8)
+                .collect();
             let air = encode(&keys(), &header(t), &Payload::Sco(data.clone()));
             match decode(&air, None, &keys()).unwrap() {
                 Decoded::Packet {
@@ -1010,7 +1030,10 @@ mod tests {
         let air = encode(&keys(), &header(PacketType::Dh1), &payload);
         let mut corrupt = air.clone();
         corrupt.toggle(130);
-        assert_eq!(decode(&corrupt, None, &keys()), Err(DecodeError::PayloadCrc));
+        assert_eq!(
+            decode(&corrupt, None, &keys()),
+            Err(DecodeError::PayloadCrc)
+        );
     }
 
     #[test]

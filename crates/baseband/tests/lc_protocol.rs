@@ -294,7 +294,10 @@ fn inquiry_timeout_reports_partial_results() {
         },
     );
     h.run_slots(160);
-    assert!(h.has_event(0, |e| matches!(e, LcEvent::InquiryComplete { responses: 0 })));
+    assert!(h.has_event(0, |e| matches!(
+        e,
+        LcEvent::InquiryComplete { responses: 0 }
+    )));
 }
 
 #[test]

@@ -35,7 +35,11 @@ fn bench_hop(c: &mut Criterion) {
         let mut t = 0u32;
         b.iter(|| {
             t = t.wrapping_add(2);
-            hop::hop_channel(hop::HopSequence::Connection, ClkVal::new(t), black_box(addr))
+            hop::hop_channel(
+                hop::HopSequence::Connection,
+                ClkVal::new(t),
+                black_box(addr),
+            )
         })
     });
     c.bench_function("hop_inquiry_train", |b| {
@@ -114,5 +118,11 @@ fn bench_channel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(blocks, bench_coding, bench_hop, bench_packets, bench_channel);
+criterion_group!(
+    blocks,
+    bench_coding,
+    bench_hop,
+    bench_packets,
+    bench_channel
+);
 criterion_main!(blocks);

@@ -4,7 +4,7 @@
 
 use btsim_baseband::LcCommand;
 use btsim_core::scenario::{
-    connect_pair, paper_config, CreationConfig, CreationScenario,
+    connect_pair, paper_config, CreationConfig, CreationScenario, Scenario,
 };
 use btsim_core::SimBuilder;
 use btsim_kernel::{SimDuration, SimTime};
@@ -25,7 +25,7 @@ fn bench_creation_048s(c: &mut Criterion) {
                 page_timeout_slots: 512,
                 ..CreationConfig::default()
             });
-            scenario.run(0, seed)
+            scenario.run(seed)
         })
     });
     group.finish();
@@ -42,8 +42,8 @@ fn bench_connection_second(c: &mut Criterion) {
                 let m = builder.add_device("master");
                 let s = builder.add_device("slave1");
                 let mut sim = builder.build();
-                let lt = connect_pair(&mut sim, m, s, SimTime::from_us(30_000_000))
-                    .expect("connects");
+                let lt =
+                    connect_pair(&mut sim, m, s, SimTime::from_us(30_000_000)).expect("connects");
                 sim.command(m, LcCommand::SetTpoll(4));
                 sim.command(
                     m,

@@ -1,18 +1,9 @@
-//! Calibration ablation: page failure under the four combinations of the
-//! two fragility levers — documenting *why* `paper_config()` uses a raw
-//! page FHS and the R1 scan window
-//! (`cargo run --release -p btsim-bench --bin ext_ablation`).
+//! Thin wrapper around the `ext_ablation` registry entry
+//! (`cargo run --release -p btsim-bench --bin ext_ablation`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::ext_calibration_ablation;
+use std::process::ExitCode;
 
-fn main() {
-    let mut opts = btsim_bench::parse_options();
-    if opts.runs > 60 {
-        opts.runs = 60;
-    }
-    let f = ext_calibration_ablation(&opts);
-    println!("Ablation — page failure probability (2048-slot timeout) per knob combination");
-    println!("(the paper's Fig. 8 needs ~100% at 1/30 with moderate failure at 1/100)");
-    println!();
-    println!("{}", f.table());
+fn main() -> ExitCode {
+    btsim_bench::run_named("ext_ablation")
 }

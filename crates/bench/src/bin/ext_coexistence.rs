@@ -1,16 +1,9 @@
-//! Extension experiment **Ext-B**: piconet creation next to a busy
-//! piconet (the interference situation of the paper's references [3-5])
-//! (`cargo run --release -p btsim-bench --bin ext_coexistence`).
+//! Thin wrapper around the `ext_coexistence` registry entry
+//! (`cargo run --release -p btsim-bench --bin ext_coexistence`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::ext_coexistence;
+use std::process::ExitCode;
 
-fn main() {
-    let mut opts = btsim_bench::parse_options();
-    if opts.runs > 40 {
-        opts.runs = 40; // four devices per run: keep the campaign bounded
-    }
-    let f = ext_coexistence(&opts);
-    println!("Ext-B — creation of piconet B while piconet A saturates the band");
-    println!();
-    println!("{}", f.table());
+fn main() -> ExitCode {
+    btsim_bench::run_named("ext_coexistence")
 }

@@ -1,15 +1,9 @@
-//! Extension experiment **Ext-E**: the distribution behind Fig. 6's mean —
-//! inquiry completion times across a Monte-Carlo campaign
-//! (`cargo run --release -p btsim-bench --bin ext_inquiry_distribution`).
+//! Thin wrapper around the `ext_inquiry_distribution` registry entry
+//! (`cargo run --release -p btsim-bench --bin ext_inquiry_distribution`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::ext_inquiry_distribution;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = ext_inquiry_distribution(&opts);
-    println!("Ext-E — inquiry completion-time distribution (BER 0)");
-    println!("{}", f.summary);
-    println!();
-    println!("{}", f.histogram);
-    println!("slots per bin: 256; the paper reports only the mean (1556)");
+fn main() -> ExitCode {
+    btsim_bench::run_named("ext_inquiry_distribution")
 }

@@ -1,15 +1,9 @@
-//! Extension experiment **Ext-A** (announced in the paper's aims): ACL
-//! goodput of every DM/DH packet type under increasing BER
-//! (`cargo run --release -p btsim-bench --bin ext_packet_throughput`).
+//! Thin wrapper around the `ext_packet_throughput` registry entry
+//! (`cargo run --release -p btsim-bench --bin ext_packet_throughput`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::ext_packet_throughput;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = ext_packet_throughput(&opts);
-    println!("Ext-A — ACL goodput per packet type vs BER");
-    println!("(FEC-protected DM types overtake larger DH types as noise grows)");
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("ext_packet_throughput")
 }

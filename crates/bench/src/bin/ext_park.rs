@@ -1,19 +1,9 @@
-//! Extension experiment **Ext-D**: park mode — slave RF activity vs
-//! beacon interval (the paper lists park among the low-power modes but
-//! shows no figure for it)
-//! (`cargo run --release -p btsim-bench --bin ext_park`).
+//! Thin wrapper around the `ext_park` registry entry
+//! (`cargo run --release -p btsim-bench --bin ext_park`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::ext_park_activity;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = ext_park_activity(&opts);
-    println!("Ext-D — parked slave RF activity vs beacon interval");
-    println!(
-        "(park beats every other mode; active floor {:.2}%)",
-        f.active_activity * 100.0
-    );
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("ext_park")
 }

@@ -1,14 +1,9 @@
-//! Extension experiment **Ext-C**: SCO voice links — RF cost and frame
-//! delivery of HV1/HV2/HV3
-//! (`cargo run --release -p btsim-bench --bin ext_sco`).
+//! Thin wrapper around the `ext_sco` registry entry
+//! (`cargo run --release -p btsim-bench --bin ext_sco`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::ext_sco;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = ext_sco(&opts);
-    println!("Ext-C — SCO voice links: HV1 (max FEC, every pair) vs HV3 (no FEC, 1-in-3)");
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("ext_sco")
 }

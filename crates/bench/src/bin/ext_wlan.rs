@@ -1,16 +1,9 @@
-//! Extension experiment **Ext-F**: coexistence with an 802.11 network
-//! occupying 22 of the 79 hop channels — the interference scenario of
-//! the paper's references [4-5]
-//! (`cargo run --release -p btsim-bench --bin ext_wlan`).
+//! Thin wrapper around the `ext_wlan` registry entry
+//! (`cargo run --release -p btsim-bench --bin ext_wlan`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::ext_wlan_coexistence;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = ext_wlan_coexistence(&opts);
-    println!("Ext-F — Bluetooth next to an 802.11 WLAN (22 of 79 channels occupied)");
-    println!("(hopping caps the exposure at ≈28% of packets; ARQ recovers the rest)");
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("ext_wlan")
 }

@@ -1,14 +1,9 @@
-//! Regenerates **Fig. 10**: master RF activity vs channel duty cycle
-//! (`cargo run --release -p btsim-bench --bin fig10_master_rf`).
+//! Thin wrapper around the `fig10_master_rf` registry entry
+//! (`cargo run --release -p btsim-bench --bin fig10_master_rf`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::fig10_master_activity;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = fig10_master_activity(&opts);
-    println!("Fig. 10 — RF activity of the master vs channel duty cycle");
-    println!("(paper: linear, TX above RX, ≈0.3% TX at 2% duty)");
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("fig10_master_rf")
 }

@@ -1,17 +1,9 @@
-//! Regenerates **Fig. 11**: slave RF activity vs Tsniff
-//! (`cargo run --release -p btsim-bench --bin fig11_sniff_activity`).
+//! Thin wrapper around the `fig11_sniff_activity` registry entry
+//! (`cargo run --release -p btsim-bench --bin fig11_sniff_activity`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::fig11_sniff_activity;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = fig11_sniff_activity(&opts);
-    println!("Fig. 11 — slave RF activity (TX+RX) vs Tsniff, data every 100 slots");
-    println!(
-        "(paper: break-even ≈30 slots, ≈30% reduction at Tsniff = 100; measured break-even: {:?})",
-        f.break_even()
-    );
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("fig11_sniff_activity")
 }

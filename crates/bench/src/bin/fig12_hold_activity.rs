@@ -1,17 +1,9 @@
-//! Regenerates **Fig. 12**: slave RF activity vs Thold
-//! (`cargo run --release -p btsim-bench --bin fig12_hold_activity`).
+//! Thin wrapper around the `fig12_hold_activity` registry entry
+//! (`cargo run --release -p btsim-bench --bin fig12_hold_activity`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::fig12_hold_activity;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = fig12_hold_activity(&opts);
-    println!("Fig. 12 — slave RF activity vs Thold on an idle connection");
-    println!(
-        "(paper: active floor 2.6%, hold wins above ≈120 slots; measured break-even: {:?})",
-        f.break_even()
-    );
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("fig12_hold_activity")
 }

@@ -1,14 +1,9 @@
-//! Regenerates **Fig. 5**: waveforms of the creation of a piconet with a
-//! master and three slaves (`cargo run -p btsim-bench --bin fig5_waveform`).
+//! Thin wrapper around the `fig5_waveform` registry entry
+//! (`cargo run --release -p btsim-bench --bin fig5_waveform`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::fig5_creation_waveforms;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let w = fig5_creation_waveforms(opts.base_seed);
-    println!("Fig. 5 — piconet creation waveforms (enable_tx_RF / enable_rx_RF)");
-    println!("{}", w.notes);
-    println!();
-    println!("{}", w.ascii);
-    btsim_bench::write_artifact("fig5.vcd", &w.vcd);
+fn main() -> ExitCode {
+    btsim_bench::run_named("fig5_waveform")
 }

@@ -1,14 +1,9 @@
-//! Regenerates **Fig. 6**: mean time slots to complete the inquiry phase
-//! vs BER (`cargo run --release -p btsim-bench --bin fig6_inquiry_vs_ber`).
+//! Thin wrapper around the `fig6_inquiry_vs_ber` registry entry
+//! (`cargo run --release -p btsim-bench --bin fig6_inquiry_vs_ber`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::fig6_inquiry_vs_ber;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = fig6_inquiry_vs_ber(&opts);
-    println!("Fig. 6 — mean time slots to complete the INQUIRY phase vs BER");
-    println!("(paper anchors: 1556 TS with no noise, ≈1800 TS at BER 1/30)");
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("fig6_inquiry_vs_ber")
 }

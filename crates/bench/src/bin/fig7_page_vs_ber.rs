@@ -1,14 +1,9 @@
-//! Regenerates **Fig. 7**: mean time slots to complete the page phase vs
-//! BER (`cargo run --release -p btsim-bench --bin fig7_page_vs_ber`).
+//! Thin wrapper around the `fig7_page_vs_ber` registry entry
+//! (`cargo run --release -p btsim-bench --bin fig7_page_vs_ber`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::fig7_page_vs_ber;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = fig7_page_vs_ber(&opts);
-    println!("Fig. 7 — mean time slots to complete the PAGE phase vs BER");
-    println!("(paper anchors: ≈17 TS with no noise; impossible for BER > 1/30)");
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("fig7_page_vs_ber")
 }

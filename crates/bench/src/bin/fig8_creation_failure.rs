@@ -1,14 +1,9 @@
-//! Regenerates **Fig. 8**: probability of failure of piconet creation
-//! (`cargo run --release -p btsim-bench --bin fig8_creation_failure`).
+//! Thin wrapper around the `fig8_creation_failure` registry entry
+//! (`cargo run --release -p btsim-bench --bin fig8_creation_failure`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::fig8_creation_failure;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let f = fig8_creation_failure(&opts);
-    println!("Fig. 8 — failure probability of inquiry / page with the 1.28 s timeout");
-    println!("(paper: page success very low for BER > 1/50; page is the bottleneck)");
-    println!();
-    println!("{}", f.table());
-    println!("{}", f.table().to_csv());
+fn main() -> ExitCode {
+    btsim_bench::run_named("fig8_creation_failure")
 }

@@ -1,14 +1,9 @@
-//! Regenerates **Fig. 9**: waveforms with two slaves in sniff mode
-//! (`cargo run -p btsim-bench --bin fig9_sniff_waveform`).
+//! Thin wrapper around the `fig9_sniff_waveform` registry entry
+//! (`cargo run --release -p btsim-bench --bin fig9_sniff_waveform`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::fig9_sniff_waveforms;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let w = fig9_sniff_waveforms(opts.base_seed);
-    println!("Fig. 9 — slave2 and slave3 in sniff mode");
-    println!("{}", w.notes);
-    println!();
-    println!("{}", w.ascii);
-    btsim_bench::write_artifact("fig9.vcd", &w.vcd);
+fn main() -> ExitCode {
+    btsim_bench::run_named("fig9_sniff_waveform")
 }

@@ -1,17 +1,9 @@
-//! Reproduces the paper's §3.1 performance note: 0.48 s of simulated
-//! piconet creation took the authors 10′47″ (747 clock cycles/s)
-//! (`cargo run --release -p btsim-bench --bin table1_sim_speed`).
+//! Thin wrapper around the `table1_sim_speed` registry entry
+//! (`cargo run --release -p btsim-bench --bin table1_sim_speed`); see the
+//! `experiments` binary for the full registry.
 
-use btsim_core::experiments::table1_sim_speed;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = btsim_bench::parse_options();
-    let s = table1_sim_speed(opts.base_seed);
-    println!("Table 1 — simulation performance (piconet creation, 4 devices)");
-    println!();
-    println!("{}", s.table());
-    println!(
-        "wall time: {:.3} s for {:.2} simulated seconds",
-        s.wall_seconds, s.sim_seconds
-    );
+fn main() -> ExitCode {
+    btsim_bench::run_named("table1_sim_speed")
 }

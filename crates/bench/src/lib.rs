@@ -1,56 +1,115 @@
 //! # btsim-bench
 //!
 //! Experiment binaries and performance benches for the `btsim` DATE'05
-//! reproduction. Each `fig*` binary regenerates one figure of the paper
-//! (see DESIGN.md §3 for the experiment index); `table1_sim_speed`
-//! reproduces the paper's simulation-performance paragraph; the Criterion
-//! benches in `benches/` measure the building blocks.
+//! reproduction. Every experiment lives in the
+//! [`btsim_core::experiments::registry`]; the `fig*` / `ext*` / `table1`
+//! binaries are thin one-line wrappers around registry entries kept for
+//! muscle memory, and the `experiments` binary multiplexes the whole
+//! registry (`experiments <name…|all>`, `experiments --list`).
 //!
-//! Binaries accept an optional `--quick` flag for a reduced campaign,
-//! `--runs N` for the Monte-Carlo sample count, `--seed S` and
-//! `--threads T`.
+//! Binaries accept `--quick` (reduced campaign), `--runs N`, `--seed S`,
+//! `--threads T` and `--json PATH` (dump the report as JSON). Malformed
+//! or unknown options are rejected with an error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use btsim_core::experiments::ExpOptions;
+use std::process::ExitCode;
 
-/// Parses common CLI options (`--quick`, `--runs N`, `--seed S`,
-/// `--threads T`).
-pub fn parse_options() -> ExpOptions {
-    let mut opts = ExpOptions::default();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+use btsim_core::experiments::{self, ExpOptions, Experiment};
+use btsim_stats::JsonValue;
+
+/// Parsed command line of an experiment binary.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOptions {
+    /// Campaign sizing.
+    pub exp: ExpOptions,
+    /// Where to dump the report(s) as JSON, if requested.
+    pub json: Option<String>,
+    /// `--list` was given (print the registry instead of running).
+    pub list: bool,
+    /// Positional arguments (experiment names for the multiplexer).
+    pub positional: Vec<String>,
+}
+
+/// Parses an argument list (without the program name).
+///
+/// `--quick` swaps in [`ExpOptions::quick`] (it composes with later
+/// `--runs`/`--seed`/`--threads` overrides); malformed or missing values
+/// and unknown `--flags` are errors. Positional arguments are collected
+/// for the caller.
+///
+/// # Examples
+///
+/// ```
+/// let opts = btsim_bench::parse_args(&["--quick".into(), "--runs".into(), "7".into()]).unwrap();
+/// assert_eq!(opts.exp.runs, 7);
+/// assert!(btsim_bench::parse_args(&["--runs".into(), "many".into()]).is_err());
+/// ```
+pub fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
+    let mut opts = BenchOptions::default();
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => opts = ExpOptions::quick(),
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg {
+            "--quick" => opts.exp = ExpOptions::quick(),
             "--runs" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    opts.runs = v;
-                    i += 1;
-                }
+                let v = value("--runs")?;
+                opts.exp.runs = v
+                    .parse()
+                    .map_err(|_| format!("invalid --runs value: {v:?} (expected a count)"))?;
             }
             "--seed" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    opts.base_seed = v;
-                    i += 1;
-                }
+                let v = value("--seed")?;
+                opts.exp.base_seed = v
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value: {v:?} (expected a u64)"))?;
             }
             "--threads" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    opts.threads = v;
-                    i += 1;
-                }
+                let v = value("--threads")?;
+                opts.exp.threads = v.parse().map_err(|_| {
+                    format!("invalid --threads value: {v:?} (expected a count, 0 = auto)")
+                })?;
             }
-            other => eprintln!("ignoring unknown argument: {other}"),
+            "--json" => opts.json = Some(value("--json")?),
+            "--list" => opts.list = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option: {flag}"));
+            }
+            positional => opts.positional.push(positional.to_string()),
         }
         i += 1;
     }
-    opts
+    Ok(opts)
+}
+
+/// Parses [`std::env::args`], exiting with a usage error on bad input.
+pub fn parse_cli() -> BenchOptions {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: [--quick] [--runs N] [--seed S] [--threads T] [--json PATH] [NAME…]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses common CLI options, ignoring positionals (compatibility entry
+/// point for callers that only need [`ExpOptions`]).
+pub fn parse_options() -> ExpOptions {
+    parse_cli().exp
 }
 
 /// Writes `content` to `name` in the working directory, reporting the
-/// path on stdout (used by the waveform binaries for VCD files).
+/// path on stdout (used for VCD waveforms and JSON dumps).
 pub fn write_artifact(name: &str, content: &str) {
     match std::fs::write(name, content) {
         Ok(()) => println!("wrote {name}"),
@@ -58,13 +117,102 @@ pub fn write_artifact(name: &str, content: &str) {
     }
 }
 
+/// Runs one registry experiment with the given options: prints the
+/// report, writes its artifacts, and appends its JSON to `json_out` when
+/// requested.
+pub fn run_entry(entry: &Experiment, opts: &BenchOptions, json_out: &mut Vec<JsonValue>) {
+    let report = entry.run(&opts.exp);
+    print!("{report}");
+    for (name, content) in &report.artifacts {
+        write_artifact(name, content);
+    }
+    if opts.json.is_some() {
+        json_out.push(JsonValue::Obj(vec![
+            ("name".to_string(), JsonValue::from(entry.name)),
+            ("report".to_string(), report.to_json()),
+        ]));
+    }
+}
+
+/// CLI entry point shared by the thin per-experiment binaries: parses
+/// options and runs the named registry entry.
+///
+/// Positional arguments and `--list` only mean something to the
+/// `experiments` multiplexer; a thin binary rejects them instead of
+/// silently running the wrong workload.
+pub fn run_named(name: &str) -> ExitCode {
+    let opts = parse_cli();
+    if let Some(stray) = opts.positional.first() {
+        eprintln!(
+            "error: unexpected argument {stray:?} — this binary always runs {name:?}; \
+             use the `experiments` binary to select experiments by name"
+        );
+        return ExitCode::from(2);
+    }
+    if opts.list {
+        eprintln!("error: --list is only understood by the `experiments` binary");
+        return ExitCode::from(2);
+    }
+    let Some(entry) = experiments::find(name) else {
+        eprintln!("error: experiment {name:?} is not in the registry");
+        return ExitCode::from(2);
+    };
+    let mut json_out = Vec::new();
+    run_entry(entry, &opts, &mut json_out);
+    finish_json(&opts, &json_out);
+    ExitCode::SUCCESS
+}
+
+/// Writes the collected JSON reports if `--json` was given.
+pub fn finish_json(opts: &BenchOptions, json_out: &[JsonValue]) {
+    if let Some(path) = &opts.json {
+        let doc = JsonValue::Arr(json_out.to_vec());
+        write_artifact(path, &format!("{}\n", doc.render()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn default_options_parse() {
-        let opts = parse_options();
-        assert!(opts.runs > 0);
+        let opts = parse_args(&[]).unwrap();
+        assert!(opts.exp.runs > 0);
+        assert!(opts.json.is_none());
+        assert!(opts.positional.is_empty());
+    }
+
+    #[test]
+    fn quick_composes_with_overrides() {
+        let opts = parse_args(&argv(&["--quick", "--runs", "3", "--seed", "9"])).unwrap();
+        assert_eq!(opts.exp.runs, 3);
+        assert_eq!(opts.exp.base_seed, 9);
+        assert_eq!(opts.exp.threads, ExpOptions::quick().threads);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        assert!(parse_args(&argv(&["--runs", "many"])).is_err());
+        assert!(parse_args(&argv(&["--runs", "-4"])).is_err());
+        assert!(parse_args(&argv(&["--seed", "0x10"])).is_err());
+        assert!(parse_args(&argv(&["--threads", "two"])).is_err());
+        assert!(parse_args(&argv(&["--runs"])).is_err(), "missing value");
+        assert!(
+            parse_args(&argv(&["--frobnicate"])).is_err(),
+            "unknown flag"
+        );
+    }
+
+    #[test]
+    fn json_and_positionals_collected() {
+        let opts =
+            parse_args(&argv(&["fig6_inquiry_vs_ber", "--json", "out.json", "all"])).unwrap();
+        assert_eq!(opts.json.as_deref(), Some("out.json"));
+        assert_eq!(opts.positional, vec!["fig6_inquiry_vs_ber", "all"]);
     }
 }

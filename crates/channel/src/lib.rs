@@ -212,11 +212,7 @@ impl Medium {
         // Fixed-band interferers wipe in-band packets with their duty
         // probability (one draw per transmission: a burst either overlaps
         // the short Bluetooth packet or it does not).
-        let jammed = self
-            .cfg
-            .interferers
-            .iter()
-            .any(|i| i.covers(rf_channel))
+        let jammed = self.cfg.interferers.iter().any(|i| i.covers(rf_channel))
             && self.rng.chance(
                 self.cfg
                     .interferers
@@ -276,7 +272,10 @@ impl Medium {
             let mask = mask.get_or_insert_with(|| BitVec::zeros(tx.noisy_bits.len()));
             // Mark the overlapped bit span [lo, hi).
             let lo = o_start.since(tx.start).ns() / SimDuration::SYMBOL.ns();
-            let hi = o_end.since(tx.start).ns().div_ceil(SimDuration::SYMBOL.ns());
+            let hi = o_end
+                .since(tx.start)
+                .ns()
+                .div_ceil(SimDuration::SYMBOL.ns());
             for b in lo..hi.min(tx.noisy_bits.len() as u64) {
                 mask.set(b as usize, true);
             }

@@ -130,7 +130,11 @@ impl BitVec {
     ///
     /// Panics if `index` is out of bounds.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % 64);
         if bit {
             self.words[index / 64] |= mask;
@@ -145,7 +149,11 @@ impl BitVec {
     ///
     /// Panics if `index` is out of bounds.
     pub fn toggle(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] ^= 1u64 << (index % 64);
     }
 

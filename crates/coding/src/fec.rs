@@ -272,7 +272,10 @@ mod tests {
                 }
             }
         }
-        assert!(detected * 2 >= total, "most double errors should be flagged");
+        assert!(
+            detected * 2 >= total,
+            "most double errors should be flagged"
+        );
     }
 
     #[test]

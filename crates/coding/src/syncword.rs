@@ -55,9 +55,13 @@ pub fn sync_word(lap: u32) -> u64 {
     let lap = lap & 0x00FF_FFFF;
     // 30 information bits x0..x29: the LAP a0..a23 then the 6-bit
     // extension selected by a23 (0 -> 001101, 1 -> 110010, LSB first).
-    let ext: u32 = if lap & 0x80_0000 == 0 { 0b101100 } else { 0b010011 };
+    let ext: u32 = if lap & 0x80_0000 == 0 {
+        0b101100
+    } else {
+        0b010011
+    };
     let mut info = lap | (ext << 24); // bit i = x_i
-    // Scramble the information bits with p34..p63 before encoding.
+                                      // Scramble the information bits with p34..p63 before encoding.
     for i in 0..30 {
         if pn_bit(34 + i) {
             info ^= 1 << i;
@@ -169,7 +173,14 @@ mod tests {
         // dmin of the expurgated (64,30) BCH code is 14; scrambling with a
         // fixed PN preserves pairwise distance.
         let laps = [
-            0x000000u32, 0x000001, 0x9E8B33, 0x9E8B00, 0xFFFFFF, 0x123456, 0x800000, 0x7FFFFF,
+            0x000000u32,
+            0x000001,
+            0x9E8B33,
+            0x9E8B00,
+            0xFFFFFF,
+            0x123456,
+            0x800000,
+            0x7FFFFF,
         ];
         for (i, &a) in laps.iter().enumerate() {
             for &b in &laps[i + 1..] {

@@ -6,7 +6,11 @@ use btsim_core::experiments::*;
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_default();
-    let opts = ExpOptions { runs: 60, threads: 0, base_seed: 0xB1005E };
+    let opts = ExpOptions {
+        runs: 60,
+        threads: 0,
+        base_seed: 0xB1005E,
+    };
     if arg.is_empty() || arg == "fig6" {
         let f = fig6_inquiry_vs_ber(&opts);
         println!("FIG6 (inquiry, uncapped):\n{}", f.table());

@@ -1,0 +1,375 @@
+//! Generic Monte-Carlo campaigns over [`Scenario`]s.
+//!
+//! A [`Campaign`] owns everything the per-figure experiment functions
+//! used to hand-roll: seeding, worker parallelism, progress reporting,
+//! per-metric summary statistics (mean / CI95 / completion rate) and
+//! structured output (table, CSV, JSON). A campaign is a set of labelled
+//! *points* (parameter values of a sweep — a BER, a sniff interval, …),
+//! each sampled with `runs` independent seeds; all `points × runs` jobs
+//! are flattened into one [`btsim_stats::run_campaign`] batch, so every
+//! point of a sweep runs in parallel and the result is bit-reproducible
+//! for a fixed base seed regardless of the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use btsim_stats::{run_campaign, JsonValue, Record, Summary, Table};
+
+use crate::scenario::Scenario;
+
+/// Campaign sizing options shared by every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Monte-Carlo runs per parameter point.
+    pub runs: usize,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+    /// Base seed; run `i` of a point uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            runs: 200,
+            threads: 0,
+            base_seed: 0x00B1_005E,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// A reduced campaign for smoke tests and quick previews.
+    pub fn quick() -> Self {
+        Self {
+            runs: 12,
+            threads: 0,
+            base_seed: 0x00B1_005E,
+        }
+    }
+}
+
+/// A Monte-Carlo campaign over one scenario, or a labelled sweep over
+/// several configurations of the same scenario type.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_core::campaign::Campaign;
+/// use btsim_core::scenario::{PageConfig, PageScenario};
+///
+/// let result = Campaign::new(PageScenario::new(PageConfig::default()))
+///     .runs(4)
+///     .base_seed(7)
+///     .run();
+/// assert_eq!(result.single().outcomes.len(), 4);
+/// assert!(result.single().completion_rate() > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign<S: Scenario> {
+    points: Vec<(String, S)>,
+    opts: ExpOptions,
+    progress: bool,
+}
+
+impl<S: Scenario + Sync> Campaign<S> {
+    /// A single-point campaign over `scenario`, labelled with its
+    /// [`Scenario::name`].
+    pub fn new(scenario: S) -> Self {
+        Self {
+            points: vec![(scenario.name().to_string(), scenario)],
+            opts: ExpOptions::default(),
+            progress: false,
+        }
+    }
+
+    /// A labelled sweep: one campaign point per `(label, scenario)`.
+    pub fn sweep<I>(points: I) -> Self
+    where
+        I: IntoIterator<Item = (String, S)>,
+    {
+        Self {
+            points: points.into_iter().collect(),
+            opts: ExpOptions::default(),
+            progress: false,
+        }
+    }
+
+    /// Applies shared sizing options.
+    pub fn options(mut self, opts: &ExpOptions) -> Self {
+        self.opts = *opts;
+        self
+    }
+
+    /// Sets the Monte-Carlo runs per point.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.opts.runs = runs;
+        self
+    }
+
+    /// Sets the worker thread count (0 = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.opts.base_seed = base_seed;
+        self
+    }
+
+    /// Prints coarse progress to stderr while the campaign runs.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Runs all `points × runs` jobs and collects the outcomes.
+    ///
+    /// Run `i` of every point uses seed `base_seed + i`, so a point's
+    /// samples are unaffected by how many other points the sweep has,
+    /// and the whole result is deterministic for a fixed base seed
+    /// regardless of `threads`.
+    pub fn run(&self) -> CampaignResult<S::Outcome> {
+        let runs = self.opts.runs.max(1);
+        let total = self.points.len() * runs;
+        let done = AtomicUsize::new(0);
+        let step = (total / 10).max(1);
+        let outcomes = run_campaign(total, self.opts.threads, 0, |job| {
+            let point = (job as usize) / runs;
+            let i = (job as usize) % runs;
+            let out = self.points[point]
+                .1
+                .run(self.opts.base_seed.wrapping_add(i as u64));
+            if self.progress {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if n.is_multiple_of(step) || n == total {
+                    eprintln!("campaign: {n}/{total} runs done");
+                }
+            }
+            out
+        });
+        let mut points = Vec::with_capacity(self.points.len());
+        let mut rest = outcomes;
+        for (label, _) in &self.points {
+            let tail = rest.split_off(runs);
+            points.push(PointResult {
+                label: label.clone(),
+                outcomes: rest,
+            });
+            rest = tail;
+        }
+        CampaignResult {
+            base_seed: self.opts.base_seed,
+            points,
+        }
+    }
+}
+
+/// The outcomes of one campaign point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult<R> {
+    /// The point's sweep label (the scenario name for single-point
+    /// campaigns).
+    pub label: String,
+    /// Per-run outcomes, in seed order.
+    pub outcomes: Vec<R>,
+}
+
+impl<R: Record> PointResult<R> {
+    /// Fraction of runs that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.completed()).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Summary of metric `name` over **completed** runs (the paper's
+    /// convention: timed-out runs don't contribute to means).
+    pub fn metric(&self, name: &str) -> Summary {
+        self.outcomes
+            .iter()
+            .filter(|o| o.completed())
+            .flat_map(|o| o.metrics())
+            .filter(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// Summary of metric `name` over **all** runs.
+    pub fn metric_all(&self, name: &str) -> Summary {
+        self.outcomes
+            .iter()
+            .flat_map(|o| o.metrics())
+            .filter(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// The first outcome (convenient for single-run points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has no outcomes.
+    pub fn first(&self) -> &R {
+        &self.outcomes[0]
+    }
+}
+
+/// All outcomes of a [`Campaign::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult<R> {
+    /// The base seed the campaign ran with.
+    pub base_seed: u64,
+    /// One entry per point, in sweep order.
+    pub points: Vec<PointResult<R>>,
+}
+
+impl<R: Record> CampaignResult<R> {
+    /// The sole point of a single-point campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign swept more than one point.
+    pub fn single(&self) -> &PointResult<R> {
+        assert_eq!(self.points.len(), 1, "campaign swept multiple points");
+        &self.points[0]
+    }
+
+    /// Finds a point by label.
+    pub fn point(&self, label: &str) -> Option<&PointResult<R>> {
+        self.points.iter().find(|p| p.label == label)
+    }
+
+    /// Summary table of `metric` across the sweep: one row per point
+    /// with mean, CI95 and completion rate.
+    pub fn metric_table(&self, point_header: &str, metric: &str) -> Table {
+        let mut t = Table::with_headers(vec![
+            point_header.to_string(),
+            format!("mean {metric}"),
+            "ci95".to_string(),
+            "completed".to_string(),
+        ]);
+        for p in &self.points {
+            let s = p.metric(metric);
+            t.row([
+                p.label.clone(),
+                format!("{:.1}", s.mean()),
+                format!("{:.1}", s.ci95()),
+                format!("{:.1}%", p.completion_rate() * 100.0),
+            ]);
+        }
+        t
+    }
+
+    /// Per-run rows of every point as a table (label + record cells).
+    pub fn rows_table(&self) -> Table {
+        let mut headers = vec!["point".to_string(), "seed".to_string()];
+        if let Some(first) = self.points.first().and_then(|p| p.outcomes.first()) {
+            headers.extend(first.columns());
+            headers.push("completed".to_string());
+        }
+        let mut t = Table::with_headers(headers);
+        for p in &self.points {
+            for (i, o) in p.outcomes.iter().enumerate() {
+                let mut cells = vec![
+                    p.label.clone(),
+                    format!("{}", self.base_seed.wrapping_add(i as u64)),
+                ];
+                cells.extend(o.cells());
+                cells.push(o.completed().to_string());
+                t.row(cells);
+            }
+        }
+        t
+    }
+
+    /// The whole result as JSON: per point, the aggregate statistics and
+    /// the raw per-run records.
+    pub fn to_json(&self) -> JsonValue {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut fields = vec![
+                    ("label".to_string(), JsonValue::from(p.label.clone())),
+                    (
+                        "completion_rate".to_string(),
+                        JsonValue::from(p.completion_rate()),
+                    ),
+                ];
+                let mut stats = Vec::new();
+                if let Some(first) = p.outcomes.first() {
+                    for (name, _) in first.metrics() {
+                        let s = p.metric(name);
+                        stats.push((
+                            name.to_string(),
+                            JsonValue::Obj(vec![
+                                ("mean".to_string(), JsonValue::from(s.mean())),
+                                ("ci95".to_string(), JsonValue::from(s.ci95())),
+                                ("min".to_string(), JsonValue::from(s.min())),
+                                ("max".to_string(), JsonValue::from(s.max())),
+                            ]),
+                        ));
+                    }
+                }
+                fields.push(("metrics".to_string(), JsonValue::Obj(stats)));
+                fields.push((
+                    "runs".to_string(),
+                    JsonValue::Arr(p.outcomes.iter().map(|o| o.to_json()).collect()),
+                ));
+                JsonValue::Obj(fields)
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("base_seed".to_string(), JsonValue::from(self.base_seed)),
+            ("points".to_string(), JsonValue::Arr(points)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{PageConfig, PageScenario};
+
+    #[test]
+    fn sweep_points_share_seeds() {
+        let sweep = Campaign::sweep([
+            ("a".to_string(), PageScenario::new(PageConfig::default())),
+            ("b".to_string(), PageScenario::new(PageConfig::default())),
+        ])
+        .runs(3)
+        .base_seed(11)
+        .run();
+        // Identical configs + identical seeds = identical outcomes.
+        assert_eq!(sweep.points[0].outcomes, sweep.points[1].outcomes);
+        assert_eq!(sweep.point("b").unwrap().outcomes.len(), 3);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = |threads| {
+            Campaign::new(PageScenario::new(PageConfig::default()))
+                .runs(6)
+                .threads(threads)
+                .base_seed(3)
+                .run()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn tables_and_json_render() {
+        let r = Campaign::new(PageScenario::new(PageConfig::default()))
+            .runs(2)
+            .run();
+        let t = r.metric_table("point", "slots");
+        assert_eq!(t.len(), 1);
+        assert_eq!(r.rows_table().len(), 2);
+        let json = r.to_json().render();
+        assert!(json.contains("\"completion_rate\""));
+        assert!(json.contains("\"slots\""));
+    }
+}

@@ -1,24 +1,37 @@
 //! The paper's experiments, one function per table/figure.
 //!
-//! Each function runs the corresponding scenario campaign and returns a
+//! Each function expresses the corresponding workload as a
+//! [`Campaign`] over a [`Scenario`](crate::scenario::Scenario) — the
+//! campaign owns seeding, parallelism and aggregation — and returns a
 //! structured result with a [`Table`] renderer printing the same series
 //! the paper reports. Absolute numbers depend on the calibrated
 //! behavioural model (see EXPERIMENTS.md); the shapes — break-even
 //! points, bottleneck ordering, saturation — are the reproduction target.
+//!
+//! Every experiment is also a [`registry`] entry (name + description +
+//! runner), which is what the `btsim-bench` binaries and the
+//! `experiments` multiplexer execute.
 
 use std::time::Instant;
 
-use btsim_baseband::{LcCommand, LcEvent, PacketType, ScoParams, SniffParams};
+use btsim_baseband::{LcCommand, PacketType, SniffParams};
 use btsim_kernel::{SimDuration, SimTime};
-use btsim_stats::{run_campaign, Summary, Table};
+use btsim_stats::{Summary, Table};
 use btsim_trace::{render_ascii, to_vcd, AsciiOptions};
 
+use crate::campaign::Campaign;
 use crate::scenario::{
-    connect_pair, paper_config, CreationConfig, CreationScenario, HoldConfig, HoldScenario,
-    InquiryConfig, InquiryScenario, PageConfig, PageScenario, ParkConfig, ParkScenario,
-    SniffConfig, SniffScenario, TrafficConfig, TrafficScenario,
+    connect_pair, paper_config, CoexistenceConfig, CoexistenceScenario, CreationConfig,
+    CreationScenario, GoodputConfig, GoodputScenario, HoldConfig, HoldScenario, InquiryConfig,
+    InquiryScenario, PageConfig, PageScenario, ParkConfig, ParkScenario, Scenario, ScoLinkConfig,
+    ScoLinkScenario, SniffConfig, SniffScenario, TrafficConfig, TrafficScenario,
 };
 use crate::{LoggedEvent, SimBuilder};
+
+mod registry;
+
+pub use crate::campaign::ExpOptions;
+pub use registry::{find, registry, ExpReport, Experiment};
 
 /// The BER sweep of the paper's Figs. 6-8.
 pub const PAPER_BERS: [(&str, f64); 8] = [
@@ -31,38 +44,6 @@ pub const PAPER_BERS: [(&str, f64); 8] = [
     ("1/40", 1.0 / 40.0),
     ("1/30", 1.0 / 30.0),
 ];
-
-/// Campaign sizing options.
-#[derive(Debug, Clone, Copy)]
-pub struct ExpOptions {
-    /// Monte-Carlo runs per parameter point.
-    pub runs: usize,
-    /// Worker threads (0 = auto).
-    pub threads: usize,
-    /// Base seed; run `i` of a point uses `base_seed + i`.
-    pub base_seed: u64,
-}
-
-impl Default for ExpOptions {
-    fn default() -> Self {
-        Self {
-            runs: 200,
-            threads: 0,
-            base_seed: 0x00B1_005E,
-        }
-    }
-}
-
-impl ExpOptions {
-    /// A reduced campaign for smoke tests and quick previews.
-    pub fn quick() -> Self {
-        Self {
-            runs: 12,
-            threads: 0,
-            base_seed: 0x00B1_005E,
-        }
-    }
-}
 
 /// One row of a BER-sweep result.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,7 +60,7 @@ pub struct BerRow {
     pub completed: f64,
 }
 
-/// Result of the Fig. 6 experiment (inquiry duration vs BER).
+/// Result of the Fig. 6 / Fig. 7 experiments (phase duration vs BER).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BerSweep {
     /// What was measured (for the table caption).
@@ -104,46 +85,49 @@ impl BerSweep {
     }
 }
 
-fn ber_sweep<F>(opts: &ExpOptions, phase: &'static str, run_one: F) -> BerSweep
-where
-    F: Fn(f64, u64) -> (bool, u64) + Sync,
-{
-    let mut rows = Vec::new();
+/// The noiseless anchor plus [`PAPER_BERS`].
+fn ber_points() -> Vec<(String, f64)> {
     let mut points: Vec<(String, f64)> = vec![("0".into(), 0.0)];
     points.extend(PAPER_BERS.iter().map(|(l, b)| (l.to_string(), *b)));
-    for (label, ber) in points {
-        let results = run_campaign(opts.runs, opts.threads, opts.base_seed, |seed| {
-            run_one(ber, seed)
-        });
-        let mut done = Summary::new();
-        let mut completed = 0usize;
-        for (ok, slots) in &results {
-            if *ok {
-                completed += 1;
-                done.add(*slots as f64);
+    points
+}
+
+/// Sweeps a scenario whose outcome reports a `slots` metric over the
+/// paper's BER points in one flattened campaign.
+fn ber_sweep<S, F>(opts: &ExpOptions, phase: &'static str, make: F) -> BerSweep
+where
+    S: Scenario + Sync,
+    F: Fn(f64) -> S,
+{
+    let points = ber_points();
+    let result = Campaign::sweep(points.iter().map(|(l, b)| (l.clone(), make(*b))))
+        .options(opts)
+        .run();
+    let rows = points
+        .iter()
+        .zip(&result.points)
+        .map(|((label, ber), p)| {
+            let slots = p.metric("slots");
+            BerRow {
+                label: label.clone(),
+                ber: *ber,
+                mean_slots: slots.mean(),
+                ci95: slots.ci95(),
+                completed: p.completion_rate(),
             }
-        }
-        rows.push(BerRow {
-            label,
-            ber,
-            mean_slots: done.mean(),
-            ci95: done.ci95(),
-            completed: completed as f64 / results.len().max(1) as f64,
-        });
-    }
+        })
+        .collect();
     BerSweep { phase, rows }
 }
 
 /// **Fig. 6** — mean number of time slots to complete the inquiry phase
 /// as a function of the BER (no timeout; mean over completed runs).
 pub fn fig6_inquiry_vs_ber(opts: &ExpOptions) -> BerSweep {
-    ber_sweep(opts, "inquiry", |ber, seed| {
-        let out = InquiryScenario::new(InquiryConfig {
+    ber_sweep(opts, "inquiry", |ber| {
+        InquiryScenario::new(InquiryConfig {
             ber,
             ..InquiryConfig::default()
         })
-        .run(seed);
-        (out.completed, out.slots)
     })
 }
 
@@ -151,14 +135,12 @@ pub fn fig6_inquiry_vs_ber(opts: &ExpOptions) -> BerSweep {
 /// a function of the BER (devices already synchronised). As in the paper,
 /// the 1.28 s page timeout applies; the mean is over successful runs.
 pub fn fig7_page_vs_ber(opts: &ExpOptions) -> BerSweep {
-    ber_sweep(opts, "page", |ber, seed| {
-        let out = PageScenario::new(PageConfig {
+    ber_sweep(opts, "page", |ber| {
+        PageScenario::new(PageConfig {
             ber,
             cap_slots: 2048,
             ..PageConfig::default()
         })
-        .run(seed);
-        (out.completed, out.slots)
     })
 }
 
@@ -202,34 +184,40 @@ impl Fig8 {
 /// bottleneck: its success probability collapses beyond BER ≈ 1/50.
 pub fn fig8_creation_failure(opts: &ExpOptions) -> Fig8 {
     const TIMEOUT: u64 = 2048;
-    let mut rows = Vec::new();
-    for (label, ber) in PAPER_BERS {
-        let inquiry = run_campaign(opts.runs, opts.threads, opts.base_seed, |seed| {
-            let out = InquiryScenario::new(InquiryConfig {
-                ber,
+    let inquiry = Campaign::sweep(PAPER_BERS.iter().map(|(l, ber)| {
+        (
+            l.to_string(),
+            InquiryScenario::new(InquiryConfig {
+                ber: *ber,
                 cap_slots: TIMEOUT,
                 ..InquiryConfig::default()
-            })
-            .run(seed);
-            out.completed && out.slots <= TIMEOUT
-        });
-        let page = run_campaign(opts.runs, opts.threads, opts.base_seed, |seed| {
-            let out = PageScenario::new(PageConfig {
-                ber,
+            }),
+        )
+    }))
+    .options(opts)
+    .run();
+    let page = Campaign::sweep(PAPER_BERS.iter().map(|(l, ber)| {
+        (
+            l.to_string(),
+            PageScenario::new(PageConfig {
+                ber: *ber,
                 cap_slots: TIMEOUT,
                 ..PageConfig::default()
-            })
-            .run(seed);
-            out.completed && out.slots <= TIMEOUT
-        });
-        let frac_fail = |v: &[bool]| 1.0 - v.iter().filter(|&&b| b).count() as f64 / v.len() as f64;
-        rows.push(FailureRow {
+            }),
+        )
+    }))
+    .options(opts)
+    .run();
+    let rows = PAPER_BERS
+        .iter()
+        .zip(inquiry.points.iter().zip(&page.points))
+        .map(|((label, ber), (inq, pag))| FailureRow {
             label: label.to_string(),
-            ber,
-            inquiry_failure: frac_fail(&inquiry),
-            page_failure: frac_fail(&page),
-        });
-    }
+            ber: *ber,
+            inquiry_failure: 1.0 - inq.completion_rate(),
+            page_failure: 1.0 - pag.completion_rate(),
+        })
+        .collect();
     Fig8 { rows }
 }
 
@@ -254,23 +242,26 @@ pub fn fig5_creation_waveforms(seed: u64) -> Waveforms {
     // A short backoff keeps the interesting region compact, like the
     // paper's figure.
     cfg.lc.inquiry_backoff_max = 128;
-    let out = CreationScenario::new(CreationConfig {
+    let scenario = CreationScenario::new(CreationConfig {
         n_slaves: 3,
         inquiry_timeout_slots: 16 * 2048,
         sim: cfg,
         ..CreationConfig::default()
-    })
-    .run(0, seed);
-    let end = out.sim.now();
+    });
+    // Build + drive separately: the simulator outlives the outcome so
+    // its recorder can render the figure.
+    let mut sim = scenario.build(seed);
+    let out = scenario.drive(&mut sim);
+    let end = sim.now();
     let ascii = render_ascii(
-        out.sim.recorder(),
+        sim.recorder(),
         &AsciiOptions {
             from: SimTime::ZERO,
             to: end,
             columns: 160,
         },
     );
-    let vcd = to_vcd(out.sim.recorder());
+    let vcd = to_vcd(sim.recorder());
     let notes = format!(
         "piconet formed: {} | inquiry: {} slots | pages: {:?}",
         out.piconet_complete(),
@@ -309,8 +300,20 @@ pub fn fig9_sniff_waveforms(seed: u64) -> Waveforms {
             d_sniff: anchor % 12,
             n_timeout: 2,
         };
-        sim.command(master, LcCommand::Sniff { lt_addr: lt, params });
-        sim.command(dev, LcCommand::Sniff { lt_addr: lt, params });
+        sim.command(
+            master,
+            LcCommand::Sniff {
+                lt_addr: lt,
+                params,
+            },
+        );
+        sim.command(
+            dev,
+            LcCommand::Sniff {
+                lt_addr: lt,
+                params,
+            },
+        );
     }
     let from = sim.now();
     sim.run_until(from + SimDuration::from_slots(80));
@@ -367,21 +370,32 @@ impl Fig10 {
 /// the channel duty cycle: linear growth, TX above RX.
 pub fn fig10_master_activity(opts: &ExpOptions) -> Fig10 {
     let duties = [0.0025, 0.005, 0.0075, 0.01, 0.0125, 0.015, 0.0175, 0.02];
-    let measure = 150_000u64.min(40_000 * opts.runs as u64);
-    let rows = run_campaign(duties.len(), opts.threads, 0, |i| {
-        let duty = duties[i as usize];
-        let out = TrafficScenario::new(TrafficConfig {
-            duty,
-            measure_slots: measure,
-            ..TrafficConfig::default()
+    let measure = 150_000u64.min(40_000 * opts.runs.max(1) as u64);
+    let result = Campaign::sweep(duties.iter().map(|&duty| {
+        (
+            format!("{duty}"),
+            TrafficScenario::new(TrafficConfig {
+                duty,
+                measure_slots: measure,
+                ..TrafficConfig::default()
+            }),
+        )
+    }))
+    .options(opts)
+    .runs(1)
+    .run();
+    let rows = duties
+        .iter()
+        .zip(&result.points)
+        .map(|(&duty, p)| {
+            let out = p.first();
+            DutyRow {
+                duty,
+                tx: out.master.tx,
+                rx: out.master.rx,
+            }
         })
-        .run(opts.base_seed + i);
-        DutyRow {
-            duty,
-            tx: out.master.tx,
-            rx: out.master.rx,
-        }
-    });
+        .collect();
     Fig10 { rows }
 }
 
@@ -394,10 +408,10 @@ pub struct ModeRow {
     pub mode_activity: f64,
 }
 
-/// Result of the Fig. 11 / Fig. 12 experiments.
+/// Result of the Fig. 11 / Fig. 12 / Ext-D experiments.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModeSweep {
-    /// Which mode was swept (`"sniff"` / `"hold"`).
+    /// Which mode was swept (`"sniff"` / `"hold"` / `"park"`).
     pub mode: &'static str,
     /// RF activity of the active-mode baseline.
     pub active_activity: f64,
@@ -433,36 +447,45 @@ impl ModeSweep {
     }
 }
 
+/// Runs a low-power-mode sweep: an active baseline point (interval 0)
+/// plus one point per interval, all in one campaign.
+fn mode_sweep<S, F>(opts: &ExpOptions, mode: &'static str, intervals: &[u32], make: F) -> ModeSweep
+where
+    S: Scenario<Outcome = crate::scenario::ModeActivity> + Sync,
+    F: Fn(u32) -> S,
+{
+    let mut points = vec![("active".to_string(), make(0))];
+    points.extend(intervals.iter().map(|&i| (i.to_string(), make(i))));
+    let result = Campaign::sweep(points).options(opts).runs(1).run();
+    let active_activity = result.points[0].first().activity;
+    let rows = intervals
+        .iter()
+        .zip(&result.points[1..])
+        .map(|(&interval, p)| ModeRow {
+            interval,
+            mode_activity: p.first().activity,
+        })
+        .collect();
+    ModeSweep {
+        mode,
+        active_activity,
+        rows,
+    }
+}
+
 /// **Fig. 11** — slave RF activity vs Tsniff with data every 100 slots.
 /// Sniff beats active mode only above the break-even interval (≈30
 /// slots); at Tsniff = 100 the paper reports ≈30% reduction.
 pub fn fig11_sniff_activity(opts: &ExpOptions) -> ModeSweep {
     let measure = 120_000u64;
-    let active = SniffScenario::new(SniffConfig {
-        t_sniff: 0,
-        measure_slots: measure,
-        ..SniffConfig::default()
-    })
-    .run(opts.base_seed);
     let intervals = [20u32, 30, 40, 50, 60, 70, 80, 90, 100];
-    let rows = run_campaign(intervals.len(), opts.threads, 0, |i| {
-        let t_sniff = intervals[i as usize];
-        let out = SniffScenario::new(SniffConfig {
+    mode_sweep(opts, "sniff", &intervals, |t_sniff| {
+        SniffScenario::new(SniffConfig {
             t_sniff,
             measure_slots: measure,
             ..SniffConfig::default()
         })
-        .run(opts.base_seed + 1 + i);
-        ModeRow {
-            interval: t_sniff,
-            mode_activity: out.activity,
-        }
-    });
-    ModeSweep {
-        mode: "sniff",
-        active_activity: active.activity,
-        rows,
-    }
+    })
 }
 
 /// **Fig. 12** — slave RF activity vs Thold on an idle connection.
@@ -470,31 +493,29 @@ pub fn fig11_sniff_activity(opts: &ExpOptions) -> ModeSweep {
 /// floor; hold wins above the break-even (paper: ≈120 slots).
 pub fn fig12_hold_activity(opts: &ExpOptions) -> ModeSweep {
     let measure = 200_000u64;
-    let active = HoldScenario::new(HoldConfig {
-        t_hold: 0,
-        measure_slots: measure,
-        ..HoldConfig::default()
-    })
-    .run(opts.base_seed);
     let intervals = [40u32, 80, 120, 160, 240, 400, 600, 800, 1000];
-    let rows = run_campaign(intervals.len(), opts.threads, 0, |i| {
-        let t_hold = intervals[i as usize];
-        let out = HoldScenario::new(HoldConfig {
+    mode_sweep(opts, "hold", &intervals, |t_hold| {
+        HoldScenario::new(HoldConfig {
             t_hold,
             measure_slots: measure,
             ..HoldConfig::default()
         })
-        .run(opts.base_seed + 1 + i);
-        ModeRow {
-            interval: t_hold,
-            mode_activity: out.activity,
-        }
-    });
-    ModeSweep {
-        mode: "hold",
-        active_activity: active.activity,
-        rows,
-    }
+    })
+}
+
+/// **Ext-D** — park mode, the fourth low-power mode of the paper's list
+/// (no park figure appears in the paper): slave RF activity vs the
+/// beacon interval, against the same 2.6% active floor as Fig. 12.
+pub fn ext_park_activity(opts: &ExpOptions) -> ModeSweep {
+    let measure = 150_000u64;
+    let intervals = [50u32, 100, 200, 400, 800, 1600];
+    mode_sweep(opts, "park", &intervals, |beacon_interval| {
+        ParkScenario::new(ParkConfig {
+            beacon_interval,
+            measure_slots: measure,
+            ..ParkConfig::default()
+        })
+    })
 }
 
 /// Result of the simulation-speed measurement (§3.1's performance note).
@@ -545,7 +566,7 @@ pub fn table1_sim_speed(seed: u64) -> SimSpeed {
         page_timeout_slots: 512,
         ..CreationConfig::default()
     })
-    .run(0, seed);
+    .run(seed);
     let _ = out.piconet_complete();
     let wall = started.elapsed().as_secs_f64().max(1e-9);
     let cycles = sim_seconds * 1e6; // 1 MHz symbol clock
@@ -617,54 +638,30 @@ pub fn ext_packet_throughput(opts: &ExpOptions) -> ExtThroughput {
             jobs.push((t, label.to_string(), ber));
         }
     }
-    let rows = run_campaign(jobs.len(), opts.threads, 0, |i| {
-        let (ptype, ref label, ber) = jobs[i as usize];
-        let kbps = measure_goodput(ptype, ber, opts.base_seed + i);
-        ThroughputRow {
-            ptype,
-            ber_label: label.clone(),
-            ber,
-            kbps,
-        }
-    });
-    ExtThroughput { rows }
-}
-
-fn measure_goodput(ptype: PacketType, ber: f64, seed: u64) -> f64 {
-    let mut cfg = paper_config();
-    cfg.channel.ber = ber;
-    let mut b = SimBuilder::new(seed, cfg);
-    let master = b.add_device("master");
-    let slave = b.add_device("slave1");
-    let mut sim = b.build();
-    let Some(lt) = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000)) else {
-        return 0.0;
-    };
-    sim.command(master, LcCommand::SetAclType(ptype));
-    sim.command(master, LcCommand::SetTpoll(2));
-    // Large enough that no packet type drains the queue in the window
-    // (DH5 moves ≈56 user bytes per slot when saturated).
-    let payload_bytes = 300_000usize;
-    sim.command(
-        master,
-        LcCommand::AclData {
-            lt_addr: lt,
-            data: vec![0xD7; payload_bytes],
-        },
-    );
-    let start = sim.now();
-    let window = SimDuration::from_slots(3_000);
-    sim.run_until(start + window);
-    let received: usize = sim
-        .events()
+    let result = Campaign::sweep(jobs.iter().map(|(ptype, label, ber)| {
+        (
+            format!("{ptype:?}@{label}"),
+            GoodputScenario::new(GoodputConfig {
+                ptype: *ptype,
+                ber: *ber,
+                ..GoodputConfig::default()
+            }),
+        )
+    }))
+    .options(opts)
+    .runs(1)
+    .run();
+    let rows = jobs
         .iter()
-        .filter(|e| e.device == slave && e.at > start)
-        .filter_map(|e| match &e.event {
-            btsim_baseband::LcEvent::AclReceived { data, .. } => Some(data.len()),
-            _ => None,
+        .zip(&result.points)
+        .map(|((ptype, label, ber), p)| ThroughputRow {
+            ptype: *ptype,
+            ber_label: label.clone(),
+            ber: *ber,
+            kbps: p.first().kbps,
         })
-        .sum();
-    (received as f64 * 8.0) / window.secs_f64() / 1000.0
+        .collect();
+    ExtThroughput { rows }
 }
 
 /// Result of the Ext-B coexistence experiment.
@@ -703,92 +700,30 @@ impl ExtCoexistence {
 /// piconet A saturates the channel with traffic. Hop collisions corrupt
 /// some of B's exchanges, stretching its creation time.
 pub fn ext_coexistence(opts: &ExpOptions) -> ExtCoexistence {
-    let runs = opts.runs.max(4);
-    let run_creation = |seed: u64, with_interferer: bool| -> (bool, u64) {
-        let cfg = paper_config();
-        let mut b = SimBuilder::new(seed, cfg);
-        let a_master = b.add_device("a_master");
-        let a_slave = b.add_device("a_slave");
-        let b_master = b.add_device("b_master");
-        let b_slave = b.add_device("b_slave");
-        let mut sim = b.build();
-        if with_interferer {
-            if let Some(lt) = connect_pair(&mut sim, a_master, a_slave, SimTime::from_us(30_000_000))
-            {
-                // Saturate piconet A with back-to-back traffic.
-                sim.command(a_master, LcCommand::SetTpoll(2));
-                sim.command(
-                    a_master,
-                    LcCommand::AclData {
-                        lt_addr: lt,
-                        data: vec![0xEE; 300_000],
-                    },
-                );
+    let result = Campaign::sweep([false, true].map(|with_interferer| {
+        (
+            if with_interferer {
+                "interfered"
+            } else {
+                "isolated"
             }
-        }
-        let start = sim.now();
-        sim.command(b_slave, LcCommand::InquiryScan);
-        sim.command(
-            b_master,
-            LcCommand::Inquiry {
-                num_responses: 1,
-                timeout_slots: 0,
-            },
-        );
-        let cap = start + SimDuration::from_slots(16 * 2048);
-        let inq = sim.run_until_event(cap, |e| {
-            matches!(e.event, btsim_baseband::LcEvent::InquiryComplete { .. }) && e.device == 2
-        });
-        let Some(inq) = inq else {
-            return (false, 16 * 2048);
-        };
-        let offset = sim
-            .events()
-            .iter()
-            .find_map(|e| match e.event {
-                btsim_baseband::LcEvent::InquiryResult { clk_offset, .. } if e.device == 2 => {
-                    Some(clk_offset)
-                }
-                _ => None,
-            })
-            .unwrap_or(0);
-        let target = sim.lc(b_slave).addr();
-        sim.command(b_slave, LcCommand::PageScan);
-        sim.command(
-            b_master,
-            LcCommand::Page {
-                target,
-                clke_offset: offset,
-                timeout_slots: 2048,
-            },
-        );
-        let done = sim.run_until_event(inq.at + SimDuration::from_slots(4096), |e| {
-            matches!(e.event, btsim_baseband::LcEvent::Connected { .. }) && e.device == 3
-        });
-        match done {
-            Some(ev) => (true, ev.at.slots() - start.slots()),
-            None => (false, 16 * 2048),
-        }
-    };
-    let eval = |with: bool| -> (f64, f64) {
-        let results = run_campaign(runs, opts.threads, opts.base_seed, |seed| {
-            run_creation(seed, with)
-        });
-        let ok = results.iter().filter(|(c, _)| *c).count();
-        let mean: Summary = results
-            .iter()
-            .filter(|(c, _)| *c)
-            .map(|(_, s)| *s as f64)
-            .collect();
-        (mean.mean(), ok as f64 / results.len() as f64)
-    };
-    let (baseline_mean_slots, baseline_success) = eval(false);
-    let (interfered_mean_slots, interfered_success) = eval(true);
+            .to_string(),
+            CoexistenceScenario::new(CoexistenceConfig {
+                with_interferer,
+                ..CoexistenceConfig::default()
+            }),
+        )
+    }))
+    .options(opts)
+    .runs(opts.runs.max(4))
+    .run();
+    let baseline = &result.points[0];
+    let interfered = &result.points[1];
     ExtCoexistence {
-        baseline_mean_slots,
-        interfered_mean_slots,
-        baseline_success,
-        interfered_success,
+        baseline_mean_slots: baseline.metric("slots").mean(),
+        interfered_mean_slots: interfered.metric("slots").mean(),
+        baseline_success: baseline.completion_rate(),
+        interfered_success: interfered.completion_rate(),
     }
 }
 
@@ -850,77 +785,51 @@ impl ExtSco {
 pub fn ext_sco(opts: &ExpOptions) -> ExtSco {
     let types = [PacketType::Hv1, PacketType::Hv2, PacketType::Hv3];
     let bers: [(&str, f64); 3] = [("0", 0.0), ("1/100", 0.01), ("1/40", 1.0 / 40.0)];
-    let rows = run_campaign(types.len(), opts.threads, 0, |i| {
-        let ptype = types[i as usize];
-        let mut delivery = Vec::new();
-        let mut residual_err = Vec::new();
-        let mut activity = 0.0;
-        for (k, (label, ber)) in bers.iter().enumerate() {
-            let (rate, err, act) = measure_sco(ptype, *ber, opts.base_seed + i * 16 + k as u64);
-            delivery.push((label.to_string(), rate));
-            residual_err.push((label.to_string(), err));
-            if k == 0 {
-                activity = act;
-            }
-        }
-        ScoRow {
-            ptype,
-            activity,
-            delivery,
-            residual_err,
-        }
-    });
-    ExtSco { rows }
-}
-
-fn measure_sco(ptype: PacketType, ber: f64, seed: u64) -> (f64, f64, f64) {
-    let mut cfg = paper_config();
-    cfg.channel.ber = ber;
-    let mut b = SimBuilder::new(seed, cfg);
-    let master = b.add_device("master");
-    let slave = b.add_device("slave1");
-    let mut sim = b.build();
-    let Some(lt) = connect_pair(&mut sim, master, slave, SimTime::from_us(120_000_000)) else {
-        return (0.0, 1.0, 0.0);
-    };
-    let d_sco = sim.lc(master).clkn(sim.now()).slot().wrapping_add(8) & !1;
-    let params = ScoParams::for_type(ptype, d_sco);
-    sim.command(master, LcCommand::ScoSetup { lt_addr: lt, params });
-    sim.command(slave, LcCommand::ScoSetup { lt_addr: lt, params });
-    let start = sim.now();
-    let window_slots = 3000u64;
-    // A known constant pattern: any received byte that differs was
-    // corrupted in flight (HV3) or by an uncorrectable FEC block (HV1/2).
-    const PATTERN: u8 = 0xA5;
-    sim.command(
-        master,
-        LcCommand::ScoData {
-            lt_addr: lt,
-            data: vec![PATTERN; (window_slots as usize / params.t_sco as usize + 2) * 32],
-        },
-    );
-    sim.run_until(start + SimDuration::from_slots(window_slots));
-    let mut frames = 0f64;
-    let mut bytes = 0f64;
-    let mut bad = 0f64;
-    for e in sim.events() {
-        if e.device != slave || e.at < start {
-            continue;
-        }
-        if let LcEvent::ScoReceived { data, .. } = &e.event {
-            frames += 1.0;
-            bytes += data.len() as f64;
-            bad += data.iter().filter(|&&b| b != PATTERN).count() as f64;
+    let mut jobs = Vec::new();
+    for t in types {
+        for (label, ber) in bers {
+            jobs.push((t, label, ber));
         }
     }
-    let reserved = (window_slots / params.t_sco as u64) as f64;
-    let report = sim.power_report(slave);
-    let active = report.phase(btsim_baseband::LifePhase::Active);
-    (
-        frames / reserved,
-        if bytes > 0.0 { bad / bytes } else { 1.0 },
-        active.activity(),
-    )
+    let result = Campaign::sweep(jobs.iter().map(|(ptype, label, ber)| {
+        (
+            format!("{ptype:?}@{label}"),
+            ScoLinkScenario::new(ScoLinkConfig {
+                ptype: *ptype,
+                ber: *ber,
+                ..ScoLinkConfig::default()
+            }),
+        )
+    }))
+    .options(opts)
+    .runs(1)
+    .run();
+    let rows = types
+        .iter()
+        .map(|&ptype| {
+            let mut delivery = Vec::new();
+            let mut residual_err = Vec::new();
+            let mut activity = 0.0;
+            for (k, (label, _)) in bers.iter().enumerate() {
+                let point = result
+                    .point(&format!("{ptype:?}@{label}"))
+                    .expect("swept point");
+                let out = point.first();
+                delivery.push((label.to_string(), out.delivery));
+                residual_err.push((label.to_string(), out.residual_err));
+                if k == 0 {
+                    activity = out.activity;
+                }
+            }
+            ScoRow {
+                ptype,
+                activity,
+                delivery,
+                residual_err,
+            }
+        })
+        .collect();
+    ExtSco { rows }
 }
 
 /// One row of the calibration ablation.
@@ -954,7 +863,12 @@ impl ExtAblation {
         for r in &self.rows {
             let mut cells = vec![
                 if r.fhs_fec { "2/3 FEC" } else { "raw" }.to_string(),
-                if r.continuous_scan { "continuous" } else { "R1 window" }.to_string(),
+                if r.continuous_scan {
+                    "continuous"
+                } else {
+                    "R1 window"
+                }
+                .to_string(),
             ];
             for (_, f) in &r.page_failure {
                 cells.push(format!("{:.0}%", f * 100.0));
@@ -973,66 +887,44 @@ impl ExtAblation {
 pub fn ext_calibration_ablation(opts: &ExpOptions) -> ExtAblation {
     let bers: [(&str, f64); 3] = [("1/100", 0.01), ("1/50", 0.02), ("1/30", 1.0 / 30.0)];
     let combos = [(true, true), (true, false), (false, true), (false, false)];
-    let rows = run_campaign(combos.len(), opts.threads, 0, |i| {
-        let (fhs_fec, continuous) = combos[i as usize];
-        let mut page_failure = Vec::new();
+    let mut points = Vec::new();
+    for (fhs_fec, continuous) in combos {
         for (label, ber) in bers {
-            let failures = run_campaign(opts.runs, 1, opts.base_seed, |seed| {
-                let mut sim = paper_config();
-                sim.lc.page_fhs_fec = fhs_fec;
-                sim.lc.page_scan_continuous = continuous;
-                sim.channel.ber = ber;
-                let out = PageScenario::new(PageConfig {
+            let mut sim = paper_config();
+            sim.lc.page_fhs_fec = fhs_fec;
+            sim.lc.page_scan_continuous = continuous;
+            points.push((
+                format!("{fhs_fec}/{continuous}@{label}"),
+                PageScenario::new(PageConfig {
                     ber,
                     cap_slots: 2048,
                     sim,
                     ..PageConfig::default()
-                })
-                .run(seed);
-                !out.completed
-            });
-            let frac = failures.iter().filter(|&&f| f).count() as f64 / failures.len() as f64;
-            page_failure.push((label.to_string(), frac));
+                }),
+            ));
         }
-        AblationRow {
-            fhs_fec,
-            continuous_scan: continuous,
-            page_failure,
-        }
-    });
-    ExtAblation { rows }
-}
-
-/// **Ext-D** — park mode, the fourth low-power mode of the paper's list
-/// (no park figure appears in the paper): slave RF activity vs the
-/// beacon interval, against the same 2.6% active floor as Fig. 12.
-pub fn ext_park_activity(opts: &ExpOptions) -> ModeSweep {
-    let measure = 150_000u64;
-    let active = ParkScenario::new(ParkConfig {
-        beacon_interval: 0,
-        measure_slots: measure,
-        ..ParkConfig::default()
-    })
-    .run(opts.base_seed);
-    let intervals = [50u32, 100, 200, 400, 800, 1600];
-    let rows = run_campaign(intervals.len(), opts.threads, 0, |i| {
-        let beacon_interval = intervals[i as usize];
-        let out = ParkScenario::new(ParkConfig {
-            beacon_interval,
-            measure_slots: measure,
-            ..ParkConfig::default()
-        })
-        .run(opts.base_seed + 1 + i);
-        ModeRow {
-            interval: beacon_interval,
-            mode_activity: out.activity,
-        }
-    });
-    ModeSweep {
-        mode: "park",
-        active_activity: active.activity,
-        rows,
     }
+    let result = Campaign::sweep(points).options(opts).run();
+    let rows = combos
+        .iter()
+        .map(|&(fhs_fec, continuous)| {
+            let page_failure = bers
+                .iter()
+                .map(|(label, _)| {
+                    let point = result
+                        .point(&format!("{fhs_fec}/{continuous}@{label}"))
+                        .expect("swept point");
+                    (label.to_string(), 1.0 - point.completion_rate())
+                })
+                .collect();
+            AblationRow {
+                fhs_fec,
+                continuous_scan: continuous,
+                page_failure,
+            }
+        })
+        .collect();
+    ExtAblation { rows }
 }
 
 /// Result of the inquiry-distribution experiment.
@@ -1049,14 +941,15 @@ pub struct InquiryDistribution {
 /// scanner's channel sits in the active train, a late mass one train
 /// switch later) convolved with the uniform response backoff.
 pub fn ext_inquiry_distribution(opts: &ExpOptions) -> InquiryDistribution {
-    let results = run_campaign(opts.runs.max(50), opts.threads, opts.base_seed, |seed| {
-        InquiryScenario::new(InquiryConfig::default()).run(seed).slots
-    });
+    let result = Campaign::new(InquiryScenario::new(InquiryConfig::default()))
+        .options(opts)
+        .runs(opts.runs.max(50))
+        .run();
     let mut histogram = btsim_stats::Histogram::new(0.0, 6144.0, 24);
     let mut summary = Summary::new();
-    for slots in results {
-        histogram.add(slots as f64);
-        summary.add(slots as f64);
+    for out in &result.single().outcomes {
+        histogram.add(out.slots as f64);
+        summary.add(out.slots as f64);
     }
     InquiryDistribution { histogram, summary }
 }
@@ -1112,73 +1005,62 @@ impl ExtWlan {
 /// restores nearly the clean-channel goodput.
 pub fn ext_wlan_coexistence(opts: &ExpOptions) -> ExtWlan {
     let duties = [0.0, 0.25, 0.5, 0.75, 1.0];
-    let rows = run_campaign(duties.len(), opts.threads, 0, |i| {
-        let wlan_duty = duties[i as usize];
-        let make_cfg = || {
-            let mut cfg = paper_config();
-            cfg.channel.interferers = vec![btsim_channel::Interferer::wlan(40, wlan_duty)];
-            cfg
-        };
-        // Goodput under interference, with and without AFH.
-        let goodput = |afh: bool, seed: u64| -> f64 {
-            let mut b = SimBuilder::new(seed, make_cfg());
-            let master = b.add_device("master");
-            let slave = b.add_device("slave1");
-            let mut sim = b.build();
-            match connect_pair(&mut sim, master, slave, SimTime::from_us(120_000_000)) {
-                Some(lt) => {
-                    if afh {
-                        // The map excludes the WLAN band (channels 29-50).
-                        let map = btsim_baseband::hop::ChannelMap::blocking(29..=50);
-                        sim.command(master, LcCommand::SetAfh(map.clone()));
-                        sim.command(slave, LcCommand::SetAfh(map));
-                    }
-                    sim.command(master, LcCommand::SetTpoll(2));
-                    sim.command(
-                        master,
-                        LcCommand::AclData {
-                            lt_addr: lt,
-                            data: vec![0x6B; 300_000],
-                        },
-                    );
-                    let start = sim.now();
-                    let window = SimDuration::from_slots(4_000);
-                    sim.run_until(start + window);
-                    let bytes: usize = sim
-                        .events()
-                        .iter()
-                        .filter(|e| e.device == slave && e.at > start)
-                        .filter_map(|e| match &e.event {
-                            LcEvent::AclReceived { data, .. } => Some(data.len()),
-                            _ => None,
-                        })
-                        .sum();
-                    bytes as f64 * 8.0 / window.secs_f64() / 1000.0
-                }
-                None => 0.0,
-            }
-        };
-        let goodput_kbps = goodput(false, opts.base_seed + i);
-        let goodput_afh_kbps = goodput(true, opts.base_seed + i);
-        // Page success under interference.
-        let runs = opts.runs.clamp(8, 64);
-        let pages = run_campaign(runs, 1, opts.base_seed + 100 + i, |seed| {
+    let wlan_cfg = |wlan_duty: f64| {
+        let mut cfg = paper_config();
+        cfg.channel.interferers = vec![btsim_channel::Interferer::wlan(40, wlan_duty)];
+        cfg
+    };
+    // Goodput under interference, with and without AFH (one flattened
+    // campaign over duty × {plain, afh}).
+    let mut goodput_points = Vec::new();
+    for &duty in &duties {
+        for afh in [false, true] {
+            // The AFH map excludes the WLAN band (channels 29-50).
+            let map = afh.then(|| btsim_baseband::hop::ChannelMap::blocking(29..=50));
+            goodput_points.push((
+                format!("{duty}/{afh}"),
+                GoodputScenario::new(GoodputConfig {
+                    window_slots: 4_000,
+                    afh: map,
+                    sim: wlan_cfg(duty),
+                    ..GoodputConfig::default()
+                }),
+            ));
+        }
+    }
+    let goodput = Campaign::sweep(goodput_points).options(opts).runs(1).run();
+    // Page success under interference.
+    let pages = Campaign::sweep(duties.iter().map(|&duty| {
+        (
+            format!("{duty}"),
             PageScenario::new(PageConfig {
                 cap_slots: 2048,
-                sim: make_cfg(),
+                sim: wlan_cfg(duty),
                 ..PageConfig::default()
-            })
-            .run(seed)
-            .completed
-        });
-        let page_success = pages.iter().filter(|&&b| b).count() as f64 / pages.len() as f64;
-        WlanRow {
-            wlan_duty,
-            goodput_kbps,
-            goodput_afh_kbps,
-            page_success,
-        }
-    });
+            }),
+        )
+    }))
+    .options(opts)
+    .runs(opts.runs.clamp(8, 64))
+    .run();
+    let rows = duties
+        .iter()
+        .map(|&wlan_duty| {
+            let plain = goodput
+                .point(&format!("{wlan_duty}/false"))
+                .expect("swept point");
+            let afh = goodput
+                .point(&format!("{wlan_duty}/true"))
+                .expect("swept point");
+            let page = pages.point(&format!("{wlan_duty}")).expect("swept point");
+            WlanRow {
+                wlan_duty,
+                goodput_kbps: plain.first().kbps,
+                goodput_afh_kbps: afh.first().kbps,
+                page_success: page.completion_rate(),
+            }
+        })
+        .collect();
     ExtWlan { rows }
 }
 

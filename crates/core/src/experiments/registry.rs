@@ -1,0 +1,397 @@
+//! The experiment registry: every paper figure and extension experiment
+//! as a named, self-describing entry.
+//!
+//! A registry entry bundles a stable name, a one-line description and a
+//! runner producing a uniform [`ExpReport`] (title, notes, tables, text
+//! blocks, file artifacts). The `btsim-bench` binaries are thin wrappers
+//! around entries, and the `experiments` multiplexer binary runs any
+//! subset by name — adding a new experiment means adding a scenario, a
+//! result struct and one entry here, not a new binary.
+
+use std::fmt;
+
+use btsim_stats::{JsonValue, Table};
+
+use super::*;
+
+/// A uniform, printable experiment result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExpReport {
+    /// Headline (what the experiment reproduces).
+    pub title: String,
+    /// Context lines printed under the title (paper anchors, caveats).
+    pub notes: Vec<String>,
+    /// Result tables, printed as aligned text and CSV.
+    pub tables: Vec<Table>,
+    /// Free-form text blocks (waveforms, histograms, summaries).
+    pub text: Vec<String>,
+    /// File artifacts to write next to the output: `(name, content)`.
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl ExpReport {
+    /// Starts a report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a context note.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Adds a result table.
+    pub fn table(mut self, table: Table) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a free-form text block.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.text.push(text.into());
+        self
+    }
+
+    /// Adds a file artifact.
+    pub fn artifact(mut self, name: impl Into<String>, content: impl Into<String>) -> Self {
+        self.artifacts.push((name.into(), content.into()));
+        self
+    }
+
+    /// The report as JSON (tables, notes and text blocks; artifact
+    /// contents are omitted — only their names are listed).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("title".to_string(), JsonValue::from(self.title.clone())),
+            (
+                "notes".to_string(),
+                JsonValue::Arr(
+                    self.notes
+                        .iter()
+                        .map(|n| JsonValue::from(n.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "tables".to_string(),
+                JsonValue::Arr(self.tables.iter().map(Table::to_json).collect()),
+            ),
+            (
+                "text".to_string(),
+                JsonValue::Arr(
+                    self.text
+                        .iter()
+                        .map(|t| JsonValue::from(t.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "artifacts".to_string(),
+                JsonValue::Arr(
+                    self.artifacts
+                        .iter()
+                        .map(|(n, _)| JsonValue::from(n.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for ExpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for n in &self.notes {
+            writeln!(f, "{n}")?;
+        }
+        for t in &self.tables {
+            writeln!(f)?;
+            writeln!(f, "{t}")?;
+            writeln!(f, "{}", t.to_csv())?;
+        }
+        for block in &self.text {
+            writeln!(f)?;
+            writeln!(f, "{block}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A named, runnable experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Stable CLI name (also the historical binary name).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    runner: fn(&ExpOptions) -> ExpReport,
+}
+
+impl Experiment {
+    /// Runs the experiment with the given campaign options.
+    pub fn run(&self, opts: &ExpOptions) -> ExpReport {
+        (self.runner)(opts)
+    }
+}
+
+/// All registered experiments, in the paper's presentation order.
+pub fn registry() -> &'static [Experiment] {
+    &REGISTRY
+}
+
+/// Finds an experiment by name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+static REGISTRY: [Experiment; 16] = [
+    Experiment {
+        name: "fig5_waveform",
+        description: "Fig. 5 — piconet-creation waveforms (enable_tx_RF / enable_rx_RF)",
+        runner: run_fig5,
+    },
+    Experiment {
+        name: "fig6_inquiry_vs_ber",
+        description: "Fig. 6 — mean slots to complete the inquiry phase vs BER",
+        runner: run_fig6,
+    },
+    Experiment {
+        name: "fig7_page_vs_ber",
+        description: "Fig. 7 — mean slots to complete the page phase vs BER",
+        runner: run_fig7,
+    },
+    Experiment {
+        name: "fig8_creation_failure",
+        description: "Fig. 8 — failure probability of inquiry/page with the 1.28 s timeout",
+        runner: run_fig8,
+    },
+    Experiment {
+        name: "fig9_sniff_waveform",
+        description: "Fig. 9 — waveforms with two slaves in sniff mode",
+        runner: run_fig9,
+    },
+    Experiment {
+        name: "fig10_master_rf",
+        description: "Fig. 10 — master RF activity vs channel duty cycle",
+        runner: run_fig10,
+    },
+    Experiment {
+        name: "fig11_sniff_activity",
+        description: "Fig. 11 — slave RF activity vs Tsniff",
+        runner: run_fig11,
+    },
+    Experiment {
+        name: "fig12_hold_activity",
+        description: "Fig. 12 — slave RF activity vs Thold",
+        runner: run_fig12,
+    },
+    Experiment {
+        name: "table1_sim_speed",
+        description: "Table 1 — simulation speed vs the paper's 747 clock cycles/s",
+        runner: run_table1,
+    },
+    Experiment {
+        name: "ext_packet_throughput",
+        description: "Ext-A — ACL goodput per packet type vs BER",
+        runner: run_ext_throughput,
+    },
+    Experiment {
+        name: "ext_coexistence",
+        description: "Ext-B — piconet creation next to a busy piconet",
+        runner: run_ext_coexistence,
+    },
+    Experiment {
+        name: "ext_sco",
+        description: "Ext-C — SCO voice links: HV1/HV2/HV3 cost and delivery",
+        runner: run_ext_sco,
+    },
+    Experiment {
+        name: "ext_park",
+        description: "Ext-D — parked slave RF activity vs beacon interval",
+        runner: run_ext_park,
+    },
+    Experiment {
+        name: "ext_inquiry_distribution",
+        description: "Ext-E — distribution of inquiry completion times",
+        runner: run_ext_inquiry_distribution,
+    },
+    Experiment {
+        name: "ext_wlan",
+        description: "Ext-F — coexistence with an 802.11 WLAN, with and without AFH",
+        runner: run_ext_wlan,
+    },
+    Experiment {
+        name: "ext_ablation",
+        description: "Ablation — why paper_config() uses a raw page FHS and the R1 scan window",
+        runner: run_ext_ablation,
+    },
+];
+
+fn run_fig5(opts: &ExpOptions) -> ExpReport {
+    let w = fig5_creation_waveforms(opts.base_seed);
+    ExpReport::new("Fig. 5 — piconet creation waveforms (enable_tx_RF / enable_rx_RF)")
+        .note(w.notes.clone())
+        .text(w.ascii)
+        .artifact("fig5.vcd", w.vcd)
+}
+
+fn run_fig6(opts: &ExpOptions) -> ExpReport {
+    let f = fig6_inquiry_vs_ber(opts);
+    ExpReport::new("Fig. 6 — mean time slots to complete the INQUIRY phase vs BER")
+        .note("(paper anchors: 1556 TS with no noise, ≈1800 TS at BER 1/30)")
+        .table(f.table())
+}
+
+fn run_fig7(opts: &ExpOptions) -> ExpReport {
+    let f = fig7_page_vs_ber(opts);
+    ExpReport::new("Fig. 7 — mean time slots to complete the PAGE phase vs BER")
+        .note("(paper anchors: ≈17 TS with no noise; impossible for BER > 1/30)")
+        .table(f.table())
+}
+
+fn run_fig8(opts: &ExpOptions) -> ExpReport {
+    let f = fig8_creation_failure(opts);
+    ExpReport::new("Fig. 8 — failure probability of inquiry / page with the 1.28 s timeout")
+        .note("(paper: page success very low for BER > 1/50; page is the bottleneck)")
+        .table(f.table())
+}
+
+fn run_fig9(opts: &ExpOptions) -> ExpReport {
+    let w = fig9_sniff_waveforms(opts.base_seed);
+    ExpReport::new("Fig. 9 — sniff-mode waveforms (slaves 2 and 3 sniffing)")
+        .note(w.notes.clone())
+        .text(w.ascii)
+        .artifact("fig9.vcd", w.vcd)
+}
+
+fn run_fig10(opts: &ExpOptions) -> ExpReport {
+    let f = fig10_master_activity(opts);
+    ExpReport::new("Fig. 10 — RF activity of the master vs channel duty cycle")
+        .note("(paper: linear, TX above RX, ≈0.3% TX at 2% duty)")
+        .table(f.table())
+}
+
+fn run_fig11(opts: &ExpOptions) -> ExpReport {
+    let f = fig11_sniff_activity(opts);
+    ExpReport::new("Fig. 11 — slave RF activity (TX+RX) vs Tsniff, data every 100 slots")
+        .note(format!(
+            "(paper: break-even ≈30 slots, ≈30% reduction at Tsniff = 100; measured break-even: {:?})",
+            f.break_even()
+        ))
+        .table(f.table())
+}
+
+fn run_fig12(opts: &ExpOptions) -> ExpReport {
+    let f = fig12_hold_activity(opts);
+    ExpReport::new("Fig. 12 — slave RF activity vs Thold on an idle connection")
+        .note(format!(
+            "(paper: active floor 2.6%, hold wins above ≈120 slots; measured break-even: {:?})",
+            f.break_even()
+        ))
+        .table(f.table())
+}
+
+fn run_table1(opts: &ExpOptions) -> ExpReport {
+    let s = table1_sim_speed(opts.base_seed);
+    ExpReport::new("Table 1 — simulation speed of the piconet-creation scenario")
+        .note("(paper: 0.48 s simulated in 10'47'', i.e. 747 clock cycles per wall second)")
+        .table(s.table())
+}
+
+fn run_ext_throughput(opts: &ExpOptions) -> ExpReport {
+    let f = ext_packet_throughput(opts);
+    ExpReport::new("Ext-A — ACL goodput per packet type vs BER")
+        .note("(FEC-protected DM types overtake larger DH types as noise grows)")
+        .table(f.table())
+}
+
+fn run_ext_coexistence(opts: &ExpOptions) -> ExpReport {
+    let mut opts = *opts;
+    if opts.runs > 40 {
+        opts.runs = 40; // four devices per run: keep the campaign bounded
+    }
+    let f = ext_coexistence(&opts);
+    ExpReport::new("Ext-B — creation of piconet B while piconet A saturates the band")
+        .table(f.table())
+}
+
+fn run_ext_sco(opts: &ExpOptions) -> ExpReport {
+    let f = ext_sco(opts);
+    ExpReport::new("Ext-C — SCO voice links: HV1 (max FEC, every pair) vs HV3 (no FEC, 1-in-3)")
+        .table(f.table())
+}
+
+fn run_ext_park(opts: &ExpOptions) -> ExpReport {
+    let f = ext_park_activity(opts);
+    ExpReport::new("Ext-D — parked slave RF activity vs beacon interval")
+        .note(format!(
+            "(park beats every other mode; active floor {:.2}%)",
+            f.active_activity * 100.0
+        ))
+        .table(f.table())
+}
+
+fn run_ext_inquiry_distribution(opts: &ExpOptions) -> ExpReport {
+    let f = ext_inquiry_distribution(opts);
+    ExpReport::new("Ext-E — inquiry completion-time distribution (BER 0)")
+        .note(f.summary.to_string())
+        .text(f.histogram.to_string())
+        .note("slots per bin: 256; the paper reports only the mean (1556)")
+}
+
+fn run_ext_wlan(opts: &ExpOptions) -> ExpReport {
+    let f = ext_wlan_coexistence(opts);
+    ExpReport::new("Ext-F — Bluetooth next to an 802.11 WLAN (22 of 79 channels occupied)")
+        .note("(hopping caps the exposure at ≈28% of packets; ARQ recovers the rest)")
+        .table(f.table())
+}
+
+fn run_ext_ablation(opts: &ExpOptions) -> ExpReport {
+    let mut opts = *opts;
+    if opts.runs > 60 {
+        opts.runs = 60;
+    }
+    let f = ext_calibration_ablation(&opts);
+    ExpReport::new("Ablation — page failure probability (2048-slot timeout) per knob combination")
+        .note("(the paper's Fig. 8 needs ~100% at 1/30 with moderate failure at 1/100)")
+        .table(f.table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 16);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+        assert!(registry().iter().all(|e| !e.description.is_empty()));
+    }
+
+    #[test]
+    fn find_resolves_names() {
+        assert!(find("fig6_inquiry_vs_ber").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn report_renders_tables_and_csv() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1".into(), "2".into()]);
+        let r = ExpReport::new("Title").note("note").table(t).text("body");
+        let s = r.to_string();
+        assert!(s.contains("Title"));
+        assert!(s.contains("note"));
+        assert!(s.contains("a,b"), "CSV included");
+        assert!(s.contains("body"));
+        assert!(r.to_json().render().contains("\"title\""));
+    }
+}

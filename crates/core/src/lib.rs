@@ -2,15 +2,20 @@
 //!
 //! The top level of the `btsim` Bluetooth system model (reproduction of
 //! Conti & Moretti, *System Level Analysis of the Bluetooth Standard*,
-//! DATE 2005): device composition, the [`Simulator`], the paper's
-//! scenarios ([`scenario`]) and its experiments ([`experiments`] — one
-//! function per figure).
+//! DATE 2005): device composition, the [`Simulator`], the [`scenario`]
+//! layer (every workload implements [`scenario::Scenario`]), the generic
+//! Monte-Carlo [`campaign`] engine, and the paper's experiments
+//! ([`experiments`] — one function per figure, all runnable through the
+//! [`experiments::registry`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod scenario;
 mod simulator;
 
-pub use simulator::{LoggedEvent, LoggedLmEvent, SimBuilder, SimConfig, Simulator};
+pub use campaign::{Campaign, CampaignResult, ExpOptions, PointResult};
+pub use scenario::Scenario;
+pub use simulator::{EventCursor, LoggedEvent, LoggedLmEvent, SimBuilder, SimConfig, Simulator};

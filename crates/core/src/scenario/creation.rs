@@ -2,10 +2,11 @@
 
 use btsim_baseband::{BdAddr, LcCommand, LcEvent};
 use btsim_kernel::{SimDuration, SimTime};
+use btsim_stats::Record;
 
 use crate::{SimBuilder, SimConfig, Simulator};
 
-use super::paper_config;
+use super::{paper_config, Scenario};
 
 /// Configuration of a standalone inquiry experiment.
 #[derive(Debug, Clone)]
@@ -42,6 +43,19 @@ pub struct InquiryOutcome {
     pub responses: u8,
 }
 
+impl Record for InquiryOutcome {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("slots", self.slots as f64),
+            ("responses", self.responses as f64),
+        ]
+    }
+
+    fn completed(&self) -> bool {
+        self.completed
+    }
+}
+
 /// Runs the inquiry phase: one inquirer against `n_scanners` scanning
 /// devices, all enabled at t = 0 (as in the paper's simulations).
 #[derive(Debug, Clone)]
@@ -54,31 +68,45 @@ impl InquiryScenario {
     pub fn new(cfg: InquiryConfig) -> Self {
         Self { cfg }
     }
+}
 
-    /// Runs one seeded realisation.
-    pub fn run(&self, seed: u64) -> InquiryOutcome {
+impl Scenario for InquiryScenario {
+    type Config = InquiryConfig;
+    type Outcome = InquiryOutcome;
+
+    fn name(&self) -> &'static str {
+        "inquiry"
+    }
+
+    fn config(&self) -> &InquiryConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
         let mut cfg = self.cfg.sim.clone();
         cfg.channel.ber = self.cfg.ber;
         let mut b = SimBuilder::new(seed, cfg);
-        let inquirer = b.add_device("master");
+        b.add_device("master");
         for i in 0..self.cfg.n_scanners {
             b.add_device(&format!("slave{}", i + 1));
         }
-        let mut sim = b.build();
+        b.build()
+    }
+
+    fn drive(&self, sim: &mut Simulator) -> InquiryOutcome {
+        let start = sim.now();
         for i in 0..self.cfg.n_scanners {
             sim.command(1 + i, LcCommand::InquiryScan);
         }
         sim.command(
-            inquirer,
+            0,
             LcCommand::Inquiry {
                 num_responses: self.cfg.n_scanners as u8,
                 timeout_slots: 0,
             },
         );
-        let cap = SimTime::ZERO + SimDuration::from_slots(self.cfg.cap_slots);
-        let done = sim.run_until_event(cap, |e| {
-            matches!(e.event, LcEvent::InquiryComplete { .. })
-        });
+        let cap = start + SimDuration::from_slots(self.cfg.cap_slots);
+        let done = sim.run_until_event(cap, |e| matches!(e.event, LcEvent::InquiryComplete { .. }));
         match done {
             Some(ev) => {
                 let responses = match ev.event {
@@ -87,7 +115,7 @@ impl InquiryScenario {
                 };
                 InquiryOutcome {
                     completed: responses as usize >= self.cfg.n_scanners,
-                    slots: ev.at.slots(),
+                    slots: ev.at.slots() - start.slots(),
                     responses,
                 }
             }
@@ -138,6 +166,16 @@ pub struct PageOutcome {
     pub slots: u64,
 }
 
+impl Record for PageOutcome {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![("slots", self.slots as f64)]
+    }
+
+    fn completed(&self) -> bool {
+        self.completed
+    }
+}
+
 /// Runs the page phase between a master and a page-scanning slave whose
 /// clock the master already knows (the post-inquiry situation of §3.1).
 #[derive(Debug, Clone)]
@@ -150,19 +188,36 @@ impl PageScenario {
     pub fn new(cfg: PageConfig) -> Self {
         Self { cfg }
     }
+}
 
-    /// Runs one seeded realisation.
-    pub fn run(&self, seed: u64) -> PageOutcome {
+impl Scenario for PageScenario {
+    type Config = PageConfig;
+    type Outcome = PageOutcome;
+
+    fn name(&self) -> &'static str {
+        "page"
+    }
+
+    fn config(&self) -> &PageConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
         let mut cfg = self.cfg.sim.clone();
         cfg.channel.ber = self.cfg.ber;
         let mut b = SimBuilder::new(seed, cfg);
-        let master = b.add_device("master");
-        let slave = b.add_device("slave1");
-        let mut sim = b.build();
+        b.add_device("master");
+        b.add_device("slave1");
+        b.build()
+    }
+
+    fn drive(&self, sim: &mut Simulator) -> PageOutcome {
+        let (master, slave) = (0, 1);
+        let start = sim.now();
         let offset = sim
             .lc(master)
-            .clkn(SimTime::ZERO)
-            .offset_to(sim.lc(slave).clkn(SimTime::ZERO))
+            .clkn(start)
+            .offset_to(sim.lc(slave).clkn(start))
             .wrapping_add(self.cfg.clke_error_ticks);
         let target = sim.lc(slave).addr();
         sim.command(slave, LcCommand::PageScan);
@@ -174,12 +229,12 @@ impl PageScenario {
                 timeout_slots: 0,
             },
         );
-        let cap = SimTime::ZERO + SimDuration::from_slots(self.cfg.cap_slots);
+        let cap = start + SimDuration::from_slots(self.cfg.cap_slots);
         let done = sim.run_until_event(cap, |e| matches!(e.event, LcEvent::Connected { .. }));
         match done {
             Some(ev) => PageOutcome {
                 completed: true,
-                slots: ev.at.slots(),
+                slots: ev.at.slots() - start.slots(),
             },
             None => PageOutcome {
                 completed: false,
@@ -217,6 +272,7 @@ impl Default for CreationConfig {
 }
 
 /// Result of a full creation run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CreationOutcome {
     /// Devices discovered during inquiry.
     pub discovered: Vec<BdAddr>,
@@ -226,14 +282,38 @@ pub struct CreationOutcome {
     pub inquiry_ok: bool,
     /// Per-page results: `(slave, connected, slots)`.
     pub pages: Vec<(BdAddr, bool, u64)>,
-    /// The simulator after the run (waveforms, power, assertions).
-    pub sim: Simulator,
 }
 
 impl CreationOutcome {
     /// True when the whole piconet formed (inquiry + every page).
     pub fn piconet_complete(&self) -> bool {
         self.inquiry_ok && !self.pages.is_empty() && self.pages.iter().all(|(_, ok, _)| *ok)
+    }
+
+    /// Slots spent paging, summed over all pages.
+    pub fn page_slots(&self) -> u64 {
+        self.pages.iter().map(|(_, _, s)| *s).sum()
+    }
+}
+
+impl Record for CreationOutcome {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("inquiry_slots", self.inquiry_slots as f64),
+            ("page_slots", self.page_slots() as f64),
+            (
+                "total_slots",
+                (self.inquiry_slots + self.page_slots()) as f64,
+            ),
+            (
+                "slaves_connected",
+                self.pages.iter().filter(|(_, ok, _)| *ok).count() as f64,
+            ),
+        ]
+    }
+
+    fn completed(&self) -> bool {
+        self.piconet_complete()
     }
 }
 
@@ -246,30 +326,44 @@ pub struct CreationScenario {
 
 impl CreationScenario {
     /// Creates the scenario.
-    pub fn new(cfg: CreationConfig) -> Self {
-        Self { cfg }
-    }
-
-    /// Runs one seeded realisation.
     ///
     /// # Panics
     ///
     /// Panics if `n_slaves` is 0 or greater than 7.
-    pub fn run(&self, lap_seed: u32, seed: u64) -> CreationOutcome {
+    pub fn new(cfg: CreationConfig) -> Self {
         assert!(
-            (1..=7).contains(&self.cfg.n_slaves),
+            (1..=7).contains(&cfg.n_slaves),
             "a piconet takes 1-7 slaves"
         );
-        let _ = lap_seed;
+        Self { cfg }
+    }
+}
+
+impl Scenario for CreationScenario {
+    type Config = CreationConfig;
+    type Outcome = CreationOutcome;
+
+    fn name(&self) -> &'static str {
+        "creation"
+    }
+
+    fn config(&self) -> &CreationConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
         let mut cfg = self.cfg.sim.clone();
         cfg.channel.ber = self.cfg.ber;
         let mut b = SimBuilder::new(seed, cfg);
-        let master = b.add_device("master");
+        b.add_device("master");
         for i in 0..self.cfg.n_slaves {
             b.add_device(&format!("slave{}", i + 1));
         }
-        let mut sim = b.build();
+        b.build()
+    }
 
+    fn drive(&self, sim: &mut Simulator) -> CreationOutcome {
+        let master = 0;
         // All devices try to connect at the same time (paper Fig. 5).
         for i in 0..self.cfg.n_slaves {
             sim.command(1 + i, LcCommand::InquiryScan);
@@ -282,7 +376,7 @@ impl CreationScenario {
             },
         );
         let inquiry_cap =
-            SimTime::ZERO + SimDuration::from_slots(2 * self.cfg.inquiry_timeout_slots as u64 + 64);
+            sim.now() + SimDuration::from_slots(2 * self.cfg.inquiry_timeout_slots as u64 + 64);
         let inquiry_done = sim.run_until_event(inquiry_cap, |e| {
             matches!(e.event, LcEvent::InquiryComplete { .. })
         });
@@ -346,7 +440,155 @@ impl CreationScenario {
             inquiry_slots,
             inquiry_ok,
             pages,
-            sim,
+        }
+    }
+}
+
+/// Configuration of the coexistence scenario (extension Ext-B): piconet
+/// B forms while piconet A either idles or saturates the band.
+#[derive(Debug, Clone)]
+pub struct CoexistenceConfig {
+    /// Whether piconet A connects and saturates the channel first.
+    pub with_interferer: bool,
+    /// Inquiry cap for piconet B, in slots.
+    pub inquiry_cap_slots: u64,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for CoexistenceConfig {
+    fn default() -> Self {
+        Self {
+            with_interferer: true,
+            inquiry_cap_slots: 16 * 2048,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// Result of one coexistence creation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoexistenceOutcome {
+    /// Piconet B fully formed (inquiry + page) before the caps.
+    pub completed: bool,
+    /// Slots from start to piconet B's connection (or the cap).
+    pub slots: u64,
+}
+
+impl Record for CoexistenceOutcome {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![("slots", self.slots as f64)]
+    }
+
+    fn completed(&self) -> bool {
+        self.completed
+    }
+}
+
+/// Creation of piconet B next to piconet A (the situation of the paper's
+/// references [3-5]): hop collisions with A's saturated traffic corrupt
+/// some of B's exchanges, stretching B's creation time.
+#[derive(Debug, Clone)]
+pub struct CoexistenceScenario {
+    cfg: CoexistenceConfig,
+}
+
+impl CoexistenceScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: CoexistenceConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Scenario for CoexistenceScenario {
+    type Config = CoexistenceConfig;
+    type Outcome = CoexistenceOutcome;
+
+    fn name(&self) -> &'static str {
+        "coexistence"
+    }
+
+    fn config(&self) -> &CoexistenceConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
+        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
+        b.add_device("a_master");
+        b.add_device("a_slave");
+        b.add_device("b_master");
+        b.add_device("b_slave");
+        b.build()
+    }
+
+    fn drive(&self, sim: &mut Simulator) -> CoexistenceOutcome {
+        let (a_master, a_slave, b_master, b_slave) = (0, 1, 2, 3);
+        if self.cfg.with_interferer {
+            if let Some(lt) =
+                super::connect_pair(sim, a_master, a_slave, SimTime::from_us(30_000_000))
+            {
+                // Saturate piconet A with back-to-back traffic.
+                sim.command(a_master, LcCommand::SetTpoll(2));
+                sim.command(
+                    a_master,
+                    LcCommand::AclData {
+                        lt_addr: lt,
+                        data: vec![0xEE; 300_000],
+                    },
+                );
+            }
+        }
+        let start = sim.now();
+        sim.command(b_slave, LcCommand::InquiryScan);
+        sim.command(
+            b_master,
+            LcCommand::Inquiry {
+                num_responses: 1,
+                timeout_slots: 0,
+            },
+        );
+        let cap = start + SimDuration::from_slots(self.cfg.inquiry_cap_slots);
+        let inq = sim.run_until_event(cap, |e| {
+            matches!(e.event, LcEvent::InquiryComplete { .. }) && e.device == b_master
+        });
+        let Some(inq) = inq else {
+            return CoexistenceOutcome {
+                completed: false,
+                slots: self.cfg.inquiry_cap_slots,
+            };
+        };
+        let offset = sim
+            .events()
+            .iter()
+            .find_map(|e| match e.event {
+                LcEvent::InquiryResult { clk_offset, .. } if e.device == b_master => {
+                    Some(clk_offset)
+                }
+                _ => None,
+            })
+            .unwrap_or(0);
+        let target = sim.lc(b_slave).addr();
+        sim.command(b_slave, LcCommand::PageScan);
+        sim.command(
+            b_master,
+            LcCommand::Page {
+                target,
+                clke_offset: offset,
+                timeout_slots: 2048,
+            },
+        );
+        let done = sim.run_until_event(inq.at + SimDuration::from_slots(4096), |e| {
+            matches!(e.event, LcEvent::Connected { .. }) && e.device == b_slave
+        });
+        match done {
+            Some(ev) => CoexistenceOutcome {
+                completed: true,
+                slots: ev.at.slots() - start.slots(),
+            },
+            None => CoexistenceOutcome {
+                completed: false,
+                slots: self.cfg.inquiry_cap_slots,
+            },
         }
     }
 }
@@ -387,23 +629,42 @@ mod tests {
 
     #[test]
     fn creation_forms_single_slave_piconet() {
-        let out = CreationScenario::new(CreationConfig {
+        let scenario = CreationScenario::new(CreationConfig {
             inquiry_timeout_slots: 8192,
             ..CreationConfig::default()
-        })
-        .run(0, 99);
-        assert!(out.piconet_complete(), "outcome: inquiry_ok={} pages={:?}",
-            out.inquiry_ok, out.pages);
-        assert!(out.sim.lc(0).is_master());
-        assert!(out.sim.lc(1).is_slave());
+        });
+        let mut sim = scenario.build(99);
+        let out = scenario.drive(&mut sim);
+        assert!(
+            out.piconet_complete(),
+            "outcome: inquiry_ok={} pages={:?}",
+            out.inquiry_ok,
+            out.pages
+        );
+        assert!(sim.lc(0).is_master());
+        assert!(sim.lc(1).is_slave());
     }
 
     #[test]
     fn creation_scenario_is_deterministic() {
         let run = |seed| {
-            let o = CreationScenario::new(CreationConfig::default()).run(0, seed);
+            let o = CreationScenario::new(CreationConfig::default()).run(seed);
             (o.inquiry_slots, o.pages.clone(), o.inquiry_ok)
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn creation_outcome_records_metrics() {
+        let out = CreationScenario::new(CreationConfig {
+            inquiry_timeout_slots: 8192,
+            ..CreationConfig::default()
+        })
+        .run(99);
+        let metrics = out.metrics();
+        assert!(metrics
+            .iter()
+            .any(|(n, v)| *n == "inquiry_slots" && *v > 0.0));
+        assert_eq!(out.completed(), out.piconet_complete());
     }
 }

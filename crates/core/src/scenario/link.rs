@@ -1,0 +1,326 @@
+//! Established-link workload scenarios: ACL goodput and SCO voice.
+//!
+//! These back the extension experiments (Ext-A packet-type throughput,
+//! Ext-C SCO links, Ext-F WLAN coexistence) and double as the reference
+//! pattern for adding new workloads: a config struct, an outcome struct
+//! implementing [`Record`], and a [`Scenario`] impl of ~60 lines (see
+//! `docs/SCENARIOS.md`).
+
+use btsim_baseband::{hop::ChannelMap, LcCommand, LcEvent, LifePhase, PacketType, ScoParams};
+use btsim_kernel::{SimDuration, SimTime};
+use btsim_stats::Record;
+
+use crate::{SimBuilder, SimConfig, Simulator};
+
+use super::{connect_pair, paper_config, Scenario};
+
+/// Configuration of the ACL bulk-transfer goodput scenario.
+#[derive(Debug, Clone)]
+pub struct GoodputConfig {
+    /// ACL packet type carrying the transfer.
+    pub ptype: PacketType,
+    /// Channel bit error rate.
+    pub ber: f64,
+    /// Measurement window in slots.
+    pub window_slots: u64,
+    /// Bytes queued for transfer (large enough that no packet type
+    /// drains the queue within the window; DH5 moves ≈56 user bytes per
+    /// slot when saturated).
+    pub payload_bytes: usize,
+    /// Optional v1.2 adaptive-frequency-hopping map set on both ends
+    /// after connecting (e.g. to avoid a WLAN band).
+    pub afh: Option<ChannelMap>,
+    /// Simulator configuration (defaults to [`paper_config`]).
+    pub sim: SimConfig,
+}
+
+impl Default for GoodputConfig {
+    fn default() -> Self {
+        Self {
+            ptype: PacketType::Dm1,
+            ber: 0.0,
+            window_slots: 3_000,
+            payload_bytes: 300_000,
+            afh: None,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// Result of one goodput run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodputOutcome {
+    /// The pair connected and the transfer ran.
+    pub connected: bool,
+    /// Acknowledged user payload rate in kbit/s.
+    pub kbps: f64,
+}
+
+impl Record for GoodputOutcome {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![("kbps", self.kbps)]
+    }
+
+    fn completed(&self) -> bool {
+        self.connected
+    }
+}
+
+/// Saturated master-to-slave ACL transfer measuring goodput of one
+/// packet type under noise (the packet-type analysis announced in the
+/// paper's aims).
+#[derive(Debug, Clone)]
+pub struct GoodputScenario {
+    cfg: GoodputConfig,
+}
+
+impl GoodputScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: GoodputConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Scenario for GoodputScenario {
+    type Config = GoodputConfig;
+    type Outcome = GoodputOutcome;
+
+    fn name(&self) -> &'static str {
+        "goodput"
+    }
+
+    fn config(&self) -> &GoodputConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
+        let mut cfg = self.cfg.sim.clone();
+        cfg.channel.ber = self.cfg.ber;
+        let mut b = SimBuilder::new(seed, cfg);
+        b.add_device("master");
+        b.add_device("slave1");
+        b.build()
+    }
+
+    fn drive(&self, sim: &mut Simulator) -> GoodputOutcome {
+        let (master, slave) = (0, 1);
+        let Some(lt) = connect_pair(sim, master, slave, SimTime::from_us(120_000_000)) else {
+            return GoodputOutcome {
+                connected: false,
+                kbps: 0.0,
+            };
+        };
+        if let Some(map) = &self.cfg.afh {
+            sim.command(master, LcCommand::SetAfh(map.clone()));
+            sim.command(slave, LcCommand::SetAfh(map.clone()));
+        }
+        sim.command(master, LcCommand::SetAclType(self.cfg.ptype));
+        sim.command(master, LcCommand::SetTpoll(2));
+        sim.command(
+            master,
+            LcCommand::AclData {
+                lt_addr: lt,
+                data: vec![0xD7; self.cfg.payload_bytes],
+            },
+        );
+        let start = sim.now();
+        let window = SimDuration::from_slots(self.cfg.window_slots);
+        sim.run_until(start + window);
+        let received: usize = sim
+            .events()
+            .iter()
+            .filter(|e| e.device == slave && e.at > start)
+            .filter_map(|e| match &e.event {
+                LcEvent::AclReceived { data, .. } => Some(data.len()),
+                _ => None,
+            })
+            .sum();
+        GoodputOutcome {
+            connected: true,
+            kbps: (received as f64 * 8.0) / window.secs_f64() / 1000.0,
+        }
+    }
+}
+
+/// Configuration of the SCO voice-link scenario.
+#[derive(Debug, Clone)]
+pub struct ScoLinkConfig {
+    /// Voice packet type (HV1/HV2/HV3).
+    pub ptype: PacketType,
+    /// Channel bit error rate.
+    pub ber: f64,
+    /// Measurement window in slots.
+    pub window_slots: u64,
+    /// Simulator configuration (defaults to [`paper_config`]).
+    pub sim: SimConfig,
+}
+
+impl Default for ScoLinkConfig {
+    fn default() -> Self {
+        Self {
+            ptype: PacketType::Hv3,
+            ber: 0.0,
+            window_slots: 3_000,
+            sim: paper_config(),
+        }
+    }
+}
+
+/// Result of one SCO voice run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoLinkOutcome {
+    /// The pair connected and the voice link was set up.
+    pub connected: bool,
+    /// Delivered voice frames / reserved slot pairs.
+    pub delivery: f64,
+    /// Residual voice byte-error fraction after FEC — where HV1's 1/3
+    /// FEC earns its slots.
+    pub residual_err: f64,
+    /// Slave RF activity fraction while the link carries voice.
+    pub activity: f64,
+}
+
+impl Record for ScoLinkOutcome {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("delivery", self.delivery),
+            ("residual_err", self.residual_err),
+            ("activity", self.activity),
+        ]
+    }
+
+    fn completed(&self) -> bool {
+        self.connected
+    }
+}
+
+/// A SCO voice link (the standard's second link type, paper §1):
+/// measures RF cost, frame delivery and residual byte errors of one HV
+/// type. HV1 reserves every slot pair (maximum RF cost, maximum FEC
+/// protection); HV3 uses one pair in three with no FEC.
+#[derive(Debug, Clone)]
+pub struct ScoLinkScenario {
+    cfg: ScoLinkConfig,
+}
+
+impl ScoLinkScenario {
+    /// Creates the scenario.
+    pub fn new(cfg: ScoLinkConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Scenario for ScoLinkScenario {
+    type Config = ScoLinkConfig;
+    type Outcome = ScoLinkOutcome;
+
+    fn name(&self) -> &'static str {
+        "sco"
+    }
+
+    fn config(&self) -> &ScoLinkConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
+        let mut cfg = self.cfg.sim.clone();
+        cfg.channel.ber = self.cfg.ber;
+        let mut b = SimBuilder::new(seed, cfg);
+        b.add_device("master");
+        b.add_device("slave1");
+        b.build()
+    }
+
+    fn drive(&self, sim: &mut Simulator) -> ScoLinkOutcome {
+        let (master, slave) = (0, 1);
+        let Some(lt) = connect_pair(sim, master, slave, SimTime::from_us(120_000_000)) else {
+            return ScoLinkOutcome {
+                connected: false,
+                delivery: 0.0,
+                residual_err: 1.0,
+                activity: 0.0,
+            };
+        };
+        let d_sco = sim.lc(master).clkn(sim.now()).slot().wrapping_add(8) & !1;
+        let params = ScoParams::for_type(self.cfg.ptype, d_sco);
+        sim.command(
+            master,
+            LcCommand::ScoSetup {
+                lt_addr: lt,
+                params,
+            },
+        );
+        sim.command(
+            slave,
+            LcCommand::ScoSetup {
+                lt_addr: lt,
+                params,
+            },
+        );
+        let start = sim.now();
+        let window_slots = self.cfg.window_slots;
+        // A known constant pattern: any received byte that differs was
+        // corrupted in flight (HV3) or by an uncorrectable FEC block
+        // (HV1/2).
+        const PATTERN: u8 = 0xA5;
+        sim.command(
+            master,
+            LcCommand::ScoData {
+                lt_addr: lt,
+                data: vec![PATTERN; (window_slots as usize / params.t_sco as usize + 2) * 32],
+            },
+        );
+        sim.run_until(start + SimDuration::from_slots(window_slots));
+        let mut frames = 0f64;
+        let mut bytes = 0f64;
+        let mut bad = 0f64;
+        for e in sim.events() {
+            if e.device != slave || e.at < start {
+                continue;
+            }
+            if let LcEvent::ScoReceived { data, .. } = &e.event {
+                frames += 1.0;
+                bytes += data.len() as f64;
+                bad += data.iter().filter(|&&b| b != PATTERN).count() as f64;
+            }
+        }
+        let reserved = (window_slots / params.t_sco as u64) as f64;
+        let report = sim.power_report(slave);
+        let active = report.phase(LifePhase::Active);
+        ScoLinkOutcome {
+            connected: true,
+            delivery: frames / reserved,
+            residual_err: if bytes > 0.0 { bad / bytes } else { 1.0 },
+            activity: active.activity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_positive_on_clean_channel() {
+        let out = GoodputScenario::new(GoodputConfig {
+            ptype: PacketType::Dh1,
+            window_slots: 800,
+            ..GoodputConfig::default()
+        })
+        .run(5);
+        assert!(out.connected);
+        assert!(out.kbps > 50.0, "DH1 goodput {}", out.kbps);
+    }
+
+    #[test]
+    fn sco_delivers_clean_voice() {
+        let out = ScoLinkScenario::new(ScoLinkConfig {
+            window_slots: 600,
+            ..ScoLinkConfig::default()
+        })
+        .run(7);
+        assert!(out.connected);
+        assert!(out.delivery > 0.8, "delivery {}", out.delivery);
+        assert!(out.residual_err < 0.01, "err {}", out.residual_err);
+    }
+}

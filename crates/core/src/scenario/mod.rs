@@ -4,20 +4,85 @@
 //! procedure (piconet creation, traffic with a low-power mode, …) and
 //! distils an outcome. Scenarios are deterministic functions of a seed,
 //! which makes whole Monte-Carlo campaigns reproducible.
+//!
+//! All workloads implement the [`Scenario`] trait, which splits a run
+//! into [`Scenario::build`] (compose the seeded simulator) and
+//! [`Scenario::drive`] (issue commands, advance time, distil the
+//! outcome). Campaign engines only need [`Scenario::run`]; waveform and
+//! debugging code calls the two halves separately to keep the
+//! [`Simulator`] — and its traces, power report and event log — after
+//! the outcome is extracted.
 
 mod creation;
+mod link;
 mod traffic;
 
 pub use creation::{
-    CreationConfig, CreationOutcome, CreationScenario, InquiryConfig, InquiryOutcome,
-    InquiryScenario, PageConfig, PageOutcome, PageScenario,
+    CoexistenceConfig, CoexistenceScenario, CreationConfig, CreationOutcome, CreationScenario,
+    InquiryConfig, InquiryOutcome, InquiryScenario, PageConfig, PageOutcome, PageScenario,
+};
+pub use link::{
+    GoodputConfig, GoodputOutcome, GoodputScenario, ScoLinkConfig, ScoLinkOutcome, ScoLinkScenario,
 };
 pub use traffic::{
     connect_pair, HoldConfig, HoldScenario, ModeActivity, ParkConfig, ParkScenario, SniffConfig,
     SniffScenario, TrafficConfig, TrafficOutcome, TrafficScenario,
 };
 
-use crate::SimConfig;
+use btsim_stats::Record;
+
+use crate::{SimConfig, Simulator};
+
+/// A reproducible system-level workload.
+///
+/// A scenario is a deterministic function of a seed: [`Scenario::build`]
+/// composes the simulator (devices, channel, configuration) and
+/// [`Scenario::drive`] runs the procedure and distils a structured
+/// [`Record`] outcome. [`Scenario::run`] chains the two for callers that
+/// don't need the simulator afterwards — Monte-Carlo campaigns use it as
+/// their unit of work (see [`crate::campaign::Campaign`]).
+///
+/// # Examples
+///
+/// ```
+/// use btsim_core::scenario::{InquiryConfig, InquiryScenario, Scenario};
+///
+/// let scenario = InquiryScenario::new(InquiryConfig::default());
+/// let outcome = scenario.run(42);
+/// assert!(outcome.completed);
+///
+/// // The two-phase form keeps the simulator for inspection.
+/// let mut sim = scenario.build(42);
+/// let again = scenario.drive(&mut sim);
+/// assert_eq!(outcome, again);
+/// assert!(sim.now().slots() >= again.slots);
+/// ```
+pub trait Scenario {
+    /// The scenario's configuration type.
+    type Config;
+
+    /// The structured per-run outcome.
+    type Outcome: Record + Send;
+
+    /// A short stable name (used for labels and the registry).
+    fn name(&self) -> &'static str;
+
+    /// The configuration this scenario was created with.
+    fn config(&self) -> &Self::Config;
+
+    /// Composes the seeded simulator for one run.
+    fn build(&self, seed: u64) -> Simulator;
+
+    /// Drives the procedure on a simulator made by [`Scenario::build`]
+    /// and distils the outcome.
+    fn drive(&self, sim: &mut Simulator) -> Self::Outcome;
+
+    /// Runs one seeded realisation (build + drive).
+    fn run(&self, seed: u64) -> Self::Outcome {
+        let mut sim = self.build(seed);
+        self.drive(&mut sim)
+    }
+}
 
 /// The calibrated configuration reproducing the paper's behavioural
 /// model (see EXPERIMENTS.md for the derivation of each knob):

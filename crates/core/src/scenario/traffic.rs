@@ -2,10 +2,11 @@
 
 use btsim_baseband::{LcCommand, LcEvent, LifePhase, LinkMode, SniffParams};
 use btsim_kernel::{SimDuration, SimTime};
+use btsim_stats::Record;
 
 use crate::{SimBuilder, SimConfig, Simulator};
 
-use super::paper_config;
+use super::{paper_config, Scenario};
 
 /// Pages `slave` from `master` with an exact clock estimate and waits for
 /// the connection; returns the slave's LT_ADDR.
@@ -33,6 +34,15 @@ pub fn connect_pair(sim: &mut Simulator, master: usize, slave: usize, cap: SimTi
     sim.lc(master).connected_slaves().first().map(|(lt, _)| *lt)
 }
 
+/// Builds the standard master + one-slave simulator of the traffic
+/// scenarios.
+fn pair_sim(seed: u64, cfg: &SimConfig) -> Simulator {
+    let mut b = SimBuilder::new(seed, cfg.clone());
+    b.add_device("master");
+    b.add_device("slave1");
+    b.build()
+}
+
 /// Finds the next master-to-slave slot start at or after `from`.
 fn next_master_slot(sim: &Simulator, master: usize, from: SimTime) -> SimTime {
     let half = SimDuration::HALF_SLOT.ns();
@@ -56,6 +66,16 @@ pub struct ModeActivity {
     pub tx: f64,
     /// RX-only fraction.
     pub rx: f64,
+}
+
+impl Record for ModeActivity {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("activity", self.activity),
+            ("tx", self.tx),
+            ("rx", self.rx),
+        ]
+    }
 }
 
 fn phase_activity(sim: &Simulator, dev: usize, phases: &[LifePhase]) -> ModeActivity {
@@ -119,6 +139,17 @@ pub struct TrafficOutcome {
     pub slave: ModeActivity,
 }
 
+impl Record for TrafficOutcome {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("master_tx", self.master.tx),
+            ("master_rx", self.master.rx),
+            ("master_activity", self.master.activity),
+            ("slave_activity", self.slave.activity),
+        ]
+    }
+}
+
 /// Master transmits short packets at a configurable duty cycle; the
 /// paper's Fig. 10 measures the master's TX and RX activity.
 #[derive(Debug, Clone)]
@@ -131,19 +162,33 @@ impl TrafficScenario {
     pub fn new(cfg: TrafficConfig) -> Self {
         Self { cfg }
     }
+}
 
-    /// Runs one seeded realisation.
+impl Scenario for TrafficScenario {
+    type Config = TrafficConfig;
+    type Outcome = TrafficOutcome;
+
+    fn name(&self) -> &'static str {
+        "traffic"
+    }
+
+    fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
+        pair_sim(seed, &self.cfg.sim)
+    }
+
+    /// Drives the duty-cycled traffic.
     ///
     /// # Panics
     ///
     /// Panics if the pair fails to connect (only possible with extreme
     /// noise configured in `sim`).
-    pub fn run(&self, seed: u64) -> TrafficOutcome {
-        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
-        let master = b.add_device("master");
-        let slave = b.add_device("slave1");
-        let mut sim = b.build();
-        let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+    fn drive(&self, sim: &mut Simulator) -> TrafficOutcome {
+        let (master, slave) = (0, 1);
+        let lt = connect_pair(sim, master, slave, SimTime::from_us(60_000_000))
             .expect("traffic scenario needs a connection");
         // The master transmits only on demand (paper: "it does not
         // transmit if it does not need it").
@@ -152,7 +197,7 @@ impl TrafficScenario {
 
         // Duty = used / available master slots; one master slot every 2.
         let period_slots = (2.0 / self.cfg.duty.clamp(1e-4, 1.0)).round() as u64;
-        let t0 = next_master_slot(&sim, master, sim.now() + SimDuration::from_slots(4));
+        let t0 = next_master_slot(sim, master, sim.now() + SimDuration::from_slots(4));
         let end = t0 + SimDuration::from_slots(self.cfg.measure_slots);
         let mut k = 0u64;
         loop {
@@ -172,8 +217,8 @@ impl TrafficScenario {
         }
         sim.run_until(end);
         TrafficOutcome {
-            master: phase_activity(&sim, master, &[LifePhase::Active]),
-            slave: phase_activity(&sim, slave, &[LifePhase::Active]),
+            master: phase_activity(sim, master, &[LifePhase::Active]),
+            slave: phase_activity(sim, slave, &[LifePhase::Active]),
         }
     }
 }
@@ -219,21 +264,35 @@ impl SniffScenario {
     pub fn new(cfg: SniffConfig) -> Self {
         Self { cfg }
     }
+}
 
-    /// Runs one seeded realisation; returns the slave's activity.
+impl Scenario for SniffScenario {
+    type Config = SniffConfig;
+    type Outcome = ModeActivity;
+
+    fn name(&self) -> &'static str {
+        "sniff"
+    }
+
+    fn config(&self) -> &SniffConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
+        pair_sim(seed, &self.cfg.sim)
+    }
+
+    /// Drives the periodic-data workload; returns the slave's activity.
     ///
     /// # Panics
     ///
     /// Panics if the pair fails to connect.
-    pub fn run(&self, seed: u64) -> ModeActivity {
-        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
-        let master = b.add_device("master");
-        let slave = b.add_device("slave1");
-        let mut sim = b.build();
-        let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+    fn drive(&self, sim: &mut Simulator) -> ModeActivity {
+        let (master, slave) = (0, 1);
+        let lt = connect_pair(sim, master, slave, SimTime::from_us(60_000_000))
             .expect("sniff scenario needs a connection");
 
-        let t0 = next_master_slot(&sim, master, sim.now() + SimDuration::from_slots(8));
+        let t0 = next_master_slot(sim, master, sim.now() + SimDuration::from_slots(8));
         let sniffing = self.cfg.t_sniff > 0;
         if sniffing {
             // Anchors aligned with the data schedule.
@@ -246,8 +305,20 @@ impl SniffScenario {
             };
             // The application sets both ends symmetrically (the LMP
             // negotiation path is exercised in the integration tests).
-            sim.command(master, LcCommand::Sniff { lt_addr: lt, params });
-            sim.command(slave, LcCommand::Sniff { lt_addr: lt, params });
+            sim.command(
+                master,
+                LcCommand::Sniff {
+                    lt_addr: lt,
+                    params,
+                },
+            );
+            sim.command(
+                slave,
+                LcCommand::Sniff {
+                    lt_addr: lt,
+                    params,
+                },
+            );
         }
         let end = t0 + SimDuration::from_slots(self.cfg.measure_slots);
         let mut k = 0u64;
@@ -272,7 +343,7 @@ impl SniffScenario {
         } else {
             LifePhase::Active
         };
-        phase_activity(&sim, slave, &[phase])
+        phase_activity(sim, slave, &[phase])
     }
 }
 
@@ -312,24 +383,38 @@ impl HoldScenario {
     pub fn new(cfg: HoldConfig) -> Self {
         Self { cfg }
     }
+}
 
-    /// Runs one seeded realisation; returns the slave's activity.
+impl Scenario for HoldScenario {
+    type Config = HoldConfig;
+    type Outcome = ModeActivity;
+
+    fn name(&self) -> &'static str {
+        "hold"
+    }
+
+    fn config(&self) -> &HoldConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
+        pair_sim(seed, &self.cfg.sim)
+    }
+
+    /// Drives the repeated-hold workload; returns the slave's activity.
     ///
     /// # Panics
     ///
     /// Panics if the pair fails to connect.
-    pub fn run(&self, seed: u64) -> ModeActivity {
-        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
-        let master = b.add_device("master");
-        let slave = b.add_device("slave1");
-        let mut sim = b.build();
-        let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+    fn drive(&self, sim: &mut Simulator) -> ModeActivity {
+        let (master, slave) = (0, 1);
+        let lt = connect_pair(sim, master, slave, SimTime::from_us(60_000_000))
             .expect("hold scenario needs a connection");
         let start = sim.now();
         let end = start + SimDuration::from_slots(self.cfg.measure_slots);
         if self.cfg.t_hold == 0 {
             sim.run_until(end);
-            return phase_activity(&sim, slave, &[LifePhase::Active]);
+            return phase_activity(sim, slave, &[LifePhase::Active]);
         }
         // Repeated hold cycles: the application re-holds the link as soon
         // as the slave has resynchronised.
@@ -362,7 +447,7 @@ impl HoldScenario {
             }
         }
         sim.run_until(end);
-        phase_activity(&sim, slave, &[LifePhase::Hold, LifePhase::Active])
+        phase_activity(sim, slave, &[LifePhase::Hold, LifePhase::Active])
     }
 }
 
@@ -403,24 +488,38 @@ impl ParkScenario {
     pub fn new(cfg: ParkConfig) -> Self {
         Self { cfg }
     }
+}
 
-    /// Runs one seeded realisation; returns the slave's activity.
+impl Scenario for ParkScenario {
+    type Config = ParkConfig;
+    type Outcome = ModeActivity;
+
+    fn name(&self) -> &'static str {
+        "park"
+    }
+
+    fn config(&self) -> &ParkConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
+        pair_sim(seed, &self.cfg.sim)
+    }
+
+    /// Drives the parked idle link; returns the slave's activity.
     ///
     /// # Panics
     ///
     /// Panics if the pair fails to connect.
-    pub fn run(&self, seed: u64) -> ModeActivity {
-        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
-        let master = b.add_device("master");
-        let slave = b.add_device("slave1");
-        let mut sim = b.build();
-        let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
+    fn drive(&self, sim: &mut Simulator) -> ModeActivity {
+        let (master, slave) = (0, 1);
+        let lt = connect_pair(sim, master, slave, SimTime::from_us(60_000_000))
             .expect("park scenario needs a connection");
         let start = sim.now();
         let end = start + SimDuration::from_slots(self.cfg.measure_slots);
         if self.cfg.beacon_interval == 0 {
             sim.run_until(end);
-            return phase_activity(&sim, slave, &[LifePhase::Active]);
+            return phase_activity(sim, slave, &[LifePhase::Active]);
         }
         sim.command(
             master,
@@ -437,7 +536,7 @@ impl ParkScenario {
             },
         );
         sim.run_until(end);
-        phase_activity(&sim, slave, &[LifePhase::Park])
+        phase_activity(sim, slave, &[LifePhase::Park])
     }
 }
 
@@ -522,8 +621,12 @@ mod tests {
             sim: quick(20_000),
         })
         .run(11);
-        assert!(parked.activity < active.activity / 5.0,
-            "park {} vs active {}", parked.activity, active.activity);
+        assert!(
+            parked.activity < active.activity / 5.0,
+            "park {} vs active {}",
+            parked.activity,
+            active.activity
+        );
     }
 
     #[test]

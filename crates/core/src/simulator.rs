@@ -9,12 +9,12 @@
 //! recorded for the power analysis and waveform figures.
 
 use btsim_baseband::{
-    BdAddr, ClkVal, Clock, LcAction, LcCommand, LcEvent, LcConfig, LifePhase, LinkController,
+    BdAddr, ClkVal, Clock, LcAction, LcCommand, LcConfig, LcEvent, LifePhase, LinkController,
     RxDelivery,
 };
 use btsim_channel::{ChannelConfig, Medium, TxId};
 use btsim_coding::BitVec;
-use btsim_kernel::{Calendar, SimDuration, SimRng, SimTime, SignalRef, TraceRecorder, TraceValue};
+use btsim_kernel::{Calendar, SignalRef, SimDuration, SimRng, SimTime, TraceRecorder, TraceValue};
 use btsim_lmp::{LinkManager, LmEvent, LmOutput, LmRole};
 use btsim_power::{DeviceReport, PowerMonitor};
 
@@ -24,6 +24,16 @@ const RX_UNCERTAINTY: SimDuration = SimDuration::from_us(10);
 
 /// How long the medium retains finished transmissions for delivery.
 const MEDIUM_RETENTION: SimDuration = SimDuration::from_us(50_000);
+
+/// A position in the simulator's event log.
+///
+/// Cursors let independent observers scan the log without aliasing each
+/// other's progress: each holds its own cursor and advances it through
+/// [`Simulator::events_since`] or [`Simulator::run_until_event_from`].
+/// A fresh cursor ([`EventCursor::default`]) starts at the beginning of
+/// the log; [`Simulator::cursor`] starts at its current end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventCursor(usize);
 
 /// An [`LcEvent`] with its time and originating device.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,7 +189,11 @@ impl SimBuilder {
                 self.cfg.lc.clone(),
                 root.fork(0x20_0000 + i as u64).seed(),
             );
-            let role = if i == 0 { LmRole::Master } else { LmRole::Slave };
+            let role = if i == 0 {
+                LmRole::Master
+            } else {
+                LmRole::Slave
+            };
             let sig_tx = recorder.declare(name, "enable_tx_RF", 1);
             let sig_rx = recorder.declare(name, "enable_rx_RF", 1);
             devices.push(DeviceCell {
@@ -265,6 +279,20 @@ impl Simulator {
         &self.events
     }
 
+    /// A cursor at the current end of the event log (events logged
+    /// after this call are "since" it).
+    pub fn cursor(&self) -> EventCursor {
+        EventCursor(self.events.len())
+    }
+
+    /// The events logged at or after `cursor`, advancing the cursor to
+    /// the end of the log.
+    pub fn events_since(&self, cursor: &mut EventCursor) -> &[LoggedEvent] {
+        let from = cursor.0.min(self.events.len());
+        cursor.0 = self.events.len();
+        &self.events[from..]
+    }
+
     /// All logged link-manager events so far.
     pub fn lm_events(&self) -> &[LoggedLmEvent] {
         &self.lm_events
@@ -310,15 +338,39 @@ impl Simulator {
     ///
     /// Scanning resumes where the previous `run_until_event` call left
     /// off, so an event logged in the same batch as a previous match is
-    /// still seen by the next call.
+    /// still seen by the next call. The resume point is the simulator's
+    /// *shared* cursor; observers that must not perturb (or be perturbed
+    /// by) other scans should hold their own [`EventCursor`] and use
+    /// [`Simulator::run_until_event_from`] instead.
     pub fn run_until_event<F>(&mut self, cap: SimTime, pred: F) -> Option<LoggedEvent>
     where
         F: Fn(&LoggedEvent) -> bool,
     {
+        let mut cursor = EventCursor(self.inspect_cursor);
+        let found = self.run_until_event_from(&mut cursor, cap, pred);
+        self.inspect_cursor = cursor.0;
+        found
+    }
+
+    /// Runs until an event at or after `cursor` matches `pred`, or `cap`
+    /// passes; `cursor` advances past the scanned events.
+    ///
+    /// Unlike [`Simulator::run_until_event`] the scan position belongs to
+    /// the caller, so independent scenarios or probes can each watch the
+    /// log without resetting or skipping each other's progress.
+    pub fn run_until_event_from<F>(
+        &mut self,
+        cursor: &mut EventCursor,
+        cap: SimTime,
+        pred: F,
+    ) -> Option<LoggedEvent>
+    where
+        F: Fn(&LoggedEvent) -> bool,
+    {
         loop {
-            while self.inspect_cursor < self.events.len() {
-                let i = self.inspect_cursor;
-                self.inspect_cursor += 1;
+            while cursor.0 < self.events.len() {
+                let i = cursor.0;
+                cursor.0 += 1;
                 if pred(&self.events[i]) {
                     return Some(self.events[i].clone());
                 }
@@ -345,7 +397,9 @@ impl Simulator {
     // ----- engine ----------------------------------------------------------
 
     fn step(&mut self) {
-        let Some((t, ev)) = self.cal.pop() else { return };
+        let Some((t, ev)) = self.cal.pop() else {
+            return;
+        };
         self.steps_since_gc += 1;
         if self.steps_since_gc >= 8192 {
             self.steps_since_gc = 0;
@@ -353,8 +407,7 @@ impl Simulator {
         }
         match ev {
             Ev::Tick(dev) => {
-                self.cal
-                    .schedule(t + SimDuration::HALF_SLOT, Ev::Tick(dev));
+                self.cal.schedule(t + SimDuration::HALF_SLOT, Ev::Tick(dev));
                 let actions = self.devices[dev].lc.on_tick(t);
                 self.apply_actions(dev, actions, t);
                 // Link-manager scheduled mode changes, once per slot.
@@ -446,7 +499,14 @@ impl Simulator {
         }
     }
 
-    fn open_window(&mut self, dev: usize, channel: u8, until: Option<SimTime>, now: SimTime, id: u64) {
+    fn open_window(
+        &mut self,
+        dev: usize,
+        channel: u8,
+        until: Option<SimTime>,
+        now: SimTime,
+        id: u64,
+    ) {
         // Close any previous window first.
         if let Some(w) = self.devices[dev].active.take() {
             self.commit_rx(dev, w.opened_at, now);
@@ -589,7 +649,10 @@ mod tests {
     fn page_with_exact_estimate_connects_quickly() {
         let (mut sim, m, s) = two_device_sim(5, 0.0);
         // Exact clock estimate: offset between the two CLKNs.
-        let offset = sim.lc(m).clkn(SimTime::ZERO).offset_to(sim.lc(s).clkn(SimTime::ZERO));
+        let offset = sim
+            .lc(m)
+            .clkn(SimTime::ZERO)
+            .offset_to(sim.lc(s).clkn(SimTime::ZERO));
         sim.command(s, LcCommand::PageScan);
         sim.command(
             m,
@@ -630,6 +693,42 @@ mod tests {
     }
 
     #[test]
+    fn independent_cursors_do_not_alias() {
+        let (mut sim, m, s) = two_device_sim(21, 0.0);
+        sim.command(s, LcCommand::InquiryScan);
+        sim.command(
+            m,
+            LcCommand::Inquiry {
+                num_responses: 1,
+                timeout_slots: 0,
+            },
+        );
+        let cap = SimTime::from_us(10_000_000);
+        // One observer consumes the log up to the inquiry result…
+        let mut a = EventCursor::default();
+        let found = sim.run_until_event_from(&mut a, cap, |e| {
+            matches!(e.event, LcEvent::InquiryResult { .. })
+        });
+        assert!(found.is_some());
+        // …a second, independent observer still sees it from the start.
+        let mut b = EventCursor::default();
+        let again = sim.run_until_event_from(&mut b, cap, |e| {
+            matches!(e.event, LcEvent::InquiryResult { .. })
+        });
+        assert_eq!(found, again);
+        // And the shared-cursor path is unaffected by either.
+        let complete =
+            sim.run_until_event(cap, |e| matches!(e.event, LcEvent::InquiryComplete { .. }));
+        assert!(complete.is_some());
+        // events_since drains exactly the unseen suffix.
+        let mut c = sim.cursor();
+        assert!(sim.events_since(&mut c).is_empty());
+        let mut all = EventCursor::default();
+        assert_eq!(sim.events_since(&mut all).len(), sim.events().len());
+        assert!(sim.events_since(&mut all).is_empty());
+    }
+
+    #[test]
     fn deterministic_event_log() {
         let run = |seed| {
             let (mut sim, m, s) = two_device_sim(seed, 0.01);
@@ -665,7 +764,10 @@ mod tests {
     #[test]
     fn data_transfer_end_to_end() {
         let (mut sim, m, s) = two_device_sim(9, 0.0);
-        let offset = sim.lc(m).clkn(SimTime::ZERO).offset_to(sim.lc(s).clkn(SimTime::ZERO));
+        let offset = sim
+            .lc(m)
+            .clkn(SimTime::ZERO)
+            .offset_to(sim.lc(s).clkn(SimTime::ZERO));
         sim.command(s, LcCommand::PageScan);
         sim.command(
             m,

@@ -7,9 +7,6 @@
 //! number generator"; [`SimRng::next_flip_gap`] provides the geometric
 //! jumps that implement that efficiently at packet granularity.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// SplitMix64 step, used for seed derivation.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -17,6 +14,40 @@ fn splitmix64(mut x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Xoshiro256++ core: fast, high-quality, dependency-free.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        // Expand the seed with SplitMix64, as the xoshiro authors
+        // advise: draw n of the stream is splitmix64 of the seed
+        // advanced by n golden-ratio steps.
+        let mut s = [0u64; 4];
+        for (n, word) in s.iter_mut().enumerate() {
+            *word = splitmix64(seed.wrapping_add((n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        }
+        Self { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
 }
 
 /// A seedable simulation RNG.
@@ -33,7 +64,7 @@ fn splitmix64(mut x: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    rng: SmallRng,
+    rng: Xoshiro256,
 }
 
 impl SimRng {
@@ -41,7 +72,7 @@ impl SimRng {
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
-            rng: SmallRng::seed_from_u64(splitmix64(seed)),
+            rng: Xoshiro256::from_seed(splitmix64(seed)),
         }
     }
 
@@ -50,7 +81,9 @@ impl SimRng {
     /// Forking with the same `(seed, stream)` always yields the same
     /// stream, regardless of draws made on the parent.
     pub fn fork(&self, stream: u64) -> SimRng {
-        SimRng::new(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A))))
+        SimRng::new(splitmix64(
+            self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)),
+        ))
     }
 
     /// The seed this RNG was created with.
@@ -65,7 +98,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.rng.gen_bool(p)
+            self.unit_f64() < p
         }
     }
 
@@ -76,12 +109,14 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn range_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "range_u64 bound must be nonzero");
-        self.rng.gen_range(0..bound)
+        // Multiply-shift mapping of a 64-bit draw onto `0..bound`; the
+        // bias is at most 2^-64 per value, far below simulation noise.
+        ((self.rng.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// Draws a uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Number of successes (bits kept intact) before the next failure when
@@ -132,7 +167,9 @@ mod tests {
         let root = SimRng::new(77);
         let mut a = root.fork(1);
         let mut b = root.fork(2);
-        let same = (0..20).filter(|_| a.range_u64(1 << 30) == b.range_u64(1 << 30)).count();
+        let same = (0..20)
+            .filter(|_| a.range_u64(1 << 30) == b.range_u64(1 << 30))
+            .count();
         assert!(same < 3, "streams should not coincide");
     }
 

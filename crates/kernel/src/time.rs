@@ -173,7 +173,10 @@ mod tests {
         let t = SimTime::from_us(100) + SimDuration::from_us(25);
         assert_eq!(t.us(), 125);
         assert_eq!(t.since(SimTime::from_us(100)).us(), 25);
-        assert_eq!(SimTime::from_us(1).since(SimTime::from_us(5)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_us(1).since(SimTime::from_us(5)),
+            SimDuration::ZERO
+        );
         assert_eq!((t - SimDuration::from_us(25)).us(), 100);
     }
 

@@ -284,9 +284,12 @@ impl LinkManager {
         let mut out = Vec::new();
         match pdu {
             Pdu::HostConnectionReq => {
-                out.push(self.send(lt_addr, &Pdu::Accepted {
-                    of: Opcode::HostConnectionReq,
-                }));
+                out.push(self.send(
+                    lt_addr,
+                    &Pdu::Accepted {
+                        of: Opcode::HostConnectionReq,
+                    },
+                ));
                 out.push(self.send(lt_addr, &Pdu::SetupComplete));
             }
             Pdu::SetupComplete => {
@@ -314,7 +317,8 @@ impl LinkManager {
             Pdu::NotAccepted { of, reason } => {
                 self.outstanding
                     .retain(|(lt, p)| !(*lt == lt_addr && p.opcode() == of));
-                self.pending.retain(|p| !(p.lt_addr == lt_addr && p.of == of));
+                self.pending
+                    .retain(|p| !(p.lt_addr == lt_addr && p.of == of));
                 out.push(LmOutput::Event(LmEvent::Rejected { of, reason }));
             }
             Pdu::SniffReq {
@@ -323,9 +327,12 @@ impl LinkManager {
                 attempt,
                 timeout,
             } => {
-                out.push(self.send(lt_addr, &Pdu::Accepted {
-                    of: Opcode::SniffReq,
-                }));
+                out.push(self.send(
+                    lt_addr,
+                    &Pdu::Accepted {
+                        of: Opcode::SniffReq,
+                    },
+                ));
                 self.pending.push(PendingMode {
                     at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
                     command: LcCommand::Sniff {
@@ -342,9 +349,12 @@ impl LinkManager {
                 });
             }
             Pdu::UnsniffReq => {
-                out.push(self.send(lt_addr, &Pdu::Accepted {
-                    of: Opcode::UnsniffReq,
-                }));
+                out.push(self.send(
+                    lt_addr,
+                    &Pdu::Accepted {
+                        of: Opcode::UnsniffReq,
+                    },
+                ));
                 self.pending.push(PendingMode {
                     at_slot: now_slot,
                     command: LcCommand::Unsniff { lt_addr },
@@ -356,9 +366,12 @@ impl LinkManager {
                 hold_time,
                 hold_instant,
             } => {
-                out.push(self.send(lt_addr, &Pdu::Accepted {
-                    of: Opcode::HoldReq,
-                }));
+                out.push(self.send(
+                    lt_addr,
+                    &Pdu::Accepted {
+                        of: Opcode::HoldReq,
+                    },
+                ));
                 self.pending.push(PendingMode {
                     at_slot: hold_instant as u64,
                     command: LcCommand::Hold {
@@ -370,9 +383,12 @@ impl LinkManager {
                 });
             }
             Pdu::ParkReq { beacon_interval } => {
-                out.push(self.send(lt_addr, &Pdu::Accepted {
-                    of: Opcode::ParkReq,
-                }));
+                out.push(self.send(
+                    lt_addr,
+                    &Pdu::Accepted {
+                        of: Opcode::ParkReq,
+                    },
+                ));
                 self.pending.push(PendingMode {
                     at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
                     command: LcCommand::Park {
@@ -388,9 +404,12 @@ impl LinkManager {
                 d_sco,
                 hv_type,
             } => {
-                out.push(self.send(lt_addr, &Pdu::Accepted {
-                    of: Opcode::ScoLinkReq,
-                }));
+                out.push(self.send(
+                    lt_addr,
+                    &Pdu::Accepted {
+                        of: Opcode::ScoLinkReq,
+                    },
+                ));
                 let ptype = match hv_type {
                     1 => PacketType::Hv1,
                     2 => PacketType::Hv2,
@@ -496,13 +515,21 @@ mod tests {
         let m1 = master.request_hold(1, 400, 1000);
         let _ = deliver(&mut slave, &m1, 1001);
         let so = slave.poll(1000 + MODE_CHANGE_LEAD_SLOTS);
-        assert!(commands(&so)
-            .iter()
-            .any(|c| matches!(c, LcCommand::Hold { lt_addr: 1, hold_slots: 400 })));
+        assert!(commands(&so).iter().any(|c| matches!(
+            c,
+            LcCommand::Hold {
+                lt_addr: 1,
+                hold_slots: 400
+            }
+        )));
         let mo = master.poll(1000 + MODE_CHANGE_LEAD_SLOTS);
-        assert!(commands(&mo)
-            .iter()
-            .any(|c| matches!(c, LcCommand::Hold { lt_addr: 1, hold_slots: 400 })));
+        assert!(commands(&mo).iter().any(|c| matches!(
+            c,
+            LcCommand::Hold {
+                lt_addr: 1,
+                hold_slots: 400
+            }
+        )));
     }
 
     #[test]
@@ -558,9 +585,13 @@ mod tests {
         let m1 = master.request_park(1, 200, 50);
         let _ = deliver(&mut slave, &m1, 51);
         let so = slave.poll(100);
-        assert!(commands(&so)
-            .iter()
-            .any(|c| matches!(c, LcCommand::Park { lt_addr: 1, beacon_interval: 200 })));
+        assert!(commands(&so).iter().any(|c| matches!(
+            c,
+            LcCommand::Park {
+                lt_addr: 1,
+                beacon_interval: 200
+            }
+        )));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Minimal JSON rendering for campaign results.
+//!
+//! The workspace builds without external crates, so this is a small
+//! write-only JSON value tree: enough for `--json` result dumps, not a
+//! general-purpose serializer.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// An exact unsigned integer (u64 seeds don't fit in f64).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(v) => out.push_str(&format!("{v}")),
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        out.push_str(&format!("{}", *v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::Obj(vec![
+            ("name".into(), "fig6".into()),
+            (
+                "rows".into(),
+                JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.5)]),
+            ),
+            ("ok".into(), JsonValue::Bool(true)),
+            ("nan".into(), JsonValue::Num(f64::NAN)),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"fig6","rows":[1,2.5],"ok":true,"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn u64_values_are_exact() {
+        let v = JsonValue::UInt(u64::MAX);
+        assert_eq!(v.render(), "18446744073709551615");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::Str("a\"b\\c\nd".into());
+        assert_eq!(v.render(), r#""a\"b\\c\nd""#);
+    }
+}

@@ -2,18 +2,23 @@
 //!
 //! Statistics for Monte-Carlo simulation campaigns: streaming summaries
 //! ([`Summary`]), histograms ([`Histogram`]), a deterministic parallel
-//! campaign runner ([`run_campaign`]) and plain-text/CSV table formatting
-//! ([`Table`]) used by the figure-regeneration binaries.
+//! campaign runner ([`run_campaign`]), the [`Record`] trait describing
+//! structured per-run outcomes, and table/CSV/JSON formatting
+//! ([`Table`], [`JsonValue`]) used by the experiment binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod histogram;
+mod json;
+mod record;
 mod runner;
 mod summary;
 mod table;
 
 pub use histogram::Histogram;
+pub use json::JsonValue;
+pub use record::{format_metric, Record};
 pub use runner::run_campaign;
 pub use summary::Summary;
 pub use table::Table;

@@ -1,0 +1,110 @@
+//! Structured per-run outcomes of Monte-Carlo campaigns.
+//!
+//! A [`Record`] is the bridge between a scenario's outcome struct and
+//! the generic campaign machinery: it names the numeric metrics a run
+//! produced and says whether the run completed. Everything else —
+//! mean/CI aggregation, completion rates, table/CSV/JSON rendering —
+//! is derived generically, replacing the per-experiment aggregation
+//! loops that used to be copy-pasted for every figure.
+
+use crate::json::JsonValue;
+
+/// A structured outcome of one scenario run.
+///
+/// Implementors list their numeric metrics via [`Record::metrics`]; the
+/// default `columns`/`cells` render those metrics, so simple outcomes
+/// only implement `metrics` (and `completed` when a run can time out).
+///
+/// # Examples
+///
+/// ```
+/// use btsim_stats::Record;
+///
+/// struct Outcome { slots: u64, done: bool }
+/// impl Record for Outcome {
+///     fn metrics(&self) -> Vec<(&'static str, f64)> {
+///         vec![("slots", self.slots as f64)]
+///     }
+///     fn completed(&self) -> bool { self.done }
+/// }
+///
+/// let o = Outcome { slots: 17, done: true };
+/// assert_eq!(o.columns(), vec!["slots".to_string()]);
+/// assert_eq!(o.cells(), vec!["17".to_string()]);
+/// ```
+pub trait Record {
+    /// The numeric metrics of this run, as `(name, value)` pairs.
+    ///
+    /// Names must be stable across runs of the same scenario; campaigns
+    /// aggregate per name.
+    fn metrics(&self) -> Vec<(&'static str, f64)>;
+
+    /// Whether the run completed (default `true`).
+    ///
+    /// Campaigns report the completion rate and, following the paper's
+    /// convention, aggregate metric statistics over completed runs only.
+    fn completed(&self) -> bool {
+        true
+    }
+
+    /// Column names for tabular output (defaults to the metric names).
+    fn columns(&self) -> Vec<String> {
+        self.metrics().iter().map(|(n, _)| n.to_string()).collect()
+    }
+
+    /// Formatted cells, parallel to [`Record::columns`].
+    fn cells(&self) -> Vec<String> {
+        self.metrics()
+            .iter()
+            .map(|(_, v)| format_metric(*v))
+            .collect()
+    }
+
+    /// This record as a JSON object (metrics plus `completed`).
+    fn to_json(&self) -> JsonValue {
+        let mut obj: Vec<(String, JsonValue)> = self
+            .metrics()
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), JsonValue::from(v)))
+            .collect();
+        obj.push(("completed".to_string(), JsonValue::Bool(self.completed())));
+        JsonValue::Obj(obj)
+    }
+}
+
+/// Formats a metric value compactly (integers without a fraction).
+pub fn format_metric(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair;
+
+    impl Record for Pair {
+        fn metrics(&self) -> Vec<(&'static str, f64)> {
+            vec![("a", 1.0), ("b", 2.5)]
+        }
+    }
+
+    #[test]
+    fn defaults_render_metrics() {
+        let p = Pair;
+        assert!(p.completed());
+        assert_eq!(p.columns(), vec!["a", "b"]);
+        assert_eq!(p.cells(), vec!["1", "2.5000"]);
+        assert_eq!(p.to_json().render(), r#"{"a":1,"b":2.5,"completed":true}"#);
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(format_metric(1556.0), "1556");
+        assert_eq!(format_metric(0.026), "0.0260");
+    }
+}

@@ -40,7 +40,7 @@ where
 
     let mut slots: Vec<Option<T>> = (0..n_runs).map(|_| None).collect();
     let run_ref = &run;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // Each worker owns a contiguous chunk of result slots.
         let mut chunks: Vec<&mut [Option<T>]> = Vec::new();
         let mut rest = slots.as_mut_slice();
@@ -55,14 +55,13 @@ where
         for chunk in chunks {
             let start = offset;
             offset += chunk.len();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (j, slot) in chunk.iter_mut().enumerate() {
                     *slot = Some(run_ref(base_seed.wrapping_add((start + j) as u64)));
                 }
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
     slots
         .into_iter()

@@ -1,6 +1,8 @@
-//! Plain-text and CSV tables for the figure-regeneration binaries.
+//! Plain-text, CSV and JSON tables for the experiment binaries.
 
 use std::fmt;
+
+use crate::json::JsonValue;
 
 /// A simple column-aligned table.
 ///
@@ -79,13 +81,38 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(escape).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(escape)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&r.iter().map(escape).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
+    }
+
+    /// Renders as a JSON array of objects keyed by the headers.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(
+            self.rows
+                .iter()
+                .map(|r| {
+                    JsonValue::Obj(
+                        self.headers
+                            .iter()
+                            .zip(r)
+                            .map(|(h, c)| (h.clone(), JsonValue::Str(c.clone())))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 

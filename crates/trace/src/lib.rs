@@ -167,15 +167,16 @@ pub fn render_ascii(recorder: &TraceRecorder, opts: &AsciiOptions) -> String {
         };
         let mut row = String::with_capacity(cols);
         for col in 0..cols {
-            let t0 = opts.from + btsim_kernel::SimDuration::from_ns(span * col as u64 / cols as u64);
+            let t0 =
+                opts.from + btsim_kernel::SimDuration::from_ns(span * col as u64 / cols as u64);
             let t1 = opts.from
                 + btsim_kernel::SimDuration::from_ns(span * (col as u64 + 1) / cols as u64);
             // High if high at t0 or any change to high within [t0, t1).
             let mut high = value_at(t0);
             if !high {
-                high = changes.iter().any(|c| {
-                    c.at >= t0 && c.at < t1 && matches!(c.value, TraceValue::Bit(true))
-                });
+                high = changes
+                    .iter()
+                    .any(|c| c.at >= t0 && c.at < t1 && matches!(c.value, TraceValue::Bit(true)));
             }
             row.push(if high { '#' } else { '_' });
         }

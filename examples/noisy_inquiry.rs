@@ -6,7 +6,7 @@
 //! cargo run --release --example noisy_inquiry
 //! ```
 
-use btsim::core::scenario::{InquiryConfig, InquiryScenario, PageConfig, PageScenario};
+use btsim::core::scenario::{InquiryConfig, InquiryScenario, PageConfig, PageScenario, Scenario};
 use btsim::stats::{run_campaign, Summary, Table};
 
 fn main() {

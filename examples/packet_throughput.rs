@@ -19,8 +19,8 @@ fn goodput_kbps(ptype: PacketType, ber: f64, seed: u64) -> f64 {
     let master = builder.add_device("master");
     let slave = builder.add_device("slave1");
     let mut sim = builder.build();
-    let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000))
-        .expect("connection");
+    let lt =
+        connect_pair(&mut sim, master, slave, SimTime::from_us(60_000_000)).expect("connection");
     sim.command(master, LcCommand::SetAclType(ptype));
     sim.command(master, LcCommand::SetTpoll(2));
     sim.command(
@@ -56,7 +56,10 @@ fn main() {
         PacketType::Dh5,
     ];
     println!("ACL goodput in kbit/s (saturated 1.9 s transfer each):\n");
-    println!("{:>6}  {:>10}  {:>10}  {:>10}", "type", "BER 0", "BER 1/500", "BER 1/100");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}",
+        "type", "BER 0", "BER 1/500", "BER 1/100"
+    );
     for t in types {
         let clean = goodput_kbps(t, 0.0, 11);
         let mild = goodput_kbps(t, 0.002, 11);

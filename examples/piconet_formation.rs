@@ -10,7 +10,7 @@
 //! show a continuously asserted `enable_rx_RF`; once joined, they listen
 //! only at slot starts.
 
-use btsim::core::scenario::{paper_config, CreationConfig, CreationScenario};
+use btsim::core::scenario::{paper_config, CreationConfig, CreationScenario, Scenario};
 use btsim::kernel::SimTime;
 use btsim::trace::{render_ascii, AsciiOptions};
 
@@ -20,14 +20,17 @@ fn main() {
     // Compact backoffs keep the figure readable, as in the paper.
     cfg.lc.inquiry_backoff_max = 96;
 
-    let outcome = CreationScenario::new(CreationConfig {
+    let scenario = CreationScenario::new(CreationConfig {
         n_slaves: 3,
         ber: 0.0,
         inquiry_timeout_slots: 8 * 2048,
         page_timeout_slots: 2048,
         sim: cfg,
-    })
-    .run(0, 2026);
+    });
+    // Build and drive separately so the simulator (and its waveform
+    // recorder) stays around after the outcome is extracted.
+    let mut sim = scenario.build(2026);
+    let outcome = scenario.drive(&mut sim);
 
     println!("inquiry finished after {} slots", outcome.inquiry_slots);
     for (addr, ok, slots) in &outcome.pages {
@@ -36,15 +39,21 @@ fn main() {
             if *ok { "connected" } else { "FAILED" }
         );
     }
-    assert!(outcome.piconet_complete(), "creation should succeed at BER 0");
+    assert!(
+        outcome.piconet_complete(),
+        "creation should succeed at BER 0"
+    );
 
-    let end = outcome.sim.now();
+    let end = sim.now();
     println!();
-    println!("RF-enable waveforms, 0 .. {end} (one column ≈ {} slots):", end.slots() / 150);
+    println!(
+        "RF-enable waveforms, 0 .. {end} (one column ≈ {} slots):",
+        end.slots() / 150
+    );
     println!(
         "{}",
         render_ascii(
-            outcome.sim.recorder(),
+            sim.recorder(),
             &AsciiOptions {
                 from: SimTime::ZERO,
                 to: end,

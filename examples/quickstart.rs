@@ -1,65 +1,83 @@
-//! Quickstart: form a one-slave piconet and exchange data.
+//! Quickstart: scenarios, campaigns, and the simulator underneath.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
-//! This walks the whole stack once: inquiry discovers the slave, page
-//! connects it, and an ACL transfer runs over the polled TDD channel.
+//! Three steps up the API:
+//! 1. run one seeded `Scenario` (piconet creation) and keep the
+//!    simulator for inspection;
+//! 2. run a `Campaign` over many seeds and read summary statistics;
+//! 3. drop to the raw simulator to exchange ACL data by hand.
 
 use btsim::baseband::{LcCommand, LcEvent};
-use btsim::core::{SimBuilder, SimConfig};
+use btsim::core::campaign::Campaign;
+use btsim::core::scenario::{
+    connect_pair, paper_config, CreationConfig, CreationScenario, PageConfig, PageScenario,
+    Scenario,
+};
+use btsim::core::SimBuilder;
 use btsim::kernel::{SimDuration, SimTime};
 
 fn main() {
-    // A clean channel and the spec-faithful defaults.
-    let cfg = SimConfig::default();
-    let mut builder = SimBuilder::new(0xC0FFEE, cfg);
-    let master = builder.add_device("master");
-    let slave = builder.add_device("slave1");
-    let mut sim = builder.build();
-
-    // Both devices start their procedures at t = 0.
-    sim.command(slave, LcCommand::InquiryScan);
-    sim.command(
-        master,
-        LcCommand::Inquiry {
-            num_responses: 1,
-            timeout_slots: 0,
-        },
-    );
-    let found = sim
-        .run_until_event(SimTime::from_us(20_000_000), |e| {
-            matches!(e.event, LcEvent::InquiryResult { .. })
-        })
-        .expect("the scanner is discovered");
-    let LcEvent::InquiryResult { addr, clk_offset } = found.event else {
-        unreachable!();
-    };
+    // --- 1. One seeded scenario run -----------------------------------
+    //
+    // A scenario is a deterministic function of a seed. `build` composes
+    // the simulator, `drive` runs the procedure; keeping the simulator
+    // lets us inspect power reports and event logs afterwards.
+    let scenario = CreationScenario::new(CreationConfig {
+        n_slaves: 1,
+        // A generous inquiry timeout: the paper's mean is ≈1556 slots,
+        // but the tail of the backoff distribution reaches further.
+        inquiry_timeout_slots: 16 * 2048,
+        ..CreationConfig::default()
+    });
+    let mut sim = scenario.build(0xC0FFEE);
+    let outcome = scenario.drive(&mut sim);
+    assert!(outcome.piconet_complete());
     println!(
-        "discovered {addr} after {} slots (clock offset {clk_offset})",
-        found.at.slots()
+        "piconet formed: {} (inquiry {} slots, page {} slots)",
+        outcome.piconet_complete(),
+        outcome.inquiry_slots,
+        outcome.page_slots(),
+    );
+    for (dev, name) in [(0, "master"), (1, "slave")] {
+        let report = sim.power_report(dev);
+        println!(
+            "  {name}: TX on {:.1} ms, RX on {:.1} ms, RF activity {:.2}%",
+            report.tx.ns() as f64 / 1e6,
+            report.rx.ns() as f64 / 1e6,
+            report.rf_activity() * 100.0
+        );
+    }
+
+    // --- 2. A Monte-Carlo campaign ------------------------------------
+    //
+    // Campaigns own seeding, parallelism and aggregation: ask for N runs
+    // and read means, confidence intervals and completion rates.
+    let result = Campaign::new(PageScenario::new(PageConfig::default()))
+        .runs(32)
+        .base_seed(7)
+        .run();
+    let point = result.single();
+    let slots = point.metric("slots");
+    println!(
+        "page phase over {} seeds: {:.1} ± {:.1} slots, {:.0}% complete",
+        point.outcomes.len(),
+        slots.mean(),
+        slots.ci95(),
+        point.completion_rate() * 100.0
     );
 
-    // Page the discovered device with the learned clock estimate.
-    sim.command(slave, LcCommand::PageScan);
-    sim.command(
-        master,
-        LcCommand::Page {
-            target: addr,
-            clke_offset: clk_offset,
-            timeout_slots: 2048,
-        },
-    );
-    let connected = sim
-        .run_until_event(sim.now() + SimDuration::from_slots(4096), |e| {
-            matches!(e.event, LcEvent::Connected { .. })
-        })
-        .expect("page succeeds on a clean channel");
-    println!("connected as piconet at t = {}", connected.at);
-
-    // Send a message from master to slave over the ACL link.
-    let lt = sim.lc(master).connected_slaves()[0].0;
+    // --- 3. The raw simulator -----------------------------------------
+    //
+    // Underneath, everything is commands and events on the simulator.
+    let mut b = SimBuilder::new(0xB10, paper_config());
+    let master = b.add_device("master");
+    let slave = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = connect_pair(&mut sim, master, slave, SimTime::from_us(30_000_000))
+        .expect("clean-channel page succeeds");
     let message = b"hello from the master".to_vec();
     sim.command(
         master,
@@ -69,7 +87,6 @@ fn main() {
         },
     );
     sim.run_until(sim.now() + SimDuration::from_slots(400));
-
     let received: Vec<u8> = sim
         .events()
         .iter()
@@ -80,19 +97,5 @@ fn main() {
         .flatten()
         .collect();
     assert_eq!(received, message);
-    println!(
-        "slave received {:?}",
-        String::from_utf8_lossy(&received)
-    );
-
-    // RF budget of the whole exercise.
-    for (dev, name) in [(master, "master"), (slave, "slave")] {
-        let report = sim.power_report(dev);
-        println!(
-            "{name}: TX on {:.1} ms, RX on {:.1} ms, RF activity {:.2}%",
-            report.tx.ns() as f64 / 1e6,
-            report.rx.ns() as f64 / 1e6,
-            report.rf_activity() * 100.0
-        );
-    }
+    println!("slave received {:?}", String::from_utf8_lossy(&received));
 }

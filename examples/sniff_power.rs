@@ -6,7 +6,7 @@
 //! cargo run --release --example sniff_power
 //! ```
 
-use btsim::core::scenario::{HoldConfig, HoldScenario, SniffConfig, SniffScenario};
+use btsim::core::scenario::{HoldConfig, HoldScenario, Scenario, SniffConfig, SniffScenario};
 use btsim::power::PowerProfile;
 
 fn main() {
@@ -75,7 +75,8 @@ fn main() {
         ..HoldConfig::default()
     })
     .run(1);
-    let active_mw = idle_active.rx * profile.rx_mw + idle_active.tx * profile.tx_mw + profile.idle_mw;
+    let active_mw =
+        idle_active.rx * profile.rx_mw + idle_active.tx * profile.tx_mw + profile.idle_mw;
     let hold_mw = best.rx * profile.rx_mw + best.tx * profile.tx_mw + profile.idle_mw;
     println!(
         "\nmean radio power: active ≈ {active_mw:.2} mW, hold(1000) ≈ {hold_mw:.2} mW \

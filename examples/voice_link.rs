@@ -32,8 +32,20 @@ fn main() {
                 .expect("connects");
             let d_sco = sim.lc(master).clkn(sim.now()).slot().wrapping_add(8) & !1;
             let params = ScoParams::for_type(ptype, d_sco);
-            sim.command(master, LcCommand::ScoSetup { lt_addr: lt, params });
-            sim.command(slave, LcCommand::ScoSetup { lt_addr: lt, params });
+            sim.command(
+                master,
+                LcCommand::ScoSetup {
+                    lt_addr: lt,
+                    params,
+                },
+            );
+            sim.command(
+                slave,
+                LcCommand::ScoSetup {
+                    lt_addr: lt,
+                    params,
+                },
+            );
             // Stream one second of "voice": a ramp pattern.
             sim.command(
                 master,
@@ -47,16 +59,12 @@ fn main() {
             let frames = sim
                 .events()
                 .iter()
-                .filter(|e| {
-                    e.device == slave && matches!(e.event, LcEvent::ScoReceived { .. })
-                })
+                .filter(|e| e.device == slave && matches!(e.event, LcEvent::ScoReceived { .. }))
                 .count();
             row.push(frames);
             if ber == 0.0 {
                 let rep = sim.power_report(slave);
-                activity = rep
-                    .phase(btsim::baseband::LifePhase::Active)
-                    .activity();
+                activity = rep.phase(btsim::baseband::LifePhase::Active).activity();
             }
         }
         println!(

@@ -19,25 +19,51 @@
 //!   link-controller state machine;
 //! * [`lmp`] — the Link Manager Protocol subset (mode negotiation);
 //! * [`power`] — RF-activity and energy accounting;
-//! * [`stats`] — Monte-Carlo campaign statistics;
+//! * [`stats`] — Monte-Carlo campaign statistics, the `Record` trait and
+//!   table/CSV/JSON output;
 //! * [`trace`] — VCD/ASCII waveform output;
-//! * [`core`] — device composition, simulator, scenarios and the paper's
-//!   experiments.
+//! * [`core`] — device composition, simulator, the `Scenario` layer, the
+//!   generic `Campaign` engine and the paper's experiment registry.
 //!
 //! # Quickstart
 //!
-//! Create a piconet of one master and one slave over a noiseless channel
-//! and let it form (inquiry + page), then inspect the outcome:
+//! Every workload is a [`core::scenario::Scenario`]: a deterministic
+//! function of a seed that builds a simulator and drives it to a
+//! structured outcome. Run one directly, or hand it to a
+//! [`core::campaign::Campaign`] for a seeded, parallel Monte-Carlo
+//! sweep with summary statistics:
 //!
 //! ```
-//! use btsim::core::scenario::{CreationConfig, CreationScenario};
+//! use btsim::core::campaign::Campaign;
+//! use btsim::core::scenario::{CreationConfig, CreationScenario, Scenario};
 //!
-//! let outcome = CreationScenario::new(CreationConfig {
+//! // One seeded run: a master discovers and connects one slave (a
+//! // generous inquiry timeout keeps every seed comfortably inside it).
+//! let scenario = CreationScenario::new(CreationConfig {
 //!     n_slaves: 1,
+//!     inquiry_timeout_slots: 16 * 2048,
 //!     ..CreationConfig::default()
-//! })
-//! .run(0xB1005E, 42);
+//! });
+//! let outcome = scenario.run(42);
 //! assert!(outcome.piconet_complete());
+//!
+//! // A campaign over many seeds: statistics come out, not loops.
+//! let result = Campaign::new(scenario).runs(8).base_seed(42).run();
+//! let point = result.single();
+//! assert!(point.completion_rate() > 0.9);
+//! assert!(point.metric("inquiry_slots").mean() > 0.0);
+//! ```
+//!
+//! The paper's figures (and the extension experiments) are registry
+//! entries — list them, run them by name, or add your own (see
+//! `docs/SCENARIOS.md`):
+//!
+//! ```
+//! use btsim::core::experiments::{registry, ExpOptions};
+//!
+//! let fig6 = registry().iter().find(|e| e.name == "fig6_inquiry_vs_ber").unwrap();
+//! let report = fig6.run(&ExpOptions { runs: 2, ..ExpOptions::quick() });
+//! assert!(!report.tables[0].is_empty());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,48 @@
+//! Property tests of the campaign engine: results are bit-identical for
+//! a fixed base seed no matter how the work is spread over threads, and
+//! sweeps give every point the same seed sequence.
+
+use btsim::core::campaign::Campaign;
+use btsim::core::scenario::{InquiryConfig, InquiryScenario, PageConfig, PageScenario};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn campaign_is_bit_identical_across_thread_counts(
+        seed: u64,
+        threads in 2usize..5,
+        runs in 1usize..5,
+    ) {
+        let run = |t: usize| {
+            Campaign::new(PageScenario::new(PageConfig::default()))
+                .runs(runs)
+                .threads(t)
+                .base_seed(seed)
+                .run()
+        };
+        let sequential = run(1);
+        let parallel = run(threads);
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn sweep_points_are_independent_of_sweep_size(seed: u64, runs in 1usize..4) {
+        // A point's outcomes must not depend on how many other points
+        // the sweep carries (seeding is per point, not per job).
+        let single = Campaign::new(InquiryScenario::new(InquiryConfig::default()))
+            .runs(runs)
+            .base_seed(seed)
+            .run();
+        let swept = Campaign::sweep([
+            ("a".to_string(), InquiryScenario::new(InquiryConfig::default())),
+            ("b".to_string(), InquiryScenario::new(InquiryConfig::default())),
+        ])
+        .runs(runs)
+        .base_seed(seed)
+        .run();
+        prop_assert_eq!(&single.points[0].outcomes, &swept.points[0].outcomes);
+        prop_assert_eq!(&single.points[0].outcomes, &swept.points[1].outcomes);
+    }
+}

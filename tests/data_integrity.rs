@@ -13,8 +13,8 @@ fn connected_pair(seed: u64, ber: f64) -> (Simulator, usize, usize, u8) {
     let m = b.add_device("master");
     let s = b.add_device("slave1");
     let mut sim = b.build();
-    let lt = connect_pair(&mut sim, m, s, SimTime::from_us(120_000_000))
-        .expect("pair must connect");
+    let lt =
+        connect_pair(&mut sim, m, s, SimTime::from_us(120_000_000)).expect("pair must connect");
     (sim, m, s, lt)
 }
 
@@ -23,9 +23,7 @@ fn received_stream(sim: &Simulator, dev: usize, after: SimTime) -> Vec<u8> {
         .iter()
         .filter(|e| e.device == dev && e.at >= after)
         .filter_map(|e| match &e.event {
-            LcEvent::AclReceived { data, llid, .. }
-                if *llid != btsim::baseband::Llid::Lmp =>
-            {
+            LcEvent::AclReceived { data, llid, .. } if *llid != btsim::baseband::Llid::Lmp => {
                 Some(data.clone())
             }
             _ => None,

@@ -54,7 +54,11 @@ fn fig7_page_sweep_shape() {
 fn fig8_page_is_the_bottleneck() {
     let f = fig8_creation_failure(&quick(12));
     let last = f.rows.last().unwrap();
-    assert!(last.page_failure > 0.8, "page failure {}", last.page_failure);
+    assert!(
+        last.page_failure > 0.8,
+        "page failure {}",
+        last.page_failure
+    );
     assert!(
         last.page_failure > last.inquiry_failure,
         "page must fail more than inquiry at BER 1/30"
@@ -72,8 +76,16 @@ fn fig10_linear_tx_above_rx() {
         assert!(r.tx > r.rx, "TX above RX at duty {}", r.duty);
     }
     // Roughly linear: activity at 2% ≈ 4× activity at 0.5%.
-    let low = f.rows.iter().find(|r| (r.duty - 0.005).abs() < 1e-9).unwrap();
-    let high = f.rows.iter().find(|r| (r.duty - 0.02).abs() < 1e-9).unwrap();
+    let low = f
+        .rows
+        .iter()
+        .find(|r| (r.duty - 0.005).abs() < 1e-9)
+        .unwrap();
+    let high = f
+        .rows
+        .iter()
+        .find(|r| (r.duty - 0.02).abs() < 1e-9)
+        .unwrap();
     let ratio = high.tx / low.tx;
     assert!(
         (3.0..5.0).contains(&ratio),

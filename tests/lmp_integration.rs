@@ -72,10 +72,15 @@ fn lmp_sniff_negotiation_switches_both_sides() {
     let skew = tm.slots().abs_diff(ts.slots());
     assert!(skew <= 2, "mode-change skew {skew} slots");
     // The link still works inside sniff windows.
-    let applied = sim
-        .lm_events()
-        .iter()
-        .any(|e| matches!(e.event, LmEvent::ModeApplied { of: Opcode::SniffReq, .. }));
+    let applied = sim.lm_events().iter().any(|e| {
+        matches!(
+            e.event,
+            LmEvent::ModeApplied {
+                of: Opcode::SniffReq,
+                ..
+            }
+        )
+    });
     assert!(applied);
 }
 
@@ -107,21 +112,21 @@ fn lmp_hold_negotiation_suspends_both_sides_at_agreed_instant() {
     let skew = hm[0].slots().abs_diff(hs[0].slots());
     assert!(skew <= 2, "hold skew {skew} slots");
     // The slave comes back afterwards.
-    let resumed = sim
-        .events()
-        .iter()
-        .any(|e| {
-            e.device == s
-                && e.at > hs[0]
-                && matches!(
-                    e.event,
-                    LcEvent::ModeChanged {
-                        mode: LinkMode::Active,
-                        ..
-                    }
-                )
-        });
-    assert!(resumed, "slave must resynchronise after the negotiated hold");
+    let resumed = sim.events().iter().any(|e| {
+        e.device == s
+            && e.at > hs[0]
+            && matches!(
+                e.event,
+                LcEvent::ModeChanged {
+                    mode: LinkMode::Active,
+                    ..
+                }
+            )
+    });
+    assert!(
+        resumed,
+        "slave must resynchronise after the negotiated hold"
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use btsim::baseband::{LcCommand, LcEvent};
 use btsim::core::scenario::{
     paper_config, CreationConfig, CreationScenario, InquiryConfig, InquiryScenario, PageConfig,
-    PageScenario,
+    PageScenario, Scenario,
 };
 use btsim::core::{SimBuilder, SimConfig};
 use btsim::kernel::{SimDuration, SimTime};
@@ -11,23 +11,24 @@ use btsim::kernel::{SimDuration, SimTime};
 #[test]
 fn creation_succeeds_for_every_piconet_size() {
     for n_slaves in 1..=3 {
-        let out = CreationScenario::new(CreationConfig {
+        let scenario = CreationScenario::new(CreationConfig {
             n_slaves,
             ber: 0.0,
             inquiry_timeout_slots: 16 * 2048,
             page_timeout_slots: 2048,
             sim: paper_config(),
-        })
-        .run(0, 1000 + n_slaves as u64);
+        });
+        let mut sim = scenario.build(1000 + n_slaves as u64);
+        let out = scenario.drive(&mut sim);
         assert!(
             out.piconet_complete(),
             "{n_slaves}-slave piconet failed: inquiry_ok={} pages={:?}",
             out.inquiry_ok,
             out.pages
         );
-        assert_eq!(out.sim.lc(0).connected_slaves().len(), n_slaves);
+        assert_eq!(sim.lc(0).connected_slaves().len(), n_slaves);
         for s in 1..=n_slaves {
-            assert!(out.sim.lc(s).is_slave(), "device {s} should be a slave");
+            assert!(sim.lc(s).is_slave(), "device {s} should be a slave");
         }
     }
 }
@@ -35,14 +36,15 @@ fn creation_succeeds_for_every_piconet_size() {
 #[test]
 fn seven_slave_piconet_forms() {
     // The maximum piconet the standard allows.
-    let out = CreationScenario::new(CreationConfig {
+    let scenario = CreationScenario::new(CreationConfig {
         n_slaves: 7,
         ber: 0.0,
         inquiry_timeout_slots: 48 * 2048,
         page_timeout_slots: 4096,
         sim: paper_config(),
-    })
-    .run(0, 77);
+    });
+    let mut sim = scenario.build(77);
+    let out = scenario.drive(&mut sim);
     assert!(
         out.piconet_complete(),
         "7-slave piconet failed: discovered={} pages={:?}",
@@ -50,7 +52,12 @@ fn seven_slave_piconet_forms() {
         out.pages
     );
     // All LT_ADDRs distinct and in 1..=7.
-    let mut lts: Vec<u8> = out.sim.lc(0).connected_slaves().iter().map(|(lt, _)| *lt).collect();
+    let mut lts: Vec<u8> = sim
+        .lc(0)
+        .connected_slaves()
+        .iter()
+        .map(|(lt, _)| *lt)
+        .collect();
     lts.sort_unstable();
     lts.dedup();
     assert_eq!(lts.len(), 7);
@@ -60,12 +67,14 @@ fn seven_slave_piconet_forms() {
 #[test]
 fn creation_is_bit_reproducible() {
     let run = |seed: u64| {
-        let out = CreationScenario::new(CreationConfig::default()).run(0, seed);
+        let scenario = CreationScenario::new(CreationConfig::default());
+        let mut sim = scenario.build(seed);
+        let out = scenario.drive(&mut sim);
         (
             out.inquiry_slots,
             out.pages.clone(),
-            out.sim.events().len(),
-            out.sim.measured_ber().to_bits(),
+            sim.events().len(),
+            sim.measured_ber().to_bits(),
         )
     };
     assert_eq!(run(31), run(31));
@@ -148,7 +157,11 @@ fn scanning_devices_keep_rx_always_on() {
     sim.command(s, LcCommand::InquiryScan);
     sim.run_until(SimTime::from_us(2_000_000));
     let rep = sim.power_report(s);
-    assert!(rep.rx_activity() > 0.95, "rx activity {}", rep.rx_activity());
+    assert!(
+        rep.rx_activity() > 0.95,
+        "rx activity {}",
+        rep.rx_activity()
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 
 use btsim::baseband::{LcCommand, LcEvent, LifePhase, LinkMode, SniffParams};
 use btsim::core::scenario::{
-    connect_pair, paper_config, HoldConfig, HoldScenario, SniffConfig, SniffScenario,
+    connect_pair, paper_config, HoldConfig, HoldScenario, Scenario, SniffConfig, SniffScenario,
 };
 use btsim::core::SimBuilder;
 use btsim::kernel::{SimDuration, SimTime};
@@ -75,8 +75,20 @@ fn sniffing_slave_still_receives_the_periodic_data() {
         d_sniff: sim.lc(m).clkn(t0).slot() % 50,
         n_timeout: 0,
     };
-    sim.command(m, LcCommand::Sniff { lt_addr: lt, params });
-    sim.command(s, LcCommand::Sniff { lt_addr: lt, params });
+    sim.command(
+        m,
+        LcCommand::Sniff {
+            lt_addr: lt,
+            params,
+        },
+    );
+    sim.command(
+        s,
+        LcCommand::Sniff {
+            lt_addr: lt,
+            params,
+        },
+    );
     let n_packets = 20u64;
     for k in 0..n_packets {
         sim.command_at(
@@ -135,23 +147,32 @@ fn hold_suspends_and_resumes_the_link() {
     let s = b.add_device("slave1");
     let mut sim = b.build();
     let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("connects");
-    sim.command(m, LcCommand::Hold { lt_addr: lt, hold_slots: 200 });
-    sim.command(s, LcCommand::Hold { lt_addr: lt, hold_slots: 200 });
-    let hold_start = sim.now();
-    // The slave resumes after the hold expires and the master polls it.
-    let resumed = sim.run_until_event(
-        hold_start + SimDuration::from_slots(400),
-        |e| {
-            e.device == 1
-                && matches!(
-                    e.event,
-                    LcEvent::ModeChanged {
-                        mode: LinkMode::Active,
-                        ..
-                    }
-                )
+    sim.command(
+        m,
+        LcCommand::Hold {
+            lt_addr: lt,
+            hold_slots: 200,
         },
     );
+    sim.command(
+        s,
+        LcCommand::Hold {
+            lt_addr: lt,
+            hold_slots: 200,
+        },
+    );
+    let hold_start = sim.now();
+    // The slave resumes after the hold expires and the master polls it.
+    let resumed = sim.run_until_event(hold_start + SimDuration::from_slots(400), |e| {
+        e.device == 1
+            && matches!(
+                e.event,
+                LcEvent::ModeChanged {
+                    mode: LinkMode::Active,
+                    ..
+                }
+            )
+    });
     let resumed = resumed.expect("slave must resynchronise after hold");
     let held_slots = resumed.at.slots() - hold_start.slots();
     assert!(
@@ -167,7 +188,13 @@ fn hold_suspends_and_resumes_the_link() {
         hold_phase.activity()
     );
     // Data flows again after resume.
-    sim.command(m, LcCommand::AclData { lt_addr: lt, data: vec![9; 5] });
+    sim.command(
+        m,
+        LcCommand::AclData {
+            lt_addr: lt,
+            data: vec![9; 5],
+        },
+    );
     let got = sim.run_until_event(sim.now() + SimDuration::from_slots(300), |e| {
         e.device == 1 && matches!(e.event, LcEvent::AclReceived { .. })
     });
@@ -181,8 +208,20 @@ fn parked_slave_wakes_only_for_beacons() {
     let s = b.add_device("slave1");
     let mut sim = b.build();
     let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("connects");
-    sim.command(m, LcCommand::Park { lt_addr: lt, beacon_interval: 200 });
-    sim.command(s, LcCommand::Park { lt_addr: lt, beacon_interval: 200 });
+    sim.command(
+        m,
+        LcCommand::Park {
+            lt_addr: lt,
+            beacon_interval: 200,
+        },
+    );
+    sim.command(
+        s,
+        LcCommand::Park {
+            lt_addr: lt,
+            beacon_interval: 200,
+        },
+    );
     let start = sim.now();
     sim.run_until(start + SimDuration::from_slots(20_000));
     let rep = sim.power_report(1);
@@ -196,7 +235,13 @@ fn parked_slave_wakes_only_for_beacons() {
     // Unpark restores the link.
     sim.command(m, LcCommand::Unpark { lt_addr: lt });
     sim.command(s, LcCommand::Unpark { lt_addr: lt });
-    sim.command(m, LcCommand::AclData { lt_addr: lt, data: vec![7; 3] });
+    sim.command(
+        m,
+        LcCommand::AclData {
+            lt_addr: lt,
+            data: vec![7; 3],
+        },
+    );
     let got = sim.run_until_event(sim.now() + SimDuration::from_slots(400), |e| {
         e.device == 1 && matches!(e.event, LcEvent::AclReceived { .. })
     });

@@ -21,8 +21,20 @@ fn setup_sco(sim: &mut Simulator, m: usize, s: usize, lt: u8, ptype: PacketType)
     // Anchor on an even piconet slot a little in the future.
     let d_sco = sim.lc(m).clkn(sim.now()).slot().wrapping_add(8) & !1;
     let params = ScoParams::for_type(ptype, d_sco);
-    sim.command(m, LcCommand::ScoSetup { lt_addr: lt, params });
-    sim.command(s, LcCommand::ScoSetup { lt_addr: lt, params });
+    sim.command(
+        m,
+        LcCommand::ScoSetup {
+            lt_addr: lt,
+            params,
+        },
+    );
+    sim.command(
+        s,
+        LcCommand::ScoSetup {
+            lt_addr: lt,
+            params,
+        },
+    );
     params
 }
 
@@ -60,7 +72,10 @@ fn hv3_frames_flow_both_ways_at_the_reserved_rate() {
         up.len(),
         expected
     );
-    assert!(down.iter().all(|f| f.len() == 30), "HV3 frames are 30 bytes");
+    assert!(
+        down.iter().all(|f| f.len() == 30),
+        "HV3 frames are 30 bytes"
+    );
 }
 
 #[test]
@@ -162,9 +177,7 @@ fn sco_coexists_with_acl_data() {
         .iter()
         .filter(|e| e.device == s && e.at >= start)
         .filter_map(|e| match &e.event {
-            LcEvent::AclReceived { data, llid, .. }
-                if *llid != btsim::baseband::Llid::Lmp =>
-            {
+            LcEvent::AclReceived { data, llid, .. } if *llid != btsim::baseband::Llid::Lmp => {
                 Some(data.clone())
             }
             _ => None,
