@@ -149,6 +149,17 @@ impl LinkState {
         }
     }
 
+    /// The ARQN bit for the next response, consumed on use: an ACK is
+    /// sent once per received CRC packet. Were it sticky, a response to
+    /// a keep-alive POLL after a hold would carry a stale ACK and
+    /// acknowledge an in-flight packet the peer never received (a real
+    /// loss on scatternet bridges, which hold links all the time).
+    /// If the ACK itself is lost the peer retransmits, the dedup path
+    /// re-arms the flag, and the next response acknowledges again.
+    pub(crate) fn take_arqn(&mut self) -> bool {
+        std::mem::take(&mut self.arqn_to_send)
+    }
+
     /// Processes the SEQN of a received CRC packet; returns true when the
     /// payload is new (not a retransmission). Always arms the ACK.
     pub(crate) fn on_rx_crc_packet(&mut self, seqn: bool) -> bool {
@@ -255,24 +266,44 @@ fn fit_type(prefer: PacketType, len: usize) -> PacketType {
         .unwrap_or(ladder.last().expect("ladder is non-empty"))
 }
 
+/// How "awake" a link mode keeps the radio (lower = more awake). The
+/// phase of a device with several slave links is its most awake one.
+fn mode_rank(mode: LinkMode) -> u8 {
+    match mode {
+        LinkMode::Active => 0,
+        LinkMode::Sniff => 1,
+        LinkMode::Hold => 2,
+        LinkMode::Park => 3,
+    }
+}
+
 impl LinkController {
-    /// Life phase implied by the current connection mode.
+    /// Life phase implied by the current connection mode(s). A device
+    /// with several slave links (a scatternet bridge) is attributed the
+    /// most awake of its link modes: while one piconet is held the
+    /// radio is still busy following the other.
     pub(crate) fn connection_phase(&self) -> LifePhase {
-        if let Some(s) = &self.slave {
-            match s.mode {
-                LinkMode::Active => LifePhase::Active,
-                LinkMode::Sniff => LifePhase::Sniff,
-                LinkMode::Hold => LifePhase::Hold,
-                LinkMode::Park => LifePhase::Park,
-            }
-        } else {
-            LifePhase::Active
+        let awakest = self
+            .slave_links
+            .iter()
+            .map(|s| s.mode)
+            .min_by_key(|m| mode_rank(*m));
+        match awakest {
+            Some(LinkMode::Active) | None => LifePhase::Active,
+            Some(LinkMode::Sniff) => LifePhase::Sniff,
+            Some(LinkMode::Hold) => LifePhase::Hold,
+            Some(LinkMode::Park) => LifePhase::Park,
         }
     }
 
     pub(crate) fn tick_connection(&mut self, now: SimTime, out: &mut Vec<LcAction>) {
         self.master_tick(now, out);
-        self.slave_tick(now, out);
+        let mut i = 0;
+        while i < self.slave_links.len() {
+            if self.slave_tick_one(i, now, out) {
+                i += 1;
+            }
+        }
     }
 
     pub(crate) fn rx_connection(
@@ -284,8 +315,12 @@ impl LinkController {
         if self.master.is_some() {
             self.master_rx(rx, now, out);
         }
-        if self.slave.is_some() {
-            self.slave_rx(rx, now, out);
+        // Each slave link listens under its own master's access code;
+        // the first link whose keys decode the packet consumes it.
+        for i in 0..self.slave_links.len() {
+            if self.slave_rx_one(i, rx, now, out) {
+                break;
+            }
         }
     }
 
@@ -348,7 +383,7 @@ impl LinkController {
                 lt_addr: slave.lt_addr,
                 ptype: params.ptype,
                 flow: true,
-                arqn: slave.link.arqn_to_send,
+                arqn: slave.link.take_arqn(),
                 seqn: slave.link.seqn_out,
             };
             let bits = packet::encode(&keys, &header, &Payload::Sco(frame));
@@ -443,7 +478,7 @@ impl LinkController {
                         lt_addr: slave.lt_addr,
                         ptype,
                         flow: true,
-                        arqn: slave.link.arqn_to_send,
+                        arqn: slave.link.take_arqn(),
                         seqn: slave.link.seqn_out,
                     },
                     Payload::Acl {
@@ -458,7 +493,7 @@ impl LinkController {
                     lt_addr: slave.lt_addr,
                     ptype: PacketType::Poll,
                     flow: true,
-                    arqn: slave.link.arqn_to_send,
+                    arqn: slave.link.take_arqn(),
                     seqn: slave.link.seqn_out,
                 },
                 Payload::None,
@@ -559,7 +594,9 @@ impl LinkController {
 
     // ----- slave side -----------------------------------------------------
 
-    fn slave_tick(&mut self, now: SimTime, out: &mut Vec<LcAction>) {
+    /// Ticks slave link `i`; returns `false` when the link was dropped
+    /// (so the caller must not advance its index).
+    fn slave_tick_one(&mut self, i: usize, now: SimTime, out: &mut Vec<LcAction>) -> bool {
         let clkn = self.clkn(now);
         let peek = self.peek_duration();
         let sniff_listen_us = self.cfg.sniff_listen_us;
@@ -578,7 +615,7 @@ impl LinkController {
             },
         }
         let todo = {
-            let Some(s) = &mut self.slave else { return };
+            let s = &mut self.slave_links[i];
             let clk = clkn.offset_by(s.clk_offset);
             if s.newconn_deadline_slot.is_some_and(|d| now_slot >= d) {
                 Todo::RevertToPageScan
@@ -668,11 +705,14 @@ impl LinkController {
             }
         };
         match todo {
-            Todo::Nothing => {}
+            Todo::Nothing => true,
             Todo::RevertToPageScan => {
-                self.slave = None;
+                self.slave_links.remove(i);
                 out.push(LcAction::RxOff);
-                self.start_page_scan(now, out);
+                if self.slave_links.is_empty() && !self.is_master() {
+                    self.start_page_scan(now, out);
+                }
+                false
             }
             Todo::Window { until, clk, master } => {
                 let ch = conn_channel(clk, master.hop_input(), afh.as_ref());
@@ -681,11 +721,20 @@ impl LinkController {
                     until: Some(until),
                     rf_channel: ch,
                 });
+                true
             }
         }
     }
 
-    fn slave_rx(&mut self, rx: &super::RxDelivery, now: SimTime, out: &mut Vec<LcAction>) {
+    /// Feeds a reception to slave link `i`; returns `true` when the
+    /// packet decoded under that link's access code (and was consumed).
+    fn slave_rx_one(
+        &mut self,
+        i: usize,
+        rx: &super::RxDelivery,
+        now: SimTime,
+        out: &mut Vec<LcAction>,
+    ) -> bool {
         let clkn_start = self.clkn(rx.start);
         let acl_prefer = self.acl_type;
         let sync_threshold = self.cfg.sync_threshold;
@@ -693,7 +742,7 @@ impl LinkController {
         let afh = self.afh.clone();
         let now_slot = now.slots();
 
-        let Some(s) = &mut self.slave else { return };
+        let s = &mut self.slave_links[i];
         let clk_start = clkn_start.offset_by(s.clk_offset);
         let keys = LinkKeys {
             lap: s.master.lap(),
@@ -705,14 +754,14 @@ impl LinkController {
         let Ok(packet::Decoded::Packet { header, payload }) =
             packet::decode(&rx.bits, rx.collision_mask.as_ref(), &keys)
         else {
-            return;
+            return false;
         };
         let broadcast = header.lt_addr == 0;
         if !broadcast && header.lt_addr != s.lt_addr {
-            return; // addressed to another slave
+            return true; // this piconet, but addressed to another slave
         }
         let mut events = Vec::new();
-        let mut phase_change = None;
+        let mut phase_change = false;
         // First packet of a new connection: we are in the piconet.
         if s.newconn_deadline_slot.take().is_some() {
             s.listening_full_slot = false;
@@ -729,7 +778,7 @@ impl LinkController {
                 lt_addr: s.lt_addr,
                 mode: LinkMode::Active,
             });
-            phase_change = Some(LifePhase::Active);
+            phase_change = true;
         }
         if !broadcast && s.link.on_arqn(header.arqn) {
             events.push(LcEvent::AclDelivered { lt_addr: s.lt_addr });
@@ -773,7 +822,7 @@ impl LinkController {
                     lt_addr: s.lt_addr,
                     ptype: params.ptype,
                     flow: true,
-                    arqn: s.link.arqn_to_send,
+                    arqn: s.link.take_arqn(),
                     seqn: s.link.seqn_out,
                 };
                 let bits = packet::encode(&resp_keys, &resp_header, &Payload::Sco(frame));
@@ -788,10 +837,10 @@ impl LinkController {
             for e in events {
                 out.push(LcAction::Event(e));
             }
-            if let Some(p) = phase_change {
-                self.set_phase(p, out);
+            if phase_change {
+                self.set_phase(self.connection_phase(), out);
             }
-            return;
+            return true;
         }
         // Respond when addressed with POLL or a CRC data packet.
         let must_respond =
@@ -817,7 +866,7 @@ impl LinkController {
                                 lt_addr: s.lt_addr,
                                 ptype,
                                 flow: true,
-                                arqn: s.link.arqn_to_send,
+                                arqn: s.link.take_arqn(),
                                 seqn: s.link.seqn_out,
                             },
                             Payload::Acl {
@@ -832,7 +881,7 @@ impl LinkController {
                             lt_addr: s.lt_addr,
                             ptype: PacketType::Null,
                             flow: true,
-                            arqn: s.link.arqn_to_send,
+                            arqn: s.link.take_arqn(),
                             seqn: s.link.seqn_out,
                         },
                         Payload::None,
@@ -851,9 +900,10 @@ impl LinkController {
         for e in events {
             out.push(LcAction::Event(e));
         }
-        if let Some(p) = phase_change {
-            self.set_phase(p, out);
+        if phase_change {
+            self.set_phase(self.connection_phase(), out);
         }
+        true
     }
 
     // ----- mode commands ---------------------------------------------------
@@ -883,8 +933,8 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
-            s.sco = Some(params);
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            self.slave_links[i].sco = Some(params);
         }
         let _ = out;
     }
@@ -897,7 +947,8 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            let s = &mut self.slave_links[i];
             s.sco = None;
             s.sco_out.clear();
         }
@@ -923,7 +974,8 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            let s = &mut self.slave_links[i];
             s.mode = LinkMode::Sniff;
             s.sniff = Some(params);
             s.sniff_ext_until_slot = None;
@@ -933,7 +985,7 @@ impl LinkController {
                 lt_addr: lt,
                 mode: LinkMode::Sniff,
             }));
-            self.set_phase(LifePhase::Sniff, out);
+            self.set_phase(self.connection_phase(), out);
         }
     }
 
@@ -949,7 +1001,8 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            let s = &mut self.slave_links[i];
             s.mode = LinkMode::Active;
             s.sniff = None;
             let lt = s.lt_addr;
@@ -957,7 +1010,7 @@ impl LinkController {
                 lt_addr: lt,
                 mode: LinkMode::Active,
             }));
-            self.set_phase(LifePhase::Active, out);
+            self.set_phase(self.connection_phase(), out);
         }
     }
 
@@ -981,18 +1034,40 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
-            s.mode = LinkMode::Hold;
-            s.hold_until_slot = Some(until);
-            s.resync = false;
-            let lt = s.lt_addr;
-            out.push(LcAction::RxOff);
-            out.push(LcAction::Event(LcEvent::ModeChanged {
-                lt_addr: lt,
-                mode: LinkMode::Hold,
-            }));
-            self.set_phase(LifePhase::Hold, out);
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            self.hold_slave_link(i, until, out);
         }
+    }
+
+    /// Slave-side hold addressed by piconet master (unambiguous on a
+    /// scatternet bridge whose links may share an LT_ADDR).
+    pub(crate) fn cmd_hold_piconet(
+        &mut self,
+        master: BdAddr,
+        hold_slots: u32,
+        now: SimTime,
+        out: &mut Vec<LcAction>,
+    ) {
+        let until = now.slots() + 1 + hold_slots as u64;
+        if let Some(i) = self.slave_index_of_master(master) {
+            self.hold_slave_link(i, until, out);
+        }
+    }
+
+    fn hold_slave_link(&mut self, i: usize, until_slot: u64, out: &mut Vec<LcAction>) {
+        let s = &mut self.slave_links[i];
+        s.mode = LinkMode::Hold;
+        s.hold_until_slot = Some(until_slot);
+        s.resync = false;
+        let lt = s.lt_addr;
+        // The radio leaves this piconet; links to other piconets re-open
+        // their own windows at their next master-slot tick.
+        out.push(LcAction::RxOff);
+        out.push(LcAction::Event(LcEvent::ModeChanged {
+            lt_addr: lt,
+            mode: LinkMode::Hold,
+        }));
+        self.set_phase(self.connection_phase(), out);
     }
 
     pub(crate) fn cmd_park(
@@ -1014,7 +1089,8 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            let s = &mut self.slave_links[i];
             s.mode = LinkMode::Park;
             s.park_beacon_interval = beacon_interval;
             s.parked_lt = s.lt_addr;
@@ -1024,7 +1100,7 @@ impl LinkController {
                 lt_addr: lt,
                 mode: LinkMode::Park,
             }));
-            self.set_phase(LifePhase::Park, out);
+            self.set_phase(self.connection_phase(), out);
         }
     }
 
@@ -1040,14 +1116,15 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            let s = &mut self.slave_links[i];
             s.mode = LinkMode::Active;
             let lt = s.lt_addr;
             out.push(LcAction::Event(LcEvent::ModeChanged {
                 lt_addr: lt,
                 mode: LinkMode::Active,
             }));
-            self.set_phase(LifePhase::Active, out);
+            self.set_phase(self.connection_phase(), out);
         }
     }
 
@@ -1064,7 +1141,8 @@ impl LinkController {
             self.settle_state(out);
             return;
         }
-        if self.slave.take().is_some() {
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            self.slave_links.remove(i);
             out.push(LcAction::RxOff);
             out.push(LcAction::Event(LcEvent::Detached { lt_addr }));
             self.settle_state(out);
@@ -1191,5 +1269,35 @@ mod tests {
         let p = SniffParams::default();
         assert_eq!(p.t_sniff, 100);
         assert_eq!(p.n_attempt, 1);
+    }
+
+    #[test]
+    fn slave_cmd_index_refuses_colliding_lt_addrs() {
+        use crate::clock::Clock;
+        use crate::lc::LcConfig;
+        let mut lc = LinkController::new(
+            BdAddr::new(0, 1, 0x111111),
+            Clock::new(ClkVal::new(0)),
+            LcConfig::default(),
+            1,
+        );
+        let m1 = BdAddr::new(0, 2, 0x222222);
+        let m2 = BdAddr::new(0, 3, 0x333333);
+        lc.slave_links.push(super::SlaveCtx::new(m1, 2, 0, 100));
+        // Single link: LT_ADDR is effectively ignored (legacy).
+        assert_eq!(lc.slave_cmd_index(2), Some(0));
+        assert_eq!(lc.slave_cmd_index(5), Some(0));
+        // Two links with distinct LT_ADDRs: exact match only.
+        lc.slave_links.push(super::SlaveCtx::new(m2, 3, 0, 100));
+        assert_eq!(lc.slave_cmd_index(2), Some(0));
+        assert_eq!(lc.slave_cmd_index(3), Some(1));
+        assert_eq!(lc.slave_cmd_index(5), None);
+        // Colliding LT_ADDRs: ambiguous, targets nothing (acting on
+        // the wrong piconet's link would desynchronise the bridge).
+        lc.slave_links[1].lt_addr = 2;
+        assert_eq!(lc.slave_cmd_index(2), None);
+        // Master-addressed lookup stays unambiguous.
+        assert_eq!(lc.slave_index_of_master(m1), Some(0));
+        assert_eq!(lc.slave_index_of_master(m2), Some(1));
     }
 }

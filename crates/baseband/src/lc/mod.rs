@@ -228,6 +228,24 @@ pub enum LcCommand {
         /// Duration of the hold in slots.
         hold_slots: u32,
     },
+    /// Hold the slave link to a specific piconet master. Scatternet
+    /// bridges keep several slave links whose LT_ADDRs may coincide;
+    /// the master address is always unambiguous.
+    HoldPiconet {
+        /// Master of the piconet whose link is held.
+        master: BdAddr,
+        /// Duration of the hold in slots.
+        hold_slots: u32,
+    },
+    /// Queue ACL user data on the slave link to a specific piconet
+    /// master (the bridge-side uplink of a scatternet relay; plain
+    /// [`LcCommand::AclData`] selects the link by LT_ADDR).
+    AclDataTo {
+        /// Master of the piconet the data goes up into.
+        master: BdAddr,
+        /// Payload bytes.
+        data: Vec<u8>,
+    },
     /// Park the slave (Enable_park_mode).
     Park {
         /// Link to park.
@@ -400,7 +418,10 @@ pub struct LinkController {
     pub(crate) rng: SimRng,
     pub(crate) state: ProcState,
     pub(crate) master: Option<MasterCtx>,
-    pub(crate) slave: Option<SlaveCtx>,
+    /// Slave links, one per piconet this device is a slave in. A plain
+    /// slave holds one; a scatternet bridge holds one per bridged
+    /// piconet and time-multiplexes the radio between them via hold.
+    pub(crate) slave_links: Vec<SlaveCtx>,
     pub(crate) acl_type: PacketType,
     pub(crate) t_poll: u32,
     pub(crate) afh: Option<hop::ChannelMap>,
@@ -421,7 +442,7 @@ impl LinkController {
             rng: SimRng::new(seed),
             state: ProcState::Standby,
             master: None,
-            slave: None,
+            slave_links: Vec::new(),
             acl_type,
             t_poll,
             afh: None,
@@ -450,9 +471,18 @@ impl LinkController {
         self.master.as_ref().is_some_and(|m| !m.slaves.is_empty())
     }
 
-    /// Whether this controller is a slave in a piconet.
+    /// Whether this controller is a slave in at least one piconet.
     pub fn is_slave(&self) -> bool {
-        self.slave.is_some()
+        !self.slave_links.is_empty()
+    }
+
+    /// Slave links as `(lt_addr, master address)` pairs, in join order
+    /// (one entry per piconet this device is a slave in).
+    pub fn slave_masters(&self) -> Vec<(u8, BdAddr)> {
+        self.slave_links
+            .iter()
+            .map(|s| (s.lt_addr, s.master))
+            .collect()
     }
 
     /// Half-slot tick: drive the current state.
@@ -519,6 +549,10 @@ impl LinkController {
                 lt_addr,
                 hold_slots,
             } => self.cmd_hold(lt_addr, hold_slots, now, &mut out),
+            LcCommand::HoldPiconet { master, hold_slots } => {
+                self.cmd_hold_piconet(master, hold_slots, now, &mut out)
+            }
+            LcCommand::AclDataTo { master, data } => self.queue_payload_to(master, data),
             LcCommand::Park {
                 lt_addr,
                 beacon_interval,
@@ -592,6 +626,37 @@ impl LinkController {
         }
     }
 
+    /// Index of the slave link a slave-side command with `lt_addr`
+    /// targets: the link whose LT_ADDR matches *uniquely*, or —
+    /// preserving the pre-scatternet "LT_ADDR is ignored on the slave
+    /// side" behaviour — the sole link when there is exactly one.
+    ///
+    /// When several links share the LT_ADDR (each master assigns them
+    /// independently, so a bridge's links can collide) the command is
+    /// ambiguous and targets nothing: acting on the wrong piconet's
+    /// link would silently desynchronise the bridge, whereas a dropped
+    /// mode change merely costs the master some fruitless polling.
+    /// Master-addressed commands ([`LcCommand::HoldPiconet`],
+    /// [`LcCommand::AclDataTo`]) are never ambiguous.
+    pub(crate) fn slave_cmd_index(&self, lt_addr: u8) -> Option<usize> {
+        let mut matches = self
+            .slave_links
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.lt_addr == lt_addr);
+        match (matches.next(), matches.next()) {
+            (Some((i, _)), None) => Some(i),
+            (Some(_), Some(_)) => None, // colliding LT_ADDRs: ambiguous
+            (None, _) if self.slave_links.len() == 1 => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Index of the slave link into the piconet mastered by `master`.
+    pub(crate) fn slave_index_of_master(&self, master: BdAddr) -> Option<usize> {
+        self.slave_links.iter().position(|s| s.master == master)
+    }
+
     fn queue_sco(&mut self, lt_addr: u8, data: Vec<u8>) {
         if let Some(m) = &mut self.master {
             if let Some(slot) = m.slot_mut(lt_addr) {
@@ -599,8 +664,8 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
-            s.sco_out.extend(data);
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            self.slave_links[i].sco_out.extend(data);
         }
     }
 
@@ -611,8 +676,14 @@ impl LinkController {
                 return;
             }
         }
-        if let Some(s) = &mut self.slave {
-            s.link.tx.push(llid, data);
+        if let Some(i) = self.slave_cmd_index(lt_addr) {
+            self.slave_links[i].link.tx.push(llid, data);
+        }
+    }
+
+    fn queue_payload_to(&mut self, master: BdAddr, data: Vec<u8>) {
+        if let Some(i) = self.slave_index_of_master(master) {
+            self.slave_links[i].link.tx.push(packet::Llid::Start, data);
         }
     }
 

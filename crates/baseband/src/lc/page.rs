@@ -403,14 +403,19 @@ impl LinkController {
                 out.push(tx_action(ack_at, channel, packet::encode_id(own_lap)));
                 out.push(LcAction::RxOff);
                 let clk_offset = own_at_fhs_start.offset_to(fhs.clock());
-                self.slave = Some(SlaveCtx::new(
+                // Re-joining the same piconet replaces the old link; a
+                // link to a *different* master is kept — the device
+                // becomes a scatternet bridge with one SlaveCtx per
+                // piconet.
+                self.slave_links.retain(|s| s.master != fhs.addr);
+                self.slave_links.push(SlaveCtx::new(
                     fhs.addr,
                     fhs.lt_addr,
                     clk_offset,
                     now.slots() + newconn as u64,
                 ));
                 self.state = ProcState::Connection;
-                self.set_phase(LifePhase::Active, out);
+                self.set_phase(self.connection_phase(), out);
             }
         }
     }

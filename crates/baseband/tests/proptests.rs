@@ -204,3 +204,87 @@ proptest! {
         prop_assert!(err <= 3, "error {} ticks", err);
     }
 }
+
+// The scatternet subsystem lets many piconets share the 79-channel
+// medium; its inter-piconet collision experiment assumes the
+// connection-state hop sequences of distinct piconets are
+// de-correlated: the *ensemble* same-channel rate over random piconet
+// pairs is ≈ 1/79 per slot. (Individual pairs are over-dispersed —
+// the selection box is a shallow mix, not a PRF: addresses differing
+// only in the final mod-79 addend E give constant-shifted, disjoint
+// sequences, while pairs sharing most control words overlap several
+// times chance — so the property is stated over an ensemble, exactly
+// the quantity the Monte-Carlo collision experiment measures.)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ensemble_hop_overlap_rate_is_one_in_79(
+        addrs in prop::collection::vec(any::<u32>(), 96),
+        offsets in prop::collection::vec(1u32..(1 << 28), 48),
+        start in 0u32..(1 << 24),
+    ) {
+        let per_pair = 2_000u32;
+        let mut pairs = 0u32;
+        let mut same = 0u32;
+        for (chunk, off) in addrs.chunks_exact(2).zip(&offsets) {
+            let a1 = chunk[0] & 0x0FFF_FFFF;
+            let a2 = chunk[1] & 0x0FFF_FFFF;
+            if a1 == a2 {
+                continue;
+            }
+            pairs += 1;
+            same += (0..per_pair)
+                .filter(|&k| {
+                    let c1 = ClkVal::new(start.wrapping_add(2 * k));
+                    let c2 = c1.offset_by(*off);
+                    hop::hop_channel(hop::HopSequence::Connection, c1, a1)
+                        == hop::hop_channel(hop::HopSequence::Connection, c2, a2)
+                })
+                .count() as u32;
+        }
+        prop_assume!(pairs >= 32);
+        let rate = same as f64 / (pairs * per_pair) as f64;
+        // Measured per-pair rate dispersion is σ ≈ 0.011; the mean of
+        // ≥32 pairs has σ ≤ 0.002, so ±0.010 is a ≥5σ band around 1/79.
+        prop_assert!(
+            (rate - 1.0 / 79.0).abs() <= 0.010,
+            "ensemble same-channel rate {rate:.5} not within 1/79 ± 0.010"
+        );
+    }
+
+    #[test]
+    fn shared_clock_ensemble_overlap_does_not_exceed_chance(
+        addrs in prop::collection::vec(any::<u32>(), 96),
+    ) {
+        // Degenerate case: two piconets whose masters' clocks coincide
+        // exactly. Pairwise anything can happen (0 to several times
+        // chance); the ensemble must still not collide systematically
+        // more than 1/79 or the collision experiment's analytic anchor
+        // would be wrong.
+        let per_pair = 2_000u32;
+        let mut pairs = 0u32;
+        let mut same = 0u32;
+        for chunk in addrs.chunks_exact(2) {
+            let a1 = chunk[0] & 0x0FFF_FFFF;
+            let a2 = chunk[1] & 0x0FFF_FFFF;
+            if a1 == a2 {
+                continue;
+            }
+            pairs += 1;
+            same += (0..per_pair)
+                .filter(|&k| {
+                    let clk = ClkVal::new(4 * k); // master TX slot starts
+                    hop::hop_channel(hop::HopSequence::Connection, clk, a1)
+                        == hop::hop_channel(hop::HopSequence::Connection, clk, a2)
+                })
+                .count() as u32;
+        }
+        prop_assume!(pairs >= 32);
+        let rate = same as f64 / (pairs * per_pair) as f64;
+        prop_assert!(
+            rate <= 1.0 / 79.0 + 0.010,
+            "ensemble same-channel rate {rate:.5} exceeds 1/79 + 0.010"
+        );
+    }
+}

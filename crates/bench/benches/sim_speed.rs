@@ -3,6 +3,7 @@
 //! 747 simulated clock cycles per wall second on 2005 hardware).
 
 use btsim_baseband::LcCommand;
+use btsim_core::net::{build_scatternet, MultiPiconetConfig, MultiPiconetScenario, Topology};
 use btsim_core::scenario::{
     connect_pair, paper_config, CreationConfig, CreationScenario, Scenario,
 };
@@ -65,5 +66,76 @@ fn bench_connection_second(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(speed, bench_creation_048s, bench_connection_second);
+/// Multi-piconet scaling: slots/sec as saturated piconets are added to
+/// the shared medium — the scatternet baseline future perf PRs measure
+/// against. One iteration = 1000 slots of steady-state traffic on an
+/// already-formed N-piconet simulator, so the numbers isolate the
+/// steady-state engine cost from topology formation.
+fn bench_scatternet_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatternet_scaling");
+    group.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("steady_{n}_piconets_1000_slots"), |b| {
+            b.iter_batched(
+                || {
+                    let mut topo = Topology::new();
+                    for p in 0..n {
+                        topo.piconet(&format!("p{p}"), 1);
+                    }
+                    let (mut sim, map) =
+                        build_scatternet(&topo, 42, paper_config()).expect("clean channel forms");
+                    for p in 0..n {
+                        let lt = map.link(p, topo.slave_device(p, 0)).unwrap().lt_addr;
+                        sim.command(topo.master_device(p), LcCommand::SetTpoll(2));
+                        sim.command(
+                            topo.master_device(p),
+                            LcCommand::AclData {
+                                lt_addr: lt,
+                                data: vec![0x5A; 10_000],
+                            },
+                        );
+                    }
+                    sim
+                },
+                |mut sim| {
+                    let end = sim.now() + SimDuration::from_slots(1000);
+                    sim.run_until(end);
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// A full multi-piconet scenario run per seed — formation plus the
+/// saturated traffic window, as a campaign engine would execute it
+/// (no bridges or relay; the bridged chain is covered by the
+/// `scatternet` scenario tests and `scat_bridge` experiment).
+fn bench_scatternet_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatternet_scaling");
+    group.sample_size(10);
+    group.bench_function("multi_piconet_scenario_4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            MultiPiconetScenario::new(MultiPiconetConfig {
+                piconets: 4,
+                measure_slots: 1_000,
+                ..MultiPiconetConfig::default()
+            })
+            .run(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    speed,
+    bench_creation_048s,
+    bench_connection_second,
+    bench_scatternet_scaling,
+    bench_scatternet_scenario
+);
 criterion_main!(speed);

@@ -77,6 +77,28 @@ pub fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
                     format!("invalid --threads value: {v:?} (expected a count, 0 = auto)")
                 })?;
             }
+            "--piconets" => {
+                let v = value("--piconets")?;
+                let n: usize = v.parse().map_err(|_| {
+                    format!("invalid --piconets value: {v:?} (expected a count ≥ 1)")
+                })?;
+                if n == 0 {
+                    return Err("invalid --piconets value: 0 (expected a count ≥ 1)".into());
+                }
+                opts.exp.piconets = Some(n);
+            }
+            "--bridge-duty" => {
+                let v = value("--bridge-duty")?;
+                let d: f64 = v.parse().map_err(|_| {
+                    format!("invalid --bridge-duty value: {v:?} (expected a fraction in (0, 1))")
+                })?;
+                if !(d > 0.0 && d < 1.0) {
+                    return Err(format!(
+                        "invalid --bridge-duty value: {v:?} (expected a fraction in (0, 1))"
+                    ));
+                }
+                opts.exp.bridge_duty = Some(d);
+            }
             "--json" => opts.json = Some(value("--json")?),
             "--list" => opts.list = true,
             flag if flag.starts_with('-') => {
@@ -96,7 +118,10 @@ pub fn parse_cli() -> BenchOptions {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: [--quick] [--runs N] [--seed S] [--threads T] [--json PATH] [NAME…]");
+            eprintln!(
+                "usage: [--quick] [--runs N] [--seed S] [--threads T] [--piconets N] \
+                 [--bridge-duty F] [--json PATH] [NAME…]"
+            );
             std::process::exit(2);
         }
     }
@@ -205,6 +230,31 @@ mod tests {
         assert!(
             parse_args(&argv(&["--frobnicate"])).is_err(),
             "unknown flag"
+        );
+    }
+
+    #[test]
+    fn scatternet_flags_parse_strictly() {
+        let opts = parse_args(&argv(&["--piconets", "4", "--bridge-duty", "0.35"])).unwrap();
+        assert_eq!(opts.exp.piconets, Some(4));
+        assert_eq!(opts.exp.bridge_duty, Some(0.35));
+        // Defaults leave the sweeps untouched.
+        let plain = parse_args(&[]).unwrap();
+        assert_eq!(plain.exp.piconets, None);
+        assert_eq!(plain.exp.bridge_duty, None);
+        // Malformed or out-of-range values are rejected.
+        assert!(parse_args(&argv(&["--piconets", "lots"])).is_err());
+        assert!(parse_args(&argv(&["--piconets", "0"])).is_err());
+        assert!(parse_args(&argv(&["--piconets", "-2"])).is_err());
+        assert!(parse_args(&argv(&["--piconets"])).is_err(), "missing value");
+        assert!(parse_args(&argv(&["--bridge-duty", "half"])).is_err());
+        assert!(parse_args(&argv(&["--bridge-duty", "0"])).is_err());
+        assert!(parse_args(&argv(&["--bridge-duty", "1"])).is_err());
+        assert!(parse_args(&argv(&["--bridge-duty", "1.5"])).is_err());
+        assert!(parse_args(&argv(&["--bridge-duty", "NaN"])).is_err());
+        assert!(
+            parse_args(&argv(&["--bridge-duty"])).is_err(),
+            "missing value"
         );
     }
 

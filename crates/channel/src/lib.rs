@@ -94,11 +94,49 @@ struct Transmission {
     noisy_bits: BitVec,
     /// Wiped by a fixed-band interferer burst.
     jammed: bool,
+    /// Already counted as collided in the medium's [`TxStats`].
+    counted_collided: bool,
 }
 
 impl Transmission {
     fn end(&self) -> SimTime {
         self.start + SimDuration::from_bits(self.noisy_bits.len())
+    }
+}
+
+/// Cumulative transmission statistics of a [`Medium`].
+///
+/// A transmission counts as *collided* when another transmission
+/// overlapped it in both time and RF channel (each transmission is
+/// counted at most once, on both sides of the overlap). Interferer
+/// jamming is not included — it is an external burst, not a
+/// device-vs-device collision. The scatternet experiments measure the
+/// inter-piconet collision rate as `collided / transmissions` deltas
+/// over a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Transmissions registered since construction.
+    pub transmissions: u64,
+    /// Transmissions that overlapped another one on the same channel.
+    pub collided: u64,
+}
+
+impl TxStats {
+    /// Collided fraction (`0` when nothing was transmitted).
+    pub fn collision_rate(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.collided as f64 / self.transmissions as f64
+        }
+    }
+
+    /// Statistics accumulated since an earlier `snapshot`.
+    pub fn since(&self, snapshot: TxStats) -> TxStats {
+        TxStats {
+            transmissions: self.transmissions - snapshot.transmissions,
+            collided: self.collided - snapshot.collided,
+        }
     }
 }
 
@@ -155,6 +193,7 @@ pub struct Medium {
     next_id: u64,
     total_flipped: u64,
     total_bits: u64,
+    tx_stats: TxStats,
 }
 
 impl Medium {
@@ -167,6 +206,7 @@ impl Medium {
             next_id: 0,
             total_flipped: 0,
             total_bits: 0,
+            tx_stats: TxStats::default(),
         }
     }
 
@@ -221,6 +261,25 @@ impl Medium {
                     .map(|i| i.duty)
                     .fold(0.0f64, |acc, d| acc.max(d)),
             );
+        // Collision accounting: overlap in both time and channel with a
+        // still-live transmission marks both sides, once each. The
+        // retention window far exceeds a packet's air time, so the
+        // earlier partner of every overlap is always still registered.
+        let end = start + SimDuration::from_bits(noisy.len());
+        let mut collided = false;
+        for other in &mut self.live {
+            if other.rf_channel == rf_channel && other.start < end && other.end() > start {
+                collided = true;
+                if !other.counted_collided {
+                    other.counted_collided = true;
+                    self.tx_stats.collided += 1;
+                }
+            }
+        }
+        self.tx_stats.transmissions += 1;
+        if collided {
+            self.tx_stats.collided += 1;
+        }
         let id = TxId(self.next_id);
         self.next_id += 1;
         self.live.push(Transmission {
@@ -230,8 +289,14 @@ impl Medium {
             start,
             noisy_bits: noisy,
             jammed,
+            counted_collided: collided,
         });
         id
+    }
+
+    /// Cumulative transmission/collision statistics since construction.
+    pub fn tx_stats(&self) -> TxStats {
+        self.tx_stats
     }
 
     /// End of air time of a transmission (for scheduling its delivery).
@@ -533,6 +598,39 @@ mod tests {
             m.gc(SimTime::from_us(k * 1000), SimDuration::from_us(100));
         }
         assert!((140..260).contains(&hit), "hits {hit}/400 at duty 0.5");
+    }
+
+    #[test]
+    fn tx_stats_count_overlaps_once_per_side() {
+        let mut m = medium(0.0, 1);
+        assert_eq!(m.tx_stats(), TxStats::default());
+        let _a = m.begin_tx(0, 20, SimTime::ZERO, bits(300));
+        let snapshot = m.tx_stats();
+        assert_eq!(snapshot.transmissions, 1);
+        assert_eq!(snapshot.collided, 0);
+        // B overlaps A; C overlaps both; D is on another channel.
+        let _b = m.begin_tx(1, 20, SimTime::from_us(100), bits(100));
+        let _c = m.begin_tx(2, 20, SimTime::from_us(150), bits(100));
+        let _d = m.begin_tx(3, 21, SimTime::from_us(150), bits(100));
+        let s = m.tx_stats();
+        assert_eq!(s.transmissions, 4);
+        assert_eq!(s.collided, 3, "A, B and C collided; D did not");
+        assert!((s.collision_rate() - 0.75).abs() < 1e-12);
+        let delta = s.since(snapshot);
+        assert_eq!(delta.transmissions, 3);
+        assert_eq!(delta.collided, 3);
+    }
+
+    #[test]
+    fn tx_stats_ignore_disjoint_and_cross_channel_traffic() {
+        let mut m = medium(0.0, 1);
+        for k in 0..10u64 {
+            m.begin_tx(0, (k % 5) as u8, SimTime::from_us(k * 1000), bits(100));
+        }
+        let s = m.tx_stats();
+        assert_eq!(s.transmissions, 10);
+        assert_eq!(s.collided, 0);
+        assert_eq!(s.collision_rate(), 0.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ fn main() {
         runs: 60,
         threads: 0,
         base_seed: 0xB1005E,
+        ..ExpOptions::default()
     };
     if arg.is_empty() || arg == "fig6" {
         let f = fig6_inquiry_vs_ber(&opts);

@@ -9,6 +9,7 @@ fn main() {
         runs: 1,
         threads: 0,
         base_seed: 0xB1005E,
+        ..ExpOptions::default()
     };
     let f10 = fig10_master_activity(&opts);
     println!("FIG10 (master activity vs duty):\n{}", f10.table());

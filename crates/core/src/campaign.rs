@@ -25,6 +25,12 @@ pub struct ExpOptions {
     pub threads: usize,
     /// Base seed; run `i` of a point uses `base_seed + i`.
     pub base_seed: u64,
+    /// Override for the scatternet experiments' piconet count: collapse
+    /// their piconet-count sweep to this single point (`--piconets`).
+    pub piconets: Option<usize>,
+    /// Override for the scatternet bridge experiment's duty-cycle
+    /// sweep: run this single duty point (`--bridge-duty`, in (0, 1)).
+    pub bridge_duty: Option<f64>,
 }
 
 impl Default for ExpOptions {
@@ -33,6 +39,8 @@ impl Default for ExpOptions {
             runs: 200,
             threads: 0,
             base_seed: 0x00B1_005E,
+            piconets: None,
+            bridge_duty: None,
         }
     }
 }
@@ -42,8 +50,7 @@ impl ExpOptions {
     pub fn quick() -> Self {
         Self {
             runs: 12,
-            threads: 0,
-            base_seed: 0x00B1_005E,
+            ..Self::default()
         }
     }
 }

@@ -20,6 +20,10 @@ use btsim_stats::{Summary, Table};
 use btsim_trace::{render_ascii, to_vcd, AsciiOptions};
 
 use crate::campaign::Campaign;
+use crate::net::{
+    analytic_collision_rate, BridgePlan, MultiPiconetConfig, MultiPiconetScenario,
+    ScatternetConfig, ScatternetScenario,
+};
 use crate::scenario::{
     connect_pair, paper_config, CoexistenceConfig, CoexistenceScenario, CreationConfig,
     CreationScenario, GoodputConfig, GoodputScenario, HoldConfig, HoldScenario, InquiryConfig,
@@ -1064,6 +1068,303 @@ pub fn ext_wlan_coexistence(opts: &ExpOptions) -> ExtWlan {
     ExtWlan { rows }
 }
 
+// ---------------------------------------------------------------------------
+// Scatternet experiments (the `core::net` subsystem).
+
+/// One row of the inter-piconet collision experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatCollisionRow {
+    /// Number of saturated piconets sharing the band.
+    pub piconets: usize,
+    /// Measured mean collided-transmission fraction.
+    pub collision_rate: f64,
+    /// 95% confidence half-width of the mean.
+    pub ci95: f64,
+    /// Analytic anchor `1 − (78/79)^(2(n−1))` (see
+    /// [`analytic_collision_rate`]).
+    pub analytic: f64,
+    /// Aggregate delivered goodput across all piconets, kbit/s.
+    pub kbps_total: f64,
+}
+
+/// Result of the `scat_collisions` experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatCollisions {
+    /// One row per piconet count.
+    pub rows: Vec<ScatCollisionRow>,
+}
+
+impl ScatCollisions {
+    /// Renders the piconet-count sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "piconets",
+            "collision rate",
+            "ci95",
+            "analytic",
+            "aggregate kbit/s",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.piconets.to_string(),
+                format!("{:.2}%", r.collision_rate * 100.0),
+                format!("{:.2}%", r.ci95 * 100.0),
+                format!("{:.2}%", r.analytic * 100.0),
+                format!("{:.0}", r.kbps_total),
+            ]);
+        }
+        t
+    }
+}
+
+/// **Scat-A** — inter-piconet collision rate vs piconet count: N
+/// independent, saturated piconets share the 79 channels; the medium
+/// counts every same-slot/same-channel overlap. Hop sequences of
+/// distinct piconets are de-correlated (property-tested in
+/// `crates/baseband`), so the measured rate tracks the analytic
+/// `1 − (78/79)^(2(n−1))` — each packet overlaps ~2 packets of every
+/// other piconet in time, each matching its channel w.p. 1/79.
+pub fn scat_collisions(opts: &ExpOptions) -> ScatCollisions {
+    let counts: Vec<usize> = match opts.piconets {
+        Some(n) => vec![n.max(1)],
+        None => vec![1, 2, 4, 8],
+    };
+    let result = Campaign::sweep(counts.iter().map(|&n| {
+        (
+            n.to_string(),
+            MultiPiconetScenario::new(MultiPiconetConfig {
+                piconets: n,
+                measure_slots: 4_000,
+                ..MultiPiconetConfig::default()
+            }),
+        )
+    }))
+    .options(opts)
+    .run();
+    let rows = counts
+        .iter()
+        .zip(&result.points)
+        .map(|(&n, p)| {
+            let rate = p.metric("collision_rate");
+            ScatCollisionRow {
+                piconets: n,
+                collision_rate: rate.mean(),
+                ci95: rate.ci95(),
+                analytic: analytic_collision_rate(n),
+                kbps_total: p.metric("kbps_total").mean(),
+            }
+        })
+        .collect();
+    ScatCollisions { rows }
+}
+
+/// One row of the bridge duty-cycle experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatBridgeRow {
+    /// Fraction of each bridge cycle spent in the first piconet.
+    pub duty: f64,
+    /// Delivered fraction of injected messages.
+    pub delivered: f64,
+    /// Mean end-to-end latency in slots.
+    pub latency_slots: f64,
+    /// 95% confidence half-width of the latency mean.
+    pub latency_ci95: f64,
+    /// Delivered goodput in bit/s.
+    pub goodput_bps: f64,
+}
+
+/// Result of the `scat_bridge` experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatBridge {
+    /// Piconets in the relayed chain.
+    pub piconets: usize,
+    /// One row per duty point.
+    pub rows: Vec<ScatBridgeRow>,
+}
+
+impl ScatBridge {
+    /// Renders the duty sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "bridge duty",
+            "delivered",
+            "latency TS",
+            "ci95",
+            "goodput bit/s",
+        ]);
+        for r in &self.rows {
+            t.row([
+                format!("{:.2}", r.duty),
+                format!("{:.1}%", r.delivered * 100.0),
+                format!("{:.0}", r.latency_slots),
+                format!("{:.0}", r.latency_ci95),
+                format!("{:.0}", r.goodput_bps),
+            ]);
+        }
+        t
+    }
+}
+
+/// **Scat-B** — bridge duty cycle vs end-to-end latency: a chain of
+/// piconets relays framed payload across hold-multiplexed bridges. A
+/// lopsided duty starves one side of every bridge, stretching the
+/// latency tail; balanced duty minimises the mean at a given period.
+pub fn scat_bridge(opts: &ExpOptions) -> ScatBridge {
+    let piconets = opts.piconets.unwrap_or(3).max(2);
+    let duties: Vec<f64> = match opts.bridge_duty {
+        Some(d) => vec![d],
+        None => vec![0.2, 0.35, 0.5, 0.65, 0.8],
+    };
+    let result = Campaign::sweep(duties.iter().map(|&duty| {
+        (
+            format!("{duty}"),
+            ScatternetScenario::new(ScatternetConfig {
+                piconets,
+                plan: BridgePlan {
+                    duty,
+                    ..BridgePlan::default()
+                },
+                measure_slots: 10_000,
+                ..ScatternetConfig::default()
+            }),
+        )
+    }))
+    .options(opts)
+    .run();
+    let rows = duties
+        .iter()
+        .zip(&result.points)
+        .map(|(&duty, p)| {
+            let latency = p.metric("latency_slots");
+            ScatBridgeRow {
+                duty,
+                delivered: p.metric("delivered").mean(),
+                latency_slots: latency.mean(),
+                latency_ci95: latency.ci95(),
+                goodput_bps: p.metric("goodput_bps").mean(),
+            }
+        })
+        .collect();
+    ScatBridge { piconets, rows }
+}
+
+/// One row of the multi-piconet simulation-speed experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatSpeedRow {
+    /// Piconets simulated (2 devices each, saturated).
+    pub piconets: usize,
+    /// Whether every piconet formed (a failed formation skips the
+    /// traffic window, so its timing would be meaningless).
+    pub formed: bool,
+    /// Simulated slots per wall-clock second (0 when not formed).
+    pub slots_per_sec: f64,
+    /// Simulated 1 MHz clock cycles per wall second (the paper's
+    /// Table 1 metric; 625 cycles per slot).
+    pub clock_cycles_per_sec: f64,
+}
+
+/// Result of the `scat_speed` experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatSpeed {
+    /// One row per piconet count.
+    pub rows: Vec<ScatSpeedRow>,
+}
+
+impl ScatSpeed {
+    /// Renders the scaling table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "piconets",
+            "devices",
+            "slots / s",
+            "clock cycles / s",
+            "vs paper (747)",
+        ]);
+        for r in &self.rows {
+            if r.formed {
+                t.row([
+                    r.piconets.to_string(),
+                    (2 * r.piconets).to_string(),
+                    format!("{:.0}", r.slots_per_sec),
+                    format!("{:.0}", r.clock_cycles_per_sec),
+                    format!("{:.0}x", r.clock_cycles_per_sec / 747.0),
+                ]);
+            } else {
+                t.row([
+                    r.piconets.to_string(),
+                    (2 * r.piconets).to_string(),
+                    "formation failed".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+/// **Scat-C** (Table 1 extension) — simulation speed vs piconet count:
+/// wall-clock throughput of saturated multi-piconet workloads, the
+/// scaling baseline future performance PRs measure against. Wall-clock
+/// timing makes this the one scatternet experiment that is not
+/// bit-reproducible.
+pub fn scat_speed(opts: &ExpOptions) -> ScatSpeed {
+    let counts: Vec<usize> = match opts.piconets {
+        Some(n) => vec![n.max(1)],
+        None => vec![1, 2, 4, 8],
+    };
+    let measure = 2_000u64;
+    let rows = counts
+        .iter()
+        .map(|&n| {
+            // Form the topology outside the timed region so the number
+            // is pure steady-state engine throughput, matching the
+            // `scatternet_scaling` criterion bench (which isolates
+            // formation in its batched setup).
+            let mut topo = crate::net::Topology::new();
+            for p in 0..n {
+                topo.piconet(&format!("p{p}"), 1);
+            }
+            let Ok((mut sim, map)) =
+                crate::net::build_scatternet(&topo, opts.base_seed, paper_config())
+            else {
+                return ScatSpeedRow {
+                    piconets: n,
+                    formed: false,
+                    slots_per_sec: 0.0,
+                    clock_cycles_per_sec: 0.0,
+                };
+            };
+            for p in 0..n {
+                let lt = map
+                    .link(p, topo.slave_device(p, 0))
+                    .expect("formed link")
+                    .lt_addr;
+                sim.command(topo.master_device(p), LcCommand::SetTpoll(2));
+                sim.command(
+                    topo.master_device(p),
+                    LcCommand::AclData {
+                        lt_addr: lt,
+                        data: vec![0x5A; measure as usize * 9],
+                    },
+                );
+            }
+            let end = sim.now() + SimDuration::from_slots(measure);
+            let started = Instant::now();
+            sim.run_until(end);
+            let wall = started.elapsed().as_secs_f64().max(1e-9);
+            let slots_per_sec = measure as f64 / wall;
+            ScatSpeedRow {
+                piconets: n,
+                formed: true,
+                slots_per_sec,
+                clock_cycles_per_sec: slots_per_sec * 625.0,
+            }
+        })
+        .collect();
+    ScatSpeed { rows }
+}
+
 /// Helper for binaries: filters logged events of one device.
 pub fn events_of(events: &[LoggedEvent], device: usize) -> Vec<&LoggedEvent> {
     events.iter().filter(|e| e.device == device).collect()
@@ -1117,5 +1418,44 @@ mod tests {
         let s = table1_sim_speed(1);
         assert!(s.clock_cycles_per_sec > 747.0, "should beat 2005 SystemC");
         assert!(s.speedup_vs_paper > 1.0);
+    }
+
+    #[test]
+    fn scat_collisions_respects_piconet_override() {
+        let opts = ExpOptions {
+            runs: 2,
+            piconets: Some(2),
+            ..ExpOptions::quick()
+        };
+        let f = scat_collisions(&opts);
+        assert_eq!(f.rows.len(), 1, "--piconets collapses the sweep");
+        let r = &f.rows[0];
+        assert_eq!(r.piconets, 2);
+        assert!(r.collision_rate > 0.0, "two piconets must collide");
+        assert!(
+            (r.analytic - 0.025).abs() < 0.005,
+            "analytic anchor {}",
+            r.analytic
+        );
+        assert_eq!(f.table().len(), 1);
+    }
+
+    #[test]
+    fn scat_bridge_duty_override_delivers() {
+        let opts = ExpOptions {
+            runs: 1,
+            piconets: Some(2),
+            bridge_duty: Some(0.5),
+            ..ExpOptions::quick()
+        };
+        let f = scat_bridge(&opts);
+        assert_eq!(f.piconets, 2);
+        assert_eq!(f.rows.len(), 1, "--bridge-duty collapses the sweep");
+        assert!(
+            f.rows[0].delivered > 0.5,
+            "balanced duty delivers: {:?}",
+            f.rows[0]
+        );
+        assert!(f.rows[0].latency_slots > 0.0);
     }
 }

@@ -148,7 +148,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
     REGISTRY.iter().find(|e| e.name == name)
 }
 
-static REGISTRY: [Experiment; 16] = [
+static REGISTRY: [Experiment; 19] = [
     Experiment {
         name: "fig5_waveform",
         description: "Fig. 5 — piconet-creation waveforms (enable_tx_RF / enable_rx_RF)",
@@ -228,6 +228,21 @@ static REGISTRY: [Experiment; 16] = [
         name: "ext_ablation",
         description: "Ablation — why paper_config() uses a raw page FHS and the R1 scan window",
         runner: run_ext_ablation,
+    },
+    Experiment {
+        name: "scat_collisions",
+        description: "Scat-A — inter-piconet collision rate vs piconet count (vs analytic 1/79)",
+        runner: run_scat_collisions,
+    },
+    Experiment {
+        name: "scat_bridge",
+        description: "Scat-B — bridge duty cycle vs end-to-end relay latency across a chain",
+        runner: run_scat_bridge,
+    },
+    Experiment {
+        name: "scat_speed",
+        description: "Scat-C — multi-piconet simulation speed (Table 1 extension)",
+        runner: run_scat_speed,
     },
 ];
 
@@ -361,6 +376,44 @@ fn run_ext_ablation(opts: &ExpOptions) -> ExpReport {
         .table(f.table())
 }
 
+fn run_scat_collisions(opts: &ExpOptions) -> ExpReport {
+    let mut opts = *opts;
+    // Up to 16 saturated devices per run: keep the campaign bounded.
+    opts.runs = opts.runs.min(8);
+    let f = scat_collisions(&opts);
+    ExpReport::new("Scat-A — inter-piconet collision rate vs piconet count")
+        .note("(N saturated piconets share the 79 channels; analytic: 1 − (78/79)^(2(N−1)))")
+        .note(
+            "(the anchor assumes full-slot air occupancy; DM1 exchanges fill ~60% of each \
+             slot, so the measured rate sits at roughly half the anchor with the same shape)",
+        )
+        .table(f.table())
+}
+
+fn run_scat_bridge(opts: &ExpOptions) -> ExpReport {
+    let mut opts = *opts;
+    // Chains are the heaviest workload (8+ devices, 10k slots): cap runs.
+    opts.runs = opts.runs.min(4);
+    let f = scat_bridge(&opts);
+    let mut report = ExpReport::new(format!(
+        "Scat-B — bridge duty cycle vs end-to-end latency ({}-piconet chain)",
+        f.piconets
+    ))
+    .note("(a slave of the first piconet streams to a slave of the last via held bridges)");
+    if opts.piconets.is_some_and(|n| n < 2) {
+        report = report
+            .note("(note: --piconets raised to 2 — a bridged chain needs at least two piconets)");
+    }
+    report.table(f.table())
+}
+
+fn run_scat_speed(opts: &ExpOptions) -> ExpReport {
+    let f = scat_speed(opts);
+    ExpReport::new("Scat-C — multi-piconet simulation speed (Table 1 extension)")
+        .note("(paper: 747 clock cycles per wall second for one 4-device piconet)")
+        .table(f.table())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,7 +421,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_nonempty() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 19);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -380,6 +433,10 @@ mod tests {
     fn find_resolves_names() {
         assert!(find("fig6_inquiry_vs_ber").is_some());
         assert!(find("nope").is_none());
+        // The scatternet entries are registered.
+        for name in ["scat_collisions", "scat_bridge", "scat_speed"] {
+            assert!(find(name).is_some(), "{name} missing from the registry");
+        }
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! The top level of the `btsim` Bluetooth system model (reproduction of
 //! Conti & Moretti, *System Level Analysis of the Bluetooth Standard*,
 //! DATE 2005): device composition, the [`Simulator`], the [`scenario`]
-//! layer (every workload implements [`scenario::Scenario`]), the generic
-//! Monte-Carlo [`campaign`] engine, and the paper's experiments
-//! ([`experiments`] — one function per figure, all runnable through the
+//! layer (every workload implements [`scenario::Scenario`]), the
+//! scatternet subsystem ([`net`] — multi-piconet topologies, bridge
+//! scheduling, store-and-forward relaying), the generic Monte-Carlo
+//! [`campaign`] engine, and the paper's experiments ([`experiments`] —
+//! one function per figure, all runnable through the
 //! [`experiments::registry`]).
 
 #![forbid(unsafe_code)]
@@ -13,9 +15,12 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod net;
 pub mod scenario;
 mod simulator;
 
 pub use campaign::{Campaign, CampaignResult, ExpOptions, PointResult};
 pub use scenario::Scenario;
-pub use simulator::{EventCursor, LoggedEvent, LoggedLmEvent, SimBuilder, SimConfig, Simulator};
+pub use simulator::{
+    DuplicateAddr, EventCursor, LoggedEvent, LoggedLmEvent, SimBuilder, SimConfig, Simulator,
+};

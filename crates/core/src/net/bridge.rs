@@ -1,0 +1,221 @@
+//! Bridge scheduling: time-multiplexing a shared slave between two
+//! piconets with the baseband hold machinery.
+//!
+//! A bridge has one radio but two masters. The scheduler divides time
+//! into fixed cycles of [`BridgePlan::period_slots`]: during the first
+//! `duty` fraction of a cycle the bridge lives in its first piconet
+//! (the link into the second is held), then the roles swap. Both ends
+//! of each link are switched symmetrically with scheduled commands —
+//! the pattern the PR-1 traffic scenarios use for sniff/hold — so the
+//! master parks its polling exactly while the bridge is away; the
+//! LMP hold negotiation over the air is exercised separately in the
+//! integration tests.
+//!
+//! All commands for the whole horizon are scheduled up front at
+//! absolute times, which keeps campaigns bit-deterministic: nothing
+//! about the schedule depends on traffic.
+
+use btsim_baseband::{BdAddr, LcCommand};
+use btsim_kernel::{SimDuration, SimTime};
+
+use crate::Simulator;
+
+/// One side of a bridge: the link between the bridge device and one of
+/// its piconet masters (resolved indices + addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeLink {
+    /// Device index of the piconet master.
+    pub master_dev: usize,
+    /// The master's address (selects the link on the bridge side).
+    pub master_addr: BdAddr,
+    /// Device index of the bridge.
+    pub bridge_dev: usize,
+    /// LT_ADDR of the bridge in this piconet (selects the link on the
+    /// master side).
+    pub lt_addr: u8,
+}
+
+impl BridgeLink {
+    /// Resolves both sides of bridge `k` of a formed scatternet — the
+    /// canonical way to build [`schedule_bridge`]'s inputs. Returns
+    /// `None` when either link is not in the map (formation failed).
+    pub fn resolve(
+        topo: &crate::net::Topology,
+        map: &crate::net::ScatternetMap,
+        k: usize,
+    ) -> Option<(BridgeLink, BridgeLink)> {
+        let dev = topo.bridge_device(k);
+        let (a, b) = topo.bridges.get(k)?.piconets;
+        let mk = |p: usize| {
+            Some(BridgeLink {
+                master_dev: topo.master_device(p),
+                master_addr: map.master_addr(p),
+                bridge_dev: dev,
+                lt_addr: map.link(p, dev)?.lt_addr,
+            })
+        };
+        Some((mk(a)?, mk(b)?))
+    }
+}
+
+/// The bridge time-multiplexing plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BridgePlan {
+    /// Full cycle length in slots (one visit to each piconet).
+    pub period_slots: u32,
+    /// Fraction of the cycle spent in the *first* piconet, clamped so
+    /// each visit lasts at least [`BridgePlan::MIN_VISIT_SLOTS`].
+    pub duty: f64,
+    /// Cycle phase offset in slots (stagger bridges of a chain so a
+    /// relayed payload can make progress every cycle).
+    pub offset_slots: u32,
+}
+
+impl Default for BridgePlan {
+    fn default() -> Self {
+        Self {
+            period_slots: 256,
+            duty: 0.5,
+            offset_slots: 0,
+        }
+    }
+}
+
+impl BridgePlan {
+    /// Shortest useful visit: the post-hold resynchronisation costs a
+    /// few slots (resync guard + the master's catch-up poll), so visits
+    /// below this would be pure overhead.
+    pub const MIN_VISIT_SLOTS: u32 = 16;
+
+    /// Slots of a cycle spent in the first piconet.
+    pub fn first_visit_slots(&self) -> u32 {
+        let period = self.period_slots.max(2 * Self::MIN_VISIT_SLOTS);
+        ((period as f64 * self.duty).round() as u32)
+            .clamp(Self::MIN_VISIT_SLOTS, period - Self::MIN_VISIT_SLOTS)
+    }
+
+    /// Slots of a cycle spent in the second piconet.
+    pub fn second_visit_slots(&self) -> u32 {
+        self.period_slots.max(2 * Self::MIN_VISIT_SLOTS) - self.first_visit_slots()
+    }
+}
+
+/// Holds one link symmetrically (master side by LT_ADDR, bridge side by
+/// master address) at absolute time `at`.
+fn hold_link(sim: &mut Simulator, link: &BridgeLink, hold_slots: u32, at: SimTime) {
+    sim.command_at(
+        link.master_dev,
+        LcCommand::Hold {
+            lt_addr: link.lt_addr,
+            hold_slots,
+        },
+        at,
+    );
+    sim.command_at(
+        link.bridge_dev,
+        LcCommand::HoldPiconet {
+            master: link.master_addr,
+            hold_slots,
+        },
+        at,
+    );
+}
+
+/// Schedules the whole hold pattern of one bridge over `[from, until)`.
+///
+/// Cycle `k` starts at `from + offset + k·period`; the second link is
+/// held while the bridge visits the first piconet and vice versa.
+/// Commands are issued for every cycle up front, so callers simply run
+/// the simulator afterwards.
+pub fn schedule_bridge(
+    sim: &mut Simulator,
+    first: &BridgeLink,
+    second: &BridgeLink,
+    plan: &BridgePlan,
+    from: SimTime,
+    until: SimTime,
+) {
+    let period = plan.period_slots.max(2 * BridgePlan::MIN_VISIT_SLOTS);
+    let d_first = plan.first_visit_slots();
+    let d_second = plan.second_visit_slots();
+    let mut cycle_start = from + SimDuration::from_slots(plan.offset_slots as u64);
+    while cycle_start < until {
+        // Visit the first piconet: the second link sleeps.
+        hold_link(sim, second, d_first, cycle_start);
+        // Then the second: the first link sleeps.
+        let swap_at = cycle_start + SimDuration::from_slots(d_first as u64);
+        if swap_at < until {
+            hold_link(sim, first, d_second, swap_at);
+        }
+        cycle_start += SimDuration::from_slots(period as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{build_scatternet, Topology};
+    use crate::scenario::paper_config;
+    use btsim_baseband::{LcEvent, LinkMode};
+    use btsim_kernel::SimDuration;
+
+    #[test]
+    fn plan_clamps_visits() {
+        let plan = BridgePlan {
+            period_slots: 200,
+            duty: 0.95,
+            offset_slots: 0,
+        };
+        assert_eq!(plan.first_visit_slots(), 200 - BridgePlan::MIN_VISIT_SLOTS);
+        assert_eq!(plan.second_visit_slots(), BridgePlan::MIN_VISIT_SLOTS);
+        let tiny = BridgePlan {
+            period_slots: 8,
+            duty: 0.5,
+            offset_slots: 0,
+        };
+        assert_eq!(
+            tiny.first_visit_slots() + tiny.second_visit_slots(),
+            2 * BridgePlan::MIN_VISIT_SLOTS
+        );
+    }
+
+    #[test]
+    fn bridge_alternates_between_piconets() {
+        let topo = Topology::chain(2, 1);
+        let (mut sim, map) = build_scatternet(&topo, 3, paper_config()).unwrap();
+        let (first, second) = BridgeLink::resolve(&topo, &map, 0).expect("formed");
+        let plan = BridgePlan {
+            period_slots: 128,
+            duty: 0.5,
+            offset_slots: 0,
+        };
+        let from = sim.now();
+        let until = from + SimDuration::from_slots(1024);
+        schedule_bridge(&mut sim, &first, &second, &plan, from, until);
+        let bridge = topo.bridge_device(0);
+        let mut cursor = sim.cursor();
+        sim.run_until(until);
+        // The bridge's links toggle hold/active repeatedly…
+        let mut hold_events = 0;
+        let mut active_events = 0;
+        for e in sim.events_since(&mut cursor) {
+            if e.device == bridge {
+                match e.event {
+                    LcEvent::ModeChanged {
+                        mode: LinkMode::Hold,
+                        ..
+                    } => hold_events += 1,
+                    LcEvent::ModeChanged {
+                        mode: LinkMode::Active,
+                        ..
+                    } => active_events += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(hold_events >= 10, "hold transitions: {hold_events}");
+        assert!(active_events >= 8, "resumes: {active_events}");
+        // …and both links survive the whole schedule.
+        assert_eq!(sim.lc(bridge).slave_masters().len(), 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! Store-and-forward relaying across a scatternet.
+//!
+//! Bluetooth has no network layer; payload crosses piconet borders only
+//! because some application on each hop re-queues it. This module is
+//! that application, kept deliberately minimal: a 5-byte frame header
+//! (`magic, dst, src, seq`) in front of a payload small enough to ride
+//! one DM1 packet, a routing table computed once from the topology
+//! (BFS over the master↔member link graph), and a [`Router::pump`] that
+//! scans the simulator event log and re-queues every frame one hop
+//! further. Delivery times minus send times give the end-to-end
+//! latencies the `scat_bridge` experiment sweeps against bridge duty.
+
+use btsim_baseband::{BdAddr, LcCommand, LcEvent, Llid};
+use btsim_kernel::SimTime;
+
+use crate::net::{ScatternetMap, Topology};
+use crate::{EventCursor, Simulator};
+
+/// First byte of every relay frame.
+pub const RELAY_MAGIC: u8 = 0xB7;
+
+/// Frame-header bytes in front of the payload.
+pub const RELAY_HEADER: usize = 5;
+
+/// Largest payload that still fits a DM1 packet (17 user bytes) after
+/// the header: frames are kept single-fragment so one `AclReceived`
+/// event carries exactly one frame (see `docs/SCATTERNET.md`).
+pub const MAX_RELAY_PAYLOAD: usize = 17 - RELAY_HEADER;
+
+/// One relayed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayFrame {
+    /// Destination device index.
+    pub dst: u8,
+    /// Source device index.
+    pub src: u8,
+    /// Sequence number (unique per router).
+    pub seq: u16,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl RelayFrame {
+    /// Serialises the frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RELAY_HEADER + self.payload.len());
+        out.push(RELAY_MAGIC);
+        out.push(self.dst);
+        out.push(self.src);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a frame; `None` when `data` is not a relay frame.
+    pub fn decode(data: &[u8]) -> Option<RelayFrame> {
+        if data.len() < RELAY_HEADER || data[0] != RELAY_MAGIC {
+            return None;
+        }
+        Some(RelayFrame {
+            dst: data[1],
+            src: data[2],
+            seq: u16::from_le_bytes([data[3], data[4]]),
+            payload: data[RELAY_HEADER..].to_vec(),
+        })
+    }
+}
+
+/// How a device forwards a frame one hop toward its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextHop {
+    /// The device masters the next piconet: address the member link.
+    Down {
+        /// LT_ADDR of the next-hop member.
+        lt_addr: u8,
+    },
+    /// The device is a slave: send up the link to this master.
+    Up {
+        /// The next-hop master's address.
+        master: BdAddr,
+    },
+}
+
+/// A delivered end-to-end message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sequence number of the message.
+    pub seq: u16,
+    /// Source device.
+    pub src: u8,
+    /// Destination device.
+    pub dst: u8,
+    /// When the source queued it.
+    pub sent_at: SimTime,
+    /// When the destination received it.
+    pub at: SimTime,
+    /// Payload bytes delivered.
+    pub payload_bytes: usize,
+}
+
+impl Delivery {
+    /// End-to-end latency in slots.
+    pub fn latency_slots(&self) -> u64 {
+        self.at.slots().saturating_sub(self.sent_at.slots())
+    }
+}
+
+/// The store-and-forward router of one scatternet.
+///
+/// Holds the routing table (next hop per `(device, destination)`), its
+/// own [`EventCursor`] into the simulator log, and the bookkeeping of
+/// sent and delivered messages.
+#[derive(Debug)]
+pub struct Router {
+    /// `next[device][dst]`: how `device` forwards toward `dst`.
+    next: Vec<Vec<Option<NextHop>>>,
+    cursor: EventCursor,
+    /// Send records awaiting delivery (drained when the delivery is
+    /// recorded, so the list stays bounded by in-flight messages).
+    sent: Vec<(u16, SimTime)>,
+    sent_total: u64,
+    /// Delivered messages, in delivery order.
+    pub deliveries: Vec<Delivery>,
+    /// Frames re-queued at intermediate hops.
+    pub forwarded: u64,
+    next_seq: u16,
+}
+
+impl Router {
+    /// Builds the routing table for a formed scatternet by BFS over the
+    /// master↔member link graph (every link is one hop; shortest paths,
+    /// first-found tie-break — deterministic).
+    /// # Panics
+    ///
+    /// Panics if the topology has more than 256 devices: frame headers
+    /// carry device indices as `u8`, and silent truncation would route
+    /// frames to the wrong device.
+    pub fn new(topo: &Topology, map: &ScatternetMap) -> Self {
+        let n = topo.device_count();
+        assert!(
+            n <= 1 + u8::MAX as usize,
+            "relay frames address devices as u8: {n} devices exceed 256"
+        );
+        // Adjacency with per-edge forwarding actions.
+        let mut adj: Vec<Vec<(usize, NextHop)>> = vec![Vec::new(); n];
+        for link in &map.links {
+            let master = topo.master_device(link.piconet);
+            adj[master].push((
+                link.device,
+                NextHop::Down {
+                    lt_addr: link.lt_addr,
+                },
+            ));
+            adj[link.device].push((
+                master,
+                NextHop::Up {
+                    master: map.master_addr(link.piconet),
+                },
+            ));
+        }
+        let mut next: Vec<Vec<Option<NextHop>>> = vec![vec![None; n]; n];
+        for dst in 0..n {
+            // BFS from the destination; the first edge found from a
+            // device on a shortest path toward dst becomes its next hop.
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut queue = std::collections::VecDeque::from([dst]);
+            while let Some(v) = queue.pop_front() {
+                for &(u, _) in &adj[v] {
+                    if dist[u] == usize::MAX {
+                        dist[u] = dist[v] + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            for dev in 0..n {
+                if dev == dst || dist[dev] == usize::MAX {
+                    continue;
+                }
+                next[dev][dst] = adj[dev]
+                    .iter()
+                    .find(|(peer, _)| dist[*peer] + 1 == dist[dev])
+                    .map(|(_, hop)| *hop);
+            }
+        }
+        Self {
+            next,
+            cursor: EventCursor::default(),
+            sent: Vec::new(),
+            sent_total: 0,
+            deliveries: Vec::new(),
+            forwarded: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// The next hop `device` uses toward `dst` (`None`: unreachable).
+    pub fn next_hop(&self, device: usize, dst: usize) -> Option<NextHop> {
+        self.next[device][dst]
+    }
+
+    /// Messages sent so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent_total
+    }
+
+    /// Queues `payload` at `src` addressed to `dst`; returns the
+    /// sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_RELAY_PAYLOAD`].
+    pub fn send(&mut self, sim: &mut Simulator, src: usize, dst: usize, payload: Vec<u8>) -> u16 {
+        assert!(
+            payload.len() <= MAX_RELAY_PAYLOAD,
+            "relay frames are single-fragment: payload ≤ {MAX_RELAY_PAYLOAD} bytes"
+        );
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let frame = RelayFrame {
+            dst: dst as u8,
+            src: src as u8,
+            seq,
+            payload,
+        };
+        // Evict any undelivered first-generation record of this seq so
+        // each seq appears at most once: wrapped sequence numbers can
+        // never alias a stale entry, and the list is bounded even when
+        // frames are lost.
+        self.sent.retain(|(s, _)| *s != seq);
+        self.sent.push((seq, sim.now()));
+        self.sent_total += 1;
+        self.dispatch(sim, src, &frame);
+        seq
+    }
+
+    fn dispatch(&self, sim: &mut Simulator, dev: usize, frame: &RelayFrame) {
+        match self.next[dev][frame.dst as usize] {
+            Some(NextHop::Down { lt_addr }) => sim.command(
+                dev,
+                LcCommand::AclData {
+                    lt_addr,
+                    data: frame.encode(),
+                },
+            ),
+            Some(NextHop::Up { master }) => sim.command(
+                dev,
+                LcCommand::AclDataTo {
+                    master,
+                    data: frame.encode(),
+                },
+            ),
+            None => {}
+        }
+    }
+
+    /// Scans the event log since the last pump and moves every arrived
+    /// frame one hop further (or records its delivery). Call this
+    /// periodically while the simulator runs; the pump interval bounds
+    /// the extra store-and-forward latency per hop.
+    pub fn pump(&mut self, sim: &mut Simulator) {
+        let mut inbox: Vec<(usize, SimTime, RelayFrame)> = Vec::new();
+        for e in sim.events_since(&mut self.cursor) {
+            if let LcEvent::AclReceived { llid, data, .. } = &e.event {
+                if *llid != Llid::Lmp {
+                    if let Some(frame) = RelayFrame::decode(data) {
+                        inbox.push((e.device, e.at, frame));
+                    }
+                }
+            }
+        }
+        for (dev, at, frame) in inbox {
+            if frame.dst as usize == dev {
+                // Drain the send record on delivery: lookups stay cheap
+                // and a wrapped sequence number cannot alias a stale
+                // first-generation entry.
+                let sent_at = self
+                    .sent
+                    .iter()
+                    .position(|(seq, _)| *seq == frame.seq)
+                    .map(|i| self.sent.swap_remove(i).1)
+                    .unwrap_or(at);
+                self.deliveries.push(Delivery {
+                    seq: frame.seq,
+                    src: frame.src,
+                    dst: frame.dst,
+                    sent_at,
+                    at,
+                    payload_bytes: frame.payload.len(),
+                });
+            } else {
+                self.forwarded += 1;
+                self.dispatch(sim, dev, &frame);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{build_scatternet, Topology};
+    use crate::scenario::paper_config;
+    use btsim_kernel::SimDuration;
+
+    #[test]
+    fn frames_roundtrip() {
+        let f = RelayFrame {
+            dst: 7,
+            src: 3,
+            seq: 0xBEEF,
+            payload: vec![1, 2, 3],
+        };
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), RELAY_HEADER + 3);
+        assert_eq!(RelayFrame::decode(&bytes), Some(f));
+        assert_eq!(RelayFrame::decode(&[0x00, 1, 2, 3, 4, 5]), None);
+        assert_eq!(RelayFrame::decode(&[RELAY_MAGIC, 1]), None);
+    }
+
+    #[test]
+    fn routes_follow_the_chain() {
+        let topo = Topology::chain(3, 1);
+        let (_, map) = build_scatternet(&topo, 9, paper_config()).unwrap();
+        let router = Router::new(&topo, &map);
+        let src = topo.slave_device(0, 0);
+        let dst = topo.slave_device(2, 0);
+        // src → master0 → bridge0 → master1 → bridge1 → master2 → dst.
+        let mut hops = 0;
+        let mut dev = src;
+        let mut path = vec![dev];
+        while dev != dst {
+            hops += 1;
+            assert!(hops < 10, "routing loop: {path:?}");
+            dev = match router.next_hop(dev, dst).expect("reachable") {
+                NextHop::Down { lt_addr } => {
+                    // Resolve the lt back to a device via the map.
+                    let p = (0..3)
+                        .find(|&p| topo.master_device(p) == dev)
+                        .expect("down-hops start at masters");
+                    map.links
+                        .iter()
+                        .find(|l| l.piconet == p && l.lt_addr == lt_addr)
+                        .expect("known link")
+                        .device
+                }
+                NextHop::Up { master } => (0..3)
+                    .find(|&p| map.master_addr(p) == master)
+                    .map(|p| topo.master_device(p))
+                    .expect("known master"),
+            };
+            path.push(dev);
+        }
+        assert_eq!(hops, 6, "chain route length: {path:?}");
+    }
+
+    #[test]
+    fn relay_delivers_within_a_piconet() {
+        // Simplest end-to-end: slave → master → slave in one piconet.
+        let mut topo = Topology::new();
+        topo.piconet("p0", 2);
+        let (mut sim, map) = build_scatternet(&topo, 21, paper_config()).unwrap();
+        let mut router = Router::new(&topo, &map);
+        let src = topo.slave_device(0, 0);
+        let dst = topo.slave_device(0, 1);
+        router.send(&mut sim, src, dst, vec![0xAA; 4]);
+        let end = sim.now() + SimDuration::from_slots(1200);
+        while sim.now() < end && router.deliveries.is_empty() {
+            let next = sim.now() + SimDuration::from_slots(16);
+            sim.run_until(next);
+            router.pump(&mut sim);
+        }
+        assert_eq!(router.deliveries.len(), 1, "payload must arrive");
+        let d = router.deliveries[0];
+        assert_eq!(d.payload_bytes, 4);
+        assert_eq!(d.src as usize, src);
+        assert_eq!(d.dst as usize, dst);
+        assert!(d.latency_slots() > 0);
+        assert_eq!(router.forwarded, 1, "one intermediate hop (the master)");
+    }
+}

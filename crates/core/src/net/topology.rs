@@ -1,0 +1,294 @@
+//! Scatternet topology descriptions.
+//!
+//! A [`Topology`] is a pure description: piconets (one master plus some
+//! plain slaves each) and bridges (devices that are a slave in two
+//! piconets). It owns the canonical device layout — masters first, then
+//! plain slaves in piconet order, then bridges — so every layer
+//! (builder, bridge scheduler, relay router, scenarios) agrees on
+//! device indices without threading tables around.
+
+use std::fmt;
+
+/// A piconet of the topology: one master and `n_slaves` plain slaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Piconet {
+    /// Display name (used for device names in traces).
+    pub name: String,
+    /// Number of plain (non-bridge) slaves.
+    pub n_slaves: usize,
+}
+
+/// A bridge: one device that is a slave in two piconets and
+/// time-multiplexes the radio between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bridge {
+    /// The two bridged piconets (indices into [`Topology::piconets`]).
+    pub piconets: (usize, usize),
+}
+
+/// Why a [`Topology`] is not buildable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The topology has no piconets.
+    NoPiconets,
+    /// A bridge references a piconet index that does not exist.
+    UnknownPiconet {
+        /// The offending bridge index.
+        bridge: usize,
+        /// The referenced, out-of-range piconet index.
+        piconet: usize,
+    },
+    /// A bridge connects a piconet to itself.
+    SelfBridge {
+        /// The offending bridge index.
+        bridge: usize,
+    },
+    /// A piconet has more than 7 members (plain slaves + bridges) or
+    /// none at all; a Bluetooth master addresses at most 7 active
+    /// slaves (3-bit LT_ADDR).
+    BadMemberCount {
+        /// The offending piconet index.
+        piconet: usize,
+        /// Its member count.
+        members: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoPiconets => write!(f, "topology has no piconets"),
+            TopologyError::UnknownPiconet { bridge, piconet } => {
+                write!(f, "bridge {bridge} references unknown piconet {piconet}")
+            }
+            TopologyError::SelfBridge { bridge } => {
+                write!(f, "bridge {bridge} connects a piconet to itself")
+            }
+            TopologyError::BadMemberCount { piconet, members } => {
+                write!(
+                    f,
+                    "piconet {piconet} has {members} members; a master takes 1-7 active slaves"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A multi-piconet topology sharing one RF medium.
+///
+/// # Examples
+///
+/// ```
+/// use btsim_core::net::Topology;
+///
+/// // Two piconets with one plain slave each, joined by one bridge.
+/// let topo = Topology::chain(2, 1);
+/// assert_eq!(topo.piconets.len(), 2);
+/// assert_eq!(topo.bridges.len(), 1);
+/// assert_eq!(topo.device_count(), 5); // 2 masters + 2 slaves + 1 bridge
+/// topo.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Topology {
+    /// The piconets, in index order.
+    pub piconets: Vec<Piconet>,
+    /// The bridges, in index order.
+    pub bridges: Vec<Bridge>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a piconet with `n_slaves` plain slaves; returns its index.
+    pub fn piconet(&mut self, name: &str, n_slaves: usize) -> usize {
+        self.piconets.push(Piconet {
+            name: name.to_owned(),
+            n_slaves,
+        });
+        self.piconets.len() - 1
+    }
+
+    /// Adds a bridge between piconets `a` and `b`; returns its index.
+    pub fn bridge(&mut self, a: usize, b: usize) -> usize {
+        self.bridges.push(Bridge { piconets: (a, b) });
+        self.bridges.len() - 1
+    }
+
+    /// A chain of `n` piconets with `slaves_per` plain slaves each and
+    /// one bridge between every consecutive pair — the line topology of
+    /// the scatternet experiments.
+    pub fn chain(n: usize, slaves_per: usize) -> Self {
+        let mut topo = Self::new();
+        for p in 0..n {
+            topo.piconet(&format!("p{p}"), slaves_per);
+        }
+        for p in 1..n {
+            topo.bridge(p - 1, p);
+        }
+        topo
+    }
+
+    /// Checks the description is buildable.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if self.piconets.is_empty() {
+            return Err(TopologyError::NoPiconets);
+        }
+        for (i, b) in self.bridges.iter().enumerate() {
+            let (a, c) = b.piconets;
+            for p in [a, c] {
+                if p >= self.piconets.len() {
+                    return Err(TopologyError::UnknownPiconet {
+                        bridge: i,
+                        piconet: p,
+                    });
+                }
+            }
+            if a == c {
+                return Err(TopologyError::SelfBridge { bridge: i });
+            }
+        }
+        for p in 0..self.piconets.len() {
+            let members = self.members(p).len();
+            if members == 0 || members > 7 {
+                return Err(TopologyError::BadMemberCount {
+                    piconet: p,
+                    members,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ----- canonical device layout -----------------------------------------
+    //
+    // Device indices: masters (one per piconet), then plain slaves in
+    // piconet order, then bridges.
+
+    /// Total number of devices.
+    pub fn device_count(&self) -> usize {
+        self.piconets.len()
+            + self.piconets.iter().map(|p| p.n_slaves).sum::<usize>()
+            + self.bridges.len()
+    }
+
+    /// Device index of piconet `p`'s master.
+    pub fn master_device(&self, p: usize) -> usize {
+        p
+    }
+
+    /// Device index of plain slave `j` of piconet `p`.
+    pub fn slave_device(&self, p: usize, j: usize) -> usize {
+        debug_assert!(j < self.piconets[p].n_slaves);
+        self.piconets.len() + self.piconets[..p].iter().map(|q| q.n_slaves).sum::<usize>() + j
+    }
+
+    /// Device index of bridge `k`.
+    pub fn bridge_device(&self, k: usize) -> usize {
+        self.piconets.len() + self.piconets.iter().map(|p| p.n_slaves).sum::<usize>() + k
+    }
+
+    /// The member (non-master) devices of piconet `p`, plain slaves
+    /// first, then bridges — the order they are joined in.
+    pub fn members(&self, p: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..self.piconets[p].n_slaves)
+            .map(|j| self.slave_device(p, j))
+            .collect();
+        for (k, b) in self.bridges.iter().enumerate() {
+            if b.piconets.0 == p || b.piconets.1 == p {
+                out.push(self.bridge_device(k));
+            }
+        }
+        out
+    }
+
+    /// Every `(piconet, member device)` link of the topology, in join
+    /// order (piconet-major).
+    pub fn links(&self) -> Vec<(usize, usize)> {
+        (0..self.piconets.len())
+            .flat_map(|p| self.members(p).into_iter().map(move |d| (p, d)))
+            .collect()
+    }
+
+    /// The device name used in traces and the builder.
+    pub fn device_name(&self, dev: usize) -> String {
+        let n_masters = self.piconets.len();
+        if dev < n_masters {
+            return format!("{}.master", self.piconets[dev].name);
+        }
+        let mut s = dev - n_masters;
+        for p in &self.piconets {
+            if s < p.n_slaves {
+                return format!("{}.slave{}", p.name, s + 1);
+            }
+            s -= p.n_slaves;
+        }
+        format!("bridge{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_layout_is_consistent() {
+        let t = Topology::chain(3, 2);
+        t.validate().unwrap();
+        assert_eq!(t.device_count(), 3 + 6 + 2);
+        assert_eq!(t.master_device(1), 1);
+        assert_eq!(t.slave_device(0, 0), 3);
+        assert_eq!(t.slave_device(2, 1), 8);
+        assert_eq!(t.bridge_device(0), 9);
+        assert_eq!(t.bridge_device(1), 10);
+        // Middle piconet carries both bridges.
+        assert_eq!(t.members(1), vec![5, 6, 9, 10]);
+        assert_eq!(t.links().len(), 6 + 2 * 2);
+        assert_eq!(t.device_name(0), "p0.master");
+        assert_eq!(t.device_name(4), "p0.slave2");
+        assert_eq!(t.device_name(10), "bridge1");
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        assert_eq!(Topology::new().validate(), Err(TopologyError::NoPiconets));
+
+        let mut t = Topology::new();
+        t.piconet("a", 1);
+        t.bridge(0, 3);
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::UnknownPiconet { .. })
+        ));
+
+        let mut t = Topology::new();
+        t.piconet("a", 1);
+        t.piconet("b", 1);
+        t.bridge(0, 0);
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::SelfBridge { .. })
+        ));
+
+        let mut t = Topology::new();
+        t.piconet("a", 8);
+        assert_eq!(
+            t.validate(),
+            Err(TopologyError::BadMemberCount {
+                piconet: 0,
+                members: 8
+            })
+        );
+
+        let mut t = Topology::new();
+        t.piconet("a", 0);
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::BadMemberCount { .. })
+        ));
+    }
+}

@@ -12,7 +12,7 @@ use btsim_baseband::{
     BdAddr, ClkVal, Clock, LcAction, LcCommand, LcConfig, LcEvent, LifePhase, LinkController,
     RxDelivery,
 };
-use btsim_channel::{ChannelConfig, Medium, TxId};
+use btsim_channel::{ChannelConfig, Medium, TxId, TxStats};
 use btsim_coding::BitVec;
 use btsim_kernel::{Calendar, SignalRef, SimDuration, SimRng, SimTime, TraceRecorder, TraceValue};
 use btsim_lmp::{LinkManager, LmEvent, LmOutput, LmRole};
@@ -131,11 +131,38 @@ enum Ev {
     },
 }
 
+/// A [`BdAddr`] was registered twice with a [`SimBuilder`].
+///
+/// Duplicate addresses would give two devices the same sync words and
+/// hop sequences, silently corrupting every exchange — an easy mistake
+/// for multi-piconet builders composing address sets from several
+/// sources, so registration reports it as a typed error instead of
+/// letting the simulation misbehave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateAddr {
+    /// The address registered twice.
+    pub addr: BdAddr,
+    /// Index of the device that already owns it.
+    pub existing: usize,
+}
+
+impl std::fmt::Display for DuplicateAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device address {:?} is already registered (device {})",
+            self.addr, self.existing
+        )
+    }
+}
+
+impl std::error::Error for DuplicateAddr {}
+
 /// Builds a [`Simulator`] device by device.
 pub struct SimBuilder {
     cfg: SimConfig,
     seed: u64,
-    specs: Vec<(String, BdAddr)>,
+    specs: Vec<(String, BdAddr, LmRole)>,
 }
 
 impl SimBuilder {
@@ -148,20 +175,58 @@ impl SimBuilder {
         }
     }
 
+    /// The link-manager role the legacy single-piconet helpers assign:
+    /// first device masters, the rest are slaves.
+    fn default_role(&self) -> LmRole {
+        if self.specs.is_empty() {
+            LmRole::Master
+        } else {
+            LmRole::Slave
+        }
+    }
+
+    /// A deterministic, well-spread address from a counter.
+    fn auto_addr(i: u32) -> BdAddr {
+        let lap = 0x2A_1000u32.wrapping_add(i.wrapping_mul(0x01_3579)) & 0xFF_FFFF;
+        BdAddr::new(0x0B00 + i as u16, 0x40 + i as u8, lap)
+    }
+
     /// Adds a device with an auto-generated address; returns its index.
     pub fn add_device(&mut self, name: &str) -> usize {
-        let i = self.specs.len() as u32;
-        // Well-spread deterministic addresses.
-        let lap = 0x2A_1000u32.wrapping_add(i.wrapping_mul(0x01_3579)) & 0xFF_FFFF;
-        let addr = BdAddr::new(0x0B00 + i as u16, 0x40 + i as u8, lap);
-        self.specs.push((name.to_owned(), addr));
+        let role = self.default_role();
+        self.add_device_with_role(name, role)
+    }
+
+    /// Adds a device with an auto-generated address and an explicit
+    /// link-manager role; returns its index. Scatternet builders use
+    /// this for the masters of piconets beyond the first.
+    pub fn add_device_with_role(&mut self, name: &str, role: LmRole) -> usize {
+        // Auto addresses skip over any explicitly registered ones.
+        let mut i = self.specs.len() as u32;
+        let addr = loop {
+            let candidate = Self::auto_addr(i);
+            if !self.specs.iter().any(|(_, a, _)| *a == candidate) {
+                break candidate;
+            }
+            i = i.wrapping_add(1);
+        };
+        self.specs.push((name.to_owned(), addr, role));
         self.specs.len() - 1
     }
 
-    /// Adds a device with an explicit address; returns its index.
-    pub fn add_device_with_addr(&mut self, name: &str, addr: BdAddr) -> usize {
-        self.specs.push((name.to_owned(), addr));
-        self.specs.len() - 1
+    /// Adds a device with an explicit address; returns its index, or a
+    /// [`DuplicateAddr`] error when the address is already registered.
+    pub fn add_device_with_addr(
+        &mut self,
+        name: &str,
+        addr: BdAddr,
+    ) -> Result<usize, DuplicateAddr> {
+        if let Some(existing) = self.specs.iter().position(|(_, a, _)| *a == addr) {
+            return Err(DuplicateAddr { addr, existing });
+        }
+        let role = self.default_role();
+        self.specs.push((name.to_owned(), addr, role));
+        Ok(self.specs.len() - 1)
     }
 
     /// Finalises the simulator.
@@ -176,7 +241,7 @@ impl SimBuilder {
         let monitor = PowerMonitor::new(self.specs.len(), LifePhase::Standby);
         let mut devices = Vec::with_capacity(self.specs.len());
         let mut cal = Calendar::new();
-        for (i, (name, addr)) in self.specs.iter().enumerate() {
+        for (i, (name, addr, role)) in self.specs.iter().enumerate() {
             let mut clk_rng = root.fork(0x10_0000 + i as u64);
             let clkn0 = if self.cfg.random_clkn {
                 ClkVal::new(clk_rng.range_u64(1 << 28) as u32)
@@ -189,16 +254,11 @@ impl SimBuilder {
                 self.cfg.lc.clone(),
                 root.fork(0x20_0000 + i as u64).seed(),
             );
-            let role = if i == 0 {
-                LmRole::Master
-            } else {
-                LmRole::Slave
-            };
             let sig_tx = recorder.declare(name, "enable_tx_RF", 1);
             let sig_rx = recorder.declare(name, "enable_rx_RF", 1);
             devices.push(DeviceCell {
                 lc,
-                lm: LinkManager::new(role),
+                lm: LinkManager::new(*role),
                 active: None,
                 pending: Vec::new(),
                 rx_busy_until: SimTime::ZERO,
@@ -301,6 +361,13 @@ impl Simulator {
     /// Observed channel bit-error fraction (diagnostics).
     pub fn measured_ber(&self) -> f64 {
         self.medium.measured_ber()
+    }
+
+    /// Cumulative medium transmission/collision statistics. Scatternet
+    /// experiments take a snapshot after topology formation and measure
+    /// the delta over the traffic window ([`TxStats::since`]).
+    pub fn tx_stats(&self) -> TxStats {
+        self.medium.tx_stats()
     }
 
     /// Issues a command to a device at the current time.
@@ -622,6 +689,33 @@ mod tests {
         let m = b.add_device("master");
         let s = b.add_device("slave1");
         (b.build(), m, s)
+    }
+
+    #[test]
+    fn duplicate_address_is_a_typed_error() {
+        let mut b = SimBuilder::new(1, SimConfig::default());
+        let addr = BdAddr::new(1, 2, 0x123456);
+        let first = b.add_device_with_addr("a", addr).expect("fresh address");
+        let err = b.add_device_with_addr("b", addr).expect_err("duplicate");
+        assert_eq!(
+            err,
+            DuplicateAddr {
+                addr,
+                existing: first
+            }
+        );
+        assert!(err.to_string().contains("already registered"));
+        // Auto-generated addresses skip explicitly registered ones.
+        let mut b2 = SimBuilder::new(1, SimConfig::default());
+        let auto0 = {
+            let mut probe = SimBuilder::new(1, SimConfig::default());
+            let d = probe.add_device("probe");
+            probe.build().lc(d).addr()
+        };
+        b2.add_device_with_addr("explicit", auto0).unwrap();
+        let auto = b2.add_device("auto");
+        let sim = b2.build();
+        assert_ne!(sim.lc(auto).addr(), auto0);
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //!   table/CSV/JSON output;
 //! * [`trace`] — VCD/ASCII waveform output;
 //! * [`core`] — device composition, simulator, the `Scenario` layer, the
-//!   generic `Campaign` engine and the paper's experiment registry.
+//!   generic `Campaign` engine, the scatternet subsystem (`core::net`)
+//!   and the paper's experiment registry.
 //!
 //! # Quickstart
 //!
@@ -54,9 +55,26 @@
 //! assert!(point.metric("inquiry_slots").mean() > 0.0);
 //! ```
 //!
-//! The paper's figures (and the extension experiments) are registry
-//! entries — list them, run them by name, or add your own (see
-//! `docs/SCENARIOS.md`):
+//! Beyond a single piconet, the scatternet subsystem wires several
+//! piconets into one simulator sharing the medium — bridges are slaves
+//! in two piconets and time-multiplex between them via hold (see
+//! `docs/SCATTERNET.md`):
+//!
+//! ```
+//! use btsim::core::net::{build_scatternet, Topology};
+//! use btsim::core::scenario::paper_config;
+//!
+//! // Two piconets with one plain slave each, joined by one bridge.
+//! let topo = Topology::chain(2, 1);
+//! let (sim, map) = build_scatternet(&topo, 7, paper_config()).unwrap();
+//! assert_eq!(map.links.len(), 4); // 2 plain slaves + the bridge twice
+//! let bridge = topo.bridge_device(0);
+//! assert_eq!(sim.lc(bridge).slave_masters().len(), 2);
+//! ```
+//!
+//! The paper's figures (and the extension experiments, including the
+//! `scat_*` scatternet ones) are registry entries — list them, run
+//! them by name, or add your own (see `docs/SCENARIOS.md`):
 //!
 //! ```
 //! use btsim::core::experiments::{registry, ExpOptions};

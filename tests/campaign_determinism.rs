@@ -3,6 +3,7 @@
 //! sweeps give every point the same seed sequence.
 
 use btsim::core::campaign::Campaign;
+use btsim::core::net::{ScatternetConfig, ScatternetScenario};
 use btsim::core::scenario::{InquiryConfig, InquiryScenario, PageConfig, PageScenario};
 use proptest::prelude::*;
 
@@ -44,5 +45,42 @@ proptest! {
         .run();
         prop_assert_eq!(&single.points[0].outcomes, &swept.points[0].outcomes);
         prop_assert_eq!(&single.points[0].outcomes, &swept.points[1].outcomes);
+    }
+}
+
+// Scatternet campaigns drive many devices, bridge hold schedules and a
+// store-and-forward relay — far more machinery than the single-piconet
+// scenarios above — yet must give the same guarantee: bit-identical
+// results regardless of the thread count, with cross-piconet payload
+// actually delivered end to end.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn scatternet_campaign_is_bit_identical_across_thread_counts(
+        seed: u64,
+        threads in 2usize..5,
+    ) {
+        let scenario = || ScatternetScenario::new(ScatternetConfig {
+            piconets: 3,
+            measure_slots: 4_000,
+            ..ScatternetConfig::default()
+        });
+        let run = |t: usize| {
+            Campaign::new(scenario())
+                .runs(2)
+                .threads(t)
+                .base_seed(seed)
+                .run()
+        };
+        let sequential = run(1);
+        let parallel = run(threads);
+        prop_assert_eq!(&sequential, &parallel);
+        // The acceptance bar of the scatternet subsystem: a ≥3-piconet
+        // chain with bridges relays payload across piconet borders.
+        for out in &sequential.single().outcomes {
+            prop_assert!(out.connected, "chain must form: {:?}", out);
+            prop_assert!(out.delivered > 0, "cross-piconet delivery: {:?}", out);
+        }
     }
 }

@@ -8,6 +8,7 @@ fn quick(runs: usize) -> ExpOptions {
         runs,
         threads: 0,
         base_seed: 0x00B1_005E,
+        ..ExpOptions::default()
     }
 }
 

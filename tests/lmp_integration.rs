@@ -174,3 +174,50 @@ fn lmp_pdus_survive_a_noisy_channel() {
     assert!(slave_sniffed, "negotiation must complete despite noise");
     let _ = m;
 }
+
+#[test]
+fn lmp_hold_negotiation_reaches_a_scatternet_bridge() {
+    use btsim::core::net::{build_scatternet, Topology};
+
+    // Asymmetric member counts give the bridge distinct LT_ADDRs in its
+    // two piconets, so the PDU-driven hold (which addresses by LT_ADDR)
+    // lands on the right link.
+    let mut topo = Topology::new();
+    let a = topo.piconet("a", 2);
+    let b = topo.piconet("b", 1);
+    topo.bridge(a, b);
+    let (mut sim, map) = build_scatternet(&topo, 13, paper_config()).unwrap();
+    let bridge = topo.bridge_device(0);
+    let lt_a = map.link(a, bridge).expect("formed").lt_addr;
+    let lt_b = map.link(b, bridge).expect("formed").lt_addr;
+    assert_ne!(lt_a, lt_b, "topology chosen for distinct LT_ADDRs");
+
+    // Master B negotiates hold with the bridge over the air.
+    sim.lm_request(topo.master_device(b), |lm, slot| {
+        lm.request_hold(lt_b, 200, slot)
+    });
+    let held = sim.run_until_event(sim.now() + SimDuration::from_slots(600), |e| {
+        e.device == bridge
+            && matches!(
+                e.event,
+                LcEvent::ModeChanged {
+                    lt_addr,
+                    mode: LinkMode::Hold,
+                } if lt_addr == lt_b
+            )
+    });
+    assert!(held.is_some(), "bridge must hold its link into piconet B");
+    // The link into piconet A is untouched and the bridge resumes in B.
+    assert_eq!(sim.lc(bridge).slave_masters().len(), 2);
+    let resumed = sim.run_until_event(sim.now() + SimDuration::from_slots(600), |e| {
+        e.device == bridge
+            && matches!(
+                e.event,
+                LcEvent::ModeChanged {
+                    lt_addr,
+                    mode: LinkMode::Active,
+                } if lt_addr == lt_b
+            )
+    });
+    assert!(resumed.is_some(), "bridge must resynchronise into B");
+}
