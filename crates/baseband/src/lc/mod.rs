@@ -16,6 +16,7 @@
 mod connection;
 mod inquiry;
 mod page;
+mod wakeup;
 
 pub use connection::{LinkMode, ScoParams, SniffParams};
 
@@ -464,6 +465,14 @@ impl LinkController {
     /// Current life phase (for power attribution).
     pub fn phase(&self) -> LifePhase {
         self.phase
+    }
+
+    /// Digest of the controller's RNG position (see
+    /// [`btsim_kernel::SimRng::fingerprint`]); the engine-equivalence
+    /// harness uses it to prove an alternative engine made bit-identical
+    /// random draws.
+    pub fn rng_fingerprint(&self) -> u64 {
+        self.rng.fingerprint()
     }
 
     /// Whether this controller currently masters a piconet.

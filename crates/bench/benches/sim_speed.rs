@@ -131,11 +131,80 @@ fn bench_scatternet_scenario(c: &mut Criterion) {
     group.finish();
 }
 
+/// Engine fast-forward: the hold/sniff-heavy workloads where the
+/// event-driven engine must deliver its ≥5× slots/sec (the acceptance
+/// target of the engine PR; `bench_engine` records the same comparison
+/// as `BENCH_engine.json` for CI trend tracking). One iteration runs a
+/// fixed window of simulated slots on an already-connected pair.
+fn bench_engine_fast_forward(c: &mut Criterion) {
+    use btsim_bench::connected_pair;
+    use btsim_core::Engine;
+
+    let mut group = c.benchmark_group("engine_fast_forward");
+    group.sample_size(10);
+    for engine in [Engine::Lockstep, Engine::EventDriven] {
+        group.bench_function(&format!("hold_idle_20k_slots_{}", engine.name()), |b| {
+            b.iter_batched(
+                || {
+                    let (mut sim, lt) = connected_pair(7, engine);
+                    for dev in [0usize, 1] {
+                        sim.command(
+                            dev,
+                            LcCommand::Hold {
+                                lt_addr: lt,
+                                hold_slots: 21_000,
+                            },
+                        );
+                    }
+                    sim
+                },
+                |mut sim| {
+                    let end = sim.now() + SimDuration::from_slots(20_000);
+                    sim.run_until(end);
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(&format!("sniff_100_20k_slots_{}", engine.name()), |b| {
+            b.iter_batched(
+                || {
+                    let (mut sim, lt) = connected_pair(8, engine);
+                    let params = btsim_baseband::SniffParams {
+                        t_sniff: 100,
+                        n_attempt: 1,
+                        d_sniff: 0,
+                        n_timeout: 0,
+                    };
+                    for dev in [0usize, 1] {
+                        sim.command(
+                            dev,
+                            LcCommand::Sniff {
+                                lt_addr: lt,
+                                params,
+                            },
+                        );
+                    }
+                    sim
+                },
+                |mut sim| {
+                    let end = sim.now() + SimDuration::from_slots(20_000);
+                    sim.run_until(end);
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     speed,
     bench_creation_048s,
     bench_connection_second,
     bench_scatternet_scaling,
-    bench_scatternet_scenario
+    bench_scatternet_scenario,
+    bench_engine_fast_forward
 );
 criterion_main!(speed);

@@ -1,0 +1,175 @@
+//! Engine throughput comparison: slots per wall-second of the lockstep
+//! and event-driven engines across representative workloads, written to
+//! `BENCH_engine.json` so CI tracks the perf trajectory per commit.
+//!
+//! ```text
+//! cargo run --release -p btsim-bench --bin bench_engine [--json PATH]
+//! ```
+//!
+//! The hold/sniff/park/R1-scan workloads are where the event-driven
+//! engine earns its keep (idle ticks dominate); the saturated-traffic
+//! workload bounds its overhead when there is nothing to skip. Both
+//! engines produce bit-identical simulations (`tests/engine_equivalence.rs`),
+//! so every number here buys wall-clock time only.
+
+use std::time::Instant;
+
+use btsim_baseband::{LcCommand, SniffParams};
+use btsim_bench::connected_pair;
+use btsim_core::scenario::{paper_config, Scenario};
+use btsim_core::{Engine, SimBuilder, SimConfig, Simulator};
+use btsim_kernel::SimDuration;
+use btsim_stats::JsonValue;
+
+/// Times `run_until` over `slots` slots; returns slots per wall-second.
+fn timed_window(sim: &mut Simulator, slots: u64) -> f64 {
+    let end = sim.now() + SimDuration::from_slots(slots);
+    let started = Instant::now();
+    sim.run_until(end);
+    slots as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn hold_idle(engine: Engine, slots: u64) -> f64 {
+    let (mut sim, lt) = connected_pair(11, engine);
+    // One long hold covering the window: the paper's Fig. 12 idle case.
+    sim.command(
+        0,
+        LcCommand::Hold {
+            lt_addr: lt,
+            hold_slots: slots as u32 + 200,
+        },
+    );
+    sim.command(
+        1,
+        LcCommand::Hold {
+            lt_addr: lt,
+            hold_slots: slots as u32 + 200,
+        },
+    );
+    timed_window(&mut sim, slots)
+}
+
+fn sniff_idle(engine: Engine, slots: u64) -> f64 {
+    let (mut sim, lt) = connected_pair(12, engine);
+    let params = SniffParams {
+        t_sniff: 100,
+        n_attempt: 1,
+        d_sniff: 0,
+        n_timeout: 0,
+    };
+    sim.command(
+        0,
+        LcCommand::Sniff {
+            lt_addr: lt,
+            params,
+        },
+    );
+    sim.command(
+        1,
+        LcCommand::Sniff {
+            lt_addr: lt,
+            params,
+        },
+    );
+    timed_window(&mut sim, slots)
+}
+
+fn park_idle(engine: Engine, slots: u64) -> f64 {
+    let (mut sim, lt) = connected_pair(13, engine);
+    sim.command(
+        0,
+        LcCommand::Park {
+            lt_addr: lt,
+            beacon_interval: 400,
+        },
+    );
+    sim.command(
+        1,
+        LcCommand::Park {
+            lt_addr: lt,
+            beacon_interval: 400,
+        },
+    );
+    timed_window(&mut sim, slots)
+}
+
+fn r1_page_scan(engine: Engine, slots: u64) -> f64 {
+    // A lone connectable device with the paper's R1 window (11.25 ms
+    // every 1.28 s): 99% of its lockstep ticks are no-ops.
+    let mut cfg: SimConfig = paper_config();
+    cfg.engine = engine;
+    let mut b = SimBuilder::new(14, cfg);
+    let s = b.add_device("scanner");
+    let mut sim = b.build();
+    sim.command(s, LcCommand::PageScan);
+    timed_window(&mut sim, slots)
+}
+
+fn active_saturated(engine: Engine, slots: u64) -> f64 {
+    let (mut sim, lt) = connected_pair(15, engine);
+    sim.command(0, LcCommand::SetTpoll(2));
+    sim.command(
+        0,
+        LcCommand::AclData {
+            lt_addr: lt,
+            data: vec![0x5A; slots as usize * 9],
+        },
+    );
+    timed_window(&mut sim, slots)
+}
+
+fn scat_bridge_chain(engine: Engine, _slots: u64) -> f64 {
+    // The scat_bridge steady state: a 3-piconet chain with hold-based
+    // bridges — the workload PR 2 made idle-dominated.
+    use btsim_core::net::{BridgePlan, ScatternetConfig, ScatternetScenario};
+    let mut cfg: SimConfig = paper_config();
+    cfg.engine = engine;
+    let measure = 10_000u64;
+    let scenario = ScatternetScenario::new(ScatternetConfig {
+        piconets: 3,
+        plan: BridgePlan::default(),
+        measure_slots: measure,
+        sim: cfg,
+        ..ScatternetConfig::default()
+    });
+    let started = Instant::now();
+    let out = scenario.run(0x00B1_005E);
+    let _ = out;
+    measure as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let opts = btsim_bench::parse_cli();
+    let workloads: [(&str, fn(Engine, u64) -> f64, u64); 6] = [
+        ("hold_idle", hold_idle, 60_000),
+        ("sniff_100_idle", sniff_idle, 60_000),
+        ("park_400_idle", park_idle, 60_000),
+        ("r1_page_scan", r1_page_scan, 60_000),
+        ("active_saturated", active_saturated, 10_000),
+        ("scat_bridge_chain", scat_bridge_chain, 10_000),
+    ];
+    let mut rows = Vec::new();
+    println!(
+        "{:<20} {:>16} {:>16} {:>9}",
+        "workload", "lockstep slots/s", "event slots/s", "speedup"
+    );
+    for (name, run, slots) in workloads {
+        let lockstep = run(Engine::Lockstep, slots);
+        let event = run(Engine::EventDriven, slots);
+        let speedup = event / lockstep.max(1e-9);
+        println!("{name:<20} {lockstep:>16.0} {event:>16.0} {speedup:>8.1}x");
+        rows.push(JsonValue::Obj(vec![
+            ("workload".to_string(), JsonValue::from(name)),
+            ("slots".to_string(), JsonValue::from(slots)),
+            (
+                "lockstep_slots_per_sec".to_string(),
+                JsonValue::from(lockstep),
+            ),
+            ("event_slots_per_sec".to_string(), JsonValue::from(event)),
+            ("speedup".to_string(), JsonValue::from(speedup)),
+        ]));
+    }
+    let doc = JsonValue::Obj(vec![("engines".to_string(), JsonValue::Arr(rows))]);
+    let path = opts.json.as_deref().unwrap_or("BENCH_engine.json");
+    btsim_bench::write_artifact(path, &format!("{}\n", doc.render()));
+}

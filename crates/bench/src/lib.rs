@@ -99,6 +99,12 @@ pub fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
                 }
                 opts.exp.bridge_duty = Some(d);
             }
+            "--engine" => {
+                let v = value("--engine")?;
+                opts.exp.engine = btsim_core::Engine::from_name(&v).ok_or_else(|| {
+                    format!("invalid --engine value: {v:?} (expected lockstep or event)")
+                })?;
+            }
             "--json" => opts.json = Some(value("--json")?),
             "--list" => opts.list = true,
             flag if flag.starts_with('-') => {
@@ -120,7 +126,7 @@ pub fn parse_cli() -> BenchOptions {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: [--quick] [--runs N] [--seed S] [--threads T] [--piconets N] \
-                 [--bridge-duty F] [--json PATH] [NAME…]"
+                 [--bridge-duty F] [--engine lockstep|event] [--json PATH] [NAME…]"
             );
             std::process::exit(2);
         }
@@ -131,6 +137,23 @@ pub fn parse_cli() -> BenchOptions {
 /// point for callers that only need [`ExpOptions`]).
 pub fn parse_options() -> ExpOptions {
     parse_cli().exp
+}
+
+/// Builds a connected master + slave pair on a clean channel under the
+/// given engine — the shared setup of the engine perf benches
+/// (`bench_engine`, the `engine_fast_forward` criterion group).
+/// Returns the simulator and the slave's LT_ADDR.
+pub fn connected_pair(seed: u64, engine: btsim_core::Engine) -> (btsim_core::Simulator, u8) {
+    use btsim_core::scenario::{connect_pair, paper_config};
+    use btsim_kernel::SimTime;
+    let mut cfg = paper_config();
+    cfg.engine = engine;
+    let mut b = btsim_core::SimBuilder::new(seed, cfg);
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("pair connects");
+    (sim, lt)
 }
 
 /// Writes `content` to `name` in the working directory, reporting the
@@ -256,6 +279,18 @@ mod tests {
             parse_args(&argv(&["--bridge-duty"])).is_err(),
             "missing value"
         );
+    }
+
+    #[test]
+    fn engine_flag_parses_strictly() {
+        use btsim_core::Engine;
+        assert_eq!(parse_args(&[]).unwrap().exp.engine, Engine::Lockstep);
+        let opts = parse_args(&argv(&["--engine", "event"])).unwrap();
+        assert_eq!(opts.exp.engine, Engine::EventDriven);
+        let opts = parse_args(&argv(&["--engine", "lockstep"])).unwrap();
+        assert_eq!(opts.exp.engine, Engine::Lockstep);
+        assert!(parse_args(&argv(&["--engine", "warp"])).is_err());
+        assert!(parse_args(&argv(&["--engine"])).is_err(), "missing value");
     }
 
     #[test]

@@ -385,6 +385,13 @@ impl Medium {
         self.live.retain(|t| t.end() >= cutoff);
     }
 
+    /// Digest of the noise stream's RNG position (see
+    /// [`btsim_kernel::SimRng::fingerprint`]); used by the
+    /// engine-equivalence harness to prove identical draw counts.
+    pub fn rng_fingerprint(&self) -> u64 {
+        self.rng.fingerprint()
+    }
+
     /// Observed bit-flip fraction since construction (for diagnostics).
     pub fn measured_ber(&self) -> f64 {
         if self.total_bits == 0 {

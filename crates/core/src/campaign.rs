@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use btsim_stats::{run_campaign, JsonValue, Record, Summary, Table};
 
 use crate::scenario::Scenario;
+use crate::{Engine, SimConfig};
 
 /// Campaign sizing options shared by every experiment.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +32,11 @@ pub struct ExpOptions {
     /// Override for the scatternet bridge experiment's duty-cycle
     /// sweep: run this single duty point (`--bridge-duty`, in (0, 1)).
     pub bridge_duty: Option<f64>,
+    /// Simulation engine every scenario in the campaign runs on
+    /// (`--engine`). Results are engine-independent by construction —
+    /// the differential harness enforces it — so this only changes how
+    /// fast the campaign finishes.
+    pub engine: Engine,
 }
 
 impl Default for ExpOptions {
@@ -41,6 +47,7 @@ impl Default for ExpOptions {
             base_seed: 0x00B1_005E,
             piconets: None,
             bridge_duty: None,
+            engine: Engine::default(),
         }
     }
 }
@@ -52,6 +59,14 @@ impl ExpOptions {
             runs: 12,
             ..Self::default()
         }
+    }
+
+    /// Stamps the selected engine onto a scenario's simulator
+    /// configuration — the hook every experiment routes its `SimConfig`
+    /// through so `--engine` reaches all of them.
+    pub fn sim(&self, mut base: SimConfig) -> SimConfig {
+        base.engine = self.engine;
+        base
     }
 }
 

@@ -30,7 +30,7 @@ use crate::scenario::{
     InquiryScenario, PageConfig, PageScenario, ParkConfig, ParkScenario, Scenario, ScoLinkConfig,
     ScoLinkScenario, SniffConfig, SniffScenario, TrafficConfig, TrafficScenario,
 };
-use crate::{LoggedEvent, SimBuilder};
+use crate::{Engine, LoggedEvent, SimBuilder};
 
 mod registry;
 
@@ -130,6 +130,7 @@ pub fn fig6_inquiry_vs_ber(opts: &ExpOptions) -> BerSweep {
     ber_sweep(opts, "inquiry", |ber| {
         InquiryScenario::new(InquiryConfig {
             ber,
+            sim: opts.sim(paper_config()),
             ..InquiryConfig::default()
         })
     })
@@ -143,6 +144,7 @@ pub fn fig7_page_vs_ber(opts: &ExpOptions) -> BerSweep {
         PageScenario::new(PageConfig {
             ber,
             cap_slots: 2048,
+            sim: opts.sim(paper_config()),
             ..PageConfig::default()
         })
     })
@@ -194,6 +196,7 @@ pub fn fig8_creation_failure(opts: &ExpOptions) -> Fig8 {
             InquiryScenario::new(InquiryConfig {
                 ber: *ber,
                 cap_slots: TIMEOUT,
+                sim: opts.sim(paper_config()),
                 ..InquiryConfig::default()
             }),
         )
@@ -206,6 +209,7 @@ pub fn fig8_creation_failure(opts: &ExpOptions) -> Fig8 {
             PageScenario::new(PageConfig {
                 ber: *ber,
                 cap_slots: TIMEOUT,
+                sim: opts.sim(paper_config()),
                 ..PageConfig::default()
             }),
         )
@@ -240,8 +244,9 @@ pub struct Waveforms {
 /// three slaves, all switched on simultaneously on a clean channel.
 /// Scanning slaves show continuously asserted `enable_rx_RF`; once in the
 /// piconet they listen only at slot starts.
-pub fn fig5_creation_waveforms(seed: u64) -> Waveforms {
+pub fn fig5_creation_waveforms(seed: u64, engine: Engine) -> Waveforms {
     let mut cfg = paper_config();
+    cfg.engine = engine;
     cfg.trace = true;
     // A short backoff keeps the interesting region compact, like the
     // paper's figure.
@@ -280,8 +285,9 @@ pub fn fig5_creation_waveforms(seed: u64) -> Waveforms {
 
 /// **Fig. 9** — waveforms with two slaves placed in sniff mode; their
 /// `enable_rx_RF` pulses only at the sniff anchors.
-pub fn fig9_sniff_waveforms(seed: u64) -> Waveforms {
+pub fn fig9_sniff_waveforms(seed: u64, engine: Engine) -> Waveforms {
     let mut cfg = paper_config();
+    cfg.engine = engine;
     cfg.trace = true;
     let mut b = SimBuilder::new(seed, cfg);
     let master = b.add_device("master");
@@ -381,6 +387,7 @@ pub fn fig10_master_activity(opts: &ExpOptions) -> Fig10 {
             TrafficScenario::new(TrafficConfig {
                 duty,
                 measure_slots: measure,
+                sim: opts.sim(paper_config()),
                 ..TrafficConfig::default()
             }),
         )
@@ -487,6 +494,7 @@ pub fn fig11_sniff_activity(opts: &ExpOptions) -> ModeSweep {
         SniffScenario::new(SniffConfig {
             t_sniff,
             measure_slots: measure,
+            sim: opts.sim(paper_config()),
             ..SniffConfig::default()
         })
     })
@@ -502,7 +510,7 @@ pub fn fig12_hold_activity(opts: &ExpOptions) -> ModeSweep {
         HoldScenario::new(HoldConfig {
             t_hold,
             measure_slots: measure,
-            ..HoldConfig::default()
+            sim: opts.sim(paper_config()),
         })
     })
 }
@@ -517,7 +525,7 @@ pub fn ext_park_activity(opts: &ExpOptions) -> ModeSweep {
         ParkScenario::new(ParkConfig {
             beacon_interval,
             measure_slots: measure,
-            ..ParkConfig::default()
+            sim: opts.sim(paper_config()),
         })
     })
 }
@@ -561,13 +569,16 @@ impl SimSpeed {
 /// **Table 1** (the §3.1 performance paragraph) — simulation speed of the
 /// piconet-creation scenario: the paper simulated 0.48 s in 10′47″
 /// (747 clock cycles per second at the 1 µs symbol clock).
-pub fn table1_sim_speed(seed: u64) -> SimSpeed {
+pub fn table1_sim_speed(seed: u64, engine: Engine) -> SimSpeed {
     let sim_seconds = 0.48;
+    let mut cfg = paper_config();
+    cfg.engine = engine;
     let started = Instant::now();
     let out = CreationScenario::new(CreationConfig {
         n_slaves: 3,
         inquiry_timeout_slots: (sim_seconds * 1600.0) as u32,
         page_timeout_slots: 512,
+        sim: cfg,
         ..CreationConfig::default()
     })
     .run(seed);
@@ -648,6 +659,7 @@ pub fn ext_packet_throughput(opts: &ExpOptions) -> ExtThroughput {
             GoodputScenario::new(GoodputConfig {
                 ptype: *ptype,
                 ber: *ber,
+                sim: opts.sim(paper_config()),
                 ..GoodputConfig::default()
             }),
         )
@@ -714,6 +726,7 @@ pub fn ext_coexistence(opts: &ExpOptions) -> ExtCoexistence {
             .to_string(),
             CoexistenceScenario::new(CoexistenceConfig {
                 with_interferer,
+                sim: opts.sim(paper_config()),
                 ..CoexistenceConfig::default()
             }),
         )
@@ -801,6 +814,7 @@ pub fn ext_sco(opts: &ExpOptions) -> ExtSco {
             ScoLinkScenario::new(ScoLinkConfig {
                 ptype: *ptype,
                 ber: *ber,
+                sim: opts.sim(paper_config()),
                 ..ScoLinkConfig::default()
             }),
         )
@@ -894,7 +908,7 @@ pub fn ext_calibration_ablation(opts: &ExpOptions) -> ExtAblation {
     let mut points = Vec::new();
     for (fhs_fec, continuous) in combos {
         for (label, ber) in bers {
-            let mut sim = paper_config();
+            let mut sim = opts.sim(paper_config());
             sim.lc.page_fhs_fec = fhs_fec;
             sim.lc.page_scan_continuous = continuous;
             points.push((
@@ -945,10 +959,13 @@ pub struct InquiryDistribution {
 /// scanner's channel sits in the active train, a late mass one train
 /// switch later) convolved with the uniform response backoff.
 pub fn ext_inquiry_distribution(opts: &ExpOptions) -> InquiryDistribution {
-    let result = Campaign::new(InquiryScenario::new(InquiryConfig::default()))
-        .options(opts)
-        .runs(opts.runs.max(50))
-        .run();
+    let result = Campaign::new(InquiryScenario::new(InquiryConfig {
+        sim: opts.sim(paper_config()),
+        ..InquiryConfig::default()
+    }))
+    .options(opts)
+    .runs(opts.runs.max(50))
+    .run();
     let mut histogram = btsim_stats::Histogram::new(0.0, 6144.0, 24);
     let mut summary = Summary::new();
     for out in &result.single().outcomes {
@@ -1010,7 +1027,7 @@ impl ExtWlan {
 pub fn ext_wlan_coexistence(opts: &ExpOptions) -> ExtWlan {
     let duties = [0.0, 0.25, 0.5, 0.75, 1.0];
     let wlan_cfg = |wlan_duty: f64| {
-        let mut cfg = paper_config();
+        let mut cfg = opts.sim(paper_config());
         cfg.channel.interferers = vec![btsim_channel::Interferer::wlan(40, wlan_duty)];
         cfg
     };
@@ -1135,6 +1152,7 @@ pub fn scat_collisions(opts: &ExpOptions) -> ScatCollisions {
             MultiPiconetScenario::new(MultiPiconetConfig {
                 piconets: n,
                 measure_slots: 4_000,
+                sim: opts.sim(paper_config()),
                 ..MultiPiconetConfig::default()
             }),
         )
@@ -1225,6 +1243,7 @@ pub fn scat_bridge(opts: &ExpOptions) -> ScatBridge {
                     ..BridgePlan::default()
                 },
                 measure_slots: 10_000,
+                sim: opts.sim(paper_config()),
                 ..ScatternetConfig::default()
             }),
         )
@@ -1326,7 +1345,7 @@ pub fn scat_speed(opts: &ExpOptions) -> ScatSpeed {
                 topo.piconet(&format!("p{p}"), 1);
             }
             let Ok((mut sim, map)) =
-                crate::net::build_scatternet(&topo, opts.base_seed, paper_config())
+                crate::net::build_scatternet(&topo, opts.base_seed, opts.sim(paper_config()))
             else {
                 return ScatSpeedRow {
                     piconets: n,
@@ -1408,14 +1427,14 @@ mod tests {
 
     #[test]
     fn fig5_waveforms_render() {
-        let w = fig5_creation_waveforms(3);
+        let w = fig5_creation_waveforms(3, Engine::Lockstep);
         assert!(w.ascii.contains("enable_rx_RF"));
         assert!(w.vcd.contains("$enddefinitions"));
     }
 
     #[test]
     fn table1_reports_speedup() {
-        let s = table1_sim_speed(1);
+        let s = table1_sim_speed(1, Engine::Lockstep);
         assert!(s.clock_cycles_per_sec > 747.0, "should beat 2005 SystemC");
         assert!(s.speedup_vs_paper > 1.0);
     }

@@ -247,7 +247,7 @@ static REGISTRY: [Experiment; 19] = [
 ];
 
 fn run_fig5(opts: &ExpOptions) -> ExpReport {
-    let w = fig5_creation_waveforms(opts.base_seed);
+    let w = fig5_creation_waveforms(opts.base_seed, opts.engine);
     ExpReport::new("Fig. 5 — piconet creation waveforms (enable_tx_RF / enable_rx_RF)")
         .note(w.notes.clone())
         .text(w.ascii)
@@ -276,7 +276,7 @@ fn run_fig8(opts: &ExpOptions) -> ExpReport {
 }
 
 fn run_fig9(opts: &ExpOptions) -> ExpReport {
-    let w = fig9_sniff_waveforms(opts.base_seed);
+    let w = fig9_sniff_waveforms(opts.base_seed, opts.engine);
     ExpReport::new("Fig. 9 — sniff-mode waveforms (slaves 2 and 3 sniffing)")
         .note(w.notes.clone())
         .text(w.ascii)
@@ -311,7 +311,7 @@ fn run_fig12(opts: &ExpOptions) -> ExpReport {
 }
 
 fn run_table1(opts: &ExpOptions) -> ExpReport {
-    let s = table1_sim_speed(opts.base_seed);
+    let s = table1_sim_speed(opts.base_seed, opts.engine);
     ExpReport::new("Table 1 — simulation speed of the piconet-creation scenario")
         .note("(paper: 0.48 s simulated in 10'47'', i.e. 747 clock cycles per wall second)")
         .table(s.table())

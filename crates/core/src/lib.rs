@@ -22,5 +22,6 @@ mod simulator;
 pub use campaign::{Campaign, CampaignResult, ExpOptions, PointResult};
 pub use scenario::Scenario;
 pub use simulator::{
-    DuplicateAddr, EventCursor, LoggedEvent, LoggedLmEvent, SimBuilder, SimConfig, Simulator,
+    DuplicateAddr, Engine, EventCursor, HorizonReached, LoggedEvent, LoggedLmEvent, SimBuilder,
+    SimConfig, Simulator,
 };

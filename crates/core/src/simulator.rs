@@ -7,6 +7,15 @@
 //! state machines, their RF actions become channel transmissions and
 //! receive windows, and `enable_tx_RF` / `enable_rx_RF` transitions are
 //! recorded for the power analysis and waveform figures.
+//!
+//! Two [`Engine`]s drive the ticks. [`Engine::Lockstep`] is the paper's
+//! scheme — every device is polled every half slot — and serves as the
+//! behavioural oracle. [`Engine::EventDriven`] fast-forwards the clock
+//! across guaranteed-no-op gaps using each controller's
+//! [`LinkController::next_wakeup`] hint plus the link manager's pending
+//! mode-change slots; `docs/ENGINE.md` describes the wakeup-hint
+//! contract and the differential harness that gates both engines to
+//! bit-identical behaviour.
 
 use btsim_baseband::{
     BdAddr, ClkVal, Clock, LcAction, LcCommand, LcConfig, LcEvent, LifePhase, LinkController,
@@ -57,6 +66,41 @@ pub struct LoggedLmEvent {
     pub event: LmEvent,
 }
 
+/// How the simulator drives the baseband state machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Tick every device every half slot, as the paper's SystemC model
+    /// does. Simple, and the behavioural oracle for the fast engine.
+    #[default]
+    Lockstep,
+    /// Fast-forward the clock to the earliest wakeup across all devices
+    /// ([`LinkController::next_wakeup`] + pending LMP mode changes),
+    /// skipping ticks that are provably no-ops. Bit-identical to
+    /// lockstep (enforced by `tests/engine_equivalence.rs`), and much
+    /// faster whenever devices idle in hold/sniff/park or an R1 page
+    /// scan.
+    EventDriven,
+}
+
+impl Engine {
+    /// Parses a CLI name (`lockstep` / `event`).
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "lockstep" => Some(Engine::Lockstep),
+            "event" | "event-driven" => Some(Engine::EventDriven),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Lockstep => "lockstep",
+            Engine::EventDriven => "event",
+        }
+    }
+}
+
 /// Simulator-wide configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -69,6 +113,8 @@ pub struct SimConfig {
     /// Randomise each device's initial CLKN (on by default; scenarios
     /// that model pre-synchronised devices may turn it off).
     pub random_clkn: bool,
+    /// Which engine drives the ticks.
+    pub engine: Engine,
 }
 
 impl Default for SimConfig {
@@ -78,6 +124,7 @@ impl Default for SimConfig {
             lc: LcConfig::default(),
             trace: false,
             random_clkn: true,
+            engine: Engine::default(),
         }
     }
 }
@@ -110,8 +157,21 @@ struct DeviceCell {
 
 #[derive(Debug)]
 enum Ev {
+    /// Lockstep: one per device, self-rescheduling every half slot.
     Tick(usize),
-    Command(usize, LcCommand),
+    /// Event-driven: the single dispatch event sitting at the earliest
+    /// pending wakeup. `seq` invalidates superseded instances.
+    Wake {
+        seq: u64,
+    },
+    Command {
+        dev: usize,
+        cmd: LcCommand,
+        /// When the command was scheduled — decides whether the target
+        /// device's lockstep tick at the dispatch instant runs before or
+        /// after it, which the event-driven engine must reproduce.
+        inserted: SimTime,
+    },
     TxStart {
         dev: usize,
         channel: u8,
@@ -173,6 +233,12 @@ impl SimBuilder {
             seed,
             specs: Vec::new(),
         }
+    }
+
+    /// Overrides the engine (equivalent to setting it on the config).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.cfg.engine = engine;
+        self
     }
 
     /// The link-manager role the legacy single-piconet helpers assign:
@@ -265,8 +331,11 @@ impl SimBuilder {
                 sig_tx,
                 sig_rx,
             });
-            cal.schedule(SimTime::ZERO, Ev::Tick(i));
+            if self.cfg.engine == Engine::Lockstep {
+                cal.schedule(SimTime::ZERO, Ev::Tick(i));
+            }
         }
+        let n = devices.len();
         Simulator {
             cal,
             medium,
@@ -278,6 +347,12 @@ impl SimBuilder {
             next_window_id: 0,
             steps_since_gc: 0,
             inspect_cursor: 0,
+            engine: self.cfg.engine,
+            // All devices start in standby: nothing to wake for until a
+            // command arrives (commands re-arm their device's wakeup).
+            wake: vec![None; n],
+            wake_seq: 0,
+            steps_total: 0,
         }
     }
 }
@@ -311,7 +386,37 @@ pub struct Simulator {
     next_window_id: u64,
     steps_since_gc: u32,
     inspect_cursor: usize,
+    engine: Engine,
+    /// Event-driven only: each device's next pending tick instant.
+    wake: Vec<Option<SimTime>>,
+    /// Invalidates superseded [`Ev::Wake`] instances.
+    wake_seq: u64,
+    /// Calendar events dispatched so far (engine-cost diagnostic).
+    steps_total: u64,
 }
+
+/// `run_until_event`-style search hit its time horizon with no matching
+/// event; the clock was clamped to the horizon.
+///
+/// Under the event-driven engine the calendar can be *empty* (or hold
+/// only far-future wakeups) long before a caller's cap: without the
+/// clamp the simulation clock would sit at the last processed event and
+/// callers that loop on "no match yet" would spin without ever
+/// advancing. The typed error makes the terminal state explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HorizonReached {
+    /// The cap the search was bounded by; `Simulator::now()` equals this
+    /// (unless an already-scheduled event beyond the cap pins it lower).
+    pub horizon: SimTime,
+}
+
+impl std::fmt::Display for HorizonReached {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no matching event up to {}", self.horizon)
+    }
+}
+
+impl std::error::Error for HorizonReached {}
 
 impl Simulator {
     /// Number of devices.
@@ -370,14 +475,46 @@ impl Simulator {
         self.medium.tx_stats()
     }
 
+    /// The engine driving this simulator.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Calendar events dispatched so far — the engine's unit of work.
+    /// The event-driven engine's speedup is, to first order, the ratio
+    /// of this count between engines for the same workload.
+    pub fn steps_total(&self) -> u64 {
+        self.steps_total
+    }
+
+    /// Digest of every random stream's position (device controllers and
+    /// the medium). Two runs that made bit-identical random draws — the
+    /// engine-equivalence requirement — have equal fingerprints.
+    pub fn rng_fingerprint(&self) -> u64 {
+        let mut acc = self.medium.rng_fingerprint();
+        for cell in &self.devices {
+            acc = acc.rotate_left(7) ^ cell.lc.rng_fingerprint();
+        }
+        acc
+    }
+
     /// Issues a command to a device at the current time.
     pub fn command(&mut self, dev: usize, cmd: LcCommand) {
-        self.cal.schedule(self.cal.now(), Ev::Command(dev, cmd));
+        let now = self.cal.now();
+        self.cal.schedule(
+            now,
+            Ev::Command {
+                dev,
+                cmd,
+                inserted: now,
+            },
+        );
     }
 
     /// Schedules a command at an absolute time.
     pub fn command_at(&mut self, dev: usize, cmd: LcCommand, at: SimTime) {
-        self.cal.schedule(at, Ev::Command(dev, cmd));
+        let inserted = self.cal.now();
+        self.cal.schedule(at, Ev::Command { dev, cmd, inserted });
     }
 
     /// Runs a link-manager request on a device, applying its outputs.
@@ -389,9 +526,15 @@ impl Simulator {
         let now_slot = now.slots();
         let outs = f(&mut self.devices[dev].lm, now_slot);
         self.apply_lm_outputs(dev, outs, now);
+        // Called between steps: the lockstep tick at `now` has already
+        // run, so the wakeup floor is the next tick.
+        self.rearm_wakeup(dev, now + SimDuration::from_ns(1));
     }
 
-    /// Runs until the calendar passes `until` (or drains).
+    /// Runs until the calendar passes `until` (or drains), then clamps
+    /// the clock to `until` so idle gaps at the horizon don't leave the
+    /// simulation time short (the event-driven engine leaves such gaps;
+    /// lockstep reaches the same instant by ticking through them).
     pub fn run_until(&mut self, until: SimTime) {
         while let Some(t) = self.cal.peek_time() {
             if t > until {
@@ -399,6 +542,7 @@ impl Simulator {
             }
             self.step();
         }
+        self.cal.advance_to(until);
     }
 
     /// Runs until an event matching `pred` is logged, or `cap` passes.
@@ -434,17 +578,41 @@ impl Simulator {
     where
         F: Fn(&LoggedEvent) -> bool,
     {
+        self.try_run_until_event_from(cursor, cap, pred).ok()
+    }
+
+    /// Like [`Simulator::run_until_event_from`], but reports the
+    /// no-match terminal state as a typed [`HorizonReached`] after
+    /// clamping the clock to `cap`.
+    ///
+    /// The clamp matters under the event-driven engine: with every
+    /// device asleep past `cap` there is nothing left to step, and
+    /// without it the clock would stall short of the horizon while
+    /// callers that retry on "no event yet" spin forever at the same
+    /// instant.
+    pub fn try_run_until_event_from<F>(
+        &mut self,
+        cursor: &mut EventCursor,
+        cap: SimTime,
+        pred: F,
+    ) -> Result<LoggedEvent, HorizonReached>
+    where
+        F: Fn(&LoggedEvent) -> bool,
+    {
         loop {
             while cursor.0 < self.events.len() {
                 let i = cursor.0;
                 cursor.0 += 1;
                 if pred(&self.events[i]) {
-                    return Some(self.events[i].clone());
+                    return Ok(self.events[i].clone());
                 }
             }
             match self.cal.peek_time() {
                 Some(t) if t <= cap => self.step(),
-                _ => return None,
+                _ => {
+                    self.cal.advance_to(cap);
+                    return Err(HorizonReached { horizon: cap });
+                }
             }
         }
     }
@@ -467,6 +635,7 @@ impl Simulator {
         let Some((t, ev)) = self.cal.pop() else {
             return;
         };
+        self.steps_total += 1;
         self.steps_since_gc += 1;
         if self.steps_since_gc >= 8192 {
             self.steps_since_gc = 0;
@@ -475,17 +644,39 @@ impl Simulator {
         match ev {
             Ev::Tick(dev) => {
                 self.cal.schedule(t + SimDuration::HALF_SLOT, Ev::Tick(dev));
-                let actions = self.devices[dev].lc.on_tick(t);
-                self.apply_actions(dev, actions, t);
-                // Link-manager scheduled mode changes, once per slot.
-                if t.ns() % SimDuration::SLOT.ns() == 0 {
-                    let outs = self.devices[dev].lm.poll(t.slots());
-                    self.apply_lm_outputs(dev, outs, t);
-                }
+                self.tick_device(dev, t);
             }
-            Ev::Command(dev, cmd) => {
+            Ev::Wake { seq } => {
+                if seq != self.wake_seq {
+                    return; // superseded by a later re-arm
+                }
+                // Devices sharing a wake instant tick in index order —
+                // the same relative order the lockstep tick cascade
+                // establishes at every instant.
+                for dev in 0..self.devices.len() {
+                    if self.wake[dev] == Some(t) {
+                        self.wake[dev] = None;
+                        self.tick_device(dev, t);
+                        self.recompute_wakeup(dev, t + SimDuration::from_ns(1));
+                    }
+                }
+                self.arm_wake();
+            }
+            Ev::Command { dev, cmd, inserted } => {
                 let actions = self.devices[dev].lc.command(cmd, t);
                 self.apply_actions(dev, actions, t);
+                // A command scheduled *before* this instant runs ahead of
+                // the device's lockstep tick at this instant (FIFO by
+                // insertion), so that tick sees post-command state and
+                // may act: the wakeup floor includes the instant itself.
+                // A command issued *at* this instant lands after the tick
+                // cascade; the floor is the next tick.
+                let floor = if inserted < t {
+                    t
+                } else {
+                    t + SimDuration::from_ns(1)
+                };
+                self.rearm_wakeup(dev, floor);
             }
             Ev::TxStart { dev, channel, bits } => {
                 let dur = SimDuration::from_bits(bits.len());
@@ -535,6 +726,13 @@ impl Simulator {
                 for dev in listeners {
                     let actions = self.devices[dev].lc.on_rx(&rxd, t);
                     self.apply_actions(dev, actions, t);
+                    // Receptions land off the half-slot grid (packet end
+                    // + modem delay): the next tick that can act is
+                    // strictly after this instant.
+                    self.recompute_wakeup(dev, t + SimDuration::from_ns(1));
+                }
+                if self.engine == Engine::EventDriven {
+                    self.arm_wake();
                 }
             }
             Ev::WindowOpen { dev, id } => {
@@ -564,6 +762,60 @@ impl Simulator {
                 self.commit_rx(dev, w.opened_at, t);
             }
         }
+    }
+
+    /// One device tick: baseband half-slot work plus, at whole-slot
+    /// boundaries, the link manager's scheduled mode changes. Shared by
+    /// both engines so a woken tick is byte-for-byte a lockstep tick.
+    fn tick_device(&mut self, dev: usize, t: SimTime) {
+        let actions = self.devices[dev].lc.on_tick(t);
+        self.apply_actions(dev, actions, t);
+        if t.ns().is_multiple_of(SimDuration::SLOT.ns()) {
+            let outs = self.devices[dev].lm.poll(t.slots());
+            self.apply_lm_outputs(dev, outs, t);
+        }
+    }
+
+    /// Event-driven: refreshes `dev`'s pending wake from its controller
+    /// hint and its link manager's pending mode-change slots. `floor` is
+    /// the earliest instant the wake may land on.
+    fn recompute_wakeup(&mut self, dev: usize, floor: SimTime) {
+        if self.engine != Engine::EventDriven {
+            return;
+        }
+        let cell = &self.devices[dev];
+        let mut wake = cell.lc.next_wakeup(floor);
+        if let Some(slot) = cell.lm.next_pending_slot() {
+            // The manager is polled at whole-slot ticks once the slot
+            // counter reaches the pending instant.
+            let slot_ns = SimDuration::SLOT.ns();
+            let at = SimTime::from_ns((slot * slot_ns).max(floor.ns().div_ceil(slot_ns) * slot_ns));
+            wake = Some(wake.map_or(at, |w| w.min(at)));
+        }
+        self.wake[dev] = wake;
+    }
+
+    /// [`Simulator::recompute_wakeup`] + [`Simulator::arm_wake`].
+    fn rearm_wakeup(&mut self, dev: usize, floor: SimTime) {
+        if self.engine != Engine::EventDriven {
+            return;
+        }
+        self.recompute_wakeup(dev, floor);
+        self.arm_wake();
+    }
+
+    /// Schedules the dispatch event at the earliest pending wake. Always
+    /// re-issued (with a fresh sequence number) after anything that can
+    /// move a wake, so the live instance is the last insertion of the
+    /// current instant — mirroring where the lockstep tick cascade sits
+    /// relative to events scheduled from earlier instants.
+    fn arm_wake(&mut self) {
+        let Some(at) = self.wake.iter().flatten().min().copied() else {
+            return;
+        };
+        self.wake_seq += 1;
+        let at = at.max(self.cal.now());
+        self.cal.schedule(at, Ev::Wake { seq: self.wake_seq });
     }
 
     fn open_window(
@@ -839,6 +1091,223 @@ mod tests {
         };
         assert_eq!(run(77), run(77));
         assert_ne!(run(77), run(78));
+    }
+
+    /// Runs `drive` under both engines and asserts bit-identical event
+    /// logs, LM logs, clock, power phases and RNG positions.
+    fn assert_engines_agree(seed: u64, ber: f64, drive: impl Fn(&mut Simulator, usize, usize)) {
+        let build = |engine: Engine| {
+            let mut cfg = SimConfig::default();
+            cfg.channel.ber = ber;
+            cfg.engine = engine;
+            let mut b = SimBuilder::new(seed, cfg);
+            let m = b.add_device("master");
+            let s = b.add_device("slave1");
+            let mut sim = b.build();
+            drive(&mut sim, m, s);
+            sim
+        };
+        let lockstep = build(Engine::Lockstep);
+        let event = build(Engine::EventDriven);
+        assert_eq!(lockstep.now(), event.now(), "clocks diverged");
+        assert_eq!(
+            format!("{:?}", lockstep.events()),
+            format!("{:?}", event.events()),
+            "event logs diverged"
+        );
+        assert_eq!(
+            format!("{:?}", lockstep.lm_events()),
+            format!("{:?}", event.lm_events()),
+            "LM logs diverged"
+        );
+        assert_eq!(
+            lockstep.rng_fingerprint(),
+            event.rng_fingerprint(),
+            "RNG draws diverged"
+        );
+        for dev in 0..lockstep.device_count() {
+            let (a, b) = (lockstep.power_report(dev), event.power_report(dev));
+            // Compare phase by phase: the report's phase map has no
+            // stable iteration order.
+            for phase in [
+                LifePhase::Standby,
+                LifePhase::Inquiry,
+                LifePhase::InquiryScan,
+                LifePhase::Page,
+                LifePhase::PageScan,
+                LifePhase::Active,
+                LifePhase::Sniff,
+                LifePhase::Hold,
+                LifePhase::Park,
+            ] {
+                assert_eq!(
+                    format!("{:?}", a.phase(phase)),
+                    format!("{:?}", b.phase(phase)),
+                    "power diverged for device {dev} phase {phase:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_inquiry() {
+        assert_engines_agree(31, 0.005, |sim, m, s| {
+            sim.command(s, LcCommand::InquiryScan);
+            sim.command(
+                m,
+                LcCommand::Inquiry {
+                    num_responses: 1,
+                    timeout_slots: 4096,
+                },
+            );
+            sim.run_until(SimTime::from_us(4_000_000));
+        });
+    }
+
+    #[test]
+    fn engines_agree_on_connection_and_data() {
+        assert_engines_agree(9, 0.0, |sim, m, s| {
+            let offset = sim
+                .lc(m)
+                .clkn(SimTime::ZERO)
+                .offset_to(sim.lc(s).clkn(SimTime::ZERO));
+            sim.command(s, LcCommand::PageScan);
+            sim.command(
+                m,
+                LcCommand::Page {
+                    target: sim.lc(s).addr(),
+                    clke_offset: offset,
+                    timeout_slots: 0,
+                },
+            );
+            sim.run_until_event(SimTime::from_us(500_000), |e| {
+                matches!(e.event, LcEvent::Connected { .. })
+            })
+            .expect("connects");
+            let lt = sim.lc(m).connected_slaves()[0].0;
+            sim.command(
+                m,
+                LcCommand::AclData {
+                    lt_addr: lt,
+                    data: (0..60u8).collect(),
+                },
+            );
+            sim.run_until(sim.now() + SimDuration::from_slots(500));
+        });
+    }
+
+    #[test]
+    fn engines_agree_on_hold() {
+        assert_engines_agree(12, 0.0, |sim, m, s| {
+            let offset = sim
+                .lc(m)
+                .clkn(SimTime::ZERO)
+                .offset_to(sim.lc(s).clkn(SimTime::ZERO));
+            sim.command(s, LcCommand::PageScan);
+            sim.command(
+                m,
+                LcCommand::Page {
+                    target: sim.lc(s).addr(),
+                    clke_offset: offset,
+                    timeout_slots: 0,
+                },
+            );
+            sim.run_until_event(SimTime::from_us(500_000), |e| {
+                matches!(e.event, LcEvent::Connected { .. })
+            })
+            .expect("connects");
+            let lt = sim.lc(m).connected_slaves()[0].0;
+            for _ in 0..3 {
+                sim.command(
+                    m,
+                    LcCommand::Hold {
+                        lt_addr: lt,
+                        hold_slots: 300,
+                    },
+                );
+                sim.command(
+                    s,
+                    LcCommand::Hold {
+                        lt_addr: lt,
+                        hold_slots: 300,
+                    },
+                );
+                sim.run_until(sim.now() + SimDuration::from_slots(400));
+            }
+        });
+    }
+
+    #[test]
+    fn event_engine_pops_far_fewer_calendar_events_on_hold() {
+        let run = |engine: Engine| {
+            let mut cfg = SimConfig::default();
+            cfg.engine = engine;
+            let mut b = SimBuilder::new(5, cfg);
+            let m = b.add_device("master");
+            let s = b.add_device("slave1");
+            let mut sim = b.build();
+            let offset = sim
+                .lc(m)
+                .clkn(SimTime::ZERO)
+                .offset_to(sim.lc(s).clkn(SimTime::ZERO));
+            sim.command(s, LcCommand::PageScan);
+            sim.command(
+                m,
+                LcCommand::Page {
+                    target: sim.lc(s).addr(),
+                    clke_offset: offset,
+                    timeout_slots: 0,
+                },
+            );
+            sim.run_until_event(SimTime::from_us(500_000), |e| {
+                matches!(e.event, LcEvent::Connected { .. })
+            })
+            .expect("connects");
+            let lt = sim.lc(m).connected_slaves()[0].0;
+            sim.command(
+                m,
+                LcCommand::Hold {
+                    lt_addr: lt,
+                    hold_slots: 4_000,
+                },
+            );
+            sim.command(
+                s,
+                LcCommand::Hold {
+                    lt_addr: lt,
+                    hold_slots: 4_000,
+                },
+            );
+            let before = sim.steps_total();
+            sim.run_until(sim.now() + SimDuration::from_slots(4_100));
+            sim.steps_total() - before
+        };
+        let lockstep = run(Engine::Lockstep);
+        let event = run(Engine::EventDriven);
+        assert!(
+            event * 20 < lockstep,
+            "hold window should collapse: lockstep {lockstep} vs event {event} steps"
+        );
+    }
+
+    #[test]
+    fn horizon_reached_clamps_the_clock() {
+        let mut cfg = SimConfig::default();
+        cfg.engine = Engine::EventDriven;
+        let mut b = SimBuilder::new(3, cfg);
+        let _ = b.add_device("master");
+        let _ = b.add_device("slave1");
+        let mut sim = b.build();
+        // Standby devices: nothing will ever match; the typed error
+        // reports the horizon and the clock lands exactly on it.
+        let cap = SimTime::from_us(2_000_000);
+        let mut cursor = EventCursor::default();
+        let err = sim
+            .try_run_until_event_from(&mut cursor, cap, |_| true)
+            .expect_err("no events in standby");
+        assert_eq!(err, HorizonReached { horizon: cap });
+        assert_eq!(sim.now(), cap, "clock clamped to the horizon");
+        assert!(err.to_string().contains("2000000"));
     }
 
     #[test]

@@ -110,6 +110,23 @@ impl<E> Calendar<E> {
         self.heap.peek().map(|Reverse(e)| e.key.0)
     }
 
+    /// Advances `now` to `to` without dispatching anything, clamped so it
+    /// never passes a pending event. Returns the new `now`.
+    ///
+    /// An event-driven engine leaves gaps in the calendar: when every
+    /// process sleeps past a run horizon, nothing is popped at the
+    /// horizon itself, yet observers (power reports, activity fractions)
+    /// need the clock to sit exactly at the horizon — the same instant a
+    /// lockstep engine reaches by ticking through the gap. Idempotent;
+    /// `to` in the past is a no-op.
+    pub fn advance_to(&mut self, to: SimTime) -> SimTime {
+        let limit = self.peek_time().map_or(to, |p| p.min(to));
+        if limit > self.now {
+            self.now = limit;
+        }
+        self.now
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -175,6 +192,20 @@ mod tests {
         cal.schedule(cal.now() + SimDuration::from_us(4), "c");
         let rest: Vec<&str> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
         assert_eq!(rest, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn advance_to_clamps_at_pending_events() {
+        let mut cal: Calendar<()> = Calendar::new();
+        // Empty calendar: advance freely, never backwards.
+        assert_eq!(cal.advance_to(SimTime::from_us(50)), SimTime::from_us(50));
+        assert_eq!(cal.advance_to(SimTime::from_us(10)), SimTime::from_us(50));
+        assert_eq!(cal.now(), SimTime::from_us(50));
+        // A pending event bounds the advance.
+        cal.schedule(SimTime::from_us(70), ());
+        assert_eq!(cal.advance_to(SimTime::from_us(100)), SimTime::from_us(70));
+        cal.pop();
+        assert_eq!(cal.advance_to(SimTime::from_us(100)), SimTime::from_us(100));
     }
 
     #[test]

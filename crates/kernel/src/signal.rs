@@ -139,10 +139,18 @@ impl TraceRecorder {
         signal.0
     }
 
-    /// All records sorted by time (stable for simultaneous changes).
+    /// All records in canonical order: by time, then by signal
+    /// declaration index (stable for repeated changes of one signal at
+    /// one instant, so level sequences survive).
+    ///
+    /// The signal tiebreak makes the rendering independent of which
+    /// *order* devices were processed within a simultaneous instant —
+    /// engines that schedule the same work differently (see
+    /// `Engine::EventDriven`) still produce byte-identical waveforms,
+    /// which is what lets golden-trace tests pin VCD output.
     pub fn sorted_records(&self) -> Vec<TraceRecord> {
         let mut out = self.records.clone();
-        out.sort_by_key(|r| r.at);
+        out.sort_by_key(|r| (r.at, r.signal.0));
         out
     }
 

@@ -246,6 +246,14 @@ impl LinkManager {
         vec![self.send(lt_addr, &Pdu::Detach { reason: 0x13 })]
     }
 
+    /// The earliest slot at which a pending mode change falls due, if
+    /// any — the manager's wakeup hint. [`LinkManager::poll`] calls
+    /// before this slot are guaranteed no-ops, so an event-driven engine
+    /// may skip them; it must poll again no later than this slot.
+    pub fn next_pending_slot(&self) -> Option<u64> {
+        self.pending.iter().map(|p| p.at_slot).min()
+    }
+
     /// Applies mode changes whose agreed instant has been reached.
     pub fn poll(&mut self, now_slot: u64) -> Vec<LmOutput> {
         let mut out = Vec::new();
@@ -530,6 +538,27 @@ mod tests {
                 hold_slots: 400
             }
         )));
+    }
+
+    #[test]
+    fn next_pending_slot_tracks_the_earliest_instant() {
+        let mut master = LinkManager::new(LmRole::Master);
+        assert_eq!(master.next_pending_slot(), None);
+        master.request_hold(1, 400, 1000);
+        master.request_sniff(2, SniffParams::default(), 500);
+        assert_eq!(
+            master.next_pending_slot(),
+            Some(500 + MODE_CHANGE_LEAD_SLOTS)
+        );
+        // Polls before the hint are no-ops; at the hint they drain.
+        assert!(master.poll(500 + MODE_CHANGE_LEAD_SLOTS - 1).is_empty());
+        assert!(!master.poll(500 + MODE_CHANGE_LEAD_SLOTS).is_empty());
+        assert_eq!(
+            master.next_pending_slot(),
+            Some(1000 + MODE_CHANGE_LEAD_SLOTS)
+        );
+        assert!(!master.poll(u64::MAX).is_empty());
+        assert_eq!(master.next_pending_slot(), None);
     }
 
     #[test]

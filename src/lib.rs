@@ -83,6 +83,21 @@
 //! let report = fig6.run(&ExpOptions { runs: 2, ..ExpOptions::quick() });
 //! assert!(!report.tables[0].is_empty());
 //! ```
+//!
+//! Two interchangeable engines drive every simulation (see
+//! `docs/ENGINE.md`): the paper's lockstep half-slot loop (the default
+//! and behavioural oracle) and an event-driven fast-forward engine that
+//! skips provably idle ticks — bit-identical by construction (the
+//! differential harness in `tests/engine_equivalence.rs` enforces it)
+//! and far faster on hold/sniff/park-heavy workloads:
+//!
+//! ```
+//! use btsim::core::{Engine, SimConfig};
+//!
+//! let mut cfg = SimConfig::default();
+//! cfg.engine = Engine::EventDriven; // or `--engine event` on any binary
+//! assert_eq!(cfg.engine.name(), "event");
+//! ```
 
 #![forbid(unsafe_code)]
 

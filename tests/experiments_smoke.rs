@@ -2,6 +2,7 @@
 //! must run end-to-end and satisfy its qualitative (shape) assertions.
 
 use btsim::core::experiments::*;
+use btsim::core::Engine;
 
 fn quick(runs: usize) -> ExpOptions {
     ExpOptions {
@@ -138,11 +139,11 @@ fn fig12_break_even_and_floor() {
 
 #[test]
 fn fig5_and_fig9_waveforms() {
-    let w5 = fig5_creation_waveforms(1);
+    let w5 = fig5_creation_waveforms(1, Engine::Lockstep);
     assert!(w5.ascii.contains("slave3.enable_rx_RF"));
     assert!(w5.vcd.contains("$var wire 1"));
     assert!(w5.notes.contains("piconet formed: true"));
-    let w9 = fig9_sniff_waveforms(1);
+    let w9 = fig9_sniff_waveforms(1, Engine::Lockstep);
     assert!(w9.ascii.contains("slave2.enable_rx_RF"));
     // Sniffing slaves are mostly silent: their waveform rows contain long
     // low stretches.
@@ -161,7 +162,7 @@ fn fig5_and_fig9_waveforms() {
 
 #[test]
 fn table1_speed_is_faster_than_2005() {
-    let s = table1_sim_speed(3);
+    let s = table1_sim_speed(3, Engine::Lockstep);
     assert!(s.speedup_vs_paper > 10.0, "speedup {}", s.speedup_vs_paper);
 }
 

@@ -1,12 +1,15 @@
 //! Low-power mode invariants: sniff, hold and park timing and their RF
-//! activity ordering (the paper's §3.2).
+//! activity ordering (the paper's §3.2) — checked under **both**
+//! engines, with the fast-forward cases additionally pinned to the
+//! negotiated anchors: a skipped slot must accrue zero active-power and
+//! every wakeup must land exactly where lockstep puts it.
 
 use btsim::baseband::{LcCommand, LcEvent, LifePhase, LinkMode, SniffParams};
 use btsim::core::scenario::{
     connect_pair, paper_config, HoldConfig, HoldScenario, Scenario, SniffConfig, SniffScenario,
 };
-use btsim::core::SimBuilder;
-use btsim::kernel::{SimDuration, SimTime};
+use btsim::core::{Engine, SimBuilder, Simulator};
+use btsim::kernel::{SimDuration, SimTime, TraceValue};
 
 #[test]
 fn sniff_crossover_matches_paper() {
@@ -246,6 +249,201 @@ fn parked_slave_wakes_only_for_beacons() {
         e.device == 1 && matches!(e.event, LcEvent::AclReceived { .. })
     });
     assert!(got.is_some(), "link must carry data after unpark");
+}
+
+/// Rising `enable_rx_RF` edges of `scope` strictly after `after`.
+fn rx_rising_edges(sim: &Simulator, scope: &str, after: SimTime) -> Vec<SimTime> {
+    let rec = sim.recorder();
+    let idx = rec
+        .signals()
+        .iter()
+        .position(|s| s.scope == scope && s.name == "enable_rx_RF")
+        .expect("signal declared");
+    rec.sorted_records()
+        .iter()
+        .filter(|r| rec.index_of(r.signal) == idx && r.at > after)
+        .filter(|r| matches!(r.value, TraceValue::Bit(true)))
+        .map(|r| r.at)
+        .collect()
+}
+
+/// Connected traced pair under `engine`.
+fn traced_pair(seed: u64, engine: Engine) -> (Simulator, u8) {
+    let mut cfg = paper_config();
+    cfg.trace = true;
+    cfg.engine = engine;
+    let mut b = SimBuilder::new(seed, cfg);
+    let m = b.add_device("master");
+    let s = b.add_device("slave1");
+    let mut sim = b.build();
+    let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("connects");
+    let _ = (m, s);
+    (sim, lt)
+}
+
+#[test]
+fn sniff_wakeups_land_exactly_on_negotiated_anchors_under_both_engines() {
+    for engine in [Engine::Lockstep, Engine::EventDriven] {
+        let (mut sim, lt) = traced_pair(41, engine);
+        let t_sniff = 50u32;
+        let d_sniff = sim.lc(0).clkn(sim.now()).slot() % t_sniff;
+        let params = SniffParams {
+            t_sniff,
+            n_attempt: 1,
+            d_sniff,
+            n_timeout: 0,
+        };
+        sim.command(
+            0,
+            LcCommand::Sniff {
+                lt_addr: lt,
+                params,
+            },
+        );
+        sim.command(
+            1,
+            LcCommand::Sniff {
+                lt_addr: lt,
+                params,
+            },
+        );
+        // Let the mode settle, then watch a long idle stretch.
+        let settle = sim.now() + SimDuration::from_slots(2 * t_sniff as u64);
+        sim.run_until(settle + SimDuration::from_slots(5_000));
+        let edges = rx_rising_edges(&sim, "slave1", settle);
+        assert!(
+            edges.len() >= 90,
+            "{engine:?}: expected ~100 anchor wakeups, saw {}",
+            edges.len()
+        );
+        for at in &edges {
+            // Master CLK == piconet CLK: every wakeup sits on an anchor.
+            let slot = sim.lc(0).clkn(*at).slot();
+            assert_eq!(
+                slot % t_sniff,
+                d_sniff,
+                "{engine:?}: rx wakeup at {at} (slot {slot}) off the anchor grid"
+            );
+        }
+        // Skipped slots accrue zero active-power: total sniff-phase RX
+        // equals the per-anchor listen windows, far below one slot each.
+        let rep = sim.power_report(1);
+        let sniff = rep.phase(LifePhase::Sniff);
+        let per_anchor_ns = sniff.rx_ns / edges.len() as u64;
+        assert!(
+            per_anchor_ns < SimDuration::SLOT.ns() * 2,
+            "{engine:?}: {per_anchor_ns} ns RX per anchor — idle slots leaked power"
+        );
+        assert!(
+            sniff.activity() < 0.05,
+            "{engine:?}: sniff activity {}",
+            sniff.activity()
+        );
+    }
+}
+
+#[test]
+fn hold_wakeup_honours_the_resync_guard_under_both_engines() {
+    let guard = paper_config().lc.resync_guard_slots as u64;
+    for engine in [Engine::Lockstep, Engine::EventDriven] {
+        let (mut sim, lt) = traced_pair(42, engine);
+        let hold_slots = 600u32;
+        let issued_at = sim.now();
+        sim.command(
+            0,
+            LcCommand::Hold {
+                lt_addr: lt,
+                hold_slots,
+            },
+        );
+        sim.command(
+            1,
+            LcCommand::Hold {
+                lt_addr: lt,
+                hold_slots,
+            },
+        );
+        sim.run_until(issued_at + SimDuration::from_slots(hold_slots as u64 + 100));
+        // The hold starts at the next slot; the slave's first RX edge
+        // after entering hold is the resync wakeup, `guard` slots early.
+        let mode_change = sim
+            .events()
+            .iter()
+            .find(|e| {
+                e.device == 1
+                    && matches!(
+                        e.event,
+                        LcEvent::ModeChanged {
+                            mode: LinkMode::Hold,
+                            ..
+                        }
+                    )
+            })
+            .expect("slave holds")
+            .at;
+        let edges = rx_rising_edges(&sim, "slave1", mode_change);
+        let first = edges.first().expect("slave resynchronises");
+        let hold_until = issued_at.slots() + 1 + hold_slots as u64;
+        let wake_slot = first.slots();
+        assert!(
+            (hold_until - guard..=hold_until).contains(&wake_slot),
+            "{engine:?}: first wakeup at slot {wake_slot}, expected within the \
+             {guard}-slot guard before {hold_until}"
+        );
+        // The held stretch itself is RF-silent.
+        let rep = sim.power_report(1);
+        let hold = rep.phase(LifePhase::Hold);
+        assert!(
+            hold.activity() < 0.02,
+            "{engine:?}: hold-phase activity {}",
+            hold.activity()
+        );
+    }
+}
+
+#[test]
+fn park_wakeups_land_exactly_on_beacon_slots_under_both_engines() {
+    for engine in [Engine::Lockstep, Engine::EventDriven] {
+        let (mut sim, lt) = traced_pair(43, engine);
+        let beacon = 200u32;
+        sim.command(
+            0,
+            LcCommand::Park {
+                lt_addr: lt,
+                beacon_interval: beacon,
+            },
+        );
+        sim.command(
+            1,
+            LcCommand::Park {
+                lt_addr: lt,
+                beacon_interval: beacon,
+            },
+        );
+        let settle = sim.now() + SimDuration::from_slots(2 * beacon as u64);
+        sim.run_until(settle + SimDuration::from_slots(10_000));
+        let edges = rx_rising_edges(&sim, "slave1", settle);
+        assert!(
+            edges.len() >= 40,
+            "{engine:?}: expected ~50 beacon wakeups, saw {}",
+            edges.len()
+        );
+        for at in &edges {
+            let slot = sim.lc(0).clkn(*at).slot();
+            assert_eq!(
+                slot % beacon,
+                0,
+                "{engine:?}: beacon wakeup at {at} (slot {slot}) off the beacon grid"
+            );
+        }
+        let rep = sim.power_report(1);
+        let park = rep.phase(LifePhase::Park);
+        assert!(
+            park.activity() < 0.002,
+            "{engine:?}: park activity {} — skipped slots leaked power",
+            park.activity()
+        );
+    }
 }
 
 #[test]
