@@ -51,13 +51,33 @@ impl TxBuffer {
     /// Queues a message. `llid` selects the logical link: user data
     /// ([`Llid::Start`]) is fragmented as needed; LMP PDUs ([`Llid::Lmp`])
     /// must fit a single packet and are never fragmented.
+    ///
+    /// LMP PDUs take priority over user data (spec: LMP traffic outranks
+    /// ACL payload): a PDU is inserted ahead of every user message —
+    /// including one mid-fragmentation — behind only earlier LMP PDUs.
+    /// Without this, a control PDU queued behind a saturated bulk
+    /// transfer — exactly the situation of an AFH map exchange under
+    /// interference — would miss its switch instant by the whole
+    /// remaining transfer. Interleaving a PDU between two fragments of
+    /// a user message is safe: the receive side routes [`Llid::Lmp`]
+    /// around the reassembler without disturbing it.
     pub fn push(&mut self, llid: Llid, data: Vec<u8>) {
         self.queued_bytes += data.len();
-        self.queue.push_back(TxMessage {
+        let msg = TxMessage {
             llid,
             data,
             offset: 0,
-        });
+        };
+        if llid == Llid::Lmp {
+            let idx = self
+                .queue
+                .iter()
+                .position(|m| m.llid != Llid::Lmp)
+                .unwrap_or(self.queue.len());
+            self.queue.insert(idx, msg);
+        } else {
+            self.queue.push_back(msg);
+        }
     }
 
     /// True when no data is waiting.
@@ -218,6 +238,44 @@ mod tests {
         buf.push(Llid::Start, vec![2; 5]);
         assert_eq!(buf.pop_fragment(17).unwrap().1, vec![1; 5]);
         assert_eq!(buf.pop_fragment(17).unwrap().1, vec![2; 5]);
+    }
+
+    #[test]
+    fn lmp_jumps_ahead_of_unsent_user_data() {
+        let mut buf = TxBuffer::new();
+        buf.push(Llid::Start, vec![1; 40]);
+        buf.push(Llid::Start, vec![2; 5]);
+        buf.push(Llid::Lmp, vec![0x79]);
+        // No fragment taken yet: the PDU overtakes every queued user
+        // message and goes out first.
+        assert_eq!(buf.pop_fragment(17), Some((Llid::Lmp, vec![0x79])));
+        assert_eq!(buf.pop_fragment(17), Some((Llid::Start, vec![1; 17])));
+    }
+
+    #[test]
+    fn lmp_overtakes_a_partially_sent_message_without_breaking_it() {
+        let mut buf = TxBuffer::new();
+        buf.push(Llid::Start, vec![7; 30]);
+        let mut asm = RxAssembler::new();
+        let (llid, frag) = buf.pop_fragment(17).unwrap();
+        assert_eq!((llid, frag.len()), (Llid::Start, 17));
+        asm.push(llid, &frag);
+        buf.push(Llid::Lmp, vec![0x11]);
+        buf.push(Llid::Lmp, vec![0x22]);
+        // PDUs overtake even a message mid-fragmentation (a saturated
+        // transfer is one huge message — waiting for it would starve
+        // LMP for the whole transfer) and stay FIFO among themselves;
+        // the next pops are the PDUs, then the continuation. The
+        // reassembler is undisturbed because Lmp fragments bypass it.
+        assert_eq!(buf.pop_fragment(17), Some((Llid::Lmp, vec![0x11])));
+        asm.push(Llid::Lmp, &[0x11]);
+        while let Some((llid, frag)) = buf.pop_fragment(17) {
+            asm.push(llid, &frag);
+        }
+        asm.flush();
+        assert_eq!(asm.pop_lmp(), Some(vec![0x11]));
+        assert_eq!(asm.pop_lmp(), Some(vec![0x22]));
+        assert_eq!(asm.pop_message(), Some(vec![7; 30]));
     }
 
     #[test]

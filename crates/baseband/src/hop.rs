@@ -60,6 +60,32 @@ pub struct ChannelMap {
 /// Minimum number of used channels the spec allows for AFH (Nmin = 20).
 pub const MIN_AFH_CHANNELS: usize = 20;
 
+/// A [`ChannelMap`] construction left fewer than [`MIN_AFH_CHANNELS`]
+/// channels used — below the spec's Nmin = 20 floor the remapping
+/// concentrates traffic too narrowly, so every construction path
+/// rejects such maps up front rather than letting
+/// [`hop_channel_afh`] run on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooFewChannels {
+    /// How many channels the rejected map would have used.
+    pub used: usize,
+}
+
+impl fmt::Display for TooFewChannels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AFH map keeps {} channels; the spec minimum is {MIN_AFH_CHANNELS}",
+            self.used
+        )
+    }
+}
+
+impl std::error::Error for TooFewChannels {}
+
+/// Wire size of a channel map: 79 bits in 10 bytes, LSB first.
+pub const CHANNEL_MAP_BYTES: usize = 10;
+
 impl Default for ChannelMap {
     fn default() -> Self {
         Self::all()
@@ -84,19 +110,70 @@ impl ChannelMap {
     ///
     /// # Panics
     ///
-    /// Panics if fewer than [`MIN_AFH_CHANNELS`] channels remain.
+    /// Panics if fewer than [`MIN_AFH_CHANNELS`] channels remain; use
+    /// [`ChannelMap::try_blocking`] for a fallible construction.
     pub fn blocking<I: IntoIterator<Item = u8>>(blocked: I) -> Self {
-        let mut map = Self::all();
+        Self::try_blocking(blocked).expect("AFH needs at least 20 channels")
+    }
+
+    /// Builds a map with the channels in `blocked` disabled, rejecting
+    /// maps thinner than the spec's Nmin = 20.
+    pub fn try_blocking<I: IntoIterator<Item = u8>>(blocked: I) -> Result<Self, TooFewChannels> {
+        let mut used = [true; CHANNELS as usize];
         for ch in blocked {
-            if (ch as usize) < map.used.len() {
-                map.used[ch as usize] = false;
+            if (ch as usize) < used.len() {
+                used[ch as usize] = false;
             }
         }
-        assert!(
-            map.used_count() >= MIN_AFH_CHANNELS,
-            "AFH needs at least {MIN_AFH_CHANNELS} channels"
-        );
-        map
+        Self::try_from_used(used)
+    }
+
+    /// Builds a map directly from a used-channel array, rejecting maps
+    /// thinner than the spec's Nmin = 20. This is the single guard every
+    /// construction path funnels through, so [`hop_channel_afh`] can
+    /// assume its map invariant.
+    pub fn try_from_used(used: [bool; CHANNELS as usize]) -> Result<Self, TooFewChannels> {
+        let count = used.iter().filter(|&&u| u).count();
+        if count < MIN_AFH_CHANNELS {
+            return Err(TooFewChannels { used: count });
+        }
+        Ok(Self { used })
+    }
+
+    /// Intersection of two maps (a channel is used when both use it),
+    /// rejecting results thinner than the spec minimum. The master
+    /// combines its own assessment with a slave's
+    /// `LMP_channel_classification` report this way.
+    pub fn intersect(&self, other: &ChannelMap) -> Result<Self, TooFewChannels> {
+        let mut used = [false; CHANNELS as usize];
+        for (ch, slot) in used.iter_mut().enumerate() {
+            *slot = self.used[ch] && other.used[ch];
+        }
+        Self::try_from_used(used)
+    }
+
+    /// Serialises the map into the 10-byte wire format of `LMP_set_AFH`
+    /// (bit `c` of byte `c / 8` is channel `c`; the 80th bit is zero).
+    pub fn to_bytes(&self) -> [u8; CHANNEL_MAP_BYTES] {
+        let mut out = [0u8; CHANNEL_MAP_BYTES];
+        for (ch, &used) in self.used.iter().enumerate() {
+            if used {
+                out[ch / 8] |= 1 << (ch % 8);
+            }
+        }
+        out
+    }
+
+    /// Parses the 10-byte wire format, rejecting maps with fewer than
+    /// [`MIN_AFH_CHANNELS`] used channels (the wire-level guard: a
+    /// corrupted or hostile map never reaches the hop kernel). The
+    /// unused 80th bit is ignored.
+    pub fn from_bytes(bytes: &[u8; CHANNEL_MAP_BYTES]) -> Result<Self, TooFewChannels> {
+        let mut used = [false; CHANNELS as usize];
+        for (ch, slot) in used.iter_mut().enumerate() {
+            *slot = (bytes[ch / 8] >> (ch % 8)) & 1 == 1;
+        }
+        Self::try_from_used(used)
     }
 
     /// Whether `channel` is enabled.
@@ -248,7 +325,17 @@ pub fn hop_channel(seq: HopSequence, clk: ClkVal, addr28: u32) -> u8 {
 }
 
 /// Connection-state hop with AFH remapping applied.
+///
+/// Every [`ChannelMap`] construction path guarantees at least
+/// [`MIN_AFH_CHANNELS`] used channels, so the remap can never
+/// concentrate the sequence below the spec floor; the debug assertion
+/// guards the invariant without taxing the hot hop-selection path in
+/// release builds.
 pub fn hop_channel_afh(clk: ClkVal, addr28: u32, map: &ChannelMap) -> u8 {
+    debug_assert!(
+        map.used_count() >= MIN_AFH_CHANNELS,
+        "AFH map below the Nmin = 20 floor reached the hop kernel"
+    );
     map.remap(hop_channel(HopSequence::Connection, clk, addr28))
 }
 
@@ -458,6 +545,65 @@ mod tests {
     #[should_panic(expected = "AFH needs at least")]
     fn channel_map_rejects_too_few_channels() {
         ChannelMap::blocking(0..70);
+    }
+
+    #[test]
+    fn try_constructors_enforce_the_spec_floor() {
+        // 79 − 59 = 20 used: exactly the floor, accepted.
+        let at_floor = ChannelMap::try_blocking(0..59).expect("Nmin reached");
+        assert_eq!(at_floor.used_count(), MIN_AFH_CHANNELS);
+        // 79 − 60 = 19 used: one below, rejected.
+        assert_eq!(
+            ChannelMap::try_blocking(0..60),
+            Err(TooFewChannels { used: 19 })
+        );
+        // Out-of-range blocked channels are ignored, not counted.
+        let with_oob = ChannelMap::try_blocking([200u8, 250]).expect("no-op blocks");
+        assert_eq!(with_oob.used_count(), CHANNELS as usize);
+        assert_eq!(
+            ChannelMap::try_from_used([false; CHANNELS as usize]),
+            Err(TooFewChannels { used: 0 })
+        );
+    }
+
+    #[test]
+    fn channel_map_wire_roundtrip() {
+        let map = ChannelMap::blocking(29..=50);
+        let bytes = map.to_bytes();
+        assert_eq!(ChannelMap::from_bytes(&bytes), Ok(map.clone()));
+        // The 80th bit is ignored on parse and zero on encode.
+        assert_eq!(bytes[9] & 0x80, 0);
+        let mut with_high_bit = bytes;
+        with_high_bit[9] |= 0x80;
+        assert_eq!(ChannelMap::from_bytes(&with_high_bit), Ok(map));
+        // A thin map is rejected at the wire.
+        let thin = [0u8; 10];
+        assert_eq!(
+            ChannelMap::from_bytes(&thin),
+            Err(TooFewChannels { used: 0 })
+        );
+        let mut nineteen = [0u8; 10];
+        for ch in 0..19 {
+            nineteen[ch / 8] |= 1 << (ch % 8);
+        }
+        assert_eq!(
+            ChannelMap::from_bytes(&nineteen),
+            Err(TooFewChannels { used: 19 })
+        );
+    }
+
+    #[test]
+    fn channel_map_intersect_guards_the_floor() {
+        let a = ChannelMap::blocking(0..=29); // uses 30..79
+        let b = ChannelMap::blocking(50..=78); // uses 0..50
+        let both = a.intersect(&b).expect("30..50 has 20 channels");
+        assert_eq!(both.used_count(), 20);
+        assert!(both.is_used(30));
+        assert!(both.is_used(49));
+        assert!(!both.is_used(29));
+        assert!(!both.is_used(50));
+        let c = ChannelMap::blocking(49..=78); // uses 0..49
+        assert_eq!(a.intersect(&c), Err(TooFewChannels { used: 19 }));
     }
 
     #[test]

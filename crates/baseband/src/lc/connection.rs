@@ -70,10 +70,31 @@ impl ScoParams {
 
 /// Connection-state channel with optional AFH remapping.
 fn conn_channel(clk: ClkVal, addr28: u32, afh: Option<&ChannelMap>) -> u8 {
-    let ch = hop::hop_channel(HopSequence::Connection, clk, addr28);
     match afh {
-        Some(map) => map.remap(ch),
-        None => ch,
+        Some(map) => hop::hop_channel_afh(clk, addr28, map),
+        None => hop::hop_channel(HopSequence::Connection, clk, addr28),
+    }
+}
+
+/// Snapshot of a controller's AFH state for one tick / RX dispatch: the
+/// in-use map plus any scheduled switch, resolved per hop slot.
+///
+/// Keying the lookup on each hop's *own* slot (rather than "now") keeps
+/// both ends of a frame consistent when the switch instant falls between
+/// a transmission and its response: the master picks the response-listen
+/// channel for slot `s + n` with the map in effect *at* `s + n`, which
+/// is exactly the map the slave uses when it transmits there.
+#[derive(Debug, Clone)]
+pub(crate) struct AfhView {
+    current: Option<ChannelMap>,
+    pending: Option<(ChannelMap, u64)>,
+}
+
+impl AfhView {
+    /// The map in effect for a hop at piconet slot `slot` (delegates to
+    /// [`super::resolve_afh`], the single switch-instant rule).
+    pub(crate) fn for_slot(&self, slot: u64) -> Option<&ChannelMap> {
+        super::resolve_afh(self.current.as_ref(), self.pending.as_ref(), slot)
     }
 }
 
@@ -278,6 +299,14 @@ fn mode_rank(mode: LinkMode) -> u8 {
 }
 
 impl LinkController {
+    /// Snapshots the AFH state for one tick / RX dispatch.
+    pub(crate) fn afh_view(&self) -> AfhView {
+        AfhView {
+            current: self.afh.clone(),
+            pending: self.afh_pending.clone(),
+        }
+    }
+
     /// Life phase implied by the current connection mode(s). A device
     /// with several slave links (a scatternet bridge) is attributed the
     /// most awake of its link modes: while one piconet is held the
@@ -312,16 +341,24 @@ impl LinkController {
         now: SimTime,
         out: &mut Vec<LcAction>,
     ) {
+        let mut decoded = false;
         if self.master.is_some() {
-            self.master_rx(rx, now, out);
+            decoded |= self.master_rx(rx, now, out);
         }
         // Each slave link listens under its own master's access code;
         // the first link whose keys decode the packet consumes it.
         for i in 0..self.slave_links.len() {
             if self.slave_rx_one(i, rx, now, out) {
+                decoded = true;
                 break;
             }
         }
+        // AFH channel assessment: score the channel this delivery
+        // arrived on. A clean decode with no collision mask is a good
+        // observation; a collision mask (device overlap or interferer
+        // burst) or a failed decode (sync / HEC / CRC) is a bad one.
+        self.assessment
+            .note(rx.rf_channel, decoded && rx.collision_mask.is_none());
     }
 
     // ----- master side ----------------------------------------------------
@@ -334,7 +371,7 @@ impl LinkController {
         let peek = self.peek_duration();
         let sync_threshold = self.cfg.sync_threshold;
         let fhs_fec = self.cfg.page_fhs_fec;
-        let afh = self.afh.clone();
+        let afh = self.afh_view();
         let now_slot = now.slots();
 
         let Some(m) = &mut self.master else { return };
@@ -375,7 +412,7 @@ impl LinkController {
                 sync_threshold,
                 fhs_fec,
             };
-            let ch = conn_channel(clk, own.hop_input(), afh.as_ref());
+            let ch = conn_channel(clk, own.hop_input(), afh.for_slot(now_slot));
             let slave = &mut m.slaves[idx];
             let params = slave.sco.expect("checked above");
             let frame = take_voice(&mut slave.sco_out, params.ptype.max_user_bytes());
@@ -396,7 +433,7 @@ impl LinkController {
                 bits,
             });
             let resp_clk = clk.offset_by(2);
-            let resp_ch = conn_channel(resp_clk, own.hop_input(), afh.as_ref());
+            let resp_ch = conn_channel(resp_clk, own.hop_input(), afh.for_slot(now_slot + 1));
             out.push(LcAction::RxWindow {
                 from: resp_at,
                 until: Some(resp_at + peek),
@@ -445,7 +482,7 @@ impl LinkController {
             sync_threshold,
             fhs_fec,
         };
-        let ch = conn_channel(clk, own.hop_input(), afh.as_ref());
+        let ch = conn_channel(clk, own.hop_input(), afh.for_slot(now_slot));
         let Some(idx) = pick else {
             if beacon_due {
                 let header = Header {
@@ -518,7 +555,7 @@ impl LinkController {
         });
         // Listen for the response at the following slave-to-master slot.
         let resp_clk = clk.offset_by(2 * n_slots as u32);
-        let resp_ch = conn_channel(resp_clk, own.hop_input(), afh.as_ref());
+        let resp_ch = conn_channel(resp_clk, own.hop_input(), afh.for_slot(now_slot + n_slots));
         out.push(LcAction::RxWindow {
             from: resp_at,
             until: Some(resp_at + peek),
@@ -526,7 +563,9 @@ impl LinkController {
         });
     }
 
-    fn master_rx(&mut self, rx: &super::RxDelivery, now: SimTime, out: &mut Vec<LcAction>) {
+    /// Feeds a reception to the master context; returns `true` when the
+    /// packet decoded under the piconet's access code.
+    fn master_rx(&mut self, rx: &super::RxDelivery, now: SimTime, out: &mut Vec<LcAction>) -> bool {
         let own = self.addr;
         let clk_at_start = self.clkn(rx.start);
         let sync_threshold = self.cfg.sync_threshold;
@@ -541,11 +580,13 @@ impl LinkController {
         let Ok(packet::Decoded::Packet { header, payload }) =
             packet::decode(&rx.bits, rx.collision_mask.as_ref(), &keys)
         else {
-            return;
+            return false;
         };
-        let Some(m) = &mut self.master else { return };
+        let Some(m) = &mut self.master else {
+            return true;
+        };
         let Some(slave) = m.slot_mut(header.lt_addr) else {
-            return;
+            return true;
         };
         let lt = slave.lt_addr;
         let mut events = Vec::new();
@@ -590,6 +631,7 @@ impl LinkController {
         if let Some(e) = mode_event {
             out.push(LcAction::Event(e));
         }
+        true
     }
 
     // ----- slave side -----------------------------------------------------
@@ -602,7 +644,7 @@ impl LinkController {
         let sniff_listen_us = self.cfg.sniff_listen_us;
         let sniff_drift_ppm = self.cfg.sniff_drift_ppm;
         let guard = self.cfg.resync_guard_slots as u64;
-        let afh = self.afh.clone();
+        let afh = self.afh_view();
         let now_slot = now.slots();
 
         enum Todo {
@@ -715,7 +757,7 @@ impl LinkController {
                 false
             }
             Todo::Window { until, clk, master } => {
-                let ch = conn_channel(clk, master.hop_input(), afh.as_ref());
+                let ch = conn_channel(clk, master.hop_input(), afh.for_slot(now_slot));
                 out.push(LcAction::RxWindow {
                     from: now,
                     until: Some(until),
@@ -739,7 +781,7 @@ impl LinkController {
         let acl_prefer = self.acl_type;
         let sync_threshold = self.cfg.sync_threshold;
         let fhs_fec = self.cfg.page_fhs_fec;
-        let afh = self.afh.clone();
+        let afh = self.afh_view();
         let now_slot = now.slots();
 
         let s = &mut self.slave_links[i];
@@ -827,7 +869,11 @@ impl LinkController {
                 };
                 let bits = packet::encode(&resp_keys, &resp_header, &Payload::Sco(frame));
                 s.busy_until = resp_at + SimDuration::SLOT;
-                let ch = conn_channel(resp_clk, s.master.hop_input(), afh.as_ref());
+                let ch = conn_channel(
+                    resp_clk,
+                    s.master.hop_input(),
+                    afh.for_slot(resp_at.slots()),
+                );
                 out.push(LcAction::Tx {
                     at: resp_at,
                     rf_channel: ch,
@@ -890,7 +936,7 @@ impl LinkController {
             let master = s.master;
             let bits = packet::encode(&resp_keys, &resp_header, &resp_payload);
             s.busy_until = resp_at + SimDuration::from_slots(resp_header.ptype.slots() as u64);
-            let ch = conn_channel(resp_clk, master.hop_input(), afh.as_ref());
+            let ch = conn_channel(resp_clk, master.hop_input(), afh.for_slot(resp_at.slots()));
             out.push(LcAction::Tx {
                 at: resp_at,
                 rf_channel: ch,
@@ -1269,6 +1315,92 @@ mod tests {
         let p = SniffParams::default();
         assert_eq!(p.t_sniff, 100);
         assert_eq!(p.n_attempt, 1);
+    }
+
+    #[test]
+    fn afh_switch_applies_per_hop_slot() {
+        use crate::clock::Clock;
+        use crate::lc::{LcCommand, LcConfig};
+        use btsim_kernel::SimTime;
+        let mut lc = LinkController::new(
+            BdAddr::new(0, 1, 0x111111),
+            Clock::new(ClkVal::new(0)),
+            LcConfig::default(),
+            1,
+        );
+        let map = ChannelMap::blocking(29..=50);
+        assert!(lc
+            .command(
+                LcCommand::SetAfhAt {
+                    map: map.clone(),
+                    at_slot: 100,
+                },
+                SimTime::ZERO,
+            )
+            .is_empty());
+        // Hops before the instant keep the old (absent) map; hops at or
+        // after it use the new one — on both sides of the same instant.
+        assert_eq!(lc.afh_map_at(99), None);
+        assert_eq!(lc.afh_map_at(100), Some(&map));
+        assert_eq!(lc.afh_map_at(5000), Some(&map));
+        assert_eq!(lc.afh_pending_switch(), Some((&map, 100)));
+        // The view used by the tick/RX paths agrees.
+        let view = lc.afh_view();
+        assert_eq!(view.for_slot(99), None);
+        assert_eq!(view.for_slot(100), Some(&map));
+    }
+
+    #[test]
+    fn afh_cancel_drops_future_switches_and_keeps_effective_ones() {
+        use crate::clock::Clock;
+        use crate::lc::{LcCommand, LcConfig};
+        use btsim_kernel::{SimDuration, SimTime};
+        let mut lc = LinkController::new(
+            BdAddr::new(0, 1, 0x111111),
+            Clock::new(ClkVal::new(0)),
+            LcConfig::default(),
+            1,
+        );
+        let map = ChannelMap::blocking(29..=50);
+        lc.command(
+            LcCommand::SetAfhAt {
+                map: map.clone(),
+                at_slot: 100,
+            },
+            SimTime::ZERO,
+        );
+        // Cancel before the instant: the switch never happens.
+        lc.command(
+            LcCommand::CancelAfhSwitch,
+            SimTime::ZERO + SimDuration::from_slots(50),
+        );
+        assert_eq!(lc.afh_map_at(100), None);
+        assert_eq!(lc.afh_pending_switch(), None);
+        // Schedule again and let the instant pass: cancelling afterwards
+        // keeps the now-effective map.
+        lc.command(
+            LcCommand::SetAfhAt {
+                map: map.clone(),
+                at_slot: 100,
+            },
+            SimTime::ZERO + SimDuration::from_slots(60),
+        );
+        lc.command(
+            LcCommand::CancelAfhSwitch,
+            SimTime::ZERO + SimDuration::from_slots(150),
+        );
+        assert_eq!(lc.afh_map_at(150), Some(&map));
+        // A later re-schedule first folds in the effective switch.
+        let wider = ChannelMap::blocking(0..=21);
+        lc.command(
+            LcCommand::SetAfhAt {
+                map: wider.clone(),
+                at_slot: 300,
+            },
+            SimTime::ZERO + SimDuration::from_slots(200),
+        );
+        assert_eq!(lc.afh_map_at(299), Some(&map));
+        assert_eq!(lc.afh_map_at(300), Some(&wider));
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! RESPONSE, SLAVE RESPONSE and CONNECTION with the ACTIVE / SNIFF /
 //! HOLD / PARK sub-modes.
 
+mod afh;
 mod connection;
 mod inquiry;
 mod page;
 mod wakeup;
 
+pub use afh::ChannelAssessment;
 pub use connection::{LinkMode, ScoParams, SniffParams};
 
 use btsim_coding::{syncword, BitVec};
@@ -187,9 +189,27 @@ pub enum LcCommand {
     SetAclType(PacketType),
     /// Change the polling interval.
     SetTpoll(u32),
-    /// Install an AFH channel map for connection-state hopping (v1.2
-    /// adaptive frequency hopping; both ends must receive the same map).
+    /// Install an AFH channel map for connection-state hopping
+    /// immediately (v1.2 adaptive frequency hopping; both ends must
+    /// receive the same map). Prefer [`LcCommand::SetAfhAt`] on live
+    /// links — an immediate switch on one end desynchronises the hop
+    /// sequences until the other end follows.
     SetAfh(hop::ChannelMap),
+    /// Schedule an AFH map switch at an agreed piconet slot (the
+    /// master-announced instant of `LMP_set_AFH`). Hops for slots
+    /// before `at_slot` keep the previous map; hops for `at_slot` and
+    /// later use the new one, so master and slaves that agree on the
+    /// instant stay hop-synchronized through the switch.
+    SetAfhAt {
+        /// The map to switch to.
+        map: hop::ChannelMap,
+        /// Piconet slot (both ends' simulation slot count) at which the
+        /// new map takes effect.
+        at_slot: u64,
+    },
+    /// Cancel a scheduled AFH switch whose instant has not passed yet
+    /// (the `LMP_not_accepted` path). A switch already in effect stays.
+    CancelAfhSwitch,
     /// Establish an SCO voice link over an existing ACL connection.
     ScoSetup {
         /// Link (slave's own on the slave side).
@@ -425,7 +445,12 @@ pub struct LinkController {
     pub(crate) slave_links: Vec<SlaveCtx>,
     pub(crate) acl_type: PacketType,
     pub(crate) t_poll: u32,
+    /// AFH map in use for hops before any pending switch instant.
     pub(crate) afh: Option<hop::ChannelMap>,
+    /// A scheduled map switch: hops for slots `>= .1` use map `.0`.
+    pub(crate) afh_pending: Option<(hop::ChannelMap, u64)>,
+    /// Per-channel reception scoring feeding the AFH proposal.
+    pub(crate) assessment: ChannelAssessment,
     pub(crate) phase: LifePhase,
     /// Start tick of the current procedure (for train phase / timeout).
     pub(crate) proc_start_tick: u64,
@@ -447,6 +472,8 @@ impl LinkController {
             acl_type,
             t_poll,
             afh: None,
+            afh_pending: None,
+            assessment: ChannelAssessment::new(),
             phase: LifePhase::Standby,
             proc_start_tick: 0,
         }
@@ -546,7 +573,22 @@ impl LinkController {
             }
             LcCommand::SetAclType(t) => self.acl_type = t,
             LcCommand::SetTpoll(t) => self.t_poll = t.max(2),
-            LcCommand::SetAfh(map) => self.afh = Some(map),
+            LcCommand::SetAfh(map) => {
+                self.afh = Some(map);
+                self.afh_pending = None;
+            }
+            LcCommand::SetAfhAt { map, at_slot } => {
+                // A pending switch whose instant already passed is the
+                // in-use map; fold it in before replacing.
+                self.settle_afh(now.slots());
+                self.afh_pending = Some((map, at_slot));
+            }
+            LcCommand::CancelAfhSwitch => {
+                // An effective switch is folded in and kept; only a
+                // still-future one is dropped.
+                self.settle_afh(now.slots());
+                self.afh_pending = None;
+            }
             LcCommand::ScoSetup { lt_addr, params } => {
                 self.cmd_sco_setup(lt_addr, params, now, &mut out)
             }
@@ -573,6 +615,49 @@ impl LinkController {
     }
 
     // ----- shared helpers -------------------------------------------------
+
+    /// Folds a pending AFH switch whose instant has passed into the
+    /// in-use map. Called from command handlers only — never from the
+    /// tick path, whose no-op ticks must leave the controller
+    /// byte-identical (the wakeup-hint contract); the hop selectors
+    /// instead consult [`LinkController::afh_map_at`], which applies the
+    /// pending map purely by comparing slots.
+    fn settle_afh(&mut self, now_slot: u64) {
+        if let Some((map, at)) = self.afh_pending.take() {
+            if at <= now_slot {
+                self.afh = Some(map);
+            } else {
+                self.afh_pending = Some((map, at));
+            }
+        }
+    }
+
+    /// The AFH channel map in effect for a hop at piconet slot `slot`
+    /// (`None`: all 79 channels, non-adaptive hopping). A scheduled
+    /// switch applies to slots at or after its instant, so callers that
+    /// pass each hop's own slot — as the connection tick/RX paths do —
+    /// stay consistent across the switch even when the instant falls
+    /// inside a TX/RX frame.
+    pub fn afh_map_at(&self, slot: u64) -> Option<&hop::ChannelMap> {
+        resolve_afh(self.afh.as_ref(), self.afh_pending.as_ref(), slot)
+    }
+
+    /// The scheduled AFH switch, if any: `(map, switch slot)`.
+    pub fn afh_pending_switch(&self) -> Option<(&hop::ChannelMap, u64)> {
+        self.afh_pending.as_ref().map(|(m, at)| (m, *at))
+    }
+
+    /// The controller's per-channel reception assessment (the AFH
+    /// classification input; see [`ChannelAssessment`]).
+    pub fn channel_assessment(&self) -> &ChannelAssessment {
+        &self.assessment
+    }
+
+    /// Clears the channel assessment (start a fresh window, e.g. after
+    /// a map switch so stale pre-switch evidence ages out).
+    pub fn reset_channel_assessment(&mut self) {
+        self.assessment.reset();
+    }
 
     pub(crate) fn set_phase(&mut self, phase: LifePhase, out: &mut Vec<LcAction>) {
         if self.phase != phase {
@@ -698,6 +783,23 @@ impl LinkController {
 
     pub(crate) fn peek_duration(&self) -> SimDuration {
         SimDuration::from_us(self.cfg.peek_us)
+    }
+}
+
+/// The switch-instant rule, defined once: a scheduled switch `(map,
+/// at)` governs hops for slots `>= at`; earlier slots keep `current`.
+/// Both the public [`LinkController::afh_map_at`] accessor and the
+/// tick/RX snapshot (`connection::AfhView`) resolve through this
+/// function — master/slave hop synchronization depends on the two
+/// never diverging.
+pub(crate) fn resolve_afh<'a>(
+    current: Option<&'a hop::ChannelMap>,
+    pending: Option<&'a (hop::ChannelMap, u64)>,
+    slot: u64,
+) -> Option<&'a hop::ChannelMap> {
+    match pending {
+        Some((map, at)) if slot >= *at => Some(map),
+        _ => current,
     }
 }
 

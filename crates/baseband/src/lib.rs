@@ -33,7 +33,7 @@ pub use address::{BdAddr, DCI_UAP};
 pub use buffer::{RxAssembler, TxBuffer};
 pub use clock::{ClkVal, Clock, CLK_WRAP};
 pub use lc::{
-    LcAction, LcCommand, LcConfig, LcEvent, LifePhase, LinkController, LinkMode, Role, RxDelivery,
-    ScoParams, SniffParams,
+    ChannelAssessment, LcAction, LcCommand, LcConfig, LcEvent, LifePhase, LinkController, LinkMode,
+    Role, RxDelivery, ScoParams, SniffParams,
 };
 pub use packet::{Llid, PacketType};

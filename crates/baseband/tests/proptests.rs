@@ -288,3 +288,47 @@ proptest! {
         );
     }
 }
+
+// The AFH channel map: every construction path enforces the spec's
+// Nmin = 20 floor, the remap always lands in the used set, and the
+// 10-byte LMP wire form roundtrips exactly.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn channel_map_floor_remap_and_wire_roundtrip(
+        raw in prop::collection::vec(0u8..hop::CHANNELS, 0..70),
+        clk in 0u32..(1 << 27),
+        addr in any::<u32>(),
+    ) {
+        let blocked: std::collections::BTreeSet<u8> = raw.into_iter().collect();
+        let remaining = hop::CHANNELS as usize - blocked.len();
+        match hop::ChannelMap::try_blocking(blocked.iter().copied()) {
+            Ok(map) => {
+                // Construction succeeds exactly when the floor holds.
+                prop_assert!(remaining >= hop::MIN_AFH_CHANNELS);
+                prop_assert_eq!(map.used_count(), remaining);
+                // Remap of any channel lands in the used set; used
+                // channels are fixed points.
+                for ch in 0..hop::CHANNELS {
+                    let r = map.remap(ch);
+                    prop_assert!(map.is_used(r), "remap({}) = {} unused", ch, r);
+                    if map.is_used(ch) {
+                        prop_assert_eq!(r, ch);
+                    }
+                }
+                // The adaptive hop selector respects the map.
+                let ch = hop::hop_channel_afh(ClkVal::new(clk), addr & 0x0FFF_FFFF, &map);
+                prop_assert!(map.is_used(ch));
+                // Wire roundtrip is exact, with the 80th bit clear.
+                let bytes = map.to_bytes();
+                prop_assert_eq!(bytes[9] & 0x80, 0);
+                prop_assert_eq!(hop::ChannelMap::from_bytes(&bytes), Ok(map));
+            }
+            Err(e) => {
+                prop_assert!(remaining < hop::MIN_AFH_CHANNELS);
+                prop_assert_eq!(e.used, remaining);
+            }
+        }
+    }
+}

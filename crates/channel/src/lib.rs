@@ -46,11 +46,20 @@ pub struct Interferer {
 }
 
 impl Interferer {
-    /// An 802.11b-like interferer centred at `center` (22 channels wide).
+    /// An 802.11b-like interferer centred at `center`: the band covers
+    /// `center ± 11` channels, clamped to the ISM band edges. A centre
+    /// near the band edge occupies *fewer* channels — a 22 MHz burst
+    /// centred at channel 5 cannot reach channel 16, so the upper edge
+    /// is clamped to `center + 11` rather than shifting the whole band
+    /// upward.
     pub fn wlan(center: u8, duty: f64) -> Self {
+        let first_channel = center.saturating_sub(11).min(RF_CHANNELS);
+        let upper = (center as u16 + 11).min(RF_CHANNELS as u16);
         Self {
-            first_channel: center.saturating_sub(11),
-            width: 22,
+            first_channel,
+            // Saturating: a centre above the ISM band yields an empty
+            // band rather than underflowing.
+            width: upper.saturating_sub(first_channel as u16) as u8,
             duty,
         }
     }
@@ -109,16 +118,19 @@ impl Transmission {
 /// A transmission counts as *collided* when another transmission
 /// overlapped it in both time and RF channel (each transmission is
 /// counted at most once, on both sides of the overlap). Interferer
-/// jamming is not included — it is an external burst, not a
-/// device-vs-device collision. The scatternet experiments measure the
-/// inter-piconet collision rate as `collided / transmissions` deltas
-/// over a window.
+/// jamming is counted separately in `jammed` — it is an external burst,
+/// not a device-vs-device collision — so coexistence experiments can
+/// report interferer hits apart from inter-piconet collisions. The
+/// scatternet experiments measure the inter-piconet collision rate as
+/// `collided / transmissions` deltas over a window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TxStats {
     /// Transmissions registered since construction.
     pub transmissions: u64,
     /// Transmissions that overlapped another one on the same channel.
     pub collided: u64,
+    /// Transmissions wiped by a fixed-band interferer burst.
+    pub jammed: u64,
 }
 
 impl TxStats {
@@ -131,12 +143,101 @@ impl TxStats {
         }
     }
 
+    /// Jammed fraction (`0` when nothing was transmitted).
+    pub fn jam_rate(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.jammed as f64 / self.transmissions as f64
+        }
+    }
+
     /// Statistics accumulated since an earlier `snapshot`.
     pub fn since(&self, snapshot: TxStats) -> TxStats {
         TxStats {
             transmissions: self.transmissions - snapshot.transmissions,
             collided: self.collided - snapshot.collided,
+            jammed: self.jammed - snapshot.jammed,
         }
+    }
+}
+
+/// Counters of one RF channel inside a [`ChannelQuality`] view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelCounters {
+    /// Transmissions registered on this channel.
+    pub transmissions: u64,
+    /// Transmissions that overlapped another one on this channel.
+    pub collided: u64,
+    /// Transmissions wiped by a fixed-band interferer burst.
+    pub jammed: u64,
+}
+
+impl ChannelCounters {
+    /// Fraction of transmissions that were collided or jammed.
+    pub fn bad_rate(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            (self.collided + self.jammed) as f64 / self.transmissions as f64
+        }
+    }
+}
+
+/// Per-RF-channel quality accounting of a [`Medium`]: how many
+/// transmissions each of the 79 hop channels carried and how many of
+/// them were collided or jammed. Windowed like [`TxStats`]: take a
+/// snapshot, run a workload, and diff with [`ChannelQuality::since`].
+///
+/// This is the medium's god's-eye view (the AFH experiments use it to
+/// verify that an adapted hop sequence stops landing in an interferer's
+/// band); devices build their own per-channel picture from reception
+/// outcomes via `btsim_baseband::ChannelAssessment`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelQuality {
+    counters: [ChannelCounters; RF_CHANNELS as usize],
+}
+
+impl Default for ChannelQuality {
+    fn default() -> Self {
+        Self {
+            counters: [ChannelCounters::default(); RF_CHANNELS as usize],
+        }
+    }
+}
+
+impl ChannelQuality {
+    /// Counters of one channel (all-zero for out-of-band indices).
+    pub fn channel(&self, rf_channel: u8) -> ChannelCounters {
+        self.counters
+            .get(rf_channel as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Sum over all 79 channels.
+    pub fn total(&self) -> ChannelCounters {
+        self.counters
+            .iter()
+            .fold(ChannelCounters::default(), |acc, c| ChannelCounters {
+                transmissions: acc.transmissions + c.transmissions,
+                collided: acc.collided + c.collided,
+                jammed: acc.jammed + c.jammed,
+            })
+    }
+
+    /// Per-channel counters accumulated since an earlier `snapshot`.
+    pub fn since(&self, snapshot: &ChannelQuality) -> ChannelQuality {
+        let mut out = ChannelQuality::default();
+        for (ch, slot) in out.counters.iter_mut().enumerate() {
+            let (now, then) = (self.counters[ch], snapshot.counters[ch]);
+            *slot = ChannelCounters {
+                transmissions: now.transmissions - then.transmissions,
+                collided: now.collided - then.collided,
+                jammed: now.jammed - then.jammed,
+            };
+        }
+        out
     }
 }
 
@@ -194,6 +295,7 @@ pub struct Medium {
     total_flipped: u64,
     total_bits: u64,
     tx_stats: TxStats,
+    quality: ChannelQuality,
 }
 
 impl Medium {
@@ -207,6 +309,7 @@ impl Medium {
             total_flipped: 0,
             total_bits: 0,
             tx_stats: TxStats::default(),
+            quality: ChannelQuality::default(),
         }
     }
 
@@ -252,15 +355,8 @@ impl Medium {
         // Fixed-band interferers wipe in-band packets with their duty
         // probability (one draw per transmission: a burst either overlaps
         // the short Bluetooth packet or it does not).
-        let jammed = self.cfg.interferers.iter().any(|i| i.covers(rf_channel))
-            && self.rng.chance(
-                self.cfg
-                    .interferers
-                    .iter()
-                    .filter(|i| i.covers(rf_channel))
-                    .map(|i| i.duty)
-                    .fold(0.0f64, |acc, d| acc.max(d)),
-            );
+        let duty = self.jam_duty(rf_channel);
+        let jammed = duty > 0.0 && self.rng.chance(duty);
         // Collision accounting: overlap in both time and channel with a
         // still-live transmission marks both sides, once each. The
         // retention window far exceeds a packet's air time, so the
@@ -273,12 +369,20 @@ impl Medium {
                 if !other.counted_collided {
                     other.counted_collided = true;
                     self.tx_stats.collided += 1;
+                    self.quality.counters[other.rf_channel as usize].collided += 1;
                 }
             }
         }
         self.tx_stats.transmissions += 1;
+        let q = &mut self.quality.counters[rf_channel as usize];
+        q.transmissions += 1;
         if collided {
             self.tx_stats.collided += 1;
+            q.collided += 1;
+        }
+        if jammed {
+            self.tx_stats.jammed += 1;
+            q.jammed += 1;
         }
         let id = TxId(self.next_id);
         self.next_id += 1;
@@ -297,6 +401,24 @@ impl Medium {
     /// Cumulative transmission/collision statistics since construction.
     pub fn tx_stats(&self) -> TxStats {
         self.tx_stats
+    }
+
+    /// Per-RF-channel quality counters since construction. Snapshot and
+    /// diff with [`ChannelQuality::since`] to window a workload.
+    pub fn channel_quality(&self) -> &ChannelQuality {
+        &self.quality
+    }
+
+    /// The probability a transmission on `rf_channel` is wiped by a
+    /// fixed-band interferer burst (the highest duty among the
+    /// interferers covering the channel; `0.0` outside every band).
+    pub fn jam_duty(&self, rf_channel: u8) -> f64 {
+        self.cfg
+            .interferers
+            .iter()
+            .filter(|i| i.covers(rf_channel))
+            .map(|i| i.duty)
+            .fold(0.0f64, f64::max)
     }
 
     /// End of air time of a transmission (for scheduling its delivery).
@@ -358,18 +480,42 @@ impl Medium {
     }
 
     /// Whether any transmission overlapping `[from, to)` on `rf_channel`
-    /// is registered (carrier sensing for tests and diagnostics).
+    /// is registered, or a full-duty interferer occupies the channel
+    /// (carrier sensing for tests and diagnostics).
+    ///
+    /// Interferer bursts are drawn *per transmission* ([`Medium::begin_tx`]),
+    /// not modelled on a timeline, so a fractional-duty interferer is
+    /// invisible to this probe between bursts: the channel reads clean
+    /// even though a packet sent there may be wiped. Only a `duty = 1.0`
+    /// interferer — whose bursts occupy the band continuously — makes
+    /// the probe report busy on its own. This asymmetry is deliberate
+    /// and tested (`carrier_sense_sees_full_duty_interferers`).
     pub fn busy(&self, rf_channel: u8, from: SimTime, to: SimTime) -> bool {
-        self.live
-            .iter()
-            .any(|t| t.rf_channel == rf_channel && t.start < to && t.end() > from)
+        self.jam_duty(rf_channel) >= 1.0
+            || self
+                .live
+                .iter()
+                .any(|t| t.rf_channel == rf_channel && t.start < to && t.end() > from)
     }
 
     /// The resolved four-valued value of the medium at `at` on `rf_channel`.
+    ///
+    /// A channel occupied by a full-duty interferer reads `X`, as do the
+    /// bits of a jammed transmission — consistent with
+    /// [`Medium::receive`], which delivers jammed packets under a full
+    /// collision mask. Fractional-duty bursts are not on the timeline
+    /// (see [`Medium::busy`]); between transmissions such a channel
+    /// reads `Z`.
     pub fn wire_at(&self, rf_channel: u8, at: SimTime) -> Wire {
+        if self.jam_duty(rf_channel) >= 1.0 {
+            return Wire::X;
+        }
         Wire::resolve(self.live.iter().filter_map(|t| {
             if t.rf_channel != rf_channel || at < t.start || at >= t.end() {
                 return None;
+            }
+            if t.jammed {
+                return Some(Wire::X);
             }
             let bit_idx = (at.since(t.start).ns() / SimDuration::SYMBOL.ns()) as usize;
             t.noisy_bits.get(bit_idx).map(Wire::from_bit)
@@ -559,6 +705,23 @@ mod tests {
     }
 
     #[test]
+    fn gc_before_retention_elapsed_saturates_and_keeps_everything() {
+        // `now - retention` saturates to SimTime::ZERO when the
+        // simulation is younger than the retention window; an early gc
+        // must not drop anything (and must not panic).
+        let mut m = medium(0.0, 1);
+        let a = m.begin_tx(0, 1, SimTime::ZERO, bits(100));
+        let b = m.begin_tx(1, 2, SimTime::from_us(200), bits(100));
+        m.gc(SimTime::from_us(500), SimDuration::from_us(50_000));
+        assert_eq!(m.live_count(), 2);
+        assert!(m.receive(a).is_some());
+        assert!(m.receive(b).is_some());
+        // Even gc at t = 0 is safe.
+        m.gc(SimTime::ZERO, SimDuration::from_us(50_000));
+        assert_eq!(m.live_count(), 2);
+    }
+
+    #[test]
     fn interferer_band_coverage() {
         let w = Interferer::wlan(11, 1.0);
         assert!(w.covers(0));
@@ -568,6 +731,37 @@ mod tests {
         assert!(hi.covers(59));
         assert!(hi.covers(78));
         assert!(!hi.covers(58));
+    }
+
+    #[test]
+    fn low_centre_interferer_clamps_to_reachable_channels() {
+        // A 22 MHz burst centred at channel 5 reaches 0..16 only; the
+        // band must not silently shift upward to keep its width.
+        let w = Interferer::wlan(5, 1.0);
+        assert!(w.covers(0));
+        assert!(w.covers(15));
+        assert!(!w.covers(16), "channel 16 is 11 MHz above the centre");
+        assert!(!w.covers(21));
+        let lo = Interferer::wlan(0, 1.0);
+        assert!(lo.covers(0));
+        assert!(lo.covers(10));
+        assert!(!lo.covers(11));
+        // Mid-band centres keep the full 22-channel width.
+        assert_eq!(Interferer::wlan(40, 1.0).width, 22);
+        // A centre just past the band edge still reaches down into it…
+        let edge = Interferer::wlan(79, 1.0);
+        assert!(edge.covers(68));
+        assert!(edge.covers(78));
+        assert!(!edge.covers(67));
+        // …while a centre more than 11 channels above it covers nothing
+        // (and must not underflow the width computation).
+        for center in [90u8, 100, 255] {
+            let oob = Interferer::wlan(center, 1.0);
+            assert!(
+                (0..RF_CHANNELS).all(|ch| !oob.covers(ch)),
+                "wlan({center}) must cover no in-band channel"
+            );
+        }
     }
 
     #[test]
@@ -645,5 +839,117 @@ mod tests {
     fn rejects_out_of_band_channel() {
         let mut m = medium(0.0, 1);
         m.begin_tx(0, 79, SimTime::ZERO, bits(8));
+    }
+
+    #[test]
+    fn tx_stats_count_jammed_separately_from_collisions() {
+        let mut m = Medium::new(
+            ChannelConfig {
+                interferers: vec![Interferer::wlan(40, 1.0)],
+                ..ChannelConfig::default()
+            },
+            SimRng::new(3),
+        );
+        let snapshot = m.tx_stats();
+        m.begin_tx(0, 40, SimTime::ZERO, bits(100)); // jammed, no overlap
+        m.begin_tx(0, 10, SimTime::from_us(200), bits(100)); // clean
+        m.begin_tx(1, 10, SimTime::from_us(250), bits(100)); // collides
+        let s = m.tx_stats().since(snapshot);
+        assert_eq!(s.transmissions, 3);
+        assert_eq!(s.jammed, 1, "only the in-band packet is jammed");
+        assert_eq!(s.collided, 2, "the two out-of-band packets collided");
+        assert!((s.jam_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_quality_tracks_per_channel_counters() {
+        let mut m = Medium::new(
+            ChannelConfig {
+                interferers: vec![Interferer::wlan(40, 1.0)],
+                ..ChannelConfig::default()
+            },
+            SimRng::new(3),
+        );
+        let snapshot = m.channel_quality().clone();
+        m.begin_tx(0, 40, SimTime::ZERO, bits(100)); // jammed
+        m.begin_tx(0, 10, SimTime::from_us(200), bits(100));
+        m.begin_tx(1, 10, SimTime::from_us(250), bits(100)); // collides with previous
+        m.begin_tx(0, 11, SimTime::from_us(500), bits(100)); // clean
+        let q = m.channel_quality().since(&snapshot);
+        assert_eq!(
+            q.channel(40),
+            ChannelCounters {
+                transmissions: 1,
+                collided: 0,
+                jammed: 1
+            }
+        );
+        assert_eq!(
+            q.channel(10),
+            ChannelCounters {
+                transmissions: 2,
+                collided: 2,
+                jammed: 0
+            }
+        );
+        assert_eq!(q.channel(11).transmissions, 1);
+        assert_eq!(q.channel(11).bad_rate(), 0.0);
+        assert_eq!(q.channel(40).bad_rate(), 1.0);
+        let total = q.total();
+        assert_eq!(total.transmissions, 4);
+        assert_eq!(total.collided, 2);
+        assert_eq!(total.jammed, 1);
+        // Out-of-band probe reads zero.
+        assert_eq!(q.channel(200), ChannelCounters::default());
+    }
+
+    #[test]
+    fn carrier_sense_sees_full_duty_interferers() {
+        let m = Medium::new(
+            ChannelConfig {
+                interferers: vec![Interferer::wlan(40, 1.0), Interferer::wlan(70, 0.5)],
+                ..ChannelConfig::default()
+            },
+            SimRng::new(1),
+        );
+        // Full-duty band: busy and X with no transmission registered.
+        assert!(m.busy(40, SimTime::ZERO, SimTime::from_us(1)));
+        assert_eq!(m.wire_at(40, SimTime::ZERO), Wire::X);
+        // Fractional-duty band: bursts are drawn per transmission, so
+        // between transmissions the probe reads clean even though a
+        // packet sent here may be wiped (the documented asymmetry).
+        assert!(!m.busy(70, SimTime::ZERO, SimTime::from_us(1)));
+        assert_eq!(m.wire_at(70, SimTime::ZERO), Wire::Z);
+        // Out of every band: clean.
+        assert!(!m.busy(10, SimTime::ZERO, SimTime::from_us(1)));
+        assert_eq!(m.jam_duty(40), 1.0);
+        assert_eq!(m.jam_duty(70), 0.5);
+        assert_eq!(m.jam_duty(10), 0.0);
+    }
+
+    #[test]
+    fn wire_probe_shows_jammed_transmission_as_x() {
+        let mut m = Medium::new(
+            ChannelConfig {
+                interferers: vec![Interferer::wlan(10, 0.5)],
+                ..ChannelConfig::default()
+            },
+            SimRng::new(9),
+        );
+        // Find a seeded transmission that gets jammed (duty 0.5).
+        let mut jam_seen = false;
+        for k in 0..20u64 {
+            let at = SimTime::from_us(k * 1000);
+            let tx = m.begin_tx(0, 10, at, bits(100));
+            if m.receive(tx).unwrap().collided() {
+                // The jammed packet's bits read X while it is on air,
+                // matching the full collision mask `receive` reports.
+                assert_eq!(m.wire_at(10, at + SimDuration::from_us(5)), Wire::X);
+                jam_seen = true;
+                break;
+            }
+            m.gc(at, SimDuration::from_us(100));
+        }
+        assert!(jam_seen, "duty 0.5 must jam within 20 tries");
     }
 }

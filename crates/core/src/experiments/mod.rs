@@ -25,12 +25,13 @@ use crate::net::{
     ScatternetConfig, ScatternetScenario,
 };
 use crate::scenario::{
-    connect_pair, paper_config, CoexistenceConfig, CoexistenceScenario, CreationConfig,
-    CreationScenario, GoodputConfig, GoodputScenario, HoldConfig, HoldScenario, InquiryConfig,
-    InquiryScenario, PageConfig, PageScenario, ParkConfig, ParkScenario, Scenario, ScoLinkConfig,
-    ScoLinkScenario, SniffConfig, SniffScenario, TrafficConfig, TrafficScenario,
+    connect_pair, paper_config, AfhAdaptConfig, AfhAdaptScenario, CoexistenceConfig,
+    CoexistenceScenario, CreationConfig, CreationScenario, GoodputConfig, GoodputScenario,
+    HoldConfig, HoldScenario, InquiryConfig, InquiryScenario, PageConfig, PageScenario, ParkConfig,
+    ParkScenario, Scenario, ScoLinkConfig, ScoLinkScenario, SniffConfig, SniffScenario,
+    TrafficConfig, TrafficScenario,
 };
-use crate::{Engine, LoggedEvent, SimBuilder};
+use crate::{AfhConfig, Engine, LoggedEvent, SimBuilder};
 
 mod registry;
 
@@ -1083,6 +1084,159 @@ pub fn ext_wlan_coexistence(opts: &ExpOptions) -> ExtWlan {
         })
         .collect();
     ExtWlan { rows }
+}
+
+/// One row of the AFH adaptation experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AfhAdaptRow {
+    /// Whether the AFH policy ran.
+    pub afh: bool,
+    /// Goodput before adaptation (assessment window), kbit/s.
+    pub kbps_before: f64,
+    /// Goodput after the switch instant (or the same baseline again
+    /// when the policy is off), kbit/s.
+    pub kbps_after: f64,
+    /// Mean goodput recovery factor (after / before).
+    pub recovery: f64,
+    /// Mean slots from policy start to the negotiated switch instant.
+    pub converge_slots: f64,
+    /// Mean fraction of the interferer band blocked by the final map.
+    pub blocked_in_band: f64,
+    /// Mean interferer hits on the piconet during the post window.
+    pub jam_hits_after: f64,
+}
+
+/// Result of the `afh_adapt` experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AfhAdapt {
+    /// One row per policy setting (off, on).
+    pub rows: Vec<AfhAdaptRow>,
+    /// Extended-CoexistenceScenario sweep: `(label, creation success,
+    /// mean creation slots, mean post-formation goodput kbit/s)` for
+    /// piconet-B formation under the same WLAN with AFH off vs a static
+    /// band-excluding map.
+    pub coexist: Vec<(String, f64, f64, f64)>,
+}
+
+impl AfhAdapt {
+    /// Renders the adaptation table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "AFH",
+            "kbit/s before",
+            "kbit/s after",
+            "recovery",
+            "converge TS",
+            "band blocked",
+            "jam hits after",
+        ]);
+        for r in &self.rows {
+            t.row([
+                if r.afh { "on" } else { "off" }.into(),
+                format!("{:.1}", r.kbps_before),
+                format!("{:.1}", r.kbps_after),
+                format!("{:.2}x", r.recovery),
+                format!("{:.0}", r.converge_slots),
+                format!("{:.0}%", r.blocked_in_band * 100.0),
+                format!("{:.1}", r.jam_hits_after),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the coexistence-creation sweep.
+    pub fn coexist_table(&self) -> Table {
+        let mut t = Table::new(["scenario", "B formed", "creation TS", "B goodput kbit/s"]);
+        for (label, success, slots, kbps) in &self.coexist {
+            t.row([
+                label.clone(),
+                format!("{:.0}%", success * 100.0),
+                format!("{slots:.0}"),
+                format!("{kbps:.1}"),
+            ]);
+        }
+        t
+    }
+}
+
+/// **AFH** — the closed adaptive-frequency-hopping loop against an
+/// 802.11 interferer at `wlan(40, 0.5)`: channel assessment on both
+/// ends, `LMP_channel_classification` from the slave, `LMP_set_AFH`
+/// from the master, and a synchronized hop-map switch. Reports goodput
+/// recovery over the AFH-off baseline, map convergence time, how much
+/// of the interferer band the final map blocks, and residual interferer
+/// hits; plus the extended `CoexistenceScenario` sweep (piconet
+/// creation under the same WLAN, post-formation goodput with AFH off
+/// vs a static band-excluding map).
+pub fn afh_adapt(opts: &ExpOptions) -> AfhAdapt {
+    let wlan = btsim_channel::Interferer::wlan(40, 0.5);
+    let result = Campaign::sweep([false, true].map(|enabled| {
+        (
+            if enabled { "afh" } else { "off" }.to_string(),
+            AfhAdaptScenario::new(AfhAdaptConfig {
+                wlan,
+                afh: AfhConfig {
+                    enabled,
+                    ..AfhConfig::default()
+                },
+                sim: opts.sim(paper_config()),
+                ..AfhAdaptConfig::default()
+            }),
+        )
+    }))
+    .options(opts)
+    .runs(opts.runs.clamp(2, 16))
+    .run();
+    let rows = [false, true]
+        .iter()
+        .zip(&result.points)
+        .map(|(&afh, p)| AfhAdaptRow {
+            afh,
+            kbps_before: p.metric("kbps_before").mean(),
+            kbps_after: p.metric("kbps_after").mean(),
+            recovery: p.metric("recovery").mean(),
+            converge_slots: p.metric("converge_slots").mean(),
+            blocked_in_band: p.metric("blocked_in_band").mean(),
+            jam_hits_after: p.metric("jam_hits_after").mean(),
+        })
+        .collect();
+    // The extended CoexistenceScenario: piconet B forms next to the
+    // same WLAN, then transfers with and without a static AFH map
+    // excluding the band (creation itself can never use AFH — the
+    // devices share no channel map until they share a piconet).
+    let band_map =
+        btsim_baseband::hop::ChannelMap::try_blocking((0..79u8).filter(|&ch| wlan.covers(ch)))
+            .expect("a 22-channel band leaves 57 channels");
+    let coexist_points = [("wlan/plain", None), ("wlan/afh", Some(band_map))];
+    let coexist_result = Campaign::sweep(coexist_points.iter().map(|(label, map)| {
+        (
+            label.to_string(),
+            CoexistenceScenario::new(CoexistenceConfig {
+                with_interferer: false,
+                wlan: Some(wlan),
+                goodput_slots: 2_000,
+                afh: map.clone(),
+                sim: opts.sim(paper_config()),
+                ..CoexistenceConfig::default()
+            }),
+        )
+    }))
+    .options(opts)
+    .runs(opts.runs.clamp(2, 8))
+    .run();
+    let coexist = coexist_points
+        .iter()
+        .zip(&coexist_result.points)
+        .map(|((label, _), p)| {
+            (
+                label.to_string(),
+                p.completion_rate(),
+                p.metric("slots").mean(),
+                p.metric("goodput_kbps").mean(),
+            )
+        })
+        .collect();
+    AfhAdapt { rows, coexist }
 }
 
 // ---------------------------------------------------------------------------

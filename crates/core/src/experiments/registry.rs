@@ -148,7 +148,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
     REGISTRY.iter().find(|e| e.name == name)
 }
 
-static REGISTRY: [Experiment; 19] = [
+static REGISTRY: [Experiment; 20] = [
     Experiment {
         name: "fig5_waveform",
         description: "Fig. 5 — piconet-creation waveforms (enable_tx_RF / enable_rx_RF)",
@@ -223,6 +223,11 @@ static REGISTRY: [Experiment; 19] = [
         name: "ext_wlan",
         description: "Ext-F — coexistence with an 802.11 WLAN, with and without AFH",
         runner: run_ext_wlan,
+    },
+    Experiment {
+        name: "afh_adapt",
+        description: "AFH — goodput recovery and map convergence against an 802.11 interferer",
+        runner: run_afh_adapt,
     },
     Experiment {
         name: "ext_ablation",
@@ -365,6 +370,19 @@ fn run_ext_wlan(opts: &ExpOptions) -> ExpReport {
         .table(f.table())
 }
 
+fn run_afh_adapt(opts: &ExpOptions) -> ExpReport {
+    let f = afh_adapt(opts);
+    ExpReport::new(
+        "AFH — assessment → LMP map exchange → synchronized hop remapping vs wlan(40, 0.5)",
+    )
+    .note(
+        "(v1.2 adaptive frequency hopping: the in-use map switches at a master-announced instant)",
+    )
+    .table(f.table())
+    .note("(extended CoexistenceScenario: piconet B forms under the WLAN, then transfers)")
+    .table(f.coexist_table())
+}
+
 fn run_ext_ablation(opts: &ExpOptions) -> ExpReport {
     let mut opts = *opts;
     if opts.runs > 60 {
@@ -421,7 +439,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_nonempty() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -433,8 +451,8 @@ mod tests {
     fn find_resolves_names() {
         assert!(find("fig6_inquiry_vs_ber").is_some());
         assert!(find("nope").is_none());
-        // The scatternet entries are registered.
-        for name in ["scat_collisions", "scat_bridge", "scat_speed"] {
+        // The scatternet and AFH entries are registered.
+        for name in ["scat_collisions", "scat_bridge", "scat_speed", "afh_adapt"] {
             assert!(find(name).is_some(), "{name} missing from the registry");
         }
     }

@@ -22,6 +22,6 @@ mod simulator;
 pub use campaign::{Campaign, CampaignResult, ExpOptions, PointResult};
 pub use scenario::Scenario;
 pub use simulator::{
-    DuplicateAddr, Engine, EventCursor, HorizonReached, LoggedEvent, LoggedLmEvent, SimBuilder,
-    SimConfig, Simulator,
+    AfhConfig, DuplicateAddr, Engine, EventCursor, HorizonReached, LoggedEvent, LoggedLmEvent,
+    SimBuilder, SimConfig, Simulator,
 };

@@ -445,11 +445,24 @@ impl Scenario for CreationScenario {
 }
 
 /// Configuration of the coexistence scenario (extension Ext-B): piconet
-/// B forms while piconet A either idles or saturates the band.
+/// B forms while piconet A either idles or saturates the band, with
+/// optional WLAN interference and an optional post-formation goodput
+/// phase under a static AFH map (the AFH on/off sweep axis).
 #[derive(Debug, Clone)]
 pub struct CoexistenceConfig {
     /// Whether piconet A connects and saturates the channel first.
     pub with_interferer: bool,
+    /// An optional 802.11-style fixed-band interferer present from
+    /// t = 0 (paging and inquiry cannot adapt around it — the devices
+    /// share no channel map before they share a piconet).
+    pub wlan: Option<btsim_channel::Interferer>,
+    /// Measure piconet B's goodput for this many slots after it forms
+    /// (`0` skips the phase, preserving the original creation-only
+    /// scenario).
+    pub goodput_slots: u64,
+    /// AFH map installed on both ends of piconet B before the goodput
+    /// phase (`None` hops over all 79 channels).
+    pub afh: Option<btsim_baseband::hop::ChannelMap>,
     /// Inquiry cap for piconet B, in slots.
     pub inquiry_cap_slots: u64,
     /// Simulator configuration.
@@ -460,6 +473,9 @@ impl Default for CoexistenceConfig {
     fn default() -> Self {
         Self {
             with_interferer: true,
+            wlan: None,
+            goodput_slots: 0,
+            afh: None,
             inquiry_cap_slots: 16 * 2048,
             sim: paper_config(),
         }
@@ -473,11 +489,17 @@ pub struct CoexistenceOutcome {
     pub completed: bool,
     /// Slots from start to piconet B's connection (or the cap).
     pub slots: u64,
+    /// Piconet B's goodput over the optional post-formation window,
+    /// kbit/s (`0` when the phase is skipped or B never formed).
+    pub goodput_kbps: f64,
 }
 
 impl Record for CoexistenceOutcome {
     fn metrics(&self) -> Vec<(&'static str, f64)> {
-        vec![("slots", self.slots as f64)]
+        vec![
+            ("slots", self.slots as f64),
+            ("goodput_kbps", self.goodput_kbps),
+        ]
     }
 
     fn completed(&self) -> bool {
@@ -513,7 +535,11 @@ impl Scenario for CoexistenceScenario {
     }
 
     fn build(&self, seed: u64) -> Simulator {
-        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
+        let mut cfg = self.cfg.sim.clone();
+        if let Some(wlan) = self.cfg.wlan {
+            cfg.channel.interferers.push(wlan);
+        }
+        let mut b = SimBuilder::new(seed, cfg);
         b.add_device("a_master");
         b.add_device("a_slave");
         b.add_device("b_master");
@@ -555,6 +581,7 @@ impl Scenario for CoexistenceScenario {
             return CoexistenceOutcome {
                 completed: false,
                 slots: self.cfg.inquiry_cap_slots,
+                goodput_kbps: 0.0,
             };
         };
         let offset = sim
@@ -580,15 +607,44 @@ impl Scenario for CoexistenceScenario {
         let done = sim.run_until_event(inq.at + SimDuration::from_slots(4096), |e| {
             matches!(e.event, LcEvent::Connected { .. }) && e.device == b_slave
         });
-        match done {
-            Some(ev) => CoexistenceOutcome {
-                completed: true,
-                slots: ev.at.slots() - start.slots(),
-            },
-            None => CoexistenceOutcome {
+        let Some(ev) = done else {
+            return CoexistenceOutcome {
                 completed: false,
                 slots: self.cfg.inquiry_cap_slots,
-            },
+                goodput_kbps: 0.0,
+            };
+        };
+        let creation_slots = ev.at.slots() - start.slots();
+        let mut goodput_kbps = 0.0;
+        if self.cfg.goodput_slots > 0 {
+            // Post-formation traffic phase: piconet B transfers under
+            // whatever shares the band, optionally hopping on a static
+            // AFH map (the AFH on/off sweep axis of `afh_adapt`).
+            sim.run_until(ev.at + SimDuration::from_slots(8));
+            if let Some((lt, _)) = sim.lc(b_master).connected_slaves().first().copied() {
+                if let Some(map) = &self.cfg.afh {
+                    sim.command(b_master, LcCommand::SetAfh(map.clone()));
+                    sim.command(b_slave, LcCommand::SetAfh(map.clone()));
+                }
+                sim.command(b_master, LcCommand::SetTpoll(2));
+                sim.command(
+                    b_master,
+                    LcCommand::AclData {
+                        lt_addr: lt,
+                        data: vec![0xB7; 300_000],
+                    },
+                );
+                let window_start = sim.now();
+                let window = SimDuration::from_slots(self.cfg.goodput_slots);
+                sim.run_until(window_start + window);
+                let received = super::acl_bytes_since(sim, b_slave, window_start);
+                goodput_kbps = (received as f64 * 8.0) / window.secs_f64() / 1000.0;
+            }
+        }
+        CoexistenceOutcome {
+            completed: true,
+            slots: creation_slots,
+            goodput_kbps,
         }
     }
 }

@@ -13,10 +13,12 @@
 //! [`Simulator`] — and its traces, power report and event log — after
 //! the outcome is extracted.
 
+mod afh;
 mod creation;
 mod link;
 mod traffic;
 
+pub use afh::{AfhAdaptConfig, AfhAdaptOutcome, AfhAdaptScenario};
 pub use creation::{
     CoexistenceConfig, CoexistenceScenario, CreationConfig, CreationOutcome, CreationScenario,
     InquiryConfig, InquiryOutcome, InquiryScenario, PageConfig, PageOutcome, PageScenario,
@@ -29,9 +31,24 @@ pub use traffic::{
     SniffScenario, TrafficConfig, TrafficOutcome, TrafficScenario,
 };
 
+use btsim_kernel::SimTime;
 use btsim_stats::Record;
 
 use crate::{SimConfig, Simulator};
+
+/// Sums the ACL payload bytes `device` received strictly after `start`
+/// — the goodput numerator shared by the transfer-measuring scenarios.
+pub(crate) fn acl_bytes_since(sim: &Simulator, device: usize, start: SimTime) -> usize {
+    use btsim_baseband::LcEvent;
+    sim.events()
+        .iter()
+        .filter(|e| e.device == device && e.at > start)
+        .filter_map(|e| match &e.event {
+            LcEvent::AclReceived { data, .. } => Some(data.len()),
+            _ => None,
+        })
+        .sum()
+}
 
 /// A reproducible system-level workload.
 ///

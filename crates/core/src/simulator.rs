@@ -21,7 +21,7 @@ use btsim_baseband::{
     BdAddr, ClkVal, Clock, LcAction, LcCommand, LcConfig, LcEvent, LifePhase, LinkController,
     RxDelivery,
 };
-use btsim_channel::{ChannelConfig, Medium, TxId, TxStats};
+use btsim_channel::{ChannelConfig, ChannelQuality, Medium, TxId, TxStats};
 use btsim_coding::BitVec;
 use btsim_kernel::{Calendar, SignalRef, SimDuration, SimRng, SimTime, TraceRecorder, TraceValue};
 use btsim_lmp::{LinkManager, LmEvent, LmOutput, LmRole};
@@ -101,6 +101,36 @@ impl Engine {
     }
 }
 
+/// Adaptive-frequency-hopping policy knobs (spec v1.2 AFH), consumed
+/// by the host layer — scenarios such as
+/// [`crate::scenario::AfhAdaptScenario`] — that closes the
+/// assessment → `LMP_channel_classification` → `LMP_set_AFH` loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AfhConfig {
+    /// Run the AFH policy at all (off reproduces pre-v1.2 behaviour).
+    pub enabled: bool,
+    /// Minimum receptions observed on a channel before it is
+    /// classified (fewer = "unknown", kept in use).
+    pub min_samples: u32,
+    /// Bad-reception fraction at or above which a channel is
+    /// classified unusable.
+    pub bad_threshold: f64,
+    /// Traffic window (slots) observed before each classification
+    /// round.
+    pub assess_slots: u64,
+}
+
+impl Default for AfhConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            min_samples: 4,
+            bad_threshold: 0.3,
+            assess_slots: 2_500,
+        }
+    }
+}
+
 /// Simulator-wide configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -108,6 +138,8 @@ pub struct SimConfig {
     pub channel: ChannelConfig,
     /// Link-controller configuration shared by all devices.
     pub lc: LcConfig,
+    /// Adaptive-frequency-hopping policy (host layer).
+    pub afh: AfhConfig,
     /// Record waveforms (off for Monte-Carlo batches).
     pub trace: bool,
     /// Randomise each device's initial CLKN (on by default; scenarios
@@ -122,6 +154,7 @@ impl Default for SimConfig {
         Self {
             channel: ChannelConfig::default(),
             lc: LcConfig::default(),
+            afh: AfhConfig::default(),
             trace: false,
             random_clkn: true,
             engine: Engine::default(),
@@ -238,6 +271,12 @@ impl SimBuilder {
     /// Overrides the engine (equivalent to setting it on the config).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.cfg.engine = engine;
+        self
+    }
+
+    /// Overrides the AFH policy (equivalent to setting it on the config).
+    pub fn afh(mut self, afh: AfhConfig) -> Self {
+        self.cfg.afh = afh;
         self
     }
 
@@ -473,6 +512,14 @@ impl Simulator {
     /// the delta over the traffic window ([`TxStats::since`]).
     pub fn tx_stats(&self) -> TxStats {
         self.medium.tx_stats()
+    }
+
+    /// The medium's per-RF-channel quality counters (snapshot and diff
+    /// with [`ChannelQuality::since`]); the AFH experiments use it to
+    /// verify an adapted hop sequence stops landing in an interferer's
+    /// band.
+    pub fn channel_quality(&self) -> &ChannelQuality {
+        self.medium.channel_quality()
     }
 
     /// The engine driving this simulator.

@@ -7,6 +7,7 @@
 
 use std::collections::VecDeque;
 
+use btsim_baseband::hop::ChannelMap;
 use btsim_baseband::{LcCommand, LcEvent, Llid, PacketType, ScoParams, SniffParams};
 
 use crate::pdu::{Opcode, Pdu};
@@ -47,6 +48,34 @@ pub enum LmEvent {
         /// Link affected.
         lt_addr: u8,
     },
+    /// The peer accepted our `LMP_set_AFH`; both ends switch at the
+    /// announced instant.
+    AfhAccepted {
+        /// Link the map exchange ran on.
+        lt_addr: u8,
+    },
+    /// A slave reported its channel classification (`LMP_channel_classification`).
+    /// The master-side host combines this with its own assessment and
+    /// decides whether to issue a new `LMP_set_AFH`.
+    ChannelClassification {
+        /// Link the report arrived on.
+        lt_addr: u8,
+        /// Channels the slave considers usable.
+        map: ChannelMap,
+    },
+    /// A request with a response deadline got no answer in time. For
+    /// `LMP_set_AFH` the local switch is *kept*: the slave schedules its
+    /// switch on reception, so by the deadline (the switch instant) it
+    /// has either switched — cancelling locally would desynchronise the
+    /// hop sequences — or never heard the request, in which case the
+    /// link is failing anyway and the host should re-negotiate or
+    /// detach.
+    RequestTimedOut {
+        /// Link the request was sent on.
+        lt_addr: u8,
+        /// The unanswered request.
+        of: Opcode,
+    },
 }
 
 /// Outputs of the manager: baseband commands and host events.
@@ -66,6 +95,16 @@ struct PendingMode {
     command: LcCommand,
     of: Opcode,
     lt_addr: u8,
+}
+
+/// A request we sent and await a response for, with an optional
+/// response deadline (slot) after which [`LinkManager::poll`] reports
+/// [`LmEvent::RequestTimedOut`].
+#[derive(Debug, Clone)]
+struct Outstanding {
+    lt_addr: u8,
+    pdu: Pdu,
+    deadline_slot: Option<u64>,
 }
 
 /// The link manager of one device.
@@ -89,7 +128,7 @@ pub struct LinkManager {
     role: LmRole,
     pending: Vec<PendingMode>,
     /// Requests we sent and await a response for.
-    outstanding: VecDeque<(u8, Pdu)>,
+    outstanding: VecDeque<Outstanding>,
     setup_done: Vec<u8>,
 }
 
@@ -128,7 +167,11 @@ impl LinkManager {
     /// Starts connection setup (host_connection_req → setup_complete).
     pub fn start_setup(&mut self, lt_addr: u8) -> Vec<LmOutput> {
         let pdu = Pdu::HostConnectionReq;
-        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.outstanding.push_back(Outstanding {
+            lt_addr,
+            pdu: pdu.clone(),
+            deadline_slot: None,
+        });
         vec![self.send(lt_addr, &pdu)]
     }
 
@@ -145,7 +188,11 @@ impl LinkManager {
             attempt: params.n_attempt as u16,
             timeout: params.n_timeout as u16,
         };
-        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.outstanding.push_back(Outstanding {
+            lt_addr,
+            pdu: pdu.clone(),
+            deadline_slot: None,
+        });
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
             command: LcCommand::Sniff { lt_addr, params },
@@ -158,7 +205,11 @@ impl LinkManager {
     /// Requests leaving sniff mode.
     pub fn request_unsniff(&mut self, lt_addr: u8, now_slot: u64) -> Vec<LmOutput> {
         let pdu = Pdu::UnsniffReq;
-        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.outstanding.push_back(Outstanding {
+            lt_addr,
+            pdu: pdu.clone(),
+            deadline_slot: None,
+        });
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
             command: LcCommand::Unsniff { lt_addr },
@@ -175,7 +226,11 @@ impl LinkManager {
             hold_time: hold_slots.min(u16::MAX as u32) as u16,
             hold_instant: instant as u32,
         };
-        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.outstanding.push_back(Outstanding {
+            lt_addr,
+            pdu: pdu.clone(),
+            deadline_slot: None,
+        });
         self.pending.push(PendingMode {
             at_slot: instant,
             command: LcCommand::Hold {
@@ -198,7 +253,11 @@ impl LinkManager {
         let pdu = Pdu::ParkReq {
             beacon_interval: beacon_interval.min(u16::MAX as u32) as u16,
         };
-        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.outstanding.push_back(Outstanding {
+            lt_addr,
+            pdu: pdu.clone(),
+            deadline_slot: None,
+        });
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
             command: LcCommand::Park {
@@ -223,7 +282,11 @@ impl LinkManager {
             d_sco: params.d_sco as u16,
             hv_type,
         };
-        self.outstanding.push_back((lt_addr, pdu.clone()));
+        self.outstanding.push_back(Outstanding {
+            lt_addr,
+            pdu: pdu.clone(),
+            deadline_slot: None,
+        });
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
             command: LcCommand::ScoSetup { lt_addr, params },
@@ -231,6 +294,51 @@ impl LinkManager {
             lt_addr,
         });
         vec![self.send(lt_addr, &pdu)]
+    }
+
+    /// Announces an AFH channel-map switch on `lt_addr` (master side,
+    /// `LMP_set_AFH`): the new map takes effect on both ends at an
+    /// even slot `MODE_CHANGE_LEAD_SLOTS` past `now_slot`. The local
+    /// switch is scheduled immediately — the baseband holds it until
+    /// the instant — so master and slave hop in lockstep through the
+    /// change; the request carries a response deadline at the instant
+    /// ([`LmEvent::RequestTimedOut`] if the acceptance never arrives,
+    /// [`LmEvent::Rejected`] plus a cancelled switch if the slave
+    /// refuses).
+    pub fn request_set_afh(
+        &mut self,
+        lt_addr: u8,
+        map: ChannelMap,
+        now_slot: u64,
+    ) -> Vec<LmOutput> {
+        // An even instant: switches land on master-to-slave slot
+        // boundaries, never between a transmission and its response.
+        let instant = (now_slot + MODE_CHANGE_LEAD_SLOTS).next_multiple_of(2);
+        let pdu = Pdu::SetAfh {
+            instant: instant as u32,
+            enabled: true,
+            map: map.clone(),
+        };
+        self.outstanding.push_back(Outstanding {
+            lt_addr,
+            pdu: pdu.clone(),
+            deadline_slot: Some(instant),
+        });
+        vec![
+            self.send(lt_addr, &pdu),
+            LmOutput::Command(LcCommand::SetAfhAt {
+                map,
+                at_slot: instant,
+            }),
+        ]
+    }
+
+    /// Reports this device's channel classification to the peer (slave
+    /// side, `LMP_channel_classification`): `map` marks the channels the
+    /// local assessment considers usable. Unacknowledged — the master
+    /// answers, if at all, with a new `LMP_set_AFH`.
+    pub fn send_channel_classification(&mut self, lt_addr: u8, map: ChannelMap) -> Vec<LmOutput> {
+        vec![self.send(lt_addr, &Pdu::ChannelClassification { map })]
     }
 
     /// Requests detach: the PDU goes out first; the local teardown is
@@ -246,15 +354,21 @@ impl LinkManager {
         vec![self.send(lt_addr, &Pdu::Detach { reason: 0x13 })]
     }
 
-    /// The earliest slot at which a pending mode change falls due, if
-    /// any — the manager's wakeup hint. [`LinkManager::poll`] calls
-    /// before this slot are guaranteed no-ops, so an event-driven engine
-    /// may skip them; it must poll again no later than this slot.
+    /// The earliest slot at which a pending mode change falls due or an
+    /// outstanding request's response deadline expires, if any — the
+    /// manager's wakeup hint. [`LinkManager::poll`] calls before this
+    /// slot are guaranteed no-ops, so an event-driven engine may skip
+    /// them; it must poll again no later than this slot.
     pub fn next_pending_slot(&self) -> Option<u64> {
-        self.pending.iter().map(|p| p.at_slot).min()
+        self.pending
+            .iter()
+            .map(|p| p.at_slot)
+            .chain(self.outstanding.iter().filter_map(|o| o.deadline_slot))
+            .min()
     }
 
-    /// Applies mode changes whose agreed instant has been reached.
+    /// Applies mode changes whose agreed instant has been reached and
+    /// expires outstanding requests whose response deadline passed.
     pub fn poll(&mut self, now_slot: u64) -> Vec<LmOutput> {
         let mut out = Vec::new();
         let mut i = 0;
@@ -268,6 +382,21 @@ impl LinkManager {
                 }));
             } else {
                 i += 1;
+            }
+        }
+        let mut k = 0;
+        while k < self.outstanding.len() {
+            if self.outstanding[k]
+                .deadline_slot
+                .is_some_and(|d| now_slot >= d)
+            {
+                let o = self.outstanding.remove(k).expect("index checked");
+                out.push(LmOutput::Event(LmEvent::RequestTimedOut {
+                    lt_addr: o.lt_addr,
+                    of: o.pdu.opcode(),
+                }));
+            } else {
+                k += 1;
             }
         }
         out
@@ -307,8 +436,9 @@ impl LinkManager {
                 }
             }
             Pdu::Accepted { of } => {
-                self.outstanding.retain(|(lt, p)| {
-                    if *lt == lt_addr && p.opcode() == of {
+                let before = self.outstanding.len();
+                self.outstanding.retain(|o| {
+                    if o.lt_addr == lt_addr && o.pdu.opcode() == of {
                         if of == Opcode::HostConnectionReq {
                             // Our connection request was accepted; finish.
                             out.push(LmOutput::Command(LcCommand::Lmp {
@@ -321,12 +451,29 @@ impl LinkManager {
                         true
                     }
                 });
+                if of == Opcode::SetAfh && self.outstanding.len() != before {
+                    out.push(LmOutput::Event(LmEvent::AfhAccepted { lt_addr }));
+                }
             }
             Pdu::NotAccepted { of, reason } => {
                 self.outstanding
-                    .retain(|(lt, p)| !(*lt == lt_addr && p.opcode() == of));
+                    .retain(|o| !(o.lt_addr == lt_addr && o.pdu.opcode() == of));
                 self.pending
                     .retain(|p| !(p.lt_addr == lt_addr && p.of == of));
+                if of == Opcode::SetAfh {
+                    // The slave refused, so it never scheduled the
+                    // switch; drop ours before the instant arrives.
+                    // AFH is piconet-wide while this cancel is
+                    // controller-wide: on a multi-slave piconet a
+                    // single refusal reverts the master's switch, and
+                    // the host must re-announce (a fresh
+                    // `request_set_afh`) to any slave that had already
+                    // accepted, or that link hops away at the old
+                    // instant. The in-tree slave manager always
+                    // accepts `LMP_set_AFH` (as the spec mandates), so
+                    // this path only fires against nonstandard peers.
+                    out.push(LmOutput::Command(LcCommand::CancelAfhSwitch));
+                }
                 out.push(LmOutput::Event(LmEvent::Rejected { of, reason }));
             }
             Pdu::SniffReq {
@@ -436,6 +583,30 @@ impl LinkManager {
                     of: Opcode::ScoLinkReq,
                     lt_addr,
                 });
+            }
+            Pdu::SetAfh {
+                instant,
+                enabled,
+                map,
+            } => {
+                out.push(self.send(lt_addr, &Pdu::Accepted { of: Opcode::SetAfh }));
+                // `enabled = false` decodes to the all-channels map:
+                // hopping reverts to the full band at the instant.
+                let _ = enabled;
+                out.push(LmOutput::Command(LcCommand::SetAfhAt {
+                    map,
+                    at_slot: instant as u64,
+                }));
+                out.push(LmOutput::Event(LmEvent::ModeApplied {
+                    lt_addr,
+                    of: Opcode::SetAfh,
+                }));
+            }
+            Pdu::ChannelClassification { map } => {
+                out.push(LmOutput::Event(LmEvent::ChannelClassification {
+                    lt_addr,
+                    map,
+                }));
             }
             Pdu::Detach { .. } => {
                 out.push(LmOutput::Command(LcCommand::Detach { lt_addr }));
@@ -637,6 +808,128 @@ mod tests {
                 .iter()
                 .any(|c| matches!(c, LcCommand::ScoSetup { lt_addr: 1, .. })));
         }
+    }
+
+    #[test]
+    fn afh_negotiation_schedules_the_same_instant_on_both_sides() {
+        use btsim_baseband::hop::ChannelMap;
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let map = ChannelMap::blocking(29..=50);
+        let m1 = master.request_set_afh(1, map.clone(), 101);
+        // The master schedules its own switch immediately at an even
+        // instant at least the lead past "now".
+        let m_switch = commands(&m1)
+            .into_iter()
+            .find_map(|c| match c {
+                LcCommand::SetAfhAt { map, at_slot } => Some((map.clone(), *at_slot)),
+                _ => None,
+            })
+            .expect("master schedules its switch");
+        assert_eq!(m_switch.0, map);
+        assert!(m_switch.1 >= 101 + MODE_CHANGE_LEAD_SLOTS);
+        assert!(m_switch.1.is_multiple_of(2), "switch lands on a slot pair");
+        // The slave accepts and schedules the identical switch.
+        let s1 = deliver(&mut slave, &m1, 103);
+        let s_switch = commands(&s1)
+            .into_iter()
+            .find_map(|c| match c {
+                LcCommand::SetAfhAt { map, at_slot } => Some((map.clone(), *at_slot)),
+                _ => None,
+            })
+            .expect("slave schedules the announced switch");
+        assert_eq!(s_switch, m_switch, "both ends switch at the same slot");
+        assert!(s1.iter().any(|o| matches!(
+            o,
+            LmOutput::Event(LmEvent::ModeApplied {
+                lt_addr: 1,
+                of: Opcode::SetAfh
+            })
+        )));
+        // The acceptance clears the outstanding request on the master.
+        let m2 = deliver(&mut master, &s1, 104);
+        assert!(m2
+            .iter()
+            .any(|o| matches!(o, LmOutput::Event(LmEvent::AfhAccepted { lt_addr: 1 }))));
+        assert_eq!(master.next_pending_slot(), None);
+        assert!(master.poll(m_switch.1 + 10).is_empty(), "no timeout fires");
+    }
+
+    #[test]
+    fn afh_rejection_cancels_the_masters_switch() {
+        use btsim_baseband::hop::ChannelMap;
+        let mut master = LinkManager::new(LmRole::Master);
+        let _ = master.request_set_afh(1, ChannelMap::blocking(0..=21), 50);
+        let reject = Pdu::NotAccepted {
+            of: Opcode::SetAfh,
+            reason: 0x0C,
+        }
+        .encode(true);
+        let ev = LcEvent::AclReceived {
+            lt_addr: 1,
+            llid: Llid::Lmp,
+            data: reject,
+        };
+        let outs = master.on_lc_event(&ev, 54);
+        assert!(commands(&outs)
+            .iter()
+            .any(|c| matches!(c, LcCommand::CancelAfhSwitch)));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            LmOutput::Event(LmEvent::Rejected {
+                of: Opcode::SetAfh,
+                ..
+            })
+        )));
+        // Nothing left to time out.
+        assert_eq!(master.next_pending_slot(), None);
+    }
+
+    #[test]
+    fn afh_timeout_reports_but_keeps_the_switch() {
+        use btsim_baseband::hop::ChannelMap;
+        let mut master = LinkManager::new(LmRole::Master);
+        let m1 = master.request_set_afh(1, ChannelMap::blocking(29..=50), 200);
+        let instant = commands(&m1)
+            .into_iter()
+            .find_map(|c| match c {
+                LcCommand::SetAfhAt { at_slot, .. } => Some(*at_slot),
+                _ => None,
+            })
+            .unwrap();
+        // The deadline is the manager's wakeup hint; polls before it
+        // are no-ops.
+        assert_eq!(master.next_pending_slot(), Some(instant));
+        assert!(master.poll(instant - 1).is_empty());
+        let outs = master.poll(instant);
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            LmOutput::Event(LmEvent::RequestTimedOut {
+                lt_addr: 1,
+                of: Opcode::SetAfh
+            })
+        )));
+        // The switch itself is NOT cancelled (the slave may have
+        // scheduled it; see the LmEvent::RequestTimedOut docs).
+        assert!(!commands(&outs)
+            .iter()
+            .any(|c| matches!(c, LcCommand::CancelAfhSwitch)));
+        assert_eq!(master.next_pending_slot(), None);
+        assert!(master.poll(instant + 100).is_empty(), "expired once only");
+    }
+
+    #[test]
+    fn channel_classification_reaches_the_master_host() {
+        use btsim_baseband::hop::ChannelMap;
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let map = ChannelMap::blocking([3, 4, 5]);
+        let s1 = slave.send_channel_classification(2, map.clone());
+        let m1 = deliver(&mut master, &s1, 10);
+        assert!(m1.iter().any(|o| matches!(
+            o,
+            LmOutput::Event(LmEvent::ChannelClassification { lt_addr: 2, map: m }) if *m == map
+        )));
     }
 
     #[test]

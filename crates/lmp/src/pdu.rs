@@ -1,9 +1,15 @@
 //! LMP PDU encoding.
 //!
 //! The subset of Link Manager Protocol messages the paper's model needs:
-//! connection setup, detach and the low-power mode requests. PDUs travel
-//! in DM1 payloads with LLID = 11 (LMP); the first byte carries the
-//! 7-bit opcode and the transaction-initiator bit (spec v1.2 Part C).
+//! connection setup, detach, the low-power mode requests and the v1.2
+//! adaptive-frequency-hopping exchange (`LMP_set_AFH` /
+//! `LMP_channel_classification`). PDUs travel in DM1 payloads with
+//! LLID = 11 (LMP); the first byte carries the 7-bit opcode and the
+//! transaction-initiator bit (spec v1.2 Part C). The channel
+//! classification PDU is carried as a direct opcode with a one-bit
+//! per-channel map — the spec routes it through the extended-opcode
+//! escape with two bits per channel; the model flattens both
+//! simplifications without losing the behaviour under study.
 
 /// Opcode values (spec v1.2 Part C, Table 5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,6 +35,10 @@ pub enum Opcode {
     HostConnectionReq = 51,
     /// Link setup finished.
     SetupComplete = 49,
+    /// Switch the piconet's AFH channel map at an announced instant.
+    SetAfh = 60,
+    /// A slave reports its channel classification to the master.
+    ChannelClassification = 63,
 }
 
 impl Opcode {
@@ -45,10 +55,14 @@ impl Opcode {
             45 => Opcode::ScoLinkReq,
             51 => Opcode::HostConnectionReq,
             49 => Opcode::SetupComplete,
+            60 => Opcode::SetAfh,
+            63 => Opcode::ChannelClassification,
             _ => return None,
         })
     }
 }
+
+use btsim_baseband::hop::{ChannelMap, CHANNEL_MAP_BYTES};
 
 /// A decoded LMP PDU.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +123,23 @@ pub enum Pdu {
     HostConnectionReq,
     /// `LMP_setup_complete`.
     SetupComplete,
+    /// `LMP_set_AFH(instant, mode, map)` — the master announces the AFH
+    /// channel map the piconet hops on from `instant` onward.
+    SetAfh {
+        /// Piconet slot at which both ends switch to the new map.
+        instant: u32,
+        /// AFH mode: `true` = enabled with `map`; `false` = disabled
+        /// (hop over all 79 channels again from `instant`).
+        enabled: bool,
+        /// The channel map (ignored, all-channels, when disabled).
+        map: ChannelMap,
+    },
+    /// `LMP_channel_classification(map)` — a slave reports which
+    /// channels it assesses as usable.
+    ChannelClassification {
+        /// Channels the slave considers good (`used`) vs bad.
+        map: ChannelMap,
+    },
 }
 
 impl Pdu {
@@ -125,6 +156,8 @@ impl Pdu {
             Pdu::ScoLinkReq { .. } => Opcode::ScoLinkReq,
             Pdu::HostConnectionReq => Opcode::HostConnectionReq,
             Pdu::SetupComplete => Opcode::SetupComplete,
+            Pdu::SetAfh { .. } => Opcode::SetAfh,
+            Pdu::ChannelClassification { .. } => Opcode::ChannelClassification,
         }
     }
 
@@ -166,6 +199,18 @@ impl Pdu {
                 out.extend_from_slice(&t_sco.to_le_bytes());
                 out.extend_from_slice(&d_sco.to_le_bytes());
                 out.push(*hv_type);
+            }
+            Pdu::SetAfh {
+                instant,
+                enabled,
+                map,
+            } => {
+                out.extend_from_slice(&instant.to_le_bytes());
+                out.push(*enabled as u8);
+                out.extend_from_slice(&map.to_bytes());
+            }
+            Pdu::ChannelClassification { map } => {
+                out.extend_from_slice(&map.to_bytes());
             }
             Pdu::UnsniffReq | Pdu::HostConnectionReq | Pdu::SetupComplete => {}
         }
@@ -220,6 +265,41 @@ impl Pdu {
             },
             Opcode::HostConnectionReq => Pdu::HostConnectionReq,
             Opcode::SetupComplete => Pdu::SetupComplete,
+            Opcode::SetAfh => {
+                let instant = u32::from_le_bytes([
+                    *rest.first()?,
+                    *rest.get(1)?,
+                    *rest.get(2)?,
+                    *rest.get(3)?,
+                ]);
+                let enabled = *rest.get(4)? != 0;
+                let mut bytes = [0u8; CHANNEL_MAP_BYTES];
+                for (k, b) in bytes.iter_mut().enumerate() {
+                    *b = *rest.get(5 + k)?;
+                }
+                // Wire-level guard: a map below the spec's Nmin = 20
+                // floor never reaches the hop kernel. A disable PDU
+                // carries the map field too but hops over all channels.
+                let map = if enabled {
+                    ChannelMap::from_bytes(&bytes).ok()?
+                } else {
+                    ChannelMap::all()
+                };
+                Pdu::SetAfh {
+                    instant,
+                    enabled,
+                    map,
+                }
+            }
+            Opcode::ChannelClassification => {
+                let mut bytes = [0u8; CHANNEL_MAP_BYTES];
+                for (k, b) in bytes.iter_mut().enumerate() {
+                    *b = *rest.get(k)?;
+                }
+                Pdu::ChannelClassification {
+                    map: ChannelMap::from_bytes(&bytes).ok()?,
+                }
+            }
         };
         Some((pdu, tid))
     }
@@ -269,6 +349,59 @@ mod tests {
         });
         roundtrip(Pdu::HostConnectionReq);
         roundtrip(Pdu::SetupComplete);
+        roundtrip(Pdu::SetAfh {
+            instant: 0x00C0_FFEE,
+            enabled: true,
+            map: ChannelMap::blocking(29..=50),
+        });
+        roundtrip(Pdu::ChannelClassification {
+            map: ChannelMap::blocking([0, 3, 7, 78]),
+        });
+    }
+
+    #[test]
+    fn set_afh_disable_carries_the_full_map() {
+        // A disable PDU hops over all 79 channels regardless of the map
+        // bytes on the wire.
+        let pdu = Pdu::SetAfh {
+            instant: 40,
+            enabled: false,
+            map: ChannelMap::all(),
+        };
+        let bytes = pdu.encode(false);
+        let (decoded, _) = Pdu::decode(&bytes).expect("decodes");
+        assert_eq!(decoded, pdu);
+    }
+
+    #[test]
+    fn afh_pdus_reject_thin_maps_at_the_wire() {
+        // Craft a set_AFH whose map keeps only 10 channels: the decoder
+        // must refuse it so the hop kernel never sees a sub-floor map.
+        let good = Pdu::SetAfh {
+            instant: 7,
+            enabled: true,
+            map: ChannelMap::blocking(29..=50),
+        }
+        .encode(false);
+        let mut thin = good.clone();
+        for b in &mut thin[6..16] {
+            *b = 0;
+        }
+        thin[6] = 0xFF;
+        thin[7] = 0x03; // 10 used channels
+        assert!(Pdu::decode(&thin).is_none(), "thin map must be rejected");
+        assert!(Pdu::decode(&good).is_some());
+        // Same guard on the classification report.
+        let report = Pdu::ChannelClassification {
+            map: ChannelMap::all(),
+        }
+        .encode(true);
+        let mut thin_report = report.clone();
+        for b in &mut thin_report[1..11] {
+            *b = 0;
+        }
+        assert!(Pdu::decode(&thin_report).is_none());
+        assert!(Pdu::decode(&report).is_some());
     }
 
     #[test]
@@ -287,6 +420,14 @@ mod tests {
                 t_sniff: u16::MAX,
                 attempt: u16::MAX,
                 timeout: u16::MAX,
+            },
+            Pdu::SetAfh {
+                instant: u32::MAX,
+                enabled: true,
+                map: ChannelMap::all(),
+            },
+            Pdu::ChannelClassification {
+                map: ChannelMap::all(),
             },
         ] {
             assert!(pdu.encode(true).len() <= 17, "{pdu:?}");

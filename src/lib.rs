@@ -72,9 +72,35 @@
 //! assert_eq!(sim.lc(bridge).slave_masters().len(), 2);
 //! ```
 //!
+//! The v1.2 adaptive-frequency-hopping loop is closed end to end (see
+//! `docs/AFH.md`): both ends of a link assess their reception outcomes
+//! per RF channel, the slave reports its classification over
+//! `LMP_channel_classification`, the master announces the combined map
+//! with `LMP_set_AFH`, and both basebands remap their hop sequences at
+//! the same announced instant — restoring goodput against a fixed-band
+//! 802.11 interferer:
+//!
+//! ```
+//! use btsim::channel::Interferer;
+//! use btsim::core::scenario::{AfhAdaptConfig, AfhAdaptScenario, Scenario};
+//! use btsim::core::AfhConfig;
+//!
+//! let out = AfhAdaptScenario::new(AfhAdaptConfig {
+//!     wlan: Interferer::wlan(40, 1.0), // 22 channels, always busy
+//!     afh: AfhConfig { enabled: true, assess_slots: 1_200, ..AfhConfig::default() },
+//!     window_slots: 1_200,
+//!     ..AfhAdaptConfig::default()
+//! })
+//! .run(11);
+//! assert!(out.switched, "map exchange completed");
+//! assert!(out.kbps_after > out.kbps_before, "goodput recovered");
+//! assert_eq!(out.jam_hits_after, 0.0, "adapted hops avoid the band");
+//! ```
+//!
 //! The paper's figures (and the extension experiments, including the
-//! `scat_*` scatternet ones) are registry entries — list them, run
-//! them by name, or add your own (see `docs/SCENARIOS.md`):
+//! `scat_*` scatternet ones and the `afh_adapt` coexistence-mitigation
+//! one) are registry entries — list them, run them by name, or add
+//! your own (see `docs/SCENARIOS.md`):
 //!
 //! ```
 //! use btsim::core::experiments::{registry, ExpOptions};

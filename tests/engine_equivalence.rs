@@ -15,11 +15,11 @@ use btsim::core::net::{
     BridgePlan, MultiPiconetConfig, MultiPiconetScenario, ScatternetConfig, ScatternetScenario,
 };
 use btsim::core::scenario::{
-    paper_config, GoodputConfig, GoodputScenario, HoldConfig, HoldScenario, InquiryConfig,
-    InquiryScenario, PageConfig, PageScenario, ParkConfig, ParkScenario, Scenario, ScoLinkConfig,
-    ScoLinkScenario, SniffConfig, SniffScenario,
+    paper_config, AfhAdaptConfig, AfhAdaptScenario, GoodputConfig, GoodputScenario, HoldConfig,
+    HoldScenario, InquiryConfig, InquiryScenario, PageConfig, PageScenario, ParkConfig,
+    ParkScenario, Scenario, ScoLinkConfig, ScoLinkScenario, SniffConfig, SniffScenario,
 };
-use btsim::core::{Engine, SimConfig, Simulator};
+use btsim::core::{AfhConfig, Engine, SimConfig, Simulator};
 use proptest::prelude::*;
 
 /// Everything observable about a finished simulation, as one string:
@@ -146,6 +146,28 @@ fn sco_scenario_is_engine_equivalent() {
             ber: 0.01,
             sim,
             ..ScoLinkConfig::default()
+        })
+    });
+}
+
+#[test]
+fn afh_adapt_scenario_is_engine_equivalent() {
+    // The full AFH loop — assessment traffic, the LMP map exchange
+    // riding the prioritized control queue, and the synchronized hop
+    // switch — must replay bit-identically: the switch instant and
+    // every post-switch hop channel depend on both engines agreeing on
+    // the exact interleaving of ticks, deliveries and LM polls.
+    assert_scenario_equivalent("afh_adapt", &[17, 18], |sim| {
+        AfhAdaptScenario::new(AfhAdaptConfig {
+            wlan: btsim::channel::Interferer::wlan(40, 0.6),
+            window_slots: 1_200,
+            afh: AfhConfig {
+                enabled: true,
+                assess_slots: 1_200,
+                ..AfhConfig::default()
+            },
+            sim,
+            ..AfhAdaptConfig::default()
         })
     });
 }
