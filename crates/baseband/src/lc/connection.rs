@@ -423,7 +423,7 @@ impl LinkController {
                 arqn: slave.link.take_arqn(),
                 seqn: slave.link.seqn_out,
             };
-            let bits = packet::encode(&keys, &header, &Payload::Sco(frame));
+            let bits = self.codec.encode(&keys, &header, &Payload::Sco(frame));
             let resp_at = now + SimDuration::SLOT;
             m.busy_until = resp_at + SimDuration::SLOT;
             m.awaiting = Some((m.slaves[idx].lt_addr, resp_at + SimDuration::SLOT));
@@ -492,7 +492,7 @@ impl LinkController {
                     arqn: false,
                     seqn: false,
                 };
-                let bits = packet::encode(&keys, &header, &Payload::None);
+                let bits = self.codec.encode(&keys, &header, &Payload::None);
                 m.busy_until = now + SimDuration::SLOT;
                 out.push(LcAction::Tx {
                     at: now,
@@ -544,7 +544,7 @@ impl LinkController {
             }
         }
         let lt = slave.lt_addr;
-        let bits = packet::encode(&keys, &header, &payload);
+        let bits = self.codec.encode(&keys, &header, &payload);
         let resp_at = now + SimDuration::from_slots(n_slots);
         m.busy_until = resp_at + SimDuration::SLOT;
         m.awaiting = Some((lt, resp_at + SimDuration::SLOT));
@@ -867,7 +867,9 @@ impl LinkController {
                     arqn: s.link.take_arqn(),
                     seqn: s.link.seqn_out,
                 };
-                let bits = packet::encode(&resp_keys, &resp_header, &Payload::Sco(frame));
+                let bits = self
+                    .codec
+                    .encode(&resp_keys, &resp_header, &Payload::Sco(frame));
                 s.busy_until = resp_at + SimDuration::SLOT;
                 let ch = conn_channel(
                     resp_clk,
@@ -934,7 +936,7 @@ impl LinkController {
                     ),
                 };
             let master = s.master;
-            let bits = packet::encode(&resp_keys, &resp_header, &resp_payload);
+            let bits = self.codec.encode(&resp_keys, &resp_header, &resp_payload);
             s.busy_until = resp_at + SimDuration::from_slots(resp_header.ptype.slots() as u64);
             let ch = conn_channel(resp_clk, master.hop_input(), afh.for_slot(resp_at.slots()));
             out.push(LcAction::Tx {

@@ -113,7 +113,7 @@ impl LinkController {
         }
         let kofs = self.train_kofs(now);
         let ch = hop::hop_channel(HopSequence::Inquiry { kofs }, clkn, GIAC_HOP_INPUT);
-        out.push(tx_action(now, ch, packet::encode_id(syncword::GIAC_LAP)));
+        out.push(tx_action(now, ch, self.codec.encode_id(syncword::GIAC_LAP)));
         // Listen for the response 625 µs after this ID, for half a slot
         // (an FHS that starts there is received to completion).
         out.push(LcAction::RxWindow {

@@ -454,6 +454,9 @@ pub struct LinkController {
     pub(crate) phase: LifePhase,
     /// Start tick of the current procedure (for train phase / timeout).
     pub(crate) proc_start_tick: u64,
+    /// Per-link packet encoder: cached access-code images + scratch
+    /// buffer, so steady-state traffic builds air images allocation-lean.
+    pub(crate) codec: packet::Codec,
 }
 
 impl LinkController {
@@ -476,6 +479,7 @@ impl LinkController {
             assessment: ChannelAssessment::new(),
             phase: LifePhase::Standby,
             proc_start_tick: 0,
+            codec: packet::Codec::new(),
         }
     }
 

@@ -214,7 +214,7 @@ impl LinkController {
                 let clke = self.clkn(now).offset_by(clke_offset);
                 let kofs = self.train_kofs(now);
                 let ch = hop::hop_channel(HopSequence::Page { kofs }, clke, target.hop_input());
-                out.push(tx_action(now, ch, packet::encode_id(target.lap())));
+                out.push(tx_action(now, ch, self.codec.encode_id(target.lap())));
                 out.push(LcAction::RxWindow {
                     from: now + SimDuration::SLOT,
                     until: Some(now + SimDuration::SLOT + SimDuration::HALF_SLOT),
@@ -388,7 +388,7 @@ impl LinkController {
                 out.push(tx_action(
                     resp_at,
                     rx.rf_channel,
-                    packet::encode_id(own_lap),
+                    self.codec.encode_id(own_lap),
                 ));
                 // Keep listening on the exchange channel for the FHS.
                 out.push(LcAction::RxWindow {
@@ -400,7 +400,7 @@ impl LinkController {
             Todo::Join { fhs, channel } => {
                 // FHS received: acknowledge with ID, join the piconet.
                 let ack_at = rx.start + SimDuration::SLOT;
-                out.push(tx_action(ack_at, channel, packet::encode_id(own_lap)));
+                out.push(tx_action(ack_at, channel, self.codec.encode_id(own_lap)));
                 out.push(LcAction::RxOff);
                 let clk_offset = own_at_fhs_start.offset_to(fhs.clock());
                 // Re-joining the same piconet replaces the old link; a

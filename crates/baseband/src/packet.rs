@@ -376,101 +376,175 @@ pub fn encode_id(lap: u32) -> BitVec {
     syncword::access_code(lap, false)
 }
 
+/// Per-link encoder state: memoized access-code images (the 72-bit
+/// access code is invariant per LAP, but costs a BCH encode to build)
+/// plus a scratch body buffer reused across calls, so a saturated ACL
+/// slot allocates only the returned air image.
+///
+/// [`LinkController`](crate::LinkController) owns one and routes every
+/// packet build through it; the free [`encode`] function wraps a fresh
+/// `Codec` for one-off callers and is bit-for-bit identical.
+#[derive(Debug, Clone, Default)]
+pub struct Codec {
+    /// Cached access codes keyed by `(lap, with_trailer)`. A device
+    /// talks to a handful of LAPs (its own CAC, peers' DACs, the GIAC),
+    /// so a linear scan beats hashing.
+    codes: Vec<(u32, bool, BitVec)>,
+    /// Reused body staging buffer (payload header + data + CRC).
+    scratch: BitVec,
+}
+
+impl Codec {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached access-code image for `lap`.
+    fn access_code(&mut self, lap: u32, with_trailer: bool) -> &BitVec {
+        let pos = self
+            .codes
+            .iter()
+            .position(|(l, t, _)| *l == lap && *t == with_trailer);
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                self.codes
+                    .push((lap, with_trailer, syncword::access_code(lap, with_trailer)));
+                self.codes.len() - 1
+            }
+        };
+        &self.codes[pos].2
+    }
+
+    /// Builds the air image of an ID packet for `lap` from the cache.
+    pub fn encode_id(&mut self, lap: u32) -> BitVec {
+        self.access_code(lap, false).clone()
+    }
+
+    /// Builds the full air image of a packet with a header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload does not match the packet type (wrong
+    /// variant or oversized data) — these are programming errors of the
+    /// caller.
+    pub fn encode(&mut self, keys: &LinkKeys, header: &Header, payload: &Payload) -> BitVec {
+        let mut whitener = Whitener::from_clk(keys.whiten);
+
+        // Header: 10 info + HEC, whitened, then FEC 1/3 — all three
+        // stages word-level: the 18 bits and their tripled 54-bit image
+        // stay in registers.
+        let info = header.info_bits();
+        let header_bits = (info as u64) | ((hec::hec(keys.uap, info) as u64) << 10);
+        let header_white = header_bits ^ whitener.next_bits(18);
+
+        // Body staging (scratch buffer, before whitening and FEC).
+        let body_bits = match payload {
+            Payload::None => {
+                assert!(
+                    matches!(header.ptype, PacketType::Null | PacketType::Poll),
+                    "payload required for {:?}",
+                    header.ptype
+                );
+                let mut air = BitVec::with_capacity(72 + HEADER_AIR_BITS);
+                air.extend_bits(self.access_code(keys.lap, true));
+                air.push_bits_lsb(fec::trip_bits(header_white, 18), HEADER_AIR_BITS as u32);
+                return air;
+            }
+            Payload::Fhs(fhs) => {
+                assert_eq!(header.ptype, PacketType::Fhs);
+                self.scratch.clear();
+                self.scratch.extend_bits(&fhs.pack());
+                crc::append_crc(keys.uap, &mut self.scratch);
+                self.scratch.len()
+            }
+            Payload::Acl { llid, flow, data } => {
+                assert!(
+                    header.ptype.is_acl_data(),
+                    "not an ACL type: {:?}",
+                    header.ptype
+                );
+                assert!(
+                    data.len() <= header.ptype.max_user_bytes(),
+                    "payload of {} bytes exceeds {:?} capacity",
+                    data.len(),
+                    header.ptype
+                );
+                self.scratch.clear();
+                match header.ptype.payload_header_bytes() {
+                    1 => {
+                        let h = (llid.code() as u64)
+                            | ((*flow as u64) << 2)
+                            | ((data.len() as u64 & 0x1F) << 3);
+                        self.scratch.push_bits_lsb(h, 8);
+                    }
+                    2 => {
+                        let h = (llid.code() as u64)
+                            | ((*flow as u64) << 2)
+                            | ((data.len() as u64 & 0x1FF) << 3);
+                        self.scratch.push_bits_lsb(h, 16);
+                    }
+                    n => unreachable!("ACL payload header of {n} bytes"),
+                }
+                self.scratch.push_bytes_lsb(data);
+                if header.ptype.has_crc() {
+                    crc::append_crc(keys.uap, &mut self.scratch);
+                }
+                self.scratch.len()
+            }
+            Payload::Sco(data) => {
+                assert_eq!(
+                    data.len(),
+                    header.ptype.max_user_bytes(),
+                    "SCO payloads are fixed-size"
+                );
+                self.scratch.clear();
+                self.scratch.push_bytes_lsb(data);
+                self.scratch.len()
+            }
+        };
+
+        // Whitening continues the header's stream over the body, XORed
+        // in place in 64-bit words.
+        whitener.xor_into(&mut self.scratch);
+
+        let fec23 = match header.ptype {
+            PacketType::Fhs => keys.fhs_fec,
+            t => t.fec23(),
+        };
+        let coded_bits = if header.ptype == PacketType::Hv1 {
+            body_bits * 3
+        } else if fec23 {
+            body_bits.div_ceil(10) * 15
+        } else {
+            body_bits
+        };
+        let mut air = BitVec::with_capacity(72 + HEADER_AIR_BITS + coded_bits);
+        air.extend_bits(self.access_code(keys.lap, true));
+        air.push_bits_lsb(fec::trip_bits(header_white, 18), HEADER_AIR_BITS as u32);
+        if header.ptype == PacketType::Hv1 {
+            fec::fec13_encode_into(&self.scratch, &mut air);
+        } else if fec23 {
+            fec::fec23_encode_into(&self.scratch, &mut air);
+        } else {
+            air.extend_bits(&self.scratch);
+        }
+        air
+    }
+}
+
 /// Builds the full air image of a packet with a header.
+///
+/// One-off form of [`Codec::encode`] (no access-code cache or scratch
+/// reuse); hot paths should hold a [`Codec`] instead.
 ///
 /// # Panics
 ///
 /// Panics if the payload does not match the packet type (wrong variant or
 /// oversized data) — these are programming errors of the caller.
 pub fn encode(keys: &LinkKeys, header: &Header, payload: &Payload) -> BitVec {
-    let mut air = syncword::access_code(keys.lap, true);
-    let mut whitener = Whitener::from_clk(keys.whiten);
-
-    // Header: 10 info + HEC, whiten, FEC 1/3.
-    let info = header.info_bits();
-    let mut header_bits = BitVec::with_capacity(18);
-    header_bits.push_bits_lsb(info as u64, 10);
-    header_bits.push_bits_lsb(hec::hec(keys.uap, info) as u64, 8);
-    let header_white = whitener.apply(&header_bits);
-    air.extend_bits(&fec::fec13_encode(&header_white));
-
-    // Payload chain.
-    let body = match payload {
-        Payload::None => {
-            assert!(
-                matches!(header.ptype, PacketType::Null | PacketType::Poll),
-                "payload required for {:?}",
-                header.ptype
-            );
-            return air;
-        }
-        Payload::Fhs(fhs) => {
-            assert_eq!(header.ptype, PacketType::Fhs);
-            let mut b = fhs.pack();
-            crc::append_crc(keys.uap, &mut b);
-            b
-        }
-        Payload::Acl { llid, flow, data } => {
-            assert!(
-                header.ptype.is_acl_data(),
-                "not an ACL type: {:?}",
-                header.ptype
-            );
-            assert!(
-                data.len() <= header.ptype.max_user_bytes(),
-                "payload of {} bytes exceeds {:?} capacity",
-                data.len(),
-                header.ptype
-            );
-            let mut b = BitVec::new();
-            match header.ptype.payload_header_bytes() {
-                1 => {
-                    let h = (llid.code() as u64)
-                        | ((*flow as u64) << 2)
-                        | ((data.len() as u64 & 0x1F) << 3);
-                    b.push_bits_lsb(h, 8);
-                }
-                2 => {
-                    let h = (llid.code() as u64)
-                        | ((*flow as u64) << 2)
-                        | ((data.len() as u64 & 0x1FF) << 3);
-                    b.push_bits_lsb(h, 16);
-                }
-                n => unreachable!("ACL payload header of {n} bytes"),
-            }
-            for &byte in data {
-                b.push_bits_lsb(byte as u64, 8);
-            }
-            if header.ptype.has_crc() {
-                crc::append_crc(keys.uap, &mut b);
-            }
-            b
-        }
-        Payload::Sco(data) => {
-            assert_eq!(
-                data.len(),
-                header.ptype.max_user_bytes(),
-                "SCO payloads are fixed-size"
-            );
-            BitVec::from_bytes_lsb(data)
-        }
-    };
-
-    let white = whitener.apply(&body);
-    let coded = match header.ptype {
-        PacketType::Hv1 => fec::fec13_encode(&white),
-        PacketType::Fhs => {
-            if keys.fhs_fec {
-                fec::fec23_encode(&white)
-            } else {
-                white
-            }
-        }
-        t if t.fec23() => fec::fec23_encode(&white),
-        _ => white,
-    };
-    air.extend_bits(&coded);
-    air
+    Codec::new().encode(keys, header, payload)
 }
 
 /// Why a reception failed to decode.
@@ -896,6 +970,55 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn codec_reuse_matches_one_off_encode() {
+        // A reused Codec (cached access code, dirty scratch from prior
+        // packets of other types/sizes) must emit byte-identical images.
+        let mut codec = Codec::new();
+        let mut jobs: Vec<(LinkKeys, Header, Payload)> = Vec::new();
+        let mut k2 = keys();
+        k2.lap = 0x11_22_33;
+        k2.whiten = 0x01;
+        for (i, t) in [
+            PacketType::Dm1,
+            PacketType::Dh5,
+            PacketType::Null,
+            PacketType::Hv1,
+            PacketType::Dm5,
+            PacketType::Fhs,
+            PacketType::Poll,
+            PacketType::Hv3,
+            PacketType::Dm1,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let keys = if i % 2 == 0 { keys() } else { k2 };
+            let payload = match t {
+                PacketType::Null | PacketType::Poll => Payload::None,
+                PacketType::Fhs => Payload::Fhs(fhs_payload()),
+                PacketType::Hv1 | PacketType::Hv3 => {
+                    Payload::Sco(vec![i as u8; t.max_user_bytes()])
+                }
+                _ => Payload::Acl {
+                    llid: Llid::Start,
+                    flow: false,
+                    data: vec![0xA0 | i as u8; t.max_user_bytes() - i],
+                },
+            };
+            jobs.push((keys, header(t), payload));
+        }
+        for (keys, header, payload) in &jobs {
+            assert_eq!(
+                codec.encode(keys, header, payload),
+                encode(keys, header, payload),
+                "{:?}",
+                header.ptype
+            );
+        }
+        assert_eq!(codec.encode_id(keys().lap), encode_id(keys().lap));
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Hot-path microbenchmarks + the saturated-traffic acceptance gate,
+//! written to `BENCH_hotpath.json` so CI tracks the per-packet cost per
+//! commit (methodology: `docs/PERF.md`).
+//!
+//! ```text
+//! cargo run --release -p btsim-bench --bin bench_hotpath [--quick] [--json PATH]
+//! ```
+//!
+//! The saturated section always measures **both** engines (that is the
+//! point of the gate), so the common `--engine` flag is ignored here.
+//!
+//! Three sections:
+//!
+//! * **coding** — ns/op of the word-parallel codecs (whitening, FEC 1/3,
+//!   FEC 2/3, CRC-16, packet encode/decode) over DH5/DM5-sized images;
+//! * **medium** — `begin_tx` + `receive` µs/packet as co-channel and
+//!   cross-channel retained traffic grows (the bucket index keeps the
+//!   co-channel scan from degrading with total retained traffic);
+//! * **saturated** — slots per wall-second of an ACL-saturated link under
+//!   *both* engines, with a smoke assertion that the slots/sec figure is
+//!   nonzero and that the two engines finished bit-exactly (event log,
+//!   TX stats, measured BER and RNG fingerprints all equal). A violation
+//!   exits nonzero, so CI fails on a silently diverging fast path.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use btsim_baseband::packet::{self, Header, LinkKeys, Payload};
+use btsim_baseband::{LcCommand, Llid, PacketType};
+use btsim_bench::connected_pair;
+use btsim_channel::{ChannelConfig, Medium};
+use btsim_coding::{crc, fec, syncword, BitVec, Whitener};
+use btsim_core::{Engine, Simulator};
+use btsim_kernel::{SimDuration, SimRng, SimTime};
+use btsim_stats::JsonValue;
+
+/// Times `op` repeatedly and returns ns per iteration (best of 3 samples).
+fn time_ns(iters: u64, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        best = best.min(started.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn coding_rows(iters: u64) -> Vec<JsonValue> {
+    let dh5_body = BitVec::from_fn(2728, |i| i % 3 == 0); // DH5 framed payload
+    let dm5_body = BitVec::from_fn(1810, |i| i % 5 < 2); // DM5 framed payload
+    let dm5_coded = fec::fec23_encode(&dm5_body);
+    let header = BitVec::from_fn(18, |i| i % 2 == 0);
+    let header_coded = fec::fec13_encode(&header);
+    let keys = LinkKeys {
+        lap: 0x2C7F91,
+        uap: 0x47,
+        whiten: 0x15,
+        sync_threshold: syncword::DEFAULT_SYNC_THRESHOLD,
+        fhs_fec: true,
+    };
+    let dh5 = Header {
+        lt_addr: 1,
+        ptype: PacketType::Dh5,
+        flow: true,
+        arqn: false,
+        seqn: false,
+    };
+    let payload = Payload::Acl {
+        llid: Llid::Start,
+        flow: false,
+        data: vec![0xA5; 339],
+    };
+    let mut codec = packet::Codec::new();
+    let air = codec.encode(&keys, &dh5, &payload);
+    let ops: Vec<(&str, f64)> = vec![
+        (
+            "whiten_2728b",
+            time_ns(iters, || {
+                std::hint::black_box(Whitener::from_clk(0x15).whiten(&dh5_body));
+            }),
+        ),
+        (
+            "fec13_encode_18b",
+            time_ns(iters * 8, || {
+                std::hint::black_box(fec::fec13_encode(&header));
+            }),
+        ),
+        (
+            "fec13_decode_54b",
+            time_ns(iters * 8, || {
+                std::hint::black_box(fec::fec13_decode(&header_coded));
+            }),
+        ),
+        (
+            "fec23_encode_1810b",
+            time_ns(iters, || {
+                std::hint::black_box(fec::fec23_encode(&dm5_body));
+            }),
+        ),
+        (
+            "fec23_decode_2715b",
+            time_ns(iters, || {
+                std::hint::black_box(fec::fec23_decode(&dm5_coded));
+            }),
+        ),
+        (
+            "crc16_2728b",
+            time_ns(iters, || {
+                std::hint::black_box(crc::crc16_bits(0x47, &dh5_body));
+            }),
+        ),
+        (
+            "encode_dh5",
+            time_ns(iters, || {
+                std::hint::black_box(codec.encode(&keys, &dh5, &payload));
+            }),
+        ),
+        (
+            "decode_dh5",
+            time_ns(iters, || {
+                std::hint::black_box(packet::decode(&air, None, &keys).expect("clean"));
+            }),
+        ),
+    ];
+    println!("{:<22} {:>12}", "coding op", "ns/op");
+    ops.iter().for_each(|(n, v)| println!("{n:<22} {v:>12.0}"));
+    ops.into_iter()
+        .map(|(name, ns)| {
+            JsonValue::Obj(vec![
+                ("op".to_string(), JsonValue::from(name)),
+                ("ns_per_op".to_string(), JsonValue::from(ns)),
+            ])
+        })
+        .collect()
+}
+
+/// One steady-state `begin_tx` + `receive` + `gc` round trip per
+/// iteration, with the retention window sized to keep `retained`
+/// transmissions registered. `spread` rotates the traffic over all 79
+/// RF channels (each bucket stays near-empty); `!spread` keeps it on
+/// one channel (the co-channel scan's worst case).
+fn medium_rows(iters: u64) -> Vec<JsonValue> {
+    let mut rows = Vec::new();
+    println!("{:<28} {:>14}", "medium workload", "us/packet");
+    for (retained, spread) in [(1usize, false), (64, false), (512, false), (512, true)] {
+        let mut m = Medium::new(ChannelConfig::default(), SimRng::new(7));
+        let bits = BitVec::from_fn(366, |i| i % 2 == 0);
+        let retention = SimDuration::from_us(retained as u64 * 1000);
+        let mut at = SimTime::ZERO;
+        let mut ch = 0u8;
+        let ns = time_ns(iters.max(retained as u64 * 2), || {
+            let tx = m.begin_tx(0, if spread { ch } else { 40 }, at, bits.clone());
+            std::hint::black_box(m.receive(tx).expect("retained"));
+            m.gc(at, retention);
+            at = at + SimDuration::from_us(1000);
+            ch = (ch + 1) % 79;
+        });
+        let label = format!(
+            "tx_rx_gc_retain{retained}_{}",
+            if spread { "spread79" } else { "cochannel" }
+        );
+        println!("{label:<28} {:>14.2}", ns / 1000.0);
+        rows.push(JsonValue::Obj(vec![
+            ("workload".to_string(), JsonValue::from(label.as_str())),
+            ("retained".to_string(), JsonValue::from(retained as u64)),
+            ("us_per_packet".to_string(), JsonValue::from(ns / 1000.0)),
+        ]));
+    }
+    rows
+}
+
+/// Digest of everything deterministic about a finished simulation.
+fn digest(sim: &Simulator) -> String {
+    format!(
+        "now={:?} events={:?} tx={:?} ber={} rng={:#x}",
+        sim.now(),
+        sim.events(),
+        sim.tx_stats(),
+        sim.measured_ber(),
+        sim.rng_fingerprint(),
+    )
+}
+
+/// Runs the ACL-saturated window under `engine`; returns (slots/sec,
+/// digest).
+fn saturated(engine: Engine, slots: u64) -> (f64, String) {
+    let (mut sim, lt) = connected_pair(15, engine);
+    sim.command(0, LcCommand::SetTpoll(2));
+    sim.command(
+        0,
+        LcCommand::AclData {
+            lt_addr: lt,
+            data: vec![0x5A; slots as usize * 9],
+        },
+    );
+    let end = sim.now() + SimDuration::from_slots(slots);
+    let started = Instant::now();
+    sim.run_until(end);
+    let per_sec = slots as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    (per_sec, digest(&sim))
+}
+
+fn main() -> ExitCode {
+    let opts = btsim_bench::parse_cli();
+    let quick = opts.exp.runs <= btsim_core::experiments::ExpOptions::quick().runs;
+    let iters: u64 = if quick { 200 } else { 2_000 };
+    let slots: u64 = if quick { 4_000 } else { 20_000 };
+
+    let coding = coding_rows(iters);
+    let medium = medium_rows(iters);
+
+    let (lockstep_rate, lockstep_digest) = saturated(Engine::Lockstep, slots);
+    let (event_rate, event_digest) = saturated(Engine::EventDriven, slots);
+    println!("{:<28} {:>14}", "saturated workload", "slots/s");
+    println!("{:<28} {lockstep_rate:>14.0}", "acl_saturated_lockstep");
+    println!("{:<28} {event_rate:>14.0}", "acl_saturated_event");
+
+    let doc = JsonValue::Obj(vec![
+        ("coding_hotpath".to_string(), JsonValue::Arr(coding)),
+        ("medium_scaling".to_string(), JsonValue::Arr(medium)),
+        (
+            "saturated".to_string(),
+            JsonValue::Obj(vec![
+                ("slots".to_string(), JsonValue::from(slots)),
+                (
+                    "lockstep_slots_per_sec".to_string(),
+                    JsonValue::from(lockstep_rate),
+                ),
+                (
+                    "event_slots_per_sec".to_string(),
+                    JsonValue::from(event_rate),
+                ),
+                (
+                    "engines_bit_exact".to_string(),
+                    JsonValue::Bool(lockstep_digest == event_digest),
+                ),
+            ]),
+        ),
+    ]);
+    let path = opts.json.as_deref().unwrap_or("BENCH_hotpath.json");
+    btsim_bench::write_artifact(path, &format!("{}\n", doc.render()));
+
+    // Smoke assertions: the acceptance gate CI relies on.
+    if lockstep_rate <= 0.0 || event_rate <= 0.0 {
+        eprintln!("error: saturated slots/sec is zero");
+        return ExitCode::FAILURE;
+    }
+    if lockstep_digest != event_digest {
+        eprintln!("error: engines diverged on the saturated workload");
+        eprintln!("lockstep: {lockstep_digest}");
+        eprintln!("event:    {event_digest}");
+        return ExitCode::FAILURE;
+    }
+    println!("saturated row nonzero and engines bit-exact: OK");
+    ExitCode::SUCCESS
+}

@@ -290,7 +290,17 @@ impl Reception {
 pub struct Medium {
     cfg: ChannelConfig,
     rng: SimRng,
-    live: Vec<Transmission>,
+    /// Retained transmissions, bucketed by RF channel. Collisions,
+    /// carrier sensing and wire probes only ever look at co-channel
+    /// traffic, so each query scans one bucket instead of everything
+    /// on the air. Within a bucket ids are monotone (appended in
+    /// registration order), so lookups binary-search.
+    channels: Vec<Vec<Transmission>>,
+    /// Registration-ordered directory `(id, rf_channel, end)` of every
+    /// retained transmission, for O(log n) [`Medium::find`] by id. The
+    /// `end` copy lets [`Medium::gc`] retain the directory with the
+    /// same predicate as the buckets.
+    directory: Vec<(TxId, u8, SimTime)>,
     next_id: u64,
     total_flipped: u64,
     total_bits: u64,
@@ -304,7 +314,8 @@ impl Medium {
         Self {
             cfg,
             rng,
-            live: Vec::new(),
+            channels: (0..RF_CHANNELS).map(|_| Vec::new()).collect(),
+            directory: Vec::new(),
             next_id: 0,
             total_flipped: 0,
             total_bits: 0,
@@ -361,20 +372,21 @@ impl Medium {
         // still-live transmission marks both sides, once each. The
         // retention window far exceeds a packet's air time, so the
         // earlier partner of every overlap is always still registered.
+        // Only the co-channel bucket is scanned.
         let end = start + SimDuration::from_bits(noisy.len());
         let mut collided = false;
-        for other in &mut self.live {
-            if other.rf_channel == rf_channel && other.start < end && other.end() > start {
+        let q = &mut self.quality.counters[rf_channel as usize];
+        for other in &mut self.channels[rf_channel as usize] {
+            if other.start < end && other.end() > start {
                 collided = true;
                 if !other.counted_collided {
                     other.counted_collided = true;
                     self.tx_stats.collided += 1;
-                    self.quality.counters[other.rf_channel as usize].collided += 1;
+                    q.collided += 1;
                 }
             }
         }
         self.tx_stats.transmissions += 1;
-        let q = &mut self.quality.counters[rf_channel as usize];
         q.transmissions += 1;
         if collided {
             self.tx_stats.collided += 1;
@@ -386,7 +398,8 @@ impl Medium {
         }
         let id = TxId(self.next_id);
         self.next_id += 1;
-        self.live.push(Transmission {
+        self.directory.push((id, rf_channel, end));
+        self.channels[rf_channel as usize].push(Transmission {
             id,
             source,
             rf_channel,
@@ -436,45 +449,47 @@ impl Medium {
     /// Must be called at or after the transmission's end so that every
     /// colliding transmission is already registered. Returns `None` if the
     /// id was already garbage collected.
+    ///
+    /// The transmission stays registered (later `begin_tx` calls within
+    /// the retention window still collide against it), so its bit image
+    /// is cloned exactly once into the returned [`Reception`]; masks are
+    /// built with ranged word fills over the co-channel bucket only.
     pub fn receive(&mut self, id: TxId) -> Option<Reception> {
-        let tx = self.find(id)?.clone();
-        let mut mask: Option<BitVec> = None;
-        if tx.jammed {
+        let tx = self.find(id)?;
+        let len = tx.noisy_bits.len();
+        let (tx_start, tx_end) = (tx.start, tx.end());
+        let mut mask: Option<BitVec> = if tx.jammed {
             // The interferer burst covers the whole packet.
-            let mut full = BitVec::zeros(tx.noisy_bits.len());
-            for i in 0..full.len() {
-                full.set(i, true);
-            }
-            mask = Some(full);
-        }
-        for other in &self.live {
-            if other.id == id || other.rf_channel != tx.rf_channel {
+            Some(BitVec::ones(len))
+        } else {
+            None
+        };
+        for other in &self.channels[tx.rf_channel as usize] {
+            if other.id == id {
                 continue;
             }
             let o_start = other.start;
             let o_end = other.end();
-            if o_end <= tx.start || o_start >= tx.end() {
+            if o_end <= tx_start || o_start >= tx_end {
                 continue;
             }
-            let mask = mask.get_or_insert_with(|| BitVec::zeros(tx.noisy_bits.len()));
+            let mask = mask.get_or_insert_with(|| BitVec::zeros(len));
             // Mark the overlapped bit span [lo, hi).
-            let lo = o_start.since(tx.start).ns() / SimDuration::SYMBOL.ns();
+            let lo = o_start.since(tx_start).ns() / SimDuration::SYMBOL.ns();
             let hi = o_end
-                .since(tx.start)
+                .since(tx_start)
                 .ns()
                 .div_ceil(SimDuration::SYMBOL.ns());
-            for b in lo..hi.min(tx.noisy_bits.len() as u64) {
-                mask.set(b as usize, true);
-            }
+            mask.fill_range(lo as usize, hi.min(len as u64) as usize);
         }
         Some(Reception {
             tx_id: tx.id,
             source: tx.source,
             rf_channel: tx.rf_channel,
-            start: tx.start,
-            end: tx.end(),
-            available_at: tx.end() + self.cfg.modem_delay,
-            bits: tx.noisy_bits,
+            start: tx_start,
+            end: tx_end,
+            available_at: tx_end + self.cfg.modem_delay,
+            bits: tx.noisy_bits.clone(),
             collision_mask: mask,
         })
     }
@@ -493,9 +508,9 @@ impl Medium {
     pub fn busy(&self, rf_channel: u8, from: SimTime, to: SimTime) -> bool {
         self.jam_duty(rf_channel) >= 1.0
             || self
-                .live
-                .iter()
-                .any(|t| t.rf_channel == rf_channel && t.start < to && t.end() > from)
+                .channels
+                .get(rf_channel as usize)
+                .is_some_and(|b| b.iter().any(|t| t.start < to && t.end() > from))
     }
 
     /// The resolved four-valued value of the medium at `at` on `rf_channel`.
@@ -510,8 +525,11 @@ impl Medium {
         if self.jam_duty(rf_channel) >= 1.0 {
             return Wire::X;
         }
-        Wire::resolve(self.live.iter().filter_map(|t| {
-            if t.rf_channel != rf_channel || at < t.start || at >= t.end() {
+        let Some(bucket) = self.channels.get(rf_channel as usize) else {
+            return Wire::Z;
+        };
+        Wire::resolve(bucket.iter().filter_map(|t| {
+            if at < t.start || at >= t.end() {
                 return None;
             }
             if t.jammed {
@@ -528,7 +546,10 @@ impl Medium {
     /// longest listener window so receptions are still materialisable.
     pub fn gc(&mut self, now: SimTime, retention: SimDuration) {
         let cutoff = now - retention;
-        self.live.retain(|t| t.end() >= cutoff);
+        for bucket in &mut self.channels {
+            bucket.retain(|t| t.end() >= cutoff);
+        }
+        self.directory.retain(|(_, _, end)| *end >= cutoff);
     }
 
     /// Digest of the noise stream's RNG position (see
@@ -549,11 +570,16 @@ impl Medium {
 
     /// Number of retained transmissions.
     pub fn live_count(&self) -> usize {
-        self.live.len()
+        self.directory.len()
     }
 
+    /// Looks a retained transmission up by id: a binary search over the
+    /// monotone directory for its channel, then one over the bucket.
     fn find(&self, id: TxId) -> Option<&Transmission> {
-        self.live.iter().find(|t| t.id == id)
+        let dir = &self.directory;
+        let ch = dir[dir.binary_search_by_key(&id, |e| e.0).ok()?].1;
+        let bucket = &self.channels[ch as usize];
+        Some(&bucket[bucket.binary_search_by_key(&id, |t| t.id).ok()?])
     }
 }
 

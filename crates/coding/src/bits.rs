@@ -49,6 +49,16 @@ impl BitVec {
         }
     }
 
+    /// Creates a vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut words = vec![!0u64; len.div_ceil(64)];
+        let tail = len % 64;
+        if tail != 0 {
+            *words.last_mut().expect("len > 0 when tail > 0") &= (1u64 << tail) - 1;
+        }
+        Self { words, len }
+    }
+
     /// Creates a vector of `len` bits produced by `f(index)`.
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
         let mut v = Self::with_capacity(len);
@@ -61,8 +71,12 @@ impl BitVec {
     /// Builds a vector from bytes, least-significant bit of `bytes[0]` first.
     pub fn from_bytes_lsb(bytes: &[u8]) -> Self {
         let mut v = Self::with_capacity(bytes.len() * 8);
-        for &b in bytes {
-            v.push_bits_lsb(b as u64, 8);
+        for chunk in bytes.chunks(8) {
+            let mut w = 0u64;
+            for (k, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << (8 * k);
+            }
+            v.push_bits_lsb(w, 8 * chunk.len() as u32);
         }
         v
     }
@@ -111,8 +125,35 @@ impl BitVec {
     /// Panics if `n > 64`.
     pub fn push_bits_lsb(&mut self, value: u64, n: u32) {
         assert!(n <= 64, "cannot push more than 64 bits at once");
-        for i in 0..n {
-            self.push((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(value);
+        } else {
+            *self.words.last_mut().expect("off > 0 implies a last word") |= value << off;
+            if off + n as usize > 64 {
+                self.words.push(value >> (64 - off));
+            }
+        }
+        self.len += n as usize;
+    }
+
+    /// Appends bytes, least-significant bit of `bytes[0]` first — the
+    /// append form of [`BitVec::from_bytes_lsb`], 8 bytes per step.
+    pub fn push_bytes_lsb(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut w = 0u64;
+            for (k, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << (8 * k);
+            }
+            self.push_bits_lsb(w, 8 * chunk.len() as u32);
         }
     }
 
@@ -166,19 +207,34 @@ impl BitVec {
     /// Panics if `n > 64`.
     pub fn bits_lsb(&self, index: usize, n: u32) -> u64 {
         assert!(n <= 64, "cannot read more than 64 bits at once");
-        let mut out = 0u64;
-        for i in 0..n as usize {
-            if let Some(true) = self.get(index + i) {
-                out |= 1u64 << i;
-            }
+        if n == 0 {
+            return 0;
         }
-        out
+        // Words hold no set bits at or past `len` (every mutator keeps
+        // that invariant), so zero-filling past the end is automatic.
+        let word = index / 64;
+        let off = index % 64;
+        let lo = self.words.get(word).copied().unwrap_or(0) >> off;
+        let out = if off + n as usize > 64 {
+            // n <= 64 and off + n > 64 imply off > 0, so 64 - off < 64.
+            lo | (self.words.get(word + 1).copied().unwrap_or(0) << (64 - off))
+        } else {
+            lo
+        };
+        if n == 64 {
+            out
+        } else {
+            out & ((1u64 << n) - 1)
+        }
     }
 
-    /// Appends every bit of `other`.
+    /// Appends every bit of `other` (word-wise, 64 bits at a step).
     pub fn extend_bits(&mut self, other: &BitVec) {
-        for b in other.iter() {
-            self.push(b);
+        let mut i = 0;
+        while i < other.len {
+            let n = (other.len - i).min(64) as u32;
+            self.push_bits_lsb(other.bits_lsb(i, n), n);
+            i += n as usize;
         }
     }
 
@@ -189,7 +245,73 @@ impl BitVec {
     /// Panics if the range exceeds the vector length.
     pub fn slice(&self, start: usize, len: usize) -> BitVec {
         assert!(start + len <= self.len, "slice out of range");
-        BitVec::from_fn(len, |i| self.get(start + i).unwrap())
+        let mut v = BitVec::with_capacity(len);
+        let mut i = 0;
+        while i < len {
+            let n = (len - i).min(64) as u32;
+            v.push_bits_lsb(self.bits_lsb(start + i, n), n);
+            i += n as usize;
+        }
+        v
+    }
+
+    /// Sets every bit in `[lo, hi)` in word-sized strokes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > len`.
+    pub fn fill_range(&mut self, lo: usize, hi: usize) {
+        assert!(lo <= hi, "fill_range bounds reversed: {lo} > {hi}");
+        assert!(
+            hi <= self.len,
+            "fill_range end {hi} out of range {}",
+            self.len
+        );
+        if lo == hi {
+            return;
+        }
+        let (wl, ol) = (lo / 64, lo % 64);
+        let wh = hi / 64;
+        let oh = hi % 64;
+        if wl == wh {
+            // Same word: hi - lo < 64 here (a full 64-bit span crosses).
+            self.words[wl] |= ((1u64 << (hi - lo)) - 1) << ol;
+        } else {
+            self.words[wl] |= !0u64 << ol;
+            for w in &mut self.words[wl + 1..wh] {
+                *w = !0;
+            }
+            if oh != 0 {
+                self.words[wh] |= (1u64 << oh) - 1;
+            }
+        }
+    }
+
+    /// XORs `words` into the vector word-by-word starting at bit 0.
+    ///
+    /// Stream bits at or past `len` are ignored (the tail word is
+    /// masked), so a generator may hand over its last word unmasked.
+    pub fn xor_words(&mut self, words: &[u64]) {
+        let n = self.words.len().min(words.len());
+        for (dst, src) in self.words[..n].iter_mut().zip(words) {
+            *dst ^= src;
+        }
+        let tail = self.len % 64;
+        if tail != 0 && n == self.words.len() {
+            *self.words.last_mut().expect("n > 0") &= (1u64 << tail) - 1;
+        }
+    }
+
+    /// Empties the vector, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Mutable word access for in-crate streaming XORs. Callers must
+    /// keep bits at or past `len` zero.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Iterates over the bits in transmission order.

@@ -8,6 +8,50 @@
 /// Feedback taps of g(D) = D⁸ + D⁷ + D⁵ + D² + D + 1 without the D⁸ term.
 const HEC_TAPS: u8 = 0b1010_0111;
 
+/// Bit-serial reference: clocks the ten info bits through the LFSR.
+/// The LFSR update is linear over GF(2) in (register, input), so the
+/// lookup tables below are exact by superposition; `const` so they are
+/// derived from this definition at compile time.
+const fn hec_serial(uap: u8, info: u16) -> u8 {
+    let mut reg = uap;
+    let mut i = 0;
+    while i < 10 {
+        let bit = ((info >> i) & 1) as u8;
+        let fb = (reg >> 7) ^ bit;
+        reg <<= 1;
+        if fb & 1 == 1 {
+            reg ^= HEC_TAPS;
+        }
+        i += 1;
+    }
+    reg
+}
+
+/// `UAP_ADV[u]`: the register after clocking ten zero bits from `u`.
+const fn build_uap_adv() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut u = 0usize;
+    while u < 256 {
+        t[u] = hec_serial(u as u8, 0);
+        u += 1;
+    }
+    t
+}
+
+/// `INFO_HEC[i]`: the HEC of info word `i` from a zero register.
+const fn build_info_hec() -> [u8; 1024] {
+    let mut t = [0u8; 1024];
+    let mut i = 0usize;
+    while i < 1024 {
+        t[i] = hec_serial(0, i as u16);
+        i += 1;
+    }
+    t
+}
+
+const UAP_ADV: [u8; 256] = build_uap_adv();
+const INFO_HEC: [u8; 1024] = build_info_hec();
+
 /// Computes the HEC of the ten header information bits.
 ///
 /// `info` holds the bits LSB-first in transmission order; only the low ten
@@ -23,16 +67,7 @@ const HEC_TAPS: u8 = 0b1010_0111;
 /// assert!(!hec::check(0x47, 0b10_1100_0100, h));
 /// ```
 pub fn hec(uap: u8, info: u16) -> u8 {
-    let mut reg = uap;
-    for i in 0..10 {
-        let bit = ((info >> i) & 1) as u8;
-        let fb = (reg >> 7) ^ bit;
-        reg <<= 1;
-        if fb & 1 == 1 {
-            reg ^= HEC_TAPS;
-        }
-    }
-    reg
+    UAP_ADV[uap as usize] ^ INFO_HEC[(info & 0x3FF) as usize]
 }
 
 /// Verifies a received `(info, hec)` pair against the expected `uap`.
@@ -43,6 +78,18 @@ pub fn check(uap: u8, info: u16, received_hec: u8) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table_split_matches_bit_serial_reference() {
+        for uap in 0..=255u8 {
+            for info in [0u16, 1, 0x155, 0x2AA, 0x3FF, 0x123, 0x08C] {
+                assert_eq!(hec(uap, info), hec_serial(uap, info), "{uap:#x}/{info:#x}");
+            }
+        }
+        for info in 0..1024u16 {
+            assert_eq!(hec(0x9E, info), hec_serial(0x9E, info), "{info:#x}");
+        }
+    }
 
     #[test]
     fn valid_pair_checks() {

@@ -132,6 +132,8 @@ pub struct Correlation {
 /// Bits missing past the end of `bits` count as mismatches, as does any
 /// bit marked in `collision_mask` (a same-length mask of bits that were
 /// driven by more than one transmitter; pass `None` when clean).
+///
+/// The comparison is one 64-bit XOR + popcount, not a per-bit scan.
 pub fn correlate(
     bits: &BitVec,
     offset: usize,
@@ -140,16 +142,16 @@ pub fn correlate(
     threshold: u8,
 ) -> Correlation {
     let sync = sync_word(lap);
-    let mut matches = 0u8;
-    for i in 0..64 {
-        let expected = (sync >> i) & 1 == 1;
-        let collided = collision_mask
-            .and_then(|m| m.get(offset + i))
-            .unwrap_or(false);
-        if !collided && bits.get(offset + i) == Some(expected) {
-            matches += 1;
-        }
-    }
+    let avail = bits.len().saturating_sub(offset).min(64) as u32;
+    let received = bits.bits_lsb(offset, 64);
+    let collided = collision_mask.map_or(0, |m| m.bits_lsb(offset, 64));
+    let window = if avail == 64 {
+        !0u64
+    } else {
+        (1u64 << avail) - 1
+    };
+    let good = !(received ^ sync) & !collided & window;
+    let matches = good.count_ones() as u8;
     Correlation {
         matches,
         detected: matches >= threshold,

@@ -5,8 +5,72 @@
 //! (Bluetooth spec v1.2, Baseband §7.2). The register is seeded from the
 //! master clock bits CLK₆₋₁ with a 1 forced into the top position, so the
 //! seed is never zero.
+//!
+//! The LFSR has maximal period 127, so its output is one fixed 127-bit
+//! cycle entered at a seed-dependent position. The tables below hold that
+//! cycle (doubled, so any 64-bit window is a contiguous read) plus the
+//! position of every register state, letting [`Whitener::apply`] XOR the
+//! stream in 64-bit words instead of clocking the register per bit.
 
 use crate::BitVec;
+
+/// Advances the Fibonacci LFSR for x⁷ + x⁴ + 1 by one bit: output is
+/// bit 6, feedback is bit 6 ^ bit 3. This is the bit-serial reference
+/// step; the word-parallel tables are built from it at compile time.
+const fn lfsr_step(reg: u8) -> (u8, bool) {
+    let out = (reg >> 6) & 1;
+    let fb = out ^ ((reg >> 3) & 1);
+    ((((reg << 1) | fb) & 0x7F), out == 1)
+}
+
+/// Length of the maximal-period output cycle.
+const CYCLE: usize = 127;
+
+/// (doubled 127-bit output cycle, state at each position, position of
+/// each state). The cycle starts at state `0x40` (the seed of
+/// `from_clk(0)`); positions of all 127 nonzero states are recorded.
+const fn build_tables() -> ([u64; 4], [u8; CYCLE], [u8; 128]) {
+    let mut doubled = [0u64; 4];
+    let mut state_at = [0u8; CYCLE];
+    let mut pos_of = [0u8; 128];
+    let mut reg = 0x40u8;
+    let mut i = 0;
+    while i < CYCLE {
+        state_at[i] = reg;
+        pos_of[reg as usize] = i as u8;
+        let (next, out) = lfsr_step(reg);
+        if out {
+            doubled[i / 64] |= 1u64 << (i % 64);
+            let j = i + CYCLE;
+            doubled[j / 64] |= 1u64 << (j % 64);
+        }
+        reg = next;
+        i += 1;
+    }
+    (doubled, state_at, pos_of)
+}
+
+const TABLES: ([u64; 4], [u8; CYCLE], [u8; 128]) = build_tables();
+/// The 127-bit output cycle stored twice back to back, so a 64-bit
+/// window at any cycle position is two adjacent words.
+const DOUBLED: [u64; 4] = TABLES.0;
+/// Register state at each cycle position.
+const STATE_AT: [u8; CYCLE] = TABLES.1;
+/// Cycle position of each (nonzero) register state.
+const POS_OF: [u8; 128] = TABLES.2;
+
+/// 64 stream bits starting at cycle position `pos` (`pos < 127`),
+/// LSB = the next bit produced.
+fn stream_word(pos: usize) -> u64 {
+    debug_assert!(pos < CYCLE);
+    let w = pos / 64;
+    let off = pos % 64;
+    if off == 0 {
+        DOUBLED[w]
+    } else {
+        (DOUBLED[w] >> off) | (DOUBLED[w + 1] << (64 - off))
+    }
+}
 
 /// The whitening LFSR.
 ///
@@ -22,7 +86,7 @@ use crate::BitVec;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Whitener {
-    reg: u8, // 7 bits
+    reg: u8, // 7 bits, never zero
 }
 
 impl Whitener {
@@ -38,11 +102,22 @@ impl Whitener {
 
     /// Produces the next bit of the whitening sequence.
     pub fn next_bit(&mut self) -> bool {
-        // Fibonacci LFSR for x^7 + x^4 + 1: output bit 6; feedback bit 6 ^ bit 3.
-        let out = (self.reg >> 6) & 1;
-        let fb = out ^ ((self.reg >> 3) & 1);
-        self.reg = ((self.reg << 1) | fb) & 0x7F;
-        out == 1
+        let (next, out) = lfsr_step(self.reg);
+        self.reg = next;
+        out
+    }
+
+    /// Produces the next `n <= 64` stream bits at once, LSB first.
+    pub fn next_bits(&mut self, n: u32) -> u64 {
+        assert!(n <= 64, "cannot draw more than 64 stream bits at once");
+        let pos = POS_OF[self.reg as usize] as usize;
+        let w = stream_word(pos);
+        self.reg = STATE_AT[(pos + n as usize) % CYCLE];
+        if n == 64 {
+            w
+        } else {
+            w & ((1u64 << n) - 1)
+        }
     }
 
     /// XORs the whitening sequence over `bits`, returning the result.
@@ -59,13 +134,39 @@ impl Whitener {
     /// The baseband whitens the 18 header bits and the payload with one
     /// continuous stream; use this method to process them in two steps.
     pub fn apply(&mut self, bits: &BitVec) -> BitVec {
-        BitVec::from_fn(bits.len(), |i| bits.get(i).unwrap() ^ self.next_bit())
+        let mut out = bits.clone();
+        self.xor_into(&mut out);
+        out
+    }
+
+    /// XORs the next `out.len()` sequence bits into `out` in place,
+    /// 64 bits per step, advancing the register past them.
+    pub fn xor_into(&mut self, out: &mut BitVec) {
+        let len = out.len();
+        let start = POS_OF[self.reg as usize] as usize;
+        let mut pos = start;
+        let full = len / 64;
+        let tail = len % 64;
+        let words = out.words_mut();
+        for w in words.iter_mut().take(full) {
+            *w ^= stream_word(pos);
+            pos = (pos + 64) % CYCLE;
+        }
+        if tail != 0 {
+            words[full] ^= stream_word(pos) & ((1u64 << tail) - 1);
+        }
+        self.reg = STATE_AT[(start + len) % CYCLE];
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Bit-serial reference: the pre-word-parallel implementation.
+    fn apply_serial(w: &mut Whitener, bits: &BitVec) -> BitVec {
+        BitVec::from_fn(bits.len(), |i| bits.get(i).unwrap() ^ w.next_bit())
+    }
 
     #[test]
     fn involution_for_all_seeds() {
@@ -74,6 +175,42 @@ mod tests {
             let w = Whitener::from_clk(clk).whiten(&data);
             let back = Whitener::from_clk(clk).whiten(&w);
             assert_eq!(back, data, "seed {clk}");
+        }
+    }
+
+    #[test]
+    fn word_parallel_matches_bit_serial_reference() {
+        for clk in 0..64u8 {
+            for len in [0usize, 1, 7, 63, 64, 65, 127, 128, 254, 300, 2744] {
+                let data = BitVec::from_fn(len, |i| (i * 11 + clk as usize) % 3 == 0);
+                let mut fast = Whitener::from_clk(clk);
+                let mut slow = Whitener::from_clk(clk);
+                assert_eq!(
+                    fast.apply(&data),
+                    apply_serial(&mut slow, &data),
+                    "clk {clk} len {len}"
+                );
+                assert_eq!(fast, slow, "register desync: clk {clk} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_bits_matches_next_bit() {
+        for clk in [0u8, 1, 31, 63] {
+            for n in [0u32, 1, 7, 18, 63, 64] {
+                let mut fast = Whitener::from_clk(clk);
+                let mut slow = Whitener::from_clk(clk);
+                let got = fast.next_bits(n);
+                let mut want = 0u64;
+                for i in 0..n {
+                    if slow.next_bit() {
+                        want |= 1 << i;
+                    }
+                }
+                assert_eq!(got, want, "clk {clk} n {n}");
+                assert_eq!(fast, slow);
+            }
         }
     }
 
@@ -99,6 +236,15 @@ mod tests {
         for _ in 0..256 {
             assert_ne!(w.reg, 0);
             w.next_bit();
+        }
+    }
+
+    #[test]
+    fn position_tables_are_consistent() {
+        for pos in 0..CYCLE {
+            let state = STATE_AT[pos];
+            assert_ne!(state, 0);
+            assert_eq!(POS_OF[state as usize] as usize, pos);
         }
     }
 

@@ -124,6 +124,12 @@
 //! cfg.engine = Engine::EventDriven; // or `--engine event` on any binary
 //! assert_eq!(cfg.engine.name(), "event");
 //! ```
+//!
+//! Saturated traffic — where the event engine has nothing to skip — runs
+//! on a word-parallel coding hot path and a per-RF-channel-indexed
+//! medium (see `docs/PERF.md` for the hot-path inventory, the
+//! `bench_hotpath` benchmark methodology and the bit-exactness gate
+//! every hot-path change must pass).
 
 #![forbid(unsafe_code)]
 

@@ -254,6 +254,48 @@ fn interleaved_driving_is_engine_equivalent() {
     assert_eq!(run(Engine::Lockstep), run(Engine::EventDriven));
 }
 
+/// ACL-saturated traffic under a BER high enough that the channel's
+/// noise stream fires several flips on *every* packet (BER 0.01 over a
+/// ~2.9 kbit DH5 image ≈ 29 draws per packet, and ARQ retransmissions
+/// keep the slots full). The word-parallel hot path (`docs/PERF.md`)
+/// must preserve the noise-draw order of `Medium::begin_tx` exactly —
+/// this pins that claim with a test instead of review: the digest
+/// compares the RNG fingerprint, the full event log and the measured
+/// BER across engines.
+#[test]
+fn acl_saturated_high_ber_is_engine_equivalent() {
+    use btsim::core::SimBuilder;
+    use btsim::kernel::{SimDuration, SimTime};
+    let run = |engine: Engine| {
+        let mut cfg = paper_config();
+        cfg.engine = engine;
+        cfg.channel.ber = 0.01;
+        let mut b = SimBuilder::new(0x5A7_BEEF, cfg);
+        let m = b.add_device("master");
+        let s = b.add_device("slave1");
+        let mut sim = b.build();
+        let cap = SimTime::from_us(120_000_000);
+        let lt = btsim::core::scenario::connect_pair(&mut sim, m, s, cap).expect("connects");
+        sim.command(m, LcCommand::SetTpoll(2));
+        sim.command(
+            m,
+            LcCommand::AclData {
+                lt_addr: lt,
+                data: vec![0x5A; 40_000],
+            },
+        );
+        sim.run_until(sim.now() + SimDuration::from_slots(4_000));
+        let digest = sim_digest(&sim);
+        assert!(
+            sim.measured_ber() > 0.005,
+            "BER {} too low: the noise stream must fire on every packet",
+            sim.measured_ber()
+        );
+        digest
+    };
+    assert_eq!(run(Engine::Lockstep), run(Engine::EventDriven));
+}
+
 /// Every registry experiment produces the same report under both
 /// engines. The two wall-clock-timing entries (`table1_sim_speed`,
 /// `scat_speed`) are excluded: their tables *measure* wall time, the
