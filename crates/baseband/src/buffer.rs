@@ -117,6 +117,26 @@ impl TxBuffer {
         }
         Some((llid, frag))
     }
+
+    /// The `(llid, length)` [`TxBuffer::pop_fragment`] would return next,
+    /// without consuming anything.
+    pub fn peek_fragment(&self, max_bytes: usize) -> Option<(Llid, usize)> {
+        let msg = self.queue.front()?;
+        let first = msg.offset == 0;
+        let take = (msg.data.len() - msg.offset).min(max_bytes);
+        let llid = match (msg.llid, first) {
+            (Llid::Lmp, _) => Llid::Lmp,
+            (_, true) => Llid::Start,
+            (_, false) => Llid::Continuation,
+        };
+        Some((llid, take))
+    }
+
+    /// Whether an LMP PDU is queued. PDUs outrank user data, so a pending
+    /// PDU always sits at the queue front.
+    pub fn has_lmp(&self) -> bool {
+        self.queue.front().is_some_and(|m| m.llid == Llid::Lmp)
+    }
 }
 
 /// Reassembles received fragments into messages.

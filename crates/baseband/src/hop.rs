@@ -227,14 +227,12 @@ const BUTTERFLIES: [(u8, (u8, u8)); 14] = [
 /// 14-bit control word `p`.
 fn perm5(z: u8, p: u16) -> u8 {
     let mut z = z & 0x1F;
+    // Branch-free: the control bits are clock-derived and effectively
+    // random, so conditional exchanges would mispredict half the time
+    // on the per-slot hot path.
     for (ctl, (i, j)) in BUTTERFLIES {
-        if (p >> ctl) & 1 == 1 {
-            let bi = (z >> i) & 1;
-            let bj = (z >> j) & 1;
-            if bi != bj {
-                z ^= (1 << i) | (1 << j);
-            }
-        }
+        let swap = ((p >> ctl) as u8) & ((z >> i) ^ (z >> j)) & 1;
+        z ^= (swap << i) | (swap << j);
     }
     z
 }
@@ -269,53 +267,97 @@ fn train_x(clk: ClkVal, kofs: u8) -> u8 {
 /// assert!(ch < hop::CHANNELS);
 /// ```
 pub fn hop_channel(seq: HopSequence, clk: ClkVal, addr28: u32) -> u8 {
-    let a_bits = |hi: u32, lo: u32| (addr28 >> lo) & ((1 << (hi - lo + 1)) - 1);
-    // Address-derived control words (page/inquiry/scan defaults).
-    let mut a = a_bits(27, 23);
-    let b = a_bits(22, 19);
-    let mut c = {
-        // a8, a6, a4, a2, a0 packed as C4..C0.
-        let mut v = 0u32;
-        for (k, bit) in [8u32, 6, 4, 2, 0].iter().enumerate() {
-            v |= ((addr28 >> bit) & 1) << (4 - k);
-        }
-        v
-    };
-    let mut d = a_bits(18, 10);
-    let e = {
-        // a13, a11, a9, a7, a5, a3, a1 packed as E6..E0.
-        let mut v = 0u32;
-        for (k, bit) in [13u32, 11, 9, 7, 5, 3, 1].iter().enumerate() {
-            v |= ((addr28 >> bit) & 1) << (6 - k);
-        }
-        v
-    };
-    let mut f = 0u32;
+    if matches!(seq, HopSequence::Connection) {
+        return conn_channel_words(&ConnWords::new(addr28), clk);
+    }
+    let words = ConnWords::new(addr28);
+    let (a, b, c, d, e) = (words.a, words.b, words.c, words.d, words.e);
+    let f = 0u32;
 
-    let (x, y1) = match seq {
+    let x = match seq {
         // Y1 = 0 for the train sequences: the Y1 = 1 receive variant of
         // the spec selects the dedicated response frequencies, which this
         // model replaces by reusing the triggering packet's channel
         // (DESIGN.md §1), so only the transmit variant is ever computed.
-        HopSequence::Page { kofs } | HopSequence::Inquiry { kofs } => (train_x(clk, kofs), 0),
-        HopSequence::PageScan | HopSequence::InquiryScan => (clk.bits(16, 12) as u8, 0),
-        HopSequence::Connection => {
-            a ^= clk.bits(25, 21);
-            c ^= clk.bits(20, 16);
-            d ^= clk.bits(15, 7);
-            f = (16 * clk.bits(27, 7)) % CHANNELS as u32;
-            (clk.bits(6, 2) as u8, clk.bits(1, 1) as u8)
-        }
+        HopSequence::Page { kofs } | HopSequence::Inquiry { kofs } => train_x(clk, kofs),
+        HopSequence::PageScan | HopSequence::InquiryScan => clk.bits(16, 12) as u8,
+        HopSequence::Connection => unreachable!("handled above"),
     };
-    let y2 = 32 * y1 as u32;
 
     let z1 = (x as u32 + a) & 0x1F;
     let z2 = z1 ^ b;
+    // Control word: P0-4 = C (Y1 = 0), P5-13 = D.
+    let p = (c as u16) | ((d as u16) << 5);
+    let permuted = perm5(z2 as u8, p);
+    let k = (permuted as u32 + e + f) % CHANNELS as u32;
+    // Interlaced bank: even channels ascending, then odd channels.
+    if k < 40 {
+        (2 * k) as u8
+    } else {
+        (2 * (k - 40) + 1) as u8
+    }
+}
+
+/// Address-derived control words of the §2.6 hop box, precomputed once
+/// per address so per-slot connection hops only pay the clock-dependent
+/// remainder ([`conn_channel_words`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnWords {
+    a: u32,
+    b: u32,
+    c: u32,
+    d: u32,
+    e: u32,
+}
+
+impl ConnWords {
+    /// Derives the control words from a 28-bit hop address input
+    /// (see [`crate::BdAddr::hop_input`]).
+    pub fn new(addr28: u32) -> Self {
+        let a_bits = |hi: u32, lo: u32| (addr28 >> lo) & ((1 << (hi - lo + 1)) - 1);
+        let c = {
+            // a8, a6, a4, a2, a0 packed as C4..C0.
+            let mut v = 0u32;
+            for (k, bit) in [8u32, 6, 4, 2, 0].iter().enumerate() {
+                v |= ((addr28 >> bit) & 1) << (4 - k);
+            }
+            v
+        };
+        let e = {
+            // a13, a11, a9, a7, a5, a3, a1 packed as E6..E0.
+            let mut v = 0u32;
+            for (k, bit) in [13u32, 11, 9, 7, 5, 3, 1].iter().enumerate() {
+                v |= ((addr28 >> bit) & 1) << (6 - k);
+            }
+            v
+        };
+        Self {
+            a: a_bits(27, 23),
+            b: a_bits(22, 19),
+            c,
+            d: a_bits(18, 10),
+            e,
+        }
+    }
+}
+
+/// The connection-sequence hop for precomputed address words — the
+/// per-slot half of [`hop_channel`]'s `Connection` arm.
+pub fn conn_channel_words(w: &ConnWords, clk: ClkVal) -> u8 {
+    let a = w.a ^ clk.bits(25, 21);
+    let c = w.c ^ clk.bits(20, 16);
+    let d = w.d ^ clk.bits(15, 7);
+    let f = (16 * clk.bits(27, 7)) % CHANNELS as u32;
+    let x = clk.bits(6, 2);
+    let y1 = clk.bits(1, 1);
+
+    let z1 = (x + a) & 0x1F;
+    let z2 = z1 ^ w.b;
     // Control word: P0-4 = C ⊕ Y1 (bitwise), P5-13 = D.
     let c_y = if y1 == 1 { c ^ 0x1F } else { c };
     let p = (c_y as u16) | ((d as u16) << 5);
     let permuted = perm5(z2 as u8, p);
-    let k = (permuted as u32 + e + f + y2) % CHANNELS as u32;
+    let k = (permuted as u32 + w.e + f + 32 * y1) % CHANNELS as u32;
     // Interlaced bank: even channels ascending, then odd channels.
     if k < 40 {
         (2 * k) as u8

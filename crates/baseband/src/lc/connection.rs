@@ -69,10 +69,27 @@ impl ScoParams {
 }
 
 /// Connection-state channel with optional AFH remapping.
-fn conn_channel(clk: ClkVal, addr28: u32, afh: Option<&ChannelMap>) -> u8 {
+pub(crate) fn conn_channel(clk: ClkVal, addr28: u32, afh: Option<&ChannelMap>) -> u8 {
     match afh {
         Some(map) => hop::hop_channel_afh(clk, addr28, map),
         None => hop::hop_channel(HopSequence::Connection, clk, addr28),
+    }
+}
+
+/// [`conn_channel`] for precomputed address words — the statistical
+/// tier derives the words once per slot pair and hops twice.
+pub(crate) fn conn_channel_words(
+    clk: ClkVal,
+    words: &hop::ConnWords,
+    afh: Option<&ChannelMap>,
+) -> u8 {
+    let ch = hop::conn_channel_words(words, clk);
+    match afh {
+        Some(map) => {
+            debug_assert!(map.used_count() >= hop::MIN_AFH_CHANNELS);
+            map.remap(ch)
+        }
+        None => ch,
     }
 }
 
@@ -156,6 +173,22 @@ impl LinkState {
             self.in_flight = self.tx.pop_fragment(max_bytes);
         }
         self.in_flight.clone()
+    }
+
+    /// The `(llid, length)` [`LinkState::next_outgoing`] would transmit,
+    /// without consuming or cloning anything.
+    pub(crate) fn peek_outgoing(&self, max_bytes: usize) -> Option<(Llid, usize)> {
+        match &self.in_flight {
+            Some((llid, data)) => Some((*llid, data.len())),
+            None => self.tx.peek_fragment(max_bytes),
+        }
+    }
+
+    /// Whether any LMP traffic is pending on this link (queued or in
+    /// flight). LMP PDUs carry link-management side effects, so the
+    /// statistical tier refuses to batch while one is outstanding.
+    pub(crate) fn has_lmp(&self) -> bool {
+        matches!(&self.in_flight, Some((Llid::Lmp, _))) || self.tx.has_lmp()
     }
 
     /// Processes a received ARQN bit; returns true when it acknowledges
@@ -271,7 +304,7 @@ pub(crate) fn sniff_at_anchor(slot: u32, p: &SniffParams) -> bool {
 }
 
 /// Picks a data packet type of the same family that fits `len` bytes.
-fn fit_type(prefer: PacketType, len: usize) -> PacketType {
+pub(crate) fn fit_type(prefer: PacketType, len: usize) -> PacketType {
     if len <= prefer.max_user_bytes() {
         return prefer;
     }

@@ -17,10 +17,12 @@ mod afh;
 mod connection;
 mod inquiry;
 mod page;
+mod statpath;
 mod wakeup;
 
 pub use afh::ChannelAssessment;
 pub use connection::{LinkMode, ScoParams, SniffParams};
+pub use statpath::{stat_slot_pair, StatPairReport, StatRespReport, StatSide};
 
 use btsim_coding::{syncword, BitVec};
 use btsim_kernel::{SimDuration, SimRng, SimTime};
@@ -358,6 +360,13 @@ pub enum LcEvent {
         /// The new phase.
         phase: LifePhase,
     },
+    /// The link's simulation fidelity tier changed (logged on the
+    /// master of the affected piconet; see `docs/FIDELITY.md`).
+    FidelityChanged {
+        /// `true`: the link was promoted to the statistical tier;
+        /// `false`: it was demoted back to bit-level simulation.
+        promoted: bool,
+    },
 }
 
 /// Actions the link controller asks the simulator to perform.
@@ -454,6 +463,14 @@ pub struct LinkController {
     pub(crate) phase: LifePhase,
     /// Start tick of the current procedure (for train phase / timeout).
     pub(crate) proc_start_tick: u64,
+    /// Ticks strictly before this instant are no-ops: the statistical
+    /// tier has already simulated the link through `[.., ff_until)`
+    /// and fast-forwards the controller past the gap. Cleared by any
+    /// command or reception, which may arm earlier work.
+    pub(crate) ff_until: SimTime,
+    /// Whether the link this controller masters currently runs on the
+    /// statistical tier (observability for the stability tracker).
+    pub(crate) stat_promoted: bool,
     /// Per-link packet encoder: cached access-code images + scratch
     /// buffer, so steady-state traffic builds air images allocation-lean.
     pub(crate) codec: packet::Codec,
@@ -479,6 +496,8 @@ impl LinkController {
             assessment: ChannelAssessment::new(),
             phase: LifePhase::Standby,
             proc_start_tick: 0,
+            ff_until: SimTime::ZERO,
+            stat_promoted: false,
             codec: packet::Codec::new(),
         }
     }
@@ -527,6 +546,10 @@ impl LinkController {
 
     /// Half-slot tick: drive the current state.
     pub fn on_tick(&mut self, now: SimTime) -> Vec<LcAction> {
+        if now < self.ff_until {
+            // The statistical tier already simulated this span.
+            return Vec::new();
+        }
         let mut out = Vec::new();
         match &mut self.state {
             ProcState::Standby => {}
@@ -541,6 +564,7 @@ impl LinkController {
 
     /// Packet delivery from the channel.
     pub fn on_rx(&mut self, rx: &RxDelivery, now: SimTime) -> Vec<LcAction> {
+        self.ff_until = SimTime::ZERO; // a delivery may arm earlier work
         let mut out = Vec::new();
         match &mut self.state {
             ProcState::Standby => {}
@@ -555,6 +579,7 @@ impl LinkController {
 
     /// Application / link-manager command.
     pub fn command(&mut self, cmd: LcCommand, now: SimTime) -> Vec<LcAction> {
+        self.ff_until = SimTime::ZERO; // a command may arm earlier work
         let mut out = Vec::new();
         match cmd {
             LcCommand::Inquiry {
@@ -661,6 +686,29 @@ impl LinkController {
     /// a map switch so stale pre-switch evidence ages out).
     pub fn reset_channel_assessment(&mut self) {
         self.assessment.reset();
+    }
+
+    /// The instant up to which the statistical tier has already
+    /// simulated this controller ([`SimTime::ZERO`] when not
+    /// fast-forwarded). Ticks strictly before it are no-ops.
+    pub fn ff_until(&self) -> SimTime {
+        self.ff_until
+    }
+
+    /// Fast-forwards the controller to `until` (statistical tier only;
+    /// the caller is responsible for having simulated the gap).
+    pub fn set_ff_until(&mut self, until: SimTime) {
+        self.ff_until = until;
+    }
+
+    /// Whether the mastered link currently runs on the statistical tier.
+    pub fn stat_promoted(&self) -> bool {
+        self.stat_promoted
+    }
+
+    /// Records a promotion/demotion decided by the stability tracker.
+    pub fn set_stat_promoted(&mut self, promoted: bool) {
+        self.stat_promoted = promoted;
     }
 
     pub(crate) fn set_phase(&mut self, phase: LifePhase, out: &mut Vec<LcAction>) {

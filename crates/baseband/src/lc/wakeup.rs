@@ -75,7 +75,10 @@ impl LinkController {
     /// re-queried after every [`LinkController::command`] and
     /// [`LinkController::on_rx`], which may arm earlier work.
     pub fn next_wakeup(&self, from: SimTime) -> Option<SimTime> {
-        let k0 = tick_at_or_after(from);
+        // Ticks inside a statistical fast-forward span are no-ops
+        // (`on_tick` returns early), so the next actionable tick can
+        // never precede `ff_until`.
+        let k0 = tick_at_or_after(from.max(self.ff_until));
         let k = match &self.state {
             ProcState::Standby => None,
             ProcState::Inquiry(ctx) => self.inquiry_wakeup(ctx, k0),

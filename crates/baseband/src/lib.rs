@@ -33,7 +33,8 @@ pub use address::{BdAddr, DCI_UAP};
 pub use buffer::{RxAssembler, TxBuffer};
 pub use clock::{ClkVal, Clock, CLK_WRAP};
 pub use lc::{
-    ChannelAssessment, LcAction, LcCommand, LcConfig, LcEvent, LifePhase, LinkController, LinkMode,
-    Role, RxDelivery, ScoParams, SniffParams,
+    stat_slot_pair, ChannelAssessment, LcAction, LcCommand, LcConfig, LcEvent, LifePhase,
+    LinkController, LinkMode, Role, RxDelivery, ScoParams, SniffParams, StatPairReport,
+    StatRespReport, StatSide,
 };
 pub use packet::{Llid, PacketType};

@@ -105,6 +105,12 @@ pub fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
                     format!("invalid --engine value: {v:?} (expected lockstep or event)")
                 })?;
             }
+            "--fidelity" => {
+                let v = value("--fidelity")?;
+                opts.exp.fidelity = btsim_core::Fidelity::from_name(&v).ok_or_else(|| {
+                    format!("invalid --fidelity value: {v:?} (expected bit, stat or auto)")
+                })?;
+            }
             "--json" => opts.json = Some(value("--json")?),
             "--list" => opts.list = true,
             flag if flag.starts_with('-') => {
@@ -126,7 +132,8 @@ pub fn parse_cli() -> BenchOptions {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: [--quick] [--runs N] [--seed S] [--threads T] [--piconets N] \
-                 [--bridge-duty F] [--engine lockstep|event] [--json PATH] [NAME…]"
+                 [--bridge-duty F] [--engine lockstep|event] [--fidelity bit|stat|auto] \
+                 [--json PATH] [NAME…]"
             );
             std::process::exit(2);
         }
@@ -144,10 +151,21 @@ pub fn parse_options() -> ExpOptions {
 /// (`bench_engine`, the `engine_fast_forward` criterion group).
 /// Returns the simulator and the slave's LT_ADDR.
 pub fn connected_pair(seed: u64, engine: btsim_core::Engine) -> (btsim_core::Simulator, u8) {
+    connected_pair_at(seed, engine, btsim_core::Fidelity::Bit)
+}
+
+/// [`connected_pair`] with an explicit PHY fidelity tier, for the
+/// `bench_hotpath` bit-vs-stat rows.
+pub fn connected_pair_at(
+    seed: u64,
+    engine: btsim_core::Engine,
+    fidelity: btsim_core::Fidelity,
+) -> (btsim_core::Simulator, u8) {
     use btsim_core::scenario::{connect_pair, paper_config};
     use btsim_kernel::SimTime;
     let mut cfg = paper_config();
     cfg.engine = engine;
+    cfg.fidelity = fidelity;
     let mut b = btsim_core::SimBuilder::new(seed, cfg);
     let m = b.add_device("master");
     let s = b.add_device("slave1");
@@ -291,6 +309,21 @@ mod tests {
         assert_eq!(opts.exp.engine, Engine::Lockstep);
         assert!(parse_args(&argv(&["--engine", "warp"])).is_err());
         assert!(parse_args(&argv(&["--engine"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn fidelity_flag_parses_strictly() {
+        use btsim_core::Fidelity;
+        assert_eq!(parse_args(&[]).unwrap().exp.fidelity, Fidelity::Bit);
+        let opts = parse_args(&argv(&["--fidelity", "stat"])).unwrap();
+        assert_eq!(opts.exp.fidelity, Fidelity::Stat);
+        let opts = parse_args(&argv(&["--fidelity", "auto"])).unwrap();
+        assert_eq!(opts.exp.fidelity, Fidelity::Auto);
+        let opts = parse_args(&argv(&["--fidelity", "bit"])).unwrap();
+        assert_eq!(opts.exp.fidelity, Fidelity::Bit);
+        assert!(parse_args(&argv(&["--fidelity", "magic"])).is_err());
+        assert!(parse_args(&argv(&["--fidelity", "Stat"])).is_err());
+        assert!(parse_args(&argv(&["--fidelity"])).is_err(), "missing value");
     }
 
     #[test]

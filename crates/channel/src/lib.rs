@@ -306,6 +306,51 @@ pub struct Medium {
     total_bits: u64,
     tx_stats: TxStats,
     quality: ChannelQuality,
+    /// Latest air-time end over every *bit-level* transmission ever
+    /// registered (monotone; never reduced by [`Medium::gc`]). The
+    /// statistical tier uses it to prove the medium is quiescent
+    /// without scanning the buckets.
+    last_end: SimTime,
+}
+
+/// Occupancy class of an RF channel with respect to fixed-band
+/// interferers, shared by carrier sensing ([`Medium::busy`]), wire
+/// probing ([`Medium::wire_at`]) and the per-transmission jam draw in
+/// [`Medium::begin_tx`] so the three paths cannot disagree on the edge
+/// cases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DutyClass {
+    /// No interferer covers the channel; never jams, never reads busy.
+    Clear,
+    /// A fractional-duty interferer covers the channel: each
+    /// transmission is wiped with the given probability (one RNG draw),
+    /// but between bursts the channel reads clean.
+    Burst(f64),
+    /// A full-duty interferer occupies the band continuously: every
+    /// transmission is wiped (no draw) and the channel always reads
+    /// busy/`X`.
+    Continuous,
+}
+
+impl DutyClass {
+    /// Samples whether one transmission is wiped by the interferer.
+    ///
+    /// Draw contract (pinned by the interferer edge tests): exactly one
+    /// draw for [`DutyClass::Burst`], none for `Clear` or `Continuous` —
+    /// matching [`btsim_kernel::SimRng::chance`]'s extreme-probability
+    /// short-circuits, which the jam path historically relied on.
+    pub fn sample(self, rng: &mut SimRng) -> bool {
+        match self {
+            DutyClass::Clear => false,
+            DutyClass::Burst(duty) => rng.chance(duty),
+            DutyClass::Continuous => true,
+        }
+    }
+
+    /// Whether the interferer occupies the band continuously.
+    pub fn is_continuous(self) -> bool {
+        self == DutyClass::Continuous
+    }
 }
 
 impl Medium {
@@ -321,6 +366,7 @@ impl Medium {
             total_bits: 0,
             tx_stats: TxStats::default(),
             quality: ChannelQuality::default(),
+            last_end: SimTime::ZERO,
         }
     }
 
@@ -366,8 +412,7 @@ impl Medium {
         // Fixed-band interferers wipe in-band packets with their duty
         // probability (one draw per transmission: a burst either overlaps
         // the short Bluetooth packet or it does not).
-        let duty = self.jam_duty(rf_channel);
-        let jammed = duty > 0.0 && self.rng.chance(duty);
+        let jammed = self.duty_class(rf_channel).sample(&mut self.rng);
         // Collision accounting: overlap in both time and channel with a
         // still-live transmission marks both sides, once each. The
         // retention window far exceeds a packet's air time, so the
@@ -398,6 +443,7 @@ impl Medium {
         }
         let id = TxId(self.next_id);
         self.next_id += 1;
+        self.last_end = self.last_end.max(end);
         self.directory.push((id, rf_channel, end));
         self.channels[rf_channel as usize].push(Transmission {
             id,
@@ -432,6 +478,41 @@ impl Medium {
             .filter(|i| i.covers(rf_channel))
             .map(|i| i.duty)
             .fold(0.0f64, f64::max)
+    }
+
+    /// Interferer occupancy class of `rf_channel` (see [`DutyClass`]).
+    pub fn duty_class(&self, rf_channel: u8) -> DutyClass {
+        let duty = self.jam_duty(rf_channel);
+        if duty <= 0.0 {
+            DutyClass::Clear
+        } else if duty >= 1.0 {
+            DutyClass::Continuous
+        } else {
+            DutyClass::Burst(duty)
+        }
+    }
+
+    /// Records a transmission simulated on the statistical tier.
+    ///
+    /// Bumps the aggregate and per-channel transmission counters so
+    /// [`Medium::tx_stats`] and [`Medium::channel_quality`] stay
+    /// shape-identical with bit-level runs, but touches neither the
+    /// noise RNG (fingerprints keep proving draw parity of the bit
+    /// path) nor the flip accounting ([`Medium::measured_ber`] remains
+    /// a bit-level diagnostic) nor the retention buckets (nothing can
+    /// be received or collided with — the tier only runs while it has
+    /// the medium to itself).
+    pub fn record_stat_tx(&mut self, rf_channel: u8) {
+        assert!(rf_channel < RF_CHANNELS, "invalid RF channel {rf_channel}");
+        self.tx_stats.transmissions += 1;
+        self.quality.counters[rf_channel as usize].transmissions += 1;
+    }
+
+    /// Whether every registered bit-level transmission has left the air
+    /// by `at` — the medium-quiescence precondition of the statistical
+    /// tier, in O(1).
+    pub fn quiet_at(&self, at: SimTime) -> bool {
+        self.last_end <= at
     }
 
     /// End of air time of a transmission (for scheduling its delivery).
@@ -506,7 +587,7 @@ impl Medium {
     /// the probe report busy on its own. This asymmetry is deliberate
     /// and tested (`carrier_sense_sees_full_duty_interferers`).
     pub fn busy(&self, rf_channel: u8, from: SimTime, to: SimTime) -> bool {
-        self.jam_duty(rf_channel) >= 1.0
+        self.duty_class(rf_channel).is_continuous()
             || self
                 .channels
                 .get(rf_channel as usize)
@@ -522,7 +603,7 @@ impl Medium {
     /// (see [`Medium::busy`]); between transmissions such a channel
     /// reads `Z`.
     pub fn wire_at(&self, rf_channel: u8, at: SimTime) -> Wire {
-        if self.jam_duty(rf_channel) >= 1.0 {
+        if self.duty_class(rf_channel).is_continuous() {
             return Wire::X;
         }
         let Some(bucket) = self.channels.get(rf_channel as usize) else {
@@ -816,14 +897,28 @@ mod tests {
             },
             SimRng::new(9),
         );
+        // Shadow the draw order: at BER 0 the flip-gap loop consumes no
+        // draws, so each in-band transmission makes exactly one jam
+        // draw, in registration order.
+        let mut shadow = SimRng::new(9);
         let mut hit = 0;
+        let mut shadow_hit = 0;
         for k in 0..400u64 {
             let tx = m.begin_tx(0, 40, SimTime::from_us(k * 1000), bits(50));
             if m.receive(tx).unwrap().collided() {
                 hit += 1;
             }
+            if shadow.chance(0.5) {
+                shadow_hit += 1;
+            }
+            assert_eq!(
+                m.rng_fingerprint(),
+                shadow.fingerprint(),
+                "tx {k}: exactly one jam draw per fractional-duty transmission"
+            );
             m.gc(SimTime::from_us(k * 1000), SimDuration::from_us(100));
         }
+        assert_eq!(hit, shadow_hit, "jam draws happen in registration order");
         assert!((140..260).contains(&hit), "hits {hit}/400 at duty 0.5");
     }
 
@@ -951,6 +1046,63 @@ mod tests {
         assert_eq!(m.jam_duty(40), 1.0);
         assert_eq!(m.jam_duty(70), 0.5);
         assert_eq!(m.jam_duty(10), 0.0);
+        assert_eq!(m.duty_class(40), DutyClass::Continuous);
+        assert_eq!(m.duty_class(70), DutyClass::Burst(0.5));
+        assert_eq!(m.duty_class(10), DutyClass::Clear);
+        // All of the probes above are draw-free, and so are full-duty
+        // and out-of-band transmissions at BER 0: only the fractional
+        // band consumes randomness (pinned draw order).
+        let mut m = m;
+        let shadow = SimRng::new(1);
+        assert_eq!(m.rng_fingerprint(), shadow.fingerprint());
+        m.begin_tx(0, 40, SimTime::ZERO, bits(20)); // continuous: no draw
+        m.begin_tx(0, 10, SimTime::ZERO, bits(20)); // clear: no draw
+        assert_eq!(m.rng_fingerprint(), shadow.fingerprint());
+        let mut shadow = shadow;
+        m.begin_tx(0, 70, SimTime::ZERO, bits(20)); // burst: one draw
+        shadow.chance(0.5);
+        assert_eq!(m.rng_fingerprint(), shadow.fingerprint());
+    }
+
+    #[test]
+    fn stat_tx_records_counters_without_touching_rng_or_ber() {
+        let mut m = Medium::new(
+            ChannelConfig {
+                interferers: vec![Interferer::wlan(40, 0.5)],
+                ..ChannelConfig::default()
+            },
+            SimRng::new(4),
+        );
+        let fp = m.rng_fingerprint();
+        m.record_stat_tx(3);
+        m.record_stat_tx(3);
+        m.record_stat_tx(40);
+        assert_eq!(m.rng_fingerprint(), fp, "no draws, even in a jammed band");
+        assert_eq!(m.tx_stats().transmissions, 3);
+        assert_eq!(m.tx_stats().collided, 0);
+        assert_eq!(m.tx_stats().jammed, 0);
+        assert_eq!(m.channel_quality().channel(3).transmissions, 2);
+        assert_eq!(m.channel_quality().channel(40).transmissions, 1);
+        assert_eq!(m.measured_ber(), 0.0, "stat transmissions carry no bits");
+        assert_eq!(m.live_count(), 0, "nothing is retained on the air");
+        assert!(m.quiet_at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn quiet_at_tracks_last_bit_level_air_time() {
+        let mut m = medium(0.0, 1);
+        assert!(m.quiet_at(SimTime::ZERO));
+        m.begin_tx(0, 5, SimTime::from_us(100), bits(300));
+        let end = SimTime::from_us(100) + SimDuration::from_bits(300);
+        assert!(!m.quiet_at(SimTime::from_us(100)));
+        assert!(!m.quiet_at(end - SimDuration::from_ns(1)));
+        assert!(m.quiet_at(end));
+        // Garbage collection must not make the medium look quiet early.
+        m.begin_tx(0, 6, SimTime::from_us(10_000), bits(300));
+        m.gc(SimTime::from_us(300_000), SimDuration::from_us(1));
+        assert_eq!(m.live_count(), 0);
+        assert!(!m.quiet_at(SimTime::from_us(10_000)));
+        assert!(m.quiet_at(SimTime::from_us(10_400)));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use btsim_stats::{run_campaign, JsonValue, Record, Summary, Table};
 
 use crate::scenario::Scenario;
-use crate::{Engine, SimConfig};
+use crate::{Engine, Fidelity, SimConfig};
 
 /// Campaign sizing options shared by every experiment.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +37,12 @@ pub struct ExpOptions {
     /// the differential harness enforces it — so this only changes how
     /// fast the campaign finishes.
     pub engine: Engine,
+    /// PHY fidelity tier every scenario runs at (`--fidelity`). Unlike
+    /// `engine`, the statistical tier *does* change sampled outcomes —
+    /// packet fates come from closed-form draws instead of the bit-level
+    /// codecs — but `tests/fidelity_equivalence.rs` pins the metric
+    /// distributions to the bit tier within tolerance.
+    pub fidelity: Fidelity,
 }
 
 impl Default for ExpOptions {
@@ -48,6 +54,7 @@ impl Default for ExpOptions {
             piconets: None,
             bridge_duty: None,
             engine: Engine::default(),
+            fidelity: Fidelity::default(),
         }
     }
 }
@@ -61,11 +68,13 @@ impl ExpOptions {
         }
     }
 
-    /// Stamps the selected engine onto a scenario's simulator
-    /// configuration — the hook every experiment routes its `SimConfig`
-    /// through so `--engine` reaches all of them.
+    /// Stamps the selected engine and fidelity tier onto a scenario's
+    /// simulator configuration — the hook every experiment routes its
+    /// `SimConfig` through so `--engine` and `--fidelity` reach all of
+    /// them.
     pub fn sim(&self, mut base: SimConfig) -> SimConfig {
         base.engine = self.engine;
+        base.fidelity = self.fidelity;
         base
     }
 }

@@ -19,6 +19,7 @@ pub mod net;
 pub mod scenario;
 mod simulator;
 
+pub use btsim_fidelity::Fidelity;
 pub use campaign::{Campaign, CampaignResult, ExpOptions, PointResult};
 pub use scenario::Scenario;
 pub use simulator::{

@@ -18,11 +18,12 @@
 //! bit-identical behaviour.
 
 use btsim_baseband::{
-    BdAddr, ClkVal, Clock, LcAction, LcCommand, LcConfig, LcEvent, LifePhase, LinkController,
-    RxDelivery,
+    stat_slot_pair, BdAddr, ClkVal, Clock, LcAction, LcCommand, LcConfig, LcEvent, LifePhase,
+    LinkController, RxDelivery, StatSide,
 };
-use btsim_channel::{ChannelConfig, ChannelQuality, Medium, TxId, TxStats};
+use btsim_channel::{ChannelConfig, ChannelQuality, DutyClass, Medium, TxId, TxStats};
 use btsim_coding::BitVec;
+use btsim_fidelity::{ErrorModel, Fidelity};
 use btsim_kernel::{Calendar, SignalRef, SimDuration, SimRng, SimTime, TraceRecorder, TraceValue};
 use btsim_lmp::{LinkManager, LmEvent, LmOutput, LmRole};
 use btsim_power::{DeviceReport, PowerMonitor};
@@ -147,6 +148,10 @@ pub struct SimConfig {
     pub random_clkn: bool,
     /// Which engine drives the ticks.
     pub engine: Engine,
+    /// PHY fidelity tier: bit-accurate always, statistical always (when
+    /// the stability tracker allows), or automatic promotion once the
+    /// per-link BER estimate converges. See `docs/FIDELITY.md`.
+    pub fidelity: Fidelity,
 }
 
 impl Default for SimConfig {
@@ -158,6 +163,7 @@ impl Default for SimConfig {
             trace: false,
             random_clkn: true,
             engine: Engine::default(),
+            fidelity: Fidelity::default(),
         }
     }
 }
@@ -274,6 +280,13 @@ impl SimBuilder {
         self
     }
 
+    /// Overrides the PHY fidelity tier (equivalent to setting it on the
+    /// config).
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.cfg.fidelity = fidelity;
+        self
+    }
+
     /// Overrides the AFH policy (equivalent to setting it on the config).
     pub fn afh(mut self, afh: AfhConfig) -> Self {
         self.cfg.afh = afh;
@@ -387,6 +400,17 @@ impl SimBuilder {
             steps_since_gc: 0,
             inspect_cursor: 0,
             engine: self.cfg.engine,
+            // Waveform tracing needs the bit-level RF signal edges, so
+            // it pins the PHY to the bit tier.
+            fidelity: if self.cfg.trace {
+                Fidelity::Bit
+            } else {
+                self.cfg.fidelity
+            },
+            error_model: ErrorModel::new(self.cfg.channel.ber, self.cfg.lc.sync_threshold),
+            modem_delay: self.cfg.channel.modem_delay,
+            peek: SimDuration::from_us(self.cfg.lc.peek_us),
+            run_cap: SimTime::ZERO,
             // All devices start in standby: nothing to wake for until a
             // command arrives (commands re-arm their device's wakeup).
             wake: vec![None; n],
@@ -426,6 +450,19 @@ pub struct Simulator {
     steps_since_gc: u32,
     inspect_cursor: usize,
     engine: Engine,
+    /// Effective PHY fidelity tier ([`Fidelity::Bit`] whenever tracing
+    /// is on, regardless of the configured tier).
+    fidelity: Fidelity,
+    /// Closed-form per-section packet-error model at the configured BER.
+    error_model: ErrorModel,
+    /// Cached from the channel config for the statistical path.
+    modem_delay: SimDuration,
+    /// Cached carrier-detect window from the LC config.
+    peek: SimDuration,
+    /// Horizon of the current `run_*` call: the statistical tier never
+    /// batches past it, because the caller may mutate state (commands,
+    /// new traffic) as soon as control returns.
+    run_cap: SimTime,
     /// Event-driven only: each device's next pending tick instant.
     wake: Vec<Option<SimTime>>,
     /// Invalidates superseded [`Ev::Wake`] instances.
@@ -583,6 +620,7 @@ impl Simulator {
     /// simulation time short (the event-driven engine leaves such gaps;
     /// lockstep reaches the same instant by ticking through them).
     pub fn run_until(&mut self, until: SimTime) {
+        self.run_cap = until;
         while let Some(t) = self.cal.peek_time() {
             if t > until {
                 break;
@@ -646,6 +684,7 @@ impl Simulator {
     where
         F: Fn(&LoggedEvent) -> bool,
     {
+        self.run_cap = cap;
         loop {
             while cursor.0 < self.events.len() {
                 let i = cursor.0;
@@ -690,6 +729,17 @@ impl Simulator {
         }
         match ev {
             Ev::Tick(dev) => {
+                let ff = self.devices[dev].lc.ff_until();
+                if ff > t {
+                    // The statistical tier already simulated this
+                    // controller through `[t, ff)`: resume ticking at
+                    // the first half-slot boundary at or past `ff`
+                    // instead of dispatching provable no-ops.
+                    let hs = SimDuration::HALF_SLOT.ns();
+                    let at = SimTime::from_ns(ff.ns().div_ceil(hs) * hs);
+                    self.cal.schedule(at, Ev::Tick(dev));
+                    return;
+                }
                 self.cal.schedule(t + SimDuration::HALF_SLOT, Ev::Tick(dev));
                 self.tick_device(dev, t);
             }
@@ -814,13 +864,245 @@ impl Simulator {
     /// One device tick: baseband half-slot work plus, at whole-slot
     /// boundaries, the link manager's scheduled mode changes. Shared by
     /// both engines so a woken tick is byte-for-byte a lockstep tick.
+    ///
+    /// The statistical tier hooks in first: when this device belongs to
+    /// a promotable link pair whose master would transmit at `t`, the
+    /// whole quiet span ahead is batched analytically and the ordinary
+    /// tick below sees a fast-forwarded controller (its `on_tick` is a
+    /// no-op and the manager has nothing pending — both are promotion
+    /// preconditions).
     fn tick_device(&mut self, dev: usize, t: SimTime) {
+        self.try_stat_batch(dev, t);
         let actions = self.devices[dev].lc.on_tick(t);
         self.apply_actions(dev, actions, t);
         if t.ns().is_multiple_of(SimDuration::SLOT.ns()) {
             let outs = self.devices[dev].lm.poll(t.slots());
             self.apply_lm_outputs(dev, outs, t);
         }
+    }
+
+    /// Logs an event produced by the statistical tier, mirroring the
+    /// `LcAction::Event` arm of `apply_actions`. The tier never batches
+    /// LMP traffic or phase changes, so the manager provably ignores
+    /// everything routed through here.
+    fn log_stat_event(&mut self, dev: usize, at: SimTime, event: LcEvent) {
+        // The manager only ever reacts to LMP-carrying `AclReceived`
+        // events, which the stability gate keeps out of batches — so
+        // release builds skip the call and debug builds prove the claim.
+        #[cfg(debug_assertions)]
+        {
+            let outs = self.devices[dev].lm.on_lc_event(&event, at.slots());
+            debug_assert!(
+                outs.is_empty(),
+                "statistical tier batched an LM-visible event"
+            );
+        }
+        self.events.push(LoggedEvent {
+            at,
+            device: dev,
+            event,
+        });
+    }
+
+    /// The statistical receive path: when `dev` is one end of a link
+    /// eligible for the statistical tier and its master transmits at
+    /// `t`, advances the pair analytically through as many slot pairs
+    /// as provably stay undisturbed, then fast-forwards both
+    /// controllers past the batched span.
+    ///
+    /// Eligibility is split in two (see `docs/FIDELITY.md`): *attempt*
+    /// conditions (is this a lone-slave piconet whose master sends data
+    /// at `t`?) fail silently, while *stability* conditions — pending
+    /// AFH switch, LMP traffic, co-channel occupancy, an interferer on
+    /// a used channel, any other device touching the radio — demote a
+    /// promoted link back to bit level on the spot, logging
+    /// [`LcEvent::FidelityChanged`] so scenarios can watch the tracker.
+    fn try_stat_batch(&mut self, dev: usize, t: SimTime) {
+        if self.fidelity == Fidelity::Bit {
+            return;
+        }
+        // Identify the pair from whichever end ticked first this
+        // instant (device order is arbitrary relative to roles).
+        let (m_dev, s_dev) = {
+            let lc = &self.devices[dev].lc;
+            if let Some(slave_addr) = lc.stat_master_attempt(t) {
+                let Some(s) = self.device_by_addr(slave_addr) else {
+                    return;
+                };
+                (dev, s)
+            } else if let [link] = lc.slave_masters().as_slice() {
+                let Some(m) = self.device_by_addr(link.1) else {
+                    return;
+                };
+                if self.devices[m].lc.stat_master_attempt(t) != Some(lc.addr()) {
+                    return;
+                }
+                (m, dev)
+            } else {
+                return;
+            }
+        };
+        let m_addr = self.devices[m_dev].lc.addr();
+        let now_slot = t.slots();
+
+        // Stability gate: any failure here is contention; a promoted
+        // link demotes to bit level on this very slot.
+        let stable = self.devices[m_dev].lc.stat_master_stable(now_slot)
+            && self.devices[s_dev].lc.stat_slave_ready(m_addr, t)
+            && self.devices[m_dev].lc.afh_map_at(now_slot)
+                == self.devices[s_dev].lc.afh_map_at(now_slot)
+            && self.devices[m_dev].lm.next_pending_slot().is_none()
+            && self.devices[s_dev].lm.next_pending_slot().is_none()
+            && self.medium.quiet_at(t)
+            && self.pair_channels_clear(m_dev, now_slot)
+            && [m_dev, s_dev].iter().all(|&d| {
+                let c = &self.devices[d];
+                // A listen window the pair itself opened at this very
+                // instant is not contention: the medium is quiet (gated
+                // above), and whichever member ticks first at a shared
+                // instant legitimately opens one when the batch below
+                // comes up empty. Treating it as busy would make the
+                // demotion decision depend on same-instant tick order,
+                // which differs between the engines.
+                c.active.as_ref().is_none_or(|w| w.opened_at >= t)
+                    && c.pending.is_empty()
+                    && c.rx_busy_until <= t
+            });
+        if !stable {
+            if self.devices[m_dev].lc.stat_promoted() {
+                self.devices[m_dev].lc.set_stat_promoted(false);
+                self.log_stat_event(m_dev, t, LcEvent::FidelityChanged { promoted: false });
+            }
+            return;
+        }
+        // Auto tier: hold off until the master's channel assessment has
+        // enough receptions for a converged per-channel BER picture.
+        if self.fidelity == Fidelity::Auto
+            && !self.devices[m_dev].lc.stat_promoted()
+            && self.devices[m_dev].lc.channel_assessment().samples() < 64
+        {
+            return;
+        }
+
+        // Batch horizon: the run cap, any pending calendar event other
+        // than the engines' own tick/wake dispatches (commands, RF
+        // activity), and the instant any third device would wake. Both
+        // engines compute the same value, so their batches — and hence
+        // their RNG streams — stay bit-identical.
+        let mut horizon = self.run_cap;
+        for (at, ev) in self.cal.iter() {
+            match ev {
+                Ev::Tick(_) | Ev::Wake { .. } => {}
+                _ => horizon = horizon.min(at),
+            }
+        }
+        for (d, cell) in self.devices.iter().enumerate() {
+            if d == m_dev || d == s_dev {
+                continue;
+            }
+            if cell.active.is_some() || !cell.pending.is_empty() || cell.rx_busy_until > t {
+                // A third radio is active right now: co-channel
+                // contention for the tracker, not a horizon matter.
+                if self.devices[m_dev].lc.stat_promoted() {
+                    self.devices[m_dev].lc.set_stat_promoted(false);
+                    self.log_stat_event(m_dev, t, LcEvent::FidelityChanged { promoted: false });
+                }
+                return;
+            }
+            if let Some(w) = cell.lc.next_wakeup(t + SimDuration::from_ns(1)) {
+                horizon = horizon.min(w);
+            }
+            if let Some(slot) = cell.lm.next_pending_slot() {
+                horizon = horizon.min(SimTime::from_ns(slot * SimDuration::SLOT.ns()));
+            }
+        }
+
+        // Run the batch, applying each slot pair as it is produced.
+        // The controllers are borrowed per pair (a split_at_mut is
+        // O(1)) so the bookkeeping below can use `&mut self`; the
+        // events scratch buffer is reused across the whole batch.
+        let mut events_buf = Vec::new();
+        let mut cursor = t;
+        let (mut m_tx_ns, mut m_rx_ns, mut s_tx_ns, mut s_rx_ns) = (0u64, 0u64, 0u64, 0u64);
+        loop {
+            let rep = {
+                let (lo, hi) = self.devices.split_at_mut(m_dev.max(s_dev));
+                let (m_lc, s_lc) = if m_dev < s_dev {
+                    (&mut lo[m_dev].lc, &mut hi[0].lc)
+                } else {
+                    (&mut hi[0].lc, &mut lo[s_dev].lc)
+                };
+                stat_slot_pair(
+                    m_lc,
+                    s_lc,
+                    &self.error_model,
+                    cursor,
+                    self.modem_delay,
+                    horizon,
+                    &mut events_buf,
+                )
+            };
+            let Some(rep) = rep else { break };
+            if cursor == t {
+                // First pair of the batch: promotion bookkeeping.
+                if !self.devices[m_dev].lc.stat_promoted() {
+                    self.devices[m_dev].lc.set_stat_promoted(true);
+                    self.log_stat_event(m_dev, t, LcEvent::FidelityChanged { promoted: true });
+                }
+            }
+            // Mirror the bit-level path's bookkeeping: per-packet
+            // medium counters, power-monitor RF time (accumulated here,
+            // flushed in one bulk call per batch — the whole span sits
+            // in one phase segment because promotion quiesces both
+            // devices' phase sources) and the delivery events with
+            // their bit-accurate timestamps.
+            self.medium.record_stat_tx(rep.fwd_rf_channel);
+            let fwd_ns = SimDuration::from_bits(rep.fwd_air_bits).ns();
+            m_tx_ns += fwd_ns;
+            s_rx_ns += fwd_ns;
+            match rep.resp {
+                Some(r) => {
+                    self.medium.record_stat_tx(r.rf_channel);
+                    let resp_ns = SimDuration::from_bits(r.air_bits).ns();
+                    s_tx_ns += resp_ns;
+                    m_rx_ns += resp_ns;
+                }
+                // Silent slave: the master still listens for its
+                // carrier-detect window at the response slot.
+                None => m_rx_ns += self.peek.ns(),
+            }
+            for (at, side, event) in events_buf.drain(..) {
+                let d = match side {
+                    StatSide::Master => m_dev,
+                    StatSide::Slave => s_dev,
+                };
+                self.log_stat_event(d, at, event);
+            }
+            cursor = rep.end;
+        }
+        if cursor == t {
+            // Horizon too close for even one pair: not contention, just
+            // no batch — the bit-level path covers this slot.
+            return;
+        }
+        self.monitor.add_bulk(m_dev, t, m_tx_ns, m_rx_ns);
+        self.monitor.add_bulk(s_dev, t, s_tx_ns, s_rx_ns);
+        self.devices[m_dev].lc.set_ff_until(cursor);
+        self.devices[s_dev].lc.set_ff_until(cursor);
+    }
+
+    /// Whether every RF channel the pair can hop to is free of
+    /// configured interferers (any duty at all counts as contention).
+    fn pair_channels_clear(&self, m_dev: usize, now_slot: u64) -> bool {
+        let map = self.devices[m_dev].lc.afh_map_at(now_slot);
+        (0..btsim_channel::RF_CHANNELS).all(|ch| {
+            !map.is_none_or(|m| m.is_used(ch)) || self.medium.duty_class(ch) == DutyClass::Clear
+        })
+    }
+
+    /// Index of the device with the given address, if any.
+    fn device_by_addr(&self, addr: BdAddr) -> Option<usize> {
+        self.devices.iter().position(|c| c.lc.addr() == addr)
     }
 
     /// Event-driven: refreshes `dev`'s pending wake from its controller
@@ -1191,6 +1473,108 @@ mod tests {
                     format!("{:?}", a.phase(phase)),
                     format!("{:?}", b.phase(phase)),
                     "power diverged for device {dev} phase {phase:?}"
+                );
+            }
+        }
+    }
+
+    /// A connected, ACL-saturated master/slave pair at the given
+    /// fidelity tier, run for `slots` slots of traffic.
+    fn saturated_pair(
+        seed: u64,
+        ber: f64,
+        engine: Engine,
+        fidelity: Fidelity,
+        slots: u64,
+    ) -> Simulator {
+        let mut cfg = crate::scenario::paper_config();
+        cfg.channel.ber = ber;
+        cfg.engine = engine;
+        cfg.fidelity = fidelity;
+        let mut b = SimBuilder::new(seed, cfg);
+        let m = b.add_device("master");
+        let s = b.add_device("slave1");
+        let mut sim = b.build();
+        let lt = crate::scenario::connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000))
+            .expect("pair connects");
+        sim.command(m, LcCommand::SetTpoll(2));
+        sim.command(
+            m,
+            LcCommand::AclData {
+                lt_addr: lt,
+                data: vec![0x5A; slots as usize * 9],
+            },
+        );
+        let end = sim.now() + SimDuration::from_slots(slots);
+        sim.run_until(end);
+        sim
+    }
+
+    #[test]
+    fn stat_tier_promotes_on_saturated_acl() {
+        let sim = saturated_pair(15, 0.0, Engine::Lockstep, Fidelity::Stat, 2_000);
+        let promoted = sim
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, LcEvent::FidelityChanged { promoted: true }));
+        assert!(promoted, "saturated clean link never promoted");
+        let delivered = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, LcEvent::AclDelivered { .. }))
+            .count();
+        assert!(delivered > 500, "only {delivered} fragments delivered");
+    }
+
+    #[test]
+    fn stat_tier_at_zero_ber_matches_bit_tier_event_log_exactly() {
+        // On a clean channel every statistical outcome is Clean, so the
+        // batched ARQ timeline — packets, ACKs, timestamps — must be
+        // *identical* to the bit-level one, not merely close.
+        let strip = |sim: &Simulator| {
+            let evs: Vec<String> = sim
+                .events()
+                .iter()
+                .filter(|e| !matches!(e.event, LcEvent::FidelityChanged { .. }))
+                .map(|e| format!("{e:?}"))
+                .collect();
+            (evs, format!("{:?}", sim.tx_stats()))
+        };
+        let bit = saturated_pair(21, 0.0, Engine::Lockstep, Fidelity::Bit, 1_000);
+        let stat = saturated_pair(21, 0.0, Engine::Lockstep, Fidelity::Stat, 1_000);
+        assert!(stat
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, LcEvent::FidelityChanged { promoted: true })));
+        assert_eq!(strip(&bit), strip(&stat));
+    }
+
+    #[test]
+    fn stat_tier_engines_agree_on_saturated_acl() {
+        for ber in [0.0, 0.001] {
+            let lockstep = saturated_pair(33, ber, Engine::Lockstep, Fidelity::Stat, 2_000);
+            let event = saturated_pair(33, ber, Engine::EventDriven, Fidelity::Stat, 2_000);
+            assert_eq!(lockstep.now(), event.now(), "clocks diverged at ber {ber}");
+            assert_eq!(
+                format!("{:?}", lockstep.events()),
+                format!("{:?}", event.events()),
+                "event logs diverged at ber {ber}"
+            );
+            assert_eq!(
+                lockstep.rng_fingerprint(),
+                event.rng_fingerprint(),
+                "RNG draws diverged at ber {ber}"
+            );
+            assert_eq!(
+                format!("{:?}", lockstep.tx_stats()),
+                format!("{:?}", event.tx_stats()),
+                "medium stats diverged at ber {ber}"
+            );
+            for dev in 0..lockstep.device_count() {
+                assert_eq!(
+                    format!("{:?}", lockstep.power_report(dev).phase(LifePhase::Active)),
+                    format!("{:?}", event.power_report(dev).phase(LifePhase::Active)),
+                    "active-phase power diverged for device {dev} at ber {ber}"
                 );
             }
         }

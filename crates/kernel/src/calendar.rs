@@ -127,6 +127,15 @@ impl<E> Calendar<E> {
         self.now
     }
 
+    /// Iterates over all pending events in arbitrary (heap) order.
+    ///
+    /// Useful for horizon scans that need the earliest event of a given
+    /// kind without disturbing the queue; callers must not rely on any
+    /// particular ordering.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.heap.iter().map(|Reverse(e)| (e.key.0, &e.event))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -130,6 +130,28 @@
 //! medium (see `docs/PERF.md` for the hot-path inventory, the
 //! `bench_hotpath` benchmark methodology and the bit-exactness gate
 //! every hot-path change must pass).
+//!
+//! On top of both engines sit three PHY **fidelity tiers** (see
+//! `docs/FIDELITY.md`): `bit` simulates every packet through the full
+//! coding pipeline; `stat` promotes settled single-slave ACL links to a
+//! statistical tier that draws each packet's four-way outcome from a
+//! closed-form error model — 20×+ faster on saturated traffic, demoting
+//! back to bit level the instant an AFH switch, LMP exchange or
+//! co-channel contention appears; `auto` is `stat` gated on a converged
+//! channel estimate. At BER 0 a promoted link is provably bit-exact;
+//! elsewhere `tests/fidelity_equivalence.rs` pins the distributions:
+//!
+//! ```
+//! use btsim::core::scenario::{GoodputConfig, GoodputScenario, Scenario};
+//! use btsim::core::Fidelity;
+//!
+//! let mut cfg = GoodputConfig::default();
+//! cfg.ptype = btsim::baseband::PacketType::Dh1; // 1-slot frames batch
+//! cfg.window_slots = 2_000;
+//! cfg.sim.fidelity = Fidelity::Stat; // or `--fidelity stat` on any binary
+//! let out = GoodputScenario::new(cfg).run(9);
+//! assert!(out.kbps > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 
