@@ -535,6 +535,26 @@ impl LinkController {
         !self.slave_links.is_empty()
     }
 
+    /// Total ACL bytes waiting in this controller's transmit path:
+    /// queued user data plus the payload currently in flight, summed
+    /// over every link (master slots and slave contexts alike). The
+    /// metrics hub reports this as the device's buffer occupancy gauge.
+    pub fn queued_tx_bytes(&self) -> usize {
+        let in_flight = |l: &connection::LinkState| {
+            l.tx.queued_bytes() + l.in_flight.as_ref().map_or(0, |(_, d)| d.len())
+        };
+        let master: usize = self
+            .master
+            .as_ref()
+            .map_or(0, |m| m.slaves.iter().map(|s| in_flight(&s.link)).sum());
+        master
+            + self
+                .slave_links
+                .iter()
+                .map(|s| in_flight(&s.link))
+                .sum::<usize>()
+    }
+
     /// Slave links as `(lt_addr, master address)` pairs, in join order
     /// (one entry per piconet this device is a slave in).
     pub fn slave_masters(&self) -> Vec<(u8, BdAddr)> {

@@ -24,6 +24,14 @@
 //!   statistical tier actually beats bit level. Any violation exits
 //!   nonzero, so CI fails on a silently diverging or regressing fast
 //!   path.
+//!
+//! The saturated section also measures the bit-tier lockstep workload
+//! with the packet-capture tap **on** vs **off**
+//! (`capture_{off,on}_slots_per_sec`, `capture_overhead_frac`). When a
+//! previous `BENCH_hotpath.json` exists at the output path, the
+//! capture-off rate must stay within 1% of the previous bit-lockstep
+//! figure — the observability layer must cost nothing when disabled;
+//! with no previous file the gate passes vacuously.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -192,10 +200,21 @@ fn digest(sim: &Simulator) -> String {
 /// sample is dominated by scheduler noise. Determinism means every run
 /// produces the same digest, which the loop asserts.
 fn saturated(engine: Engine, fidelity: Fidelity, slots: u64) -> (f64, String) {
+    saturated_with(engine, fidelity, slots, false)
+}
+
+/// [`saturated`] with an explicit capture switch — the capture-on run of
+/// the overhead rows records every air packet and LMP PDU while driving
+/// the identical workload.
+fn saturated_with(engine: Engine, fidelity: Fidelity, slots: u64, capture: bool) -> (f64, String) {
     let mut best = 0.0f64;
     let mut digest_out = String::new();
     for run in 0..3 {
-        let (mut sim, lt) = connected_pair_at(15, engine, fidelity);
+        let (mut sim, lt) = if capture {
+            btsim_bench::captured_pair(15, engine)
+        } else {
+            connected_pair_at(15, engine, fidelity)
+        };
         sim.command(0, LcCommand::SetTpoll(2));
         sim.command(
             0,
@@ -208,6 +227,12 @@ fn saturated(engine: Engine, fidelity: Fidelity, slots: u64) -> (f64, String) {
         let started = Instant::now();
         sim.run_until(end);
         best = best.max(slots as f64 / started.elapsed().as_secs_f64().max(1e-9));
+        if capture {
+            assert!(
+                !sim.capture().is_empty(),
+                "capture-on run stored no records"
+            );
+        }
         let d = digest(&sim);
         if run == 0 {
             digest_out = d;
@@ -267,12 +292,44 @@ fn main() -> ExitCode {
     println!("{:<28} {stat_speedup:>13.1}x", "stat_vs_bit_speedup");
     fields.push(("stat_speedup".to_string(), JsonValue::from(stat_speedup)));
 
+    // Capture overhead rows: the bit-tier lockstep workload with the
+    // packet-capture tap on vs off. The off figure is the bit-lockstep
+    // rate already measured above (identical configuration).
+    let capture_off = rates[0].0;
+    let (capture_on, _) = saturated_with(Engine::Lockstep, Fidelity::Bit, slots, true);
+    let capture_overhead = 1.0 - capture_on / capture_off.max(1e-9);
+    println!("{:<28} {capture_off:>14.0}", "acl_bit_capture_off");
+    println!("{:<28} {capture_on:>14.0}", "acl_bit_capture_on");
+    println!(
+        "{:<28} {:>13.1}%",
+        "capture_overhead",
+        capture_overhead * 100.0
+    );
+    fields.push((
+        "capture_off_slots_per_sec".to_string(),
+        JsonValue::from(capture_off),
+    ));
+    fields.push((
+        "capture_on_slots_per_sec".to_string(),
+        JsonValue::from(capture_on),
+    ));
+    fields.push((
+        "capture_overhead_frac".to_string(),
+        JsonValue::from(capture_overhead),
+    ));
+
+    // Read the previous report *before* overwriting it: the capture-off
+    // rate must not regress more than 1% against the last recorded
+    // bit-lockstep figure (the observability layer must cost nothing
+    // when disabled).
+    let path = opts.json.as_deref().unwrap_or("BENCH_hotpath.json");
+    let prev_off = previous_rate(path, "bit_lockstep_slots_per_sec");
+
     let doc = JsonValue::Obj(vec![
         ("coding_hotpath".to_string(), JsonValue::Arr(coding)),
         ("medium_scaling".to_string(), JsonValue::Arr(medium)),
         ("saturated".to_string(), JsonValue::Obj(fields)),
     ]);
-    let path = opts.json.as_deref().unwrap_or("BENCH_hotpath.json");
     btsim_bench::write_artifact(path, &format!("{}\n", doc.render()));
 
     // Smoke assertions: the acceptance gate CI relies on.
@@ -291,6 +348,35 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if capture_on <= 0.0 {
+        eprintln!("error: capture-on slots/sec is zero");
+        return ExitCode::FAILURE;
+    }
+    match prev_off {
+        Some(prev) if capture_off < prev * 0.99 => {
+            eprintln!(
+                "error: capture-off rate regressed more than 1% vs the previous \
+                 report ({capture_off:.0} vs {prev:.0} slots/s)"
+            );
+            return ExitCode::FAILURE;
+        }
+        Some(prev) => println!(
+            "capture-off overhead gate: {capture_off:.0} vs previous {prev:.0} slots/s, OK"
+        ),
+        None => println!("capture-off overhead gate: no previous {path}, passes vacuously"),
+    }
     println!("saturated rows nonzero, engines bit-exact, stat tier faster: OK");
     ExitCode::SUCCESS
+}
+
+/// Scans a previous `BENCH_hotpath.json` for a numeric `key` without a
+/// JSON parser (the workspace deliberately has none): finds the quoted
+/// key, skips the colon, and parses up to the next delimiter. Returns
+/// `None` when the file or key is missing or the value is not a number.
+fn previous_rate(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find(&format!("\"{key}\""))?;
+    let rest = text[at..].split_once(':')?.1;
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }

@@ -26,6 +26,9 @@ pub struct BenchOptions {
     pub exp: ExpOptions,
     /// Where to dump the report(s) as JSON, if requested.
     pub json: Option<String>,
+    /// `--capture PATH` was given: the experiment's btsnoop artifact is
+    /// written to this path (and `exp.capture` is set).
+    pub capture: Option<String>,
     /// `--list` was given (print the registry instead of running).
     pub list: bool,
     /// Positional arguments (experiment names for the multiplexer).
@@ -111,6 +114,28 @@ pub fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
                     format!("invalid --fidelity value: {v:?} (expected bit, stat or auto)")
                 })?;
             }
+            "--capture" => {
+                let v = value("--capture")?;
+                if v.is_empty() || v.starts_with('-') {
+                    return Err(format!(
+                        "invalid --capture value: {v:?} (expected an output path)"
+                    ));
+                }
+                opts.exp.capture = true;
+                opts.capture = Some(v);
+            }
+            "--metrics-every" => {
+                let v = value("--metrics-every")?;
+                let n: u64 = v.parse().map_err(|_| {
+                    format!("invalid --metrics-every value: {v:?} (expected a slot count ≥ 1)")
+                })?;
+                if n == 0 {
+                    return Err(
+                        "invalid --metrics-every value: 0 (expected a slot count ≥ 1)".into(),
+                    );
+                }
+                opts.exp.metrics_every = Some(n);
+            }
             "--json" => opts.json = Some(value("--json")?),
             "--list" => opts.list = true,
             flag if flag.starts_with('-') => {
@@ -133,7 +158,7 @@ pub fn parse_cli() -> BenchOptions {
             eprintln!(
                 "usage: [--quick] [--runs N] [--seed S] [--threads T] [--piconets N] \
                  [--bridge-duty F] [--engine lockstep|event] [--fidelity bit|stat|auto] \
-                 [--json PATH] [NAME…]"
+                 [--capture PATH] [--metrics-every N] [--json PATH] [NAME…]"
             );
             std::process::exit(2);
         }
@@ -161,11 +186,28 @@ pub fn connected_pair_at(
     engine: btsim_core::Engine,
     fidelity: btsim_core::Fidelity,
 ) -> (btsim_core::Simulator, u8) {
+    pair_with(seed, engine, fidelity, false)
+}
+
+/// [`connected_pair_at`] with the packet-capture tap enabled — the
+/// capture-on side of the `bench_hotpath` overhead rows. Capture pins
+/// the PHY at bit level, so there is no fidelity parameter.
+pub fn captured_pair(seed: u64, engine: btsim_core::Engine) -> (btsim_core::Simulator, u8) {
+    pair_with(seed, engine, btsim_core::Fidelity::Bit, true)
+}
+
+fn pair_with(
+    seed: u64,
+    engine: btsim_core::Engine,
+    fidelity: btsim_core::Fidelity,
+    capture: bool,
+) -> (btsim_core::Simulator, u8) {
     use btsim_core::scenario::{connect_pair, paper_config};
     use btsim_kernel::SimTime;
     let mut cfg = paper_config();
     cfg.engine = engine;
     cfg.fidelity = fidelity;
+    cfg.capture = capture;
     let mut b = btsim_core::SimBuilder::new(seed, cfg);
     let m = b.add_device("master");
     let s = b.add_device("slave1");
@@ -183,14 +225,30 @@ pub fn write_artifact(name: &str, content: &str) {
     }
 }
 
+/// [`write_artifact`] for binary content (btsnoop captures).
+pub fn write_binary_artifact(name: &str, bytes: &[u8]) {
+    match std::fs::write(name, bytes) {
+        Ok(()) => println!("wrote {name} ({} bytes)", bytes.len()),
+        Err(e) => eprintln!("could not write {name}: {e}"),
+    }
+}
+
 /// Runs one registry experiment with the given options: prints the
-/// report, writes its artifacts, and appends its JSON to `json_out` when
-/// requested.
+/// report, writes its artifacts (with `--capture PATH` redirecting
+/// `.btsnoop` artifacts to that path), and appends its JSON to
+/// `json_out` when requested.
 pub fn run_entry(entry: &Experiment, opts: &BenchOptions, json_out: &mut Vec<JsonValue>) {
     let report = entry.run(&opts.exp);
     print!("{report}");
     for (name, content) in &report.artifacts {
         write_artifact(name, content);
+    }
+    for (name, bytes) in &report.binary_artifacts {
+        let dest = match &opts.capture {
+            Some(path) if name.ends_with(".btsnoop") => path.as_str(),
+            _ => name.as_str(),
+        };
+        write_binary_artifact(dest, bytes);
     }
     if opts.json.is_some() {
         json_out.push(JsonValue::Obj(vec![
@@ -324,6 +382,36 @@ mod tests {
         assert!(parse_args(&argv(&["--fidelity", "magic"])).is_err());
         assert!(parse_args(&argv(&["--fidelity", "Stat"])).is_err());
         assert!(parse_args(&argv(&["--fidelity"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn capture_and_metrics_flags_parse_strictly() {
+        let plain = parse_args(&[]).unwrap();
+        assert!(!plain.exp.capture);
+        assert_eq!(plain.capture, None);
+        assert_eq!(plain.exp.metrics_every, None);
+        let opts = parse_args(&argv(&[
+            "--capture",
+            "out.btsnoop",
+            "--metrics-every",
+            "500",
+        ]))
+        .unwrap();
+        assert!(opts.exp.capture);
+        assert_eq!(opts.capture.as_deref(), Some("out.btsnoop"));
+        assert_eq!(opts.exp.metrics_every, Some(500));
+        assert!(parse_args(&argv(&["--capture"])).is_err(), "missing value");
+        assert!(
+            parse_args(&argv(&["--capture", "--quick"])).is_err(),
+            "flag eaten as path"
+        );
+        assert!(parse_args(&argv(&["--metrics-every", "soon"])).is_err());
+        assert!(parse_args(&argv(&["--metrics-every", "0"])).is_err());
+        assert!(parse_args(&argv(&["--metrics-every", "-5"])).is_err());
+        assert!(
+            parse_args(&argv(&["--metrics-every"])).is_err(),
+            "missing value"
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@
 #![warn(missing_docs)]
 
 use btsim_coding::BitVec;
-use btsim_kernel::{SimDuration, SimRng, SimTime, Wire};
+use btsim_kernel::{
+    CaptureDir, CaptureKind, CaptureRecord, CaptureSink, SimDuration, SimRng, SimTime, Wire,
+};
 
 /// Number of RF hop channels in the 2.4 GHz band.
 pub const RF_CHANNELS: u8 = 79;
@@ -311,6 +313,11 @@ pub struct Medium {
     /// statistical tier uses it to prove the medium is quiescent
     /// without scanning the buckets.
     last_end: SimTime,
+    /// Packet-capture sink (disabled by default): air records are pushed
+    /// at [`Medium::begin_tx`] and [`Medium::receive`], and the simulator
+    /// interleaves LMP records through [`Medium::capture_mut`], so one
+    /// dispatch-ordered stream serializes to btsnoop.
+    capture: CaptureSink,
 }
 
 /// Occupancy class of an RF channel with respect to fixed-band
@@ -367,7 +374,27 @@ impl Medium {
             tx_stats: TxStats::default(),
             quality: ChannelQuality::default(),
             last_end: SimTime::ZERO,
+            capture: CaptureSink::disabled(),
         }
+    }
+
+    /// The packet-capture sink (disabled unless enabled via
+    /// [`Medium::capture_mut`]).
+    pub fn capture(&self) -> &CaptureSink {
+        &self.capture
+    }
+
+    /// Mutable access to the capture sink, for enabling capture and for
+    /// the simulator's LMP-dispatch taps (which interleave with the air
+    /// records in dispatch order).
+    pub fn capture_mut(&mut self) -> &mut CaptureSink {
+        &mut self.capture
+    }
+
+    /// Replaces the capture sink, returning the old one (used to enable
+    /// capture at build time without re-plumbing constructors).
+    pub fn set_capture(&mut self, sink: CaptureSink) -> CaptureSink {
+        std::mem::replace(&mut self.capture, sink)
     }
 
     /// The medium's configuration.
@@ -440,6 +467,22 @@ impl Medium {
         if jammed {
             self.tx_stats.jammed += 1;
             q.jammed += 1;
+        }
+        if self.capture.is_enabled() {
+            // The TX record carries the verdict known at registration:
+            // `collided` covers overlaps with *earlier* traffic only —
+            // the RX record carries the final decode verdict.
+            self.capture.push(CaptureRecord {
+                at: start,
+                dir: CaptureDir::Sent,
+                kind: CaptureKind::Air,
+                device: source,
+                channel: rf_channel,
+                collided,
+                jammed,
+                orig_bits: noisy.len(),
+                data: noisy.to_bytes_lsb(),
+            });
         }
         let id = TxId(self.next_id);
         self.next_id += 1;
@@ -539,7 +582,9 @@ impl Medium {
         let tx = self.find(id)?;
         let len = tx.noisy_bits.len();
         let (tx_start, tx_end) = (tx.start, tx.end());
-        let mut mask: Option<BitVec> = if tx.jammed {
+        let jammed = tx.jammed;
+        let mut overlapped = false;
+        let mut mask: Option<BitVec> = if jammed {
             // The interferer burst covers the whole packet.
             Some(BitVec::ones(len))
         } else {
@@ -554,6 +599,7 @@ impl Medium {
             if o_end <= tx_start || o_start >= tx_end {
                 continue;
             }
+            overlapped = true;
             let mask = mask.get_or_insert_with(|| BitVec::zeros(len));
             // Mark the overlapped bit span [lo, hi).
             let lo = o_start.since(tx_start).ns() / SimDuration::SYMBOL.ns();
@@ -563,7 +609,7 @@ impl Medium {
                 .div_ceil(SimDuration::SYMBOL.ns());
             mask.fill_range(lo as usize, hi.min(len as u64) as usize);
         }
-        Some(Reception {
+        let rec = Reception {
             tx_id: tx.id,
             source: tx.source,
             rf_channel: tx.rf_channel,
@@ -572,7 +618,25 @@ impl Medium {
             available_at: tx_end + self.cfg.modem_delay,
             bits: tx.noisy_bits.clone(),
             collision_mask: mask,
-        })
+        };
+        if self.capture.is_enabled() {
+            // The RX record mirrors the transmission with the *final*
+            // decode verdict: `collided` now covers overlaps from both
+            // sides of the packet, and a clean record (neither flag) is
+            // one whose air image reached the demodulator undisturbed.
+            self.capture.push(CaptureRecord {
+                at: rec.available_at,
+                dir: CaptureDir::Received,
+                kind: CaptureKind::Air,
+                device: rec.source,
+                channel: rec.rf_channel,
+                collided: overlapped,
+                jammed,
+                orig_bits: rec.bits.len(),
+                data: rec.bits.to_bytes_lsb(),
+            });
+        }
+        Some(rec)
     }
 
     /// Whether any transmission overlapping `[from, to)` on `rf_channel`

@@ -43,6 +43,16 @@ pub struct ExpOptions {
     /// codecs — but `tests/fidelity_equivalence.rs` pins the metric
     /// distributions to the bit tier within tolerance.
     pub fidelity: Fidelity,
+    /// Record a btsnoop packet capture (`--capture`). Experiments that
+    /// honour it run one extra *representative* simulation at the base
+    /// seed with [`SimConfig::capture`] on and attach the serialized
+    /// file as a binary artifact; the Monte-Carlo campaign itself runs
+    /// capture-off, so sampled results are unchanged.
+    pub capture: bool,
+    /// Stream a metrics-hub snapshot every this many slots during the
+    /// representative run (`--metrics-every N`), attached as a JSON-lines
+    /// artifact. Like `capture`, never applied to campaign runs.
+    pub metrics_every: Option<u64>,
 }
 
 impl Default for ExpOptions {
@@ -55,6 +65,8 @@ impl Default for ExpOptions {
             bridge_duty: None,
             engine: Engine::default(),
             fidelity: Fidelity::default(),
+            capture: false,
+            metrics_every: None,
         }
     }
 }
@@ -71,11 +83,23 @@ impl ExpOptions {
     /// Stamps the selected engine and fidelity tier onto a scenario's
     /// simulator configuration — the hook every experiment routes its
     /// `SimConfig` through so `--engine` and `--fidelity` reach all of
-    /// them.
+    /// them. Deliberately does *not* stamp `capture`/`metrics_every`:
+    /// those belong to the one representative run
+    /// ([`ExpOptions::observed_sim`]), never to campaign runs.
     pub fn sim(&self, mut base: SimConfig) -> SimConfig {
         base.engine = self.engine;
         base.fidelity = self.fidelity;
         base
+    }
+
+    /// [`ExpOptions::sim`] plus the observability toggles — for the
+    /// single representative run an experiment performs when
+    /// `--capture` or `--metrics-every` is set.
+    pub fn observed_sim(&self, base: SimConfig) -> SimConfig {
+        let mut cfg = self.sim(base);
+        cfg.capture = self.capture;
+        cfg.metrics_every = self.metrics_every;
+        cfg
     }
 }
 

@@ -1584,6 +1584,165 @@ pub fn scat_speed(opts: &ExpOptions) -> ScatSpeed {
     ScatSpeed { rows }
 }
 
+// ---------------------------------------------------------------------------
+// Observability: representative capture runs and the capture forensics
+// scan (`docs/OBSERVABILITY.md`).
+
+/// Output of a representative observability run: the serialized btsnoop
+/// capture and the streamed metrics lines of one scenario realisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureRun {
+    /// Complete btsnoop file image (header-only when capture was off).
+    pub btsnoop: Vec<u8>,
+    /// Streamed metrics JSON lines (empty when streaming was off).
+    pub metrics: String,
+    /// Records stored by the capture sink.
+    pub records: usize,
+    /// Records dropped at the sink's cap (0 when unbounded).
+    pub dropped: u64,
+}
+
+/// One representative `afh_adapt` realisation at the base seed with the
+/// observability toggles from `opts` applied (packet capture and/or
+/// metrics streaming, [`ExpOptions::observed_sim`]).
+///
+/// The Monte-Carlo campaign behind the experiment's tables never sees
+/// these toggles — this extra run exists purely to produce the
+/// artifacts, so `--capture` changes no reported number.
+pub fn afh_capture_run(opts: &ExpOptions) -> CaptureRun {
+    let scenario = AfhAdaptScenario::new(AfhAdaptConfig {
+        wlan: btsim_channel::Interferer::wlan(40, 0.5),
+        afh: AfhConfig {
+            enabled: true,
+            ..AfhConfig::default()
+        },
+        sim: opts.observed_sim(paper_config()),
+        ..AfhAdaptConfig::default()
+    });
+    let mut sim = scenario.build(opts.base_seed);
+    let _ = scenario.drive(&mut sim);
+    CaptureRun {
+        btsnoop: btsim_trace::btsnoop::serialize_sink(sim.capture()),
+        metrics: sim.metrics_lines().to_string(),
+        records: sim.capture().len(),
+        dropped: sim.capture().dropped(),
+    }
+}
+
+/// One per-channel row of the capture forensics scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureScanRow {
+    /// RF channel index (0..79).
+    pub channel: u8,
+    /// Packets transmitted on the channel.
+    pub transmissions: u64,
+    /// Of those, packets a co-channel transmission overlapped.
+    pub collided: u64,
+    /// Of those, packets an interferer burst wiped.
+    pub jammed: u64,
+}
+
+/// Result of the `capture_scan` experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureScan {
+    /// The serialized capture the forensics were replayed from.
+    pub btsnoop: Vec<u8>,
+    /// Per-channel verdicts, channels with traffic only, ascending.
+    pub rows: Vec<CaptureScanRow>,
+    /// Air records in the file (both directions).
+    pub air_records: usize,
+    /// LMP PDU records in the file.
+    pub lmp_records: usize,
+}
+
+impl CaptureScan {
+    /// Renders the per-channel forensics table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["RF channel", "tx", "collided", "jammed", "jam rate"]);
+        for r in &self.rows {
+            t.row([
+                r.channel.to_string(),
+                r.transmissions.to_string(),
+                r.collided.to_string(),
+                r.jammed.to_string(),
+                format!(
+                    "{:.0}%",
+                    r.jammed as f64 / r.transmissions.max(1) as f64 * 100.0
+                ),
+            ]);
+        }
+        t
+    }
+
+    /// Total jammed transmissions across all channels.
+    pub fn jammed_total(&self) -> u64 {
+        self.rows.iter().map(|r| r.jammed).sum()
+    }
+}
+
+/// **Capture** — records a jam-heavy `AfhAdaptScenario` realisation
+/// (full-duty `wlan(40, 1.0)`, AFH policy off) into a btsnoop capture,
+/// then *replays the serialized file through the in-repo reader* and
+/// reports per-channel transmission/collision/jam forensics from the
+/// parsed records alone. Exercises the whole capture path — sink, taps,
+/// serializer, reader — and is deterministic for a fixed base seed.
+pub fn capture_scan(opts: &ExpOptions) -> CaptureScan {
+    let mut sim_cfg = opts.sim(paper_config());
+    sim_cfg.capture = true;
+    sim_cfg.metrics_every = opts.metrics_every;
+    let scenario = AfhAdaptScenario::new(AfhAdaptConfig {
+        wlan: btsim_channel::Interferer::wlan(40, 1.0),
+        afh: AfhConfig {
+            enabled: false,
+            assess_slots: 1_500,
+            ..AfhConfig::default()
+        },
+        window_slots: 1_500,
+        sim: sim_cfg,
+        ..AfhAdaptConfig::default()
+    });
+    let mut sim = scenario.build(opts.base_seed);
+    let _ = scenario.drive(&mut sim);
+    let btsnoop = btsim_trace::btsnoop::serialize_sink(sim.capture());
+    let parsed =
+        btsim_trace::btsnoop::parse(&btsnoop).expect("the reader accepts its own serializer");
+    let mut per = std::collections::BTreeMap::<u8, (u64, u64, u64)>::new();
+    let (mut air, mut lmp) = (0usize, 0usize);
+    for r in &parsed.records {
+        if r.payload.is_empty() {
+            continue; // trailing drop marker
+        }
+        if r.is_lmp() {
+            lmp += 1;
+            continue;
+        }
+        air += 1;
+        if r.received() {
+            continue; // count each packet once, at its TX record
+        }
+        let e = per.entry(r.channel().unwrap_or(0)).or_default();
+        e.0 += 1;
+        e.1 += u64::from(r.collided());
+        e.2 += u64::from(r.jammed());
+    }
+    CaptureScan {
+        btsnoop,
+        rows: per
+            .into_iter()
+            .map(
+                |(channel, (transmissions, collided, jammed))| CaptureScanRow {
+                    channel,
+                    transmissions,
+                    collided,
+                    jammed,
+                },
+            )
+            .collect(),
+        air_records: air,
+        lmp_records: lmp,
+    }
+}
+
 /// Helper for binaries: filters logged events of one device.
 pub fn events_of(events: &[LoggedEvent], device: usize) -> Vec<&LoggedEvent> {
     events.iter().filter(|e| e.device == device).collect()

@@ -27,6 +27,8 @@ pub struct ExpReport {
     pub text: Vec<String>,
     /// File artifacts to write next to the output: `(name, content)`.
     pub artifacts: Vec<(String, String)>,
+    /// Binary file artifacts (btsnoop captures): `(name, bytes)`.
+    pub binary_artifacts: Vec<(String, Vec<u8>)>,
 }
 
 impl ExpReport {
@@ -59,6 +61,12 @@ impl ExpReport {
     /// Adds a file artifact.
     pub fn artifact(mut self, name: impl Into<String>, content: impl Into<String>) -> Self {
         self.artifacts.push((name.into(), content.into()));
+        self
+    }
+
+    /// Adds a binary file artifact.
+    pub fn binary_artifact(mut self, name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        self.binary_artifacts.push((name.into(), bytes));
         self
     }
 
@@ -95,6 +103,11 @@ impl ExpReport {
                     self.artifacts
                         .iter()
                         .map(|(n, _)| JsonValue::from(n.clone()))
+                        .chain(
+                            self.binary_artifacts
+                                .iter()
+                                .map(|(n, _)| JsonValue::from(n.clone())),
+                        )
                         .collect(),
                 ),
             ),
@@ -148,7 +161,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
     REGISTRY.iter().find(|e| e.name == name)
 }
 
-static REGISTRY: [Experiment; 20] = [
+static REGISTRY: [Experiment; 21] = [
     Experiment {
         name: "fig5_waveform",
         description: "Fig. 5 — piconet-creation waveforms (enable_tx_RF / enable_rx_RF)",
@@ -248,6 +261,11 @@ static REGISTRY: [Experiment; 20] = [
         name: "scat_speed",
         description: "Scat-C — multi-piconet simulation speed (Table 1 extension)",
         runner: run_scat_speed,
+    },
+    Experiment {
+        name: "capture_scan",
+        description: "Capture — per-channel jam/collision forensics replayed from a btsnoop file",
+        runner: run_capture_scan,
     },
 ];
 
@@ -372,7 +390,7 @@ fn run_ext_wlan(opts: &ExpOptions) -> ExpReport {
 
 fn run_afh_adapt(opts: &ExpOptions) -> ExpReport {
     let f = afh_adapt(opts);
-    ExpReport::new(
+    let mut report = ExpReport::new(
         "AFH — assessment → LMP map exchange → synchronized hop remapping vs wlan(40, 0.5)",
     )
     .note(
@@ -380,7 +398,23 @@ fn run_afh_adapt(opts: &ExpOptions) -> ExpReport {
     )
     .table(f.table())
     .note("(extended CoexistenceScenario: piconet B forms under the WLAN, then transfers)")
-    .table(f.coexist_table())
+    .table(f.coexist_table());
+    // Observability toggles run one extra representative realisation at
+    // the base seed; the campaign numbers above never see them.
+    if opts.capture || opts.metrics_every.is_some() {
+        let rep = afh_capture_run(opts);
+        report = report.note(format!(
+            "(representative run at seed {}: {} capture records, {} dropped)",
+            opts.base_seed, rep.records, rep.dropped
+        ));
+        if opts.capture {
+            report = report.binary_artifact("afh_adapt.btsnoop", rep.btsnoop);
+        }
+        if opts.metrics_every.is_some() {
+            report = report.artifact("afh_adapt.metrics.jsonl", rep.metrics);
+        }
+    }
+    report
 }
 
 fn run_ext_ablation(opts: &ExpOptions) -> ExpReport {
@@ -432,6 +466,20 @@ fn run_scat_speed(opts: &ExpOptions) -> ExpReport {
         .table(f.table())
 }
 
+fn run_capture_scan(opts: &ExpOptions) -> ExpReport {
+    let f = capture_scan(opts);
+    ExpReport::new("Capture — per-channel jam/collision forensics replayed from a btsnoop file")
+        .note(
+            "(jam-heavy setup: full-duty wlan(40, 1.0), AFH off — the interferer band soaks hits)",
+        )
+        .note(format!(
+            "({} air records and {} LMP records parsed back by the in-repo btsnoop reader)",
+            f.air_records, f.lmp_records
+        ))
+        .table(f.table())
+        .binary_artifact("capture_scan.btsnoop", f.btsnoop)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,7 +487,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_nonempty() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

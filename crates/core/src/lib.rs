@@ -9,18 +9,28 @@
 //! [`campaign`] engine, and the paper's experiments ([`experiments`] —
 //! one function per figure, all runnable through the
 //! [`experiments::registry`]).
+//!
+//! The observability layer (`docs/OBSERVABILITY.md`) lives here too:
+//! [`SimConfig::capture`] records every air packet and LMP PDU for
+//! btsnoop export, [`observe`] merges the event logs into one
+//! instant-ordered stream, and [`metrics`] aggregates named counters
+//! and gauges from every subsystem with snapshot/`since` semantics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod experiments;
+pub mod metrics;
 pub mod net;
+pub mod observe;
 pub mod scenario;
 mod simulator;
 
 pub use btsim_fidelity::Fidelity;
 pub use campaign::{Campaign, CampaignResult, ExpOptions, PointResult};
+pub use metrics::MetricsSnapshot;
+pub use observe::{ObsCursor, SimEvent};
 pub use scenario::Scenario;
 pub use simulator::{
     AfhConfig, DuplicateAddr, Engine, EventCursor, HorizonReached, LoggedEvent, LoggedLmEvent,

@@ -1,0 +1,202 @@
+//! The unified event stream: one merged, instant-ordered view over the
+//! simulator's link-controller and link-manager logs.
+//!
+//! The two logs ([`Simulator::events`](crate::Simulator::events) and
+//! [`Simulator::lm_events`](crate::Simulator::lm_events)) each preserve
+//! dispatch order, but an observer that wants "what happened, in order"
+//! had to zip them by hand. [`crate::Simulator::observe`] hands out an
+//! [`ObsCursor`] and
+//! [`crate::Simulator::events_merged_since`] drains both logs through it
+//! as one [`SimEvent`] sequence, merged stably by instant with
+//! link-controller events ahead of link-manager events at a shared
+//! instant (the LC layer produces the PDU the LM layer reacts to).
+//! Cursors are independent, exactly like [`crate::EventCursor`]: each
+//! observer holds its own and never perturbs another's progress.
+//!
+//! [`to_json_lines`] renders a drained batch one JSON object per line —
+//! the stable serialization consumed by tooling (schema in
+//! `docs/OBSERVABILITY.md`). The `event` field is the variant name, the
+//! `detail` field the full Rust debug form; both are deterministic, so
+//! two bit-identical runs produce byte-identical streams.
+
+use crate::simulator::{LoggedEvent, LoggedLmEvent};
+use btsim_kernel::SimTime;
+use btsim_stats::JsonValue;
+
+/// One event from the merged stream: either layer, with its time and
+/// originating device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// A link-controller (baseband) event.
+    Lc(LoggedEvent),
+    /// A link-manager (LMP host layer) event.
+    Lm(LoggedLmEvent),
+}
+
+impl SimEvent {
+    /// When the event happened.
+    pub fn at(&self) -> SimTime {
+        match self {
+            SimEvent::Lc(e) => e.at,
+            SimEvent::Lm(e) => e.at,
+        }
+    }
+
+    /// Which device reported it.
+    pub fn device(&self) -> usize {
+        match self {
+            SimEvent::Lc(e) => e.device,
+            SimEvent::Lm(e) => e.device,
+        }
+    }
+
+    /// The layer that produced it: `"lc"` or `"lm"`.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            SimEvent::Lc(_) => "lc",
+            SimEvent::Lm(_) => "lm",
+        }
+    }
+
+    /// The event's variant name (`"Connected"`, `"SetupComplete"`, …).
+    pub fn name(&self) -> String {
+        let detail = self.detail();
+        detail
+            .split([' ', '{', '('])
+            .next()
+            .unwrap_or("")
+            .to_string()
+    }
+
+    /// The event's full debug form (fields included).
+    pub fn detail(&self) -> String {
+        match self {
+            SimEvent::Lc(e) => format!("{:?}", e.event),
+            SimEvent::Lm(e) => format!("{:?}", e.event),
+        }
+    }
+
+    /// The event as one JSON object (one line of the stream).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("at_us".to_string(), JsonValue::UInt(self.at().us())),
+            ("device".to_string(), JsonValue::UInt(self.device() as u64)),
+            ("layer".to_string(), JsonValue::from(self.layer())),
+            ("event".to_string(), JsonValue::from(self.name())),
+            ("detail".to_string(), JsonValue::from(self.detail())),
+        ])
+    }
+}
+
+/// A position in the merged stream: one cursor per underlying log.
+///
+/// A fresh cursor ([`ObsCursor::default`]) starts at the beginning of
+/// both logs; [`crate::Simulator::observe`] starts at their current
+/// ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsCursor {
+    pub(crate) lc: usize,
+    pub(crate) lm: usize,
+}
+
+/// Stable two-pointer merge of the unseen suffixes of both logs,
+/// advancing `cursor` to their ends. LC wins ties (see module docs).
+pub(crate) fn merge_since(
+    lc: &[LoggedEvent],
+    lm: &[LoggedLmEvent],
+    cursor: &mut ObsCursor,
+) -> Vec<SimEvent> {
+    let mut i = cursor.lc.min(lc.len());
+    let mut j = cursor.lm.min(lm.len());
+    let mut out = Vec::with_capacity((lc.len() - i) + (lm.len() - j));
+    while i < lc.len() || j < lm.len() {
+        let take_lc = match (lc.get(i), lm.get(j)) {
+            (Some(a), Some(b)) => a.at <= b.at,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_lc {
+            out.push(SimEvent::Lc(lc[i].clone()));
+            i += 1;
+        } else {
+            out.push(SimEvent::Lm(lm[j].clone()));
+            j += 1;
+        }
+    }
+    cursor.lc = lc.len();
+    cursor.lm = lm.len();
+    out
+}
+
+/// Renders a drained batch as JSON lines (one object per line, trailing
+/// newline after each).
+pub fn to_json_lines(events: &[SimEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json().render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btsim_baseband::LcEvent;
+    use btsim_lmp::LmEvent;
+
+    fn lc(at_us: u64, device: usize) -> LoggedEvent {
+        LoggedEvent {
+            at: SimTime::from_us(at_us),
+            device,
+            event: LcEvent::InquiryComplete { responses: 1 },
+        }
+    }
+
+    fn lm(at_us: u64, device: usize) -> LoggedLmEvent {
+        LoggedLmEvent {
+            at: SimTime::from_us(at_us),
+            device,
+            event: LmEvent::SetupComplete { lt_addr: 1 },
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_instant_with_lc_winning_ties() {
+        let lcs = [lc(10, 0), lc(30, 0)];
+        let lms = [lm(10, 1), lm(20, 1)];
+        let mut cur = ObsCursor::default();
+        let merged = merge_since(&lcs, &lms, &mut cur);
+        let shape: Vec<(u64, &str)> = merged.iter().map(|e| (e.at().us(), e.layer())).collect();
+        assert_eq!(shape, vec![(10, "lc"), (10, "lm"), (20, "lm"), (30, "lc")]);
+        // The cursor is at the end: a re-drain is empty.
+        assert!(merge_since(&lcs, &lms, &mut cur).is_empty());
+    }
+
+    #[test]
+    fn cursor_resumes_mid_stream() {
+        let lcs = [lc(10, 0), lc(30, 0)];
+        let lms = [lm(20, 1)];
+        let mut cur = ObsCursor::default();
+        merge_since(&lcs[..1], &lms[..0], &mut cur);
+        let rest = merge_since(&lcs, &lms, &mut cur);
+        let shape: Vec<(u64, &str)> = rest.iter().map(|e| (e.at().us(), e.layer())).collect();
+        assert_eq!(shape, vec![(20, "lm"), (30, "lc")]);
+    }
+
+    #[test]
+    fn json_lines_are_stable_and_named() {
+        let events = [SimEvent::Lc(lc(10, 2)), SimEvent::Lm(lm(20, 3))];
+        let lines = to_json_lines(&events);
+        let rows: Vec<&str> = lines.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("\"at_us\":10"));
+        assert!(rows[0].contains("\"device\":2"));
+        assert!(rows[0].contains("\"layer\":\"lc\""));
+        assert!(rows[0].contains("\"event\":\"InquiryComplete\""));
+        assert!(rows[0].contains("responses"));
+        assert!(rows[1].contains("\"event\":\"SetupComplete\""));
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(lines, to_json_lines(&events));
+    }
+}

@@ -17,14 +17,19 @@
 //! contract and the differential harness that gates both engines to
 //! bit-identical behaviour.
 
+use crate::metrics::{MetricsSnapshot, MetricsStream};
+use crate::observe::{merge_since, ObsCursor, SimEvent};
 use btsim_baseband::{
     stat_slot_pair, BdAddr, ClkVal, Clock, LcAction, LcCommand, LcConfig, LcEvent, LifePhase,
-    LinkController, RxDelivery, StatSide,
+    LinkController, Llid, RxDelivery, StatSide,
 };
 use btsim_channel::{ChannelConfig, ChannelQuality, DutyClass, Medium, TxId, TxStats};
 use btsim_coding::BitVec;
 use btsim_fidelity::{ErrorModel, Fidelity};
-use btsim_kernel::{Calendar, SignalRef, SimDuration, SimRng, SimTime, TraceRecorder, TraceValue};
+use btsim_kernel::{
+    Calendar, CaptureDir, CaptureKind, CaptureRecord, CaptureSink, SignalRef, SimDuration, SimRng,
+    SimTime, TraceRecorder, TraceValue,
+};
 use btsim_lmp::{LinkManager, LmEvent, LmOutput, LmRole};
 use btsim_power::{DeviceReport, PowerMonitor};
 
@@ -143,6 +148,17 @@ pub struct SimConfig {
     pub afh: AfhConfig,
     /// Record waveforms (off for Monte-Carlo batches).
     pub trace: bool,
+    /// Record every air packet and LMP PDU into the capture sink
+    /// ([`Simulator::capture`]); serialize with
+    /// `btsim_trace::btsnoop::serialize_sink`. Like tracing, capture
+    /// pins the PHY to the bit tier (the statistical tier produces no
+    /// bit images to record). Off by default: the hot path then costs
+    /// one branch per packet.
+    pub capture: bool,
+    /// Emit a metrics-hub snapshot as a JSON line every this many slots
+    /// ([`Simulator::metrics_lines`]); `None` (the default) disables
+    /// streaming entirely.
+    pub metrics_every: Option<u64>,
     /// Randomise each device's initial CLKN (on by default; scenarios
     /// that model pre-synchronised devices may turn it off).
     pub random_clkn: bool,
@@ -161,6 +177,8 @@ impl Default for SimConfig {
             lc: LcConfig::default(),
             afh: AfhConfig::default(),
             trace: false,
+            capture: false,
+            metrics_every: None,
             random_clkn: true,
             engine: Engine::default(),
             fidelity: Fidelity::default(),
@@ -350,7 +368,10 @@ impl SimBuilder {
     /// Finalises the simulator.
     pub fn build(self) -> Simulator {
         let root = SimRng::new(self.seed);
-        let medium = Medium::new(self.cfg.channel.clone(), root.fork(0xC4A7));
+        let mut medium = Medium::new(self.cfg.channel.clone(), root.fork(0xC4A7));
+        if self.cfg.capture {
+            medium.set_capture(CaptureSink::enabled());
+        }
         let mut recorder = if self.cfg.trace {
             TraceRecorder::enabled()
         } else {
@@ -400,9 +421,10 @@ impl SimBuilder {
             steps_since_gc: 0,
             inspect_cursor: 0,
             engine: self.cfg.engine,
-            // Waveform tracing needs the bit-level RF signal edges, so
-            // it pins the PHY to the bit tier.
-            fidelity: if self.cfg.trace {
+            // Waveform tracing needs the bit-level RF signal edges and
+            // packet capture needs the bit images, so either pins the
+            // PHY to the bit tier.
+            fidelity: if self.cfg.trace || self.cfg.capture {
                 Fidelity::Bit
             } else {
                 self.cfg.fidelity
@@ -416,6 +438,9 @@ impl SimBuilder {
             wake: vec![None; n],
             wake_seq: 0,
             steps_total: 0,
+            fidelity_promotions: 0,
+            fidelity_demotions: 0,
+            metrics: self.cfg.metrics_every.map(MetricsStream::new),
         }
     }
 }
@@ -469,6 +494,13 @@ pub struct Simulator {
     wake_seq: u64,
     /// Calendar events dispatched so far (engine-cost diagnostic).
     steps_total: u64,
+    /// Statistical-tier promotions observed so far (metrics hub).
+    fidelity_promotions: u64,
+    /// Statistical-tier demotions observed so far (metrics hub).
+    fidelity_demotions: u64,
+    /// Streaming metrics emission, when [`SimConfig::metrics_every`] is
+    /// set.
+    metrics: Option<MetricsStream>,
 }
 
 /// `run_until_event`-style search hit its time horizon with no matching
@@ -537,6 +569,76 @@ impl Simulator {
     /// All logged link-manager events so far.
     pub fn lm_events(&self) -> &[LoggedLmEvent] {
         &self.lm_events
+    }
+
+    /// The packet-capture sink (air packets and LMP PDUs, in dispatch
+    /// order). Disabled — and empty — unless [`SimConfig::capture`] was
+    /// set; serialize with `btsim_trace::btsnoop::serialize_sink`.
+    pub fn capture(&self) -> &CaptureSink {
+        self.medium.capture()
+    }
+
+    /// A cursor at the current end of the merged event stream (events
+    /// logged after this call are "since" it). A fresh
+    /// [`ObsCursor::default`] starts at the beginning instead.
+    pub fn observe(&self) -> ObsCursor {
+        ObsCursor {
+            lc: self.events.len(),
+            lm: self.lm_events.len(),
+        }
+    }
+
+    /// The unified event stream since `cursor`: both logs merged stably
+    /// by instant (link-controller events ahead of link-manager events
+    /// at a shared instant), advancing the cursor to their ends. Render
+    /// with [`crate::observe::to_json_lines`].
+    pub fn events_merged_since(&self, cursor: &mut ObsCursor) -> Vec<SimEvent> {
+        merge_since(&self.events, &self.lm_events, cursor)
+    }
+
+    /// A metrics-hub snapshot of every subsystem at the current instant:
+    /// medium counters, per-device power/buffer/fidelity state, engine
+    /// progress and event-log sizes. Built on demand from state the
+    /// subsystems already maintain — the hub costs nothing between
+    /// calls. Diff two snapshots with [`MetricsSnapshot::since`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new(self.cal.now());
+        let tx = self.medium.tx_stats();
+        s.push_counter("medium.transmissions", tx.transmissions);
+        s.push_counter("medium.collided", tx.collided);
+        s.push_counter("medium.jammed", tx.jammed);
+        s.push_counter("fidelity.promotions", self.fidelity_promotions);
+        s.push_counter("fidelity.demotions", self.fidelity_demotions);
+        s.push_counter("engine.steps", self.steps_total);
+        s.push_counter("events.lc", self.events.len() as u64);
+        s.push_counter("events.lm", self.lm_events.len() as u64);
+        s.push_counter("capture.records", self.medium.capture().len() as u64);
+        for (d, cell) in self.devices.iter().enumerate() {
+            let rep = self.power_report(d);
+            s.push_counter(format!("dev{d}.power.tx_us"), rep.tx.us());
+            s.push_counter(format!("dev{d}.power.rx_us"), rep.rx.us());
+            s.push_gauge(
+                format!("dev{d}.buffer.queued_bytes"),
+                cell.lc.queued_tx_bytes() as f64,
+            );
+            s.push_gauge(
+                format!("dev{d}.fidelity.promoted"),
+                if cell.lc.stat_promoted() { 1.0 } else { 0.0 },
+            );
+        }
+        s.push_gauge("medium.ber", self.medium.measured_ber());
+        s.push_gauge(
+            "medium.bad_rate",
+            self.medium.channel_quality().total().bad_rate(),
+        );
+        s
+    }
+
+    /// The JSON lines streamed so far (one snapshot per
+    /// [`SimConfig::metrics_every`] period); empty when streaming is
+    /// off. See `docs/OBSERVABILITY.md` for the line schema.
+    pub fn metrics_lines(&self) -> &str {
+        self.metrics.as_ref().map_or("", |m| m.lines())
     }
 
     /// Observed channel bit-error fraction (diagnostics).
@@ -727,6 +829,14 @@ impl Simulator {
             self.steps_since_gc = 0;
             self.medium.gc(t, MEDIUM_RETENTION);
         }
+        // Streaming metrics: one comparison per dispatched event when
+        // enabled, one `Option` discriminant test when not.
+        if self.metrics.as_ref().is_some_and(|m| t >= m.next_at) {
+            let snap = self.metrics_snapshot();
+            if let Some(m) = self.metrics.as_mut() {
+                m.emit(snap);
+            }
+        }
         match ev {
             Ev::Tick(dev) => {
                 let ff = self.devices[dev].lc.ff_until();
@@ -760,6 +870,7 @@ impl Simulator {
                 self.arm_wake();
             }
             Ev::Command { dev, cmd, inserted } => {
+                self.capture_lmp_out(dev, &cmd, t);
                 let actions = self.devices[dev].lc.command(cmd, t);
                 self.apply_actions(dev, actions, t);
                 // A command scheduled *before* this instant runs ahead of
@@ -885,6 +996,41 @@ impl Simulator {
     /// `LcAction::Event` arm of `apply_actions`. The tier never batches
     /// LMP traffic or phase changes, so the manager provably ignores
     /// everything routed through here.
+    /// Bumps the metrics hub's fidelity-tier residency counters; called
+    /// at every event-log push site so the counts never miss a
+    /// transition regardless of which path logged it.
+    fn note_fidelity(&mut self, event: &LcEvent) {
+        if let LcEvent::FidelityChanged { promoted } = event {
+            if *promoted {
+                self.fidelity_promotions += 1;
+            } else {
+                self.fidelity_demotions += 1;
+            }
+        }
+    }
+
+    /// Captures an outbound LMP PDU (the host-layer side of the packet
+    /// capture); no-op for other commands or when capture is off.
+    fn capture_lmp_out(&mut self, dev: usize, cmd: &LcCommand, now: SimTime) {
+        if !self.medium.capture().is_enabled() {
+            return;
+        }
+        if let LcCommand::Lmp { lt_addr, data } = cmd {
+            let rec = CaptureRecord {
+                at: now,
+                dir: CaptureDir::Sent,
+                kind: CaptureKind::Lmp,
+                device: dev,
+                channel: *lt_addr,
+                collided: false,
+                jammed: false,
+                orig_bits: data.len() * 8,
+                data: data.clone(),
+            };
+            self.medium.capture_mut().push(rec);
+        }
+    }
+
     fn log_stat_event(&mut self, dev: usize, at: SimTime, event: LcEvent) {
         // The manager only ever reacts to LMP-carrying `AclReceived`
         // events, which the stability gate keeps out of batches — so
@@ -897,6 +1043,7 @@ impl Simulator {
                 "statistical tier batched an LM-visible event"
             );
         }
+        self.note_fidelity(&event);
         self.events.push(LoggedEvent {
             at,
             device: dev,
@@ -1227,6 +1374,30 @@ impl Simulator {
                     if let LcEvent::PhaseChanged { phase } = &event {
                         self.monitor.set_phase(dev, *phase, now);
                     }
+                    self.note_fidelity(&event);
+                    // Inbound LMP PDUs join the capture alongside the
+                    // air packets that carried them.
+                    if self.medium.capture().is_enabled() {
+                        if let LcEvent::AclReceived {
+                            lt_addr,
+                            llid: Llid::Lmp,
+                            data,
+                        } = &event
+                        {
+                            let rec = CaptureRecord {
+                                at: now,
+                                dir: CaptureDir::Received,
+                                kind: CaptureKind::Lmp,
+                                device: dev,
+                                channel: *lt_addr,
+                                collided: false,
+                                jammed: false,
+                                orig_bits: data.len() * 8,
+                                data: data.clone(),
+                            };
+                            self.medium.capture_mut().push(rec);
+                        }
+                    }
                     self.events.push(LoggedEvent {
                         at: now,
                         device: dev,
@@ -1244,6 +1415,7 @@ impl Simulator {
         for o in outs {
             match o {
                 LmOutput::Command(cmd) => {
+                    self.capture_lmp_out(dev, &cmd, now);
                     let actions = self.devices[dev].lc.command(cmd, now);
                     self.apply_actions(dev, actions, now);
                 }

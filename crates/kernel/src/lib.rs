@@ -12,6 +12,8 @@
 //!   resolver semantics;
 //! * [`TraceRecorder`] — named signal waveforms (`enable_rx_RF`, …) for
 //!   VCD/ASCII rendering;
+//! * [`CaptureSink`] — packet-capture records (air traffic + LMP PDUs)
+//!   for btsnoop export (`btsim-trace::btsnoop`, `docs/OBSERVABILITY.md`);
 //! * [`SimRng`] — seedable, forkable random streams for reproducible
 //!   Monte-Carlo campaigns.
 //!
@@ -41,12 +43,14 @@
 #![warn(missing_docs)]
 
 mod calendar;
+mod capture;
 mod rng;
 mod signal;
 mod time;
 mod wire;
 
 pub use calendar::Calendar;
+pub use capture::{CaptureDir, CaptureKind, CaptureRecord, CaptureSink, MAX_AIR_PAYLOAD};
 pub use rng::SimRng;
 pub use signal::{SignalInfo, SignalRef, TraceRecord, TraceRecorder, TraceValue};
 pub use time::{SimDuration, SimTime};

@@ -67,6 +67,18 @@ pub struct TraceRecord {
 /// A disabled recorder (the default for Monte-Carlo batches) ignores all
 /// records, so instrumentation can stay unconditionally in the hot path.
 ///
+/// # Memory behaviour
+///
+/// An enabled recorder stores every record (~32 bytes each) for the
+/// whole run — fine for the paper's millisecond waveform windows, a
+/// hazard for hour-long captures. [`TraceRecorder::set_record_cap`]
+/// bounds growth: once the cap is reached further records are counted
+/// in [`TraceRecorder::dropped`] instead of stored, so a long campaign
+/// keeps its waveform head instead of dying of memory. Renderers that
+/// emit repeatedly should prefer `btsim_trace::to_vcd_into`, which
+/// appends into a caller-owned buffer instead of rebuilding the whole
+/// VCD string per call.
+///
 /// # Examples
 ///
 /// ```
@@ -83,6 +95,9 @@ pub struct TraceRecorder {
     signals: Vec<SignalInfo>,
     records: Vec<TraceRecord>,
     enabled: bool,
+    /// `0` means unbounded.
+    record_cap: usize,
+    dropped: u64,
 }
 
 impl TraceRecorder {
@@ -117,11 +132,30 @@ impl TraceRecorder {
         SignalRef(self.signals.len() - 1)
     }
 
-    /// Records a value change (no-op when disabled).
+    /// Caps stored records at `cap` (`0` = unbounded, the default).
+    /// Records past the cap are counted in [`TraceRecorder::dropped`]
+    /// instead of stored — the guard that keeps long captures from
+    /// growing without bound (see *Memory behaviour* above).
+    pub fn set_record_cap(&mut self, cap: usize) {
+        self.record_cap = cap;
+    }
+
+    /// Records dropped at the cap (never nonzero without a cap).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records a value change (no-op when disabled; counted as dropped
+    /// once the record cap is reached).
     pub fn record(&mut self, at: SimTime, signal: SignalRef, value: TraceValue) {
-        if self.enabled {
-            self.records.push(TraceRecord { at, signal, value });
+        if !self.enabled {
+            return;
         }
+        if self.record_cap != 0 && self.records.len() >= self.record_cap {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(TraceRecord { at, signal, value });
     }
 
     /// Declared signals, indexable by [`SignalRef`].
@@ -202,6 +236,25 @@ mod tests {
         tr.record(SimTime::from_us(20), a, TraceValue::Bit(false));
         let times: Vec<u64> = tr.sorted_records().iter().map(|r| r.at.us()).collect();
         assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn record_cap_counts_drops() {
+        let mut tr = TraceRecorder::enabled();
+        let a = tr.declare("s", "sig", 1);
+        tr.set_record_cap(2);
+        for i in 0..5 {
+            tr.record(SimTime::from_us(i), a, TraceValue::Bit(i % 2 == 0));
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        // An uncapped recorder never reports drops.
+        let mut free = TraceRecorder::enabled();
+        let b = free.declare("s", "sig", 1);
+        for i in 0..5 {
+            free.record(SimTime::from_us(i), b, TraceValue::Bit(true));
+        }
+        assert_eq!(free.dropped(), 0);
     }
 
     #[test]

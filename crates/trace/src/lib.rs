@@ -5,13 +5,22 @@
 //! Figs. 5 and 9). This crate renders the kernel's [`TraceRecorder`]
 //! records two ways:
 //!
-//! * [`to_vcd`] — a standard Value Change Dump file, viewable in GTKWave;
+//! * [`to_vcd`] — a standard Value Change Dump file, viewable in GTKWave
+//!   ([`to_vcd_into`] appends into a caller-owned buffer, for repeated
+//!   emission without rebuilding the whole string);
 //! * [`render_ascii`] — a terminal waveform, one row per signal, where a
 //!   column shows `#` if the signal was ever high inside its time span
 //!   (so short RF bursts stay visible at coarse resolutions).
+//!
+//! The [`btsnoop`] module serializes the kernel's packet-capture records
+//! ([`btsim_kernel::CaptureSink`]) to the btsnoop file format and parses
+//! them back — the packet-level side of the observability layer
+//! (`docs/OBSERVABILITY.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod btsnoop;
 
 use std::fmt::Write as _;
 
@@ -37,6 +46,17 @@ use btsim_kernel::{SimTime, TraceRecord, TraceRecorder, TraceValue, Wire};
 /// ```
 pub fn to_vcd(recorder: &TraceRecorder) -> String {
     let mut out = String::new();
+    to_vcd_into(recorder, &mut out);
+    out
+}
+
+/// [`to_vcd`] into a caller-owned buffer: appends the VCD document to
+/// `out`, reusing its capacity. Callers that emit waveforms repeatedly
+/// (streaming snapshots, long campaigns) should clear and reuse one
+/// buffer instead of paying a fresh allocation + full rebuild per call;
+/// pair it with [`TraceRecorder::set_record_cap`] to bound the
+/// recorder's own growth.
+pub fn to_vcd_into(recorder: &TraceRecorder, out: &mut String) {
     out.push_str("$timescale 1ns $end\n");
     // Group signals by scope, preserving declaration order.
     let signals = recorder.signals();
@@ -104,7 +124,6 @@ pub fn to_vcd(recorder: &TraceRecorder) -> String {
             }
         }
     }
-    out
 }
 
 /// Options for the ASCII renderer.
@@ -215,6 +234,19 @@ mod tests {
         assert!(vcd.contains("#100000"));
         assert!(vcd.contains("1!"));
         assert!(vcd.contains("0!"));
+    }
+
+    #[test]
+    fn vcd_into_matches_and_reuses_the_buffer() {
+        let tr = sample_recorder();
+        let fresh = to_vcd(&tr);
+        let mut buf = String::from("stale");
+        buf.clear();
+        to_vcd_into(&tr, &mut buf);
+        assert_eq!(fresh, buf);
+        // Appending semantics: a second emission doubles the content.
+        to_vcd_into(&tr, &mut buf);
+        assert_eq!(buf.len(), fresh.len() * 2);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Validate and summarise a btsnoop capture produced by `--capture`:
+//! parses the file with the in-repo reader (which checks the exact
+//! framing of every record) and prints per-layer, per-direction and
+//! per-verdict counts. Exits nonzero on a malformed or empty capture —
+//! CI runs it over the files the experiment binaries export.
+//!
+//! ```text
+//! cargo run --release --example btsnoop_info -- out.btsnoop
+//! ```
+
+use std::process::ExitCode;
+
+use btsim::trace::btsnoop;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: btsnoop_info <capture.btsnoop>");
+        return ExitCode::from(2);
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match btsnoop::parse(&bytes) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid btsnoop file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = file.records.len();
+    let count = |pred: fn(&btsnoop::ParsedRecord) -> bool| -> usize {
+        file.records.iter().filter(|r| pred(r)).count()
+    };
+    let air = count(|r| !r.is_lmp());
+    let lmp = count(|r| r.is_lmp());
+    let rx = count(|r| r.received());
+    let collided = count(|r| r.collided());
+    let jammed = count(|r| r.jammed());
+    let span_us = match (file.records.first(), file.records.last()) {
+        (Some(first), Some(last)) => last.sim_time_us() - first.sim_time_us(),
+        _ => 0,
+    };
+    println!(
+        "{path}: btsnoop v{} datalink {}",
+        file.version, file.datalink
+    );
+    println!(
+        "  {n} records ({air} air, {lmp} LMP; {rx} received, {} sent)",
+        n - rx
+    );
+    println!(
+        "  verdicts: {collided} collided, {jammed} jammed; {} dropped",
+        file.dropped()
+    );
+    println!("  spans {span_us} us of simulated time");
+    if n == 0 {
+        eprintln!("error: capture is empty");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

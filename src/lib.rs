@@ -152,6 +152,43 @@
 //! let out = GoodputScenario::new(cfg).run(9);
 //! assert!(out.kbps > 0.0);
 //! ```
+//!
+//! Any run can be watched without perturbing it (see
+//! `docs/OBSERVABILITY.md`): packet capture records every air packet
+//! and LMP PDU for btsnoop export, the merged event stream delivers
+//! both layers' logs in one instant-ordered feed, and the metrics hub
+//! aggregates named counters and gauges from every subsystem — all
+//! read-only taps that cost nothing until switched on, and leave every
+//! output bit-identical when off:
+//!
+//! ```
+//! use btsim::core::scenario::{connect_pair, paper_config};
+//! use btsim::core::{ObsCursor, SimBuilder};
+//! use btsim::kernel::{SimDuration, SimTime};
+//! use btsim::trace::btsnoop;
+//!
+//! let mut cfg = paper_config();
+//! cfg.capture = true;            // tap every air packet and LMP PDU
+//! cfg.metrics_every = Some(500); // stream a snapshot every 500 slots
+//! let mut b = SimBuilder::new(7, cfg);
+//! let m = b.add_device("master");
+//! let s = b.add_device("slave1");
+//! let mut sim = b.build();
+//! connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).unwrap();
+//! sim.run_until(sim.now() + SimDuration::from_slots(1_000));
+//!
+//! // The capture roundtrips through the in-repo btsnoop reader (the
+//! // same bytes `--capture PATH` writes, byte-identical across engines).
+//! let file = btsnoop::parse(&btsnoop::serialize_sink(sim.capture())).unwrap();
+//! assert!(!file.records.is_empty());
+//!
+//! // The merged event stream, and metrics as snapshot + JSON lines.
+//! let mut cursor = ObsCursor::default();
+//! assert!(!sim.events_merged_since(&mut cursor).is_empty());
+//! let snap = sim.metrics_snapshot();
+//! assert!(snap.counter("medium.transmissions").unwrap() > 0);
+//! assert!(!sim.metrics_lines().is_empty());
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -4,7 +4,9 @@
 
 use btsim::core::campaign::Campaign;
 use btsim::core::net::{ScatternetConfig, ScatternetScenario};
-use btsim::core::scenario::{InquiryConfig, InquiryScenario, PageConfig, PageScenario};
+use btsim::core::scenario::{InquiryConfig, InquiryScenario, PageConfig, PageScenario, Scenario};
+use btsim::core::Engine;
+use btsim::trace::btsnoop;
 use proptest::prelude::*;
 
 proptest! {
@@ -82,5 +84,55 @@ proptest! {
             prop_assert!(out.connected, "chain must form: {:?}", out);
             prop_assert!(out.delivered > 0, "cross-piconet delivery: {:?}", out);
         }
+    }
+}
+
+/// One seeded 3-piconet scatternet run with the capture tap on,
+/// serialized to btsnoop bytes — the unit the determinism properties
+/// below compare across engines and thread placements.
+fn scatternet_capture_bytes(seed: u64, engine: Engine) -> Vec<u8> {
+    let mut cfg = ScatternetConfig {
+        piconets: 3,
+        measure_slots: 4_000,
+        ..ScatternetConfig::default()
+    };
+    cfg.sim.engine = engine;
+    cfg.sim.capture = true;
+    let scenario = ScatternetScenario::new(cfg);
+    let mut sim = scenario.build(seed);
+    let _ = scenario.drive(&mut sim);
+    btsnoop::serialize_sink(sim.capture())
+}
+
+// The btsnoop file is part of the determinism contract: for a fixed
+// seed the serialized capture of a 3-piconet scatternet run must be
+// byte-identical under lockstep vs event dispatch, and whether the
+// per-seed runs execute sequentially or spread over three threads.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn scatternet_captures_are_engine_and_thread_independent(seed: u64) {
+        let seeds = [seed, seed.wrapping_add(1), seed.wrapping_add(2)];
+        let sequential: Vec<Vec<u8>> = seeds
+            .iter()
+            .map(|&s| scatternet_capture_bytes(s, Engine::Lockstep))
+            .collect();
+        for (i, bytes) in sequential.iter().enumerate() {
+            prop_assert!(bytes.len() > 16, "seed {} captured nothing", seeds[i]);
+            let event = scatternet_capture_bytes(seeds[i], Engine::EventDriven);
+            prop_assert_eq!(bytes, &event, "engines diverged at seed {}", seeds[i]);
+        }
+        let parallel: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&s| scope.spawn(move || scatternet_capture_bytes(s, Engine::Lockstep)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("capture thread"))
+                .collect()
+        });
+        prop_assert_eq!(sequential, parallel);
     }
 }
