@@ -358,6 +358,19 @@ impl LinkController {
         }
     }
 
+    /// Whether any link of this controller — a master-side slave slot
+    /// or a slave-side context — is in active mode, i.e. exchanging at
+    /// least Tpoll keepalive traffic rather than sleeping through a
+    /// hold / sniff / park window. The statistical tier treats such a
+    /// device as co-channel contention even when its traffic is not in
+    /// the air at this instant.
+    pub fn has_active_link(&self) -> bool {
+        self.master
+            .as_ref()
+            .is_some_and(|m| m.slaves.iter().any(|s| s.mode == LinkMode::Active))
+            || self.slave_links.iter().any(|s| s.mode == LinkMode::Active)
+    }
+
     pub(crate) fn tick_connection(&mut self, now: SimTime, out: &mut Vec<LcAction>) {
         self.master_tick(now, out);
         let mut i = 0;

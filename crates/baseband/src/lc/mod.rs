@@ -38,7 +38,7 @@ pub(crate) use page::{PageCtx, PageScanCtx};
 
 /// Life phase of a device, used for power attribution (the paper's
 /// inquiry/page/active/sniff/park/hold phases).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LifePhase {
     /// No procedure running.
     Standby,

@@ -30,8 +30,16 @@
 //! (`capture_{off,on}_slots_per_sec`, `capture_overhead_frac`). When a
 //! previous `BENCH_hotpath.json` exists at the output path, the
 //! capture-off rate must stay within 1% of the previous bit-lockstep
-//! figure — the observability layer must cost nothing when disabled;
-//! with no previous file the gate passes vacuously.
+//! figure — the observability layer must cost nothing when disabled.
+//! The previous report is parsed as real JSON ([`JsonValue::parse`]):
+//! with no previous file the gate passes vacuously, but a file that
+//! exists and is malformed fails the run instead of silently disabling
+//! the gate.
+//!
+//! A fourth **sharding** section times a 200-device dense spatial floor
+//! (100 out-of-range clusters, `docs/SPATIAL.md`) at `--shards 1` vs
+//! `4`; on a host with ≥ 4 cores the 4-shard run must be at least 2×
+//! faster.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -318,17 +326,64 @@ fn main() -> ExitCode {
         JsonValue::from(capture_overhead),
     ));
 
+    // Sharding rows: a 200-device dense spatial floor (100 clusters of
+    // one saturated piconet each) at --shards 1 vs 4. The clusters are
+    // disjoint interference components, so 4 workers should cut the
+    // wall clock nearly linearly; the results are bit-identical by the
+    // sharding determinism contract (docs/SPATIAL.md).
+    let shard_slots: u64 = if quick { 1_000 } else { 4_000 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let shard_rows: Vec<_> = [1usize, 4]
+        .iter()
+        .map(|&n| {
+            btsim_core::experiments::dense_floor_speed_on(&opts.exp, (10, 10), 1, n, shard_slots)
+        })
+        .collect();
+    println!("{:<28} {:>14}", "dense floor (200 devices)", "slots/s");
+    let mut shard_fields = vec![
+        (
+            "devices".to_string(),
+            JsonValue::from(shard_rows[0].devices as u64),
+        ),
+        ("slots".to_string(), JsonValue::from(shard_slots)),
+        ("parallel_cores".to_string(), JsonValue::from(cores as u64)),
+    ];
+    for r in &shard_rows {
+        println!(
+            "{:<28} {:>14.0}",
+            format!("dense_floor_shards{}", r.shards),
+            r.slots_per_sec
+        );
+        shard_fields.push((
+            format!("shards{}_slots_per_sec", r.shards),
+            JsonValue::from(r.slots_per_sec),
+        ));
+    }
+    let shard_speedup = shard_rows[1].slots_per_sec / shard_rows[0].slots_per_sec.max(1e-9);
+    println!("{:<28} {shard_speedup:>13.1}x", "shard_speedup_4v1");
+    shard_fields.push((
+        "shard_speedup_4v1".to_string(),
+        JsonValue::from(shard_speedup),
+    ));
+
     // Read the previous report *before* overwriting it: the capture-off
     // rate must not regress more than 1% against the last recorded
     // bit-lockstep figure (the observability layer must cost nothing
     // when disabled).
     let path = opts.json.as_deref().unwrap_or("BENCH_hotpath.json");
-    let prev_off = previous_rate(path, "bit_lockstep_slots_per_sec");
+    let prev_off = match previous_rate(path, "bit_lockstep_slots_per_sec") {
+        Ok(prev) => prev,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let doc = JsonValue::Obj(vec![
         ("coding_hotpath".to_string(), JsonValue::Arr(coding)),
         ("medium_scaling".to_string(), JsonValue::Arr(medium)),
         ("saturated".to_string(), JsonValue::Obj(fields)),
+        ("sharding".to_string(), JsonValue::Obj(shard_fields)),
     ]);
     btsim_bench::write_artifact(path, &format!("{}\n", doc.render()));
 
@@ -352,6 +407,20 @@ fn main() -> ExitCode {
         eprintln!("error: capture-on slots/sec is zero");
         return ExitCode::FAILURE;
     }
+    if shard_rows
+        .iter()
+        .any(|r| !r.formed || r.slots_per_sec <= 0.0)
+    {
+        eprintln!("error: a dense-floor sharding row failed to form or measured zero");
+        return ExitCode::FAILURE;
+    }
+    if cores >= 4 && shard_speedup < 2.0 {
+        eprintln!(
+            "error: 4-shard dense floor speedup is {shard_speedup:.2}x (< 2x) \
+             on a {cores}-core host"
+        );
+        return ExitCode::FAILURE;
+    }
     match prev_off {
         Some(prev) if capture_off < prev * 0.99 => {
             eprintln!(
@@ -369,14 +438,26 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Scans a previous `BENCH_hotpath.json` for a numeric `key` without a
-/// JSON parser (the workspace deliberately has none): finds the quoted
-/// key, skips the colon, and parses up to the next delimiter. Returns
-/// `None` when the file or key is missing or the value is not a number.
-fn previous_rate(path: &str, key: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let at = text.find(&format!("\"{key}\""))?;
-    let rest = text[at..].split_once(':')?.1;
-    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+/// Reads the previous `BENCH_hotpath.json` and extracts the numeric
+/// `key` from its `"saturated"` section. A missing file passes the gate
+/// vacuously (`Ok(None)`); a file that exists but does not parse as
+/// JSON or lacks the key is an **error** — a malformed report must fail
+/// the gate loudly, not silently disable it (reordered keys and pretty
+/// printing are fine, the document is parsed properly).
+fn previous_rate(path: &str, key: &str) -> Result<Option<f64>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("could not read previous report {path}: {e}")),
+    };
+    let doc =
+        JsonValue::parse(&text).map_err(|e| format!("previous report {path} is malformed: {e}"))?;
+    let rate = doc
+        .get("saturated")
+        .ok_or_else(|| format!("previous report {path} has no \"saturated\" section"))?
+        .get(key)
+        .ok_or_else(|| format!("previous report {path} has no \"saturated\".\"{key}\""))?
+        .as_f64()
+        .ok_or_else(|| format!("previous report {path}: \"{key}\" is not a number"))?;
+    Ok(Some(rate))
 }

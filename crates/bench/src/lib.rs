@@ -136,6 +136,28 @@ pub fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
                 }
                 opts.exp.metrics_every = Some(n);
             }
+            "--cell-size" => {
+                let v = value("--cell-size")?;
+                let c: f64 = v.parse().map_err(|_| {
+                    format!("invalid --cell-size value: {v:?} (expected metres > 0)")
+                })?;
+                if !(c > 0.0 && c.is_finite()) {
+                    return Err(format!(
+                        "invalid --cell-size value: {v:?} (expected metres > 0)"
+                    ));
+                }
+                opts.exp.cell_size = Some(c);
+            }
+            "--shards" => {
+                let v = value("--shards")?;
+                let n: usize = v.parse().map_err(|_| {
+                    format!("invalid --shards value: {v:?} (expected a worker count ≥ 1)")
+                })?;
+                if n == 0 {
+                    return Err("invalid --shards value: 0 (expected a worker count ≥ 1)".into());
+                }
+                opts.exp.shards = Some(n);
+            }
             "--json" => opts.json = Some(value("--json")?),
             "--list" => opts.list = true,
             flag if flag.starts_with('-') => {
@@ -158,7 +180,8 @@ pub fn parse_cli() -> BenchOptions {
             eprintln!(
                 "usage: [--quick] [--runs N] [--seed S] [--threads T] [--piconets N] \
                  [--bridge-duty F] [--engine lockstep|event] [--fidelity bit|stat|auto] \
-                 [--capture PATH] [--metrics-every N] [--json PATH] [NAME…]"
+                 [--cell-size M] [--shards N] [--capture PATH] [--metrics-every N] \
+                 [--json PATH] [NAME…]"
             );
             std::process::exit(2);
         }
@@ -412,6 +435,29 @@ mod tests {
             parse_args(&argv(&["--metrics-every"])).is_err(),
             "missing value"
         );
+    }
+
+    #[test]
+    fn spatial_flags_parse_strictly() {
+        let plain = parse_args(&[]).unwrap();
+        assert_eq!(plain.exp.cell_size, None);
+        assert_eq!(plain.exp.shards, None);
+        let opts = parse_args(&argv(&["--cell-size", "12.5", "--shards", "4"])).unwrap();
+        assert_eq!(opts.exp.cell_size, Some(12.5));
+        assert_eq!(opts.exp.shards, Some(4));
+        assert!(parse_args(&argv(&["--cell-size", "big"])).is_err());
+        assert!(parse_args(&argv(&["--cell-size", "0"])).is_err());
+        assert!(parse_args(&argv(&["--cell-size", "-3"])).is_err());
+        assert!(parse_args(&argv(&["--cell-size", "NaN"])).is_err());
+        assert!(parse_args(&argv(&["--cell-size", "inf"])).is_err());
+        assert!(
+            parse_args(&argv(&["--cell-size"])).is_err(),
+            "missing value"
+        );
+        assert!(parse_args(&argv(&["--shards", "lots"])).is_err());
+        assert!(parse_args(&argv(&["--shards", "0"])).is_err());
+        assert!(parse_args(&argv(&["--shards", "-1"])).is_err());
+        assert!(parse_args(&argv(&["--shards"])).is_err(), "missing value");
     }
 
     #[test]

@@ -53,6 +53,19 @@ pub struct ExpOptions {
     /// representative run (`--metrics-every N`), attached as a JSON-lines
     /// artifact. Like `capture`, never applied to campaign runs.
     pub metrics_every: Option<u64>,
+    /// Override for the spatial grid's cell size in metres
+    /// (`--cell-size`). On scenarios that already use the spatial
+    /// medium this resizes the cells (keeping the interaction radius);
+    /// on non-spatial scenarios it *enables* the spatial model with
+    /// interaction radius = cell size. Results are position-dependent,
+    /// so this changes outcomes only by culling out-of-range
+    /// interference; see `docs/SPATIAL.md`.
+    pub cell_size: Option<f64>,
+    /// Worker-shard cap for each simulated run (`--shards`). Sharding
+    /// is bit-identical to `--shards 1` for a fixed shard layout — the
+    /// differential tests enforce it — so like `engine` this only
+    /// changes how fast a spatial run finishes.
+    pub shards: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -67,6 +80,8 @@ impl Default for ExpOptions {
             fidelity: Fidelity::default(),
             capture: false,
             metrics_every: None,
+            cell_size: None,
+            shards: None,
         }
     }
 }
@@ -89,6 +104,15 @@ impl ExpOptions {
     pub fn sim(&self, mut base: SimConfig) -> SimConfig {
         base.engine = self.engine;
         base.fidelity = self.fidelity;
+        if let Some(cell) = self.cell_size {
+            base.channel.spatial = Some(match base.channel.spatial {
+                Some(sp) => btsim_channel::SpatialConfig::new(sp.path_loss(), cell),
+                None => btsim_channel::SpatialConfig::with_radius(cell),
+            });
+        }
+        if let Some(shards) = self.shards {
+            base.shards = shards;
+        }
         base
     }
 

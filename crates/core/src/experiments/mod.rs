@@ -21,8 +21,8 @@ use btsim_trace::{render_ascii, to_vcd, AsciiOptions};
 
 use crate::campaign::Campaign;
 use crate::net::{
-    analytic_collision_rate, BridgePlan, MultiPiconetConfig, MultiPiconetScenario,
-    ScatternetConfig, ScatternetScenario,
+    analytic_collision_rate, BridgePlan, DenseFloorConfig, DenseFloorScenario, MultiPiconetConfig,
+    MultiPiconetScenario, ScatternetConfig, ScatternetScenario,
 };
 use crate::scenario::{
     connect_pair, paper_config, AfhAdaptConfig, AfhAdaptScenario, CoexistenceConfig,
@@ -1467,6 +1467,121 @@ pub fn scat_bridge(opts: &ExpOptions) -> ScatBridge {
     ScatBridge { piconets, rows }
 }
 
+/// One row of the dense-floor density experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseFloorRow {
+    /// Co-located piconets per grid cluster (the density knob).
+    pub piconets_per_point: usize,
+    /// Devices on the floor.
+    pub devices: usize,
+    /// Measured mean collided-transmission fraction, floor-wide.
+    pub collision_rate: f64,
+    /// 95% confidence half-width of the mean.
+    pub ci95: f64,
+    /// Analytic anchor for one cluster
+    /// ([`analytic_collision_rate`] of `piconets_per_point`).
+    pub analytic_cell: f64,
+    /// Aggregate delivered goodput across the floor, kbit/s.
+    pub kbps_total: f64,
+    /// Fraction of runs where every piconet formed.
+    pub completion: f64,
+}
+
+/// Result of the `dense_floor` experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseFloor {
+    /// Grid of clusters the floor was built on.
+    pub grid: (usize, usize),
+    /// One row per density point.
+    pub rows: Vec<DenseFloorRow>,
+    /// The campaign result as deterministic JSON (diffed by CI across
+    /// `--shards` values).
+    pub json: String,
+}
+
+impl DenseFloor {
+    /// Renders the delivered-vs-density series.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "piconets/cluster",
+            "devices",
+            "collision rate",
+            "ci95",
+            "analytic (1 cluster)",
+            "aggregate kbit/s",
+            "formed",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.piconets_per_point.to_string(),
+                r.devices.to_string(),
+                format!("{:.2}%", r.collision_rate * 100.0),
+                format!("{:.2}%", r.ci95 * 100.0),
+                format!("{:.2}%", r.analytic_cell * 100.0),
+                format!("{:.0}", r.kbps_total),
+                format!("{:.0}%", r.completion * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+/// **Dense-floor** — delivered traffic and collision rate vs density on
+/// a spatial grid: clusters of co-located saturated piconets spaced
+/// beyond radio range. With range culling the floor-wide collision rate
+/// anchors to the analytic rate *within one cluster* regardless of how
+/// many clusters the floor has, and the disjoint clusters are the
+/// workload [`crate::SimConfig::shards`] parallelises bit-identically
+/// (see `docs/SPATIAL.md`).
+pub fn dense_floor(opts: &ExpOptions) -> DenseFloor {
+    let densities: Vec<usize> = match opts.piconets {
+        Some(n) => vec![n.max(1)],
+        None => vec![1, 2, 3],
+    };
+    let grid = (3, 3);
+    let mut opts = *opts;
+    // Up to 54 devices per run: keep the campaign bounded.
+    opts.runs = opts.runs.min(4);
+    let result = Campaign::sweep(densities.iter().map(|&k| {
+        let base = DenseFloorConfig {
+            grid,
+            piconets_per_point: k,
+            ..DenseFloorConfig::default()
+        };
+        (
+            k.to_string(),
+            DenseFloorScenario::new(DenseFloorConfig {
+                sim: opts.sim(base.sim.clone()),
+                ..base
+            }),
+        )
+    }))
+    .options(&opts)
+    .run();
+    let points = grid.0 * grid.1;
+    let rows = densities
+        .iter()
+        .zip(&result.points)
+        .map(|(&k, p)| {
+            let rate = p.metric("collision_rate");
+            DenseFloorRow {
+                piconets_per_point: k,
+                devices: 2 * k * points,
+                collision_rate: rate.mean(),
+                ci95: rate.ci95(),
+                analytic_cell: analytic_collision_rate(k),
+                kbps_total: p.metric("kbps_total").mean(),
+                completion: p.completion_rate(),
+            }
+        })
+        .collect();
+    DenseFloor {
+        grid,
+        rows,
+        json: result.to_json().render(),
+    }
+}
+
 /// One row of the multi-piconet simulation-speed experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScatSpeedRow {
@@ -1482,11 +1597,27 @@ pub struct ScatSpeedRow {
     pub clock_cycles_per_sec: f64,
 }
 
+/// One row of the slots/sec-vs-shards sharding extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpeedRow {
+    /// Worker-shard cap the dense floor ran with.
+    pub shards: usize,
+    /// Devices on the floor.
+    pub devices: usize,
+    /// Whether every piconet formed.
+    pub formed: bool,
+    /// Simulated slots per wall-clock second (0 when not formed).
+    pub slots_per_sec: f64,
+}
+
 /// Result of the `scat_speed` experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScatSpeed {
     /// One row per piconet count.
     pub rows: Vec<ScatSpeedRow>,
+    /// Sharding extension: the same dense spatial floor at increasing
+    /// worker-shard caps (empty when the host has a single core).
+    pub shard_rows: Vec<ShardSpeedRow>,
 }
 
 impl ScatSpeed {
@@ -1514,6 +1645,34 @@ impl ScatSpeed {
                     (2 * r.piconets).to_string(),
                     "formation failed".into(),
                     "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Renders the slots/sec-vs-shards table of the dense-floor run.
+    pub fn shard_table(&self) -> Table {
+        let mut t = Table::new(["shards", "devices", "slots / s", "vs 1 shard"]);
+        let base = self
+            .shard_rows
+            .first()
+            .filter(|r| r.formed && r.slots_per_sec > 0.0)
+            .map(|r| r.slots_per_sec);
+        for r in &self.shard_rows {
+            if r.formed {
+                t.row([
+                    r.shards.to_string(),
+                    r.devices.to_string(),
+                    format!("{:.0}", r.slots_per_sec),
+                    base.map_or("-".into(), |b| format!("{:.2}x", r.slots_per_sec / b)),
+                ]);
+            } else {
+                t.row([
+                    r.shards.to_string(),
+                    r.devices.to_string(),
+                    "formation failed".into(),
                     "-".into(),
                 ]);
             }
@@ -1581,7 +1740,61 @@ pub fn scat_speed(opts: &ExpOptions) -> ScatSpeed {
             }
         })
         .collect();
-    ScatSpeed { rows }
+    let shard_rows = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&shards| dense_floor_speed(opts, shards, measure))
+        .collect();
+    ScatSpeed { rows, shard_rows }
+}
+
+/// Times the saturated window of one dense spatial floor (a 4×2 grid of
+/// 2-piconet clusters, 32 devices) at the given worker-shard cap: the
+/// slots/sec-vs-shards row of `scat_speed` and `bench_hotpath`.
+pub fn dense_floor_speed(opts: &ExpOptions, shards: usize, measure: u64) -> ShardSpeedRow {
+    dense_floor_speed_on(opts, (4, 2), 2, shards, measure)
+}
+
+/// [`dense_floor_speed`] with an explicit floor layout: `grid` clusters
+/// of `per_point` co-located piconets each.
+pub fn dense_floor_speed_on(
+    opts: &ExpOptions,
+    grid: (usize, usize),
+    per_point: usize,
+    shards: usize,
+    measure: u64,
+) -> ShardSpeedRow {
+    let base = DenseFloorConfig {
+        grid,
+        piconets_per_point: per_point,
+        measure_slots: measure,
+        ..DenseFloorConfig::default()
+    };
+    let mut sim_cfg = opts.sim(base.sim.clone());
+    sim_cfg.shards = shards;
+    let scenario = DenseFloorScenario::new(DenseFloorConfig {
+        sim: sim_cfg,
+        ..base
+    });
+    let devices = 2 * per_point * grid.0 * grid.1;
+    let mut sim = scenario.build(opts.base_seed);
+    if !scenario.prepare(&mut sim) {
+        return ShardSpeedRow {
+            shards,
+            devices,
+            formed: false,
+            slots_per_sec: 0.0,
+        };
+    }
+    let end = sim.now() + SimDuration::from_slots(measure);
+    let started = Instant::now();
+    sim.run_until(end);
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    ShardSpeedRow {
+        shards,
+        devices,
+        formed: true,
+        slots_per_sec: measure as f64 / wall,
+    }
 }
 
 // ---------------------------------------------------------------------------

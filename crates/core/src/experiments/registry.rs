@@ -161,7 +161,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
     REGISTRY.iter().find(|e| e.name == name)
 }
 
-static REGISTRY: [Experiment; 21] = [
+static REGISTRY: [Experiment; 22] = [
     Experiment {
         name: "fig5_waveform",
         description: "Fig. 5 — piconet-creation waveforms (enable_tx_RF / enable_rx_RF)",
@@ -261,6 +261,11 @@ static REGISTRY: [Experiment; 21] = [
         name: "scat_speed",
         description: "Scat-C — multi-piconet simulation speed (Table 1 extension)",
         runner: run_scat_speed,
+    },
+    Experiment {
+        name: "dense_floor",
+        description: "Spatial — dense-floor collision rate vs density (vs one-cluster analytic)",
+        runner: run_dense_floor,
     },
     Experiment {
         name: "capture_scan",
@@ -464,6 +469,30 @@ fn run_scat_speed(opts: &ExpOptions) -> ExpReport {
     ExpReport::new("Scat-C — multi-piconet simulation speed (Table 1 extension)")
         .note("(paper: 747 clock cycles per wall second for one 4-device piconet)")
         .table(f.table())
+        .note(format!(
+            "(sharding: a {}-device dense spatial floor at increasing --shards caps; \
+             results are bit-identical across rows)",
+            f.shard_rows.first().map_or(0, |r| r.devices)
+        ))
+        .table(f.shard_table())
+}
+
+fn run_dense_floor(opts: &ExpOptions) -> ExpReport {
+    let f = dense_floor(opts);
+    ExpReport::new(format!(
+        "Spatial — dense-floor collision rate vs density ({}x{} clusters)",
+        f.grid.0, f.grid.1
+    ))
+    .note(
+        "(clusters of co-located saturated piconets spaced beyond radio range: the \
+         floor-wide rate anchors to the one-cluster analytic 1 − (78/79)^(2(k−1)))",
+    )
+    .note(
+        "(the anchor assumes full-slot air occupancy; DM1 exchanges fill ~60% of each \
+         slot, so the measured rate sits below the anchor with the same shape)",
+    )
+    .table(f.table())
+    .artifact("dense_floor.json", f.json.clone())
 }
 
 fn run_capture_scan(opts: &ExpOptions) -> ExpReport {
@@ -487,7 +516,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_nonempty() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 22);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -500,7 +529,13 @@ mod tests {
         assert!(find("fig6_inquiry_vs_ber").is_some());
         assert!(find("nope").is_none());
         // The scatternet and AFH entries are registered.
-        for name in ["scat_collisions", "scat_bridge", "scat_speed", "afh_adapt"] {
+        for name in [
+            "scat_collisions",
+            "scat_bridge",
+            "scat_speed",
+            "dense_floor",
+            "afh_adapt",
+        ] {
             assert!(find(name).is_some(), "{name} missing from the registry");
         }
     }

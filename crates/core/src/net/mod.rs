@@ -35,8 +35,9 @@ mod topology;
 pub use bridge::{schedule_bridge, BridgeLink, BridgePlan};
 pub use relay::{NextHop, RelayFrame, Router, MAX_RELAY_PAYLOAD};
 pub use scenario::{
-    analytic_collision_rate, MultiPiconetConfig, MultiPiconetOutcome, MultiPiconetScenario,
-    ScatternetConfig, ScatternetOutcome, ScatternetScenario,
+    analytic_collision_rate, DenseFloorConfig, DenseFloorOutcome, DenseFloorScenario,
+    MultiPiconetConfig, MultiPiconetOutcome, MultiPiconetScenario, ScatternetConfig,
+    ScatternetOutcome, ScatternetScenario,
 };
 pub use topology::{Bridge, Piconet, Topology, TopologyError};
 
@@ -128,6 +129,23 @@ impl From<TopologyError> for ScatternetError {
 /// indices (`master_device`, `bridge_device`, …) address the simulator
 /// directly, so a non-empty builder would silently shift every index.
 pub fn register_devices(topo: &Topology, b: &mut SimBuilder) {
+    register_devices_at(topo, b, |_| btsim_channel::Position::ORIGIN)
+}
+
+/// [`register_devices`] with a placement function: `place(dev)` gives
+/// each canonical device index its floor position. Positions only
+/// matter with a spatial channel model
+/// ([`btsim_channel::ChannelConfig::spatial`]); see `docs/SPATIAL.md`.
+///
+/// # Panics
+///
+/// Panics if the builder already holds devices (same invariant as
+/// [`register_devices`]).
+pub fn register_devices_at(
+    topo: &Topology,
+    b: &mut SimBuilder,
+    place: impl Fn(usize) -> btsim_channel::Position,
+) {
     use btsim_lmp::LmRole;
     for dev in 0..topo.device_count() {
         let role = if dev < topo.piconets.len() {
@@ -135,7 +153,7 @@ pub fn register_devices(topo: &Topology, b: &mut SimBuilder) {
         } else {
             LmRole::Slave
         };
-        let got = b.add_device_with_role(&topo.device_name(dev), role);
+        let got = b.add_device_at_with_role(&topo.device_name(dev), place(dev), role);
         assert_eq!(
             got, dev,
             "register_devices needs an empty SimBuilder: topology device \

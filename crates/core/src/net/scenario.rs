@@ -6,14 +6,19 @@
 //! * [`MultiPiconetScenario`] — N independent, saturated piconets on
 //!   the shared medium: the pure collision experiment (no bridges), to
 //!   compare against the analytic ≈1/79 per-slot hop-overlap rate.
+//! * [`DenseFloorScenario`] — clusters of saturated piconets spread on
+//!   a spatial grid beyond radio range of each other: the sharded
+//!   scale-out workload (see `docs/SPATIAL.md`), anchored to the
+//!   analytic collision rate *within one cluster*.
 
 use btsim_baseband::{LcCommand, LcEvent};
+use btsim_channel::{Position, SpatialConfig};
 use btsim_kernel::SimDuration;
 use btsim_stats::Record;
 
 use crate::net::{
-    form_scatternet, register_devices, schedule_bridge, BridgeLink, BridgePlan, Router, Topology,
-    MAX_RELAY_PAYLOAD,
+    form_scatternet, register_devices, register_devices_at, schedule_bridge, BridgeLink,
+    BridgePlan, Router, Topology, MAX_RELAY_PAYLOAD,
 };
 use crate::scenario::{paper_config, Scenario};
 use crate::{SimBuilder, SimConfig, Simulator};
@@ -401,6 +406,233 @@ impl Scenario for MultiPiconetScenario {
     }
 }
 
+// ---------------------------------------------------------------------------
+
+/// Configuration of the dense-floor density scenario.
+#[derive(Debug, Clone)]
+pub struct DenseFloorConfig {
+    /// Grid of clusters: `(columns, rows)` of floor positions.
+    pub grid: (usize, usize),
+    /// Co-located master+slave piconets per cluster — the density knob.
+    /// Piconets of one cluster all interfere; different clusters are
+    /// out of range of each other.
+    pub piconets_per_point: usize,
+    /// Distance between neighbouring clusters in metres. Must exceed
+    /// the interaction radius or the clusters merge into one
+    /// interference domain (and one shard component).
+    pub spacing: f64,
+    /// Measurement window in slots.
+    pub measure_slots: u64,
+    /// Cap for each join page during formation.
+    pub join_cap_slots: u64,
+    /// Simulator configuration; [`Self::default`] enables the spatial
+    /// model with a 10 m radius so clusters decompose into independent
+    /// shard components.
+    pub sim: SimConfig,
+}
+
+impl Default for DenseFloorConfig {
+    fn default() -> Self {
+        let mut sim = paper_config();
+        sim.channel.spatial = Some(SpatialConfig::with_radius(10.0));
+        Self {
+            grid: (3, 3),
+            piconets_per_point: 2,
+            spacing: 40.0,
+            measure_slots: 3_000,
+            join_cap_slots: 4_096,
+            sim,
+        }
+    }
+}
+
+/// Outcome of one dense-floor run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenseFloorOutcome {
+    /// Every piconet formed.
+    pub connected: bool,
+    /// Devices on the floor (two per piconet).
+    pub devices: u64,
+    /// Fraction of transmissions that collided during the window.
+    pub collision_rate: f64,
+    /// Transmissions observed during the window.
+    pub transmissions: u64,
+    /// Aggregate delivered user-payload rate, in kbit/s.
+    pub kbps_total: f64,
+    /// The analytic collision anchor for the piconets *within one
+    /// cluster* ([`analytic_collision_rate`] of `piconets_per_point`):
+    /// with range culling the floor-wide rate should track the
+    /// single-cluster rate, not the all-piconets one.
+    pub analytic_cell_rate: f64,
+}
+
+impl Record for DenseFloorOutcome {
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("density", self.devices as f64 / 2.0),
+            ("collision_rate", self.collision_rate),
+            ("analytic_cell_rate", self.analytic_cell_rate),
+            ("transmissions", self.transmissions as f64),
+            ("kbps_total", self.kbps_total),
+        ]
+    }
+
+    fn completed(&self) -> bool {
+        self.connected
+    }
+}
+
+/// A floor of saturated master+slave piconets clustered on a coarse
+/// grid: every cluster holds `piconets_per_point` co-located piconets,
+/// and clusters are spaced beyond radio range so only same-cluster
+/// piconets interfere. This is the headline workload for the spatial
+/// medium — collision rates anchor to the *cluster-local* analytic
+/// value regardless of floor size, and the disjoint clusters let
+/// [`SimConfig::shards`] run the floor on parallel workers with
+/// bit-identical results (see `docs/SPATIAL.md`).
+#[derive(Debug, Clone)]
+pub struct DenseFloorScenario {
+    cfg: DenseFloorConfig,
+}
+
+impl DenseFloorScenario {
+    /// Creates the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty, `piconets_per_point` is 0, or the
+    /// spacing does not clear the configured interaction radius.
+    pub fn new(cfg: DenseFloorConfig) -> Self {
+        assert!(cfg.grid.0 >= 1 && cfg.grid.1 >= 1, "at least one cluster");
+        assert!(cfg.piconets_per_point >= 1, "at least one piconet");
+        if let Some(spatial) = cfg.sim.channel.spatial {
+            assert!(
+                cfg.spacing > spatial.path_loss().radius(),
+                "cluster spacing {} must exceed the interaction radius {}",
+                cfg.spacing,
+                spatial.path_loss().radius()
+            );
+        }
+        Self { cfg }
+    }
+
+    fn points(&self) -> usize {
+        self.cfg.grid.0 * self.cfg.grid.1
+    }
+
+    fn piconets(&self) -> usize {
+        self.points() * self.cfg.piconets_per_point
+    }
+
+    fn topology(&self) -> Topology {
+        let mut topo = Topology::new();
+        for p in 0..self.piconets() {
+            topo.piconet(&format!("p{p}"), 1);
+        }
+        topo
+    }
+
+    /// Floor position of canonical device `dev`: masters come first,
+    /// then the plain slaves in piconet order, and piconet `p` sits at
+    /// cluster `p / piconets_per_point` on the grid.
+    fn place(&self, dev: usize) -> Position {
+        let piconets = self.piconets();
+        let p = if dev < piconets { dev } else { dev - piconets };
+        let point = p / self.cfg.piconets_per_point;
+        let (cols, _) = self.cfg.grid;
+        Position::new(
+            (point % cols) as f64 * self.cfg.spacing,
+            (point / cols) as f64 * self.cfg.spacing,
+        )
+    }
+
+    /// Forms every piconet and issues the saturating transfers (T_poll
+    /// = 2 plus a bulk ACL payload outlasting the window); returns
+    /// `false` if a join failed. [`Scenario::drive`] measures the
+    /// window that follows — the speed benchmarks call this directly so
+    /// their timed region is pure steady-state traffic.
+    pub fn prepare(&self, sim: &mut Simulator) -> bool {
+        let topo = self.topology();
+        let Ok(map) = form_scatternet(&topo, sim, self.cfg.join_cap_slots) else {
+            return false;
+        };
+        let payload = (self.cfg.measure_slots as usize) * 9;
+        for p in 0..self.piconets() {
+            let master = topo.master_device(p);
+            let lt = map
+                .link(p, topo.slave_device(p, 0))
+                .expect("formed link")
+                .lt_addr;
+            sim.command(master, LcCommand::SetTpoll(2));
+            sim.command(
+                master,
+                LcCommand::AclData {
+                    lt_addr: lt,
+                    data: vec![0x5A; payload],
+                },
+            );
+        }
+        true
+    }
+}
+
+impl Scenario for DenseFloorScenario {
+    type Config = DenseFloorConfig;
+    type Outcome = DenseFloorOutcome;
+
+    fn name(&self) -> &'static str {
+        "dense_floor"
+    }
+
+    fn config(&self) -> &DenseFloorConfig {
+        &self.cfg
+    }
+
+    fn build(&self, seed: u64) -> Simulator {
+        let mut b = SimBuilder::new(seed, self.cfg.sim.clone());
+        register_devices_at(&self.topology(), &mut b, |dev| self.place(dev));
+        b.build()
+    }
+
+    fn drive(&self, sim: &mut Simulator) -> DenseFloorOutcome {
+        let piconets = self.piconets();
+        let analytic_cell_rate = analytic_collision_rate(self.cfg.piconets_per_point);
+        if !self.prepare(sim) {
+            return DenseFloorOutcome {
+                connected: false,
+                devices: (2 * piconets) as u64,
+                collision_rate: 0.0,
+                transmissions: 0,
+                kbps_total: 0.0,
+                analytic_cell_rate,
+            };
+        }
+        let start = sim.now();
+        let stats0 = sim.tx_stats();
+        let end = start + SimDuration::from_slots(self.cfg.measure_slots);
+        sim.run_until(end);
+        let stats = sim.tx_stats().since(stats0);
+        let received: usize = sim
+            .events()
+            .iter()
+            .filter(|e| e.at > start && e.device >= piconets)
+            .filter_map(|e| match &e.event {
+                LcEvent::AclReceived { data, .. } => Some(data.len()),
+                _ => None,
+            })
+            .sum();
+        let window = end.since(start).secs_f64();
+        DenseFloorOutcome {
+            connected: true,
+            devices: (2 * piconets) as u64,
+            collision_rate: stats.collision_rate(),
+            transmissions: stats.transmissions,
+            kbps_total: received as f64 * 8.0 / window / 1000.0,
+            analytic_cell_rate,
+        }
+    }
+}
+
 /// The analytic inter-piconet collision anchor: a saturated piconet
 /// transmits essentially every slot on a hop drawn uniformly from the
 /// 79 channels; a packet therefore overlaps (in time) with roughly two
@@ -459,6 +691,37 @@ mod tests {
             "two-piconet rate {} vs analytic {}",
             two.collision_rate,
             anchor
+        );
+    }
+
+    #[test]
+    fn dense_floor_collisions_track_cluster_density_not_floor_size() {
+        let run = |grid| {
+            DenseFloorScenario::new(DenseFloorConfig {
+                grid,
+                ..DenseFloorConfig::default()
+            })
+            .run(7)
+        };
+        let small = run((1, 1)); // one cluster of 2 piconets
+        let large = run((2, 2)); // four clusters, 8 piconets total
+        assert!(small.connected && large.connected);
+        assert!(large.transmissions > small.transmissions);
+        // Range culling keeps the floor-wide rate at the *cluster*
+        // anchor no matter how many out-of-range clusters are added.
+        let anchor = analytic_collision_rate(2);
+        for out in [&small, &large] {
+            assert!(
+                out.collision_rate < anchor * 2.5 && out.collision_rate > anchor / 2.5,
+                "rate {} vs cluster anchor {anchor}",
+                out.collision_rate
+            );
+        }
+        assert!(
+            large.collision_rate < analytic_collision_rate(8) / 2.0,
+            "floor rate {} must not approach the all-piconets anchor {}",
+            large.collision_rate,
+            analytic_collision_rate(8)
         );
     }
 

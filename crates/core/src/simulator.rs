@@ -23,7 +23,9 @@ use btsim_baseband::{
     stat_slot_pair, BdAddr, ClkVal, Clock, LcAction, LcCommand, LcConfig, LcEvent, LifePhase,
     LinkController, Llid, RxDelivery, StatSide,
 };
-use btsim_channel::{ChannelConfig, ChannelQuality, DutyClass, Medium, TxId, TxStats};
+use btsim_channel::{
+    ChannelConfig, ChannelQuality, DutyClass, Medium, Position, SpatialConfig, TxId, TxStats,
+};
 use btsim_coding::BitVec;
 use btsim_fidelity::{ErrorModel, Fidelity};
 use btsim_kernel::{
@@ -168,6 +170,18 @@ pub struct SimConfig {
     /// the stability tracker allows), or automatic promotion once the
     /// per-link BER estimate converges. See `docs/FIDELITY.md`.
     pub fidelity: Fidelity,
+    /// Worker threads for an intra-run sharded simulation (see
+    /// `docs/SPATIAL.md`). With a spatial channel model
+    /// ([`ChannelConfig::spatial`]) and `shards >= 2`, the device set
+    /// is decomposed into connected components of the in-range graph;
+    /// each component runs as an independent inner simulator, and
+    /// `run_until` advances them on up to `shards` scoped worker
+    /// threads. Results are bit-identical to the unsharded (`shards ==
+    /// 1`) run regardless of the worker count. Without a spatial model
+    /// — or when tracing, packet capture or metrics streaming pin the
+    /// run to a single timeline — the knob is ignored and the run is
+    /// monolithic.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -182,6 +196,7 @@ impl Default for SimConfig {
             random_clkn: true,
             engine: Engine::default(),
             fidelity: Fidelity::default(),
+            shards: 1,
         }
     }
 }
@@ -280,6 +295,10 @@ pub struct SimBuilder {
     cfg: SimConfig,
     seed: u64,
     specs: Vec<(String, BdAddr, LmRole)>,
+    /// One position per spec; [`Position::ORIGIN`] unless placed with
+    /// an `add_device_at*` method. Ignored without a spatial channel
+    /// model.
+    positions: Vec<Position>,
 }
 
 impl SimBuilder {
@@ -289,6 +308,7 @@ impl SimBuilder {
             cfg,
             seed,
             specs: Vec::new(),
+            positions: Vec::new(),
         }
     }
 
@@ -347,7 +367,25 @@ impl SimBuilder {
             i = i.wrapping_add(1);
         };
         self.specs.push((name.to_owned(), addr, role));
+        self.positions.push(Position::ORIGIN);
         self.specs.len() - 1
+    }
+
+    /// Adds a device at a position on the floor (auto-generated
+    /// address); returns its index. The position only matters with a
+    /// spatial channel model ([`ChannelConfig::spatial`]).
+    pub fn add_device_at(&mut self, name: &str, pos: Position) -> usize {
+        let i = self.add_device(name);
+        self.positions[i] = pos;
+        i
+    }
+
+    /// Adds a device at a position with an explicit link-manager role;
+    /// returns its index.
+    pub fn add_device_at_with_role(&mut self, name: &str, pos: Position, role: LmRole) -> usize {
+        let i = self.add_device_with_role(name, role);
+        self.positions[i] = pos;
+        i
     }
 
     /// Adds a device with an explicit address; returns its index, or a
@@ -362,11 +400,135 @@ impl SimBuilder {
         }
         let role = self.default_role();
         self.specs.push((name.to_owned(), addr, role));
+        self.positions.push(Position::ORIGIN);
         Ok(self.specs.len() - 1)
     }
 
     /// Finalises the simulator.
+    ///
+    /// With a spatial channel model and [`SimConfig::shards`] ≥ 2, the
+    /// device set is decomposed into connected components of the
+    /// in-range graph and each component becomes an independent inner
+    /// simulator (see `docs/SPATIAL.md`). Tracing, packet capture and
+    /// metrics streaming need a single merged timeline, so any of them
+    /// pins the build to the monolithic path.
     pub fn build(self) -> Simulator {
+        let pinned_mono = self.cfg.trace || self.cfg.capture || self.cfg.metrics_every.is_some();
+        let workers = if pinned_mono {
+            1
+        } else {
+            self.cfg.shards.max(1)
+        };
+        if workers > 1 && self.cfg.channel.spatial.is_some() && self.specs.len() > 1 {
+            self.build_sharded(workers)
+        } else {
+            self.build_mono(None)
+        }
+    }
+
+    /// Dense component ids (`0..n_components`, numbered in order of
+    /// each component's lowest device id) of the in-range graph over
+    /// `positions`.
+    fn components(positions: &[Position], spatial: &SpatialConfig) -> Vec<usize> {
+        let n = positions.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                if spatial.path_loss().in_range(positions[i], positions[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri.max(rj)] = ri.min(rj);
+                    }
+                }
+            }
+        }
+        let mut dense = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut out = Vec::with_capacity(n);
+        for d in 0..n {
+            let root = find(&mut parent, d);
+            if dense[root] == usize::MAX {
+                dense[root] = next;
+                next += 1;
+            }
+            out.push(dense[root]);
+        }
+        out
+    }
+
+    /// The component-per-shard build: one inner simulator per connected
+    /// component, each constructed with the *global* device ids so its
+    /// RNG streams (CLKN draw, controller seed, medium noise stream)
+    /// are exactly the ones the monolithic build would have used.
+    fn build_sharded(self, workers: usize) -> Simulator {
+        let spatial = self.cfg.channel.spatial.expect("checked by build");
+        let comp_of = Self::components(&self.positions, &spatial);
+        // A single component still goes through the delegation layer:
+        // no parallelism to win, but `--shards` must not change
+        // behaviour, and the differential tests lean on that.
+        let ncomp = comp_of.iter().copied().max().unwrap_or(0) + 1;
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+        for (d, &c) in comp_of.iter().enumerate() {
+            members[c].push(d);
+        }
+        let mut shard_of = vec![(0, 0); self.specs.len()];
+        let mut shards = Vec::with_capacity(ncomp);
+        for (ci, globals) in members.iter().enumerate() {
+            let mut child = SimBuilder::new(self.seed, self.cfg.clone());
+            child.cfg.shards = 1;
+            child.specs = globals.iter().map(|&d| self.specs[d].clone()).collect();
+            child.positions = globals.iter().map(|&d| self.positions[d]).collect();
+            for (l, &d) in globals.iter().enumerate() {
+                shard_of[d] = (ci, l);
+            }
+            shards.push(child.build_mono(Some(globals)));
+        }
+        let root = SimRng::new(self.seed);
+        Simulator {
+            cal: Calendar::new(),
+            medium: Medium::new(self.cfg.channel.clone(), root.fork(0xC4A7)),
+            devices: Vec::new(),
+            monitor: PowerMonitor::new(0, LifePhase::Standby),
+            recorder: TraceRecorder::disabled(),
+            events: Vec::new(),
+            lm_events: Vec::new(),
+            next_window_id: 0,
+            steps_since_gc: 0,
+            inspect_cursor: 0,
+            engine: self.cfg.engine,
+            fidelity: self.cfg.fidelity,
+            error_model: ErrorModel::new(self.cfg.channel.ber, self.cfg.lc.sync_threshold),
+            modem_delay: self.cfg.channel.modem_delay,
+            peek: SimDuration::from_us(self.cfg.lc.peek_us),
+            run_cap: SimTime::ZERO,
+            wake: Vec::new(),
+            wake_seq: 0,
+            steps_total: 0,
+            fidelity_promotions: 0,
+            fidelity_demotions: 0,
+            metrics: None,
+            shards,
+            shard_of,
+            shard_globals: members,
+            merge_done: vec![(0, 0); ncomp],
+            workers,
+            comp_of,
+        }
+    }
+
+    /// The single-timeline build. `globals`, when given, maps each
+    /// local device index to its global id in an enclosing sharded
+    /// simulator: every per-device RNG stream is keyed by the global
+    /// id, so a component simulated alone draws exactly what it would
+    /// have drawn on the full floor.
+    fn build_mono(self, globals: Option<&[usize]>) -> Simulator {
         let root = SimRng::new(self.seed);
         let mut medium = Medium::new(self.cfg.channel.clone(), root.fork(0xC4A7));
         if self.cfg.capture {
@@ -381,7 +543,11 @@ impl SimBuilder {
         let mut devices = Vec::with_capacity(self.specs.len());
         let mut cal = Calendar::new();
         for (i, (name, addr, role)) in self.specs.iter().enumerate() {
-            let mut clk_rng = root.fork(0x10_0000 + i as u64);
+            let g = globals.map_or(i, |g| g[i]) as u64;
+            if self.cfg.channel.spatial.is_some() {
+                medium.register_radio(i, self.positions[i], g);
+            }
+            let mut clk_rng = root.fork(0x10_0000 + g);
             let clkn0 = if self.cfg.random_clkn {
                 ClkVal::new(clk_rng.range_u64(1 << 28) as u32)
             } else {
@@ -391,7 +557,7 @@ impl SimBuilder {
                 *addr,
                 Clock::new(clkn0),
                 self.cfg.lc.clone(),
-                root.fork(0x20_0000 + i as u64).seed(),
+                root.fork(0x20_0000 + g).seed(),
             );
             let sig_tx = recorder.declare(name, "enable_tx_RF", 1);
             let sig_rx = recorder.declare(name, "enable_rx_RF", 1);
@@ -408,6 +574,14 @@ impl SimBuilder {
                 cal.schedule(SimTime::ZERO, Ev::Tick(i));
             }
         }
+        // Components scope the statistical tier's stability gate in
+        // spatial mode: a link pair only demotes for contention within
+        // its own connected component, which is what keeps a monolithic
+        // spatial run bit-identical to the sharded one.
+        let comp_of = match &self.cfg.channel.spatial {
+            Some(spatial) => Self::components(&self.positions, spatial),
+            None => Vec::new(),
+        };
         let n = devices.len();
         Simulator {
             cal,
@@ -441,6 +615,12 @@ impl SimBuilder {
             fidelity_promotions: 0,
             fidelity_demotions: 0,
             metrics: self.cfg.metrics_every.map(MetricsStream::new),
+            shards: Vec::new(),
+            shard_of: Vec::new(),
+            shard_globals: Vec::new(),
+            merge_done: Vec::new(),
+            workers: 1,
+            comp_of,
         }
     }
 }
@@ -501,6 +681,25 @@ pub struct Simulator {
     /// Streaming metrics emission, when [`SimConfig::metrics_every`] is
     /// set.
     metrics: Option<MetricsStream>,
+    /// Sharded mode: one inner simulator per connected component of
+    /// the in-range graph, ordered by lowest global device id. Empty in
+    /// a monolithic simulator — and in the inner simulators themselves,
+    /// which are always monolithic (nesting is one level deep).
+    shards: Vec<Simulator>,
+    /// Sharded mode: global device id → (shard index, local index).
+    shard_of: Vec<(usize, usize)>,
+    /// Sharded mode: shard index → local index → global device id.
+    shard_globals: Vec<Vec<usize>>,
+    /// Sharded mode: per shard, how many (lc, lm) events have been
+    /// merged into the shell's logs so far.
+    merge_done: Vec<(usize, usize)>,
+    /// Sharded mode: worker-thread cap for `run_until`
+    /// ([`SimConfig::shards`]). Never affects results, only wall-clock.
+    workers: usize,
+    /// Spatial mode (monolithic or inner): dense component id per
+    /// device; empty without a spatial model (everything is one
+    /// implicit component).
+    comp_of: Vec<usize>,
 }
 
 /// `run_until_event`-style search hit its time horizon with no matching
@@ -527,9 +726,18 @@ impl std::fmt::Display for HorizonReached {
 impl std::error::Error for HorizonReached {}
 
 impl Simulator {
+    /// Whether this simulator delegates to per-component shards.
+    fn sharded(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
     /// Number of devices.
     pub fn device_count(&self) -> usize {
-        self.devices.len()
+        if self.sharded() {
+            self.shard_of.len()
+        } else {
+            self.devices.len()
+        }
     }
 
     /// Current simulation time.
@@ -539,7 +747,12 @@ impl Simulator {
 
     /// Immutable access to a device's link controller (for assertions).
     pub fn lc(&self, dev: usize) -> &LinkController {
-        &self.devices[dev].lc
+        if self.sharded() {
+            let (s, l) = self.shard_of[dev];
+            &self.shards[s].devices[l].lc
+        } else {
+            &self.devices[dev].lc
+        }
     }
 
     /// The waveform recorder.
@@ -603,30 +816,35 @@ impl Simulator {
     /// calls. Diff two snapshots with [`MetricsSnapshot::since`].
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut s = MetricsSnapshot::new(self.cal.now());
-        let tx = self.medium.tx_stats();
+        let tx = self.tx_stats();
         s.push_counter("medium.transmissions", tx.transmissions);
         s.push_counter("medium.collided", tx.collided);
         s.push_counter("medium.jammed", tx.jammed);
-        s.push_counter("fidelity.promotions", self.fidelity_promotions);
-        s.push_counter("fidelity.demotions", self.fidelity_demotions);
-        s.push_counter("engine.steps", self.steps_total);
+        let (fp, fd) = self.shards.iter().fold(
+            (self.fidelity_promotions, self.fidelity_demotions),
+            |(p, d), sh| (p + sh.fidelity_promotions, d + sh.fidelity_demotions),
+        );
+        s.push_counter("fidelity.promotions", fp);
+        s.push_counter("fidelity.demotions", fd);
+        s.push_counter("engine.steps", self.steps_total());
         s.push_counter("events.lc", self.events.len() as u64);
         s.push_counter("events.lm", self.lm_events.len() as u64);
         s.push_counter("capture.records", self.medium.capture().len() as u64);
-        for (d, cell) in self.devices.iter().enumerate() {
+        for d in 0..self.device_count() {
             let rep = self.power_report(d);
+            let lc = self.lc(d);
             s.push_counter(format!("dev{d}.power.tx_us"), rep.tx.us());
             s.push_counter(format!("dev{d}.power.rx_us"), rep.rx.us());
             s.push_gauge(
                 format!("dev{d}.buffer.queued_bytes"),
-                cell.lc.queued_tx_bytes() as f64,
+                lc.queued_tx_bytes() as f64,
             );
             s.push_gauge(
                 format!("dev{d}.fidelity.promoted"),
-                if cell.lc.stat_promoted() { 1.0 } else { 0.0 },
+                if lc.stat_promoted() { 1.0 } else { 0.0 },
             );
         }
-        s.push_gauge("medium.ber", self.medium.measured_ber());
+        s.push_gauge("medium.ber", self.measured_ber());
         s.push_gauge(
             "medium.bad_rate",
             self.medium.channel_quality().total().bad_rate(),
@@ -641,16 +859,44 @@ impl Simulator {
         self.metrics.as_ref().map_or("", |m| m.lines())
     }
 
-    /// Observed channel bit-error fraction (diagnostics).
+    /// Observed channel bit-error fraction (diagnostics). Sharded runs
+    /// combine the per-shard raw counters, so the fraction is exactly
+    /// the monolithic one.
     pub fn measured_ber(&self) -> f64 {
-        self.medium.measured_ber()
+        if self.sharded() {
+            let (mut flipped, mut bits) = (0u64, 0u64);
+            for sh in &self.shards {
+                let (f, b) = sh.medium.bit_error_totals();
+                flipped += f;
+                bits += b;
+            }
+            if bits == 0 {
+                0.0
+            } else {
+                flipped as f64 / bits as f64
+            }
+        } else {
+            self.medium.measured_ber()
+        }
     }
 
     /// Cumulative medium transmission/collision statistics. Scatternet
     /// experiments take a snapshot after topology formation and measure
-    /// the delta over the traffic window ([`TxStats::since`]).
+    /// the delta over the traffic window ([`TxStats::since`]). Sharded
+    /// runs report the field-wise sum over all shards.
     pub fn tx_stats(&self) -> TxStats {
-        self.medium.tx_stats()
+        if self.sharded() {
+            let mut acc = TxStats::default();
+            for sh in &self.shards {
+                let t = sh.medium.tx_stats();
+                acc.transmissions += t.transmissions;
+                acc.collided += t.collided;
+                acc.jammed += t.jammed;
+            }
+            acc
+        } else {
+            self.medium.tx_stats()
+        }
     }
 
     /// The medium's per-RF-channel quality counters (snapshot and diff
@@ -668,15 +914,34 @@ impl Simulator {
 
     /// Calendar events dispatched so far — the engine's unit of work.
     /// The event-driven engine's speedup is, to first order, the ratio
-    /// of this count between engines for the same workload.
+    /// of this count between engines for the same workload. Sharded
+    /// runs sum over the shards.
     pub fn steps_total(&self) -> u64 {
-        self.steps_total
+        self.steps_total + self.shards.iter().map(Simulator::steps_total).sum::<u64>()
     }
 
     /// Digest of every random stream's position (device controllers and
     /// the medium). Two runs that made bit-identical random draws — the
     /// engine-equivalence requirement — have equal fingerprints.
+    ///
+    /// A sharded run reconstructs the exact monolithic fold: the
+    /// medium's base stream is never drawn from in spatial mode (every
+    /// sibling shard medium reports the same base fingerprint), and the
+    /// per-radio noise streams and controller streams are folded in
+    /// global device order across the shards.
     pub fn rng_fingerprint(&self) -> u64 {
+        if self.sharded() {
+            let mut acc = self.shards[0].medium.base_rng_fingerprint();
+            for d in 0..self.shard_of.len() {
+                let (s, l) = self.shard_of[d];
+                acc = acc.rotate_left(9) ^ self.shards[s].medium.noise_fingerprint_of(l);
+            }
+            for d in 0..self.shard_of.len() {
+                let (s, l) = self.shard_of[d];
+                acc = acc.rotate_left(7) ^ self.shards[s].devices[l].lc.rng_fingerprint();
+            }
+            return acc;
+        }
         let mut acc = self.medium.rng_fingerprint();
         for cell in &self.devices {
             acc = acc.rotate_left(7) ^ cell.lc.rng_fingerprint();
@@ -686,6 +951,13 @@ impl Simulator {
 
     /// Issues a command to a device at the current time.
     pub fn command(&mut self, dev: usize, cmd: LcCommand) {
+        if self.sharded() {
+            // The shell keeps every shard's clock synced to its own, so
+            // "the current time" is the same instant down in the shard.
+            let (s, l) = self.shard_of[dev];
+            self.shards[s].command(l, cmd);
+            return;
+        }
         let now = self.cal.now();
         self.cal.schedule(
             now,
@@ -699,6 +971,11 @@ impl Simulator {
 
     /// Schedules a command at an absolute time.
     pub fn command_at(&mut self, dev: usize, cmd: LcCommand, at: SimTime) {
+        if self.sharded() {
+            let (s, l) = self.shard_of[dev];
+            self.shards[s].command_at(l, cmd, at);
+            return;
+        }
         let inserted = self.cal.now();
         self.cal.schedule(at, Ev::Command { dev, cmd, inserted });
     }
@@ -708,6 +985,12 @@ impl Simulator {
     where
         F: FnOnce(&mut LinkManager, u64) -> Vec<LmOutput>,
     {
+        if self.sharded() {
+            let (s, l) = self.shard_of[dev];
+            self.shards[s].lm_request(l, f);
+            self.merge_shard_logs();
+            return;
+        }
         let now = self.cal.now();
         let now_slot = now.slots();
         let outs = f(&mut self.devices[dev].lm, now_slot);
@@ -721,7 +1004,39 @@ impl Simulator {
     /// the clock to `until` so idle gaps at the horizon don't leave the
     /// simulation time short (the event-driven engine leaves such gaps;
     /// lockstep reaches the same instant by ticking through them).
+    ///
+    /// A sharded simulator advances each component shard to `until` on
+    /// up to [`SimConfig::shards`] scoped worker threads — components
+    /// never interact, so this is the embarrassingly parallel phase —
+    /// then merges the shard event logs. The worker count never changes
+    /// results, only wall-clock time.
     pub fn run_until(&mut self, until: SimTime) {
+        if self.sharded() {
+            let workers = self.workers.min(self.shards.len()).max(1);
+            if workers == 1 {
+                for sh in &mut self.shards {
+                    sh.run_until(until);
+                }
+            } else {
+                let mut groups: Vec<Vec<&mut Simulator>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (i, sh) in self.shards.iter_mut().enumerate() {
+                    groups[i % workers].push(sh);
+                }
+                std::thread::scope(|scope| {
+                    for group in groups {
+                        scope.spawn(move || {
+                            for sh in group {
+                                sh.run_until(until);
+                            }
+                        });
+                    }
+                });
+            }
+            self.merge_shard_logs();
+            self.cal.advance_to(until);
+            return;
+        }
         self.run_cap = until;
         while let Some(t) = self.cal.peek_time() {
             if t > until {
@@ -786,6 +1101,9 @@ impl Simulator {
     where
         F: Fn(&LoggedEvent) -> bool,
     {
+        if self.sharded() {
+            return self.sharded_run_until_event_from(cursor, cap, pred);
+        }
         self.run_cap = cap;
         loop {
             while cursor.0 < self.events.len() {
@@ -805,9 +1123,71 @@ impl Simulator {
         }
     }
 
+    /// The sharded event search: steps whichever shard holds the
+    /// globally earliest pending calendar event (ties to the lowest
+    /// shard index), merging new events into the shell log after every
+    /// step, until one matches. Because stepping is globally
+    /// time-ordered, every cross-shard observable — log contents, the
+    /// matched event, the stop instant — is independent of the shard
+    /// layout and worker count.
+    fn sharded_run_until_event_from<F>(
+        &mut self,
+        cursor: &mut EventCursor,
+        cap: SimTime,
+        pred: F,
+    ) -> Result<LoggedEvent, HorizonReached>
+    where
+        F: Fn(&LoggedEvent) -> bool,
+    {
+        let mut frontier = self.cal.now();
+        loop {
+            while cursor.0 < self.events.len() {
+                let i = cursor.0;
+                cursor.0 += 1;
+                if pred(&self.events[i]) {
+                    let found = self.events[i].clone();
+                    // Sync every shard's clock to the stepping frontier
+                    // without dispatching anything further: pending
+                    // same-instant events stay pending, exactly as the
+                    // monolithic search leaves them.
+                    for sh in &mut self.shards {
+                        sh.cal.advance_to(frontier);
+                    }
+                    self.cal.advance_to(frontier);
+                    return Ok(found);
+                }
+            }
+            let next = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, sh)| sh.cal.peek_time().map(|t| (t, i)))
+                .min();
+            match next {
+                Some((t, i)) if t <= cap => {
+                    frontier = t;
+                    self.shards[i].step_with_cap(cap);
+                    self.merge_shard_logs();
+                }
+                _ => {
+                    for sh in &mut self.shards {
+                        sh.run_until(cap);
+                    }
+                    self.merge_shard_logs();
+                    self.cal.advance_to(cap);
+                    return Err(HorizonReached { horizon: cap });
+                }
+            }
+        }
+    }
+
     /// Power/activity report of `dev` over `[0, now]`, with any open RF
     /// window committed up to now.
     pub fn power_report(&self, dev: usize) -> DeviceReport<LifePhase> {
+        if self.sharded() {
+            let (s, l) = self.shard_of[dev];
+            return self.shards[s].power_report(l);
+        }
         let mut monitor = self.monitor.clone();
         let now = self.cal.now();
         if let Some(w) = &self.devices[dev].active {
@@ -815,6 +1195,56 @@ impl Simulator {
             monitor.add_rx(dev, w.opened_at, end);
         }
         monitor.report(dev, now)
+    }
+
+    // ----- sharding --------------------------------------------------------
+
+    /// One calendar step with the stat-tier batch horizon pinned to
+    /// `cap` — how the sharded event search drives an inner simulator
+    /// so its batches match what the monolithic search would produce
+    /// under the same cap.
+    fn step_with_cap(&mut self, cap: SimTime) {
+        self.run_cap = cap;
+        self.step();
+    }
+
+    /// Pulls every not-yet-merged event out of the shard logs, remaps
+    /// local device ids to global ones, and merges them into the shell
+    /// logs. The shell logs are kept sorted by `(at, device)` — a
+    /// canonical order independent of shard layout and worker count
+    /// (each device's own stream stays in chronological log order;
+    /// cross-device ordering at a shared instant is normalised to
+    /// device order, whereas a monolithic log interleaves by dispatch
+    /// order there).
+    fn merge_shard_logs(&mut self) {
+        for s in 0..self.shards.len() {
+            let (lc_done, lm_done) = self.merge_done[s];
+            let globals = &self.shard_globals[s];
+            let child = &self.shards[s];
+            if child.events.len() > lc_done {
+                let incoming: Vec<LoggedEvent> = child.events[lc_done..]
+                    .iter()
+                    .map(|e| LoggedEvent {
+                        at: e.at,
+                        device: globals[e.device],
+                        event: e.event.clone(),
+                    })
+                    .collect();
+                merge_sorted(&mut self.events, incoming, |e| (e.at, e.device));
+            }
+            if child.lm_events.len() > lm_done {
+                let incoming: Vec<LoggedLmEvent> = child.lm_events[lm_done..]
+                    .iter()
+                    .map(|e| LoggedLmEvent {
+                        at: e.at,
+                        device: globals[e.device],
+                        event: e.event.clone(),
+                    })
+                    .collect();
+                merge_sorted(&mut self.lm_events, incoming, |e| (e.at, e.device));
+            }
+            self.merge_done[s] = (child.events.len(), child.lm_events.len());
+        }
     }
 
     // ----- engine ----------------------------------------------------------
@@ -895,10 +1325,13 @@ impl Simulator {
                 self.recorder
                     .record(end, self.devices[dev].sig_tx, TraceValue::Bit(false));
                 let tx = self.medium.begin_tx(dev, channel, t, bits);
-                // Determine listeners now: open windows on this channel.
+                // Determine listeners now: open windows on this channel
+                // — in spatial mode, only on radios within interaction
+                // range of the transmitter (a far window stays open and
+                // never hears the packet).
                 let mut listeners = Vec::new();
                 for (i, cell) in self.devices.iter_mut().enumerate() {
-                    if i == dev || cell.rx_busy_until > t {
+                    if i == dev || cell.rx_busy_until > t || !self.medium.in_range(dev, i) {
                         continue;
                     }
                     let Some(w) = &cell.active else { continue };
@@ -1089,6 +1522,10 @@ impl Simulator {
                 return;
             }
         };
+        if !self.same_comp(m_dev, s_dev) {
+            // Out-of-range "pair": a shard would not even see the peer.
+            return;
+        }
         let m_addr = self.devices[m_dev].lc.addr();
         let now_slot = t.slots();
 
@@ -1100,7 +1537,7 @@ impl Simulator {
                 == self.devices[s_dev].lc.afh_map_at(now_slot)
             && self.devices[m_dev].lm.next_pending_slot().is_none()
             && self.devices[s_dev].lm.next_pending_slot().is_none()
-            && self.medium.quiet_at(t)
+            && self.comp_quiet(m_dev, t)
             && self.pair_channels_clear(m_dev, now_slot)
             && [m_dev, s_dev].iter().all(|&d| {
                 let c = &self.devices[d];
@@ -1135,21 +1572,49 @@ impl Simulator {
         // than the engines' own tick/wake dispatches (commands, RF
         // activity), and the instant any third device would wake. Both
         // engines compute the same value, so their batches — and hence
-        // their RNG streams — stay bit-identical.
+        // their RNG streams — stay bit-identical. In spatial mode the
+        // scan is scoped to the pair's connected component: devices and
+        // traffic beyond radio reach can neither disturb the pair nor
+        // shorten its batches, which keeps a monolithic floor-wide run
+        // bit-identical to the sharded one where the component is alone
+        // in its own calendar.
         let mut horizon = self.run_cap;
         for (at, ev) in self.cal.iter() {
-            match ev {
-                Ev::Tick(_) | Ev::Wake { .. } => {}
-                _ => horizon = horizon.min(at),
+            let relevant = match ev {
+                Ev::Tick(_) | Ev::Wake { .. } => false,
+                Ev::Command { dev, .. }
+                | Ev::TxStart { dev, .. }
+                | Ev::WindowOpen { dev, .. }
+                | Ev::WindowClose { dev, .. } => self.same_comp(*dev, m_dev),
+                Ev::Deliver { listeners, .. } => {
+                    listeners.iter().any(|&d| self.same_comp(d, m_dev))
+                }
+            };
+            if relevant {
+                horizon = horizon.min(at);
             }
         }
         for (d, cell) in self.devices.iter().enumerate() {
-            if d == m_dev || d == s_dev {
+            if d == m_dev || d == s_dev || !self.same_comp(d, m_dev) {
                 continue;
             }
-            if cell.active.is_some() || !cell.pending.is_empty() || cell.rx_busy_until > t {
-                // A third radio is active right now: co-channel
-                // contention for the tracker, not a horizon matter.
+            if cell.active.is_some()
+                || !cell.pending.is_empty()
+                || cell.rx_busy_until > t
+                || cell.lc.has_active_link()
+            {
+                // A third radio is active right now — or holds an
+                // active-mode link in a piconet of its own. The latter
+                // exchanges traffic (at least Tpoll keepalives) every
+                // few slots, and once such a pair is promoted too,
+                // that traffic no longer shows up as bit-level air
+                // time, so two mutually promoted pairs would batch
+                // straight past each other's collisions. Either way:
+                // co-channel contention for the tracker, not a horizon
+                // matter. A piconet member sleeping through a hold /
+                // sniff / park window is fine — its wakeup caps the
+                // batch horizon below, and waking demotes the pair
+                // here on the next attempt.
                 if self.devices[m_dev].lc.stat_promoted() {
                     self.devices[m_dev].lc.set_stat_promoted(false);
                     self.log_stat_event(m_dev, t, LcEvent::FidelityChanged { promoted: false });
@@ -1236,6 +1701,26 @@ impl Simulator {
         self.monitor.add_bulk(s_dev, t, s_tx_ns, s_rx_ns);
         self.devices[m_dev].lc.set_ff_until(cursor);
         self.devices[s_dev].lc.set_ff_until(cursor);
+    }
+
+    /// Whether `a` and `b` belong to the same connected component of
+    /// the in-range graph. Always true without a spatial model.
+    fn same_comp(&self, a: usize, b: usize) -> bool {
+        self.comp_of.is_empty() || self.comp_of[a] == self.comp_of[b]
+    }
+
+    /// Component-scoped medium quiescence: whether every device in
+    /// `dev`'s connected component has finished its bit-level
+    /// transmissions by `at`. Falls back to the global
+    /// [`Medium::quiet_at`] without a spatial model. Scoping by
+    /// component (not just the 3×3 cell neighbourhood) matches exactly
+    /// what a sharded run's per-component medium observes.
+    fn comp_quiet(&self, dev: usize, at: SimTime) -> bool {
+        if self.comp_of.is_empty() {
+            return self.medium.quiet_at(at);
+        }
+        let comp = self.comp_of[dev];
+        (0..self.devices.len()).all(|d| self.comp_of[d] != comp || self.medium.last_end_of(d) <= at)
     }
 
     /// Whether every RF channel the pair can hop to is free of
@@ -1428,6 +1913,31 @@ impl Simulator {
                 }
             }
         }
+    }
+}
+
+/// Merges `incoming` (any order) into `dst`, which is and stays sorted
+/// by `key`; on equal keys existing entries come first and incoming
+/// entries keep their relative order, so each device's event stream
+/// stays chronological across merges.
+fn merge_sorted<T, K: Ord + Copy>(dst: &mut Vec<T>, mut incoming: Vec<T>, key: impl Fn(&T) -> K) {
+    incoming.sort_by_key(&key); // stable
+    let Some(first) = incoming.first() else {
+        return;
+    };
+    let start = dst.partition_point(|e| key(e) <= key(first));
+    let tail = dst.split_off(start);
+    let mut ti = tail.into_iter().peekable();
+    let mut ii = incoming.into_iter().peekable();
+    loop {
+        let take_tail = match (ti.peek(), ii.peek()) {
+            (Some(t), Some(i)) => key(t) <= key(i),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let next = if take_tail { ti.next() } else { ii.next() };
+        dst.push(next.expect("peeked non-empty side"));
     }
 }
 

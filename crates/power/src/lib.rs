@@ -14,9 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Debug;
-use std::hash::Hash;
 
 use btsim_kernel::{SimDuration, SimTime};
 
@@ -67,8 +66,11 @@ impl PhaseTotals {
 }
 
 /// Activity report for one device.
+///
+/// `phases` is an ordered map so that reports of identical runs render
+/// identically — differential tests compare their `Debug` output.
 #[derive(Debug, Clone, PartialEq)]
-pub struct DeviceReport<P: Copy + Eq + Hash> {
+pub struct DeviceReport<P: Copy + Ord> {
     /// Total transmitter on-time.
     pub tx: SimDuration,
     /// Total receiver on-time.
@@ -76,10 +78,10 @@ pub struct DeviceReport<P: Copy + Eq + Hash> {
     /// Observation window (simulation end time).
     pub total: SimDuration,
     /// Per-phase breakdown.
-    pub phases: HashMap<P, PhaseTotals>,
+    pub phases: BTreeMap<P, PhaseTotals>,
 }
 
-impl<P: Copy + Eq + Hash> DeviceReport<P> {
+impl<P: Copy + Ord> DeviceReport<P> {
     /// Overall RF activity: (TX + RX on-time) / observation window.
     pub fn rf_activity(&self) -> f64 {
         if self.total.ns() == 0 {
@@ -136,7 +138,7 @@ struct DeviceAccount<P> {
     rx_ns: u64,
     /// Phase timeline: (start, phase), sorted by construction.
     timeline: Vec<(SimTime, P)>,
-    per_phase: HashMap<P, PhaseTotals>,
+    per_phase: BTreeMap<P, PhaseTotals>,
 }
 
 /// Integrates RF-enable intervals per device and phase.
@@ -159,11 +161,11 @@ struct DeviceAccount<P> {
 /// assert!((report.rf_activity() - 32.0 / 1250.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone)]
-pub struct PowerMonitor<P: Copy + Eq + Hash + Debug> {
+pub struct PowerMonitor<P: Copy + Ord + Debug> {
     devices: Vec<DeviceAccount<P>>,
 }
 
-impl<P: Copy + Eq + Hash + Debug> PowerMonitor<P> {
+impl<P: Copy + Ord + Debug> PowerMonitor<P> {
     /// Creates a monitor for `n` devices starting in `initial_phase`.
     pub fn new(n: usize, initial_phase: P) -> Self {
         Self {
@@ -172,7 +174,7 @@ impl<P: Copy + Eq + Hash + Debug> PowerMonitor<P> {
                     tx_ns: 0,
                     rx_ns: 0,
                     timeline: vec![(SimTime::ZERO, initial_phase)],
-                    per_phase: HashMap::new(),
+                    per_phase: BTreeMap::new(),
                 })
                 .collect(),
         }

@@ -1,8 +1,9 @@
-//! Minimal JSON rendering for campaign results.
+//! Minimal JSON rendering and parsing for campaign results.
 //!
 //! The workspace builds without external crates, so this is a small
-//! write-only JSON value tree: enough for `--json` result dumps, not a
-//! general-purpose serializer.
+//! JSON value tree: enough for `--json` result dumps and for reading
+//! back our own reports ([`JsonValue::parse`], used by the
+//! `bench_hotpath` regression gate), not a general-purpose serde.
 
 use std::fmt;
 
@@ -25,12 +26,65 @@ pub enum JsonValue {
     Obj(Vec<(String, JsonValue)>),
 }
 
+/// Where a [`JsonValue::parse`] failure occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What the parser expected.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
 impl JsonValue {
     /// Renders to compact JSON text.
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
         out
+    }
+
+    /// Parses JSON text into a value tree. Numbers with no fraction or
+    /// exponent that fit a `u64` parse as [`JsonValue::UInt`] (exact
+    /// round-trip for seeds); everything else numeric becomes
+    /// [`JsonValue::Num`]. Trailing non-whitespace is an error — a
+    /// report must be one complete document.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonParseError {
+                at: pos,
+                message: "trailing characters after the document".into(),
+            });
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object; `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -74,6 +128,173 @@ impl JsonValue {
             }
         }
     }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+        *pos += 1;
+    }
+}
+
+fn err(at: usize, message: impl Into<String>) -> JsonParseError {
+    JsonParseError {
+        at,
+        message: message.into(),
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected {lit:?}")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected ':' after object key"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(err(*pos, format!("unexpected byte {:?}", c as char))),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected '\"'"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogates only appear in escaped pairs; our own
+                        // renderer never emits them, so reject rather than
+                        // decode UTF-16.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| err(*pos, "unpaired surrogate escape"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Take the full UTF-8 scalar starting here.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty checked above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    if !fractional {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::UInt(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| err(start, format!("invalid number {text:?}")))
 }
 
 fn write_escaped(s: &str, out: &mut String) {
@@ -153,5 +374,68 @@ mod tests {
     fn escapes_strings() {
         let v = JsonValue::Str("a\"b\\c\nd".into());
         assert_eq!(v.render(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let v = JsonValue::Obj(vec![
+            ("name".into(), "fig6 \"quoted\" — dash".into()),
+            (
+                "rows".into(),
+                JsonValue::Arr(vec![
+                    JsonValue::Num(1.5),
+                    JsonValue::Num(-2.25e-3),
+                    JsonValue::UInt(u64::MAX),
+                    JsonValue::Null,
+                    JsonValue::Bool(false),
+                ]),
+            ),
+            ("empty_arr".into(), JsonValue::Arr(vec![])),
+            ("empty_obj".into(), JsonValue::Obj(vec![])),
+        ]);
+        let parsed = JsonValue::parse(&v.render()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_pretty_printing() {
+        let v = JsonValue::parse("  {\n  \"a\" : [ 1 , 2.5 ] ,\n  \"b\" : true\n}\n").unwrap();
+        assert_eq!(v.get("b"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            v.get("a"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::UInt(1),
+                JsonValue::Num(2.5)
+            ]))
+        );
+        assert_eq!(v.get("a").unwrap().get("x"), None, "get on non-object");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "nul",
+            "+5",
+            "{\"a\":1,}",
+            "[01x]",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_read_numbers() {
+        let v = JsonValue::parse(r#"{"rate": 812.5, "seed": 7}"#).unwrap();
+        assert_eq!(v.get("rate").and_then(JsonValue::as_f64), Some(812.5));
+        assert_eq!(v.get("seed").and_then(JsonValue::as_f64), Some(7.0));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Bool(true).as_f64(), None);
     }
 }

@@ -17,7 +17,7 @@ mod summary;
 mod table;
 
 pub use histogram::Histogram;
-pub use json::JsonValue;
+pub use json::{JsonParseError, JsonValue};
 pub use record::{format_metric, Record};
 pub use runner::run_campaign;
 pub use summary::Summary;

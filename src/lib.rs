@@ -131,6 +131,28 @@
 //! `bench_hotpath` benchmark methodology and the bit-exactness gate
 //! every hot-path change must pass).
 //!
+//! Devices can be placed on a floor plan (see `docs/SPATIAL.md`): a
+//! hard interaction radius culls interference to the 3×3-cell
+//! neighbourhood around each radio, and `--shards N` splits a single
+//! run over the connected components of the in-range graph on scoped
+//! worker threads — bit-identical to the unsharded run (enforced by
+//! `tests/spatial_sharding.rs`), so sharding is pure wall-clock:
+//!
+//! ```
+//! use btsim::channel::{Position, SpatialConfig};
+//! use btsim::core::scenario::paper_config;
+//! use btsim::core::SimBuilder;
+//!
+//! let mut cfg = paper_config();
+//! cfg.channel.spatial = Some(SpatialConfig::with_radius(10.0));
+//! cfg.shards = 4; // or `--shards 4` on any binary
+//! let mut b = SimBuilder::new(7, cfg);
+//! let m = b.add_device_at("master", Position::ORIGIN);
+//! let s = b.add_device_at("slave", Position::new(3.0, 4.0)); // 5 m apart
+//! let sim = b.build();
+//! assert!(sim.device_count() == 2);
+//! ```
+//!
 //! On top of both engines sit three PHY **fidelity tiers** (see
 //! `docs/FIDELITY.md`): `bit` simulates every packet through the full
 //! coding pipeline; `stat` promotes settled single-slave ACL links to a
