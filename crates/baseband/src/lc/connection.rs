@@ -145,7 +145,7 @@ impl Default for SniffParams {
 }
 
 /// Per-link ARQ + queue state, shared by both roles.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct LinkState {
     pub tx: TxBuffer,
     pub in_flight: Option<(Llid, Vec<u8>)>,
@@ -228,7 +228,7 @@ impl LinkState {
 }
 
 /// Master-side record of one slave.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct SlaveSlot {
     pub lt_addr: u8,
     pub addr: BdAddr,
@@ -248,7 +248,7 @@ pub(crate) struct SlaveSlot {
 }
 
 /// Master context: the paper's `PICONET` module.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct MasterCtx {
     pub slaves: Vec<SlaveSlot>,
     pub busy_until: SimTime,
@@ -267,7 +267,7 @@ impl MasterCtx {
 }
 
 /// Slave context of a connected device.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct SlaveCtx {
     pub master: BdAddr,
     pub lt_addr: u8,

@@ -25,7 +25,7 @@ use super::{tx_action, LcAction, LcEvent, LifePhase, LinkController, ProcState};
 pub(crate) const GIAC_HOP_INPUT: u32 = syncword::GIAC_LAP;
 
 /// Inquirer context.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct InquiryCtx {
     pub num_responses: u8,
     pub timeout_slots: u32,
@@ -33,7 +33,7 @@ pub(crate) struct InquiryCtx {
 }
 
 /// Scanner context.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct InquiryScanCtx {
     /// Whether the first ID (pre-backoff) was already heard.
     pub armed: bool,

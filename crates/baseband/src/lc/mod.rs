@@ -17,6 +17,7 @@ mod afh;
 mod connection;
 mod inquiry;
 mod page;
+mod snap_impls;
 mod statpath;
 mod wakeup;
 
@@ -412,7 +413,7 @@ pub struct RxDelivery {
 }
 
 /// Procedure state of the controller (paper Fig. 4).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum ProcState {
     Standby,
     Inquiry(InquiryCtx),
@@ -440,7 +441,7 @@ pub(crate) enum ProcState {
 /// let actions = lc.command(LcCommand::InquiryScan, SimTime::ZERO);
 /// assert!(!actions.is_empty()); // opens the scan window
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LinkController {
     pub(crate) cfg: LcConfig,
     pub(crate) addr: BdAddr,
@@ -505,6 +506,14 @@ impl LinkController {
     /// The device's address.
     pub fn addr(&self) -> BdAddr {
         self.addr
+    }
+
+    /// Replaces the controller's RNG with a fresh stream seeded by
+    /// `seed`, exactly as [`LinkController::new`] would. Campaign
+    /// forking uses this to give each fork of a restored snapshot an
+    /// independent — yet reproducible — randomness stream.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SimRng::new(seed);
     }
 
     /// The device's native clock value at `t`.

@@ -24,7 +24,7 @@ use super::connection::{LinkMode, LinkState, MasterCtx, SlaveCtx, SlaveSlot};
 use super::{tx_action, LcAction, LcEvent, LifePhase, LinkController, ProcState};
 
 /// Pager context.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct PageCtx {
     pub target: BdAddr,
     /// CLKE = own CLKN + this offset (estimate of the target's CLKN).
@@ -33,7 +33,7 @@ pub(crate) struct PageCtx {
     pub sub: PageSub,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum PageSub {
     /// Sweeping the page train.
     Paging,
@@ -49,7 +49,7 @@ pub(crate) enum PageSub {
 }
 
 /// Page-scan context.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct PageScanCtx {
     pub sub: PageScanSub,
     /// Channel of the currently open scan window (None while responding
@@ -57,7 +57,7 @@ pub(crate) struct PageScanCtx {
     pub cur_channel: Option<u8>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum PageScanSub {
     Scanning,
     /// Sent our ID response; waiting for the master's FHS.

@@ -1,0 +1,1257 @@
+//! [`Snap`] wire forms for the link-controller state tree.
+//!
+//! Everything a [`LinkController`] holds — procedure contexts, per-link
+//! ARQ state, AFH maps and the RNG position — roundtrips through the
+//! kernel's snapshot codec. The packet [`Codec`](packet::Codec) is the
+//! one deliberate exception: it is a pure memoization of access-code
+//! images, so restore rebuilds it empty and the caches refill
+//! identically on demand (cache state never influences behaviour).
+//!
+//! Decoding is total: malformed bytes produce a
+//! [`SnapshotError`], never a panic, and semantic invariants (clock
+//! range, RF channels < 79, AFH map floor, fragment offsets) are
+//! checked before any panicking constructor runs.
+
+use std::collections::VecDeque;
+
+use btsim_kernel::{SimTime, Snap, SnapReader, SnapWriter, SnapshotError};
+
+use crate::address::BdAddr;
+use crate::clock::{ClkVal, Clock, CLK_WRAP};
+use crate::hop::{ChannelMap, CHANNELS, CHANNEL_MAP_BYTES};
+use crate::packet::{self, Llid, PacketType};
+
+use super::connection::{
+    LinkMode, LinkState, MasterCtx, ScoParams, SlaveCtx, SlaveSlot, SniffParams,
+};
+use super::inquiry::{InquiryCtx, InquiryScanCtx};
+use super::page::{PageCtx, PageScanCtx, PageScanSub, PageSub};
+use super::{
+    ChannelAssessment, LcCommand, LcConfig, LcEvent, LifePhase, LinkController, ProcState,
+};
+
+fn rf_channel(r: &mut SnapReader<'_>) -> Result<u8, SnapshotError> {
+    let ch = r.take_u8()?;
+    if ch >= CHANNELS {
+        return Err(r.malformed("RF channel out of range"));
+    }
+    Ok(ch)
+}
+
+impl Snap for BdAddr {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.raw());
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let raw = r.take_u64()?;
+        if raw > 0xFFFF_FFFF_FFFF {
+            return Err(r.malformed("BD_ADDR wider than 48 bits"));
+        }
+        Ok(BdAddr::from_raw(raw))
+    }
+}
+
+impl Snap for ClkVal {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.raw());
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let raw = r.take_u32()?;
+        if raw >= CLK_WRAP {
+            return Err(r.malformed("clock value wider than 28 bits"));
+        }
+        Ok(ClkVal::new(raw))
+    }
+}
+
+impl Snap for Clock {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.start_value().snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Clock::new(ClkVal::unsnap(r)?))
+    }
+}
+
+impl Snap for PacketType {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            PacketType::Id => 0,
+            PacketType::Null => 1,
+            PacketType::Poll => 2,
+            PacketType::Fhs => 3,
+            PacketType::Dm1 => 4,
+            PacketType::Dh1 => 5,
+            PacketType::Dm3 => 6,
+            PacketType::Dh3 => 7,
+            PacketType::Dm5 => 8,
+            PacketType::Dh5 => 9,
+            PacketType::Aux1 => 10,
+            PacketType::Hv1 => 11,
+            PacketType::Hv2 => 12,
+            PacketType::Hv3 => 13,
+            PacketType::Dv => 14,
+        });
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => PacketType::Id,
+            1 => PacketType::Null,
+            2 => PacketType::Poll,
+            3 => PacketType::Fhs,
+            4 => PacketType::Dm1,
+            5 => PacketType::Dh1,
+            6 => PacketType::Dm3,
+            7 => PacketType::Dh3,
+            8 => PacketType::Dm5,
+            9 => PacketType::Dh5,
+            10 => PacketType::Aux1,
+            11 => PacketType::Hv1,
+            12 => PacketType::Hv2,
+            13 => PacketType::Hv3,
+            14 => PacketType::Dv,
+            _ => return Err(r.malformed("unknown packet-type tag")),
+        })
+    }
+}
+
+impl Snap for Llid {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            Llid::Continuation => 0,
+            Llid::Start => 1,
+            Llid::Lmp => 2,
+        });
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => Llid::Continuation,
+            1 => Llid::Start,
+            2 => Llid::Lmp,
+            _ => return Err(r.malformed("unknown LLID tag")),
+        })
+    }
+}
+
+impl Snap for LifePhase {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            LifePhase::Standby => 0,
+            LifePhase::Inquiry => 1,
+            LifePhase::InquiryScan => 2,
+            LifePhase::Page => 3,
+            LifePhase::PageScan => 4,
+            LifePhase::Active => 5,
+            LifePhase::Sniff => 6,
+            LifePhase::Hold => 7,
+            LifePhase::Park => 8,
+        });
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => LifePhase::Standby,
+            1 => LifePhase::Inquiry,
+            2 => LifePhase::InquiryScan,
+            3 => LifePhase::Page,
+            4 => LifePhase::PageScan,
+            5 => LifePhase::Active,
+            6 => LifePhase::Sniff,
+            7 => LifePhase::Hold,
+            8 => LifePhase::Park,
+            _ => return Err(r.malformed("unknown life-phase tag")),
+        })
+    }
+}
+
+impl Snap for LinkMode {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            LinkMode::Active => 0,
+            LinkMode::Sniff => 1,
+            LinkMode::Hold => 2,
+            LinkMode::Park => 3,
+        });
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => LinkMode::Active,
+            1 => LinkMode::Sniff,
+            2 => LinkMode::Hold,
+            3 => LinkMode::Park,
+            _ => return Err(r.malformed("unknown link-mode tag")),
+        })
+    }
+}
+
+impl Snap for ScoParams {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.t_sco);
+        w.put_u32(self.d_sco);
+        self.ptype.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            t_sco: r.take_u32()?,
+            d_sco: r.take_u32()?,
+            ptype: PacketType::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for SniffParams {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.t_sniff);
+        w.put_u32(self.n_attempt);
+        w.put_u32(self.d_sniff);
+        w.put_u32(self.n_timeout);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            t_sniff: r.take_u32()?,
+            n_attempt: r.take_u32()?,
+            d_sniff: r.take_u32()?,
+            n_timeout: r.take_u32()?,
+        })
+    }
+}
+
+impl Snap for ChannelMap {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_bytes(&self.to_bytes());
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let bytes = r.take_bytes()?;
+        let arr: [u8; CHANNEL_MAP_BYTES] = bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| r.malformed("channel map is not 10 bytes"))?;
+        ChannelMap::from_bytes(&arr).map_err(|_| r.malformed("channel map below the AFH floor"))
+    }
+}
+
+impl Snap for LcConfig {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(self.sync_threshold);
+        w.put_bool(self.page_fhs_fec);
+        w.put_u64(self.peek_us);
+        w.put_u32(self.inquiry_backoff_max);
+        w.put_u32(self.inquiry_rearm_backoff_max);
+        w.put_u32(self.train_switch_slots);
+        w.put_u32(self.page_resp_timeout_slots);
+        w.put_u32(self.new_connection_timeout_slots);
+        w.put_u32(self.t_poll_slots);
+        self.default_acl.snap(w);
+        w.put_bool(self.inquiry_scan_continuous);
+        w.put_bool(self.page_scan_continuous);
+        w.put_u32(self.page_scan_interval_slots);
+        w.put_u32(self.page_scan_window_slots);
+        w.put_u32(self.resync_guard_slots);
+        w.put_u64(self.sniff_listen_us);
+        w.put_u64(self.sniff_drift_ppm);
+        w.put_u32(self.class_of_device);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            sync_threshold: r.take_u8()?,
+            page_fhs_fec: r.take_bool()?,
+            peek_us: r.take_u64()?,
+            inquiry_backoff_max: r.take_u32()?,
+            inquiry_rearm_backoff_max: r.take_u32()?,
+            train_switch_slots: r.take_u32()?,
+            page_resp_timeout_slots: r.take_u32()?,
+            new_connection_timeout_slots: r.take_u32()?,
+            t_poll_slots: r.take_u32()?,
+            default_acl: PacketType::unsnap(r)?,
+            inquiry_scan_continuous: r.take_bool()?,
+            page_scan_continuous: r.take_bool()?,
+            page_scan_interval_slots: r.take_u32()?,
+            page_scan_window_slots: r.take_u32()?,
+            resync_guard_slots: r.take_u32()?,
+            sniff_listen_us: r.take_u64()?,
+            sniff_drift_ppm: r.take_u64()?,
+            class_of_device: r.take_u32()?,
+        })
+    }
+}
+
+impl Snap for LcCommand {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            LcCommand::Inquiry {
+                num_responses,
+                timeout_slots,
+            } => {
+                w.put_u8(0);
+                w.put_u8(*num_responses);
+                w.put_u32(*timeout_slots);
+            }
+            LcCommand::InquiryScan => w.put_u8(1),
+            LcCommand::Page {
+                target,
+                clke_offset,
+                timeout_slots,
+            } => {
+                w.put_u8(2);
+                target.snap(w);
+                w.put_u32(*clke_offset);
+                w.put_u32(*timeout_slots);
+            }
+            LcCommand::PageScan => w.put_u8(3),
+            LcCommand::AbortProcedure => w.put_u8(4),
+            LcCommand::AclData { lt_addr, data } => {
+                w.put_u8(5);
+                w.put_u8(*lt_addr);
+                data.snap(w);
+            }
+            LcCommand::Lmp { lt_addr, data } => {
+                w.put_u8(6);
+                w.put_u8(*lt_addr);
+                data.snap(w);
+            }
+            LcCommand::SetAclType(t) => {
+                w.put_u8(7);
+                t.snap(w);
+            }
+            LcCommand::SetTpoll(t) => {
+                w.put_u8(8);
+                w.put_u32(*t);
+            }
+            LcCommand::SetAfh(map) => {
+                w.put_u8(9);
+                map.snap(w);
+            }
+            LcCommand::SetAfhAt { map, at_slot } => {
+                w.put_u8(10);
+                map.snap(w);
+                w.put_u64(*at_slot);
+            }
+            LcCommand::CancelAfhSwitch => w.put_u8(11),
+            LcCommand::ScoSetup { lt_addr, params } => {
+                w.put_u8(12);
+                w.put_u8(*lt_addr);
+                params.snap(w);
+            }
+            LcCommand::ScoRemove { lt_addr } => {
+                w.put_u8(13);
+                w.put_u8(*lt_addr);
+            }
+            LcCommand::ScoData { lt_addr, data } => {
+                w.put_u8(14);
+                w.put_u8(*lt_addr);
+                data.snap(w);
+            }
+            LcCommand::Sniff { lt_addr, params } => {
+                w.put_u8(15);
+                w.put_u8(*lt_addr);
+                params.snap(w);
+            }
+            LcCommand::Unsniff { lt_addr } => {
+                w.put_u8(16);
+                w.put_u8(*lt_addr);
+            }
+            LcCommand::Hold {
+                lt_addr,
+                hold_slots,
+            } => {
+                w.put_u8(17);
+                w.put_u8(*lt_addr);
+                w.put_u32(*hold_slots);
+            }
+            LcCommand::HoldPiconet { master, hold_slots } => {
+                w.put_u8(18);
+                master.snap(w);
+                w.put_u32(*hold_slots);
+            }
+            LcCommand::AclDataTo { master, data } => {
+                w.put_u8(19);
+                master.snap(w);
+                data.snap(w);
+            }
+            LcCommand::Park {
+                lt_addr,
+                beacon_interval,
+            } => {
+                w.put_u8(20);
+                w.put_u8(*lt_addr);
+                w.put_u32(*beacon_interval);
+            }
+            LcCommand::Unpark { lt_addr } => {
+                w.put_u8(21);
+                w.put_u8(*lt_addr);
+            }
+            LcCommand::Detach { lt_addr } => {
+                w.put_u8(22);
+                w.put_u8(*lt_addr);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => LcCommand::Inquiry {
+                num_responses: r.take_u8()?,
+                timeout_slots: r.take_u32()?,
+            },
+            1 => LcCommand::InquiryScan,
+            2 => LcCommand::Page {
+                target: BdAddr::unsnap(r)?,
+                clke_offset: r.take_u32()?,
+                timeout_slots: r.take_u32()?,
+            },
+            3 => LcCommand::PageScan,
+            4 => LcCommand::AbortProcedure,
+            5 => LcCommand::AclData {
+                lt_addr: r.take_u8()?,
+                data: Vec::unsnap(r)?,
+            },
+            6 => LcCommand::Lmp {
+                lt_addr: r.take_u8()?,
+                data: Vec::unsnap(r)?,
+            },
+            7 => LcCommand::SetAclType(PacketType::unsnap(r)?),
+            8 => LcCommand::SetTpoll(r.take_u32()?),
+            9 => LcCommand::SetAfh(ChannelMap::unsnap(r)?),
+            10 => LcCommand::SetAfhAt {
+                map: ChannelMap::unsnap(r)?,
+                at_slot: r.take_u64()?,
+            },
+            11 => LcCommand::CancelAfhSwitch,
+            12 => LcCommand::ScoSetup {
+                lt_addr: r.take_u8()?,
+                params: ScoParams::unsnap(r)?,
+            },
+            13 => LcCommand::ScoRemove {
+                lt_addr: r.take_u8()?,
+            },
+            14 => LcCommand::ScoData {
+                lt_addr: r.take_u8()?,
+                data: Vec::unsnap(r)?,
+            },
+            15 => LcCommand::Sniff {
+                lt_addr: r.take_u8()?,
+                params: SniffParams::unsnap(r)?,
+            },
+            16 => LcCommand::Unsniff {
+                lt_addr: r.take_u8()?,
+            },
+            17 => LcCommand::Hold {
+                lt_addr: r.take_u8()?,
+                hold_slots: r.take_u32()?,
+            },
+            18 => LcCommand::HoldPiconet {
+                master: BdAddr::unsnap(r)?,
+                hold_slots: r.take_u32()?,
+            },
+            19 => LcCommand::AclDataTo {
+                master: BdAddr::unsnap(r)?,
+                data: Vec::unsnap(r)?,
+            },
+            20 => LcCommand::Park {
+                lt_addr: r.take_u8()?,
+                beacon_interval: r.take_u32()?,
+            },
+            21 => LcCommand::Unpark {
+                lt_addr: r.take_u8()?,
+            },
+            22 => LcCommand::Detach {
+                lt_addr: r.take_u8()?,
+            },
+            _ => return Err(r.malformed("unknown LC command tag")),
+        })
+    }
+}
+
+impl Snap for LcEvent {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            LcEvent::InquiryResult { addr, clk_offset } => {
+                w.put_u8(0);
+                addr.snap(w);
+                w.put_u32(*clk_offset);
+            }
+            LcEvent::InquiryComplete { responses } => {
+                w.put_u8(1);
+                w.put_u8(*responses);
+            }
+            LcEvent::PageComplete { addr, lt_addr } => {
+                w.put_u8(2);
+                addr.snap(w);
+                w.put_u8(*lt_addr);
+            }
+            LcEvent::PageFailed { addr } => {
+                w.put_u8(3);
+                addr.snap(w);
+            }
+            LcEvent::Connected { master, lt_addr } => {
+                w.put_u8(4);
+                master.snap(w);
+                w.put_u8(*lt_addr);
+            }
+            LcEvent::AclReceived {
+                lt_addr,
+                llid,
+                data,
+            } => {
+                w.put_u8(5);
+                w.put_u8(*lt_addr);
+                llid.snap(w);
+                data.snap(w);
+            }
+            LcEvent::AclDelivered { lt_addr } => {
+                w.put_u8(6);
+                w.put_u8(*lt_addr);
+            }
+            LcEvent::ScoReceived { lt_addr, data } => {
+                w.put_u8(7);
+                w.put_u8(*lt_addr);
+                data.snap(w);
+            }
+            LcEvent::ModeChanged { lt_addr, mode } => {
+                w.put_u8(8);
+                w.put_u8(*lt_addr);
+                mode.snap(w);
+            }
+            LcEvent::Detached { lt_addr } => {
+                w.put_u8(9);
+                w.put_u8(*lt_addr);
+            }
+            LcEvent::PhaseChanged { phase } => {
+                w.put_u8(10);
+                phase.snap(w);
+            }
+            LcEvent::FidelityChanged { promoted } => {
+                w.put_u8(11);
+                w.put_bool(*promoted);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => LcEvent::InquiryResult {
+                addr: BdAddr::unsnap(r)?,
+                clk_offset: r.take_u32()?,
+            },
+            1 => LcEvent::InquiryComplete {
+                responses: r.take_u8()?,
+            },
+            2 => LcEvent::PageComplete {
+                addr: BdAddr::unsnap(r)?,
+                lt_addr: r.take_u8()?,
+            },
+            3 => LcEvent::PageFailed {
+                addr: BdAddr::unsnap(r)?,
+            },
+            4 => LcEvent::Connected {
+                master: BdAddr::unsnap(r)?,
+                lt_addr: r.take_u8()?,
+            },
+            5 => LcEvent::AclReceived {
+                lt_addr: r.take_u8()?,
+                llid: Llid::unsnap(r)?,
+                data: Vec::unsnap(r)?,
+            },
+            6 => LcEvent::AclDelivered {
+                lt_addr: r.take_u8()?,
+            },
+            7 => LcEvent::ScoReceived {
+                lt_addr: r.take_u8()?,
+                data: Vec::unsnap(r)?,
+            },
+            8 => LcEvent::ModeChanged {
+                lt_addr: r.take_u8()?,
+                mode: LinkMode::unsnap(r)?,
+            },
+            9 => LcEvent::Detached {
+                lt_addr: r.take_u8()?,
+            },
+            10 => LcEvent::PhaseChanged {
+                phase: LifePhase::unsnap(r)?,
+            },
+            11 => LcEvent::FidelityChanged {
+                promoted: r.take_bool()?,
+            },
+            _ => return Err(r.malformed("unknown LC event tag")),
+        })
+    }
+}
+
+impl Snap for LinkState {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.tx.snap(w);
+        self.in_flight.snap(w);
+        w.put_bool(self.seqn_out);
+        self.last_seqn_in.snap(w);
+        w.put_bool(self.arqn_to_send);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            tx: crate::buffer::TxBuffer::unsnap(r)?,
+            in_flight: Option::unsnap(r)?,
+            seqn_out: r.take_bool()?,
+            last_seqn_in: Option::unsnap(r)?,
+            arqn_to_send: r.take_bool()?,
+        })
+    }
+}
+
+impl Snap for SlaveSlot {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(self.lt_addr);
+        self.addr.snap(w);
+        self.mode.snap(w);
+        self.sco.snap(w);
+        self.sco_out.snap(w);
+        self.sniff.snap(w);
+        self.sniff_ext_until_slot.snap(w);
+        self.hold_until_slot.snap(w);
+        w.put_u32(self.park_beacon_interval);
+        w.put_u8(self.parked_lt);
+        w.put_u64(self.last_poll_slot);
+        w.put_bool(self.poll_asap);
+        self.newconn_deadline_slot.snap(w);
+        self.link.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            lt_addr: r.take_u8()?,
+            addr: BdAddr::unsnap(r)?,
+            mode: LinkMode::unsnap(r)?,
+            sco: Option::unsnap(r)?,
+            sco_out: VecDeque::unsnap(r)?,
+            sniff: Option::unsnap(r)?,
+            sniff_ext_until_slot: Option::unsnap(r)?,
+            hold_until_slot: Option::unsnap(r)?,
+            park_beacon_interval: r.take_u32()?,
+            parked_lt: r.take_u8()?,
+            last_poll_slot: r.take_u64()?,
+            poll_asap: r.take_bool()?,
+            newconn_deadline_slot: Option::unsnap(r)?,
+            link: LinkState::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for MasterCtx {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.slaves.snap(w);
+        self.busy_until.snap(w);
+        self.awaiting.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            slaves: Vec::unsnap(r)?,
+            busy_until: SimTime::unsnap(r)?,
+            awaiting: Option::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for SlaveCtx {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.master.snap(w);
+        w.put_u8(self.lt_addr);
+        w.put_u32(self.clk_offset);
+        self.mode.snap(w);
+        self.sco.snap(w);
+        self.sco_out.snap(w);
+        self.sniff.snap(w);
+        self.sniff_ext_until_slot.snap(w);
+        self.hold_until_slot.snap(w);
+        w.put_u32(self.park_beacon_interval);
+        w.put_u8(self.parked_lt);
+        self.newconn_deadline_slot.snap(w);
+        w.put_bool(self.resync);
+        self.link.snap(w);
+        w.put_bool(self.listening_full_slot);
+        self.busy_until.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            master: BdAddr::unsnap(r)?,
+            lt_addr: r.take_u8()?,
+            clk_offset: r.take_u32()?,
+            mode: LinkMode::unsnap(r)?,
+            sco: Option::unsnap(r)?,
+            sco_out: VecDeque::unsnap(r)?,
+            sniff: Option::unsnap(r)?,
+            sniff_ext_until_slot: Option::unsnap(r)?,
+            hold_until_slot: Option::unsnap(r)?,
+            park_beacon_interval: r.take_u32()?,
+            parked_lt: r.take_u8()?,
+            newconn_deadline_slot: Option::unsnap(r)?,
+            resync: r.take_bool()?,
+            link: LinkState::unsnap(r)?,
+            listening_full_slot: r.take_bool()?,
+            busy_until: SimTime::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for InquiryCtx {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(self.num_responses);
+        w.put_u32(self.timeout_slots);
+        self.found.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            num_responses: r.take_u8()?,
+            timeout_slots: r.take_u32()?,
+            found: Vec::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for InquiryScanCtx {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_bool(self.armed);
+        self.backoff_until.snap(w);
+        self.cur_channel.snap(w);
+        w.put_u32(self.responses_sent);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let armed = r.take_bool()?;
+        let backoff_until = Option::unsnap(r)?;
+        let cur_channel: Option<u8> = Option::unsnap(r)?;
+        if cur_channel.is_some_and(|ch| ch >= CHANNELS) {
+            return Err(r.malformed("scan channel out of range"));
+        }
+        Ok(Self {
+            armed,
+            backoff_until,
+            cur_channel,
+            responses_sent: r.take_u32()?,
+        })
+    }
+}
+
+impl Snap for PageSub {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            PageSub::Paging => w.put_u8(0),
+            PageSub::MasterResponse {
+                channel,
+                next_fhs_at,
+                deadline,
+            } => {
+                w.put_u8(1);
+                w.put_u8(*channel);
+                next_fhs_at.snap(w);
+                deadline.snap(w);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => PageSub::Paging,
+            1 => PageSub::MasterResponse {
+                channel: rf_channel(r)?,
+                next_fhs_at: SimTime::unsnap(r)?,
+                deadline: SimTime::unsnap(r)?,
+            },
+            _ => return Err(r.malformed("unknown page substate tag")),
+        })
+    }
+}
+
+impl Snap for PageCtx {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.target.snap(w);
+        w.put_u32(self.clke_offset);
+        w.put_u32(self.timeout_slots);
+        self.sub.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            target: BdAddr::unsnap(r)?,
+            clke_offset: r.take_u32()?,
+            timeout_slots: r.take_u32()?,
+            sub: PageSub::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for PageScanSub {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            PageScanSub::Scanning => w.put_u8(0),
+            PageScanSub::SlaveResponse { channel, deadline } => {
+                w.put_u8(1);
+                w.put_u8(*channel);
+                deadline.snap(w);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => PageScanSub::Scanning,
+            1 => PageScanSub::SlaveResponse {
+                channel: rf_channel(r)?,
+                deadline: SimTime::unsnap(r)?,
+            },
+            _ => return Err(r.malformed("unknown page-scan substate tag")),
+        })
+    }
+}
+
+impl Snap for PageScanCtx {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.sub.snap(w);
+        self.cur_channel.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let sub = PageScanSub::unsnap(r)?;
+        let cur_channel: Option<u8> = Option::unsnap(r)?;
+        if cur_channel.is_some_and(|ch| ch >= CHANNELS) {
+            return Err(r.malformed("scan channel out of range"));
+        }
+        Ok(Self { sub, cur_channel })
+    }
+}
+
+impl Snap for ProcState {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            ProcState::Standby => w.put_u8(0),
+            ProcState::Inquiry(ctx) => {
+                w.put_u8(1);
+                ctx.snap(w);
+            }
+            ProcState::InquiryScan(ctx) => {
+                w.put_u8(2);
+                ctx.snap(w);
+            }
+            ProcState::Page(ctx) => {
+                w.put_u8(3);
+                ctx.snap(w);
+            }
+            ProcState::PageScan(ctx) => {
+                w.put_u8(4);
+                ctx.snap(w);
+            }
+            ProcState::Connection => w.put_u8(5),
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => ProcState::Standby,
+            1 => ProcState::Inquiry(InquiryCtx::unsnap(r)?),
+            2 => ProcState::InquiryScan(InquiryScanCtx::unsnap(r)?),
+            3 => ProcState::Page(PageCtx::unsnap(r)?),
+            4 => ProcState::PageScan(PageScanCtx::unsnap(r)?),
+            5 => ProcState::Connection,
+            _ => return Err(r.malformed("unknown procedure-state tag")),
+        })
+    }
+}
+
+impl Snap for LinkController {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.cfg.snap(w);
+        self.addr.snap(w);
+        self.clock.snap(w);
+        self.rng.snap(w);
+        self.state.snap(w);
+        self.master.snap(w);
+        self.slave_links.snap(w);
+        self.acl_type.snap(w);
+        w.put_u32(self.t_poll);
+        self.afh.snap(w);
+        self.afh_pending.snap(w);
+        self.assessment.snap(w);
+        self.phase.snap(w);
+        w.put_u64(self.proc_start_tick);
+        self.ff_until.snap(w);
+        w.put_bool(self.stat_promoted);
+        // The codec is a pure access-code memoization: rebuilt empty on
+        // restore, refilled on demand with bit-identical images.
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            cfg: LcConfig::unsnap(r)?,
+            addr: BdAddr::unsnap(r)?,
+            clock: Clock::unsnap(r)?,
+            rng: btsim_kernel::SimRng::unsnap(r)?,
+            state: ProcState::unsnap(r)?,
+            master: Option::unsnap(r)?,
+            slave_links: Vec::unsnap(r)?,
+            acl_type: PacketType::unsnap(r)?,
+            t_poll: r.take_u32()?,
+            afh: Option::unsnap(r)?,
+            afh_pending: Option::unsnap(r)?,
+            assessment: ChannelAssessment::unsnap(r)?,
+            phase: LifePhase::unsnap(r)?,
+            proc_start_tick: r.take_u64()?,
+            ff_until: SimTime::unsnap(r)?,
+            stat_promoted: r.take_bool()?,
+            codec: packet::Codec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btsim_kernel::SimRng;
+
+    fn snap_bytes<T: Snap>(v: &T) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        v.snap(&mut w);
+        w.into_bytes()
+    }
+
+    fn unsnap_all<T: Snap>(bytes: &[u8]) -> Result<T, SnapshotError> {
+        let mut r = SnapReader::new(bytes);
+        let v = T::unsnap(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    /// A controller mid-procedure with a populated connection tree.
+    fn busy_controller() -> LinkController {
+        let mut lc = LinkController::new(
+            BdAddr::new(0xAB, 0xCD, 0x123456),
+            Clock::new(ClkVal::new(42)),
+            LcConfig::default(),
+            7,
+        );
+        // Burn some RNG draws so the stream position is non-trivial.
+        for _ in 0..5 {
+            lc.rng.range_u64(1 << 20);
+        }
+        lc.afh = Some(ChannelMap::blocking(10..40));
+        lc.afh_pending = Some((ChannelMap::blocking(50..70), 12_345));
+        lc.assessment.note(3, true);
+        lc.assessment.note(61, false);
+        lc.acl_type = PacketType::Dh3;
+        lc.t_poll = 36;
+        lc.phase = LifePhase::Active;
+        lc.proc_start_tick = 99;
+        lc.stat_promoted = true;
+        lc.state = ProcState::Connection;
+
+        let mut link = LinkState::new();
+        link.tx.push(Llid::Start, vec![1, 2, 3, 4]);
+        link.tx.push(Llid::Lmp, vec![0x51]);
+        link.in_flight = Some((Llid::Start, vec![9, 9]));
+        link.last_seqn_in = Some(true);
+        link.arqn_to_send = true;
+        let slot = SlaveSlot {
+            lt_addr: 1,
+            addr: BdAddr::new(0, 1, 2),
+            mode: LinkMode::Sniff,
+            sco: Some(ScoParams::for_type(PacketType::Hv3, 2)),
+            sco_out: VecDeque::from(vec![7, 8, 9]),
+            sniff: Some(SniffParams::default()),
+            sniff_ext_until_slot: Some(400),
+            hold_until_slot: None,
+            park_beacon_interval: 0,
+            parked_lt: 0,
+            last_poll_slot: 300,
+            poll_asap: true,
+            newconn_deadline_slot: Some(500),
+            link,
+        };
+        lc.master = Some(MasterCtx {
+            slaves: vec![slot],
+            busy_until: SimTime::from_us(1250),
+            awaiting: Some((1, SimTime::from_us(1875))),
+        });
+        lc.slave_links = vec![SlaveCtx {
+            master: BdAddr::new(5, 6, 7),
+            lt_addr: 2,
+            clk_offset: 1024,
+            mode: LinkMode::Active,
+            sco: None,
+            sco_out: VecDeque::new(),
+            sniff: None,
+            sniff_ext_until_slot: None,
+            hold_until_slot: Some(900),
+            park_beacon_interval: 0,
+            parked_lt: 0,
+            newconn_deadline_slot: None,
+            resync: true,
+            link: LinkState::new(),
+            listening_full_slot: true,
+            busy_until: SimTime::from_us(625),
+        }];
+        lc
+    }
+
+    #[test]
+    fn controller_roundtrips_bit_exactly() {
+        let lc = busy_controller();
+        let bytes = snap_bytes(&lc);
+        let mut back: LinkController = unsnap_all(&bytes).expect("roundtrip");
+        // Byte-stable: re-encoding the restored controller is identical.
+        assert_eq!(snap_bytes(&back), bytes);
+        // The RNG stream resumes exactly where the original would.
+        let mut orig = lc;
+        assert_eq!(back.rng.fingerprint(), orig.rng.fingerprint());
+        assert_eq!(back.rng.range_u64(1 << 20), orig.rng.range_u64(1 << 20));
+        assert_eq!(back.addr(), orig.addr());
+        assert_eq!(back.queued_tx_bytes(), orig.queued_tx_bytes());
+        assert_eq!(back.connected_slaves(), orig.connected_slaves());
+        assert_eq!(back.slave_masters(), orig.slave_masters());
+    }
+
+    #[test]
+    fn procedure_states_roundtrip() {
+        for state in [
+            ProcState::Standby,
+            ProcState::Inquiry(InquiryCtx {
+                num_responses: 3,
+                timeout_slots: 8192,
+                found: vec![BdAddr::new(1, 2, 3)],
+            }),
+            ProcState::InquiryScan(InquiryScanCtx {
+                armed: true,
+                backoff_until: Some(SimTime::from_us(10_000)),
+                cur_channel: Some(17),
+                responses_sent: 2,
+            }),
+            ProcState::Page(PageCtx {
+                target: BdAddr::new(9, 9, 9),
+                clke_offset: 77,
+                timeout_slots: 4096,
+                sub: PageSub::MasterResponse {
+                    channel: 33,
+                    next_fhs_at: SimTime::from_us(100),
+                    deadline: SimTime::from_us(5000),
+                },
+            }),
+            ProcState::PageScan(PageScanCtx {
+                sub: PageScanSub::SlaveResponse {
+                    channel: 5,
+                    deadline: SimTime::from_us(2000),
+                },
+                cur_channel: None,
+            }),
+            ProcState::Connection,
+        ] {
+            let bytes = snap_bytes(&state);
+            let back: ProcState = unsnap_all(&bytes).expect("roundtrip");
+            assert_eq!(snap_bytes(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn every_tagged_enum_roundtrips() {
+        for t in [
+            PacketType::Id,
+            PacketType::Null,
+            PacketType::Poll,
+            PacketType::Fhs,
+            PacketType::Dm1,
+            PacketType::Dh1,
+            PacketType::Dm3,
+            PacketType::Dh3,
+            PacketType::Dm5,
+            PacketType::Dh5,
+            PacketType::Aux1,
+            PacketType::Hv1,
+            PacketType::Hv2,
+            PacketType::Hv3,
+            PacketType::Dv,
+        ] {
+            assert_eq!(unsnap_all::<PacketType>(&snap_bytes(&t)).unwrap(), t);
+        }
+        for l in [Llid::Continuation, Llid::Start, Llid::Lmp] {
+            assert_eq!(unsnap_all::<Llid>(&snap_bytes(&l)).unwrap(), l);
+        }
+        for p in [
+            LifePhase::Standby,
+            LifePhase::Inquiry,
+            LifePhase::InquiryScan,
+            LifePhase::Page,
+            LifePhase::PageScan,
+            LifePhase::Active,
+            LifePhase::Sniff,
+            LifePhase::Hold,
+            LifePhase::Park,
+        ] {
+            assert_eq!(unsnap_all::<LifePhase>(&snap_bytes(&p)).unwrap(), p);
+        }
+        for m in [
+            LinkMode::Active,
+            LinkMode::Sniff,
+            LinkMode::Hold,
+            LinkMode::Park,
+        ] {
+            assert_eq!(unsnap_all::<LinkMode>(&snap_bytes(&m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn commands_and_events_roundtrip() {
+        let cmds = vec![
+            LcCommand::Inquiry {
+                num_responses: 4,
+                timeout_slots: 100,
+            },
+            LcCommand::InquiryScan,
+            LcCommand::Page {
+                target: BdAddr::new(1, 2, 3),
+                clke_offset: 9,
+                timeout_slots: 50,
+            },
+            LcCommand::PageScan,
+            LcCommand::AbortProcedure,
+            LcCommand::AclData {
+                lt_addr: 1,
+                data: vec![1, 2, 3],
+            },
+            LcCommand::Lmp {
+                lt_addr: 2,
+                data: vec![0x51, 7],
+            },
+            LcCommand::SetAclType(PacketType::Dh5),
+            LcCommand::SetTpoll(40),
+            LcCommand::SetAfh(ChannelMap::blocking(0..30)),
+            LcCommand::SetAfhAt {
+                map: ChannelMap::blocking(40..59),
+                at_slot: 777,
+            },
+            LcCommand::CancelAfhSwitch,
+            LcCommand::ScoSetup {
+                lt_addr: 1,
+                params: ScoParams::for_type(PacketType::Hv2, 0),
+            },
+            LcCommand::ScoRemove { lt_addr: 1 },
+            LcCommand::ScoData {
+                lt_addr: 1,
+                data: vec![6; 10],
+            },
+            LcCommand::Sniff {
+                lt_addr: 3,
+                params: SniffParams::default(),
+            },
+            LcCommand::Unsniff { lt_addr: 3 },
+            LcCommand::Hold {
+                lt_addr: 1,
+                hold_slots: 200,
+            },
+            LcCommand::HoldPiconet {
+                master: BdAddr::new(4, 5, 6),
+                hold_slots: 300,
+            },
+            LcCommand::AclDataTo {
+                master: BdAddr::new(4, 5, 6),
+                data: vec![1],
+            },
+            LcCommand::Park {
+                lt_addr: 2,
+                beacon_interval: 64,
+            },
+            LcCommand::Unpark { lt_addr: 2 },
+            LcCommand::Detach { lt_addr: 1 },
+        ];
+        for cmd in cmds {
+            assert_eq!(unsnap_all::<LcCommand>(&snap_bytes(&cmd)).unwrap(), cmd);
+        }
+        let events = vec![
+            LcEvent::InquiryResult {
+                addr: BdAddr::new(1, 2, 3),
+                clk_offset: 5,
+            },
+            LcEvent::InquiryComplete { responses: 2 },
+            LcEvent::PageComplete {
+                addr: BdAddr::new(1, 2, 3),
+                lt_addr: 1,
+            },
+            LcEvent::PageFailed {
+                addr: BdAddr::new(1, 2, 3),
+            },
+            LcEvent::Connected {
+                master: BdAddr::new(9, 8, 7),
+                lt_addr: 2,
+            },
+            LcEvent::AclReceived {
+                lt_addr: 1,
+                llid: Llid::Start,
+                data: vec![1, 2],
+            },
+            LcEvent::AclDelivered { lt_addr: 1 },
+            LcEvent::ScoReceived {
+                lt_addr: 1,
+                data: vec![3; 30],
+            },
+            LcEvent::ModeChanged {
+                lt_addr: 1,
+                mode: LinkMode::Sniff,
+            },
+            LcEvent::Detached { lt_addr: 1 },
+            LcEvent::PhaseChanged {
+                phase: LifePhase::Hold,
+            },
+            LcEvent::FidelityChanged { promoted: true },
+        ];
+        for ev in events {
+            assert_eq!(unsnap_all::<LcEvent>(&snap_bytes(&ev)).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn malformed_controller_bytes_are_rejected_not_panicking() {
+        let bytes = snap_bytes(&busy_controller());
+        // Truncation at every cut point fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(
+                unsnap_all::<LinkController>(&bytes[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(unsnap_all::<LinkController>(&long).is_err());
+        // A clock wider than 28 bits is semantic garbage.
+        let mut w = SnapWriter::new();
+        w.put_u32(CLK_WRAP);
+        assert!(unsnap_all::<ClkVal>(w.as_bytes()).is_err());
+        // A channel map below the AFH floor is rejected at decode.
+        let mut w = SnapWriter::new();
+        w.put_bytes(&[0u8; CHANNEL_MAP_BYTES]);
+        assert!(unsnap_all::<ChannelMap>(w.as_bytes()).is_err());
+        // Out-of-range RF channel in a page response.
+        let mut w = SnapWriter::new();
+        w.put_u8(1);
+        w.put_u8(79);
+        SimTime::from_us(1).snap(&mut w);
+        SimTime::from_us(2).snap(&mut w);
+        assert!(unsnap_all::<PageSub>(w.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reseed_matches_a_fresh_controller_stream() {
+        let mut lc = busy_controller();
+        lc.reseed(0xFEED);
+        let mut fresh = SimRng::new(0xFEED);
+        assert_eq!(lc.rng.fingerprint(), fresh.fingerprint());
+        assert_eq!(lc.rng.range_u64(1 << 20), fresh.range_u64(1 << 20));
+    }
+}

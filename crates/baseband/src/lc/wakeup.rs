@@ -509,10 +509,12 @@ mod tests {
 
     #[test]
     fn page_scan_r1_window_boundaries() {
-        let mut cfg = LcConfig::default();
-        cfg.page_scan_continuous = false;
-        cfg.page_scan_interval_slots = 64;
-        cfg.page_scan_window_slots = 8;
+        let cfg = LcConfig {
+            page_scan_continuous: false,
+            page_scan_interval_slots: 64,
+            page_scan_window_slots: 8,
+            ..LcConfig::default()
+        };
         let mut c = LinkController::new(
             BdAddr::new(0, 0x12, 0x345678),
             Clock::new(ClkVal::new(0)),

@@ -79,7 +79,7 @@ fn bench_medium_scaling(c: &mut Criterion) {
                 let tx = m.begin_tx(0, if spread { ch } else { 40 }, at, bits.clone());
                 black_box(m.receive(tx).expect("retained"));
                 m.gc(at, retention);
-                at = at + SimDuration::from_us(1000);
+                at += SimDuration::from_us(1000);
                 ch = (ch + 1) % 79;
             })
         });

@@ -138,9 +138,12 @@ fn scat_bridge_chain(engine: Engine, _slots: u64) -> f64 {
     measure as f64 / started.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// A named workload: label, runner, slot budget.
+type Workload = (&'static str, fn(Engine, u64) -> f64, u64);
+
 fn main() {
     let opts = btsim_bench::parse_cli();
-    let workloads: [(&str, fn(Engine, u64) -> f64, u64); 6] = [
+    let workloads: [Workload; 6] = [
         ("hold_idle", hold_idle, 60_000),
         ("sniff_100_idle", sniff_idle, 60_000),
         ("park_400_idle", park_idle, 60_000),

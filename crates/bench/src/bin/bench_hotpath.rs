@@ -40,16 +40,25 @@
 //! (100 out-of-range clusters, `docs/SPATIAL.md`) at `--shards 1` vs
 //! `4`; on a host with ≥ 4 cores the 4-shard run must be at least 2×
 //! faster.
+//!
+//! A fifth **formation** section times formation amortization on a
+//! 3-piconet scatternet campaign (`docs/SNAPSHOT.md`): forming once,
+//! snapshotting and forking every run (`restore` +
+//! `reseed_for_fork(base + i)` + `drive_formed`) against re-forming per
+//! run with the same per-run reseeding — identical outcomes by
+//! construction, so any divergence exits nonzero. The `fork_speedup`
+//! row must be at least 2×.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use btsim_baseband::packet::{self, Header, LinkKeys, Payload};
-use btsim_baseband::{LcCommand, Llid, PacketType};
+use btsim_baseband::{LcCommand, LcEvent, Llid, PacketType};
 use btsim_bench::connected_pair_at;
 use btsim_channel::{ChannelConfig, Medium};
 use btsim_coding::{crc, fec, syncword, BitVec, Whitener};
-use btsim_core::{Engine, Fidelity, Simulator};
+use btsim_core::net::{register_devices, ScatternetConfig, Topology};
+use btsim_core::{Engine, Fidelity, SimBuilder, Simulator};
 use btsim_kernel::{SimDuration, SimRng, SimTime};
 use btsim_stats::JsonValue;
 
@@ -173,7 +182,7 @@ fn medium_rows(iters: u64) -> Vec<JsonValue> {
             let tx = m.begin_tx(0, if spread { ch } else { 40 }, at, bits.clone());
             std::hint::black_box(m.receive(tx).expect("retained"));
             m.gc(at, retention);
-            at = at + SimDuration::from_us(1000);
+            at += SimDuration::from_us(1000);
             ch = (ch + 1) % 79;
         });
         let label = format!(
@@ -249,6 +258,68 @@ fn saturated_with(engine: Engine, fidelity: Fidelity, slots: u64, capture: bool)
         }
     }
     (best, digest_out)
+}
+
+/// Forms the scenario's chain topology the expensive way: every link
+/// starts from *discovery* — the master inquires for the member (the
+/// paper's ≈1556-slot mean at zero noise, dense ID-train traffic the
+/// whole time), learns its clock offset from the FHS response, and only
+/// then pages. This is the realistic formation cost that a formed
+/// snapshot amortizes — `ScatternetScenario::form` skips discovery and
+/// pages with exact clock estimates, connecting within tens of slots.
+fn cold_form_chain(cfg: &ScatternetConfig, seed: u64) -> Simulator {
+    let topo = Topology::chain(cfg.piconets, cfg.slaves_per_piconet);
+    let mut b = SimBuilder::new(seed, cfg.sim.clone());
+    register_devices(&topo, &mut b);
+    let mut sim = b.build();
+    let mut cursor = sim.cursor();
+    for (piconet, device) in topo.links() {
+        let master = topo.master_device(piconet);
+        let target = sim.lc(device).addr();
+        sim.command(device, LcCommand::InquiryScan);
+        sim.command(
+            master,
+            LcCommand::Inquiry {
+                num_responses: 1,
+                timeout_slots: 20_000,
+            },
+        );
+        let cap = sim.now() + SimDuration::from_slots(41_000);
+        let found = sim
+            .run_until_event_from(&mut cursor, cap, |e| {
+                e.device == master
+                    && matches!(&e.event, LcEvent::InquiryResult { addr, .. } if *addr == target)
+            })
+            .expect("inquiry discovers the member on a clean channel");
+        let LcEvent::InquiryResult { clk_offset, .. } = found.event else {
+            unreachable!("matched above");
+        };
+        sim.run_until_event_from(&mut cursor, cap, |e| {
+            e.device == master && matches!(e.event, LcEvent::InquiryComplete { .. })
+        })
+        .expect("single-response inquiry completes right after the result");
+        sim.command(device, LcCommand::PageScan);
+        sim.command(
+            master,
+            LcCommand::Page {
+                target,
+                clke_offset: clk_offset,
+                timeout_slots: 0,
+            },
+        );
+        let done = sim
+            .run_until_event_from(
+                &mut cursor,
+                sim.now() + SimDuration::from_slots(8_192),
+                |e| {
+                    e.device == master
+                        && matches!(&e.event, LcEvent::PageComplete { addr, .. } if *addr == target)
+                },
+            )
+            .expect("page with a discovered clock estimate completes");
+        sim.run_until(done.at + SimDuration::from_slots(8));
+    }
+    sim
 }
 
 fn main() -> ExitCode {
@@ -366,6 +437,61 @@ fn main() -> ExitCode {
         JsonValue::from(shard_speedup),
     ));
 
+    // Formation-amortization rows: a 3-piconet scatternet campaign run
+    // once per seed by re-forming the topology, and once by forking a
+    // single formed snapshot. Formation here is discovery-first (inquiry
+    // per link, then page — see `cold_form_chain`), the realistic
+    // assembly cost a formed snapshot amortizes. Both paths reseed
+    // identically per run (reseed_for_fork), so their outcomes must be
+    // bit-identical — the snapshot only removes the formation cost.
+    use btsim_core::net::ScatternetScenario;
+    use btsim_core::scenario::Scenario;
+    let form_runs: u64 = if quick { 4 } else { 8 };
+    let form_seed = 0xF0_5EED;
+    let scenario = ScatternetScenario::new(ScatternetConfig {
+        piconets: 3,
+        measure_slots: 1_000,
+        ..ScatternetConfig::default()
+    });
+    let started = Instant::now();
+    let snap = cold_form_chain(scenario.config(), form_seed).snapshot();
+    let forked: Vec<_> = (0..form_runs)
+        .map(|i| {
+            let mut sim = snap.restore();
+            sim.reseed_for_fork(form_seed.wrapping_add(i));
+            scenario.drive_formed(&mut sim)
+        })
+        .collect();
+    let fork_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let reformed: Vec<_> = (0..form_runs)
+        .map(|i| {
+            let mut sim = cold_form_chain(scenario.config(), form_seed);
+            sim.reseed_for_fork(form_seed.wrapping_add(i));
+            scenario.drive_formed(&mut sim)
+        })
+        .collect();
+    let reform_secs = started.elapsed().as_secs_f64();
+    let fork_speedup = reform_secs / fork_secs.max(1e-9);
+    let fork_diverged = forked != reformed;
+    println!("{:<28} {:>14}", "formation (3-piconet chain)", "seconds");
+    println!(
+        "{:<28} {reform_secs:>14.3}",
+        format!("reform_{form_runs}_runs")
+    );
+    println!("{:<28} {fork_secs:>14.3}", format!("fork_{form_runs}_runs"));
+    println!("{:<28} {fork_speedup:>13.1}x", "fork_speedup");
+    let formation_fields = vec![
+        ("runs".to_string(), JsonValue::from(form_runs)),
+        ("reform_secs".to_string(), JsonValue::from(reform_secs)),
+        ("fork_secs".to_string(), JsonValue::from(fork_secs)),
+        ("fork_speedup".to_string(), JsonValue::from(fork_speedup)),
+        (
+            "fork_bit_exact".to_string(),
+            JsonValue::Bool(!fork_diverged),
+        ),
+    ];
+
     // Read the previous report *before* overwriting it: the capture-off
     // rate must not regress more than 1% against the last recorded
     // bit-lockstep figure (the observability layer must cost nothing
@@ -384,6 +510,7 @@ fn main() -> ExitCode {
         ("medium_scaling".to_string(), JsonValue::Arr(medium)),
         ("saturated".to_string(), JsonValue::Obj(fields)),
         ("sharding".to_string(), JsonValue::Obj(shard_fields)),
+        ("formation".to_string(), JsonValue::Obj(formation_fields)),
     ]);
     btsim_bench::write_artifact(path, &format!("{}\n", doc.render()));
 
@@ -418,6 +545,20 @@ fn main() -> ExitCode {
         eprintln!(
             "error: 4-shard dense floor speedup is {shard_speedup:.2}x (< 2x) \
              on a {cores}-core host"
+        );
+        return ExitCode::FAILURE;
+    }
+    if fork_diverged {
+        eprintln!(
+            "error: forked scatternet runs diverged from the re-formed \
+             straight-through runs — snapshot restore is not bit-exact"
+        );
+        return ExitCode::FAILURE;
+    }
+    if fork_speedup < 2.0 {
+        eprintln!(
+            "error: formed-snapshot forking is only {fork_speedup:.2}x faster \
+             than re-forming per run (< 2x)"
         );
         return ExitCode::FAILURE;
     }

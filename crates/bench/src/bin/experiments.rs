@@ -47,7 +47,10 @@ fn main() -> ExitCode {
             println!();
         }
         println!("[{}/{}] {}", i + 1, selected.len(), entry.name);
-        btsim_bench::run_entry(entry, &opts, &mut json_out);
+        if let Err(e) = btsim_bench::run_entry(entry, &opts, &mut json_out) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     btsim_bench::finish_json(&opts, &json_out);
     ExitCode::SUCCESS

@@ -158,6 +158,24 @@ pub fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
                 }
                 opts.exp.shards = Some(n);
             }
+            "--snapshot" => {
+                let v = value("--snapshot")?;
+                if v.is_empty() || v.starts_with('-') {
+                    return Err(format!(
+                        "invalid --snapshot value: {v:?} (expected an output path)"
+                    ));
+                }
+                opts.exp.snapshot = Some(v);
+            }
+            "--resume" => {
+                let v = value("--resume")?;
+                if v.is_empty() || v.starts_with('-') {
+                    return Err(format!(
+                        "invalid --resume value: {v:?} (expected a snapshot file path)"
+                    ));
+                }
+                opts.exp.resume = Some(v);
+            }
             "--json" => opts.json = Some(value("--json")?),
             "--list" => opts.list = true,
             flag if flag.starts_with('-') => {
@@ -181,7 +199,7 @@ pub fn parse_cli() -> BenchOptions {
                 "usage: [--quick] [--runs N] [--seed S] [--threads T] [--piconets N] \
                  [--bridge-duty F] [--engine lockstep|event] [--fidelity bit|stat|auto] \
                  [--cell-size M] [--shards N] [--capture PATH] [--metrics-every N] \
-                 [--json PATH] [NAME…]"
+                 [--snapshot PATH] [--resume PATH] [--json PATH] [NAME…]"
             );
             std::process::exit(2);
         }
@@ -260,8 +278,16 @@ pub fn write_binary_artifact(name: &str, bytes: &[u8]) {
 /// report, writes its artifacts (with `--capture PATH` redirecting
 /// `.btsnoop` artifacts to that path), and appends its JSON to
 /// `json_out` when requested.
-pub fn run_entry(entry: &Experiment, opts: &BenchOptions, json_out: &mut Vec<JsonValue>) {
-    let report = entry.run(&opts.exp);
+///
+/// Returns the experiment's error — an unreadable, malformed or
+/// mismatched `--resume` snapshot file, for example — for the caller
+/// to report and turn into a nonzero exit.
+pub fn run_entry(
+    entry: &Experiment,
+    opts: &BenchOptions,
+    json_out: &mut Vec<JsonValue>,
+) -> Result<(), String> {
+    let report = entry.run(&opts.exp)?;
     print!("{report}");
     for (name, content) in &report.artifacts {
         write_artifact(name, content);
@@ -279,6 +305,7 @@ pub fn run_entry(entry: &Experiment, opts: &BenchOptions, json_out: &mut Vec<Jso
             ("report".to_string(), report.to_json()),
         ]));
     }
+    Ok(())
 }
 
 /// CLI entry point shared by the thin per-experiment binaries: parses
@@ -305,7 +332,10 @@ pub fn run_named(name: &str) -> ExitCode {
         return ExitCode::from(2);
     };
     let mut json_out = Vec::new();
-    run_entry(entry, &opts, &mut json_out);
+    if let Err(e) = run_entry(entry, &opts, &mut json_out) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     finish_json(&opts, &json_out);
     ExitCode::SUCCESS
 }
@@ -458,6 +488,34 @@ mod tests {
         assert!(parse_args(&argv(&["--shards", "0"])).is_err());
         assert!(parse_args(&argv(&["--shards", "-1"])).is_err());
         assert!(parse_args(&argv(&["--shards"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn snapshot_flags_parse_strictly() {
+        let plain = parse_args(&[]).unwrap();
+        assert_eq!(plain.exp.snapshot, None);
+        assert_eq!(plain.exp.resume, None);
+        let opts = parse_args(&argv(&[
+            "--snapshot",
+            "formed.btsnap",
+            "--resume",
+            "prev.btsnap",
+        ]))
+        .unwrap();
+        assert_eq!(opts.exp.snapshot.as_deref(), Some("formed.btsnap"));
+        assert_eq!(opts.exp.resume.as_deref(), Some("prev.btsnap"));
+        assert!(parse_args(&argv(&["--snapshot"])).is_err(), "missing value");
+        assert!(
+            parse_args(&argv(&["--snapshot", "--quick"])).is_err(),
+            "flag eaten as path"
+        );
+        assert!(parse_args(&argv(&["--snapshot", ""])).is_err());
+        assert!(parse_args(&argv(&["--resume"])).is_err(), "missing value");
+        assert!(
+            parse_args(&argv(&["--resume", "--quick"])).is_err(),
+            "flag eaten as path"
+        );
+        assert!(parse_args(&argv(&["--resume", ""])).is_err());
     }
 
     #[test]

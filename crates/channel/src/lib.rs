@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod snap_impls;
+
 use std::collections::BTreeMap;
 
 use btsim_coding::BitVec;
@@ -434,7 +436,7 @@ impl Reception {
 /// assert_eq!(rx.bits, bits); // BER = 0: unchanged
 /// assert!(!rx.collided());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Medium {
     cfg: ChannelConfig,
     rng: SimRng,
@@ -486,7 +488,7 @@ pub struct Medium {
 }
 
 /// A registered radio of a spatial medium.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Radio {
     pos: Position,
     cell: Cell,
@@ -494,6 +496,10 @@ struct Radio {
     /// come from here, so one radio's draw count never depends on
     /// traffic elsewhere on the floor (the property cell sharding needs).
     noise: SimRng,
+    /// The stream key `register_radio` derived `noise` from, kept so
+    /// [`Medium::reseed`] can re-derive the same stream under a new
+    /// base RNG (the campaign-fork reseeding contract).
+    stream: u64,
     /// Latest air-time end of this radio's transmissions.
     last_end: SimTime,
 }
@@ -588,6 +594,7 @@ impl Medium {
             pos,
             cell,
             noise: self.rng.fork(0x5EED_0000 + stream),
+            stream,
             last_end: SimTime::ZERO,
         });
         self.cells.entry(cell).or_default().push(source);
@@ -725,6 +732,24 @@ impl Medium {
     /// The medium's configuration.
     pub fn config(&self) -> &ChannelConfig {
         &self.cfg
+    }
+
+    /// Replaces every random stream of the medium with streams derived
+    /// from `rng`, using the same keying as construction: the jam base
+    /// is `rng.fork(0x4A4D_5107)` and each registered radio's noise
+    /// stream is `rng.fork(0x5EED_0000 + stream)` for the stream key it
+    /// was registered with.
+    ///
+    /// This is the campaign-fork reseeding hook (`docs/SNAPSHOT.md`): a
+    /// medium restored from a formed-topology snapshot and reseeded with
+    /// a fresh per-run stream behaves exactly like a medium built from
+    /// that run seed that happened to reach the same formed state.
+    pub fn reseed(&mut self, rng: SimRng) {
+        self.jam_base = rng.fork(0x4A4D_5107);
+        for radio in self.radios.iter_mut().flatten() {
+            radio.noise = rng.fork(0x5EED_0000 + radio.stream);
+        }
+        self.rng = rng;
     }
 
     /// Registers a transmission starting at `start` on `rf_channel`.

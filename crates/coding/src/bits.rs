@@ -359,6 +359,31 @@ impl BitVec {
     }
 }
 
+impl btsim_kernel::Snap for BitVec {
+    fn snap(&self, w: &mut btsim_kernel::SnapWriter) {
+        w.put_usize(self.len);
+        for &word in &self.words {
+            w.put_u64(word);
+        }
+    }
+    fn unsnap(r: &mut btsim_kernel::SnapReader<'_>) -> Result<Self, btsim_kernel::SnapshotError> {
+        let len = r.take_usize()?;
+        let n_words = len.div_ceil(64);
+        if n_words > r.remaining() / 8 + 1 {
+            return Err(r.malformed("bit vector length exceeds remaining bytes"));
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(r.take_u64()?);
+        }
+        let tail = len % 64;
+        if tail != 0 && words.last().is_some_and(|&w| w >> tail != 0) {
+            return Err(r.malformed("bit vector has nonzero bits past its length"));
+        }
+        Ok(BitVec { words, len })
+    }
+}
+
 impl fmt::Debug for BitVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "BitVec[{}; {}]", self.len, self)
@@ -419,6 +444,26 @@ impl ExactSizeIterator for Iter<'_> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snap_roundtrip_and_validation() {
+        use btsim_kernel::{Snap, SnapReader, SnapWriter};
+        let v: BitVec = (0..77).map(|i| i % 3 == 0).collect();
+        let mut w = SnapWriter::new();
+        v.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = BitVec::unsnap(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, v);
+        // A dirty tail word (bits past `len`) must be rejected: every
+        // BitVec invariant assumes those bits are zero.
+        let mut dirty = bytes.clone();
+        let last = dirty.len() - 1;
+        dirty[last] |= 0x80;
+        let mut r = SnapReader::new(&dirty);
+        assert!(BitVec::unsnap(&mut r).is_err());
+    }
 
     #[test]
     fn push_and_get_roundtrip() {

@@ -182,7 +182,7 @@ mod tests {
     fn word_parallel_matches_bit_serial_reference() {
         for clk in 0..64u8 {
             for len in [0usize, 1, 7, 63, 64, 65, 127, 128, 254, 300, 2744] {
-                let data = BitVec::from_fn(len, |i| (i * 11 + clk as usize) % 3 == 0);
+                let data = BitVec::from_fn(len, |i| (i * 11 + clk as usize).is_multiple_of(3));
                 let mut fast = Whitener::from_clk(clk);
                 let mut slow = Whitener::from_clk(clk);
                 assert_eq!(
@@ -241,8 +241,7 @@ mod tests {
 
     #[test]
     fn position_tables_are_consistent() {
-        for pos in 0..CYCLE {
-            let state = STATE_AT[pos];
+        for (pos, &state) in STATE_AT.iter().enumerate().take(CYCLE) {
             assert_ne!(state, 0);
             assert_eq!(POS_OF[state as usize] as usize, pos);
         }

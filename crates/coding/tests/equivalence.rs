@@ -370,7 +370,7 @@ proptest! {
     ) {
         let ac = syncword::access_code(lap, false);
         let bits = ac.slice(0, ac.len() - cut.min(ac.len() - 4));
-        let mask = if mask_seed % 3 == 0 {
+        let mask = if mask_seed.is_multiple_of(3) {
             None
         } else {
             Some(pattern(bits.len(), mask_seed))

@@ -15,10 +15,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use btsim_stats::{run_campaign, JsonValue, Record, Summary, Table};
 
 use crate::scenario::Scenario;
-use crate::{Engine, Fidelity, SimConfig};
+use crate::{Engine, Fidelity, SimConfig, SimSnapshot};
 
 /// Campaign sizing options shared by every experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpOptions {
     /// Monte-Carlo runs per parameter point.
     pub runs: usize,
@@ -66,6 +66,21 @@ pub struct ExpOptions {
     /// differential tests enforce it — so like `engine` this only
     /// changes how fast a spatial run finishes.
     pub shards: Option<usize>,
+    /// Save a post-formation snapshot of the experiment's base-seed
+    /// simulator to this path (`--snapshot PATH`). Experiments with a
+    /// formation phase form once at `base_seed`, write the snapshot's
+    /// wire form ([`crate::SimSnapshot::to_bytes`]) and then run the
+    /// campaign exactly as without the flag — outputs are unchanged.
+    /// Experiments without a formation phase ignore it.
+    pub snapshot: Option<String>,
+    /// Resume the experiment's base-seed run from a snapshot file
+    /// previously saved with `--snapshot` (`--resume PATH`). The file is
+    /// loaded and validated ([`crate::SimSnapshot::from_bytes`]); a
+    /// malformed or version-mismatched file is reported as a clear error,
+    /// never a panic. Restoring a base-seed snapshot and driving the
+    /// measurement suffix is bit-identical to the straight-through run,
+    /// so outputs are byte-identical to a run without the flag.
+    pub resume: Option<String>,
 }
 
 impl Default for ExpOptions {
@@ -82,6 +97,8 @@ impl Default for ExpOptions {
             metrics_every: None,
             cell_size: None,
             shards: None,
+            snapshot: None,
+            resume: None,
         }
     }
 }
@@ -148,6 +165,7 @@ pub struct Campaign<S: Scenario> {
     points: Vec<(String, S)>,
     opts: ExpOptions,
     progress: bool,
+    fork_formation: bool,
 }
 
 impl<S: Scenario + Sync> Campaign<S> {
@@ -158,6 +176,7 @@ impl<S: Scenario + Sync> Campaign<S> {
             points: vec![(scenario.name().to_string(), scenario)],
             opts: ExpOptions::default(),
             progress: false,
+            fork_formation: false,
         }
     }
 
@@ -170,12 +189,13 @@ impl<S: Scenario + Sync> Campaign<S> {
             points: points.into_iter().collect(),
             opts: ExpOptions::default(),
             progress: false,
+            fork_formation: false,
         }
     }
 
     /// Applies shared sizing options.
     pub fn options(mut self, opts: &ExpOptions) -> Self {
-        self.opts = *opts;
+        self.opts = opts.clone();
         self
     }
 
@@ -203,6 +223,30 @@ impl<S: Scenario + Sync> Campaign<S> {
         self
     }
 
+    /// Forks every run of a point from one formed snapshot instead of
+    /// re-forming per run.
+    ///
+    /// When enabled, each point calls [`Scenario::form`] **once** at the
+    /// campaign's base seed, snapshots the formed simulator
+    /// ([`Simulator::snapshot`](crate::Simulator::snapshot)), and run `i`
+    /// restores the snapshot, reseeds its RNG streams with
+    /// [`Simulator::reseed_for_fork`](crate::Simulator::reseed_for_fork)`(base_seed + i)`
+    /// and drives only the measurement suffix
+    /// ([`Scenario::drive_formed`]). Points whose scenario has no
+    /// separable formation phase (`form` returns `None`, the default)
+    /// fall back to plain per-run [`Scenario::run`].
+    ///
+    /// Forked runs share the *formed topology* of the base seed and vary
+    /// only the post-formation randomness, so they are a different —
+    /// statistically equivalent, but not bit-identical — sampling scheme
+    /// from the default re-form-per-run campaign. Off by default; see
+    /// `docs/SNAPSHOT.md` for the fork semantics and the amortization
+    /// benchmark.
+    pub fn fork_formation(mut self, on: bool) -> Self {
+        self.fork_formation = on;
+        self
+    }
+
     /// Runs all `points × runs` jobs and collects the outcomes.
     ///
     /// Run `i` of every point uses seed `base_seed + i`, so a point's
@@ -214,12 +258,29 @@ impl<S: Scenario + Sync> Campaign<S> {
         let total = self.points.len() * runs;
         let done = AtomicUsize::new(0);
         let step = (total / 10).max(1);
+        // Formation amortization: with `fork_formation` on, form each
+        // point once at the base seed and snapshot the result; the jobs
+        // below then fork from the snapshot instead of re-forming.
+        let formed: Vec<Option<SimSnapshot>> = if self.fork_formation {
+            self.points
+                .iter()
+                .map(|(_, s)| s.form(self.opts.base_seed).map(|sim| sim.snapshot()))
+                .collect()
+        } else {
+            vec![None; self.points.len()]
+        };
         let outcomes = run_campaign(total, self.opts.threads, 0, |job| {
             let point = (job as usize) / runs;
             let i = (job as usize) % runs;
-            let out = self.points[point]
-                .1
-                .run(self.opts.base_seed.wrapping_add(i as u64));
+            let seed = self.opts.base_seed.wrapping_add(i as u64);
+            let out = match &formed[point] {
+                Some(snap) => {
+                    let mut sim = snap.restore();
+                    sim.reseed_for_fork(seed);
+                    self.points[point].1.drive_formed(&mut sim)
+                }
+                None => self.points[point].1.run(seed),
+            };
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if n.is_multiple_of(step) || n == total {
@@ -437,6 +498,47 @@ mod tests {
                 .run()
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn fork_formation_falls_back_without_formation_phase() {
+        // `PageScenario` has no `form` phase, so a forked campaign must
+        // be bit-identical to the plain per-run path.
+        let base = Campaign::new(PageScenario::new(PageConfig::default()))
+            .runs(3)
+            .base_seed(5);
+        assert_eq!(base.clone().run(), base.fork_formation(true).run());
+    }
+
+    #[test]
+    fn forked_campaign_matches_manual_forks_and_is_thread_stable() {
+        use crate::net::{MultiPiconetConfig, MultiPiconetScenario};
+        let cfg = MultiPiconetConfig {
+            measure_slots: 2_000,
+            ..MultiPiconetConfig::default()
+        };
+        let campaign = |threads| {
+            Campaign::new(MultiPiconetScenario::new(cfg.clone()))
+                .runs(3)
+                .threads(threads)
+                .base_seed(21)
+                .fork_formation(true)
+                .run()
+        };
+        let forked = campaign(1);
+        assert_eq!(forked, campaign(4), "fork path must be thread-stable");
+        // Each forked run is exactly restore + reseed + drive_formed.
+        let scenario = MultiPiconetScenario::new(cfg.clone());
+        let snap = scenario.form(21).expect("formation succeeds").snapshot();
+        let manual: Vec<_> = (0..3)
+            .map(|i| {
+                let mut sim = snap.restore();
+                sim.reseed_for_fork(21 + i);
+                scenario.drive_formed(&mut sim)
+            })
+            .collect();
+        assert_eq!(forked.single().outcomes, manual);
+        assert!(forked.single().outcomes.iter().all(|o| o.connected));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use btsim_trace::{render_ascii, to_vcd, AsciiOptions};
 use crate::campaign::Campaign;
 use crate::net::{
     analytic_collision_rate, BridgePlan, DenseFloorConfig, DenseFloorScenario, MultiPiconetConfig,
-    MultiPiconetScenario, ScatternetConfig, ScatternetScenario,
+    MultiPiconetScenario, ScatternetConfig, ScatternetScenario, Topology,
 };
 use crate::scenario::{
     connect_pair, paper_config, AfhAdaptConfig, AfhAdaptScenario, CoexistenceConfig,
@@ -1427,29 +1427,82 @@ impl ScatBridge {
 /// piconets relays framed payload across hold-multiplexed bridges. A
 /// lopsided duty starves one side of every bridge, stretching the
 /// latency tail; balanced duty minimises the mean at a given period.
-pub fn scat_bridge(opts: &ExpOptions) -> ScatBridge {
+///
+/// This experiment has a formation phase, so it honours
+/// [`ExpOptions::snapshot`] and [`ExpOptions::resume`]:
+///
+/// * `--snapshot PATH` forms the first duty point once at the base seed
+///   and writes the post-formation [`crate::SimSnapshot`] wire form to
+///   `PATH`; the campaign then runs exactly as without the flag.
+/// * `--resume PATH` loads and validates the file, restores it and
+///   drives the measurement suffix in place of the first point's
+///   base-seed run. For a snapshot saved by `--snapshot` under the same
+///   configuration this is bit-identical to the straight-through run
+///   (the split invariant), so the report is byte-identical.
+///
+/// Errors (unreadable, malformed or version-mismatched snapshot files,
+/// a device-count mismatch, failed formation) are returned, never
+/// panicked.
+pub fn scat_bridge(opts: &ExpOptions) -> Result<ScatBridge, String> {
     let piconets = opts.piconets.unwrap_or(3).max(2);
     let duties: Vec<f64> = match opts.bridge_duty {
         Some(d) => vec![d],
         None => vec![0.2, 0.35, 0.5, 0.65, 0.8],
     };
-    let result = Campaign::sweep(duties.iter().map(|&duty| {
-        (
-            format!("{duty}"),
-            ScatternetScenario::new(ScatternetConfig {
-                piconets,
-                plan: BridgePlan {
-                    duty,
-                    ..BridgePlan::default()
-                },
-                measure_slots: 10_000,
-                sim: opts.sim(paper_config()),
-                ..ScatternetConfig::default()
-            }),
-        )
-    }))
-    .options(opts)
-    .run();
+    let points: Vec<(String, ScatternetScenario)> = duties
+        .iter()
+        .map(|&duty| {
+            (
+                format!("{duty}"),
+                ScatternetScenario::new(ScatternetConfig {
+                    piconets,
+                    plan: BridgePlan {
+                        duty,
+                        ..BridgePlan::default()
+                    },
+                    measure_slots: 10_000,
+                    sim: opts.sim(paper_config()),
+                    ..ScatternetConfig::default()
+                }),
+            )
+        })
+        .collect();
+    if let Some(path) = &opts.snapshot {
+        let sim = points[0].1.form(opts.base_seed).ok_or_else(|| {
+            format!(
+                "--snapshot {path}: scatternet formation failed at base seed {}",
+                opts.base_seed
+            )
+        })?;
+        std::fs::write(path, sim.snapshot().to_bytes())
+            .map_err(|e| format!("--snapshot {path}: {e}"))?;
+        eprintln!("scat_bridge: wrote post-formation snapshot to {path}");
+    }
+    let resumed = match &opts.resume {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("--resume {path}: {e}"))?;
+            let snap = crate::SimSnapshot::from_bytes(&bytes)
+                .map_err(|e| format!("--resume {path}: invalid snapshot: {e}"))?;
+            let want = Topology::chain(piconets, 1).device_count();
+            if snap.device_count() != want {
+                return Err(format!(
+                    "--resume {path}: snapshot has {} devices, the {piconets}-piconet chain \
+                     needs {want} — was it saved by a different configuration?",
+                    snap.device_count()
+                ));
+            }
+            Some(snap)
+        }
+        None => None,
+    };
+    let mut result = Campaign::sweep(points.iter().cloned()).options(opts).run();
+    if let Some(snap) = resumed {
+        // Substitute restore + drive_formed for the first point's
+        // base-seed run. A matching snapshot makes this bit-identical
+        // to the outcome it replaces (gated by snapshot_equivalence).
+        let mut sim = snap.restore();
+        result.points[0].outcomes[0] = points[0].1.drive_formed(&mut sim);
+    }
     let rows = duties
         .iter()
         .zip(&result.points)
@@ -1464,7 +1517,7 @@ pub fn scat_bridge(opts: &ExpOptions) -> ScatBridge {
             }
         })
         .collect();
-    ScatBridge { piconets, rows }
+    Ok(ScatBridge { piconets, rows })
 }
 
 /// One row of the dense-floor density experiment.
@@ -1539,7 +1592,7 @@ pub fn dense_floor(opts: &ExpOptions) -> DenseFloor {
         None => vec![1, 2, 3],
     };
     let grid = (3, 3);
-    let mut opts = *opts;
+    let mut opts = opts.clone();
     // Up to 54 devices per run: keep the campaign bounded.
     opts.runs = opts.runs.min(4);
     let result = Campaign::sweep(densities.iter().map(|&k| {
@@ -1777,7 +1830,7 @@ pub fn dense_floor_speed_on(
     });
     let devices = 2 * per_point * grid.0 * grid.1;
     let mut sim = scenario.build(opts.base_seed);
-    if !scenario.prepare(&mut sim) {
+    if scenario.prepare(&mut sim).is_err() {
         return ShardSpeedRow {
             shards,
             devices,
@@ -2039,7 +2092,7 @@ mod tests {
             bridge_duty: Some(0.5),
             ..ExpOptions::quick()
         };
-        let f = scat_bridge(&opts);
+        let f = scat_bridge(&opts).unwrap();
         assert_eq!(f.piconets, 2);
         assert_eq!(f.rows.len(), 1, "--bridge-duty collapses the sweep");
         assert!(
@@ -2048,5 +2101,51 @@ mod tests {
             f.rows[0]
         );
         assert!(f.rows[0].latency_slots > 0.0);
+    }
+
+    #[test]
+    fn scat_bridge_snapshot_save_and_resume_are_identical() {
+        let path = std::env::temp_dir()
+            .join(format!("btsim_scat_bridge_{}.btsnap", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_string();
+        let base = ExpOptions {
+            runs: 1,
+            piconets: Some(2),
+            bridge_duty: Some(0.5),
+            ..ExpOptions::quick()
+        };
+        let straight = scat_bridge(&base).unwrap();
+        let saved = scat_bridge(&ExpOptions {
+            snapshot: Some(path.clone()),
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(straight, saved, "--snapshot must not change results");
+        let resume = ExpOptions {
+            resume: Some(path.clone()),
+            ..base.clone()
+        };
+        let resumed = scat_bridge(&resume).unwrap();
+        assert_eq!(
+            straight, resumed,
+            "--resume substitutes a bit-identical run"
+        );
+        // A snapshot from a different configuration is rejected before
+        // the campaign runs.
+        let mismatched = scat_bridge(&ExpOptions {
+            piconets: Some(3),
+            ..resume.clone()
+        })
+        .unwrap_err();
+        assert!(mismatched.contains("devices"), "{mismatched}");
+        // Malformed files are rejected with an error, never a panic.
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        let err = scat_bridge(&resume).unwrap_err();
+        assert!(err.contains("invalid snapshot"), "{err}");
+        let _ = std::fs::remove_file(&path);
+        let err = scat_bridge(&resume).unwrap_err();
+        assert!(err.starts_with("--resume"), "{err}");
     }
 }

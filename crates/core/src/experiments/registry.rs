@@ -141,12 +141,17 @@ pub struct Experiment {
     pub name: &'static str,
     /// One-line description for listings.
     pub description: &'static str,
-    runner: fn(&ExpOptions) -> ExpReport,
+    runner: fn(&ExpOptions) -> Result<ExpReport, String>,
 }
 
 impl Experiment {
     /// Runs the experiment with the given campaign options.
-    pub fn run(&self, opts: &ExpOptions) -> ExpReport {
+    ///
+    /// Most experiments cannot fail; the fallible ones are those that
+    /// honour [`ExpOptions::snapshot`] / [`ExpOptions::resume`], which
+    /// reject unreadable, malformed or mismatched snapshot files with a
+    /// descriptive message instead of panicking.
+    pub fn run(&self, opts: &ExpOptions) -> Result<ExpReport, String> {
         (self.runner)(opts)
     }
 }
@@ -165,92 +170,92 @@ static REGISTRY: [Experiment; 22] = [
     Experiment {
         name: "fig5_waveform",
         description: "Fig. 5 — piconet-creation waveforms (enable_tx_RF / enable_rx_RF)",
-        runner: run_fig5,
+        runner: |o| Ok(run_fig5(o)),
     },
     Experiment {
         name: "fig6_inquiry_vs_ber",
         description: "Fig. 6 — mean slots to complete the inquiry phase vs BER",
-        runner: run_fig6,
+        runner: |o| Ok(run_fig6(o)),
     },
     Experiment {
         name: "fig7_page_vs_ber",
         description: "Fig. 7 — mean slots to complete the page phase vs BER",
-        runner: run_fig7,
+        runner: |o| Ok(run_fig7(o)),
     },
     Experiment {
         name: "fig8_creation_failure",
         description: "Fig. 8 — failure probability of inquiry/page with the 1.28 s timeout",
-        runner: run_fig8,
+        runner: |o| Ok(run_fig8(o)),
     },
     Experiment {
         name: "fig9_sniff_waveform",
         description: "Fig. 9 — waveforms with two slaves in sniff mode",
-        runner: run_fig9,
+        runner: |o| Ok(run_fig9(o)),
     },
     Experiment {
         name: "fig10_master_rf",
         description: "Fig. 10 — master RF activity vs channel duty cycle",
-        runner: run_fig10,
+        runner: |o| Ok(run_fig10(o)),
     },
     Experiment {
         name: "fig11_sniff_activity",
         description: "Fig. 11 — slave RF activity vs Tsniff",
-        runner: run_fig11,
+        runner: |o| Ok(run_fig11(o)),
     },
     Experiment {
         name: "fig12_hold_activity",
         description: "Fig. 12 — slave RF activity vs Thold",
-        runner: run_fig12,
+        runner: |o| Ok(run_fig12(o)),
     },
     Experiment {
         name: "table1_sim_speed",
         description: "Table 1 — simulation speed vs the paper's 747 clock cycles/s",
-        runner: run_table1,
+        runner: |o| Ok(run_table1(o)),
     },
     Experiment {
         name: "ext_packet_throughput",
         description: "Ext-A — ACL goodput per packet type vs BER",
-        runner: run_ext_throughput,
+        runner: |o| Ok(run_ext_throughput(o)),
     },
     Experiment {
         name: "ext_coexistence",
         description: "Ext-B — piconet creation next to a busy piconet",
-        runner: run_ext_coexistence,
+        runner: |o| Ok(run_ext_coexistence(o)),
     },
     Experiment {
         name: "ext_sco",
         description: "Ext-C — SCO voice links: HV1/HV2/HV3 cost and delivery",
-        runner: run_ext_sco,
+        runner: |o| Ok(run_ext_sco(o)),
     },
     Experiment {
         name: "ext_park",
         description: "Ext-D — parked slave RF activity vs beacon interval",
-        runner: run_ext_park,
+        runner: |o| Ok(run_ext_park(o)),
     },
     Experiment {
         name: "ext_inquiry_distribution",
         description: "Ext-E — distribution of inquiry completion times",
-        runner: run_ext_inquiry_distribution,
+        runner: |o| Ok(run_ext_inquiry_distribution(o)),
     },
     Experiment {
         name: "ext_wlan",
         description: "Ext-F — coexistence with an 802.11 WLAN, with and without AFH",
-        runner: run_ext_wlan,
+        runner: |o| Ok(run_ext_wlan(o)),
     },
     Experiment {
         name: "afh_adapt",
         description: "AFH — goodput recovery and map convergence against an 802.11 interferer",
-        runner: run_afh_adapt,
+        runner: |o| Ok(run_afh_adapt(o)),
     },
     Experiment {
         name: "ext_ablation",
         description: "Ablation — why paper_config() uses a raw page FHS and the R1 scan window",
-        runner: run_ext_ablation,
+        runner: |o| Ok(run_ext_ablation(o)),
     },
     Experiment {
         name: "scat_collisions",
         description: "Scat-A — inter-piconet collision rate vs piconet count (vs analytic 1/79)",
-        runner: run_scat_collisions,
+        runner: |o| Ok(run_scat_collisions(o)),
     },
     Experiment {
         name: "scat_bridge",
@@ -260,17 +265,17 @@ static REGISTRY: [Experiment; 22] = [
     Experiment {
         name: "scat_speed",
         description: "Scat-C — multi-piconet simulation speed (Table 1 extension)",
-        runner: run_scat_speed,
+        runner: |o| Ok(run_scat_speed(o)),
     },
     Experiment {
         name: "dense_floor",
         description: "Spatial — dense-floor collision rate vs density (vs one-cluster analytic)",
-        runner: run_dense_floor,
+        runner: |o| Ok(run_dense_floor(o)),
     },
     Experiment {
         name: "capture_scan",
         description: "Capture — per-channel jam/collision forensics replayed from a btsnoop file",
-        runner: run_capture_scan,
+        runner: |o| Ok(run_capture_scan(o)),
     },
 ];
 
@@ -353,7 +358,7 @@ fn run_ext_throughput(opts: &ExpOptions) -> ExpReport {
 }
 
 fn run_ext_coexistence(opts: &ExpOptions) -> ExpReport {
-    let mut opts = *opts;
+    let mut opts = opts.clone();
     if opts.runs > 40 {
         opts.runs = 40; // four devices per run: keep the campaign bounded
     }
@@ -423,7 +428,7 @@ fn run_afh_adapt(opts: &ExpOptions) -> ExpReport {
 }
 
 fn run_ext_ablation(opts: &ExpOptions) -> ExpReport {
-    let mut opts = *opts;
+    let mut opts = opts.clone();
     if opts.runs > 60 {
         opts.runs = 60;
     }
@@ -434,7 +439,7 @@ fn run_ext_ablation(opts: &ExpOptions) -> ExpReport {
 }
 
 fn run_scat_collisions(opts: &ExpOptions) -> ExpReport {
-    let mut opts = *opts;
+    let mut opts = opts.clone();
     // Up to 16 saturated devices per run: keep the campaign bounded.
     opts.runs = opts.runs.min(8);
     let f = scat_collisions(&opts);
@@ -447,11 +452,11 @@ fn run_scat_collisions(opts: &ExpOptions) -> ExpReport {
         .table(f.table())
 }
 
-fn run_scat_bridge(opts: &ExpOptions) -> ExpReport {
-    let mut opts = *opts;
+fn run_scat_bridge(opts: &ExpOptions) -> Result<ExpReport, String> {
+    let mut opts = opts.clone();
     // Chains are the heaviest workload (8+ devices, 10k slots): cap runs.
     opts.runs = opts.runs.min(4);
-    let f = scat_bridge(&opts);
+    let f = scat_bridge(&opts)?;
     let mut report = ExpReport::new(format!(
         "Scat-B — bridge duty cycle vs end-to-end latency ({}-piconet chain)",
         f.piconets
@@ -461,7 +466,7 @@ fn run_scat_bridge(opts: &ExpOptions) -> ExpReport {
         report = report
             .note("(note: --piconets raised to 2 — a bridged chain needs at least two piconets)");
     }
-    report.table(f.table())
+    Ok(report.table(f.table()))
 }
 
 fn run_scat_speed(opts: &ExpOptions) -> ExpReport {

@@ -83,6 +83,81 @@ impl ScatternetMap {
     pub fn master_addr(&self, piconet: usize) -> BdAddr {
         self.masters[piconet]
     }
+
+    /// Reconstructs the link map from a simulator on which `topo` has
+    /// already been formed — the restore path of a snapshot-forked
+    /// campaign, where the formed state arrives without the
+    /// [`ScatternetMap`] that [`form_scatternet`] originally returned.
+    ///
+    /// Every link is read back from baseband state (each member's
+    /// [`btsim_baseband::LinkController::slave_masters`] table), so on a
+    /// formed simulator this returns exactly the map formation produced;
+    /// a missing link reports [`ScatternetError::JoinFailed`].
+    pub fn recover(topo: &Topology, sim: &Simulator) -> Result<ScatternetMap, ScatternetError> {
+        topo.validate()?;
+        let masters: Vec<BdAddr> = (0..topo.piconets.len())
+            .map(|p| sim.lc(topo.master_device(p)).addr())
+            .collect();
+        let mut links = Vec::new();
+        for (piconet, device) in topo.links() {
+            let master_addr = masters[piconet];
+            let lt_addr = sim
+                .lc(device)
+                .slave_masters()
+                .into_iter()
+                .find(|(_, m)| *m == master_addr)
+                .map(|(lt, _)| lt)
+                .ok_or(ScatternetError::JoinFailed { piconet, device })?;
+            links.push(ScatternetLink {
+                piconet,
+                device,
+                lt_addr,
+            });
+        }
+        Ok(ScatternetMap {
+            topology: topo.clone(),
+            masters,
+            links,
+        })
+    }
+}
+
+/// Typed formation result carried by scatternet scenario outcomes: a
+/// formation failure is reported as *which* join (or topology check)
+/// failed instead of being collapsed into a bare `connected: false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormationStatus {
+    /// Every link of the topology formed.
+    #[default]
+    Formed,
+    /// A page did not complete within the join cap.
+    JoinFailed {
+        /// Piconet whose master was paging.
+        piconet: usize,
+        /// Member device that did not join.
+        device: usize,
+    },
+    /// The topology description itself was invalid.
+    InvalidTopology,
+}
+
+impl FormationStatus {
+    /// Whether formation completed.
+    pub fn formed(self) -> bool {
+        self == FormationStatus::Formed
+    }
+}
+
+impl From<&ScatternetError> for FormationStatus {
+    fn from(e: &ScatternetError) -> Self {
+        match e {
+            ScatternetError::Topology(_) => FormationStatus::InvalidTopology,
+            ScatternetError::JoinFailed { piconet, device } => FormationStatus::JoinFailed {
+                piconet: *piconet,
+                device: *device,
+            },
+        }
+    }
 }
 
 /// Why a scatternet could not be formed.

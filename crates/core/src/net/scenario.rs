@@ -18,7 +18,8 @@ use btsim_stats::Record;
 
 use crate::net::{
     form_scatternet, register_devices, register_devices_at, schedule_bridge, BridgeLink,
-    BridgePlan, Router, Topology, MAX_RELAY_PAYLOAD,
+    BridgePlan, FormationStatus, Router, ScatternetError, ScatternetMap, Topology,
+    MAX_RELAY_PAYLOAD,
 };
 use crate::scenario::{paper_config, Scenario};
 use crate::{SimBuilder, SimConfig, Simulator};
@@ -72,6 +73,9 @@ impl Default for ScatternetConfig {
 pub struct ScatternetOutcome {
     /// Every link of the topology formed.
     pub connected: bool,
+    /// Which join (or topology check) failed, when formation did not
+    /// complete; [`FormationStatus::Formed`] otherwise.
+    pub formation: FormationStatus,
     /// Messages injected at the source.
     pub sent: u64,
     /// Messages that reached the destination.
@@ -158,18 +162,50 @@ impl Scenario for ScatternetScenario {
     }
 
     fn drive(&self, sim: &mut Simulator) -> ScatternetOutcome {
-        let topo = Self::topology(&self.cfg);
-        let failed = ScatternetOutcome {
+        if let Err(e) = form_scatternet(&Self::topology(&self.cfg), sim, self.cfg.join_cap_slots) {
+            return Self::failed((&e).into());
+        }
+        self.measure(sim)
+    }
+
+    fn form(&self, seed: u64) -> Option<Simulator> {
+        let mut sim = self.build(seed);
+        form_scatternet(
+            &Self::topology(&self.cfg),
+            &mut sim,
+            self.cfg.join_cap_slots,
+        )
+        .ok()?;
+        Some(sim)
+    }
+
+    fn drive_formed(&self, sim: &mut Simulator) -> ScatternetOutcome {
+        self.measure(sim)
+    }
+}
+
+impl ScatternetScenario {
+    fn failed(formation: FormationStatus) -> ScatternetOutcome {
+        ScatternetOutcome {
             connected: false,
+            formation,
             sent: 0,
             delivered: 0,
             mean_latency_slots: 0.0,
             max_latency_slots: 0.0,
             goodput_bps: 0.0,
             collision_rate: 0.0,
-        };
-        let Ok(map) = form_scatternet(&topo, sim, self.cfg.join_cap_slots) else {
-            return failed;
+        }
+    }
+
+    /// The measurement suffix, on a simulator positioned right after
+    /// formation. The link map is recovered from baseband state so a
+    /// restored snapshot drives identically to a fresh formation.
+    fn measure(&self, sim: &mut Simulator) -> ScatternetOutcome {
+        let topo = Self::topology(&self.cfg);
+        let map = match ScatternetMap::recover(&topo, sim) {
+            Ok(map) => map,
+            Err(e) => return Self::failed((&e).into()),
         };
         for p in 0..topo.piconets.len() {
             sim.command(topo.master_device(p), LcCommand::SetTpoll(self.cfg.t_poll));
@@ -232,6 +268,7 @@ impl Scenario for ScatternetScenario {
         let window = drain_end.since(t0).secs_f64();
         ScatternetOutcome {
             connected: true,
+            formation: FormationStatus::Formed,
             sent: router.sent_count(),
             delivered,
             mean_latency_slots: if latencies.is_empty() {
@@ -281,6 +318,9 @@ impl Default for MultiPiconetConfig {
 pub struct MultiPiconetOutcome {
     /// Every piconet formed.
     pub connected: bool,
+    /// Which join (or topology check) failed, when formation did not
+    /// complete; [`FormationStatus::Formed`] otherwise.
+    pub formation: FormationStatus,
     /// Fraction of transmissions that collided during the window.
     pub collision_rate: f64,
     /// Transmissions observed during the window.
@@ -353,14 +393,46 @@ impl Scenario for MultiPiconetScenario {
     }
 
     fn drive(&self, sim: &mut Simulator) -> MultiPiconetOutcome {
+        if let Err(e) = form_scatternet(&Self::topology(&self.cfg), sim, self.cfg.join_cap_slots) {
+            return Self::failed((&e).into());
+        }
+        self.measure(sim)
+    }
+
+    fn form(&self, seed: u64) -> Option<Simulator> {
+        let mut sim = self.build(seed);
+        form_scatternet(
+            &Self::topology(&self.cfg),
+            &mut sim,
+            self.cfg.join_cap_slots,
+        )
+        .ok()?;
+        Some(sim)
+    }
+
+    fn drive_formed(&self, sim: &mut Simulator) -> MultiPiconetOutcome {
+        self.measure(sim)
+    }
+}
+
+impl MultiPiconetScenario {
+    fn failed(formation: FormationStatus) -> MultiPiconetOutcome {
+        MultiPiconetOutcome {
+            connected: false,
+            formation,
+            collision_rate: 0.0,
+            transmissions: 0,
+            kbps_total: 0.0,
+        }
+    }
+
+    /// The measurement suffix, on a simulator positioned right after
+    /// formation (fresh or restored from a snapshot).
+    fn measure(&self, sim: &mut Simulator) -> MultiPiconetOutcome {
         let topo = Self::topology(&self.cfg);
-        let Ok(map) = form_scatternet(&topo, sim, self.cfg.join_cap_slots) else {
-            return MultiPiconetOutcome {
-                connected: false,
-                collision_rate: 0.0,
-                transmissions: 0,
-                kbps_total: 0.0,
-            };
+        let map = match ScatternetMap::recover(&topo, sim) {
+            Ok(map) => map,
+            Err(e) => return Self::failed((&e).into()),
         };
         // Saturate every piconet: continuous polling plus a bulk
         // transfer that outlasts the window (DM1 moves ≤ 8.5 B/slot).
@@ -399,6 +471,7 @@ impl Scenario for MultiPiconetScenario {
         let window = end.since(start).secs_f64();
         MultiPiconetOutcome {
             connected: true,
+            formation: FormationStatus::Formed,
             collision_rate: stats.collision_rate(),
             transmissions: stats.transmissions,
             kbps_total: received as f64 * 8.0 / window / 1000.0,
@@ -451,6 +524,9 @@ impl Default for DenseFloorConfig {
 pub struct DenseFloorOutcome {
     /// Every piconet formed.
     pub connected: bool,
+    /// Which join (or topology check) failed, when formation did not
+    /// complete; [`FormationStatus::Formed`] otherwise.
+    pub formation: FormationStatus,
     /// Devices on the floor (two per piconet).
     pub devices: u64,
     /// Fraction of transmissions that collided during the window.
@@ -547,15 +623,20 @@ impl DenseFloorScenario {
     }
 
     /// Forms every piconet and issues the saturating transfers (T_poll
-    /// = 2 plus a bulk ACL payload outlasting the window); returns
-    /// `false` if a join failed. [`Scenario::drive`] measures the
-    /// window that follows — the speed benchmarks call this directly so
-    /// their timed region is pure steady-state traffic.
-    pub fn prepare(&self, sim: &mut Simulator) -> bool {
-        let topo = self.topology();
-        let Ok(map) = form_scatternet(&topo, sim, self.cfg.join_cap_slots) else {
-            return false;
-        };
+    /// = 2 plus a bulk ACL payload outlasting the window); a failed
+    /// join surfaces as the typed [`ScatternetError`] instead of a
+    /// silent partial floor. [`Scenario::drive`] measures the window
+    /// that follows — the speed benchmarks call this directly so their
+    /// timed region is pure steady-state traffic.
+    pub fn prepare(&self, sim: &mut Simulator) -> Result<ScatternetMap, ScatternetError> {
+        let map = form_scatternet(&self.topology(), sim, self.cfg.join_cap_slots)?;
+        self.saturate(sim, &map);
+        Ok(map)
+    }
+
+    /// Issues the saturating transfers on a formed floor.
+    fn saturate(&self, sim: &mut Simulator, map: &ScatternetMap) {
+        let topo = &map.topology;
         let payload = (self.cfg.measure_slots as usize) * 9;
         for p in 0..self.piconets() {
             let master = topo.master_device(p);
@@ -572,7 +653,57 @@ impl DenseFloorScenario {
                 },
             );
         }
-        true
+    }
+
+    fn failed(&self, formation: FormationStatus) -> DenseFloorOutcome {
+        DenseFloorOutcome {
+            connected: false,
+            formation,
+            devices: (2 * self.piconets()) as u64,
+            collision_rate: 0.0,
+            transmissions: 0,
+            kbps_total: 0.0,
+            analytic_cell_rate: analytic_collision_rate(self.cfg.piconets_per_point),
+        }
+    }
+
+    /// The measurement suffix: saturate the formed floor (with a map
+    /// recovered from baseband state) and measure the traffic window.
+    fn measure(&self, sim: &mut Simulator) -> DenseFloorOutcome {
+        let map = match ScatternetMap::recover(&self.topology(), sim) {
+            Ok(map) => map,
+            Err(e) => return self.failed((&e).into()),
+        };
+        self.saturate(sim, &map);
+        self.measure_window(sim)
+    }
+
+    fn measure_window(&self, sim: &mut Simulator) -> DenseFloorOutcome {
+        let piconets = self.piconets();
+        let start = sim.now();
+        let stats0 = sim.tx_stats();
+        let end = start + SimDuration::from_slots(self.cfg.measure_slots);
+        sim.run_until(end);
+        let stats = sim.tx_stats().since(stats0);
+        let received: usize = sim
+            .events()
+            .iter()
+            .filter(|e| e.at > start && e.device >= piconets)
+            .filter_map(|e| match &e.event {
+                LcEvent::AclReceived { data, .. } => Some(data.len()),
+                _ => None,
+            })
+            .sum();
+        let window = end.since(start).secs_f64();
+        DenseFloorOutcome {
+            connected: true,
+            formation: FormationStatus::Formed,
+            devices: (2 * piconets) as u64,
+            collision_rate: stats.collision_rate(),
+            transmissions: stats.transmissions,
+            kbps_total: received as f64 * 8.0 / window / 1000.0,
+            analytic_cell_rate: analytic_collision_rate(self.cfg.piconets_per_point),
+        }
     }
 }
 
@@ -595,41 +726,20 @@ impl Scenario for DenseFloorScenario {
     }
 
     fn drive(&self, sim: &mut Simulator) -> DenseFloorOutcome {
-        let piconets = self.piconets();
-        let analytic_cell_rate = analytic_collision_rate(self.cfg.piconets_per_point);
-        if !self.prepare(sim) {
-            return DenseFloorOutcome {
-                connected: false,
-                devices: (2 * piconets) as u64,
-                collision_rate: 0.0,
-                transmissions: 0,
-                kbps_total: 0.0,
-                analytic_cell_rate,
-            };
+        if let Err(e) = form_scatternet(&self.topology(), sim, self.cfg.join_cap_slots) {
+            return self.failed((&e).into());
         }
-        let start = sim.now();
-        let stats0 = sim.tx_stats();
-        let end = start + SimDuration::from_slots(self.cfg.measure_slots);
-        sim.run_until(end);
-        let stats = sim.tx_stats().since(stats0);
-        let received: usize = sim
-            .events()
-            .iter()
-            .filter(|e| e.at > start && e.device >= piconets)
-            .filter_map(|e| match &e.event {
-                LcEvent::AclReceived { data, .. } => Some(data.len()),
-                _ => None,
-            })
-            .sum();
-        let window = end.since(start).secs_f64();
-        DenseFloorOutcome {
-            connected: true,
-            devices: (2 * piconets) as u64,
-            collision_rate: stats.collision_rate(),
-            transmissions: stats.transmissions,
-            kbps_total: received as f64 * 8.0 / window / 1000.0,
-            analytic_cell_rate,
-        }
+        self.measure(sim)
+    }
+
+    fn form(&self, seed: u64) -> Option<Simulator> {
+        let mut sim = self.build(seed);
+        form_scatternet(&self.topology(), &mut sim, self.cfg.join_cap_slots).ok()?;
+        Some(sim)
+    }
+
+    fn drive_formed(&self, sim: &mut Simulator) -> DenseFloorOutcome {
+        self.measure(sim)
     }
 }
 

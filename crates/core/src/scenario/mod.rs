@@ -99,6 +99,34 @@ pub trait Scenario {
         let mut sim = self.build(seed);
         self.drive(&mut sim)
     }
+
+    /// Optional formation phase for snapshot-forking campaigns.
+    ///
+    /// A scenario whose procedure splits into an expensive *formation*
+    /// prefix (topology creation: paging, scatternet assembly) and a
+    /// measurement suffix can return the simulator as of the end of
+    /// formation; [`crate::campaign::Campaign`] then forms **once** per
+    /// sweep point, snapshots, and forks every run from the snapshot
+    /// ([`crate::SimSnapshot`] + [`Simulator::reseed_for_fork`]) instead
+    /// of re-forming per run.
+    ///
+    /// Implementors must uphold the split invariant: for every seed,
+    /// `form(seed)` followed by [`Scenario::drive_formed`] produces the
+    /// same outcome as [`Scenario::run`]`(seed)` (gated by
+    /// `tests/snapshot_equivalence.rs` for the scatternet scenarios).
+    /// The default returns `None`: the scenario has no separable
+    /// formation phase and campaigns fall back to per-run builds.
+    fn form(&self, _seed: u64) -> Option<Simulator> {
+        None
+    }
+
+    /// Drives the measurement suffix on a simulator positioned at the
+    /// end of the formation phase (one produced by [`Scenario::form`],
+    /// or a restored snapshot of one). The default assumes no split and
+    /// delegates to [`Scenario::drive`].
+    fn drive_formed(&self, sim: &mut Simulator) -> Self::Outcome {
+        self.drive(sim)
+    }
 }
 
 /// The calibrated configuration reproducing the paper's behavioural

@@ -35,6 +35,9 @@ use btsim_kernel::{
 use btsim_lmp::{LinkManager, LmEvent, LmOutput, LmRole};
 use btsim_power::{DeviceReport, PowerMonitor};
 
+mod snapshot;
+pub use snapshot::SimSnapshot;
+
 /// Tolerance for a transmission starting marginally before a window
 /// opens (receiver timing uncertainty).
 const RX_UNCERTAINTY: SimDuration = SimDuration::from_us(10);
@@ -217,6 +220,7 @@ struct PendingWindow {
     until: Option<SimTime>,
 }
 
+#[derive(Clone)]
 struct DeviceCell {
     lc: LinkController,
     lm: LinkManager,
@@ -227,7 +231,7 @@ struct DeviceCell {
     sig_rx: SignalRef,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     /// Lockstep: one per device, self-rescheduling every half slot.
     Tick(usize),
@@ -643,6 +647,7 @@ impl SimBuilder {
 /// sim.run_until(SimTime::from_us(5_000_000));
 /// // The scanner is usually discovered within 5 simulated seconds.
 /// ```
+#[derive(Clone)]
 pub struct Simulator {
     cal: Calendar<Ev>,
     medium: Medium,
@@ -2353,8 +2358,10 @@ mod tests {
     #[test]
     fn event_engine_pops_far_fewer_calendar_events_on_hold() {
         let run = |engine: Engine| {
-            let mut cfg = SimConfig::default();
-            cfg.engine = engine;
+            let cfg = SimConfig {
+                engine,
+                ..SimConfig::default()
+            };
             let mut b = SimBuilder::new(5, cfg);
             let m = b.add_device("master");
             let s = b.add_device("slave1");
@@ -2405,8 +2412,10 @@ mod tests {
 
     #[test]
     fn horizon_reached_clamps_the_clock() {
-        let mut cfg = SimConfig::default();
-        cfg.engine = Engine::EventDriven;
+        let cfg = SimConfig {
+            engine: Engine::EventDriven,
+            ..SimConfig::default()
+        };
         let mut b = SimBuilder::new(3, cfg);
         let _ = b.add_device("master");
         let _ = b.add_device("slave1");

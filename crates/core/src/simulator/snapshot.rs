@@ -1,0 +1,598 @@
+//! Checkpoint/restore of the full simulator state (`docs/SNAPSHOT.md`).
+//!
+//! [`SimSnapshot`] captures every stateful layer — calendar, medium,
+//! per-device controllers and managers, power ledgers, trace/capture
+//! sinks, event logs, fidelity counters, metrics stream and the shard
+//! tree — deeply enough that `restore(snapshot(sim))` followed by
+//! `run_until(h)` is bit-identical to running the original simulator to
+//! `h` uninterrupted (gated by `tests/snapshot_equivalence.rs`).
+//!
+//! The wire form ([`SimSnapshot::to_bytes`] / [`SimSnapshot::from_bytes`])
+//! is the kernel [`Snap`] codec under a magic/version header. Decoding is
+//! total: malformed or truncated input yields a typed
+//! [`SnapshotError`], never a panic, and structural invariants the
+//! simulator relies on (shard maps, wakeup arrays, calendar device
+//! indices) are re-validated on the way in.
+
+use super::*;
+use btsim_kernel::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+/// First four bytes of every serialized snapshot (`"BTSN"`).
+const MAGIC: u32 = u32::from_le_bytes(*b"BTSN");
+
+/// Highest wire-format version this build reads and the one it writes.
+const VERSION: u32 = 1;
+
+impl Snap for Engine {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            Engine::Lockstep => 0,
+            Engine::EventDriven => 1,
+        });
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => Engine::Lockstep,
+            1 => Engine::EventDriven,
+            _ => return Err(r.malformed("unknown engine tag")),
+        })
+    }
+}
+
+impl Snap for ActiveWindow {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id);
+        w.put_u8(self.channel);
+        self.opened_at.snap(w);
+        self.until.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            id: r.take_u64()?,
+            channel: r.take_u8()?,
+            opened_at: SimTime::unsnap(r)?,
+            until: Option::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for PendingWindow {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id);
+        w.put_u8(self.channel);
+        self.from.snap(w);
+        self.until.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            id: r.take_u64()?,
+            channel: r.take_u8()?,
+            from: SimTime::unsnap(r)?,
+            until: Option::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for Ev {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::Tick(dev) => {
+                w.put_u8(0);
+                w.put_usize(*dev);
+            }
+            Ev::Wake { seq } => {
+                w.put_u8(1);
+                w.put_u64(*seq);
+            }
+            Ev::Command { dev, cmd, inserted } => {
+                w.put_u8(2);
+                w.put_usize(*dev);
+                cmd.snap(w);
+                inserted.snap(w);
+            }
+            Ev::TxStart { dev, channel, bits } => {
+                w.put_u8(3);
+                w.put_usize(*dev);
+                w.put_u8(*channel);
+                bits.snap(w);
+            }
+            Ev::Deliver { tx, listeners } => {
+                w.put_u8(4);
+                tx.snap(w);
+                listeners.snap(w);
+            }
+            Ev::WindowOpen { dev, id } => {
+                w.put_u8(5);
+                w.put_usize(*dev);
+                w.put_u64(*id);
+            }
+            Ev::WindowClose { dev, id } => {
+                w.put_u8(6);
+                w.put_usize(*dev);
+                w.put_u64(*id);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => Ev::Tick(r.take_usize()?),
+            1 => Ev::Wake { seq: r.take_u64()? },
+            2 => Ev::Command {
+                dev: r.take_usize()?,
+                cmd: LcCommand::unsnap(r)?,
+                inserted: SimTime::unsnap(r)?,
+            },
+            3 => Ev::TxStart {
+                dev: r.take_usize()?,
+                channel: r.take_u8()?,
+                bits: BitVec::unsnap(r)?,
+            },
+            4 => Ev::Deliver {
+                tx: TxId::unsnap(r)?,
+                listeners: Vec::unsnap(r)?,
+            },
+            5 => Ev::WindowOpen {
+                dev: r.take_usize()?,
+                id: r.take_u64()?,
+            },
+            6 => Ev::WindowClose {
+                dev: r.take_usize()?,
+                id: r.take_u64()?,
+            },
+            _ => return Err(r.malformed("unknown calendar event tag")),
+        })
+    }
+}
+
+impl Snap for LoggedEvent {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.at.snap(w);
+        w.put_usize(self.device);
+        self.event.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            at: SimTime::unsnap(r)?,
+            device: r.take_usize()?,
+            event: LcEvent::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for LoggedLmEvent {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.at.snap(w);
+        w.put_usize(self.device);
+        self.event.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            at: SimTime::unsnap(r)?,
+            device: r.take_usize()?,
+            event: LmEvent::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for DeviceCell {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.lc.snap(w);
+        self.lm.snap(w);
+        self.active.snap(w);
+        self.pending.snap(w);
+        self.rx_busy_until.snap(w);
+        self.sig_tx.snap(w);
+        self.sig_rx.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            lc: LinkController::unsnap(r)?,
+            lm: LinkManager::unsnap(r)?,
+            active: Option::unsnap(r)?,
+            pending: Vec::unsnap(r)?,
+            rx_busy_until: SimTime::unsnap(r)?,
+            sig_tx: SignalRef::unsnap(r)?,
+            sig_rx: SignalRef::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for Simulator {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.cal.snap(w);
+        self.medium.snap(w);
+        self.devices.snap(w);
+        self.monitor.snap(w);
+        self.recorder.snap(w);
+        self.events.snap(w);
+        self.lm_events.snap(w);
+        w.put_u64(self.next_window_id);
+        w.put_u32(self.steps_since_gc);
+        w.put_usize(self.inspect_cursor);
+        self.engine.snap(w);
+        self.fidelity.snap(w);
+        self.error_model.snap(w);
+        self.modem_delay.snap(w);
+        self.peek.snap(w);
+        self.run_cap.snap(w);
+        self.wake.snap(w);
+        w.put_u64(self.wake_seq);
+        w.put_u64(self.steps_total);
+        w.put_u64(self.fidelity_promotions);
+        w.put_u64(self.fidelity_demotions);
+        self.metrics.snap(w);
+        self.shards.snap(w);
+        self.shard_of.snap(w);
+        self.shard_globals.snap(w);
+        self.merge_done.snap(w);
+        w.put_usize(self.workers);
+        self.comp_of.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let sim = Simulator {
+            cal: Calendar::unsnap(r)?,
+            medium: Medium::unsnap(r)?,
+            devices: Vec::unsnap(r)?,
+            monitor: PowerMonitor::unsnap(r)?,
+            recorder: TraceRecorder::unsnap(r)?,
+            events: Vec::unsnap(r)?,
+            lm_events: Vec::unsnap(r)?,
+            next_window_id: r.take_u64()?,
+            steps_since_gc: r.take_u32()?,
+            inspect_cursor: r.take_usize()?,
+            engine: Engine::unsnap(r)?,
+            fidelity: Fidelity::unsnap(r)?,
+            error_model: ErrorModel::unsnap(r)?,
+            modem_delay: SimDuration::unsnap(r)?,
+            peek: SimDuration::unsnap(r)?,
+            run_cap: SimTime::unsnap(r)?,
+            wake: Vec::unsnap(r)?,
+            wake_seq: r.take_u64()?,
+            steps_total: r.take_u64()?,
+            fidelity_promotions: r.take_u64()?,
+            fidelity_demotions: r.take_u64()?,
+            metrics: Option::unsnap(r)?,
+            shards: Vec::unsnap(r)?,
+            shard_of: Vec::unsnap(r)?,
+            shard_globals: Vec::unsnap(r)?,
+            merge_done: Vec::unsnap(r)?,
+            workers: r.take_usize()?,
+            comp_of: Vec::unsnap(r)?,
+        };
+        validate(&sim, r)?;
+        Ok(sim)
+    }
+}
+
+/// Structural invariants every decoded simulator must satisfy before it
+/// can run: any index a dispatch path uses unchecked is range-checked
+/// here, so a corrupted stream is rejected instead of panicking later.
+fn validate(sim: &Simulator, r: &SnapReader<'_>) -> Result<(), SnapshotError> {
+    if sim.workers == 0 {
+        return Err(r.malformed("worker count must be at least 1"));
+    }
+    if sim.shards.is_empty() {
+        if sim.wake.len() != sim.devices.len() {
+            return Err(r.malformed("wakeup array length mismatches device count"));
+        }
+        if !sim.comp_of.is_empty() && sim.comp_of.len() != sim.devices.len() {
+            return Err(r.malformed("component map length mismatches device count"));
+        }
+        let n = sim.devices.len();
+        for (_, _, ev) in sim.cal.entries() {
+            let ok = match ev {
+                Ev::Tick(d)
+                | Ev::Command { dev: d, .. }
+                | Ev::TxStart { dev: d, .. }
+                | Ev::WindowOpen { dev: d, .. }
+                | Ev::WindowClose { dev: d, .. } => *d < n,
+                Ev::Deliver { listeners, .. } => listeners.iter().all(|&l| l < n),
+                Ev::Wake { .. } => true,
+            };
+            if !ok {
+                return Err(r.malformed("calendar event references unknown device"));
+            }
+        }
+    } else {
+        if sim.shard_globals.len() != sim.shards.len() {
+            return Err(r.malformed("shard globals table mismatches shard count"));
+        }
+        if sim.merge_done.len() != sim.shards.len() {
+            return Err(r.malformed("merge cursor table mismatches shard count"));
+        }
+        for (d, &(s, l)) in sim.shard_of.iter().enumerate() {
+            if s >= sim.shards.len()
+                || l >= sim.shards[s].devices.len()
+                || sim.shard_globals[s].get(l) != Some(&d)
+            {
+                return Err(r.malformed("shard map references unknown device"));
+            }
+        }
+        for (shard, (done_lc, done_lm)) in sim.shards.iter().zip(&sim.merge_done) {
+            if !shard.shards.is_empty() {
+                return Err(r.malformed("shards must not nest"));
+            }
+            if *done_lc > shard.events.len() || *done_lm > shard.lm_events.len() {
+                return Err(r.malformed("merge cursor beyond shard event log"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A point-in-time checkpoint of a [`Simulator`].
+///
+/// Produced by [`Simulator::snapshot`]; restored with
+/// [`SimSnapshot::restore`] (any number of times — restoring is how a
+/// campaign forks one formed topology into many runs) or shipped across
+/// processes via [`SimSnapshot::to_bytes`] / [`SimSnapshot::from_bytes`].
+///
+/// # Examples
+///
+/// ```
+/// use btsim_core::{SimBuilder, SimConfig, SimSnapshot};
+/// use btsim_kernel::SimTime;
+///
+/// let mut b = SimBuilder::new(7, SimConfig::default());
+/// b.add_device("master");
+/// b.add_device("slave1");
+/// let mut sim = b.build();
+/// sim.run_until(SimTime::from_us(10_000));
+///
+/// let snap = sim.snapshot();
+/// let bytes = snap.to_bytes();
+/// let mut fork = SimSnapshot::from_bytes(&bytes).unwrap().restore();
+/// fork.run_until(SimTime::from_us(20_000));
+/// sim.run_until(SimTime::from_us(20_000));
+/// // An unreseeded fork replays the original run bit-for-bit.
+/// assert_eq!(fork.rng_fingerprint(), sim.rng_fingerprint());
+/// assert_eq!(fork.events(), sim.events());
+/// ```
+#[derive(Clone)]
+pub struct SimSnapshot {
+    sim: Simulator,
+}
+
+impl std::fmt::Debug for SimSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSnapshot")
+            .field("at", &self.at())
+            .field("devices", &self.device_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimSnapshot {
+    /// The simulation instant the snapshot was taken at.
+    pub fn at(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Number of devices in the captured simulator.
+    pub fn device_count(&self) -> usize {
+        self.sim.device_count()
+    }
+
+    /// A fresh, independent simulator continuing from the checkpoint.
+    ///
+    /// Every restore is equivalent: the snapshot is immutable, so forks
+    /// never alias each other. Without a subsequent
+    /// [`Simulator::reseed_for_fork`] the restored run replays the
+    /// original bit-for-bit.
+    pub fn restore(&self) -> Simulator {
+        self.sim.clone()
+    }
+
+    /// Consumes the snapshot into its simulator without a final clone.
+    pub fn into_simulator(self) -> Simulator {
+        self.sim
+    }
+
+    /// Serializes the snapshot: magic, format version, then the kernel
+    /// [`Snap`] image of the whole simulator tree. Deterministic — two
+    /// bit-identical states produce byte-identical snapshots.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u32(VERSION);
+        self.sim.snap(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a serialized snapshot, rejecting — with a typed error,
+    /// never a panic — anything that is not a well-formed snapshot of a
+    /// supported version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapReader::new(bytes);
+        match r.take_u32() {
+            Ok(m) if m == MAGIC => {}
+            _ => return Err(SnapshotError::BadMagic),
+        }
+        let found = r.take_u32().map_err(|_| SnapshotError::BadMagic)?;
+        if found != VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found,
+                supported: VERSION,
+            });
+        }
+        let sim = Simulator::unsnap(&mut r)?;
+        r.finish()?;
+        Ok(SimSnapshot { sim })
+    }
+}
+
+impl Simulator {
+    /// Checkpoints the complete simulator state (see [`SimSnapshot`]).
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot { sim: self.clone() }
+    }
+
+    /// [`SimSnapshot::restore`] as an associated constructor, mirroring
+    /// `Simulator::restore(snapshot)` call sites.
+    pub fn restore(snapshot: &SimSnapshot) -> Simulator {
+        snapshot.restore()
+    }
+
+    /// Re-keys every open random stream from `fork_seed`, exactly as a
+    /// fresh build with that seed would have keyed them: the medium's
+    /// base stream (`fork 0xC4A7`, which internally re-derives the jam
+    /// stream and each radio's private noise stream from its registered
+    /// global stream id) and each device controller's stream
+    /// (`fork 0x20_0000 + global_id`). The CLKN draw stream
+    /// (`0x10_0000 + global_id`) is deliberately *not* re-drawn: clock
+    /// phase is part of the formed state a fork is meant to keep.
+    ///
+    /// This is the campaign fork contract: restore a formed snapshot,
+    /// reseed with the run's seed, drive — statistically independent
+    /// runs over an identical formed topology.
+    pub fn reseed_for_fork(&mut self, fork_seed: u64) {
+        let root = SimRng::new(fork_seed);
+        self.medium.reseed(root.fork(0xC4A7));
+        if self.sharded() {
+            for s in 0..self.shards.len() {
+                self.shards[s].medium.reseed(root.fork(0xC4A7));
+                for l in 0..self.shards[s].devices.len() {
+                    let g = self.shard_globals[s][l] as u64;
+                    self.shards[s].devices[l]
+                        .lc
+                        .reseed(root.fork(0x20_0000 + g).seed());
+                }
+            }
+        } else {
+            // A public monolithic simulator always has global id == local
+            // index (globals-keyed builds only occur inside shards, which
+            // the branch above re-keys through `shard_globals`).
+            for (i, cell) in self.devices.iter_mut().enumerate() {
+                cell.lc.reseed(root.fork(0x20_0000 + i as u64).seed());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use btsim_baseband::LcCommand;
+
+    fn connected_sim(seed: u64) -> Simulator {
+        let mut b = crate::SimBuilder::new(seed, SimConfig::default());
+        let master = b.add_device("m");
+        let slave = b.add_device("s");
+        let mut sim = b.build();
+        let offset = sim
+            .lc(master)
+            .clkn(SimTime::ZERO)
+            .offset_to(sim.lc(slave).clkn(SimTime::ZERO));
+        sim.command(slave, LcCommand::PageScan);
+        sim.command(
+            master,
+            LcCommand::Page {
+                target: sim.lc(slave).addr(),
+                clke_offset: offset,
+                timeout_slots: 0,
+            },
+        );
+        sim.run_until(SimTime::from_us(500_000));
+        assert!(sim.lc(master).is_master(), "pair must form");
+        sim
+    }
+
+    #[test]
+    fn wire_roundtrip_is_field_exact_and_byte_stable() {
+        let sim = connected_sim(11);
+        let snap = sim.snapshot();
+        let bytes = snap.to_bytes();
+        let back = SimSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.at(), snap.at());
+        assert_eq!(back.device_count(), 2);
+        // Re-encoding the decoded snapshot reproduces the bytes.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn restored_run_is_bit_identical() {
+        let mut sim = connected_sim(12);
+        let mut fork = sim.snapshot().restore();
+        let horizon = SimTime::from_us(1_500_000);
+        sim.run_until(horizon);
+        fork.run_until(horizon);
+        assert_eq!(sim.events(), fork.events());
+        assert_eq!(sim.lm_events(), fork.lm_events());
+        assert_eq!(sim.rng_fingerprint(), fork.rng_fingerprint());
+        assert_eq!(sim.tx_stats(), fork.tx_stats());
+    }
+
+    #[test]
+    fn reseeded_forks_diverge_but_keep_topology() {
+        let sim = connected_sim(13);
+        let snap = sim.snapshot();
+        let mut a = snap.restore();
+        let mut b = snap.restore();
+        a.reseed_for_fork(1001);
+        b.reseed_for_fork(1002);
+        assert_ne!(a.rng_fingerprint(), b.rng_fingerprint());
+        let horizon = SimTime::from_us(1_000_000);
+        a.run_until(horizon);
+        b.run_until(horizon);
+        // Both forks keep the formed link alive.
+        assert!(a.lc(0).is_master() && a.lc(1).is_slave());
+        assert!(b.lc(0).is_master() && b.lc(1).is_slave());
+        assert_ne!(a.rng_fingerprint(), b.rng_fingerprint());
+    }
+
+    #[test]
+    fn reseeding_with_build_seed_matches_build_streams() {
+        // A never-run simulator reseeded with its own build seed is at
+        // the exact stream positions the build created.
+        let mut b = crate::SimBuilder::new(21, SimConfig::default());
+        b.add_device("m");
+        b.add_device("s");
+        let sim = b.build();
+        let mut reseeded = sim.clone();
+        reseeded.reseed_for_fork(21);
+        assert_eq!(sim.rng_fingerprint(), reseeded.rng_fingerprint());
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected_not_panicked() {
+        let sim = connected_sim(14);
+        let bytes = sim.snapshot().to_bytes();
+        assert_eq!(
+            SimSnapshot::from_bytes(&[]).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        assert_eq!(
+            SimSnapshot::from_bytes(b"not a snapshot").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut wrong_version = bytes.clone();
+        wrong_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            SimSnapshot::from_bytes(&wrong_version).unwrap_err(),
+            SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: VERSION
+            }
+        );
+        // Every truncation either decodes-short (Truncated) or trips a
+        // validity check (Malformed) — never a panic.
+        for cut in [8, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(SimSnapshot::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            SimSnapshot::from_bytes(&trailing).unwrap_err(),
+            SnapshotError::TrailingBytes { .. }
+        ));
+    }
+}

@@ -75,6 +75,24 @@ impl Fidelity {
     }
 }
 
+impl btsim_kernel::Snap for Fidelity {
+    fn snap(&self, w: &mut btsim_kernel::SnapWriter) {
+        w.put_u8(match self {
+            Fidelity::Bit => 0,
+            Fidelity::Stat => 1,
+            Fidelity::Auto => 2,
+        });
+    }
+    fn unsnap(r: &mut btsim_kernel::SnapReader<'_>) -> Result<Self, btsim_kernel::SnapshotError> {
+        Ok(match r.take_u8()? {
+            0 => Fidelity::Bit,
+            1 => Fidelity::Stat,
+            2 => Fidelity::Auto,
+            _ => return Err(r.malformed("fidelity tier tag out of range")),
+        })
+    }
+}
+
 /// The four-way outcome of a statistical packet reception, ordered by
 /// how far the receiver got before failing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,6 +263,27 @@ impl ErrorModel {
             t_header,
             t_payload,
         }
+    }
+}
+
+impl btsim_kernel::Snap for ErrorModel {
+    /// Serializes the derived probabilities bit-exactly rather than
+    /// re-deriving them, so a restored model classifies identically
+    /// even across floating-point environment differences.
+    fn snap(&self, w: &mut btsim_kernel::SnapWriter) {
+        self.ber.snap(w);
+        self.p_sync_miss.snap(w);
+        self.p_header_fail.snap(w);
+        self.q_block.snap(w);
+    }
+
+    fn unsnap(r: &mut btsim_kernel::SnapReader<'_>) -> Result<Self, btsim_kernel::SnapshotError> {
+        Ok(Self {
+            ber: f64::unsnap(r)?,
+            p_sync_miss: f64::unsnap(r)?,
+            p_header_fail: f64::unsnap(r)?,
+            q_block: <[f64; 11]>::unsnap(r)?,
+        })
     }
 }
 

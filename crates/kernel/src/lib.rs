@@ -15,7 +15,9 @@
 //! * [`CaptureSink`] — packet-capture records (air traffic + LMP PDUs)
 //!   for btsnoop export (`btsim-trace::btsnoop`, `docs/OBSERVABILITY.md`);
 //! * [`SimRng`] — seedable, forkable random streams for reproducible
-//!   Monte-Carlo campaigns.
+//!   Monte-Carlo campaigns;
+//! * [`Snap`] — the validated, versioned binary codec every stateful
+//!   layer implements for checkpoint/restore (`docs/SNAPSHOT.md`).
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@ mod calendar;
 mod capture;
 mod rng;
 mod signal;
+pub mod snap;
 mod time;
 mod wire;
 
@@ -53,5 +56,6 @@ pub use calendar::Calendar;
 pub use capture::{CaptureDir, CaptureKind, CaptureRecord, CaptureSink, MAX_AIR_PAYLOAD};
 pub use rng::SimRng;
 pub use signal::{SignalInfo, SignalRef, TraceRecord, TraceRecorder, TraceValue};
+pub use snap::{Snap, SnapReader, SnapWriter, SnapshotError};
 pub use time::{SimDuration, SimTime};
 pub use wire::Wire;

@@ -319,12 +319,90 @@ impl<P: Copy + Ord + Debug> PowerMonitor<P> {
     }
 }
 
+use btsim_kernel::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+impl Snap for PhaseTotals {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.tx_ns);
+        w.put_u64(self.rx_ns);
+        w.put_u64(self.phase_ns);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            tx_ns: r.take_u64()?,
+            rx_ns: r.take_u64()?,
+            phase_ns: r.take_u64()?,
+        })
+    }
+}
+
+impl<P: Snap + Copy + Ord> Snap for DeviceAccount<P> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.tx_ns);
+        w.put_u64(self.rx_ns);
+        self.timeline.snap(w);
+        self.per_phase.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let tx_ns = r.take_u64()?;
+        let rx_ns = r.take_u64()?;
+        let timeline = Vec::<(SimTime, P)>::unsnap(r)?;
+        if timeline.is_empty() {
+            return Err(r.malformed("empty phase timeline"));
+        }
+        if timeline.windows(2).any(|w| w[1].0 < w[0].0) {
+            return Err(r.malformed("phase timeline out of order"));
+        }
+        Ok(Self {
+            tx_ns,
+            rx_ns,
+            timeline,
+            per_phase: BTreeMap::unsnap(r)?,
+        })
+    }
+}
+
+impl<P: Snap + Copy + Ord + Debug> Snap for PowerMonitor<P> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.devices.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            devices: Vec::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn us(v: u64) -> SimTime {
         SimTime::from_us(v)
+    }
+
+    #[test]
+    fn monitor_snapshot_roundtrips() {
+        let mut mon: PowerMonitor<u8> = PowerMonitor::new(2, 0);
+        mon.set_phase(0, 1, us(100));
+        mon.add_tx(0, us(0), us(150));
+        mon.add_rx(1, us(20), us(60));
+        let mut w = SnapWriter::new();
+        mon.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = PowerMonitor::<u8>::unsnap(&mut r).expect("roundtrip");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back.report(0, us(1000)), mon.report(0, us(1000)));
+        assert_eq!(back.report(1, us(1000)), mon.report(1, us(1000)));
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            let out = PowerMonitor::<u8>::unsnap(&mut r).and_then(|_| r.finish());
+            assert!(out.is_err(), "cut at {cut} must be rejected");
+        }
     }
 
     #[test]

@@ -106,7 +106,7 @@
 //! use btsim::core::experiments::{registry, ExpOptions};
 //!
 //! let fig6 = registry().iter().find(|e| e.name == "fig6_inquiry_vs_ber").unwrap();
-//! let report = fig6.run(&ExpOptions { runs: 2, ..ExpOptions::quick() });
+//! let report = fig6.run(&ExpOptions { runs: 2, ..ExpOptions::quick() }).unwrap();
 //! assert!(!report.tables[0].is_empty());
 //! ```
 //!

@@ -312,12 +312,12 @@ fn all_registry_experiments_are_engine_equivalent() {
         if wall_clock_entries.contains(&entry.name) {
             // Still must run under the event engine without diverging in
             // anything but timing.
-            let report = entry.run(&opts(Engine::EventDriven));
+            let report = entry.run(&opts(Engine::EventDriven)).unwrap();
             assert!(!report.tables.is_empty(), "{}: no output", entry.name);
             continue;
         }
-        let lockstep = entry.run(&opts(Engine::Lockstep));
-        let event = entry.run(&opts(Engine::EventDriven));
+        let lockstep = entry.run(&opts(Engine::Lockstep)).unwrap();
+        let event = entry.run(&opts(Engine::EventDriven)).unwrap();
         assert_eq!(
             lockstep, event,
             "{}: report diverged between engines",

@@ -151,9 +151,11 @@ fn all_registry_experiments_match_across_fidelity_tiers() {
             fidelity,
             ..ExpOptions::quick()
         };
-        let bit = entry.run(&opts(Engine::Lockstep, Fidelity::Bit));
-        let stat = entry.run(&opts(Engine::Lockstep, Fidelity::Stat));
-        let stat_event = entry.run(&opts(Engine::EventDriven, Fidelity::Stat));
+        let bit = entry.run(&opts(Engine::Lockstep, Fidelity::Bit)).unwrap();
+        let stat = entry.run(&opts(Engine::Lockstep, Fidelity::Stat)).unwrap();
+        let stat_event = entry
+            .run(&opts(Engine::EventDriven, Fidelity::Stat))
+            .unwrap();
         assert_eq!(
             stat, stat_event,
             "{}: statistical tier diverged between engines",

@@ -10,7 +10,7 @@ fn every_registry_entry_runs_and_reports() {
     assert_eq!(entries.len(), 22, "registry should list all experiments");
     let opts = ExpOptions::quick();
     for entry in entries {
-        let report = entry.run(&opts);
+        let report = entry.run(&opts).unwrap();
         assert!(!report.title.is_empty(), "{}: empty title", entry.name);
         let rows: usize = report.tables.iter().map(|t| t.len()).sum();
         assert!(
@@ -36,7 +36,7 @@ fn waveform_entries_emit_vcd_artifacts() {
     let opts = ExpOptions::quick();
     for name in ["fig5_waveform", "fig9_sniff_waveform"] {
         let entry = btsim::core::experiments::find(name).expect("registered");
-        let report = entry.run(&opts);
+        let report = entry.run(&opts).unwrap();
         assert!(
             report
                 .artifacts
