@@ -137,6 +137,35 @@ impl TxBuffer {
     pub fn has_lmp(&self) -> bool {
         self.queue.front().is_some_and(|m| m.llid == Llid::Lmp)
     }
+
+    /// Empties the buffer (link teardown), returning the count of
+    /// *user* bytes dropped: the unsent remainder of every queued
+    /// non-LMP message, including one stranded mid-fragmentation. LMP
+    /// PDU bytes are control traffic and not counted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use btsim_baseband::{Llid, TxBuffer};
+    ///
+    /// let mut buf = TxBuffer::new();
+    /// buf.push(Llid::Start, vec![0; 40]);
+    /// buf.pop_fragment(27); // 27 of the 40 user bytes went out
+    /// buf.push(Llid::Lmp, vec![0x51]);
+    /// assert_eq!(buf.flush(), 13); // stranded remainder; LMP not counted
+    /// assert!(buf.is_empty());
+    /// ```
+    pub fn flush(&mut self) -> usize {
+        let user = self
+            .queue
+            .iter()
+            .filter(|m| m.llid != Llid::Lmp)
+            .map(|m| m.data.len() - m.offset)
+            .sum();
+        self.queue.clear();
+        self.queued_bytes = 0;
+        user
+    }
 }
 
 /// Reassembles received fragments into messages.

@@ -18,7 +18,7 @@ use crate::clock::ClkVal;
 use crate::hop::{self, ChannelMap, HopSequence};
 use crate::packet::{self, Header, LinkKeys, Llid, PacketType, Payload};
 
-use super::{LcAction, LcEvent, LifePhase, LinkController};
+use super::{LcAction, LcEvent, LifePhase, LinkController, ProcState};
 
 /// Sub-mode of a connected link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -225,6 +225,20 @@ impl LinkState {
             true
         }
     }
+
+    /// Drops everything queued or in flight (link teardown), returning
+    /// the number of *user* (non-LMP) bytes that will never be
+    /// delivered — the peer's dedup state is gone with the link, so a
+    /// packet in flight counts in full even if its bits were on the air.
+    pub(crate) fn flush_dropped(&mut self) -> u64 {
+        let mut n = self.tx.flush() as u64;
+        if let Some((llid, data)) = self.in_flight.take() {
+            if llid != Llid::Lmp {
+                n += data.len() as u64;
+            }
+        }
+        n
+    }
 }
 
 /// Master-side record of one slave.
@@ -238,12 +252,22 @@ pub(crate) struct SlaveSlot {
     pub sniff: Option<SniffParams>,
     pub sniff_ext_until_slot: Option<u64>,
     pub hold_until_slot: Option<u64>,
+    /// End slot of the earliest hold granted with no reception since —
+    /// the supervision excuse. Re-arming a hold the peer never answered
+    /// must not push this forward, or a pre-scheduled hold calendar
+    /// would excuse a dead link forever. Cleared on any valid
+    /// reception.
+    pub sup_hold_excuse_slot: Option<u64>,
     pub park_beacon_interval: u32,
     pub parked_lt: u8,
     pub last_poll_slot: u64,
     /// Poll at the next opportunity (new connection / after hold).
     pub poll_asap: bool,
     pub newconn_deadline_slot: Option<u64>,
+    /// Simulation slot of the last valid reception from this slave —
+    /// the link supervision baseline. Meaningful only once the first
+    /// exchange completed (`newconn_deadline_slot` is `None`).
+    pub last_rx_slot: u64,
     pub link: LinkState,
 }
 
@@ -278,9 +302,16 @@ pub(crate) struct SlaveCtx {
     pub sniff: Option<SniffParams>,
     pub sniff_ext_until_slot: Option<u64>,
     pub hold_until_slot: Option<u64>,
+    /// End slot of the earliest hold entered with no reception since —
+    /// the supervision excuse (see [`SlaveSlot::sup_hold_excuse_slot`]).
+    pub sup_hold_excuse_slot: Option<u64>,
     pub park_beacon_interval: u32,
     pub parked_lt: u8,
     pub newconn_deadline_slot: Option<u64>,
+    /// Simulation slot of the last valid reception from the master —
+    /// the link supervision baseline. Meaningful only once the first
+    /// exchange completed (`newconn_deadline_slot` is `None`).
+    pub last_rx_slot: u64,
     /// Resynchronising after hold: listen whole master slots.
     pub resync: bool,
     pub link: LinkState,
@@ -318,6 +349,35 @@ pub(crate) fn fit_type(prefer: PacketType, len: usize) -> PacketType {
         .iter()
         .find(|t| len <= t.max_user_bytes())
         .unwrap_or(ladder.last().expect("ladder is non-empty"))
+}
+
+/// Link supervision deadline for one link, or `None` when supervision
+/// is not armed: disabled (`sup_to == 0`), the first exchange has not
+/// completed yet (`newconn` pending — the new-connection timeout owns
+/// that window and a fresh link's `last_rx_slot` is not meaningful), or
+/// the link is parked (beacons are broadcast, so a parked slave's
+/// silence is expected; park is exempt by design).
+///
+/// A held link is excused for the hold period itself: the baseline is
+/// the later of the last reception and `sup_hold_excuse_slot` — the end
+/// of the earliest hold the peer never answered — so the timer only
+/// runs once traffic is expected again. The excuse deliberately ignores
+/// the *live* `hold_until_slot`: a pre-scheduled hold calendar keeps
+/// re-arming holds on a link whose peer crashed, and chasing the live
+/// hold end would push the deadline out forever. A dead bridge is
+/// detected `sup_to` slots after the first hold it failed to return
+/// from.
+pub(crate) fn supervision_deadline(
+    sup_to: u64,
+    mode: LinkMode,
+    newconn: Option<u64>,
+    last_rx_slot: u64,
+    sup_hold_excuse_slot: Option<u64>,
+) -> Option<u64> {
+    if sup_to == 0 || newconn.is_some() || mode == LinkMode::Park {
+        return None;
+    }
+    Some(last_rx_slot.max(sup_hold_excuse_slot.unwrap_or(0)) + sup_to)
 }
 
 /// How "awake" a link mode keeps the radio (lower = more awake). The
@@ -372,6 +432,9 @@ impl LinkController {
     }
 
     pub(crate) fn tick_connection(&mut self, now: SimTime, out: &mut Vec<LcAction>) {
+        // Supervision runs before the slot-phase and busy gates so the
+        // event engine's hinted tick at exactly the deadline fires it.
+        self.supervise_links(now, out);
         self.master_tick(now, out);
         let mut i = 0;
         while i < self.slave_links.len() {
@@ -379,6 +442,138 @@ impl LinkController {
                 i += 1;
             }
         }
+    }
+
+    /// Link supervision timeout (spec `supervisionTO`): tears down every
+    /// link with no valid reception for `supervision_timeout_slots`
+    /// slots, raising [`LcEvent::SupervisionTimeout`] then
+    /// [`LcEvent::Detached`] per dead link. The LT_ADDR is freed and the
+    /// transmit buffers flushed with the dropped user bytes accounted in
+    /// [`LinkController::dropped_tx_bytes`]. A slave whose last link
+    /// died reverts to page scan so recovery can re-page it.
+    fn supervise_links(&mut self, now: SimTime, out: &mut Vec<LcAction>) {
+        let sup_to = self.cfg.supervision_timeout_slots as u64;
+        if sup_to == 0 {
+            return;
+        }
+        let now_slot = now.slots();
+        let mut dead_master: Vec<u8> = Vec::new();
+        let mut dead_slave: Vec<u8> = Vec::new();
+        let mut dropped: u64 = 0;
+        if let Some(m) = &mut self.master {
+            m.slaves.retain_mut(|s| {
+                let expired = supervision_deadline(
+                    sup_to,
+                    s.mode,
+                    s.newconn_deadline_slot,
+                    s.last_rx_slot,
+                    s.sup_hold_excuse_slot,
+                )
+                .is_some_and(|d| now_slot >= d);
+                if expired {
+                    dropped += s.link.flush_dropped();
+                    dead_master.push(s.lt_addr);
+                }
+                !expired
+            });
+        }
+        if self.master.as_ref().is_some_and(|m| m.slaves.is_empty()) && !dead_master.is_empty() {
+            self.master = None;
+        }
+        self.slave_links.retain_mut(|s| {
+            let expired = supervision_deadline(
+                sup_to,
+                s.mode,
+                s.newconn_deadline_slot,
+                s.last_rx_slot,
+                s.sup_hold_excuse_slot,
+            )
+            .is_some_and(|d| now_slot >= d);
+            if expired {
+                dropped += s.link.flush_dropped();
+                dead_slave.push(s.lt_addr);
+            }
+            !expired
+        });
+        if dead_master.is_empty() && dead_slave.is_empty() {
+            return;
+        }
+        self.dropped_tx_bytes += dropped;
+        if !dead_slave.is_empty() {
+            out.push(LcAction::RxOff);
+        }
+        for lt in dead_master.into_iter().chain(dead_slave) {
+            out.push(LcAction::Event(LcEvent::SupervisionTimeout { lt_addr: lt }));
+            out.push(LcAction::Event(LcEvent::Detached { lt_addr: lt }));
+        }
+        if self.slave_links.is_empty() && !self.is_master() {
+            self.start_page_scan(now, out);
+        } else {
+            self.settle_state(out);
+        }
+    }
+
+    /// The earliest armed supervision deadline over all links, in
+    /// simulation slots — the event engine folds it into its wakeup
+    /// hints and the statistical tier caps batch horizons at it.
+    pub fn next_supervision_deadline_slot(&self) -> Option<u64> {
+        let sup_to = self.cfg.supervision_timeout_slots as u64;
+        let mut best: Option<u64> = None;
+        let mut consider = |d: Option<u64>| {
+            if let Some(d) = d {
+                best = Some(best.map_or(d, |b: u64| b.min(d)));
+            }
+        };
+        if let Some(m) = &self.master {
+            for s in &m.slaves {
+                consider(supervision_deadline(
+                    sup_to,
+                    s.mode,
+                    s.newconn_deadline_slot,
+                    s.last_rx_slot,
+                    s.sup_hold_excuse_slot,
+                ));
+            }
+        }
+        for s in &self.slave_links {
+            consider(supervision_deadline(
+                sup_to,
+                s.mode,
+                s.newconn_deadline_slot,
+                s.last_rx_slot,
+                s.sup_hold_excuse_slot,
+            ));
+        }
+        best
+    }
+
+    /// Power-off (crash): all state is lost instantly and silently — no
+    /// Detach PDUs, no [`LcEvent::Detached`]. Peers only find out
+    /// through their own supervision timeouts, which is the detection
+    /// latency the fault experiments measure. Dropped user bytes are
+    /// still accounted (the accounting models the simulator's view, not
+    /// the dead device's).
+    pub(crate) fn cmd_power_off(&mut self, out: &mut Vec<LcAction>) {
+        let mut dropped: u64 = 0;
+        if let Some(m) = &mut self.master {
+            for s in &mut m.slaves {
+                dropped += s.link.flush_dropped();
+            }
+        }
+        for s in &mut self.slave_links {
+            dropped += s.link.flush_dropped();
+        }
+        self.dropped_tx_bytes += dropped;
+        self.master = None;
+        self.slave_links.clear();
+        self.afh = None;
+        self.afh_pending = None;
+        self.assessment.reset();
+        self.stat_promoted = false;
+        self.ff_until = SimTime::ZERO;
+        self.state = ProcState::Standby;
+        out.push(LcAction::RxOff);
+        self.set_phase(LifePhase::Standby, out);
     }
 
     pub(crate) fn rx_connection(
@@ -435,13 +630,16 @@ impl LinkController {
         }
         // Drop slaves that never completed the first exchange.
         let mut dropped = Vec::new();
-        m.slaves.retain(|s| {
+        let mut dropped_bytes: u64 = 0;
+        m.slaves.retain_mut(|s| {
             let expired = s.newconn_deadline_slot.is_some_and(|d| now_slot >= d);
             if expired {
+                dropped_bytes += s.link.flush_dropped();
                 dropped.push(s.lt_addr);
             }
             !expired
         });
+        self.dropped_tx_bytes += dropped_bytes;
         for lt in dropped {
             out.push(LcAction::Event(LcEvent::Detached { lt_addr: lt }));
         }
@@ -658,6 +856,8 @@ impl LinkController {
         }
         slave.poll_asap = false;
         slave.newconn_deadline_slot = None;
+        slave.last_rx_slot = now.slots();
+        slave.sup_hold_excuse_slot = None;
         let mode_event = if slave.mode == LinkMode::Hold
             && slave.hold_until_slot.is_some_and(|h| now.slots() >= h)
         {
@@ -795,6 +995,8 @@ impl LinkController {
         match todo {
             Todo::Nothing => true,
             Todo::RevertToPageScan => {
+                let dropped = self.slave_links[i].link.flush_dropped();
+                self.dropped_tx_bytes += dropped;
                 self.slave_links.remove(i);
                 out.push(LcAction::RxOff);
                 if self.slave_links.is_empty() && !self.is_master() {
@@ -848,6 +1050,8 @@ impl LinkController {
         if !broadcast && header.lt_addr != s.lt_addr {
             return true; // this piconet, but addressed to another slave
         }
+        s.last_rx_slot = now.slots();
+        s.sup_hold_excuse_slot = None;
         let mut events = Vec::new();
         let mut phase_change = false;
         // First packet of a new connection: we are in the piconet.
@@ -1120,6 +1324,9 @@ impl LinkController {
             if let Some(slot) = m.slot_mut(lt_addr) {
                 slot.mode = LinkMode::Hold;
                 slot.hold_until_slot = Some(until);
+                // Only the first unanswered hold excuses supervision;
+                // re-arms on a silent link must not extend it.
+                slot.sup_hold_excuse_slot.get_or_insert(until);
                 slot.poll_asap = true;
                 out.push(LcAction::Event(LcEvent::ModeChanged {
                     lt_addr,
@@ -1152,6 +1359,7 @@ impl LinkController {
         let s = &mut self.slave_links[i];
         s.mode = LinkMode::Hold;
         s.hold_until_slot = Some(until_slot);
+        s.sup_hold_excuse_slot.get_or_insert(until_slot);
         s.resync = false;
         let lt = s.lt_addr;
         // The radio leaves this piconet; links to other piconets re-open
@@ -1198,11 +1406,15 @@ impl LinkController {
         }
     }
 
-    pub(crate) fn cmd_unpark(&mut self, lt_addr: u8, _now: SimTime, out: &mut Vec<LcAction>) {
+    pub(crate) fn cmd_unpark(&mut self, lt_addr: u8, now: SimTime, out: &mut Vec<LcAction>) {
         if let Some(m) = &mut self.master {
             if let Some(slot) = m.slot_mut(lt_addr) {
                 slot.mode = LinkMode::Active;
                 slot.poll_asap = true;
+                // Park suspends supervision; re-arm from now, not from
+                // the pre-park baseline.
+                slot.last_rx_slot = now.slots();
+                slot.sup_hold_excuse_slot = None;
                 out.push(LcAction::Event(LcEvent::ModeChanged {
                     lt_addr,
                     mode: LinkMode::Active,
@@ -1213,6 +1425,8 @@ impl LinkController {
         if let Some(i) = self.slave_cmd_index(lt_addr) {
             let s = &mut self.slave_links[i];
             s.mode = LinkMode::Active;
+            s.last_rx_slot = now.slots();
+            s.sup_hold_excuse_slot = None;
             let lt = s.lt_addr;
             out.push(LcAction::Event(LcEvent::ModeChanged {
                 lt_addr: lt,
@@ -1225,7 +1439,15 @@ impl LinkController {
     pub(crate) fn cmd_detach(&mut self, lt_addr: u8, _now: SimTime, out: &mut Vec<LcAction>) {
         if let Some(m) = &mut self.master {
             let before = m.slaves.len();
-            m.slaves.retain(|s| s.lt_addr != lt_addr);
+            let mut dropped = 0;
+            m.slaves.retain_mut(|s| {
+                let gone = s.lt_addr == lt_addr;
+                if gone {
+                    dropped += s.link.flush_dropped();
+                }
+                !gone
+            });
+            self.dropped_tx_bytes += dropped;
             if m.slaves.len() != before {
                 out.push(LcAction::Event(LcEvent::Detached { lt_addr }));
             }
@@ -1236,6 +1458,8 @@ impl LinkController {
             return;
         }
         if let Some(i) = self.slave_cmd_index(lt_addr) {
+            let dropped = self.slave_links[i].link.flush_dropped();
+            self.dropped_tx_bytes += dropped;
             self.slave_links.remove(i);
             out.push(LcAction::RxOff);
             out.push(LcAction::Event(LcEvent::Detached { lt_addr }));

@@ -121,6 +121,13 @@ pub struct LcConfig {
     pub sniff_drift_ppm: u64,
     /// Class-of-device advertised in FHS packets.
     pub class_of_device: u32,
+    /// supervisionTO: slots without a valid reception on a connected
+    /// link before the link is declared dead and torn down (spec
+    /// default 0x7D00 = 32000 slots = 20 s; 0 disables supervision).
+    /// The timer runs in active and sniff modes on both ends; a hold
+    /// period is excused (the timer restarts from the hold end) and
+    /// park suspends it entirely.
+    pub supervision_timeout_slots: u32,
 }
 
 impl Default for LcConfig {
@@ -144,6 +151,7 @@ impl Default for LcConfig {
             sniff_listen_us: 233,
             sniff_drift_ppm: 14350,
             class_of_device: 0x00_1F00,
+            supervision_timeout_slots: 32_000,
         }
     }
 }
@@ -287,6 +295,17 @@ pub enum LcCommand {
         /// Link to detach.
         lt_addr: u8,
     },
+    /// Change the link-supervision timeout (the LC half of
+    /// `LMP_supervision_timeout`; applies to every link of this
+    /// controller).
+    SetSupervisionTimeout {
+        /// New supervisionTO in slots (0 disables supervision).
+        timeout_slots: u32,
+    },
+    /// Power the device off instantly (fault injection): every link,
+    /// procedure and queued exchange is lost without any notification —
+    /// peers discover the death through their own supervision timers.
+    PowerOff,
 }
 
 /// Indications from the link controller to the layers above.
@@ -367,6 +386,14 @@ pub enum LcEvent {
         /// `true`: the link was promoted to the statistical tier;
         /// `false`: it was demoted back to bit-level simulation.
         promoted: bool,
+    },
+    /// A link died of supervision timeout: no valid reception for
+    /// supervisionTO slots. The link state has been torn down (the
+    /// LT_ADDR freed, buffers flushed into the dropped-byte counter);
+    /// a [`LcEvent::Detached`] for the same link follows immediately.
+    SupervisionTimeout {
+        /// The link that timed out.
+        lt_addr: u8,
     },
 }
 
@@ -472,6 +499,10 @@ pub struct LinkController {
     /// Whether the link this controller masters currently runs on the
     /// statistical tier (observability for the stability tracker).
     pub(crate) stat_promoted: bool,
+    /// User (non-LMP) bytes dropped from transmit buffers by link
+    /// teardown — detach, supervision timeout or power-off. Frames
+    /// stranded mid-fragmentation are counted by their unsent bytes.
+    pub(crate) dropped_tx_bytes: u64,
     /// Per-link packet encoder: cached access-code images + scratch
     /// buffer, so steady-state traffic builds air images allocation-lean.
     pub(crate) codec: packet::Codec,
@@ -499,6 +530,7 @@ impl LinkController {
             proc_start_tick: 0,
             ff_until: SimTime::ZERO,
             stat_promoted: false,
+            dropped_tx_bytes: 0,
             codec: packet::Codec::new(),
         }
     }
@@ -519,6 +551,15 @@ impl LinkController {
     /// The device's native clock value at `t`.
     pub fn clkn(&self, t: SimTime) -> ClkVal {
         self.clock.clkn_at(t)
+    }
+
+    /// Offsets the native clock by `half_slots` ticks from now on — the
+    /// fault layer's discrete model of clock drift. Peers keep deriving
+    /// the piconet clock from the stale offset, so their hop sequences
+    /// and slot phases diverge and the link dies of supervision; a later
+    /// re-page learns the post-jump offset from the fresh FHS.
+    pub fn clock_jump(&mut self, half_slots: u32) {
+        self.clock = Clock::new(self.clock.start_value().offset_by(half_slots));
     }
 
     /// Current life phase (for power attribution).
@@ -562,6 +603,19 @@ impl LinkController {
                 .iter()
                 .map(|s| in_flight(&s.link))
                 .sum::<usize>()
+    }
+
+    /// User (non-LMP) bytes dropped from this controller's transmit
+    /// buffers by link teardown — detach, supervision timeout or
+    /// power-off. The metrics hub reports this per device and as an
+    /// aggregate counter.
+    pub fn dropped_tx_bytes(&self) -> u64 {
+        self.dropped_tx_bytes
+    }
+
+    /// The link-supervision timeout in effect, in slots (0 = disabled).
+    pub fn supervision_timeout_slots(&self) -> u32 {
+        self.cfg.supervision_timeout_slots
     }
 
     /// Slave links as `(lt_addr, master address)` pairs, in join order
@@ -668,6 +722,10 @@ impl LinkController {
             } => self.cmd_park(lt_addr, beacon_interval, now, &mut out),
             LcCommand::Unpark { lt_addr } => self.cmd_unpark(lt_addr, now, &mut out),
             LcCommand::Detach { lt_addr } => self.cmd_detach(lt_addr, now, &mut out),
+            LcCommand::SetSupervisionTimeout { timeout_slots } => {
+                self.cfg.supervision_timeout_slots = timeout_slots;
+            }
+            LcCommand::PowerOff => self.cmd_power_off(&mut out),
         }
         out
     }

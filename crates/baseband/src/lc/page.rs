@@ -433,11 +433,13 @@ impl SlaveSlot {
             sniff: None,
             sniff_ext_until_slot: None,
             hold_until_slot: None,
+            sup_hold_excuse_slot: None,
             park_beacon_interval: 0,
             parked_lt: 0,
             last_poll_slot: 0,
             poll_asap: true,
             newconn_deadline_slot: None,
+            last_rx_slot: 0,
             link: LinkState::new(),
         }
     }
@@ -455,9 +457,11 @@ impl SlaveCtx {
             sniff: None,
             sniff_ext_until_slot: None,
             hold_until_slot: None,
+            sup_hold_excuse_slot: None,
             park_beacon_interval: 0,
             parked_lt: 0,
             newconn_deadline_slot: Some(newconn_deadline),
+            last_rx_slot: 0,
             resync: false,
             link: LinkState::new(),
             listening_full_slot: true,

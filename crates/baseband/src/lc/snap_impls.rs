@@ -259,6 +259,7 @@ impl Snap for LcConfig {
         w.put_u64(self.sniff_listen_us);
         w.put_u64(self.sniff_drift_ppm);
         w.put_u32(self.class_of_device);
+        w.put_u32(self.supervision_timeout_slots);
     }
 
     fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
@@ -281,6 +282,7 @@ impl Snap for LcConfig {
             sniff_listen_us: r.take_u64()?,
             sniff_drift_ppm: r.take_u64()?,
             class_of_device: r.take_u32()?,
+            supervision_timeout_slots: r.take_u32()?,
         })
     }
 }
@@ -394,6 +396,11 @@ impl Snap for LcCommand {
                 w.put_u8(22);
                 w.put_u8(*lt_addr);
             }
+            LcCommand::SetSupervisionTimeout { timeout_slots } => {
+                w.put_u8(23);
+                w.put_u32(*timeout_slots);
+            }
+            LcCommand::PowerOff => w.put_u8(24),
         }
     }
 
@@ -467,6 +474,10 @@ impl Snap for LcCommand {
             22 => LcCommand::Detach {
                 lt_addr: r.take_u8()?,
             },
+            23 => LcCommand::SetSupervisionTimeout {
+                timeout_slots: r.take_u32()?,
+            },
+            24 => LcCommand::PowerOff,
             _ => return Err(r.malformed("unknown LC command tag")),
         })
     }
@@ -534,6 +545,10 @@ impl Snap for LcEvent {
                 w.put_u8(11);
                 w.put_bool(*promoted);
             }
+            LcEvent::SupervisionTimeout { lt_addr } => {
+                w.put_u8(12);
+                w.put_u8(*lt_addr);
+            }
         }
     }
 
@@ -582,6 +597,9 @@ impl Snap for LcEvent {
             11 => LcEvent::FidelityChanged {
                 promoted: r.take_bool()?,
             },
+            12 => LcEvent::SupervisionTimeout {
+                lt_addr: r.take_u8()?,
+            },
             _ => return Err(r.malformed("unknown LC event tag")),
         })
     }
@@ -617,11 +635,13 @@ impl Snap for SlaveSlot {
         self.sniff.snap(w);
         self.sniff_ext_until_slot.snap(w);
         self.hold_until_slot.snap(w);
+        self.sup_hold_excuse_slot.snap(w);
         w.put_u32(self.park_beacon_interval);
         w.put_u8(self.parked_lt);
         w.put_u64(self.last_poll_slot);
         w.put_bool(self.poll_asap);
         self.newconn_deadline_slot.snap(w);
+        w.put_u64(self.last_rx_slot);
         self.link.snap(w);
     }
 
@@ -635,11 +655,13 @@ impl Snap for SlaveSlot {
             sniff: Option::unsnap(r)?,
             sniff_ext_until_slot: Option::unsnap(r)?,
             hold_until_slot: Option::unsnap(r)?,
+            sup_hold_excuse_slot: Option::unsnap(r)?,
             park_beacon_interval: r.take_u32()?,
             parked_lt: r.take_u8()?,
             last_poll_slot: r.take_u64()?,
             poll_asap: r.take_bool()?,
             newconn_deadline_slot: Option::unsnap(r)?,
+            last_rx_slot: r.take_u64()?,
             link: LinkState::unsnap(r)?,
         })
     }
@@ -672,9 +694,11 @@ impl Snap for SlaveCtx {
         self.sniff.snap(w);
         self.sniff_ext_until_slot.snap(w);
         self.hold_until_slot.snap(w);
+        self.sup_hold_excuse_slot.snap(w);
         w.put_u32(self.park_beacon_interval);
         w.put_u8(self.parked_lt);
         self.newconn_deadline_slot.snap(w);
+        w.put_u64(self.last_rx_slot);
         w.put_bool(self.resync);
         self.link.snap(w);
         w.put_bool(self.listening_full_slot);
@@ -692,9 +716,11 @@ impl Snap for SlaveCtx {
             sniff: Option::unsnap(r)?,
             sniff_ext_until_slot: Option::unsnap(r)?,
             hold_until_slot: Option::unsnap(r)?,
+            sup_hold_excuse_slot: Option::unsnap(r)?,
             park_beacon_interval: r.take_u32()?,
             parked_lt: r.take_u8()?,
             newconn_deadline_slot: Option::unsnap(r)?,
+            last_rx_slot: r.take_u64()?,
             resync: r.take_bool()?,
             link: LinkState::unsnap(r)?,
             listening_full_slot: r.take_bool()?,
@@ -886,6 +912,7 @@ impl Snap for LinkController {
         w.put_u64(self.proc_start_tick);
         self.ff_until.snap(w);
         w.put_bool(self.stat_promoted);
+        w.put_u64(self.dropped_tx_bytes);
         // The codec is a pure access-code memoization: rebuilt empty on
         // restore, refilled on demand with bit-identical images.
     }
@@ -908,6 +935,7 @@ impl Snap for LinkController {
             proc_start_tick: r.take_u64()?,
             ff_until: SimTime::unsnap(r)?,
             stat_promoted: r.take_bool()?,
+            dropped_tx_bytes: r.take_u64()?,
             codec: packet::Codec::new(),
         })
     }
@@ -969,11 +997,13 @@ mod tests {
             sniff: Some(SniffParams::default()),
             sniff_ext_until_slot: Some(400),
             hold_until_slot: None,
+            sup_hold_excuse_slot: None,
             park_beacon_interval: 0,
             parked_lt: 0,
             last_poll_slot: 300,
             poll_asap: true,
             newconn_deadline_slot: Some(500),
+            last_rx_slot: 250,
             link,
         };
         lc.master = Some(MasterCtx {
@@ -991,14 +1021,17 @@ mod tests {
             sniff: None,
             sniff_ext_until_slot: None,
             hold_until_slot: Some(900),
+            sup_hold_excuse_slot: Some(900),
             park_beacon_interval: 0,
             parked_lt: 0,
             newconn_deadline_slot: None,
+            last_rx_slot: 800,
             resync: true,
             link: LinkState::new(),
             listening_full_slot: true,
             busy_until: SimTime::from_us(625),
         }];
+        lc.dropped_tx_bytes = 123;
         lc
     }
 
@@ -1169,6 +1202,10 @@ mod tests {
             },
             LcCommand::Unpark { lt_addr: 2 },
             LcCommand::Detach { lt_addr: 1 },
+            LcCommand::SetSupervisionTimeout {
+                timeout_slots: 16_000,
+            },
+            LcCommand::PowerOff,
         ];
         for cmd in cmds {
             assert_eq!(unsnap_all::<LcCommand>(&snap_bytes(&cmd)).unwrap(), cmd);
@@ -1209,6 +1246,7 @@ mod tests {
                 phase: LifePhase::Hold,
             },
             LcEvent::FidelityChanged { promoted: true },
+            LcEvent::SupervisionTimeout { lt_addr: 1 },
         ];
         for ev in events {
             assert_eq!(unsnap_all::<LcEvent>(&snap_bytes(&ev)).unwrap(), ev);

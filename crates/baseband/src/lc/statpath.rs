@@ -281,6 +281,8 @@ pub fn stat_slot_pair(
         // --- Slave receive + NULL response: mirror `slave_rx_one`. ---
         let s = &mut slave.slave_links[0];
         let deliver_at = fwd_end + modem_delay;
+        s.last_rx_slot = deliver_at.slots();
+        s.sup_hold_excuse_slot = None;
         if s.link.on_arqn(arqn_f) {
             events.push((
                 deliver_at,
@@ -323,6 +325,8 @@ pub fn stat_slot_pair(
             }
             slot.poll_asap = false;
             slot.newconn_deadline_slot = None;
+            slot.last_rx_slot = (resp_end + modem_delay).slots();
+            slot.sup_hold_excuse_slot = None;
             m.awaiting = None;
         }
         resp = Some(StatRespReport {

@@ -32,7 +32,9 @@ use btsim_kernel::{SimDuration, SimTime};
 use crate::clock::ClkVal;
 use crate::hop::{self, HopSequence};
 
-use super::connection::{sco_at_anchor, sniff_at_anchor, sniff_in_window, LinkMode, SlaveCtx};
+use super::connection::{
+    sco_at_anchor, sniff_at_anchor, sniff_in_window, supervision_deadline, LinkMode, SlaveCtx,
+};
 use super::inquiry::GIAC_HOP_INPUT;
 use super::page::{PageScanSub, PageSub};
 use super::{InquiryCtx, InquiryScanCtx, LinkController, PageCtx, PageScanCtx, ProcState};
@@ -205,9 +207,21 @@ impl LinkController {
                 gate = gate.max(tick_at_or_after(until));
             }
             let t_poll = self.t_poll as u64;
+            let sup_to = self.cfg.supervision_timeout_slots as u64;
             for s in &m.slaves {
                 if let Some(d) = s.newconn_deadline_slot {
                     consider(&mut best, self.clk00_at_slot(gate, d, 0));
+                }
+                // Supervision runs at every tick before the slot and
+                // busy gates, so its candidate folds over k0, not gate.
+                if let Some(d) = supervision_deadline(
+                    sup_to,
+                    s.mode,
+                    s.newconn_deadline_slot,
+                    s.last_rx_slot,
+                    s.sup_hold_excuse_slot,
+                ) {
+                    consider(&mut best, k0.max(2 * d));
                 }
                 if s.mode != LinkMode::Park {
                     if let Some(p) = &s.sco {
@@ -278,8 +292,17 @@ impl LinkController {
 
     fn slave_link_wakeup(&self, s: &SlaveCtx, k0: u64, best: &mut Option<u64>) {
         // The new-connection deadline is checked at every tick, before
-        // the slot gates.
+        // the slot gates; so is the supervision deadline.
         if let Some(d) = s.newconn_deadline_slot {
+            consider(best, k0.max(2 * d));
+        }
+        if let Some(d) = supervision_deadline(
+            self.cfg.supervision_timeout_slots as u64,
+            s.mode,
+            s.newconn_deadline_slot,
+            s.last_rx_slot,
+            s.sup_hold_excuse_slot,
+        ) {
             consider(best, k0.max(2 * d));
         }
         let gate = k0.max(tick_at_or_after(s.busy_until));

@@ -176,6 +176,12 @@ pub fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
                 }
                 opts.exp.resume = Some(v);
             }
+            "--faults" => {
+                let v = value("--faults")?;
+                let plan = btsim_core::FaultPlan::parse(&v)
+                    .map_err(|e| format!("invalid --faults value: {e}"))?;
+                opts.exp.faults = Some(plan);
+            }
             "--json" => opts.json = Some(value("--json")?),
             "--list" => opts.list = true,
             flag if flag.starts_with('-') => {
@@ -199,7 +205,7 @@ pub fn parse_cli() -> BenchOptions {
                 "usage: [--quick] [--runs N] [--seed S] [--threads T] [--piconets N] \
                  [--bridge-duty F] [--engine lockstep|event] [--fidelity bit|stat|auto] \
                  [--cell-size M] [--shards N] [--capture PATH] [--metrics-every N] \
-                 [--snapshot PATH] [--resume PATH] [--json PATH] [NAME…]"
+                 [--snapshot PATH] [--resume PATH] [--faults SPEC] [--json PATH] [NAME…]"
             );
             std::process::exit(2);
         }
@@ -516,6 +522,19 @@ mod tests {
             "flag eaten as path"
         );
         assert!(parse_args(&argv(&["--resume", ""])).is_err());
+    }
+
+    #[test]
+    fn faults_flag_parses_strictly() {
+        let plain = parse_args(&[]).unwrap();
+        assert_eq!(plain.exp.faults, None);
+        let opts = parse_args(&argv(&["--faults", "crash@4000:dev=2;revive@7000:dev=2"])).unwrap();
+        let plan = opts.exp.faults.expect("plan parsed");
+        assert_eq!(plan.events().len(), 2);
+        assert!(parse_args(&argv(&["--faults"])).is_err(), "missing value");
+        let err = parse_args(&argv(&["--faults", "crash@4000:dev=2,bogus=1"])).unwrap_err();
+        assert!(err.contains("invalid --faults value"), "{err}");
+        assert!(parse_args(&argv(&["--faults", ""])).is_err());
     }
 
     #[test]

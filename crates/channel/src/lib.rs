@@ -485,6 +485,19 @@ pub struct Medium {
     /// interleaves LMP records through [`Medium::capture_mut`], so one
     /// dispatch-ordered stream serializes to btsnoop.
     capture: CaptureSink,
+    /// Fault-layer per-source transmit degrades, indexed by source id
+    /// (`None` = healthy). Consulted by [`Medium::begin_tx`] when
+    /// picking the effective BER for a packet.
+    degrade: Vec<Option<Degrade>>,
+}
+
+/// A fault-injected transmit degrade: extra BER ramping linearly from
+/// zero at `from` to `target` at `from + ramp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Degrade {
+    pub(crate) target: f64,
+    pub(crate) from: SimTime,
+    pub(crate) ramp: SimDuration,
 }
 
 /// A registered radio of a spatial medium.
@@ -563,6 +576,7 @@ impl Medium {
             quality: ChannelQuality::default(),
             last_end: SimTime::ZERO,
             capture: CaptureSink::disabled(),
+            degrade: Vec::new(),
         }
     }
 
@@ -752,6 +766,72 @@ impl Medium {
         self.rng = rng;
     }
 
+    /// Applies a fault-layer transmit degrade to `source`: everything
+    /// it transmits suffers an extra BER ramping linearly from zero at
+    /// `from` to `target_ber` at `from + ramp`, combined independently
+    /// with the configured channel BER. Replaces any earlier degrade.
+    pub fn set_degrade(
+        &mut self,
+        source: usize,
+        target_ber: f64,
+        from: SimTime,
+        ramp: SimDuration,
+    ) {
+        if self.degrade.len() <= source {
+            self.degrade.resize(source + 1, None);
+        }
+        self.degrade[source] = Some(Degrade {
+            target: target_ber,
+            from,
+            ramp,
+        });
+    }
+
+    /// Clears a fault-layer degrade (no-op when none is set).
+    pub fn clear_degrade(&mut self, source: usize) {
+        if let Some(d) = self.degrade.get_mut(source) {
+            *d = None;
+        }
+    }
+
+    /// Whether `source` currently has a fault-layer degrade applied.
+    pub fn degraded(&self, source: usize) -> bool {
+        self.degrade.get(source).is_some_and(Option::is_some)
+    }
+
+    /// The extra fault BER `source` suffers at `at`, ramp-interpolated.
+    fn degrade_ber_at(&self, source: usize, at: SimTime) -> f64 {
+        let Some(Some(d)) = self.degrade.get(source) else {
+            return 0.0;
+        };
+        let elapsed = at.ns().saturating_sub(d.from.ns());
+        if d.ramp.ns() == 0 || elapsed >= d.ramp.ns() {
+            d.target
+        } else {
+            d.target * (elapsed as f64 / d.ramp.ns() as f64)
+        }
+    }
+
+    /// Injects an interferer mid-run (the fault layer's noise burst):
+    /// it covers the band for every transmission, carrier-sense and
+    /// wire probe from this call on. The burst timeline stays a pure
+    /// counter-based function of the medium seed and slot index, so
+    /// two engines applying the same fault at the same instant see
+    /// identical jam verdicts.
+    pub fn add_interferer(&mut self, i: Interferer) {
+        self.cfg.interferers.push(i);
+    }
+
+    /// Removes every interferer covering exactly `first_channel ..
+    /// first_channel + width`, returning how many were removed.
+    pub fn remove_interferer(&mut self, first_channel: u8, width: u8) -> usize {
+        let before = self.cfg.interferers.len();
+        self.cfg
+            .interferers
+            .retain(|i| !(i.first_channel == first_channel && i.width == width));
+        before - self.cfg.interferers.len()
+    }
+
     /// Registers a transmission starting at `start` on `rf_channel`.
     ///
     /// Noise is applied immediately (single shared corrupted image, as in
@@ -779,7 +859,11 @@ impl Medium {
         assert!(!bits.is_empty(), "cannot transmit an empty packet");
         let mut noisy = bits;
         let spatial = self.cfg.spatial.is_some();
-        let ber = self.cfg.ber;
+        // A fault-layer degrade combines independently with the channel
+        // BER: a bit survives only if both processes leave it alone.
+        let base = self.cfg.ber;
+        let extra = self.degrade_ber_at(source, start);
+        let ber = base + extra - base * extra;
         let rng = if spatial {
             &mut self
                 .radios

@@ -160,6 +160,25 @@ impl Snap for Transmission {
     }
 }
 
+impl Snap for Degrade {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_f64(self.target);
+        self.from.snap(w);
+        self.ramp.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let d = Degrade {
+            target: r.take_f64()?,
+            from: Snap::unsnap(r)?,
+            ramp: Snap::unsnap(r)?,
+        };
+        if !(d.target.is_finite() && (0.0..=1.0).contains(&d.target)) {
+            return Err(r.malformed("degrade target BER out of range"));
+        }
+        Ok(d)
+    }
+}
+
 impl Snap for Radio {
     fn snap(&self, w: &mut SnapWriter) {
         self.pos.snap(w);
@@ -212,6 +231,7 @@ impl Snap for Medium {
         self.quality.snap(w);
         self.last_end.snap(w);
         self.capture.snap(w);
+        self.degrade.snap(w);
     }
 
     fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
@@ -284,6 +304,7 @@ impl Snap for Medium {
             quality: Snap::unsnap(r)?,
             last_end: Snap::unsnap(r)?,
             capture: Snap::unsnap(r)?,
+            degrade: Snap::unsnap(r)?,
         };
         if medium
             .directory

@@ -81,6 +81,12 @@ pub struct ExpOptions {
     /// measurement suffix is bit-identical to the straight-through run,
     /// so outputs are byte-identical to a run without the flag.
     pub resume: Option<String>,
+    /// Fault plan stamped onto every scenario's simulator configuration
+    /// (`--faults SPEC`, see [`crate::fault`] for the grammar). The
+    /// fault experiments install their own default calendar only when
+    /// no plan was supplied, so this overrides them; on other
+    /// experiments it injects the faults on top of the workload.
+    pub faults: Option<crate::FaultPlan>,
 }
 
 impl Default for ExpOptions {
@@ -99,6 +105,7 @@ impl Default for ExpOptions {
             shards: None,
             snapshot: None,
             resume: None,
+            faults: None,
         }
     }
 }
@@ -129,6 +136,9 @@ impl ExpOptions {
         }
         if let Some(shards) = self.shards {
             base.shards = shards;
+        }
+        if let Some(plan) = &self.faults {
+            base.faults = plan.clone();
         }
         base
     }

@@ -33,9 +33,11 @@ use crate::scenario::{
 };
 use crate::{AfhConfig, Engine, LoggedEvent, SimBuilder};
 
+mod faults;
 mod registry;
 
 pub use crate::campaign::ExpOptions;
+pub use faults::*;
 pub use registry::{find, registry, ExpReport, Experiment};
 
 /// The BER sweep of the paper's Figs. 6-8.

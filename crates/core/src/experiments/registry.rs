@@ -166,7 +166,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
     REGISTRY.iter().find(|e| e.name == name)
 }
 
-static REGISTRY: [Experiment; 22] = [
+static REGISTRY: [Experiment; 25] = [
     Experiment {
         name: "fig5_waveform",
         description: "Fig. 5 — piconet-creation waveforms (enable_tx_RF / enable_rx_RF)",
@@ -276,6 +276,21 @@ static REGISTRY: [Experiment; 22] = [
         name: "capture_scan",
         description: "Capture — per-channel jam/collision forensics replayed from a btsnoop file",
         runner: |o| Ok(run_capture_scan(o)),
+    },
+    Experiment {
+        name: "fault_recovery",
+        description: "Fault-R — bridge death: self-healing re-formation vs the no-recovery floor",
+        runner: |o| Ok(run_fault_recovery(o)),
+    },
+    Experiment {
+        name: "fault_churn",
+        description: "Fault-C — delivery under seeded device churn with supervised re-paging",
+        runner: |o| Ok(run_fault_churn(o)),
+    },
+    Experiment {
+        name: "fault_degrade_heal",
+        description: "Fault-D — goodput dip and recovery across a BER degrade/heal window",
+        runner: |o| Ok(run_fault_degrade_heal(o)),
     },
 ];
 
@@ -514,6 +529,43 @@ fn run_capture_scan(opts: &ExpOptions) -> ExpReport {
         .binary_artifact("capture_scan.btsnoop", f.btsnoop)
 }
 
+fn run_fault_recovery(opts: &ExpOptions) -> ExpReport {
+    let mut opts = opts.clone();
+    // Two arms of a bridged chain over a ~27k-slot window: cap runs.
+    opts.runs = opts.runs.min(8);
+    let f = fault_recovery(&opts);
+    ExpReport::new("Fault-R — bridge death: self-healing re-formation vs the no-recovery floor")
+        .note("(the chain's bridge crashes mid-traffic; the on arm re-forms through a slave)")
+        .note(format!(
+            "(analytic no-recovery delivery floor: {:.1}% — the pre-crash share of injections)",
+            f.analytic_floor * 100.0
+        ))
+        .table(f.table())
+        .artifact("fault_recovery.json", f.json)
+}
+
+fn run_fault_churn(opts: &ExpOptions) -> ExpReport {
+    let mut opts = opts.clone();
+    // Three churn rates over a ~30k-slot window each: cap runs.
+    opts.runs = opts.runs.min(8);
+    let f = fault_churn(&opts);
+    ExpReport::new("Fault-C — delivery under seeded device churn with supervised re-paging")
+        .note("(slaves crash/revive on a fixed calendar; the supervisor re-pages each revival)")
+        .table(f.table())
+}
+
+fn run_fault_degrade_heal(opts: &ExpOptions) -> ExpReport {
+    let mut opts = opts.clone();
+    opts.runs = opts.runs.min(8);
+    let f = fault_degrade_heal(&opts);
+    ExpReport::new("Fault-D — goodput dip and recovery across a BER degrade/heal window")
+        .note(format!(
+            "(overall delivery {:.1}% — ARQ keeps the link alive through the degradation)",
+            f.delivered * 100.0
+        ))
+        .table(f.table())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,7 +573,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_nonempty() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 22);
+        assert_eq!(names.len(), 25);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -533,13 +585,16 @@ mod tests {
     fn find_resolves_names() {
         assert!(find("fig6_inquiry_vs_ber").is_some());
         assert!(find("nope").is_none());
-        // The scatternet and AFH entries are registered.
+        // The scatternet, AFH and fault entries are registered.
         for name in [
             "scat_collisions",
             "scat_bridge",
             "scat_speed",
             "dense_floor",
             "afh_adapt",
+            "fault_recovery",
+            "fault_churn",
+            "fault_degrade_heal",
         ] {
             assert!(find(name).is_some(), "{name} missing from the registry");
         }

@@ -50,6 +50,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod observe;
@@ -59,6 +60,7 @@ mod simulator;
 pub use btsim_fidelity::Fidelity;
 pub use btsim_kernel::SnapshotError;
 pub use campaign::{Campaign, CampaignResult, ExpOptions, PointResult};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::MetricsSnapshot;
 pub use observe::{ObsCursor, SimEvent};
 pub use scenario::Scenario;

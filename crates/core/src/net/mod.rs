@@ -28,11 +28,13 @@
 //! its limitations.
 
 pub mod bridge;
+pub mod recovery;
 pub mod relay;
 pub mod scenario;
 mod topology;
 
 pub use bridge::{schedule_bridge, BridgeLink, BridgePlan};
+pub use recovery::{run_supervised, LinkLoss, Recovery, RecoveryConfig};
 pub use relay::{NextHop, RelayFrame, Router, MAX_RELAY_PAYLOAD};
 pub use scenario::{
     analytic_collision_rate, DenseFloorConfig, DenseFloorOutcome, DenseFloorScenario,

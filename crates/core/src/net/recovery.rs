@@ -1,0 +1,588 @@
+//! Self-healing scatternets: supervised link loss, bounded re-page
+//! retry, and re-formation around dead bridges.
+//!
+//! The baseband already detects dead links (spec link supervision,
+//! [`btsim_baseband::LcEvent::SupervisionTimeout`]) and a lone slave
+//! reverts to page scan on its own. What Bluetooth does *not* specify
+//! is who reconnects whom — that is host policy. This module is that
+//! policy, written like the [`super::relay::Router`]: an application
+//! supervisor that scans the simulator event log and issues ordinary
+//! host commands, never reaching into simulator internals.
+//!
+//! Per lost link the supervisor runs a bounded retry loop: re-page the
+//! member with exponential backoff (`base * factor^attempt` slots
+//! between attempts, each page capped) until it answers or the retry
+//! budget is spent. A member that stays dead past the budget and was a
+//! bridge leaves its two piconets disconnected; the supervisor then
+//! *re-forms* the scatternet by paging a surviving plain slave of one
+//! side into the other — the slave becomes the new bridge, the
+//! [`ScatternetMap`] gains the link, and the router is rebuilt so
+//! frames route over the new edge.
+//!
+//! Everything is observable: detection latency (supervision event
+//! minus the fault instant from the simulator's own
+//! [`crate::FaultPlan`]), re-formation time, retry/give-up counters.
+//! `docs/FAULTS.md` walks through the full loss→heal timeline.
+
+use btsim_baseband::{LcCommand, LcEvent};
+use btsim_kernel::{SimDuration, SimTime};
+
+use crate::net::{Router, ScatternetLink, ScatternetMap};
+use crate::{EventCursor, Simulator};
+
+/// Knobs of the recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Master switch: `false` records losses but never re-pages — the
+    /// control arm of the recovery experiments.
+    pub enabled: bool,
+    /// Re-page attempts per lost link before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in slots.
+    pub backoff_base_slots: u64,
+    /// Backoff multiplier per further retry (exponential).
+    pub backoff_factor: u64,
+    /// Page timeout per attempt, in slots. Keep this *below* the
+    /// link supervision timeout: a paging master suspends piconet
+    /// traffic, so an attempt longer than supervisionTO starves the
+    /// surviving slaves into collateral supervision deaths.
+    pub attempt_cap_slots: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_retries: 6,
+            backoff_base_slots: 256,
+            backoff_factor: 2,
+            attempt_cap_slots: 512,
+        }
+    }
+}
+
+/// One detected link loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkLoss {
+    /// Piconet the lost link belonged to.
+    pub piconet: usize,
+    /// The member that went silent.
+    pub device: usize,
+    /// When supervision declared the link dead.
+    pub detected_at: SimTime,
+    /// Slots between the causing fault (latest device fault on
+    /// `device` in the simulator's fault plan at or before detection)
+    /// and the supervision verdict — the detection latency. `None`
+    /// when no fault explains the loss.
+    pub fault_latency_slots: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RejoinState {
+    /// Backing off; next page starts once `now` reaches this slot.
+    Waiting { until_slot: u64 },
+    /// A page is in flight; counts as failed past this slot even if no
+    /// `PageFailed` arrives (a crashed master swallows the command).
+    Paging { deadline_slot: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rejoin {
+    piconet: usize,
+    device: usize,
+    detected_at: SimTime,
+    attempts: u32,
+    state: RejoinState,
+    /// `true` for a re-formation page (new bridge), not a re-page of
+    /// the original member.
+    reattach: bool,
+}
+
+/// The self-healing supervisor of one scatternet. See the module docs.
+#[derive(Debug)]
+pub struct Recovery {
+    cfg: RecoveryConfig,
+    cursor: EventCursor,
+    pending: Vec<Rejoin>,
+    /// Bridge devices whose loss already triggered a re-formation, so
+    /// the two masters detecting the same death fork only one.
+    reattached_for: Vec<usize>,
+    /// Every detected loss, in detection order.
+    pub losses: Vec<LinkLoss>,
+    /// Pages issued (initial attempts and retries).
+    pub repages: u64,
+    /// Links brought back (original member re-paged successfully).
+    pub recovered: u64,
+    /// New bridge links formed around an unrecoverable bridge.
+    pub reformed: u64,
+    /// Lost links abandoned after the retry budget.
+    pub gave_up: u64,
+    /// Per recovered/reformed link: slots from detection to the
+    /// re-join completing.
+    pub reformation_slots: Vec<u64>,
+}
+
+impl Recovery {
+    /// A supervisor with the given policy; call [`Recovery::pump`]
+    /// periodically while the simulator runs.
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        Self {
+            cfg,
+            cursor: EventCursor::default(),
+            pending: Vec::new(),
+            reattached_for: Vec::new(),
+            losses: Vec::new(),
+            repages: 0,
+            recovered: 0,
+            reformed: 0,
+            gave_up: 0,
+            reformation_slots: Vec::new(),
+        }
+    }
+
+    /// Mean detection latency over losses that had a causing fault.
+    pub fn mean_detection_latency_slots(&self) -> Option<f64> {
+        let lat: Vec<u64> = self
+            .losses
+            .iter()
+            .filter_map(|l| l.fault_latency_slots)
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        Some(lat.iter().sum::<u64>() as f64 / lat.len() as f64)
+    }
+
+    /// Mean re-formation time (detection → link back) in slots.
+    pub fn mean_reformation_slots(&self) -> Option<f64> {
+        if self.reformation_slots.is_empty() {
+            return None;
+        }
+        Some(
+            self.reformation_slots.iter().sum::<u64>() as f64 / self.reformation_slots.len() as f64,
+        )
+    }
+
+    /// Scans the event log since the last pump, registers new losses,
+    /// advances every in-flight recovery, and rebuilds `router` when
+    /// the link map changes. Call on the same cadence as
+    /// [`Router::pump`]; the cadence only delays recovery, never
+    /// changes its outcome ordering.
+    pub fn pump(&mut self, sim: &mut Simulator, map: &mut ScatternetMap, router: &mut Router) {
+        // Phase 1: fold the new events — losses in, page outcomes out.
+        let mut completed: Vec<(usize, btsim_baseband::BdAddr, u8, SimTime)> = Vec::new();
+        let mut failed: Vec<(usize, btsim_baseband::BdAddr)> = Vec::new();
+        let mut lost: Vec<(usize, usize, SimTime)> = Vec::new();
+        for e in sim.events_since(&mut self.cursor) {
+            match &e.event {
+                LcEvent::SupervisionTimeout { lt_addr } => {
+                    let n_masters = map.topology.piconets.len();
+                    if e.device < n_masters {
+                        // Master side: the lt_addr names the member.
+                        let p = e.device;
+                        if let Some(l) = map
+                            .links
+                            .iter()
+                            .find(|l| l.piconet == p && l.lt_addr == *lt_addr)
+                        {
+                            lost.push((p, l.device, e.at));
+                        }
+                    } else {
+                        // Member side: one of its masters went silent.
+                        // The lt_addr alone does not say which piconet,
+                        // so diff the map against the surviving links.
+                        let alive = sim.lc(e.device).slave_masters();
+                        for l in map.links.iter().filter(|l| l.device == e.device) {
+                            let m = map.masters[l.piconet];
+                            if !alive.iter().any(|(_, a)| *a == m) {
+                                lost.push((l.piconet, e.device, e.at));
+                            }
+                        }
+                    }
+                }
+                LcEvent::PageComplete { addr, lt_addr } => {
+                    completed.push((e.device, *addr, *lt_addr, e.at));
+                }
+                LcEvent::PageFailed { addr } => {
+                    failed.push((e.device, *addr));
+                }
+                _ => {}
+            }
+        }
+
+        let mut map_changed = false;
+        for (piconet, device, at) in lost {
+            if self
+                .pending
+                .iter()
+                .any(|r| r.piconet == piconet && r.device == device)
+            {
+                continue; // both ends reported the same death
+            }
+            // Route invalidation: the map is the alive-set, so a link
+            // both ends already reported (and removed) is not a new
+            // loss. Dead edges must leave the routing graph — BFS would
+            // otherwise happily keep routing frames into the corpse.
+            let Some(pos) = map
+                .links
+                .iter()
+                .position(|l| l.piconet == piconet && l.device == device)
+            else {
+                continue;
+            };
+            map.links.remove(pos);
+            map_changed = true;
+            self.losses.push(LinkLoss {
+                piconet,
+                device,
+                detected_at: at,
+                fault_latency_slots: fault_latency(sim, device, at),
+            });
+            if !self.cfg.enabled {
+                continue;
+            }
+            self.pending.push(Rejoin {
+                piconet,
+                device,
+                detected_at: at,
+                attempts: 0,
+                state: RejoinState::Waiting {
+                    until_slot: at.slots() + self.cfg.backoff_base_slots,
+                },
+                reattach: false,
+            });
+        }
+
+        // Phase 2: drive the pending state machines.
+        let now_slot = sim.now().slots();
+        let mut reattach_requests: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let r = self.pending[i];
+            let master_dev = map.topology.master_device(r.piconet);
+            let member_addr = sim.lc(r.device).addr();
+            match r.state {
+                RejoinState::Waiting { until_slot } if now_slot >= until_slot => {
+                    // Open the member's scan. A connected slave scans
+                    // too — that is how bridges join their second
+                    // piconet during formation, and how a surviving
+                    // slave becomes the replacement bridge here.
+                    sim.command(r.device, LcCommand::PageScan);
+                    sim.command(
+                        master_dev,
+                        LcCommand::Page {
+                            target: member_addr,
+                            clke_offset: page_offset(sim, master_dev, r.device),
+                            timeout_slots: self.cfg.attempt_cap_slots as u32,
+                        },
+                    );
+                    self.repages += 1;
+                    self.pending[i].state = RejoinState::Paging {
+                        deadline_slot: now_slot + self.cfg.attempt_cap_slots + 1,
+                    };
+                    i += 1;
+                }
+                RejoinState::Paging { deadline_slot } => {
+                    let done = completed
+                        .iter()
+                        .find(|(d, a, _, _)| *d == master_dev && *a == member_addr);
+                    if let Some(&(_, _, lt_addr, at)) = done {
+                        // Link is back: patch the map (the master may
+                        // have assigned a fresh LT_ADDR) and count it.
+                        match map
+                            .links
+                            .iter_mut()
+                            .find(|l| l.piconet == r.piconet && l.device == r.device)
+                        {
+                            Some(l) => l.lt_addr = lt_addr,
+                            None => map.links.push(ScatternetLink {
+                                piconet: r.piconet,
+                                device: r.device,
+                                lt_addr,
+                            }),
+                        }
+                        map_changed = true;
+                        if r.reattach {
+                            self.reformed += 1;
+                        } else {
+                            self.recovered += 1;
+                        }
+                        self.reformation_slots
+                            .push(at.slots().saturating_sub(r.detected_at.slots()));
+                        self.pending.swap_remove(i);
+                        continue;
+                    }
+                    let page_failed = failed
+                        .iter()
+                        .any(|(d, a)| *d == master_dev && *a == member_addr);
+                    if page_failed || now_slot > deadline_slot {
+                        let attempts = r.attempts + 1;
+                        if attempts > self.cfg.max_retries {
+                            self.gave_up += 1;
+                            if !r.reattach {
+                                reattach_requests.push(i);
+                            }
+                            self.pending[i].attempts = attempts;
+                            // Leave removal to the reattach pass below
+                            // (it needs the record); plain members are
+                            // dropped there too.
+                            i += 1;
+                        } else {
+                            let backoff =
+                                self.cfg.backoff_base_slots * self.cfg.backoff_factor.pow(attempts);
+                            self.pending[i] = Rejoin {
+                                attempts,
+                                state: RejoinState::Waiting {
+                                    until_slot: now_slot + backoff,
+                                },
+                                ..r
+                            };
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                RejoinState::Waiting { .. } => i += 1,
+            }
+        }
+
+        // Phase 3: re-form around members that stayed dead. A dead
+        // *bridge* disconnects its two piconets; promote a surviving
+        // plain slave of the partner piconet into the orphaned one so
+        // the scatternet is whole again.
+        let exhausted: Vec<Rejoin> = {
+            let mut out = Vec::new();
+            for idx in reattach_requests.into_iter().rev() {
+                out.push(self.pending.swap_remove(idx));
+            }
+            out
+        };
+        for r in exhausted {
+            let dead = r.device;
+            if self.reattached_for.contains(&dead) {
+                continue;
+            }
+            let topo = &map.topology;
+            let bridged: Vec<(usize, usize)> = topo
+                .bridges
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| topo.bridge_device(*k) == dead)
+                .map(|(_, b)| b.piconets)
+                .collect();
+            let Some(&(a, b)) = bridged.first() else {
+                continue; // a plain slave: nothing to re-form
+            };
+            self.reattached_for.push(dead);
+            // The new bridge: a surviving plain slave of either side,
+            // paged into the *other* side. Deterministic first-found
+            // order; "surviving" means it still holds its home link.
+            let candidate = [(a, b), (b, a)].into_iter().find_map(|(home, into)| {
+                (0..topo.piconets[home].n_slaves)
+                    .map(|j| topo.slave_device(home, j))
+                    .find(|&s| {
+                        s != dead
+                            && sim
+                                .lc(s)
+                                .slave_masters()
+                                .iter()
+                                .any(|(_, m)| *m == map.masters[home])
+                            && map.link(into, s).is_none()
+                    })
+                    .map(|s| (s, into))
+            });
+            if let Some((new_bridge, into)) = candidate {
+                self.pending.push(Rejoin {
+                    piconet: into,
+                    device: new_bridge,
+                    detected_at: r.detected_at,
+                    attempts: 0,
+                    state: RejoinState::Waiting {
+                        until_slot: now_slot,
+                    },
+                    reattach: true,
+                });
+            }
+        }
+
+        if map_changed {
+            router.rebuild(&map.topology, map);
+        }
+    }
+}
+
+/// Slots between the latest device fault on `device` at or before
+/// `detected` and the detection instant.
+fn fault_latency(sim: &Simulator, device: usize, detected: SimTime) -> Option<u64> {
+    let slot = detected.slots();
+    sim.fault_plan()
+        .events()
+        .iter()
+        .filter(|f| f.device == Some(device) && f.kind.is_device_fault() && f.at_slot <= slot)
+        .map(|f| f.at_slot)
+        .max()
+        .map(|at| slot - at)
+}
+
+/// Exact CLKE offset for re-paging `member` from `master_dev` — the
+/// same omniscient estimate formation uses ([`super::join`]), which is
+/// also how a drifted member becomes reachable again: the fresh
+/// estimate sees the post-jump clock.
+fn page_offset(sim: &Simulator, master_dev: usize, member: usize) -> u32 {
+    let now = sim.now();
+    sim.lc(master_dev)
+        .clkn(now)
+        .offset_to(sim.lc(member).clkn(now))
+}
+
+/// Convenience driver for scenarios: runs `sim` to `until` in
+/// `pump_every_slots` increments, pumping the router and the recovery
+/// supervisor at each boundary.
+pub fn run_supervised(
+    sim: &mut Simulator,
+    map: &mut ScatternetMap,
+    router: &mut Router,
+    recovery: &mut Recovery,
+    until: SimTime,
+    pump_every_slots: u64,
+) {
+    while sim.now() < until {
+        let next = (sim.now() + SimDuration::from_slots(pump_every_slots)).min(until);
+        sim.run_until(next);
+        router.pump(sim);
+        recovery.pump(sim, map, router);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{build_scatternet, Topology};
+    use crate::scenario::paper_config;
+    use crate::{FaultPlan, SimConfig};
+
+    fn fault_cfg(spec: &str) -> SimConfig {
+        let mut cfg = paper_config();
+        cfg.faults = FaultPlan::parse(spec).unwrap();
+        // Short supervision so the test detects the death quickly.
+        cfg.lc.supervision_timeout_slots = 800;
+        cfg
+    }
+
+    #[test]
+    fn crashed_slave_is_repaged_after_revival() {
+        // Crash p0's first plain slave mid-run, revive it a few
+        // thousand slots later, and the supervisor must bring the link
+        // back. Formation takes well under 2 000 slots here, so the
+        // crash lands on a formed link.
+        let mut topo = Topology::new();
+        topo.piconet("p0", 2);
+        let victim = topo.slave_device(0, 0);
+        let crash_at = 4_000u64;
+        let cfg = fault_cfg(&format!(
+            "crash@{crash_at}:dev={victim};revive@{}:dev={victim}",
+            crash_at + 3_000
+        ));
+        let (mut sim, mut map) = build_scatternet(&topo, 31, cfg).unwrap();
+        assert!(
+            sim.now().slots() < crash_at,
+            "crash must postdate formation"
+        );
+        let mut router = Router::new(&topo, &map);
+        let mut rec = Recovery::new(RecoveryConfig::default());
+        let horizon = SimTime::from_ns((crash_at + 40_000) * SimDuration::SLOT.ns());
+        run_supervised(&mut sim, &mut map, &mut router, &mut rec, horizon, 64);
+        assert_eq!(rec.losses.len(), 1, "one loss: {:?}", rec.losses);
+        assert_eq!(rec.losses[0].device, victim);
+        assert!(
+            rec.losses[0].fault_latency_slots.is_some(),
+            "loss is attributed to the crash"
+        );
+        assert!(rec.recovered >= 1, "link must come back: {rec:?}");
+        let masters = sim.lc(victim).slave_masters();
+        assert_eq!(masters.len(), 1, "victim re-joined: {masters:?}");
+    }
+
+    #[test]
+    fn dead_bridge_is_replaced_by_a_surviving_slave() {
+        // Two piconets joined by one bridge (device 4). The bridge
+        // crashes for good; after the retry budget the supervisor must
+        // re-form the scatternet by paging p0's surviving plain slave
+        // (device 2) into p1 — the route between the piconets returns
+        // through the new bridge.
+        use crate::net::{schedule_bridge, BridgeLink, BridgePlan, NextHop};
+        let topo = Topology::chain(2, 1);
+        let bridge = topo.bridge_device(0); // 4
+        let new_bridge = topo.slave_device(0, 0); // 2
+        let crash_at = 5_000u64;
+        let cfg = fault_cfg(&format!("crash@{crash_at}:dev={bridge}"));
+        let (mut sim, mut map) = build_scatternet(&topo, 37, cfg).unwrap();
+        assert!(
+            sim.now().slots() < crash_at,
+            "crash must postdate formation"
+        );
+        let (first, second) = BridgeLink::resolve(&topo, &map, 0).expect("formed");
+        let horizon = SimTime::from_ns((crash_at + 60_000) * SimDuration::SLOT.ns());
+        let from = sim.now();
+        schedule_bridge(
+            &mut sim,
+            &first,
+            &second,
+            &BridgePlan::default(),
+            from,
+            horizon,
+        );
+        let mut router = Router::new(&topo, &map);
+        assert!(router.next_hop(0, topo.slave_device(1, 0)).is_some());
+        let mut rec = Recovery::new(RecoveryConfig {
+            max_retries: 2,
+            ..RecoveryConfig::default()
+        });
+        run_supervised(&mut sim, &mut map, &mut router, &mut rec, horizon, 64);
+        assert!(rec.gave_up >= 1, "dead bridge exhausts retries: {rec:?}");
+        assert_eq!(rec.reformed, 1, "one replacement link: {rec:?}");
+        assert!(
+            map.link(1, new_bridge).is_some(),
+            "map gains the new bridge link: {:?}",
+            map.links
+        );
+        assert_eq!(
+            sim.lc(new_bridge).slave_masters().len(),
+            2,
+            "the slave now serves both masters"
+        );
+        assert!(router.rebuilds >= 1);
+        // The inter-piconet route flows over the new bridge.
+        match router.next_hop(0, topo.slave_device(1, 0)) {
+            Some(NextHop::Down { lt_addr }) => {
+                assert_eq!(map.link(0, new_bridge).unwrap().lt_addr, lt_addr);
+            }
+            other => panic!("route must go via the new bridge: {other:?}"),
+        }
+        assert!(
+            rec.mean_reformation_slots().is_some(),
+            "re-formation time recorded"
+        );
+    }
+
+    #[test]
+    fn disabled_recovery_records_but_does_not_repage() {
+        let mut topo = Topology::new();
+        topo.piconet("p0", 2);
+        let victim = topo.slave_device(0, 0);
+        let cfg = fault_cfg(&format!("crash@2000:dev={victim}"));
+        let (mut sim, mut map) = build_scatternet(&topo, 33, cfg).unwrap();
+        let mut router = Router::new(&topo, &map);
+        let mut rec = Recovery::new(RecoveryConfig {
+            enabled: false,
+            ..RecoveryConfig::default()
+        });
+        let horizon = SimTime::from_ns(20_000 * SimDuration::SLOT.ns());
+        run_supervised(&mut sim, &mut map, &mut router, &mut rec, horizon, 64);
+        assert_eq!(rec.losses.len(), 1);
+        assert_eq!(rec.repages, 0);
+        assert_eq!(rec.recovered, 0);
+        assert!(sim.lc(victim).slave_masters().is_empty());
+    }
+}

@@ -123,7 +123,63 @@ pub struct Router {
     pub deliveries: Vec<Delivery>,
     /// Frames re-queued at intermediate hops.
     pub forwarded: u64,
+    /// Times the route table was recomputed ([`Router::rebuild`]).
+    pub rebuilds: u64,
     next_seq: u16,
+}
+
+/// BFS route table over the master↔member link graph of `map` (every
+/// link is one hop; shortest paths, first-found tie-break —
+/// deterministic).
+fn route_table(topo: &Topology, map: &ScatternetMap) -> Vec<Vec<Option<NextHop>>> {
+    let n = topo.device_count();
+    assert!(
+        n <= 1 + u8::MAX as usize,
+        "relay frames address devices as u8: {n} devices exceed 256"
+    );
+    // Adjacency with per-edge forwarding actions.
+    let mut adj: Vec<Vec<(usize, NextHop)>> = vec![Vec::new(); n];
+    for link in &map.links {
+        let master = topo.master_device(link.piconet);
+        adj[master].push((
+            link.device,
+            NextHop::Down {
+                lt_addr: link.lt_addr,
+            },
+        ));
+        adj[link.device].push((
+            master,
+            NextHop::Up {
+                master: map.master_addr(link.piconet),
+            },
+        ));
+    }
+    let mut next: Vec<Vec<Option<NextHop>>> = vec![vec![None; n]; n];
+    for dst in 0..n {
+        // BFS from the destination; the first edge found from a
+        // device on a shortest path toward dst becomes its next hop.
+        let mut dist = vec![usize::MAX; n];
+        dist[dst] = 0;
+        let mut queue = std::collections::VecDeque::from([dst]);
+        while let Some(v) = queue.pop_front() {
+            for &(u, _) in &adj[v] {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        for dev in 0..n {
+            if dev == dst || dist[dev] == usize::MAX {
+                continue;
+            }
+            next[dev][dst] = adj[dev]
+                .iter()
+                .find(|(peer, _)| dist[*peer] + 1 == dist[dev])
+                .map(|(_, hop)| *hop);
+        }
+    }
+    next
 }
 
 impl Router {
@@ -136,62 +192,28 @@ impl Router {
     /// carry device indices as `u8`, and silent truncation would route
     /// frames to the wrong device.
     pub fn new(topo: &Topology, map: &ScatternetMap) -> Self {
-        let n = topo.device_count();
-        assert!(
-            n <= 1 + u8::MAX as usize,
-            "relay frames address devices as u8: {n} devices exceed 256"
-        );
-        // Adjacency with per-edge forwarding actions.
-        let mut adj: Vec<Vec<(usize, NextHop)>> = vec![Vec::new(); n];
-        for link in &map.links {
-            let master = topo.master_device(link.piconet);
-            adj[master].push((
-                link.device,
-                NextHop::Down {
-                    lt_addr: link.lt_addr,
-                },
-            ));
-            adj[link.device].push((
-                master,
-                NextHop::Up {
-                    master: map.master_addr(link.piconet),
-                },
-            ));
-        }
-        let mut next: Vec<Vec<Option<NextHop>>> = vec![vec![None; n]; n];
-        for dst in 0..n {
-            // BFS from the destination; the first edge found from a
-            // device on a shortest path toward dst becomes its next hop.
-            let mut dist = vec![usize::MAX; n];
-            dist[dst] = 0;
-            let mut queue = std::collections::VecDeque::from([dst]);
-            while let Some(v) = queue.pop_front() {
-                for &(u, _) in &adj[v] {
-                    if dist[u] == usize::MAX {
-                        dist[u] = dist[v] + 1;
-                        queue.push_back(u);
-                    }
-                }
-            }
-            for dev in 0..n {
-                if dev == dst || dist[dev] == usize::MAX {
-                    continue;
-                }
-                next[dev][dst] = adj[dev]
-                    .iter()
-                    .find(|(peer, _)| dist[*peer] + 1 == dist[dev])
-                    .map(|(_, hop)| *hop);
-            }
-        }
         Self {
-            next,
+            next: route_table(topo, map),
             cursor: EventCursor::default(),
             sent: Vec::new(),
             sent_total: 0,
             deliveries: Vec::new(),
             forwarded: 0,
+            rebuilds: 0,
             next_seq: 0,
         }
+    }
+
+    /// Invalidates every route and recomputes the table from the
+    /// current link map — the re-discovery step after the recovery
+    /// supervisor changes the scatternet (a member re-paged under a
+    /// fresh LT_ADDR, or a new bridge link formed around a dead one).
+    /// Counters, in-flight send records and the log cursor are kept:
+    /// frames already travelling keep being pumped and deliver over
+    /// the new routes.
+    pub fn rebuild(&mut self, topo: &Topology, map: &ScatternetMap) {
+        self.next = route_table(topo, map);
+        self.rebuilds += 1;
     }
 
     /// The next hop `device` uses toward `dst` (`None`: unreachable).
@@ -202,6 +224,21 @@ impl Router {
     /// Messages sent so far.
     pub fn sent_count(&self) -> u64 {
         self.sent_total
+    }
+
+    /// Delivered / sent — the end-to-end delivery ratio (1.0 when
+    /// nothing was sent yet).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent_total == 0 {
+            return 1.0;
+        }
+        self.deliveries.len() as f64 / self.sent_total as f64
+    }
+
+    /// Send records still awaiting delivery — at the end of a run,
+    /// the frames orphaned in dead devices or flushed buffers.
+    pub fn in_flight(&self) -> usize {
+        self.sent.len()
     }
 
     /// Queues `payload` at `src` addressed to `dst`; returns the

@@ -17,6 +17,7 @@
 //! contract and the differential harness that gates both engines to
 //! bit-identical behaviour.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::{MetricsSnapshot, MetricsStream};
 use crate::observe::{merge_since, ObsCursor, SimEvent};
 use btsim_baseband::{
@@ -24,7 +25,8 @@ use btsim_baseband::{
     LinkController, Llid, RxDelivery, StatSide,
 };
 use btsim_channel::{
-    ChannelConfig, ChannelQuality, DutyClass, Medium, Position, SpatialConfig, TxId, TxStats,
+    ChannelConfig, ChannelQuality, DutyClass, Interferer, Medium, Position, SpatialConfig, TxId,
+    TxStats,
 };
 use btsim_coding::BitVec;
 use btsim_fidelity::{ErrorModel, Fidelity};
@@ -185,6 +187,12 @@ pub struct SimConfig {
     /// run to a single timeline — the knob is ignored and the run is
     /// monolithic.
     pub shards: usize,
+    /// Deterministic fault script (`docs/FAULTS.md`): device crashes,
+    /// radio mutes/degrades, clock jumps and noise bursts, scheduled as
+    /// ordinary calendar events so both engines apply each fault at the
+    /// same instant. Empty by default. Parse a `--faults` CLI spec with
+    /// [`FaultPlan::parse`], or generate churn with [`FaultPlan::churn`].
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -200,6 +208,7 @@ impl Default for SimConfig {
             engine: Engine::default(),
             fidelity: Fidelity::default(),
             shards: 1,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -264,6 +273,13 @@ enum Ev {
     WindowClose {
         dev: usize,
         id: u64,
+    },
+    /// A scheduled fault from the simulator's [`FaultPlan`], by index.
+    /// Scheduled at build time, so its insertion sequence precedes every
+    /// re-scheduled tick/wake at the same instant — faults apply before
+    /// any device acts at their instant, under both engines.
+    Fault {
+        idx: usize,
     },
 }
 
@@ -417,6 +433,13 @@ impl SimBuilder {
     /// metrics streaming need a single merged timeline, so any of them
     /// pins the build to the monolithic path.
     pub fn build(self) -> Simulator {
+        if let Some(max) = self.cfg.faults.max_device() {
+            assert!(
+                max < self.specs.len(),
+                "fault plan targets device {max}, but only {} devices exist",
+                self.specs.len()
+            );
+        }
         let pinned_mono = self.cfg.trace || self.cfg.capture || self.cfg.metrics_every.is_some();
         let workers = if pinned_mono {
             1
@@ -524,6 +547,14 @@ impl SimBuilder {
             merge_done: vec![(0, 0); ncomp],
             workers,
             comp_of,
+            // The shell keeps the full (un-remapped) plan for
+            // introspection; each shard holds — and schedules — its own
+            // restriction.
+            faults: self.cfg.faults,
+            crashed: Vec::new(),
+            muted: Vec::new(),
+            drifted: Vec::new(),
+            faults_applied: 0,
         }
     }
 
@@ -546,6 +577,28 @@ impl SimBuilder {
         let monitor = PowerMonitor::new(self.specs.len(), LifePhase::Standby);
         let mut devices = Vec::with_capacity(self.specs.len());
         let mut cal = Calendar::new();
+        // Schedule the fault script first: build-time insertion gives
+        // every fault a lower sequence number than any re-scheduled
+        // tick or wake, so a fault at instant T dispatches before any
+        // device acts at T — identically under both engines. An inner
+        // shard sees only its own devices' faults (remapped to local
+        // indices) plus every noise fault, which is exactly what keeps
+        // sharded runs bit-identical to monolithic ones.
+        let faults = match globals {
+            Some(g) => self.cfg.faults.restricted_to(g),
+            None => self.cfg.faults.clone(),
+        };
+        if let Some(max) = faults.max_device() {
+            assert!(
+                max < self.specs.len(),
+                "fault plan targets device {max}, but only {} devices exist",
+                self.specs.len()
+            );
+        }
+        for (idx, ev) in faults.events().iter().enumerate() {
+            let at = SimTime::from_ns(ev.at_slot * SimDuration::SLOT.ns());
+            cal.schedule(at, Ev::Fault { idx });
+        }
         for (i, (name, addr, role)) in self.specs.iter().enumerate() {
             let g = globals.map_or(i, |g| g[i]) as u64;
             if self.cfg.channel.spatial.is_some() {
@@ -625,6 +678,11 @@ impl SimBuilder {
             merge_done: Vec::new(),
             workers: 1,
             comp_of,
+            faults,
+            crashed: vec![false; n],
+            muted: vec![false; n],
+            drifted: vec![false; n],
+            faults_applied: 0,
         }
     }
 }
@@ -705,6 +763,24 @@ pub struct Simulator {
     /// device; empty without a spatial model (everything is one
     /// implicit component).
     comp_of: Vec<usize>,
+    /// The fault script driving [`Ev::Fault`] dispatches. In an inner
+    /// shard this is already restricted to the shard's devices (local
+    /// indices); the sharded shell keeps the full plan for
+    /// introspection but schedules nothing itself.
+    faults: FaultPlan,
+    /// Per-device crashed flag: commands, transmissions and receptions
+    /// of a crashed device are discarded until its revive fault.
+    crashed: Vec<bool>,
+    /// Per-device radio mute: the device transmits nothing and hears
+    /// nothing, but its controller logic keeps running.
+    muted: Vec<bool>,
+    /// Devices whose native clock has jumped ([`FaultKind::Drift`]).
+    /// Permanently blocks the statistical tier for their links: the
+    /// tier's closed forms assume the pair's clocks agree, which only a
+    /// bit-level re-page can re-establish.
+    drifted: Vec<bool>,
+    /// Fault events dispatched so far (metrics hub).
+    faults_applied: u64,
 }
 
 /// `run_until_event`-style search hit its time horizon with no matching
@@ -832,6 +908,11 @@ impl Simulator {
         s.push_counter("fidelity.promotions", fp);
         s.push_counter("fidelity.demotions", fd);
         s.push_counter("engine.steps", self.steps_total());
+        let fa = self
+            .shards
+            .iter()
+            .fold(self.faults_applied, |a, sh| a + sh.faults_applied);
+        s.push_counter("faults.applied", fa);
         s.push_counter("events.lc", self.events.len() as u64);
         s.push_counter("events.lm", self.lm_events.len() as u64);
         s.push_counter("capture.records", self.medium.capture().len() as u64);
@@ -840,6 +921,10 @@ impl Simulator {
             let lc = self.lc(d);
             s.push_counter(format!("dev{d}.power.tx_us"), rep.tx.us());
             s.push_counter(format!("dev{d}.power.rx_us"), rep.rx.us());
+            s.push_counter(
+                format!("dev{d}.buffer.dropped_bytes"),
+                lc.dropped_tx_bytes(),
+            );
             s.push_gauge(
                 format!("dev{d}.buffer.queued_bytes"),
                 lc.queued_tx_bytes() as f64,
@@ -915,6 +1000,28 @@ impl Simulator {
     /// The engine driving this simulator.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// The fault plan this simulator was built with. A sharded shell
+    /// reports the full plan; each shard holds (and schedules) only the
+    /// restriction to its own devices plus all noise faults.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether `dev` is currently crashed (powered off by a
+    /// [`FaultKind::Crash`] and not yet revived).
+    pub fn device_crashed(&self, dev: usize) -> bool {
+        if self.sharded() {
+            let (s, l) = self.shard_of[dev];
+            return self.shards[s].crashed[l];
+        }
+        self.crashed[dev]
+    }
+
+    /// Fault events applied so far, across all shards.
+    pub fn faults_applied(&self) -> u64 {
+        self.faults_applied + self.shards.iter().map(|s| s.faults_applied).sum::<u64>()
     }
 
     /// Calendar events dispatched so far — the engine's unit of work.
@@ -995,6 +1102,9 @@ impl Simulator {
             self.shards[s].lm_request(l, f);
             self.merge_shard_logs();
             return;
+        }
+        if self.crashed[dev] {
+            return; // powered off: the host stack is down too
         }
         let now = self.cal.now();
         let now_slot = now.slots();
@@ -1305,6 +1415,9 @@ impl Simulator {
                 self.arm_wake();
             }
             Ev::Command { dev, cmd, inserted } => {
+                if self.crashed[dev] {
+                    return; // powered off: queued host commands are lost
+                }
                 self.capture_lmp_out(dev, &cmd, t);
                 let actions = self.devices[dev].lc.command(cmd, t);
                 self.apply_actions(dev, actions, t);
@@ -1322,6 +1435,9 @@ impl Simulator {
                 self.rearm_wakeup(dev, floor);
             }
             Ev::TxStart { dev, channel, bits } => {
+                if self.crashed[dev] || self.muted[dev] {
+                    return; // the packet never reaches the antenna
+                }
                 let dur = SimDuration::from_bits(bits.len());
                 let end = t + dur;
                 self.monitor.add_tx(dev, t, end);
@@ -1338,6 +1454,9 @@ impl Simulator {
                 for (i, cell) in self.devices.iter_mut().enumerate() {
                     if i == dev || cell.rx_busy_until > t || !self.medium.in_range(dev, i) {
                         continue;
+                    }
+                    if self.crashed[i] || self.muted[i] {
+                        continue; // faulted radio hears nothing
                     }
                     let Some(w) = &cell.active else { continue };
                     if w.channel != channel {
@@ -1370,6 +1489,9 @@ impl Simulator {
                     end: rec.end,
                 };
                 for dev in listeners {
+                    if self.crashed[dev] || self.muted[dev] {
+                        continue; // faulted after the window latched on
+                    }
                     let actions = self.devices[dev].lc.on_rx(&rxd, t);
                     self.apply_actions(dev, actions, t);
                     // Receptions land off the half-slot grid (packet end
@@ -1407,6 +1529,7 @@ impl Simulator {
                 let w = cell.active.take().expect("checked above");
                 self.commit_rx(dev, w.opened_at, t);
             }
+            Ev::Fault { idx } => self.apply_fault(idx, t),
         }
     }
 
@@ -1542,6 +1665,8 @@ impl Simulator {
                 == self.devices[s_dev].lc.afh_map_at(now_slot)
             && self.devices[m_dev].lm.next_pending_slot().is_none()
             && self.devices[s_dev].lm.next_pending_slot().is_none()
+            && !self.fault_touched(m_dev)
+            && !self.fault_touched(s_dev)
             && self.comp_quiet(m_dev, t)
             && self.pair_channels_clear(m_dev, now_slot)
             && [m_dev, s_dev].iter().all(|&d| {
@@ -1594,6 +1719,15 @@ impl Simulator {
                 Ev::Deliver { listeners, .. } => {
                     listeners.iter().any(|&d| self.same_comp(d, m_dev))
                 }
+                // A pending fault bounds the batch like any other
+                // outside disturbance. Noise faults are global (they
+                // retune the whole band); device faults matter iff the
+                // target shares the pair's component — exactly the set
+                // of faults a sharded run's own calendar would contain.
+                Ev::Fault { idx } => match self.faults.events()[*idx].device {
+                    None => true,
+                    Some(d) => self.same_comp(d, m_dev),
+                },
             };
             if relevant {
                 horizon = horizon.min(at);
@@ -1712,6 +1846,102 @@ impl Simulator {
     /// the in-range graph. Always true without a spatial model.
     fn same_comp(&self, a: usize, b: usize) -> bool {
         self.comp_of.is_empty() || self.comp_of[a] == self.comp_of[b]
+    }
+
+    // ----- faults ----------------------------------------------------------
+
+    /// Whether a fault currently touches `d` — crashed, muted, drifted,
+    /// or with a BER degrade on its radio. Any of these breaks the
+    /// statistical tier's closed-form assumptions for links involving
+    /// `d`, so the stability gate refuses batches over it.
+    fn fault_touched(&self, d: usize) -> bool {
+        self.crashed[d] || self.muted[d] || self.drifted[d] || self.medium.degraded(d)
+    }
+
+    /// Demotes every promoted master affected by a fault landing now:
+    /// all promoted links in `around`'s connected component for device
+    /// faults, or globally (`None`) for band-wide noise faults. Logged
+    /// as [`LcEvent::FidelityChanged`] at the fault instant, so the
+    /// event log pins the demotion to the fault under both engines.
+    fn demote_promoted(&mut self, around: Option<usize>, t: SimTime) {
+        let hit: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| around.is_none_or(|a| self.same_comp(a, d)))
+            .filter(|&d| self.devices[d].lc.stat_promoted())
+            .collect();
+        for d in hit {
+            self.devices[d].lc.set_stat_promoted(false);
+            self.log_stat_event(d, t, LcEvent::FidelityChanged { promoted: false });
+        }
+    }
+
+    /// Applies fault `idx` of the plan at its scheduled instant. Faults
+    /// are scheduled at build time, so they dispatch ahead of every
+    /// tick/wake sharing their instant — state below is what the
+    /// devices' own processing at `t` observes, under both engines.
+    fn apply_fault(&mut self, idx: usize, t: SimTime) {
+        let ev = self.faults.events()[idx];
+        match ev.kind {
+            FaultKind::Crash => {
+                let dev = ev.device.expect("device fault");
+                self.demote_promoted(Some(dev), t);
+                self.crashed[dev] = true;
+                // Power off the controller (kills links, flushes
+                // buffers, logs the dropped user bytes) and reset the
+                // manager: a revived device restarts from standby with
+                // its role intact but no link state — peers only learn
+                // of the death through their supervision timers.
+                let actions = self.devices[dev].lc.command(LcCommand::PowerOff, t);
+                self.apply_actions(dev, actions, t);
+                let role = self.devices[dev].lm.role();
+                self.devices[dev].lm = LinkManager::new(role);
+                self.rearm_wakeup(dev, t);
+            }
+            FaultKind::Revive => {
+                let dev = ev.device.expect("device fault");
+                self.crashed[dev] = false;
+                self.rearm_wakeup(dev, t);
+            }
+            FaultKind::Mute => {
+                let dev = ev.device.expect("device fault");
+                self.demote_promoted(Some(dev), t);
+                self.muted[dev] = true;
+            }
+            FaultKind::Unmute => {
+                let dev = ev.device.expect("device fault");
+                self.muted[dev] = false;
+            }
+            FaultKind::Degrade { ber, ramp_slots } => {
+                let dev = ev.device.expect("device fault");
+                self.demote_promoted(Some(dev), t);
+                self.medium
+                    .set_degrade(dev, ber, t, SimDuration::from_slots(ramp_slots));
+            }
+            FaultKind::Heal => {
+                let dev = ev.device.expect("device fault");
+                self.demote_promoted(Some(dev), t);
+                self.medium.clear_degrade(dev);
+            }
+            FaultKind::Drift { ticks } => {
+                let dev = ev.device.expect("device fault");
+                self.demote_promoted(Some(dev), t);
+                self.drifted[dev] = true;
+                self.devices[dev].lc.clock_jump(ticks);
+                self.rearm_wakeup(dev, t);
+            }
+            FaultKind::NoiseOn { lo, width, duty } => {
+                self.demote_promoted(None, t);
+                self.medium.add_interferer(Interferer {
+                    first_channel: lo,
+                    width,
+                    duty,
+                });
+            }
+            FaultKind::NoiseOff { lo, width } => {
+                self.demote_promoted(None, t);
+                self.medium.remove_interferer(lo, width);
+            }
+        }
+        self.faults_applied += 1;
     }
 
     /// Component-scoped medium quiescence: whether every device in

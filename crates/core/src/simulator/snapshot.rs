@@ -114,6 +114,10 @@ impl Snap for Ev {
                 w.put_usize(*dev);
                 w.put_u64(*id);
             }
+            Ev::Fault { idx } => {
+                w.put_u8(7);
+                w.put_usize(*idx);
+            }
         }
     }
 
@@ -142,6 +146,9 @@ impl Snap for Ev {
             6 => Ev::WindowClose {
                 dev: r.take_usize()?,
                 id: r.take_u64()?,
+            },
+            7 => Ev::Fault {
+                idx: r.take_usize()?,
             },
             _ => return Err(r.malformed("unknown calendar event tag")),
         })
@@ -234,6 +241,11 @@ impl Snap for Simulator {
         self.merge_done.snap(w);
         w.put_usize(self.workers);
         self.comp_of.snap(w);
+        self.faults.snap(w);
+        self.crashed.snap(w);
+        self.muted.snap(w);
+        self.drifted.snap(w);
+        w.put_u64(self.faults_applied);
     }
 
     fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
@@ -266,6 +278,11 @@ impl Snap for Simulator {
             merge_done: Vec::unsnap(r)?,
             workers: r.take_usize()?,
             comp_of: Vec::unsnap(r)?,
+            faults: FaultPlan::unsnap(r)?,
+            crashed: Vec::unsnap(r)?,
+            muted: Vec::unsnap(r)?,
+            drifted: Vec::unsnap(r)?,
+            faults_applied: r.take_u64()?,
         };
         validate(&sim, r)?;
         Ok(sim)
@@ -287,6 +304,12 @@ fn validate(sim: &Simulator, r: &SnapReader<'_>) -> Result<(), SnapshotError> {
             return Err(r.malformed("component map length mismatches device count"));
         }
         let n = sim.devices.len();
+        if sim.crashed.len() != n || sim.muted.len() != n || sim.drifted.len() != n {
+            return Err(r.malformed("fault flag array length mismatches device count"));
+        }
+        if sim.faults.max_device().is_some_and(|max| max >= n) {
+            return Err(r.malformed("fault plan targets unknown device"));
+        }
         for (_, _, ev) in sim.cal.entries() {
             let ok = match ev {
                 Ev::Tick(d)
@@ -296,6 +319,7 @@ fn validate(sim: &Simulator, r: &SnapReader<'_>) -> Result<(), SnapshotError> {
                 | Ev::WindowClose { dev: d, .. } => *d < n,
                 Ev::Deliver { listeners, .. } => listeners.iter().all(|&l| l < n),
                 Ev::Wake { .. } => true,
+                Ev::Fault { idx } => *idx < sim.faults.events().len(),
             };
             if !ok {
                 return Err(r.malformed("calendar event references unknown device"));

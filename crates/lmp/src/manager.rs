@@ -47,6 +47,9 @@ pub enum LmEvent {
     PeerDetached {
         /// Link affected.
         lt_addr: u8,
+        /// Error code carried by `LMP_detach` (e.g. 0x13 user-requested,
+        /// 0x08 supervision timeout).
+        reason: u8,
     },
     /// The peer accepted our `LMP_set_AFH`; both ends switch at the
     /// announced instant.
@@ -130,11 +133,21 @@ pub struct LinkManager {
     /// Requests we sent and await a response for.
     outstanding: VecDeque<Outstanding>,
     setup_done: Vec<u8>,
+    /// Response deadline for request/response transactions, in slots.
+    /// A request unanswered this long after it was sent resolves to
+    /// [`LmEvent::RequestTimedOut`] — the only way a transaction with a
+    /// crashed peer ever terminates. `LMP_set_AFH` keeps its tighter
+    /// deadline (the switch instant).
+    response_timeout_slots: u64,
 }
 
 /// Slots between the agreed instant and "now" when scheduling a mode
 /// change, giving the acceptance PDU time to be delivered and ACKed.
 const MODE_CHANGE_LEAD_SLOTS: u64 = 12;
+
+/// Default LMP response timeout: the spec's 30 s LMP response timer,
+/// expressed in 625 µs slots.
+const RESPONSE_TIMEOUT_SLOTS: u64 = 48_000;
 
 impl LinkManager {
     /// Creates a manager for one side of a piconet.
@@ -144,12 +157,23 @@ impl LinkManager {
             pending: Vec::new(),
             outstanding: VecDeque::new(),
             setup_done: Vec::new(),
+            response_timeout_slots: RESPONSE_TIMEOUT_SLOTS,
         }
     }
 
     /// The configured role.
     pub fn role(&self) -> LmRole {
         self.role
+    }
+
+    /// Overrides the LMP response timeout (slots). `0` keeps requests
+    /// pending forever — only useful in tests.
+    pub fn set_response_timeout_slots(&mut self, slots: u64) {
+        self.response_timeout_slots = slots;
+    }
+
+    fn response_deadline(&self, now_slot: u64) -> Option<u64> {
+        (self.response_timeout_slots > 0).then(|| now_slot + self.response_timeout_slots)
     }
 
     fn tid(&self) -> bool {
@@ -165,12 +189,12 @@ impl LinkManager {
     }
 
     /// Starts connection setup (host_connection_req → setup_complete).
-    pub fn start_setup(&mut self, lt_addr: u8) -> Vec<LmOutput> {
+    pub fn start_setup(&mut self, lt_addr: u8, now_slot: u64) -> Vec<LmOutput> {
         let pdu = Pdu::HostConnectionReq;
         self.outstanding.push_back(Outstanding {
             lt_addr,
             pdu: pdu.clone(),
-            deadline_slot: None,
+            deadline_slot: self.response_deadline(now_slot),
         });
         vec![self.send(lt_addr, &pdu)]
     }
@@ -191,7 +215,7 @@ impl LinkManager {
         self.outstanding.push_back(Outstanding {
             lt_addr,
             pdu: pdu.clone(),
-            deadline_slot: None,
+            deadline_slot: self.response_deadline(now_slot),
         });
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
@@ -208,7 +232,7 @@ impl LinkManager {
         self.outstanding.push_back(Outstanding {
             lt_addr,
             pdu: pdu.clone(),
-            deadline_slot: None,
+            deadline_slot: self.response_deadline(now_slot),
         });
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
@@ -229,7 +253,7 @@ impl LinkManager {
         self.outstanding.push_back(Outstanding {
             lt_addr,
             pdu: pdu.clone(),
-            deadline_slot: None,
+            deadline_slot: self.response_deadline(now_slot),
         });
         self.pending.push(PendingMode {
             at_slot: instant,
@@ -256,7 +280,7 @@ impl LinkManager {
         self.outstanding.push_back(Outstanding {
             lt_addr,
             pdu: pdu.clone(),
-            deadline_slot: None,
+            deadline_slot: self.response_deadline(now_slot),
         });
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
@@ -285,7 +309,7 @@ impl LinkManager {
         self.outstanding.push_back(Outstanding {
             lt_addr,
             pdu: pdu.clone(),
-            deadline_slot: None,
+            deadline_slot: self.response_deadline(now_slot),
         });
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
@@ -345,13 +369,54 @@ impl LinkManager {
     /// scheduled a few slots later so the notification can reach the peer
     /// before the link (and its transmit queue) disappears.
     pub fn request_detach(&mut self, lt_addr: u8, now_slot: u64) -> Vec<LmOutput> {
+        // 0x13: "remote user terminated connection".
+        self.request_detach_with_reason(lt_addr, 0x13, now_slot)
+    }
+
+    /// [`LinkManager::request_detach`] with an explicit `LMP_detach`
+    /// error code, so the peer's host learns *why* (0x08 = connection
+    /// timeout, 0x13 = user requested, ...).
+    pub fn request_detach_with_reason(
+        &mut self,
+        lt_addr: u8,
+        reason: u8,
+        now_slot: u64,
+    ) -> Vec<LmOutput> {
         self.pending.push(PendingMode {
             at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
             command: LcCommand::Detach { lt_addr },
             of: Opcode::Detach,
             lt_addr,
         });
-        vec![self.send(lt_addr, &Pdu::Detach { reason: 0x13 })]
+        vec![self.send(lt_addr, &Pdu::Detach { reason })]
+    }
+
+    /// Negotiates the link supervision timeout (`LMP_supervision_timeout`,
+    /// master side): the PDU announces `timeout_slots` to the slave, which
+    /// applies it on reception; the local controller switches at the same
+    /// lead-time instant as other mode changes. A value of `0` disables
+    /// supervision on the link.
+    pub fn request_supervision_timeout(
+        &mut self,
+        lt_addr: u8,
+        timeout_slots: u16,
+        now_slot: u64,
+    ) -> Vec<LmOutput> {
+        let pdu = Pdu::SupervisionTimeout { timeout_slots };
+        self.outstanding.push_back(Outstanding {
+            lt_addr,
+            pdu: pdu.clone(),
+            deadline_slot: self.response_deadline(now_slot),
+        });
+        self.pending.push(PendingMode {
+            at_slot: now_slot + MODE_CHANGE_LEAD_SLOTS,
+            command: LcCommand::SetSupervisionTimeout {
+                timeout_slots: timeout_slots as u32,
+            },
+            of: Opcode::SupervisionTimeout,
+            lt_addr,
+        });
+        vec![self.send(lt_addr, &pdu)]
     }
 
     /// The earliest slot at which a pending mode change falls due or an
@@ -608,9 +673,24 @@ impl LinkManager {
                     map,
                 }));
             }
-            Pdu::Detach { .. } => {
+            Pdu::SupervisionTimeout { timeout_slots } => {
+                out.push(self.send(
+                    lt_addr,
+                    &Pdu::Accepted {
+                        of: Opcode::SupervisionTimeout,
+                    },
+                ));
+                out.push(LmOutput::Command(LcCommand::SetSupervisionTimeout {
+                    timeout_slots: timeout_slots as u32,
+                }));
+                out.push(LmOutput::Event(LmEvent::ModeApplied {
+                    lt_addr,
+                    of: Opcode::SupervisionTimeout,
+                }));
+            }
+            Pdu::Detach { reason } => {
                 out.push(LmOutput::Command(LcCommand::Detach { lt_addr }));
-                out.push(LmOutput::Event(LmEvent::PeerDetached { lt_addr }));
+                out.push(LmOutput::Event(LmEvent::PeerDetached { lt_addr, reason }));
             }
         }
         out
@@ -681,9 +761,10 @@ impl Snap for LmEvent {
                 w.put_u8(*lt_addr);
                 of.snap(w);
             }
-            LmEvent::PeerDetached { lt_addr } => {
+            LmEvent::PeerDetached { lt_addr, reason } => {
                 w.put_u8(3);
                 w.put_u8(*lt_addr);
+                w.put_u8(*reason);
             }
             LmEvent::AfhAccepted { lt_addr } => {
                 w.put_u8(4);
@@ -717,6 +798,7 @@ impl Snap for LmEvent {
             },
             3 => LmEvent::PeerDetached {
                 lt_addr: r.take_u8()?,
+                reason: r.take_u8()?,
             },
             4 => LmEvent::AfhAccepted {
                 lt_addr: r.take_u8()?,
@@ -774,6 +856,7 @@ impl Snap for LinkManager {
         self.pending.snap(w);
         self.outstanding.snap(w);
         self.setup_done.snap(w);
+        w.put_u64(self.response_timeout_slots);
     }
 
     fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
@@ -782,6 +865,7 @@ impl Snap for LinkManager {
             pending: Vec::unsnap(r)?,
             outstanding: VecDeque::unsnap(r)?,
             setup_done: Vec::unsnap(r)?,
+            response_timeout_slots: r.take_u64()?,
         })
     }
 }
@@ -820,7 +904,7 @@ mod tests {
     fn connection_setup_handshake() {
         let mut master = LinkManager::new(LmRole::Master);
         let mut slave = LinkManager::new(LmRole::Slave);
-        let m1 = master.start_setup(1);
+        let m1 = master.start_setup(1, 0);
         let s1 = deliver(&mut slave, &m1, 0);
         // Slave answers accepted + setup_complete.
         assert_eq!(commands(&s1).len(), 2);
@@ -939,12 +1023,94 @@ mod tests {
             .iter()
             .any(|c| matches!(c, LcCommand::Detach { lt_addr: 3 })));
         let s1 = deliver(&mut slave, &m1, 0);
-        assert!(s1
-            .iter()
-            .any(|o| matches!(o, LmOutput::Event(LmEvent::PeerDetached { lt_addr: 3 }))));
+        assert!(s1.iter().any(|o| matches!(
+            o,
+            LmOutput::Event(LmEvent::PeerDetached {
+                lt_addr: 3,
+                reason: 0x13
+            })
+        )));
         assert!(commands(&s1)
             .iter()
             .any(|c| matches!(c, LcCommand::Detach { lt_addr: 3 })));
+    }
+
+    #[test]
+    fn supervision_timeout_negotiation_applies_on_both_sides() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        let m1 = master.request_supervision_timeout(1, 16_000, 100);
+        // The slave applies the announced value on reception and accepts.
+        let s1 = deliver(&mut slave, &m1, 101);
+        assert!(commands(&s1).iter().any(|c| matches!(
+            c,
+            LcCommand::SetSupervisionTimeout {
+                timeout_slots: 16_000
+            }
+        )));
+        assert!(s1.iter().any(|o| matches!(
+            o,
+            LmOutput::Event(LmEvent::ModeApplied {
+                lt_addr: 1,
+                of: Opcode::SupervisionTimeout
+            })
+        )));
+        // The acceptance clears the master's outstanding request ...
+        let _ = deliver(&mut master, &s1, 102);
+        // ... and the master applies its own copy at the agreed lead.
+        let mo = master.poll(100 + MODE_CHANGE_LEAD_SLOTS);
+        assert!(commands(&mo).iter().any(|c| matches!(
+            c,
+            LcCommand::SetSupervisionTimeout {
+                timeout_slots: 16_000
+            }
+        )));
+        assert_eq!(master.next_pending_slot(), None);
+        assert!(master.poll(u64::MAX).is_empty(), "nothing left to expire");
+    }
+
+    #[test]
+    fn unanswered_request_times_out_exactly_at_the_deadline() {
+        let mut master = LinkManager::new(LmRole::Master);
+        master.set_response_timeout_slots(200);
+        let _ = master.start_setup(1, 40);
+        // The deadline is the wakeup hint; the tick before is a no-op.
+        assert_eq!(master.next_pending_slot(), Some(240));
+        assert!(master.poll(239).is_empty());
+        let outs = master.poll(240);
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            LmOutput::Event(LmEvent::RequestTimedOut {
+                lt_addr: 1,
+                of: Opcode::HostConnectionReq
+            })
+        )));
+        assert!(master.poll(u64::MAX).is_empty(), "expires once only");
+    }
+
+    #[test]
+    fn zero_response_timeout_keeps_requests_pending_forever() {
+        let mut master = LinkManager::new(LmRole::Master);
+        master.set_response_timeout_slots(0);
+        let _ = master.start_setup(1, 40);
+        assert_eq!(master.next_pending_slot(), None);
+        assert!(master.poll(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn detach_reason_propagates_to_the_peer_host() {
+        let mut master = LinkManager::new(LmRole::Master);
+        let mut slave = LinkManager::new(LmRole::Slave);
+        // 0x08: connection timeout — the reason supervision teardown uses.
+        let m1 = master.request_detach_with_reason(2, 0x08, 10);
+        let s1 = deliver(&mut slave, &m1, 11);
+        assert!(s1.iter().any(|o| matches!(
+            o,
+            LmOutput::Event(LmEvent::PeerDetached {
+                lt_addr: 2,
+                reason: 0x08
+            })
+        )));
     }
 
     #[test]
@@ -1106,7 +1272,7 @@ mod tests {
         let mut lm = LinkManager::new(LmRole::Master);
         lm.request_sniff(1, SniffParams::default(), 100);
         lm.request_set_afh(2, ChannelMap::blocking(29..=50), 200);
-        lm.start_setup(3);
+        lm.start_setup(3, 50);
         let mut w = SnapWriter::new();
         lm.snap(&mut w);
         let bytes = w.into_bytes();

@@ -35,6 +35,8 @@ pub enum Opcode {
     HostConnectionReq = 51,
     /// Link setup finished.
     SetupComplete = 49,
+    /// Negotiate the link supervision timeout.
+    SupervisionTimeout = 55,
     /// Switch the piconet's AFH channel map at an announced instant.
     SetAfh = 60,
     /// A slave reports its channel classification to the master.
@@ -55,6 +57,7 @@ impl Opcode {
             45 => Opcode::ScoLinkReq,
             51 => Opcode::HostConnectionReq,
             49 => Opcode::SetupComplete,
+            55 => Opcode::SupervisionTimeout,
             60 => Opcode::SetAfh,
             63 => Opcode::ChannelClassification,
             _ => return None,
@@ -123,6 +126,12 @@ pub enum Pdu {
     HostConnectionReq,
     /// `LMP_setup_complete`.
     SetupComplete,
+    /// `LMP_supervision_timeout(timeout)` — the master tells the slave
+    /// the `supervisionTO` both ends enforce (0 disables supervision).
+    SupervisionTimeout {
+        /// Timeout in slots (spec default 0x7D00 = 32000 = 20 s).
+        timeout_slots: u16,
+    },
     /// `LMP_set_AFH(instant, mode, map)` — the master announces the AFH
     /// channel map the piconet hops on from `instant` onward.
     SetAfh {
@@ -156,6 +165,7 @@ impl Pdu {
             Pdu::ScoLinkReq { .. } => Opcode::ScoLinkReq,
             Pdu::HostConnectionReq => Opcode::HostConnectionReq,
             Pdu::SetupComplete => Opcode::SetupComplete,
+            Pdu::SupervisionTimeout { .. } => Opcode::SupervisionTimeout,
             Pdu::SetAfh { .. } => Opcode::SetAfh,
             Pdu::ChannelClassification { .. } => Opcode::ChannelClassification,
         }
@@ -212,6 +222,9 @@ impl Pdu {
             Pdu::ChannelClassification { map } => {
                 out.extend_from_slice(&map.to_bytes());
             }
+            Pdu::SupervisionTimeout { timeout_slots } => {
+                out.extend_from_slice(&timeout_slots.to_le_bytes());
+            }
             Pdu::UnsniffReq | Pdu::HostConnectionReq | Pdu::SetupComplete => {}
         }
         out
@@ -265,6 +278,9 @@ impl Pdu {
             },
             Opcode::HostConnectionReq => Pdu::HostConnectionReq,
             Opcode::SetupComplete => Pdu::SetupComplete,
+            Opcode::SupervisionTimeout => Pdu::SupervisionTimeout {
+                timeout_slots: le16(0)?,
+            },
             Opcode::SetAfh => {
                 let instant = u32::from_le_bytes([
                     *rest.first()?,
@@ -349,6 +365,9 @@ mod tests {
         });
         roundtrip(Pdu::HostConnectionReq);
         roundtrip(Pdu::SetupComplete);
+        roundtrip(Pdu::SupervisionTimeout {
+            timeout_slots: 0x7D00,
+        });
         roundtrip(Pdu::SetAfh {
             instant: 0x00C0_FFEE,
             enabled: true,

@@ -175,6 +175,40 @@
 //! assert!(out.kbps > 0.0);
 //! ```
 //!
+//! Failures are scripted, not sampled (see `docs/FAULTS.md`): a
+//! `FaultPlan` — crashes, radio mutes, BER-ramped degrades, clock
+//! drift, band noise — rides the event calendar, so faulted runs stay
+//! bit-identical across engines, fidelity tiers, shard counts and
+//! snapshot splits (`--faults SPEC` on any binary). Baseband link
+//! supervision detects the death; the `core::net::Recovery` supervisor
+//! re-pages lost members with bounded backoff and re-forms scatternets
+//! around dead bridges:
+//!
+//! ```
+//! use btsim::core::net::{build_scatternet, Recovery, RecoveryConfig, Router, Topology};
+//! use btsim::core::scenario::paper_config;
+//! use btsim::core::FaultPlan;
+//! use btsim::kernel::{SimDuration, SimTime};
+//!
+//! let topo = Topology::chain(2, 1);
+//! let mut cfg = paper_config();
+//! cfg.lc.supervision_timeout_slots = 800; // detect fast (spec default: 20 s)
+//! cfg.faults = FaultPlan::parse("crash@12000:dev=2;revive@14000:dev=2").unwrap();
+//!
+//! let (mut sim, mut map) = build_scatternet(&topo, 7, cfg).unwrap();
+//! let mut router = Router::new(&topo, &map);
+//! let mut recovery = Recovery::new(RecoveryConfig::default());
+//!
+//! let end = SimTime::ZERO + SimDuration::from_slots(20_000);
+//! while sim.now() < end {
+//!     sim.run_until(sim.now() + SimDuration::from_slots(64));
+//!     router.pump(&mut sim);
+//!     recovery.pump(&mut sim, &mut map, &mut router);
+//! }
+//! assert_eq!(recovery.losses.len(), 1); // supervision saw the crash...
+//! assert!(recovery.recovered >= 1);     // ...and the re-page brought it back
+//! ```
+//!
 //! Any run can be watched without perturbing it (see
 //! `docs/OBSERVABILITY.md`): packet capture records every air packet
 //! and LMP PDU for btsnoop export, the merged event stream delivers

@@ -18,7 +18,7 @@ fn captured_run_with(seed: u64, cfg: SimConfig) -> Simulator {
     let s = b.add_device("slave1");
     let mut sim = b.build();
     let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("pair connects");
-    sim.lm_request(m, |lm, _slot| lm.start_setup(lt));
+    sim.lm_request(m, |lm, slot| lm.start_setup(lt, slot));
     sim.command(
         m,
         LcCommand::AclData {

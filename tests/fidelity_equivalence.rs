@@ -326,6 +326,68 @@ fn afh_switch_demotes_promoted_link_on_both_engines() {
     assert_eq!(run(Engine::Lockstep), run(Engine::EventDriven));
 }
 
+/// A fault landing on a promoted link's endpoint demotes it *at the
+/// fault instant*, and the link stays at bit level while the fault
+/// holds — the statistical tier's closed-form assumptions are void on
+/// a degraded radio. The demotion is pinned through the event log
+/// ([`LcEvent::FidelityChanged`] at the fault slot) under both engines.
+#[test]
+fn fault_demotes_promoted_link_at_the_fault_instant_on_both_engines() {
+    const FAULT_SLOT: u64 = 5_000;
+    let run = |engine: Engine| {
+        let mut cfg = paper_config();
+        cfg.channel.ber = 0.001;
+        cfg.engine = engine;
+        cfg.fidelity = Fidelity::Stat;
+        cfg.faults =
+            btsim::core::FaultPlan::parse(&format!("degrade@{FAULT_SLOT}:dev=1,ber=0.02,ramp=0"))
+                .expect("fault spec parses");
+        let mut b = SimBuilder::new(58, cfg);
+        let m = b.add_device("master");
+        let s = b.add_device("slave1");
+        let mut sim = b.build();
+        let cap = SimTime::from_us(120_000_000);
+        let lt = connect_pair(&mut sim, m, s, cap).expect("connects");
+        sim.command(m, LcCommand::SetTpoll(2));
+        sim.command(
+            m,
+            LcCommand::AclData {
+                lt_addr: lt,
+                data: vec![0x5A; 40_000],
+            },
+        );
+        sim.run_until(sim.now() + SimDuration::from_slots(FAULT_SLOT + 1_000));
+        let flips: Vec<(bool, SimTime)> = sim
+            .events()
+            .iter()
+            .filter(|e| e.device == m)
+            .filter_map(|e| match e.event {
+                LcEvent::FidelityChanged { promoted } => Some((promoted, e.at)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            flips.first().is_some_and(|&(p, _)| p),
+            "the saturated pair should promote before the fault: {flips:?}"
+        );
+        let demotion = flips
+            .iter()
+            .find(|&&(p, _)| !p)
+            .unwrap_or_else(|| panic!("the degrade never demoted the pair: {flips:?}"));
+        assert_eq!(
+            demotion.1.slots(),
+            FAULT_SLOT,
+            "demotion must be logged at the fault instant"
+        );
+        assert!(
+            !flips.iter().any(|&(p, at)| p && at >= demotion.1),
+            "the pair must not re-promote while the degrade holds: {flips:?}"
+        );
+        sim_digest(&sim)
+    };
+    assert_eq!(run(Engine::Lockstep), run(Engine::EventDriven));
+}
+
 /// Co-channel contention demotes a promoted link: a second piconet
 /// sleeping through a hold window lets the first pair promote, and the
 /// moment it wakes up saturated, the tracker drops the first pair back

@@ -20,7 +20,7 @@ fn connected(seed: u64) -> (Simulator, usize, usize, u8) {
 #[test]
 fn lmp_connection_setup_completes_over_the_air() {
     let (mut sim, m, s, lt) = connected(1);
-    sim.lm_request(m, |lm, _slot| lm.start_setup(lt));
+    sim.lm_request(m, |lm, slot| lm.start_setup(lt, slot));
     sim.run_until(sim.now() + SimDuration::from_slots(600));
     let m_done = sim
         .lm_events()
@@ -220,4 +220,59 @@ fn lmp_hold_negotiation_reaches_a_scatternet_bridge() {
             )
     });
     assert!(resumed.is_some(), "bridge must resynchronise into B");
+}
+
+/// A pending LMP request to a peer that crashed before it could answer
+/// must resolve to [`LmEvent::RequestTimedOut`] at *exactly* the
+/// response deadline — the only way a transaction with a dead device
+/// ever terminates — and the two engines must agree on the instant.
+#[test]
+fn request_to_a_crashed_peer_times_out_at_the_exact_deadline_on_both_engines() {
+    const CRASH_SLOT: u64 = 2_000;
+    const TIMEOUT_SLOTS: u64 = 400;
+    let run = |engine: btsim::core::Engine| {
+        let mut cfg = paper_config();
+        cfg.engine = engine;
+        cfg.faults = btsim::core::FaultPlan::parse(&format!("crash@{CRASH_SLOT}:dev=1"))
+            .expect("fault spec parses");
+        let mut b = btsim::core::SimBuilder::new(6, cfg);
+        let m = b.add_device("master");
+        let s = b.add_device("slave1");
+        let mut sim = b.build();
+        let lt = connect_pair(&mut sim, m, s, SimTime::from_us(60_000_000)).expect("connects");
+        let _ = s;
+        sim.run_until(SimTime::ZERO + SimDuration::from_slots(CRASH_SLOT + 8));
+        let req_slot = sim.now().slots();
+        sim.lm_request(m, |lm, slot| {
+            lm.set_response_timeout_slots(TIMEOUT_SLOTS);
+            lm.request_sniff(lt, SniffParams::default(), slot)
+        });
+        sim.run_until(sim.now() + SimDuration::from_slots(TIMEOUT_SLOTS + 200));
+        let timeout = sim
+            .lm_events()
+            .iter()
+            .find(|e| e.device == m && matches!(e.event, LmEvent::RequestTimedOut { .. }))
+            .unwrap_or_else(|| panic!("no timeout logged: {:?}", sim.lm_events()));
+        assert!(
+            matches!(
+                timeout.event,
+                LmEvent::RequestTimedOut {
+                    of: Opcode::SniffReq,
+                    ..
+                }
+            ),
+            "unexpected transaction timed out: {:?}",
+            timeout.event
+        );
+        assert_eq!(
+            timeout.at.slots(),
+            req_slot + TIMEOUT_SLOTS,
+            "the timeout must land exactly at the response deadline"
+        );
+        (timeout.at, format!("{:?}", timeout.event))
+    };
+    assert_eq!(
+        run(btsim::core::Engine::Lockstep),
+        run(btsim::core::Engine::EventDriven)
+    );
 }

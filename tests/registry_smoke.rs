@@ -7,7 +7,7 @@ use btsim::core::experiments::{registry, ExpOptions, Experiment};
 #[test]
 fn every_registry_entry_runs_and_reports() {
     let entries: Vec<&Experiment> = registry().iter().collect();
-    assert_eq!(entries.len(), 22, "registry should list all experiments");
+    assert_eq!(entries.len(), 25, "registry should list all experiments");
     let opts = ExpOptions::quick();
     for entry in entries {
         let report = entry.run(&opts).unwrap();

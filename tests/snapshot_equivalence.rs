@@ -202,6 +202,29 @@ fn multi_piconet_mesh_is_snapshot_transparent() {
     });
 }
 
+/// The split instant lands mid-fault: a device is crashed with its
+/// revival still pending, another link is degraded, and a noise burst
+/// is active. The crashed/muted/degraded flags, the remaining fault
+/// calendar and the interferer state must all survive the roundtrip —
+/// under both engines and all three fidelity tiers.
+#[test]
+fn faulted_scatternet_is_snapshot_transparent() {
+    assert_snapshot_transparent("faulted_scatternet", &[21], 3_200, |mut sim| {
+        sim.faults = btsim::core::FaultPlan::parse(
+            "degrade@2000:dev=3,ber=0.02,ramp=500;noise_on@2200:lo=30,width=10,duty=0.5;\
+             crash@2600:dev=2;revive@3800:dev=2;heal@4200:dev=3;noise_off@5000:lo=30,width=10",
+        )
+        .expect("fault spec parses");
+        sim.lc.supervision_timeout_slots = 900;
+        ScatternetScenario::new(ScatternetConfig {
+            piconets: 2,
+            measure_slots: 3_000,
+            sim,
+            ..ScatternetConfig::default()
+        })
+    });
+}
+
 /// Sharded spatial runs: the per-shard sub-simulators, the shard maps
 /// and the merge cursors must all survive the roundtrip, at both one
 /// worker and four.
@@ -221,6 +244,35 @@ fn sharded_dense_floor_is_snapshot_transparent() {
             assert_eq!(
                 orig, rest,
                 "dense_floor: diverged after restore (shards {shards}, engine {engine:?})"
+            );
+        }
+    }
+}
+
+/// [`faulted_scatternet_is_snapshot_transparent`] at scale-out: the
+/// split lands mid-outage on a sharded spatial floor, at one worker
+/// and four, under both engines.
+#[test]
+fn sharded_faulted_floor_is_snapshot_transparent() {
+    for shards in [1usize, 4] {
+        for engine in [Engine::Lockstep, Engine::EventDriven] {
+            let mut cfg = DenseFloorConfig {
+                grid: (2, 2),
+                measure_slots: 1_500,
+                ..DenseFloorConfig::default()
+            };
+            cfg.sim.engine = engine;
+            cfg.sim.shards = shards;
+            cfg.sim.faults = btsim::core::FaultPlan::parse(
+                "noise_on@2100:lo=10,width=8,duty=0.6;crash@2300:dev=1;revive@3600:dev=1",
+            )
+            .expect("fault spec parses");
+            let scenario = DenseFloorScenario::new(cfg);
+            let (orig, rest) = split_and_continue(&scenario, 29, 2_500);
+            assert_eq!(
+                orig, rest,
+                "faulted dense_floor: diverged after restore \
+                 (shards {shards}, engine {engine:?})"
             );
         }
     }
